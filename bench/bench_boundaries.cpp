@@ -1,0 +1,204 @@
+// E-Map: the decidability map itself (Sections 3.2, 4, 5).
+//
+// For every boundary the paper proves, this harness builds a minimal
+// problem instance straddling it and reports which side the library's
+// regime analysis places it on — regenerating the paper's decidable /
+// undecidable table as benchmark counters (decidable=1/0) with the regime
+// classification time.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_util.h"
+#include "ltl/property.h"
+#include "modular/modular_verifier.h"
+#include "protocol/ltl_protocol.h"
+#include "protocol/protocol_verifier.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+using namespace wsv;
+
+void Report(benchmark::State& state, const std::function<Status()>& check) {
+  bool decidable = false;
+  for (auto _ : state) {
+    decidable = check().ok();
+  }
+  state.counters["decidable"] = decidable ? 1 : 0;
+}
+
+spec::Composition PingPong() { return bench::MustParse(bench::kPingPongSpec); }
+
+ltl::Property Prop(const char* text) {
+  auto p = ltl::Property::Parse(text);
+  if (!p.ok()) std::abort();
+  return std::move(*p);
+}
+
+// --- Theorem 3.4: the decidable core. ---
+void BM_Thm34_DecidableCore(benchmark::State& state) {
+  spec::Composition comp = PingPong();
+  ltl::Property p = Prop("G true");
+  Report(state, [&] {
+    verifier::Verifier v(&comp, verifier::VerifierOptions{});
+    return v.CheckDecidableRegime(p);
+  });
+}
+BENCHMARK(BM_Thm34_DecidableCore);
+
+// --- Corollary 3.6: unbounded queues. ---
+void BM_Cor36_UnboundedQueues(benchmark::State& state) {
+  spec::Composition comp = PingPong();
+  ltl::Property p = Prop("G true");
+  Report(state, [&] {
+    verifier::VerifierOptions options;
+    options.run.queue_bound = 0;
+    verifier::Verifier v(&comp, options);
+    return v.CheckDecidableRegime(p);
+  });
+}
+BENCHMARK(BM_Cor36_UnboundedQueues);
+
+// --- Theorem 3.7: perfect flat channels. ---
+void BM_Thm37_PerfectFlat(benchmark::State& state) {
+  spec::Composition comp = PingPong();
+  ltl::Property p = Prop("G true");
+  Report(state, [&] {
+    verifier::VerifierOptions options;
+    options.run.lossy = false;
+    verifier::Verifier v(&comp, options);
+    return v.CheckDecidableRegime(p);
+  });
+}
+BENCHMARK(BM_Thm37_PerfectFlat);
+
+// --- Theorem 3.8: deterministic flat sends. ---
+void BM_Thm38_DeterministicSends(benchmark::State& state) {
+  spec::Composition comp = PingPong();
+  ltl::Property p = Prop("G true");
+  Report(state, [&] {
+    verifier::VerifierOptions options;
+    options.run.deterministic_flat_sends = true;
+    verifier::Verifier v(&comp, options);
+    return v.CheckDecidableRegime(p);
+  });
+}
+BENCHMARK(BM_Thm38_DeterministicSends);
+
+// --- Theorem 3.9: quantification into nested messages (emptiness tests). --
+void BM_Thm39_NestedEmptinessTests(benchmark::State& state) {
+  spec::Composition comp = bench::MustParse(R"(
+peer A {
+  database { d(x); }
+  input { i(x); }
+  outqueue nested { n(x); }
+  rules { options i(x) :- d(x); send n(x) :- i(x); }
+}
+peer B {
+  state { s(x); }
+  inqueue nested { n(x); }
+  rules { insert s(x) :- ?n(x); }
+}
+)");
+  ltl::Property p = Prop("G(not (exists x: B.n(x)))");
+  Report(state, [&] {
+    verifier::Verifier v(&comp, verifier::VerifierOptions{});
+    return v.CheckDecidableRegime(p);
+  });
+}
+BENCHMARK(BM_Thm39_NestedEmptinessTests);
+
+// --- Theorem 3.10: non-ground state atoms in options rules. ---
+void BM_Thm310_NonGroundOptions(benchmark::State& state) {
+  spec::Composition comp = bench::MustParse(R"(
+peer A {
+  state { s(x); }
+  input { i(x); }
+  inqueue flat { q(x); }
+  rules { options i(x) :- s(x); insert s(x) :- ?q(x); }
+}
+)");
+  ltl::Property p = Prop("G true");
+  Report(state, [&] {
+    verifier::VerifierOptions options;
+    options.run.allow_env_moves = true;  // open composition needs an env
+    verifier::Verifier v(&comp, options);
+    return v.CheckDecidableRegime(p);
+  });
+}
+BENCHMARK(BM_Thm310_NonGroundOptions);
+
+// --- Theorem 4.2 vs 4.3: protocol observer placement. ---
+void BM_Thm42_ObserverAtRecipient(benchmark::State& state) {
+  spec::Composition comp = PingPong();
+  auto proto = protocol::DataAgnosticProtocolFromLtl(comp, "G(not req)");
+  if (!proto.ok()) std::abort();
+  Report(state, [&] {
+    protocol::ProtocolVerifier v(&comp, protocol::ProtocolVerifierOptions{});
+    return v.CheckDecidableRegime(*proto);
+  });
+}
+BENCHMARK(BM_Thm42_ObserverAtRecipient);
+
+void BM_Thm43_ObserverAtSource(benchmark::State& state) {
+  spec::Composition comp = PingPong();
+  auto proto = protocol::DataAgnosticProtocolFromLtl(
+      comp, "G(not req)", protocol::ObserverSemantics::kAtSource);
+  if (!proto.ok()) std::abort();
+  Report(state, [&] {
+    protocol::ProtocolVerifier v(&comp, protocol::ProtocolVerifierOptions{});
+    return v.CheckDecidableRegime(*proto);
+  });
+}
+BENCHMARK(BM_Thm43_ObserverAtSource);
+
+// --- Theorem 5.4 vs 5.5: strict vs non-strict environment specs. ---
+constexpr char kEcho[] = R"(
+peer Echo {
+  state { seen(x); }
+  inqueue flat  { in(x); }
+  outqueue flat { out(x); }
+  rules { insert seen(x) :- ?in(x); send out(x) :- ?in(x); }
+}
+)";
+
+void BM_Thm54_StrictEnvSpec(benchmark::State& state) {
+  spec::Composition comp = bench::MustParse(kEcho);
+  ltl::Property p = Prop("G true");
+  auto env = modular::EnvironmentSpec::Parse(
+      "G (received_in -> env.in(\"a\"))");
+  if (!env.ok()) std::abort();
+  Report(state, [&] {
+    modular::ModularVerifier v(&comp, modular::ModularVerifierOptions{});
+    return v.CheckDecidableRegime(p, *env);
+  });
+}
+BENCHMARK(BM_Thm54_StrictEnvSpec);
+
+void BM_Thm55_NonStrictEnvSpec(benchmark::State& state) {
+  spec::Composition comp = bench::MustParse(kEcho);
+  ltl::Property p = Prop("G true");
+  auto env = modular::EnvironmentSpec::Parse(
+      "forall x: G (env.in(x) -> F env.in(x))");
+  if (!env.ok()) std::abort();
+  Report(state, [&] {
+    modular::ModularVerifier v(&comp, modular::ModularVerifierOptions{});
+    return v.CheckDecidableRegime(p, *env);
+  });
+}
+BENCHMARK(BM_Thm55_NonStrictEnvSpec);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsv::bench::Banner(
+      "E-Map (the decidability map, Sections 3.2/4/5)",
+      "Each benchmark probes one boundary of the paper's decidability "
+      "table; the decidable counter must read 1 exactly for Thm 3.4, "
+      "Thm 4.2 and Thm 5.4, and 0 for every proven-undecidable relaxation.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

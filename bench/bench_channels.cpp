@@ -1,0 +1,81 @@
+// E-T3.7: lossy vs perfect channels (the decidability boundary between
+// Theorem 3.4 and Theorem 3.7).
+//
+// Series: the request/response composition verified under (a) lossy
+// channels — the decidable regime, regime=1 — and (b) perfect 1-bounded
+// flat channels — the undecidable regime (Theorem 3.7): the verifier still
+// explores the bounded configuration space soundly but flags the regime
+// (regime=0), and the space is *smaller* (no drop branching) while the
+// verdict may differ: liveness that fails under loss can hold under
+// perfection (modulo scheduling).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ltl/property.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+using namespace wsv;
+
+void RunChannels(benchmark::State& state, bool lossy) {
+  spec::Composition comp = bench::MustParse(bench::kPingPongSpec);
+  // Safety holds under both semantics; what differs is the regime flag and
+  // the branching structure.
+  auto property = ltl::Property::Parse(
+      "forall x: G(Requester.got(x) -> exists y: Requester.item(y) and "
+      "x = y)");
+  if (!property.ok()) {
+    state.SkipWithError("property parse failed");
+    return;
+  }
+  verifier::VerifierOptions options;
+  options.run.lossy = lossy;
+  options.run.queue_bound = 1;
+  options.fresh_domain_size = 1;
+  options.fixed_databases = std::vector<verifier::NamedDatabase>{
+      {{"item", {{"a"}, {"b"}}}}, {}};
+
+  bool holds = false;
+  bool decidable = false;
+  size_t snapshots = 0;
+  for (auto _ : state) {
+    verifier::Verifier verifier(&comp, options);
+    auto result = verifier.Verify(*property);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    holds = result->holds;
+    decidable = result->regime.ok();
+    snapshots = result->stats.search.snapshots;
+  }
+  state.counters["holds"] = holds ? 1 : 0;
+  state.counters["regime_decidable"] = decidable ? 1 : 0;
+  state.counters["snapshots"] = static_cast<double>(snapshots);
+}
+
+void BM_LossyChannels(benchmark::State& state) {
+  RunChannels(state, /*lossy=*/true);
+}
+BENCHMARK(BM_LossyChannels)->Unit(benchmark::kMillisecond);
+
+void BM_PerfectChannels(benchmark::State& state) {
+  RunChannels(state, /*lossy=*/false);
+}
+BENCHMARK(BM_PerfectChannels)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsv::bench::Banner(
+      "E-T3.7 (lossy vs perfect channels)",
+      "Lossy 1-bounded queues: decidable (Theorem 3.4, regime_decidable=1). "
+      "Perfect 1-bounded flat queues: undecidable in general (Theorem 3.7, "
+      "regime_decidable=0) — verification still runs soundly over the "
+      "bounded space.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E-T4.5: data-aware conversation protocols (Definition 4.4).
+//
+// Series: protocols whose transitions are guarded by FO formulas over the
+// out-queue views, with a growing number of guard symbols. The protocol
+// "every enqueued response carries a catalog item" is satisfied; the
+// protocol "every enqueued response equals the constant a" is refuted on a
+// two-item catalog — data-awareness the data-agnostic protocols cannot
+// express.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fo/parser.h"
+#include "protocol/protocol_verifier.h"
+
+namespace {
+
+using namespace wsv;
+
+/// G(sigma_0 -> sigma_1): one-state automaton rejecting on sigma_0 and not
+/// sigma_1.
+automata::BuchiAutomaton ImplicationAutomaton() {
+  automata::BuchiAutomaton b(2);
+  automata::StateId s0 = b.AddState();
+  b.AddInitial(s0);
+  b.AddTransition(s0, s0,
+                  automata::PropExpr::Or(
+                      automata::PropExpr::Not(automata::PropExpr::Lit(0)),
+                      automata::PropExpr::Lit(1)));
+  b.AddAcceptingSet({s0});
+  return b;
+}
+
+void RunAware(benchmark::State& state, const char* event_guard,
+              const char* payload_guard) {
+  spec::Composition comp = bench::MustParse(bench::kPingPongSpec);
+  auto event = fo::ParseFormula(event_guard);
+  auto payload = fo::ParseFormula(payload_guard);
+  if (!event.ok() || !payload.ok()) {
+    state.SkipWithError("guard parse failed");
+    return;
+  }
+  protocol::ConversationProtocol proto(
+      {{"event", *event}, {"payload", *payload}}, ImplicationAutomaton(),
+      protocol::ObserverSemantics::kAtRecipient);
+
+  protocol::ProtocolVerifierOptions options;
+  options.fresh_domain_size = 1;
+  options.fixed_databases = std::vector<verifier::NamedDatabase>{
+      {{"item", {{"a"}, {"b"}}}}, {}};
+  bool satisfied = false;
+  size_t searches = 0;
+  for (auto _ : state) {
+    protocol::ProtocolVerifier verifier(&comp, options);
+    auto result = verifier.Verify(proto);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    satisfied = result->holds;
+    searches = result->stats.searches + result->stats.prefiltered;
+  }
+  state.counters["satisfied"] = satisfied ? 1 : 0;
+  state.counters["instances"] = static_cast<double>(searches);
+}
+
+void BM_ResponsesCarryCatalogItems(benchmark::State& state) {
+  RunAware(state, "received_resp and Responder.resp(x)",
+           "exists y: Requester.item(y) and x = y");
+}
+BENCHMARK(BM_ResponsesCarryCatalogItems)->Unit(benchmark::kMillisecond);
+
+void BM_ResponsesAllEqualConstant(benchmark::State& state) {
+  // Refuted: responses can carry item b as well.
+  RunAware(state, "received_resp and Responder.resp(x)", "x = \"a\"");
+}
+BENCHMARK(BM_ResponsesAllEqualConstant)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsv::bench::Banner(
+      "E-T4.5 (data-aware conversation protocols)",
+      "Guards over message contents (Definition 4.4): content-respecting "
+      "protocol satisfied; content-restricting protocol refuted — the "
+      "distinction data-agnostic protocols cannot draw.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E-T3.4: complexity-shape experiment for Theorem 3.4 / Lemma 3.5.
+//
+// Two series on synthetic single-peer specifications:
+//  * arity sweep — database/state arity a = 1..3 with full database
+//    enumeration over a fixed pseudo-domain: cost jumps exponentially in a
+//    (the paper: PSPACE for fixed arity bound, EXPSPACE otherwise);
+//  * relation-count sweep at fixed arity — cost grows with specification
+//    size but stays within the fixed-arity regime.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "ltl/property.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+using namespace wsv;
+
+/// Builds a single-peer spec with `relations` database/input/state triples
+/// of the given arity: options in_i <- r_i; insert s_i <- in_i.
+spec::Composition SyntheticPeer(size_t relations, size_t arity) {
+  std::string vars;
+  for (size_t i = 0; i < arity; ++i) {
+    if (i > 0) vars += ", ";
+    vars += "x" + std::to_string(i);
+  }
+  std::string src = "peer P {\n  database {";
+  for (size_t i = 0; i < relations; ++i) {
+    src += " r" + std::to_string(i) + "(" + vars + ");";
+  }
+  src += " }\n  input {";
+  for (size_t i = 0; i < relations; ++i) {
+    src += " in" + std::to_string(i) + "(" + vars + ");";
+  }
+  src += " }\n  state {";
+  for (size_t i = 0; i < relations; ++i) {
+    src += " s" + std::to_string(i) + "(" + vars + ");";
+  }
+  src += " }\n  rules {\n";
+  for (size_t i = 0; i < relations; ++i) {
+    std::string idx = std::to_string(i);
+    src += "    options in" + idx + "(" + vars + ") :- r" + idx + "(" + vars +
+           ");\n";
+    src += "    insert s" + idx + "(" + vars + ") :- in" + idx + "(" + vars +
+           ");\n";
+  }
+  src += "  }\n}\n";
+  return bench::MustParse(src.c_str());
+}
+
+void RunVerification(benchmark::State& state, size_t relations, size_t arity) {
+  spec::Composition comp = SyntheticPeer(relations, arity);
+  // Safety: states only hold database facts (holds over every database).
+  std::string vars;
+  for (size_t i = 0; i < arity; ++i) {
+    if (i > 0) vars += ", ";
+    vars += "x" + std::to_string(i);
+  }
+  auto property = ltl::Property::Parse("G(not (exists " + vars + ": s0(" +
+                                       vars + ") and not r0(" + vars + ")))");
+  if (!property.ok()) {
+    state.SkipWithError(property.status().ToString().c_str());
+    return;
+  }
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 2;  // two fresh elements: 2^(2^arity) databases
+  options.max_databases = 4096;
+  options.budget.max_states = 500000;
+  size_t databases = 0;
+  size_t snapshots = 0;
+  for (auto _ : state) {
+    verifier::Verifier verifier(&comp, options);
+    auto result = verifier.Verify(*property);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    if (!result->holds) {
+      state.SkipWithError("property unexpectedly violated");
+      return;
+    }
+    databases = result->stats.databases_checked;
+    snapshots = result->stats.search.snapshots;
+  }
+  state.counters["databases"] = static_cast<double>(databases);
+  state.counters["snapshots"] = static_cast<double>(snapshots);
+}
+
+void BM_AritySweep(benchmark::State& state) {
+  RunVerification(state, /*relations=*/1,
+                  /*arity=*/static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_AritySweep)
+    ->ArgName("arity")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RelationSweep(benchmark::State& state) {
+  RunVerification(state, /*relations=*/static_cast<size_t>(state.range(0)),
+                  /*arity=*/1);
+}
+BENCHMARK(BM_RelationSweep)
+    ->ArgName("relations")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsv::bench::Banner(
+      "E-T3.4 (complexity shape)",
+      "PSPACE for fixed arity, EXPSPACE otherwise: verification cost across "
+      "all databases jumps exponentially with relation arity, and grows "
+      "with specification size at fixed arity.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

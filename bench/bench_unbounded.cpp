@@ -1,0 +1,111 @@
+// E-C3.6: the unbounded-queue frontier (Corollary 3.6, after Brand &
+// Zafiropulo and Abdulla & Jonsson).
+//
+// Series: explicit-state exploration of a CFSM producer/consumer pair with
+// a two-letter alphabet. With a queue bound k the configuration space is
+// finite and grows with k; with unbounded queues (k = 0) the space is
+// infinite and exploration diverges — visited configurations scale with
+// whatever budget we allow, sampling the undecidable regime.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cfsm/cfsm.h"
+
+namespace {
+
+using namespace wsv;
+
+cfsm::CfsmSystem ProducerConsumer() {
+  cfsm::CfsmSystem system;
+  cfsm::CfsmMachine producer;
+  producer.name = "producer";
+  producer.num_states = 2;
+  // Alternate sending letters a and b.
+  producer.transitions.push_back(
+      {0, 1, cfsm::CfsmTransition::Kind::kSend, 0, "a"});
+  producer.transitions.push_back(
+      {1, 0, cfsm::CfsmTransition::Kind::kSend, 0, "b"});
+  cfsm::CfsmMachine consumer;
+  consumer.name = "consumer";
+  consumer.num_states = 1;
+  consumer.transitions.push_back(
+      {0, 0, cfsm::CfsmTransition::Kind::kReceive, 0, "a"});
+  consumer.transitions.push_back(
+      {0, 0, cfsm::CfsmTransition::Kind::kReceive, 0, "b"});
+  system.machines = {producer, consumer};
+  system.channels = {{"c", 0, 1}};
+  return system;
+}
+
+void BM_BoundedQueues(benchmark::State& state) {
+  cfsm::CfsmSystem system = ProducerConsumer();
+  cfsm::ExploreOptions options;
+  options.queue_bound = static_cast<size_t>(state.range(0));
+  options.lossy = true;
+  options.max_configs = 2000000;
+  size_t configs = 0;
+  for (auto _ : state) {
+    cfsm::CfsmExplorer explorer(&system, options);
+    auto result = explorer.Explore();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    configs = result->configs_visited;
+    if (result->budget_exhausted) {
+      state.counters["diverged"] = 1;
+    }
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_BoundedQueues)
+    ->ArgName("k")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UnboundedQueues(benchmark::State& state) {
+  cfsm::CfsmSystem system = ProducerConsumer();
+  cfsm::ExploreOptions options;
+  options.queue_bound = 0;  // unbounded: exploration can only be budgeted
+  options.lossy = false;
+  options.max_configs = static_cast<size_t>(state.range(0));
+  size_t configs = 0;
+  bool diverged = false;
+  for (auto _ : state) {
+    cfsm::CfsmExplorer explorer(&system, options);
+    auto result = explorer.Explore();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    configs = result->configs_visited;
+    diverged = result->budget_exhausted;
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.counters["diverged"] = diverged ? 1 : 0;
+}
+BENCHMARK(BM_UnboundedQueues)
+    ->ArgName("budget")
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsv::bench::Banner(
+      "E-C3.6 (unbounded-queue frontier)",
+      "Bounded queues: finite configuration space growing with k. "
+      "Unbounded queues: exploration consumes any budget (diverged=1) — "
+      "the undecidable regime of Corollary 3.6.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef WSVERIFY_BENCH_BENCH_UTIL_H_
+#define WSVERIFY_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harness (DESIGN.md §4). Each bench
+// binary regenerates one experiment row/series: it prints a table header
+// describing the series and reports measured numbers through
+// google-benchmark counters, so `for b in build/bench/*; do $b; done`
+// reproduces the full evaluation.
+
+#include <cstdio>
+#include <string>
+
+#include "spec/parser.h"
+
+namespace wsv::bench {
+
+/// Parses a composition and aborts on error (bench specs are static).
+inline spec::Composition MustParse(const char* source) {
+  auto comp = spec::ParseComposition(source);
+  if (!comp.ok()) {
+    std::fprintf(stderr, "bench spec error: %s\n",
+                 comp.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*comp);
+}
+
+/// The two-peer request/response composition used by several experiments:
+/// Requester sends req(x) for catalog items, Responder echoes resp(x).
+inline constexpr char kPingPongSpec[] = R"(
+peer Requester {
+  database { item(x); }
+  input    { ask(x); }
+  state    { got(x); }
+  inqueue flat  { resp(x); }
+  outqueue flat { req(x); }
+  rules {
+    options ask(x) :- item(x);
+    send req(x) :- ask(x);
+    insert got(x) :- ?resp(x);
+  }
+}
+peer Responder {
+  inqueue flat  { req(x); }
+  outqueue flat { resp(x); }
+  rules {
+    send resp(x) :- ?req(x);
+  }
+}
+)";
+
+/// Prints an experiment banner once per binary.
+inline void Banner(const char* experiment_id, const char* claim) {
+  std::printf("### %s\n%s\n", experiment_id, claim);
+}
+
+}  // namespace wsv::bench
+
+#endif  // WSVERIFY_BENCH_BENCH_UTIL_H_

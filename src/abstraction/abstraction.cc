@@ -1,0 +1,112 @@
+#include "abstraction/abstraction.h"
+
+#include <cassert>
+
+namespace wsv::abstraction {
+
+namespace {
+
+/// Fresh variable names for the existential closure of atom arguments.
+std::string FreshVar(size_t counter) {
+  return "_abs" + std::to_string(counter);
+}
+
+fo::FormulaPtr AbstractRec(const fo::FormulaPtr& f, size_t& counter) {
+  using fo::Formula;
+  using fo::FormulaKind;
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kAtom: {
+      if (f->terms().empty()) return f;  // propositions survive abstraction
+      std::vector<std::string> vars;
+      std::vector<fo::Term> terms;
+      for (size_t i = 0; i < f->terms().size(); ++i) {
+        vars.push_back(FreshVar(counter++));
+        terms.push_back(fo::Term::Variable(vars.back()));
+      }
+      return Formula::Exists(std::move(vars),
+                             Formula::Atom(f->relation(), std::move(terms)));
+    }
+    case FormulaKind::kEquality:
+      // Data comparisons are meaningless after abstraction.
+      return Formula::True();
+    case FormulaKind::kNot:
+      return Formula::Not(AbstractRec(f->child(0), counter));
+    case FormulaKind::kAnd: {
+      std::vector<fo::FormulaPtr> kids;
+      for (const fo::FormulaPtr& c : f->children()) {
+        kids.push_back(AbstractRec(c, counter));
+      }
+      return Formula::And(std::move(kids));
+    }
+    case FormulaKind::kOr: {
+      std::vector<fo::FormulaPtr> kids;
+      for (const fo::FormulaPtr& c : f->children()) {
+        kids.push_back(AbstractRec(c, counter));
+      }
+      return Formula::Or(std::move(kids));
+    }
+    case FormulaKind::kImplies:
+      return Formula::Implies(AbstractRec(f->child(0), counter),
+                              AbstractRec(f->child(1), counter));
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      // Quantified variables no longer occur after atom abstraction.
+      return AbstractRec(f->body(), counter);
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+ltl::LtlPtr AbstractLtl(const ltl::LtlPtr& f, size_t& counter) {
+  using ltl::LtlFormula;
+  using ltl::LtlKind;
+  if (f->kind() == LtlKind::kLeaf) {
+    return LtlFormula::Leaf(AbstractRec(f->leaf(), counter));
+  }
+  std::vector<ltl::LtlPtr> kids;
+  for (const ltl::LtlPtr& c : f->children()) {
+    kids.push_back(AbstractLtl(c, counter));
+  }
+  switch (f->kind()) {
+    case LtlKind::kNot:
+      return LtlFormula::Not(kids[0]);
+    case LtlKind::kAnd:
+      return LtlFormula::And(kids[0], kids[1]);
+    case LtlKind::kOr:
+      return LtlFormula::Or(kids[0], kids[1]);
+    case LtlKind::kImplies:
+      return LtlFormula::Implies(kids[0], kids[1]);
+    case LtlKind::kNext:
+      return LtlFormula::Next(kids[0]);
+    case LtlKind::kUntil:
+      return LtlFormula::Until(kids[0], kids[1]);
+    case LtlKind::kRelease:
+      return LtlFormula::Release(kids[0], kids[1]);
+    case LtlKind::kForallQ:
+    case LtlKind::kExistsQ:
+      return AbstractLtl(f->body(), counter);  // variables vanish
+    case LtlKind::kLeaf:
+      break;
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+}  // namespace
+
+fo::FormulaPtr AbstractFormula(const fo::FormulaPtr& formula) {
+  size_t counter = 0;
+  return AbstractRec(formula, counter);
+}
+
+ltl::Property DataAgnosticAbstraction(const ltl::Property& property) {
+  size_t counter = 0;
+  ltl::LtlPtr abstracted = AbstractLtl(property.formula(), counter);
+  // Closure variables no longer occur free; drop them.
+  return ltl::Property({}, std::move(abstracted));
+}
+
+}  // namespace wsv::abstraction

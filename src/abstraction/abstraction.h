@@ -1,0 +1,27 @@
+#ifndef WSVERIFY_ABSTRACTION_ABSTRACTION_H_
+#define WSVERIFY_ABSTRACTION_ABSTRACTION_H_
+
+#include "ltl/property.h"
+
+namespace wsv::abstraction {
+
+/// The conventional software-verification baseline the paper argues against
+/// (Introduction, "Relationship to Software Verification"): abstract data
+/// values away and model-check the propositional skeleton.
+///
+/// DataAgnosticAbstraction rewrites a property so every atom R(t1..tk)
+/// becomes "some R-fact holds" (exists y1..yk: R(y1..yk)) and every
+/// equality between data terms becomes true; universally-quantified
+/// property variables are dropped. The result can certify that "upon
+/// receiving SOME credit request, the agency sends SOME reply", but cannot
+/// require the reply to reflect the request's content — verifying the
+/// abstraction may succeed while the data-aware property fails
+/// (bench_baseline reproduces this gap on the loan example).
+ltl::Property DataAgnosticAbstraction(const ltl::Property& property);
+
+/// Abstracts a single FO formula the same way (exposed for tests).
+fo::FormulaPtr AbstractFormula(const fo::FormulaPtr& formula);
+
+}  // namespace wsv::abstraction
+
+#endif  // WSVERIFY_ABSTRACTION_ABSTRACTION_H_

@@ -1,0 +1,209 @@
+#include "automata/buchi.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsv::automata {
+
+StateId BuchiAutomaton::AddState() {
+  transitions_.emplace_back();
+  return static_cast<StateId>(transitions_.size() - 1);
+}
+
+void BuchiAutomaton::AddInitial(StateId s) {
+  assert(s < transitions_.size());
+  if (std::find(initial_.begin(), initial_.end(), s) == initial_.end()) {
+    initial_.push_back(s);
+  }
+}
+
+void BuchiAutomaton::AddTransition(StateId from, StateId to,
+                                   PropExprPtr guard) {
+  assert(from < transitions_.size() && to < transitions_.size());
+  transitions_[from].push_back(BuchiTransition{to, std::move(guard)});
+}
+
+void BuchiAutomaton::AddAcceptingSet(std::vector<StateId> states) {
+  std::sort(states.begin(), states.end());
+  states.erase(std::unique(states.begin(), states.end()), states.end());
+  accepting_sets_.push_back(std::move(states));
+}
+
+bool BuchiAutomaton::InAcceptingSet(StateId s, size_t set_index) const {
+  if (set_index >= accepting_sets_.size()) return false;
+  const auto& set = accepting_sets_[set_index];
+  return std::binary_search(set.begin(), set.end(), s);
+}
+
+std::vector<std::vector<bool>> EnumerateLetters(const std::set<PropId>& props,
+                                                size_t num_props) {
+  std::vector<PropId> list(props.begin(), props.end());
+  std::vector<std::vector<bool>> letters;
+  size_t combos = static_cast<size_t>(1) << list.size();
+  letters.reserve(combos);
+  for (size_t mask = 0; mask < combos; ++mask) {
+    std::vector<bool> letter(num_props, false);
+    for (size_t i = 0; i < list.size(); ++i) {
+      if ((mask >> i) & 1) letter[list[i]] = true;
+    }
+    letters.push_back(std::move(letter));
+  }
+  return letters;
+}
+
+std::set<PropId> MentionedProps(const BuchiAutomaton& automaton) {
+  std::set<PropId> props;
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    for (const BuchiTransition& t :
+         automaton.transitions_from(static_cast<StateId>(s))) {
+      t.guard->CollectProps(props);
+    }
+  }
+  return props;
+}
+
+bool BuchiAutomaton::IsDeterministic() const {
+  if (initial_.size() > 1) return false;
+  std::set<PropId> props = MentionedProps(*this);
+  if (props.size() > 16) return false;  // too large to check; be conservative
+  std::vector<std::vector<bool>> letters = EnumerateLetters(props, num_props_);
+  for (const auto& outgoing : transitions_) {
+    for (const auto& letter : letters) {
+      int enabled = 0;
+      for (const BuchiTransition& t : outgoing) {
+        if (t.guard->Eval(letter) && ++enabled > 1) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool BuchiAutomaton::IsComplete() const {
+  std::set<PropId> props = MentionedProps(*this);
+  if (props.size() > 16) return false;
+  std::vector<std::vector<bool>> letters = EnumerateLetters(props, num_props_);
+  for (const auto& outgoing : transitions_) {
+    for (const auto& letter : letters) {
+      bool enabled = false;
+      for (const BuchiTransition& t : outgoing) {
+        if (t.guard->Eval(letter)) {
+          enabled = true;
+          break;
+        }
+      }
+      if (!enabled) return false;
+    }
+  }
+  return !transitions_.empty();
+}
+
+BuchiAutomaton BuchiAutomaton::Degeneralize() const {
+  size_t k = accepting_sets_.size();
+  BuchiAutomaton out(num_props_);
+  if (k == 0) {
+    // Every run accepting: single copy, all states in the acceptance set.
+    std::vector<StateId> all;
+    for (size_t s = 0; s < num_states(); ++s) {
+      out.AddState();
+      all.push_back(static_cast<StateId>(s));
+    }
+    for (StateId s : initial_) out.AddInitial(s);
+    for (size_t s = 0; s < num_states(); ++s) {
+      for (const BuchiTransition& t : transitions_[s]) {
+        out.AddTransition(static_cast<StateId>(s), t.to, t.guard);
+      }
+    }
+    out.AddAcceptingSet(std::move(all));
+    return out;
+  }
+  if (k == 1) {
+    BuchiAutomaton copy = *this;
+    return copy;
+  }
+  // States (q, i): waiting to see acceptance set i. The counter advances on
+  // leaving a state in F_i; accepting = {(q, k-1) : q in F_{k-1}}.
+  auto encode = [&](StateId q, size_t i) -> StateId {
+    return static_cast<StateId>(q * k + i);
+  };
+  for (size_t s = 0; s < num_states() * k; ++s) out.AddState();
+  for (StateId s : initial_) out.AddInitial(encode(s, 0));
+  for (size_t q = 0; q < num_states(); ++q) {
+    for (size_t i = 0; i < k; ++i) {
+      size_t next_i = InAcceptingSet(static_cast<StateId>(q), i) ? (i + 1) % k
+                                                                 : i;
+      for (const BuchiTransition& t : transitions_[q]) {
+        out.AddTransition(encode(static_cast<StateId>(q), i),
+                          encode(t.to, next_i), t.guard);
+      }
+    }
+  }
+  std::vector<StateId> accepting;
+  for (StateId q : accepting_sets_[k - 1]) accepting.push_back(encode(q, k - 1));
+  out.AddAcceptingSet(std::move(accepting));
+  return out;
+}
+
+Result<BuchiAutomaton> BuchiAutomaton::Intersect(const BuchiAutomaton& a,
+                                                 const BuchiAutomaton& b) {
+  if (a.num_accepting_sets() != 1 || b.num_accepting_sets() != 1) {
+    return Status::Internal(
+        "Intersect requires plain (degeneralized) automata");
+  }
+  size_t num_props = std::max(a.num_props(), b.num_props());
+  BuchiAutomaton product(num_props);
+  auto encode = [&](StateId qa, StateId qb) -> StateId {
+    return static_cast<StateId>(qa * b.num_states() + qb);
+  };
+  for (size_t s = 0; s < a.num_states() * b.num_states(); ++s) {
+    product.AddState();
+  }
+  for (StateId qa : a.initial_states()) {
+    for (StateId qb : b.initial_states()) {
+      product.AddInitial(encode(qa, qb));
+    }
+  }
+  std::vector<StateId> acc_a;
+  std::vector<StateId> acc_b;
+  for (size_t qa = 0; qa < a.num_states(); ++qa) {
+    for (size_t qb = 0; qb < b.num_states(); ++qb) {
+      StateId from = encode(static_cast<StateId>(qa), static_cast<StateId>(qb));
+      for (const BuchiTransition& ta :
+           a.transitions_from(static_cast<StateId>(qa))) {
+        for (const BuchiTransition& tb :
+             b.transitions_from(static_cast<StateId>(qb))) {
+          PropExprPtr guard = PropExpr::And(ta.guard, tb.guard);
+          if (!guard->IsSatisfiable()) continue;
+          product.AddTransition(from, encode(ta.to, tb.to), std::move(guard));
+        }
+      }
+      if (a.IsAccepting(static_cast<StateId>(qa))) acc_a.push_back(from);
+      if (b.IsAccepting(static_cast<StateId>(qb))) acc_b.push_back(from);
+    }
+  }
+  product.AddAcceptingSet(std::move(acc_a));
+  product.AddAcceptingSet(std::move(acc_b));
+  return product.Degeneralize();
+}
+
+std::string BuchiAutomaton::ToString() const {
+  std::string out = "BuchiAutomaton(" + std::to_string(num_states()) +
+                    " states, " + std::to_string(accepting_sets_.size()) +
+                    " acceptance sets)\n";
+  out += "initial:";
+  for (StateId s : initial_) out += " " + std::to_string(s);
+  out += "\n";
+  for (size_t s = 0; s < num_states(); ++s) {
+    for (const BuchiTransition& t : transitions_[s]) {
+      out += "  " + std::to_string(s) + " --[" + t.guard->ToString() +
+             "]--> " + std::to_string(t.to) + "\n";
+    }
+  }
+  for (size_t i = 0; i < accepting_sets_.size(); ++i) {
+    out += "F" + std::to_string(i) + ":";
+    for (StateId s : accepting_sets_[i]) out += " " + std::to_string(s);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wsv::automata

@@ -1,0 +1,95 @@
+#ifndef WSVERIFY_AUTOMATA_BUCHI_H_
+#define WSVERIFY_AUTOMATA_BUCHI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/prop_expr.h"
+#include "common/status.h"
+
+namespace wsv::automata {
+
+using StateId = uint32_t;
+
+/// One guarded transition of a Büchi automaton: enabled on letters (prop
+/// valuations) satisfying `guard`.
+struct BuchiTransition {
+  StateId to;
+  PropExprPtr guard;
+};
+
+/// A (generalized) Büchi automaton over the alphabet of proposition
+/// valuations. With zero acceptance sets every infinite run is accepting;
+/// with k sets, a run is accepting iff it visits each set infinitely often;
+/// a plain Büchi automaton has exactly one set.
+class BuchiAutomaton {
+ public:
+  /// `num_props` is the size of the proposition space the guards range over.
+  explicit BuchiAutomaton(size_t num_props = 0) : num_props_(num_props) {}
+
+  size_t num_props() const { return num_props_; }
+  void set_num_props(size_t n) { num_props_ = n; }
+
+  StateId AddState();
+  size_t num_states() const { return transitions_.size(); }
+
+  void AddInitial(StateId s);
+  const std::vector<StateId>& initial_states() const { return initial_; }
+
+  void AddTransition(StateId from, StateId to, PropExprPtr guard);
+  const std::vector<BuchiTransition>& transitions_from(StateId s) const {
+    return transitions_[s];
+  }
+
+  /// Appends one (generalized) acceptance set.
+  void AddAcceptingSet(std::vector<StateId> states);
+  size_t num_accepting_sets() const { return accepting_sets_.size(); }
+  const std::vector<StateId>& accepting_set(size_t i) const {
+    return accepting_sets_[i];
+  }
+  bool InAcceptingSet(StateId s, size_t set_index) const;
+
+  /// Convenience for plain automata (exactly one set).
+  bool IsAccepting(StateId s) const { return InAcceptingSet(s, 0); }
+
+  /// True iff from every state, for every letter, at most one satisfiable
+  /// transition is enabled, and there is at most one initial state.
+  /// (Used to pick the cheap complementation path.)
+  bool IsDeterministic() const;
+
+  /// True iff from every state every letter enables at least one transition.
+  bool IsComplete() const;
+
+  /// Degeneralizes k acceptance sets into a plain (1-set) automaton using
+  /// the standard counter construction. Zero sets become "all states
+  /// accepting".
+  BuchiAutomaton Degeneralize() const;
+
+  /// Synchronous product: accepts the intersection of the two languages.
+  /// Both operands must be plain (1 acceptance set) automata over the same
+  /// proposition space; the result is plain.
+  static Result<BuchiAutomaton> Intersect(const BuchiAutomaton& a,
+                                          const BuchiAutomaton& b);
+
+  /// Human-readable dump for debugging and tests.
+  std::string ToString() const;
+
+ private:
+  size_t num_props_;
+  std::vector<StateId> initial_;
+  std::vector<std::vector<BuchiTransition>> transitions_;
+  std::vector<std::vector<StateId>> accepting_sets_;
+};
+
+/// Enumerates all letters (valuations) over `props`; each letter is returned
+/// as a full valuation vector of size `num_props`, with unlisted props false.
+std::vector<std::vector<bool>> EnumerateLetters(const std::set<PropId>& props,
+                                                size_t num_props);
+
+/// The set of propositions mentioned by any guard of `automaton`.
+std::set<PropId> MentionedProps(const BuchiAutomaton& automaton);
+
+}  // namespace wsv::automata
+
+#endif  // WSVERIFY_AUTOMATA_BUCHI_H_

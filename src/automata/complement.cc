@@ -1,0 +1,236 @@
+#include "automata/complement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace wsv::automata {
+
+namespace {
+
+/// Builds, per state and per letter index, the successor state set.
+std::vector<std::vector<std::vector<StateId>>> BuildLetterEdges(
+    const BuchiAutomaton& automaton,
+    const std::vector<std::vector<bool>>& letters) {
+  std::vector<std::vector<std::vector<StateId>>> edges(
+      automaton.num_states(),
+      std::vector<std::vector<StateId>>(letters.size()));
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    for (const BuchiTransition& t :
+         automaton.transitions_from(static_cast<StateId>(s))) {
+      for (size_t l = 0; l < letters.size(); ++l) {
+        if (t.guard->Eval(letters[l])) edges[s][l].push_back(t.to);
+      }
+    }
+  }
+  return edges;
+}
+
+/// Guard expressing "the letter equals letters[l]" over the mentioned props
+/// (unmentioned propositions are unconstrained).
+PropExprPtr LetterGuard(const std::vector<bool>& letter,
+                        const std::set<PropId>& props) {
+  std::vector<PropId> pos;
+  std::vector<PropId> neg;
+  for (PropId p : props) {
+    (letter[p] ? pos : neg).push_back(p);
+  }
+  return PropExpr::LiteralCube(pos, neg);
+}
+
+/// Complement of a deterministic complete automaton: the unique run must
+/// visit F only finitely often. Phase 0 follows the run; the automaton
+/// nondeterministically moves to phase 1 and from then on all visited states
+/// must avoid F. Accepting = phase 1.
+BuchiAutomaton ComplementDeterministic(const BuchiAutomaton& automaton) {
+  BuchiAutomaton out(automaton.num_props());
+  size_t n = automaton.num_states();
+  auto phase0 = [&](StateId q) { return q; };
+  auto phase1 = [&](StateId q) { return static_cast<StateId>(q + n); };
+  for (size_t i = 0; i < 2 * n; ++i) out.AddState();
+  for (StateId q0 : automaton.initial_states()) out.AddInitial(phase0(q0));
+  std::vector<StateId> accepting;
+  for (size_t q = 0; q < n; ++q) {
+    for (const BuchiTransition& t :
+         automaton.transitions_from(static_cast<StateId>(q))) {
+      out.AddTransition(phase0(static_cast<StateId>(q)), phase0(t.to),
+                        t.guard);
+      if (!automaton.IsAccepting(t.to)) {
+        out.AddTransition(phase0(static_cast<StateId>(q)), phase1(t.to),
+                          t.guard);
+        out.AddTransition(phase1(static_cast<StateId>(q)), phase1(t.to),
+                          t.guard);
+      }
+    }
+    accepting.push_back(phase1(static_cast<StateId>(q)));
+  }
+  out.AddAcceptingSet(std::move(accepting));
+  return out;
+}
+
+/// A state of the rank-based construction: a level ranking (rank[q] == -1
+/// when q is absent) plus the obligation set O.
+struct RankState {
+  std::vector<int8_t> ranks;
+  std::vector<uint8_t> obligations;
+
+  bool operator<(const RankState& other) const {
+    if (ranks != other.ranks) return ranks < other.ranks;
+    return obligations < other.obligations;
+  }
+  bool IsAccepting() const {
+    return std::all_of(obligations.begin(), obligations.end(),
+                       [](uint8_t o) { return o == 0; });
+  }
+};
+
+}  // namespace
+
+Result<BuchiAutomaton> ComplementBuchi(const BuchiAutomaton& automaton,
+                                       const ComplementOptions& options) {
+  if (automaton.num_accepting_sets() != 1) {
+    return Status::Internal("ComplementBuchi requires a plain automaton");
+  }
+  if (automaton.IsDeterministic() && automaton.IsComplete()) {
+    return ComplementDeterministic(automaton);
+  }
+
+  size_t n = automaton.num_states();
+  if (n > 24) {
+    return Status::BudgetExceeded(
+        "rank-based complementation limited to 24 states; got " +
+        std::to_string(n));
+  }
+  int max_rank = options.max_rank > 0 ? static_cast<int>(options.max_rank)
+                                      : static_cast<int>(2 * n);
+
+  std::set<PropId> props = MentionedProps(automaton);
+  if (props.size() > 12) {
+    return Status::BudgetExceeded(
+        "complementation alphabet limited to 2^12 letters");
+  }
+  std::vector<std::vector<bool>> letters =
+      EnumerateLetters(props, automaton.num_props());
+  auto edges = BuildLetterEdges(automaton, letters);
+
+  std::vector<bool> is_accepting(n, false);
+  for (StateId q : automaton.accepting_set(0)) is_accepting[q] = true;
+
+  BuchiAutomaton out(automaton.num_props());
+  std::map<RankState, StateId> ids;
+  std::vector<RankState> worklist;
+
+  auto intern = [&](RankState rs) -> Result<StateId> {
+    auto it = ids.find(rs);
+    if (it != ids.end()) return it->second;
+    if (out.num_states() >= options.max_states) {
+      return Status::BudgetExceeded(
+          "complementation exceeded max_states = " +
+          std::to_string(options.max_states));
+    }
+    StateId id = out.AddState();
+    ids.emplace(rs, id);
+    worklist.push_back(std::move(rs));
+    return id;
+  };
+
+  // Initial state: initials ranked max_rank (even for accepting states is
+  // fine since max_rank = 2n is even), O empty.
+  RankState init;
+  init.ranks.assign(n, -1);
+  init.obligations.assign(n, 0);
+  for (StateId q0 : automaton.initial_states()) {
+    init.ranks[q0] = static_cast<int8_t>(max_rank);
+    if (is_accepting[q0] && (max_rank % 2) != 0) {
+      init.ranks[q0] = static_cast<int8_t>(max_rank - 1);
+    }
+  }
+  WSV_ASSIGN_OR_RETURN(StateId init_id, intern(init));
+  out.AddInitial(init_id);
+
+  while (!worklist.empty()) {
+    RankState current = worklist.back();
+    worklist.pop_back();
+    StateId current_id = ids.at(current);
+
+    for (size_t l = 0; l < letters.size(); ++l) {
+      // Successor support set and per-state rank bounds.
+      std::vector<int> bound(n, -1);
+      bool any_source = false;
+      for (size_t q = 0; q < n; ++q) {
+        if (current.ranks[q] < 0) continue;
+        any_source = true;
+        for (StateId q2 : edges[q][l]) {
+          int b = current.ranks[q];
+          bound[q2] = bound[q2] < 0 ? b : std::min(bound[q2], b);
+        }
+      }
+      (void)any_source;
+      std::vector<size_t> support;
+      for (size_t q = 0; q < n; ++q) {
+        if (bound[q] >= 0) support.push_back(q);
+      }
+
+      // Enumerate all rankings g' with g'(q) <= bound[q], even on accepting
+      // states. An empty support yields the empty ranking once (the
+      // accepting sink for non-complete source automata).
+      std::vector<int> choice(support.size(), 0);
+      while (true) {
+        // Materialize candidate.
+        RankState succ;
+        succ.ranks.assign(n, -1);
+        succ.obligations.assign(n, 0);
+        bool valid = true;
+        for (size_t i = 0; i < support.size(); ++i) {
+          size_t q = support[i];
+          int r = choice[i];
+          if (is_accepting[q] && (r % 2) != 0) valid = false;
+          succ.ranks[q] = static_cast<int8_t>(r);
+        }
+        if (valid) {
+          // Obligation set update.
+          bool o_empty = std::all_of(current.obligations.begin(),
+                                     current.obligations.end(),
+                                     [](uint8_t o) { return o == 0; });
+          if (o_empty) {
+            for (size_t q = 0; q < n; ++q) {
+              if (succ.ranks[q] >= 0 && succ.ranks[q] % 2 == 0) {
+                succ.obligations[q] = 1;
+              }
+            }
+          } else {
+            for (size_t q = 0; q < n; ++q) {
+              if (current.obligations[q] == 0) continue;
+              for (StateId q2 : edges[q][l]) {
+                if (succ.ranks[q2] >= 0 && succ.ranks[q2] % 2 == 0) {
+                  succ.obligations[q2] = 1;
+                }
+              }
+            }
+          }
+          WSV_ASSIGN_OR_RETURN(StateId succ_id, intern(succ));
+          out.AddTransition(current_id, succ_id, LetterGuard(letters[l], props));
+        }
+        // Advance the odometer; a wrap (or empty support) terminates.
+        size_t i = 0;
+        while (i < choice.size()) {
+          if (++choice[i] <= bound[support[i]]) break;
+          choice[i] = 0;
+          ++i;
+        }
+        if (i == choice.size()) break;
+      }
+    }
+  }
+
+  std::vector<StateId> accepting;
+  for (const auto& [rs, id] : ids) {
+    if (rs.IsAccepting()) accepting.push_back(id);
+  }
+  out.AddAcceptingSet(std::move(accepting));
+  return out;
+}
+
+}  // namespace wsv::automata

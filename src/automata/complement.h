@@ -1,0 +1,29 @@
+#ifndef WSVERIFY_AUTOMATA_COMPLEMENT_H_
+#define WSVERIFY_AUTOMATA_COMPLEMENT_H_
+
+#include "automata/buchi.h"
+#include "common/status.h"
+
+namespace wsv::automata {
+
+struct ComplementOptions {
+  /// Hard cap on constructed states (rank-based complementation is
+  /// exponential; protocol automata are expected to be small).
+  size_t max_states = 200000;
+  /// Maximum rank; 0 means the default 2 * |Q|.
+  size_t max_rank = 0;
+};
+
+/// Complements a plain Büchi automaton.
+///
+/// Conversation-protocol verification (Theorems 4.2 / 4.5) checks that every
+/// run's observable event sequence lies in L(B); the verifier searches for a
+/// run accepted by the complement of B. For deterministic complete automata
+/// the complement is built by the cheap two-phase co-Büchi construction;
+/// otherwise the rank-based construction of Kupferman & Vardi is used.
+Result<BuchiAutomaton> ComplementBuchi(const BuchiAutomaton& automaton,
+                                       const ComplementOptions& options = {});
+
+}  // namespace wsv::automata
+
+#endif  // WSVERIFY_AUTOMATA_COMPLEMENT_H_

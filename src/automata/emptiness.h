@@ -1,0 +1,31 @@
+#ifndef WSVERIFY_AUTOMATA_EMPTINESS_H_
+#define WSVERIFY_AUTOMATA_EMPTINESS_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/buchi.h"
+
+namespace wsv::automata {
+
+/// An accepting lasso witness: a finite prefix of states followed by a cycle
+/// (repeated forever) that visits an accepting state. States are listed in
+/// order; `cycle` starts at the state the prefix ends in.
+struct Lasso {
+  std::vector<StateId> prefix;  // from an initial state, inclusive
+  std::vector<StateId> cycle;   // cycle[0] == prefix.back()
+};
+
+/// Searches a plain (1 acceptance set) Büchi automaton for an accepting
+/// lasso, considering only transitions whose guards are satisfiable.
+/// Returns nullopt iff the language is empty.
+std::optional<Lasso> FindAcceptingLasso(const BuchiAutomaton& automaton);
+
+/// True iff the automaton's language is empty.
+inline bool IsEmptyLanguage(const BuchiAutomaton& automaton) {
+  return !FindAcceptingLasso(automaton).has_value();
+}
+
+}  // namespace wsv::automata
+
+#endif  // WSVERIFY_AUTOMATA_EMPTINESS_H_

@@ -1,0 +1,226 @@
+#include "automata/gpvw.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace wsv::automata {
+
+namespace {
+
+/// Marker for the virtual initial node in incoming-edge sets.
+constexpr int kInitMarker = -1;
+
+struct TableauNode {
+  std::set<int> incoming;
+  std::set<PRef> to_process;  // "New" in the paper
+  std::set<PRef> old;
+  std::set<PRef> next;
+};
+
+/// Iterative GPVW tableau construction (the classical presentation is
+/// recursive; environment-spec expansions produce formulas deep enough to
+/// overflow the call stack, so the pending nodes live on an explicit
+/// worklist).
+class GpvwBuilder {
+ public:
+  GpvwBuilder(PLtlManager& manager, size_t max_nodes)
+      : m_(manager), max_nodes_(max_nodes) {}
+
+  Result<const std::vector<TableauNode>*> Build(PRef formula) {
+    TableauNode init;
+    init.incoming.insert(kInitMarker);
+    init.to_process.insert(formula);
+    std::vector<TableauNode> work;
+    work.push_back(std::move(init));
+
+    while (!work.empty()) {
+      TableauNode node = std::move(work.back());
+      work.pop_back();
+
+      if (node.to_process.empty()) {
+        // Fully processed: merge with an existing node having the same Old
+        // and Next sets, or commit and seed its successor.
+        bool merged = false;
+        for (size_t i = 0; i < nodes_.size(); ++i) {
+          if (nodes_[i].old == node.old && nodes_[i].next == node.next) {
+            nodes_[i].incoming.insert(node.incoming.begin(),
+                                      node.incoming.end());
+            merged = true;
+            break;
+          }
+        }
+        if (merged) continue;
+        if (nodes_.size() >= max_nodes_) {
+          return Status::BudgetExceeded(
+              "LTL-to-Buchi translation exceeded " +
+              std::to_string(max_nodes_) + " tableau nodes");
+        }
+        nodes_.push_back(node);
+        int id = static_cast<int>(nodes_.size() - 1);
+        TableauNode successor;
+        successor.incoming.insert(id);
+        successor.to_process = node.next;
+        work.push_back(std::move(successor));
+        continue;
+      }
+
+      PRef eta = *node.to_process.begin();
+      node.to_process.erase(node.to_process.begin());
+      if (node.old.count(eta) > 0) {
+        work.push_back(std::move(node));
+        continue;
+      }
+
+      switch (m_.kind(eta)) {
+        case PLtlKind::kFalse:
+          break;  // contradiction: discard node
+        case PLtlKind::kTrue:
+          work.push_back(std::move(node));
+          break;
+        case PLtlKind::kLit: {
+          PRef negated = m_.Lit(m_.prop(eta), !m_.negated(eta));
+          if (node.old.count(negated) > 0) break;  // p and !p: discard
+          node.old.insert(eta);
+          work.push_back(std::move(node));
+          break;
+        }
+        case PLtlKind::kAnd: {
+          node.old.insert(eta);
+          if (node.old.count(m_.left(eta)) == 0) {
+            node.to_process.insert(m_.left(eta));
+          }
+          if (node.old.count(m_.right(eta)) == 0) {
+            node.to_process.insert(m_.right(eta));
+          }
+          work.push_back(std::move(node));
+          break;
+        }
+        case PLtlKind::kNext: {
+          node.old.insert(eta);
+          node.next.insert(m_.left(eta));
+          work.push_back(std::move(node));
+          break;
+        }
+        case PLtlKind::kOr: {
+          TableauNode q1 = node;
+          q1.old.insert(eta);
+          if (q1.old.count(m_.left(eta)) == 0) {
+            q1.to_process.insert(m_.left(eta));
+          }
+          TableauNode q2 = std::move(node);
+          q2.old.insert(eta);
+          if (q2.old.count(m_.right(eta)) == 0) {
+            q2.to_process.insert(m_.right(eta));
+          }
+          work.push_back(std::move(q1));
+          work.push_back(std::move(q2));
+          break;
+        }
+        case PLtlKind::kUntil: {
+          // a U b  ==  b  or  (a and X(a U b)).
+          TableauNode q1 = node;
+          q1.old.insert(eta);
+          if (q1.old.count(m_.left(eta)) == 0) {
+            q1.to_process.insert(m_.left(eta));
+          }
+          q1.next.insert(eta);
+          TableauNode q2 = std::move(node);
+          q2.old.insert(eta);
+          if (q2.old.count(m_.right(eta)) == 0) {
+            q2.to_process.insert(m_.right(eta));
+          }
+          work.push_back(std::move(q1));
+          work.push_back(std::move(q2));
+          break;
+        }
+        case PLtlKind::kRelease: {
+          // a R b  ==  (b and a)  or  (b and X(a R b)).
+          TableauNode q1 = node;
+          q1.old.insert(eta);
+          if (q1.old.count(m_.right(eta)) == 0) {
+            q1.to_process.insert(m_.right(eta));
+          }
+          q1.next.insert(eta);
+          TableauNode q2 = std::move(node);
+          q2.old.insert(eta);
+          if (q2.old.count(m_.left(eta)) == 0) {
+            q2.to_process.insert(m_.left(eta));
+          }
+          if (q2.old.count(m_.right(eta)) == 0) {
+            q2.to_process.insert(m_.right(eta));
+          }
+          work.push_back(std::move(q1));
+          work.push_back(std::move(q2));
+          break;
+        }
+      }
+    }
+    return &nodes_;
+  }
+
+ private:
+  PLtlManager& m_;
+  size_t max_nodes_;
+  std::vector<TableauNode> nodes_;
+};
+
+}  // namespace
+
+Result<BuchiAutomaton> TranslateToGeneralizedBuchi(PLtlManager& manager,
+                                                   PRef formula,
+                                                   size_t num_props,
+                                                   size_t max_nodes) {
+  GpvwBuilder builder(manager, max_nodes);
+  WSV_ASSIGN_OR_RETURN(const std::vector<TableauNode>* nodes_ptr,
+                       builder.Build(formula));
+  const std::vector<TableauNode>& nodes = *nodes_ptr;
+
+  BuchiAutomaton automaton(num_props);
+  // State 0 is the virtual initial state; tableau node i becomes state i+1.
+  StateId init = automaton.AddState();
+  automaton.AddInitial(init);
+  for (size_t i = 0; i < nodes.size(); ++i) automaton.AddState();
+
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    // Guard: the literals this node requires of the letter read on entry.
+    std::vector<PropId> pos;
+    std::vector<PropId> neg;
+    for (PRef f : nodes[i].old) {
+      if (manager.kind(f) == PLtlKind::kLit) {
+        (manager.negated(f) ? neg : pos).push_back(manager.prop(f));
+      }
+    }
+    PropExprPtr guard = PropExpr::LiteralCube(pos, neg);
+    StateId to = static_cast<StateId>(i + 1);
+    for (int from : nodes[i].incoming) {
+      StateId from_state =
+          from == kInitMarker ? init : static_cast<StateId>(from + 1);
+      automaton.AddTransition(from_state, to, guard);
+    }
+  }
+
+  // One acceptance set per Until subformula: states where the eventuality is
+  // fulfilled (right operand in Old) or the Until is not pending.
+  for (PRef until : manager.CollectUntils(formula)) {
+    std::vector<StateId> set;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      bool pending = nodes[i].old.count(until) > 0;
+      bool fulfilled = nodes[i].old.count(manager.right(until)) > 0;
+      if (!pending || fulfilled) set.push_back(static_cast<StateId>(i + 1));
+    }
+    automaton.AddAcceptingSet(std::move(set));
+  }
+  return automaton;
+}
+
+Result<BuchiAutomaton> TranslateToBuchi(PLtlManager& manager, PRef formula,
+                                        size_t num_props, size_t max_nodes) {
+  WSV_ASSIGN_OR_RETURN(
+      BuchiAutomaton generalized,
+      TranslateToGeneralizedBuchi(manager, formula, num_props, max_nodes));
+  return generalized.Degeneralize();
+}
+
+}  // namespace wsv::automata

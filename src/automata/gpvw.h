@@ -1,0 +1,31 @@
+#ifndef WSVERIFY_AUTOMATA_GPVW_H_
+#define WSVERIFY_AUTOMATA_GPVW_H_
+
+#include "automata/buchi.h"
+#include "automata/pltl.h"
+#include "common/status.h"
+
+namespace wsv::automata {
+
+/// Translates a propositional LTL formula in negation normal form into a
+/// generalized Büchi automaton using the tableau construction of Gerth,
+/// Peled, Vardi & Wolper ("Simple on-the-fly automatic verification of
+/// linear temporal logic", PSTV 1995).
+///
+/// The result has one acceptance set per Until subformula (zero sets when
+/// the formula is Until-free, meaning all runs accept); callers typically
+/// chain Degeneralize(). The tableau can be exponential in the formula;
+/// `max_nodes` bounds it (kBudgetExceeded beyond).
+Result<BuchiAutomaton> TranslateToGeneralizedBuchi(PLtlManager& manager,
+                                                   PRef formula,
+                                                   size_t num_props,
+                                                   size_t max_nodes = 200000);
+
+/// Convenience: TranslateToGeneralizedBuchi + Degeneralize.
+Result<BuchiAutomaton> TranslateToBuchi(PLtlManager& manager, PRef formula,
+                                        size_t num_props,
+                                        size_t max_nodes = 200000);
+
+}  // namespace wsv::automata
+
+#endif  // WSVERIFY_AUTOMATA_GPVW_H_

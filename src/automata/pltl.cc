@@ -1,0 +1,147 @@
+#include "automata/pltl.h"
+
+#include <cassert>
+#include <set>
+
+namespace wsv::automata {
+
+PLtlManager::PLtlManager() {
+  // Pre-seed true/false at fixed references.
+  nodes_.push_back(Node{PLtlKind::kTrue});
+  nodes_.push_back(Node{PLtlKind::kFalse});
+}
+
+PRef PLtlManager::Intern(Node node) {
+  Key key{static_cast<uint8_t>(node.kind), node.negated, node.prop, node.left,
+          node.right};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  PRef ref = static_cast<PRef>(nodes_.size());
+  nodes_.push_back(node);
+  index_.emplace(key, ref);
+  return ref;
+}
+
+PRef PLtlManager::Lit(PropId prop, bool negated) {
+  Node n{PLtlKind::kLit};
+  n.prop = prop;
+  n.negated = negated;
+  return Intern(n);
+}
+
+PRef PLtlManager::And(PRef a, PRef b) {
+  if (a == kFalseRef || b == kFalseRef) return kFalseRef;
+  if (a == kTrueRef) return b;
+  if (b == kTrueRef) return a;
+  if (a == b) return a;
+  Node n{PLtlKind::kAnd};
+  n.left = a;
+  n.right = b;
+  return Intern(n);
+}
+
+PRef PLtlManager::Or(PRef a, PRef b) {
+  if (a == kTrueRef || b == kTrueRef) return kTrueRef;
+  if (a == kFalseRef) return b;
+  if (b == kFalseRef) return a;
+  if (a == b) return a;
+  Node n{PLtlKind::kOr};
+  n.left = a;
+  n.right = b;
+  return Intern(n);
+}
+
+PRef PLtlManager::Next(PRef a) {
+  Node n{PLtlKind::kNext};
+  n.left = a;
+  return Intern(n);
+}
+
+PRef PLtlManager::Until(PRef a, PRef b) {
+  Node n{PLtlKind::kUntil};
+  n.left = a;
+  n.right = b;
+  return Intern(n);
+}
+
+PRef PLtlManager::Release(PRef a, PRef b) {
+  Node n{PLtlKind::kRelease};
+  n.left = a;
+  n.right = b;
+  return Intern(n);
+}
+
+PRef PLtlManager::Negate(PRef a) {
+  switch (kind(a)) {
+    case PLtlKind::kTrue:
+      return kFalseRef;
+    case PLtlKind::kFalse:
+      return kTrueRef;
+    case PLtlKind::kLit:
+      return Lit(prop(a), !negated(a));
+    case PLtlKind::kAnd:
+      return Or(Negate(left(a)), Negate(right(a)));
+    case PLtlKind::kOr:
+      return And(Negate(left(a)), Negate(right(a)));
+    case PLtlKind::kNext:
+      return Next(Negate(left(a)));
+    case PLtlKind::kUntil:
+      return Release(Negate(left(a)), Negate(right(a)));
+    case PLtlKind::kRelease:
+      return Until(Negate(left(a)), Negate(right(a)));
+  }
+  assert(false && "unreachable");
+  return a;
+}
+
+std::vector<PRef> PLtlManager::CollectUntils(PRef root) const {
+  std::set<PRef> seen;
+  std::vector<PRef> stack{root};
+  std::vector<PRef> untils;
+  while (!stack.empty()) {
+    PRef r = stack.back();
+    stack.pop_back();
+    if (!seen.insert(r).second) continue;
+    switch (kind(r)) {
+      case PLtlKind::kUntil:
+        untils.push_back(r);
+        [[fallthrough]];
+      case PLtlKind::kAnd:
+      case PLtlKind::kOr:
+      case PLtlKind::kRelease:
+        stack.push_back(left(r));
+        stack.push_back(right(r));
+        break;
+      case PLtlKind::kNext:
+        stack.push_back(left(r));
+        break;
+      default:
+        break;
+    }
+  }
+  return untils;
+}
+
+std::string PLtlManager::ToString(PRef r) const {
+  switch (kind(r)) {
+    case PLtlKind::kTrue:
+      return "true";
+    case PLtlKind::kFalse:
+      return "false";
+    case PLtlKind::kLit:
+      return std::string(negated(r) ? "!" : "") + "p" + std::to_string(prop(r));
+    case PLtlKind::kAnd:
+      return "(" + ToString(left(r)) + " & " + ToString(right(r)) + ")";
+    case PLtlKind::kOr:
+      return "(" + ToString(left(r)) + " | " + ToString(right(r)) + ")";
+    case PLtlKind::kNext:
+      return "X" + ToString(left(r));
+    case PLtlKind::kUntil:
+      return "(" + ToString(left(r)) + " U " + ToString(right(r)) + ")";
+    case PLtlKind::kRelease:
+      return "(" + ToString(left(r)) + " R " + ToString(right(r)) + ")";
+  }
+  return "?";
+}
+
+}  // namespace wsv::automata

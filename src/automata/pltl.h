@@ -1,0 +1,83 @@
+#ifndef WSVERIFY_AUTOMATA_PLTL_H_
+#define WSVERIFY_AUTOMATA_PLTL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "automata/prop_expr.h"
+
+namespace wsv::automata {
+
+/// Reference to a hash-consed propositional LTL node.
+using PRef = uint32_t;
+
+/// Node kinds of propositional LTL in negation normal form (the GPVW input
+/// language): literals, conjunction, disjunction, X, U, R.
+enum class PLtlKind : uint8_t {
+  kTrue,
+  kFalse,
+  kLit,  // proposition or negated proposition
+  kAnd,
+  kOr,
+  kNext,
+  kUntil,
+  kRelease,
+};
+
+/// Arena of hash-consed propositional-LTL nodes. Structural sharing makes
+/// node references (PRef) usable as set elements during the GPVW tableau
+/// construction.
+class PLtlManager {
+ public:
+  PLtlManager();
+
+  PRef True() const { return kTrueRef; }
+  PRef False() const { return kFalseRef; }
+  PRef Lit(PropId prop, bool negated);
+  PRef And(PRef a, PRef b);
+  PRef Or(PRef a, PRef b);
+  PRef Next(PRef a);
+  PRef Until(PRef a, PRef b);
+  PRef Release(PRef a, PRef b);
+  /// G f = false R f; F f = true U f.
+  PRef Globally(PRef a) { return Release(False(), a); }
+  PRef Finally(PRef a) { return Until(True(), a); }
+  /// The negation in NNF (dualizes through the tree).
+  PRef Negate(PRef a);
+
+  PLtlKind kind(PRef r) const { return nodes_[r].kind; }
+  PropId prop(PRef r) const { return nodes_[r].prop; }
+  bool negated(PRef r) const { return nodes_[r].negated; }
+  PRef left(PRef r) const { return nodes_[r].left; }
+  PRef right(PRef r) const { return nodes_[r].right; }
+
+  /// All Until nodes reachable from `root` (for generalized acceptance).
+  std::vector<PRef> CollectUntils(PRef root) const;
+
+  std::string ToString(PRef r) const;
+
+  static constexpr PRef kTrueRef = 0;
+  static constexpr PRef kFalseRef = 1;
+
+ private:
+  struct Node {
+    PLtlKind kind;
+    bool negated = false;
+    PropId prop = 0;
+    PRef left = 0;
+    PRef right = 0;
+  };
+  using Key = std::tuple<uint8_t, bool, PropId, PRef, PRef>;
+
+  PRef Intern(Node node);
+
+  std::vector<Node> nodes_;
+  std::map<Key, PRef> index_;
+};
+
+}  // namespace wsv::automata
+
+#endif  // WSVERIFY_AUTOMATA_PLTL_H_

@@ -1,0 +1,173 @@
+#include "automata/prop_expr.h"
+
+namespace wsv::automata {
+
+struct PropExprBuilder {
+  static PropExprPtr Make(PropExpr::Kind kind, PropId prop,
+                          std::vector<PropExprPtr> children) {
+    auto node = std::shared_ptr<PropExpr>(new PropExpr());
+    node->kind_ = kind;
+    node->prop_ = prop;
+    node->children_ = std::move(children);
+    return node;
+  }
+};
+
+PropExprPtr PropExpr::True() {
+  return PropExprBuilder::Make(Kind::kTrue, 0, {});
+}
+PropExprPtr PropExpr::False() {
+  return PropExprBuilder::Make(Kind::kFalse, 0, {});
+}
+PropExprPtr PropExpr::Lit(PropId p) {
+  return PropExprBuilder::Make(Kind::kLit, p, {});
+}
+PropExprPtr PropExpr::Not(PropExprPtr e) {
+  return PropExprBuilder::Make(Kind::kNot, 0, {std::move(e)});
+}
+PropExprPtr PropExpr::And(PropExprPtr a, PropExprPtr b) {
+  return PropExprBuilder::Make(Kind::kAnd, 0, {std::move(a), std::move(b)});
+}
+PropExprPtr PropExpr::Or(PropExprPtr a, PropExprPtr b) {
+  return PropExprBuilder::Make(Kind::kOr, 0, {std::move(a), std::move(b)});
+}
+
+PropExprPtr PropExpr::LiteralCube(const std::vector<PropId>& pos,
+                                  const std::vector<PropId>& neg) {
+  PropExprPtr acc = True();
+  bool first = true;
+  for (PropId p : pos) {
+    PropExprPtr lit = Lit(p);
+    acc = first ? lit : And(acc, lit);
+    first = false;
+  }
+  for (PropId p : neg) {
+    PropExprPtr lit = Not(Lit(p));
+    acc = first ? lit : And(acc, lit);
+    first = false;
+  }
+  return acc;
+}
+
+PropExprPtr PropExpr::Remap(const PropExprPtr& expr,
+                            const std::vector<PropId>& mapping) {
+  switch (expr->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return expr;
+    case Kind::kLit:
+      return Lit(mapping[expr->prop()]);
+    case Kind::kNot:
+      return Not(Remap(expr->children()[0], mapping));
+    case Kind::kAnd:
+      return And(Remap(expr->children()[0], mapping),
+                 Remap(expr->children()[1], mapping));
+    case Kind::kOr:
+      return Or(Remap(expr->children()[0], mapping),
+                Remap(expr->children()[1], mapping));
+  }
+  return expr;
+}
+
+PropExprPtr PropExpr::PartialEval(const PropExprPtr& expr,
+                                  const std::vector<int8_t>& truths) {
+  switch (expr->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return expr;
+    case Kind::kLit: {
+      PropId p = expr->prop();
+      if (p < truths.size() && truths[p] >= 0) {
+        return truths[p] ? True() : False();
+      }
+      return expr;
+    }
+    case Kind::kNot: {
+      PropExprPtr inner = PartialEval(expr->children()[0], truths);
+      if (inner->kind() == Kind::kTrue) return False();
+      if (inner->kind() == Kind::kFalse) return True();
+      return Not(std::move(inner));
+    }
+    case Kind::kAnd: {
+      PropExprPtr a = PartialEval(expr->children()[0], truths);
+      PropExprPtr b = PartialEval(expr->children()[1], truths);
+      if (a->kind() == Kind::kFalse || b->kind() == Kind::kFalse) {
+        return False();
+      }
+      if (a->kind() == Kind::kTrue) return b;
+      if (b->kind() == Kind::kTrue) return a;
+      return And(std::move(a), std::move(b));
+    }
+    case Kind::kOr: {
+      PropExprPtr a = PartialEval(expr->children()[0], truths);
+      PropExprPtr b = PartialEval(expr->children()[1], truths);
+      if (a->kind() == Kind::kTrue || b->kind() == Kind::kTrue) return True();
+      if (a->kind() == Kind::kFalse) return b;
+      if (b->kind() == Kind::kFalse) return a;
+      return Or(std::move(a), std::move(b));
+    }
+  }
+  return expr;
+}
+
+bool PropExpr::Eval(const std::vector<bool>& valuation) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kLit:
+      return prop_ < valuation.size() && valuation[prop_];
+    case Kind::kNot:
+      return !children_[0]->Eval(valuation);
+    case Kind::kAnd:
+      return children_[0]->Eval(valuation) && children_[1]->Eval(valuation);
+    case Kind::kOr:
+      return children_[0]->Eval(valuation) || children_[1]->Eval(valuation);
+  }
+  return false;
+}
+
+void PropExpr::CollectProps(std::set<PropId>& out) const {
+  if (kind_ == Kind::kLit) out.insert(prop_);
+  for (const PropExprPtr& c : children_) c->CollectProps(out);
+}
+
+bool PropExpr::IsSatisfiable() const {
+  std::set<PropId> props;
+  CollectProps(props);
+  std::vector<PropId> list(props.begin(), props.end());
+  if (list.size() > 24) return true;  // give up counting; assume satisfiable
+  size_t combos = static_cast<size_t>(1) << list.size();
+  PropId max_prop = list.empty() ? 0 : list.back();
+  std::vector<bool> valuation(max_prop + 1, false);
+  for (size_t mask = 0; mask < combos; ++mask) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      valuation[list[i]] = (mask >> i) & 1;
+    }
+    if (Eval(valuation)) return true;
+  }
+  return false;
+}
+
+std::string PropExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kLit:
+      return "p" + std::to_string(prop_);
+    case Kind::kNot:
+      return "!" + children_[0]->ToString();
+    case Kind::kAnd:
+      return "(" + children_[0]->ToString() + " & " +
+             children_[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children_[0]->ToString() + " | " +
+             children_[1]->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace wsv::automata

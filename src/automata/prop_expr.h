@@ -1,0 +1,77 @@
+#ifndef WSVERIFY_AUTOMATA_PROP_EXPR_H_
+#define WSVERIFY_AUTOMATA_PROP_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wsv::automata {
+
+/// Proposition index. Propositions abstract snapshot-level facts: grounded
+/// FO sentences (LTL-FO verification) or message-enqueue events (conversation
+/// protocols).
+using PropId = uint32_t;
+
+class PropExpr;
+using PropExprPtr = std::shared_ptr<const PropExpr>;
+
+/// A boolean formula over propositions, used as a transition guard in Büchi
+/// automata (the paper's data-aware conversation protocols have transitions
+/// "guarded by boolean formulas over Sigma", Definition 4.4).
+class PropExpr {
+ public:
+  enum class Kind { kTrue, kFalse, kLit, kNot, kAnd, kOr };
+
+  Kind kind() const { return kind_; }
+  PropId prop() const { return prop_; }
+  const std::vector<PropExprPtr>& children() const { return children_; }
+
+  /// Evaluates under `valuation` (indexed by PropId; out-of-range = false).
+  bool Eval(const std::vector<bool>& valuation) const;
+
+  /// Adds every proposition mentioned to `out`.
+  void CollectProps(std::set<PropId>& out) const;
+
+  /// True iff some assignment of the mentioned propositions satisfies the
+  /// guard (enumerates 2^|mentioned props|; guards are small).
+  bool IsSatisfiable() const;
+
+  std::string ToString() const;
+
+  static PropExprPtr True();
+  static PropExprPtr False();
+  static PropExprPtr Lit(PropId p);
+  static PropExprPtr Not(PropExprPtr e);
+  static PropExprPtr And(PropExprPtr a, PropExprPtr b);
+  static PropExprPtr Or(PropExprPtr a, PropExprPtr b);
+  /// Conjunction of a literal list: props in `pos` true, props in `neg`
+  /// false.
+  static PropExprPtr LiteralCube(const std::vector<PropId>& pos,
+                                 const std::vector<PropId>& neg);
+
+  /// Returns `expr` with every proposition p replaced by mapping[p]
+  /// (mapping must cover all mentioned props).
+  static PropExprPtr Remap(const PropExprPtr& expr,
+                           const std::vector<PropId>& mapping);
+
+  /// Partially evaluates: propositions with known truth (truths[p] == 0 or
+  /// 1) are replaced by constants; -1 leaves them symbolic. Simplifies
+  /// boolean structure along the way.
+  static PropExprPtr PartialEval(const PropExprPtr& expr,
+                                 const std::vector<int8_t>& truths);
+
+ private:
+  PropExpr() = default;
+
+  Kind kind_ = Kind::kTrue;
+  PropId prop_ = 0;
+  std::vector<PropExprPtr> children_;
+
+  friend struct PropExprBuilder;
+};
+
+}  // namespace wsv::automata
+
+#endif  // WSVERIFY_AUTOMATA_PROP_EXPR_H_

@@ -1,0 +1,140 @@
+#include "cfsm/cfsm.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace wsv::cfsm {
+
+Status CfsmSystem::Validate() const {
+  for (const CfsmChannel& ch : channels) {
+    if (ch.sender >= machines.size() || ch.receiver >= machines.size()) {
+      return Status::InvalidSpec("channel '" + ch.name +
+                                 "' references missing machine");
+    }
+  }
+  for (size_t m = 0; m < machines.size(); ++m) {
+    const CfsmMachine& machine = machines[m];
+    if (machine.initial >= machine.num_states) {
+      return Status::InvalidSpec("machine '" + machine.name +
+                                 "' has out-of-range initial state");
+    }
+    for (const CfsmTransition& t : machine.transitions) {
+      if (t.from >= machine.num_states || t.to >= machine.num_states) {
+        return Status::InvalidSpec("machine '" + machine.name +
+                                   "' has out-of-range transition state");
+      }
+      if (t.channel >= channels.size()) {
+        return Status::InvalidSpec("machine '" + machine.name +
+                                   "' uses missing channel");
+      }
+      const CfsmChannel& ch = channels[t.channel];
+      if (t.kind == CfsmTransition::Kind::kSend && ch.sender != m) {
+        return Status::InvalidSpec("machine '" + machine.name +
+                                   "' sends on channel '" + ch.name +
+                                   "' it does not own");
+      }
+      if (t.kind == CfsmTransition::Kind::kReceive && ch.receiver != m) {
+        return Status::InvalidSpec("machine '" + machine.name +
+                                   "' receives on channel '" + ch.name +
+                                   "' it does not own");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t CfsmConfig::Hash() const {
+  size_t seed = 0xcf53ULL;
+  for (size_t s : states) HashCombine(seed, s);
+  for (const auto& queue : queues) {
+    HashCombine(seed, queue.size());
+    for (const std::string& letter : queue) {
+      HashCombine(seed, std::hash<std::string>()(letter));
+    }
+  }
+  return seed;
+}
+
+CfsmExplorer::CfsmExplorer(const CfsmSystem* system, ExploreOptions options)
+    : system_(system), options_(options) {}
+
+std::vector<CfsmConfig> CfsmExplorer::Successors(
+    const CfsmConfig& config) const {
+  std::vector<CfsmConfig> out;
+  for (size_t m = 0; m < system_->machines.size(); ++m) {
+    for (const CfsmTransition& t : system_->machines[m].transitions) {
+      if (config.states[m] != t.from) continue;
+      if (t.kind == CfsmTransition::Kind::kReceive) {
+        const auto& queue = config.queues[t.channel];
+        if (queue.empty() || queue.front() != t.letter) continue;
+        CfsmConfig next = config;
+        next.states[m] = t.to;
+        next.queues[t.channel].erase(next.queues[t.channel].begin());
+        out.push_back(std::move(next));
+      } else {
+        bool full = options_.queue_bound > 0 &&
+                    config.queues[t.channel].size() >= options_.queue_bound;
+        // Delivered branch.
+        if (!full) {
+          CfsmConfig next = config;
+          next.states[m] = t.to;
+          next.queues[t.channel].push_back(t.letter);
+          out.push_back(std::move(next));
+        }
+        // Lost branch (lossy channels, or full bounded queue).
+        if (options_.lossy || full) {
+          CfsmConfig next = config;
+          next.states[m] = t.to;
+          out.push_back(std::move(next));
+        }
+      }
+    }
+    // Lossy channel systems additionally allow spontaneous message loss; we
+    // model loss at send time, which reaches the same control states
+    // (Abdulla & Jonsson's loss-before-receive is equivalent for
+    // reachability).
+  }
+  return out;
+}
+
+Result<ExploreResult> CfsmExplorer::Explore(
+    const std::optional<std::vector<size_t>>& target_states) const {
+  ExploreResult result;
+  CfsmConfig initial;
+  for (const CfsmMachine& m : system_->machines) {
+    initial.states.push_back(m.initial);
+  }
+  initial.queues.assign(system_->channels.size(), {});
+
+  std::unordered_set<CfsmConfig, CfsmConfigHash> visited;
+  std::deque<CfsmConfig> frontier;
+  visited.insert(initial);
+  frontier.push_back(std::move(initial));
+
+  while (!frontier.empty()) {
+    CfsmConfig config = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.configs_visited;
+    if (target_states.has_value() && config.states == *target_states) {
+      result.target_reached = true;
+      return result;
+    }
+    for (CfsmConfig& next : Successors(config)) {
+      ++result.transitions_taken;
+      if (visited.size() >= options_.max_configs) {
+        result.budget_exhausted = true;
+        result.configs_visited = visited.size();
+        return result;
+      }
+      if (visited.insert(next).second) {
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  result.configs_visited = visited.size();
+  return result;
+}
+
+}  // namespace wsv::cfsm

@@ -1,0 +1,105 @@
+#ifndef WSVERIFY_CFSM_CFSM_H_
+#define WSVERIFY_CFSM_CFSM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv::cfsm {
+
+/// Communicating finite-state machines (Brand & Zafiropulo [6]; lossy
+/// variant Abdulla & Jonsson [2]): the classical model the paper
+/// generalizes. "The CFSM model is a special case of ours in which all
+/// schemas are propositional and there is no user input or database"
+/// (Section 6). This substrate provides (a) an exact explicit-state
+/// explorer used by the decidability-boundary benchmarks (Corollary 3.6,
+/// Theorem 3.7), and (b) an embedding into data-driven compositions.
+struct CfsmTransition {
+  enum class Kind { kSend, kReceive };
+
+  size_t from = 0;
+  size_t to = 0;
+  Kind kind = Kind::kSend;
+  size_t channel = 0;
+  std::string letter;
+};
+
+struct CfsmMachine {
+  std::string name;
+  size_t num_states = 0;
+  size_t initial = 0;
+  std::vector<CfsmTransition> transitions;
+};
+
+struct CfsmChannel {
+  std::string name;
+  size_t sender = 0;    // machine index
+  size_t receiver = 0;  // machine index
+};
+
+struct CfsmSystem {
+  std::vector<CfsmMachine> machines;
+  std::vector<CfsmChannel> channels;
+
+  /// Structural checks: indices in range, send/receive transitions use
+  /// channels the machine actually owns.
+  Status Validate() const;
+};
+
+/// A global configuration: one control state per machine plus the channel
+/// contents.
+struct CfsmConfig {
+  std::vector<size_t> states;
+  std::vector<std::vector<std::string>> queues;
+
+  bool operator==(const CfsmConfig& other) const {
+    return states == other.states && queues == other.queues;
+  }
+  size_t Hash() const;
+};
+
+struct CfsmConfigHash {
+  size_t operator()(const CfsmConfig& c) const { return c.Hash(); }
+};
+
+struct ExploreOptions {
+  /// 0 = unbounded queues (the undecidable regime — exploration may
+  /// diverge; bounded only by max_configs).
+  size_t queue_bound = 1;
+  /// Lossy channels: sends may be dropped.
+  bool lossy = true;
+  /// Exploration budget.
+  size_t max_configs = 1000000;
+};
+
+struct ExploreResult {
+  size_t configs_visited = 0;
+  size_t transitions_taken = 0;
+  bool budget_exhausted = false;
+  /// Set when a target was given: whether some configuration with the
+  /// target control states (any queue contents) was reached.
+  bool target_reached = false;
+};
+
+/// Exact explicit-state reachability exploration of a CFSM system.
+class CfsmExplorer {
+ public:
+  CfsmExplorer(const CfsmSystem* system, ExploreOptions options);
+
+  /// Explores from the initial configuration. If `target_states` is given
+  /// (one control state per machine), stops early when it is reached.
+  Result<ExploreResult> Explore(const std::optional<std::vector<size_t>>&
+                                    target_states = std::nullopt) const;
+
+ private:
+  std::vector<CfsmConfig> Successors(const CfsmConfig& config) const;
+
+  const CfsmSystem* system_;
+  ExploreOptions options_;
+};
+
+}  // namespace wsv::cfsm
+
+#endif  // WSVERIFY_CFSM_CFSM_H_

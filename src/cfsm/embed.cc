@@ -1,0 +1,172 @@
+#include "cfsm/embed.h"
+
+namespace wsv::cfsm {
+
+std::string TransitionConstant(const CfsmMachine& machine, size_t index) {
+  return machine.name + "_t" + std::to_string(index);
+}
+
+std::string StateRelationName(size_t state) {
+  return "at_" + std::to_string(state);
+}
+
+fo::FormulaPtr AtStateFormula(const CfsmMachine& machine, size_t state) {
+  if (state != machine.initial) {
+    return fo::Formula::Atom(StateRelationName(state), {});
+  }
+  // Initial state: no at_* relation holds.
+  std::vector<fo::FormulaPtr> parts;
+  for (size_t s = 0; s < machine.num_states; ++s) {
+    if (s == machine.initial) continue;
+    parts.push_back(
+        fo::Formula::Not(fo::Formula::Atom(StateRelationName(s), {})));
+  }
+  if (parts.empty()) return fo::Formula::True();
+  return fo::Formula::And(std::move(parts));
+}
+
+namespace {
+
+/// Firing condition of a receive transition: control at its source and its
+/// letter at the head of the channel queue. Receives fire automatically —
+/// they cannot be input-gated, because a peer's input is chosen at its
+/// previous move (Definitions 2.3/2.6) and would lag one move behind the
+/// message arrival.
+fo::FormulaPtr ReceiveFires(const CfsmSystem& system,
+                            const CfsmMachine& machine,
+                            const CfsmTransition& t) {
+  return fo::Formula::And(
+      AtStateFormula(machine, t.from),
+      fo::Formula::Atom(system.channels[t.channel].name,
+                        {fo::Term::Constant(t.letter)}));
+}
+
+/// "No receive transition of this machine fires now": send transitions are
+/// preempted by receives so that at most one transition fires per move
+/// (keeping the control-state encoding consistent).
+fo::FormulaPtr NoReceiveEnabled(const CfsmSystem& system,
+                                const CfsmMachine& machine) {
+  std::vector<fo::FormulaPtr> parts;
+  for (const CfsmTransition& t : machine.transitions) {
+    if (t.kind != CfsmTransition::Kind::kReceive) continue;
+    parts.push_back(fo::Formula::Not(ReceiveFires(system, machine, t)));
+  }
+  if (parts.empty()) return fo::Formula::True();
+  return fo::Formula::And(std::move(parts));
+}
+
+/// Firing condition of a send transition: the user picked its id and no
+/// receive preempts it.
+fo::FormulaPtr SendFires(const CfsmSystem& system, const CfsmMachine& machine,
+                         size_t index) {
+  return fo::Formula::And(
+      fo::Formula::Atom("step",
+                        {fo::Term::Constant(
+                            TransitionConstant(machine, index))}),
+      NoReceiveEnabled(system, machine));
+}
+
+}  // namespace
+
+Result<spec::Composition> EmbedAsComposition(const CfsmSystem& system) {
+  WSV_RETURN_IF_ERROR(system.Validate());
+  spec::Composition comp("cfsm_embedding");
+
+  for (size_t m = 0; m < system.machines.size(); ++m) {
+    const CfsmMachine& machine = system.machines[m];
+    spec::Peer peer(machine.name);
+
+    for (size_t s = 0; s < machine.num_states; ++s) {
+      if (s == machine.initial) continue;
+      WSV_RETURN_IF_ERROR(peer.AddStateRelation(StateRelationName(s), {}));
+    }
+    bool has_sends = false;
+    for (const CfsmTransition& t : machine.transitions) {
+      has_sends = has_sends || t.kind == CfsmTransition::Kind::kSend;
+    }
+    if (has_sends) {
+      WSV_RETURN_IF_ERROR(peer.AddInputRelation("step", {"t"}));
+    }
+    for (size_t c = 0; c < system.channels.size(); ++c) {
+      const CfsmChannel& ch = system.channels[c];
+      if (ch.receiver == m) {
+        WSV_RETURN_IF_ERROR(
+            peer.AddInQueue(ch.name, spec::QueueKind::kFlat, {"letter"}));
+      }
+      if (ch.sender == m) {
+        WSV_RETURN_IF_ERROR(
+            peer.AddOutQueue(ch.name, spec::QueueKind::kFlat, {"letter"}));
+      }
+    }
+
+    // Options rule: offer the send transitions enabled by the control state
+    // (receives are automatic and not user-chosen).
+    std::vector<fo::FormulaPtr> options;
+    for (size_t i = 0; i < machine.transitions.size(); ++i) {
+      const CfsmTransition& t = machine.transitions[i];
+      if (t.kind != CfsmTransition::Kind::kSend) continue;
+      options.push_back(fo::Formula::And(
+          fo::Formula::Equality(
+              fo::Term::Variable("t"),
+              fo::Term::Constant(TransitionConstant(machine, i))),
+          AtStateFormula(machine, t.from)));
+    }
+    if (!options.empty()) {
+      WSV_RETURN_IF_ERROR(peer.AddRule(spec::RuleKind::kInputOptions, "step",
+                                       {"t"},
+                                       fo::Formula::Or(std::move(options))));
+    }
+
+    // State insert/delete rules per control state.
+    for (size_t s = 0; s < machine.num_states; ++s) {
+      if (s == machine.initial) continue;
+      std::vector<fo::FormulaPtr> inserts;
+      std::vector<fo::FormulaPtr> deletes;
+      for (size_t i = 0; i < machine.transitions.size(); ++i) {
+        const CfsmTransition& t = machine.transitions[i];
+        fo::FormulaPtr fired =
+            t.kind == CfsmTransition::Kind::kReceive
+                ? ReceiveFires(system, machine, t)
+                : SendFires(system, machine, i);
+        if (t.to == s && t.from != s) inserts.push_back(fired);
+        if (t.from == s && t.to != s) deletes.push_back(std::move(fired));
+      }
+      if (!inserts.empty()) {
+        WSV_RETURN_IF_ERROR(
+            peer.AddRule(spec::RuleKind::kStateInsert, StateRelationName(s),
+                         {}, fo::Formula::Or(std::move(inserts))));
+      }
+      if (!deletes.empty()) {
+        WSV_RETURN_IF_ERROR(
+            peer.AddRule(spec::RuleKind::kStateDelete, StateRelationName(s),
+                         {}, fo::Formula::Or(std::move(deletes))));
+      }
+    }
+
+    // Send rules per owned channel.
+    for (size_t c = 0; c < system.channels.size(); ++c) {
+      if (system.channels[c].sender != m) continue;
+      std::vector<fo::FormulaPtr> sends;
+      for (size_t i = 0; i < machine.transitions.size(); ++i) {
+        const CfsmTransition& t = machine.transitions[i];
+        if (t.kind != CfsmTransition::Kind::kSend || t.channel != c) continue;
+        sends.push_back(fo::Formula::And(
+            SendFires(system, machine, i),
+            fo::Formula::Equality(fo::Term::Variable("x"),
+                                  fo::Term::Constant(t.letter))));
+      }
+      if (!sends.empty()) {
+        WSV_RETURN_IF_ERROR(peer.AddRule(spec::RuleKind::kSend,
+                                         system.channels[c].name, {"x"},
+                                         fo::Formula::Or(std::move(sends))));
+      }
+    }
+
+    WSV_RETURN_IF_ERROR(comp.AddPeer(std::move(peer)));
+  }
+
+  WSV_RETURN_IF_ERROR(comp.Validate());
+  return comp;
+}
+
+}  // namespace wsv::cfsm

@@ -1,0 +1,49 @@
+#ifndef WSVERIFY_CFSM_EMBED_H_
+#define WSVERIFY_CFSM_EMBED_H_
+
+#include "cfsm/cfsm.h"
+#include "common/status.h"
+#include "spec/composition.h"
+
+namespace wsv::cfsm {
+
+/// Embeds a CFSM system as a data-driven composition, witnessing the
+/// paper's observation (Section 6) that CFSMs are the special case with
+/// propositional schemas, no database and no (semantically relevant) user
+/// input:
+///
+///  * each machine becomes a peer whose control state is encoded in 0-ary
+///    state relations at_<s> (the initial state is "all at_* false");
+///  * each channel becomes a flat arity-1 queue carrying letter constants;
+///  * receive transitions fire automatically when their letter heads the
+///    queue (a peer's input is frozen between its own moves, Definitions
+///    2.3/2.6, so input-gated receives would lag one move behind arrivals);
+///  * the choice among enabled *send* transitions is a user input `step`
+///    whose options rule offers exactly the enabled transition ids — an
+///    existential, ground-state formula, so the embedding is input-bounded;
+///  * receives preempt sends within one move, keeping the control-state
+///    encoding single-valued.
+///
+/// Faithfulness caveats (documented in DESIGN.md): (a) Definition 2.4
+/// dequeues every in-queue mentioned in the peer's rules on every move, so
+/// a move that fires no receive still drains one message per in-queue —
+/// under lossy semantics every embedded run maps to a lossy-CFSM run (the
+/// drain is a loss); (b) the embedding requires receive-deterministic
+/// machines (at most one receive transition enabled per configuration) and
+/// gives receives priority over sends.
+Result<spec::Composition> EmbedAsComposition(const CfsmSystem& system);
+
+/// The options-consistent transition-id constant for machine `m`'s i-th
+/// transition ("<machine>_t<i>").
+std::string TransitionConstant(const CfsmMachine& machine, size_t index);
+
+/// The 0-ary control-state relation name for state `s` ("at_<s>").
+std::string StateRelationName(size_t state);
+
+/// FO formula asserting machine control is at `state` (conjunction of
+/// negated at_* for the initial state, a single at_<s> atom otherwise).
+fo::FormulaPtr AtStateFormula(const CfsmMachine& machine, size_t state);
+
+}  // namespace wsv::cfsm
+
+#endif  // WSVERIFY_CFSM_EMBED_H_

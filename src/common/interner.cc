@@ -1,0 +1,26 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace wsv {
+
+SymbolId Interner::Intern(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(texts_.size());
+  texts_.emplace_back(text);
+  ids_.emplace(texts_.back(), id);
+  return id;
+}
+
+SymbolId Interner::Lookup(std::string_view text) const {
+  auto it = ids_.find(std::string(text));
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& Interner::Text(SymbolId id) const {
+  assert(id < texts_.size());
+  return texts_[id];
+}
+
+}  // namespace wsv

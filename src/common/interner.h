@@ -1,0 +1,47 @@
+#ifndef WSVERIFY_COMMON_INTERNER_H_
+#define WSVERIFY_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wsv {
+
+/// An interned symbol id. Ids are dense, starting at 0, and are only
+/// meaningful relative to the Interner that produced them.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// Bidirectional string <-> dense-id mapping. Domain values, relation names
+/// and variable names are interned so that tuples and formulas compare and
+/// hash as integer vectors.
+///
+/// Not thread-safe; each verification task owns its interners.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the id for `text`, interning it on first use.
+  SymbolId Intern(std::string_view text);
+
+  /// Returns the id for `text`, or kInvalidSymbol if it was never interned.
+  SymbolId Lookup(std::string_view text) const;
+
+  /// Returns the text for `id`; `id` must have been produced by this
+  /// interner.
+  const std::string& Text(SymbolId id) const;
+
+  /// Number of distinct symbols interned.
+  size_t size() const { return texts_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> texts_;
+};
+
+}  // namespace wsv
+
+#endif  // WSVERIFY_COMMON_INTERNER_H_

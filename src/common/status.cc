@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace wsv {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInvalidSpec:
+      return "InvalidSpec";
+    case StatusCode::kUndecidableRegime:
+      return "UndecidableRegime";
+    case StatusCode::kBudgetExceeded:
+      return "BudgetExceeded";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotFound:
+      return "NotFound";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace wsv

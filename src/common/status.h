@@ -1,0 +1,145 @@
+#ifndef WSVERIFY_COMMON_STATUS_H_
+#define WSVERIFY_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wsv {
+
+/// Error codes used throughout the library. The taxonomy mirrors the ways a
+/// verification task can fail: malformed specifications, inputs outside the
+/// decidable regime mapped by the paper, and resource exhaustion during the
+/// state-space search.
+enum class StatusCode {
+  kOk = 0,
+  /// Input text failed to lex/parse.
+  kParseError,
+  /// Specification violates a structural requirement (Definition 2.1 / 2.5),
+  /// e.g. overlapping queue schemas or an arity mismatch.
+  kInvalidSpec,
+  /// Specification or property falls outside a decidable class (Section 3.1,
+  /// 3.2, 4, 5): not input-bounded, unbounded queues, perfect flat channels,
+  /// observer-at-source protocol, non-strict environment spec, ...
+  kUndecidableRegime,
+  /// The bounded search exhausted its configured budget.
+  kBudgetExceeded,
+  /// Catch-all for internal invariant violations.
+  kInternal,
+  /// Requested entity (relation, peer, channel) does not exist.
+  kNotFound,
+};
+
+/// Returns a human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, in the style of absl::Status.
+/// The library does not use exceptions; fallible operations return Status or
+/// Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status InvalidSpec(std::string m) {
+    return Status(StatusCode::kInvalidSpec, std::move(m));
+  }
+  static Status UndecidableRegime(std::string m) {
+    return Status(StatusCode::kUndecidableRegime, std::move(m));
+  }
+  static Status BudgetExceeded(std::string m) {
+    return Status(StatusCode::kBudgetExceeded, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error holder, in the style of absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT: implicit
+  /// Constructs a failed result; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define WSV_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::wsv::Status _wsv_status = (expr);      \
+    if (!_wsv_status.ok()) return _wsv_status; \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds the
+/// moved value to `lhs`.
+#define WSV_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto WSV_CONCAT_(_wsv_result, __LINE__) = (expr);     \
+  if (!WSV_CONCAT_(_wsv_result, __LINE__).ok())         \
+    return WSV_CONCAT_(_wsv_result, __LINE__).status(); \
+  lhs = std::move(WSV_CONCAT_(_wsv_result, __LINE__)).value()
+
+#define WSV_CONCAT_INNER_(a, b) a##b
+#define WSV_CONCAT_(a, b) WSV_CONCAT_INNER_(a, b)
+
+}  // namespace wsv
+
+#endif  // WSVERIFY_COMMON_STATUS_H_

@@ -1,0 +1,98 @@
+#include "data/isomorphism.h"
+
+#include <algorithm>
+
+namespace wsv::data {
+
+Tuple RenameTuple(const Tuple& t, const ValueRenaming& renaming) {
+  std::vector<Value> values;
+  values.reserve(t.arity());
+  for (Value v : t) {
+    auto it = renaming.find(v);
+    values.push_back(it == renaming.end() ? v : it->second);
+  }
+  return Tuple(std::move(values));
+}
+
+Relation RenameRelation(const Relation& r, const ValueRenaming& renaming) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(r.size());
+  for (const Tuple& t : r) tuples.push_back(RenameTuple(t, renaming));
+  return Relation(r.arity(), std::move(tuples));
+}
+
+Instance RenameInstance(const Instance& inst, const ValueRenaming& renaming) {
+  Instance out(inst.schema());
+  for (size_t i = 0; i < inst.size(); ++i) {
+    out.SetRelation(i, RenameRelation(inst.relation(i), renaming));
+  }
+  return out;
+}
+
+std::vector<uint64_t> SerializeForOrbit(const Instance& inst) {
+  std::vector<uint64_t> key;
+  for (size_t i = 0; i < inst.size(); ++i) {
+    key.push_back(~static_cast<uint64_t>(0));  // relation separator
+    for (const Tuple& t : inst.relation(i)) {
+      for (Value v : t) key.push_back(v);
+      key.push_back(~static_cast<uint64_t>(1));  // tuple separator
+    }
+  }
+  return key;
+}
+
+bool IsCanonicalUnderPermutationsJoint(
+    const std::vector<const Instance*>& instances,
+    const std::vector<Value>& movable) {
+  if (movable.size() <= 1) return true;
+  std::vector<uint64_t> base_key;
+  for (const Instance* inst : instances) {
+    std::vector<uint64_t> part = SerializeForOrbit(*inst);
+    base_key.insert(base_key.end(), part.begin(), part.end());
+  }
+
+  std::vector<Value> perm = movable;
+  std::sort(perm.begin(), perm.end());
+  std::vector<Value> sorted = perm;
+  do {
+    ValueRenaming renaming;
+    bool identity = true;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] != perm[i]) identity = false;
+      renaming[sorted[i]] = perm[i];
+    }
+    if (identity) continue;
+    std::vector<uint64_t> key;
+    for (const Instance* inst : instances) {
+      std::vector<uint64_t> part =
+          SerializeForOrbit(RenameInstance(*inst, renaming));
+      key.insert(key.end(), part.begin(), part.end());
+    }
+    if (key < base_key) return false;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return true;
+}
+
+bool IsCanonicalUnderPermutations(const Instance& inst,
+                                  const std::vector<Value>& movable) {
+  if (movable.size() <= 1) return true;
+  std::vector<uint64_t> base_key = SerializeForOrbit(inst);
+
+  std::vector<Value> perm = movable;  // sorted input assumed not required
+  std::sort(perm.begin(), perm.end());
+  std::vector<Value> sorted = perm;
+  do {
+    ValueRenaming renaming;
+    bool identity = true;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] != perm[i]) identity = false;
+      renaming[sorted[i]] = perm[i];
+    }
+    if (identity) continue;
+    Instance renamed = RenameInstance(inst, renaming);
+    if (SerializeForOrbit(renamed) < base_key) return false;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return true;
+}
+
+}  // namespace wsv::data

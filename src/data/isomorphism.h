@@ -1,0 +1,51 @@
+#ifndef WSVERIFY_DATA_ISOMORPHISM_H_
+#define WSVERIFY_DATA_ISOMORPHISM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/instance.h"
+#include "data/value.h"
+
+namespace wsv::data {
+
+/// A mapping of domain elements (a partial bijection); elements absent from
+/// the map are fixed points. Used to rename pseudo-domain elements while
+/// keeping specification constants fixed.
+using ValueRenaming = std::unordered_map<Value, Value>;
+
+/// Returns `t` with every value renamed through `renaming` (identity for
+/// values not in the map).
+Tuple RenameTuple(const Tuple& t, const ValueRenaming& renaming);
+
+/// Returns `r` with every tuple renamed (re-sorted).
+Relation RenameRelation(const Relation& r, const ValueRenaming& renaming);
+
+/// Returns `inst` with every relation renamed.
+Instance RenameInstance(const Instance& inst, const ValueRenaming& renaming);
+
+/// True iff `inst` is the lexicographically least element of its orbit under
+/// permutations of `movable` (all other domain elements — the specification
+/// constants — stay fixed). Two input-bounded verification problems whose
+/// databases differ by such a permutation have identical answers (genericity
+/// of FO queries), so the database enumerator keeps only canonical
+/// representatives.
+///
+/// `movable.size()` should be small (the pseudo-domain has a handful of fresh
+/// elements); the check enumerates all |movable|! permutations.
+bool IsCanonicalUnderPermutations(const Instance& inst,
+                                  const std::vector<Value>& movable);
+
+/// Joint variant: canonicality of a tuple of instances (e.g. the databases
+/// of all peers of a composition) under a single shared permutation.
+bool IsCanonicalUnderPermutationsJoint(
+    const std::vector<const Instance*>& instances,
+    const std::vector<Value>& movable);
+
+/// Serializes an instance into an integer vector usable as an orbit-orderable
+/// key (relation index, tuple contents, separators).
+std::vector<uint64_t> SerializeForOrbit(const Instance& inst);
+
+}  // namespace wsv::data
+
+#endif  // WSVERIFY_DATA_ISOMORPHISM_H_

@@ -1,0 +1,35 @@
+#include "data/schema.h"
+
+#include <cassert>
+
+namespace wsv::data {
+
+Status Schema::AddRelation(RelationSchema relation) {
+  if (index_.count(relation.name) > 0) {
+    return Status::InvalidSpec("duplicate relation name: " + relation.name);
+  }
+  index_.emplace(relation.name, relations_.size());
+  relations_.push_back(std::move(relation));
+  return Status::Ok();
+}
+
+size_t Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNpos : it->second;
+}
+
+size_t Schema::ArityOf(const std::string& name) const {
+  size_t i = IndexOf(name);
+  assert(i != kNpos && "relation not in schema");
+  return relations_[i].arity();
+}
+
+Result<Schema> Schema::Merge(const Schema& other) const {
+  Schema merged = *this;
+  for (const RelationSchema& r : other.relations_) {
+    WSV_RETURN_IF_ERROR(merged.AddRelation(r));
+  }
+  return merged;
+}
+
+}  // namespace wsv::data

@@ -1,0 +1,60 @@
+#ifndef WSVERIFY_DATA_SCHEMA_H_
+#define WSVERIFY_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv::data {
+
+/// Declaration of one relation symbol: a name plus named attributes.
+/// Arity-0 relations model propositions (e.g. queue-state `emptyQ`).
+struct RelationSchema {
+  std::string name;
+  std::vector<std::string> attributes;
+
+  size_t arity() const { return attributes.size(); }
+
+  friend bool operator==(const RelationSchema& a, const RelationSchema& b) {
+    return a.name == b.name && a.attributes == b.attributes;
+  }
+};
+
+/// An ordered collection of relation schemas with by-name lookup.
+/// Relation order is the declaration order; Instances align to it.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation; fails if the name is already declared.
+  Status AddRelation(RelationSchema relation);
+
+  /// Index of `name`, or npos if absent.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return IndexOf(name) != kNpos;
+  }
+
+  size_t size() const { return relations_.size(); }
+  const RelationSchema& relation(size_t i) const { return relations_[i]; }
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+  /// Arity of `name`; the relation must exist.
+  size_t ArityOf(const std::string& name) const;
+
+  /// Union of this schema and `other`; fails on duplicate names.
+  Result<Schema> Merge(const Schema& other) const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace wsv::data
+
+#endif  // WSVERIFY_DATA_SCHEMA_H_

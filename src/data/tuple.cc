@@ -1,0 +1,15 @@
+#include "data/tuple.h"
+
+namespace wsv::data {
+
+std::string Tuple::ToString(const Interner& interner) const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += interner.Text(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wsv::data

@@ -1,0 +1,53 @@
+#ifndef WSVERIFY_DATA_TUPLE_H_
+#define WSVERIFY_DATA_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/interner.h"
+#include "data/value.h"
+
+namespace wsv::data {
+
+/// A fixed-arity tuple of domain elements. Tuples compare lexicographically,
+/// which gives relations (sorted tuple sets) a canonical order.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  Value operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+  /// Renders "(a, b, c)" using `interner` for element names.
+  std::string ToString(const Interner& interner) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return HashRange(t.begin(), t.end());
+  }
+};
+
+}  // namespace wsv::data
+
+#endif  // WSVERIFY_DATA_TUPLE_H_

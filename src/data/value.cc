@@ -1,0 +1,30 @@
+#include "data/value.h"
+
+#include <algorithm>
+
+namespace wsv::data {
+
+Domain::Domain(std::vector<Value> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+void Domain::Add(Value v) {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.end() || *it != v) values_.insert(it, v);
+}
+
+bool Domain::Contains(Value v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+void Domain::UnionWith(const Domain& other) {
+  std::vector<Value> merged;
+  merged.reserve(values_.size() + other.values_.size());
+  std::merge(values_.begin(), values_.end(), other.values_.begin(),
+             other.values_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  values_ = std::move(merged);
+}
+
+}  // namespace wsv::data

@@ -1,0 +1,46 @@
+#ifndef WSVERIFY_DATA_VALUE_H_
+#define WSVERIFY_DATA_VALUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace wsv::data {
+
+/// A domain element. The paper's data domain is an infinite set of
+/// uninterpreted constants; we represent elements as interned symbol ids.
+/// Elements are totally ordered by id, which gives relations a canonical
+/// sorted representation.
+using Value = SymbolId;
+
+/// A finite set of domain elements, kept sorted and deduplicated.
+class Domain {
+ public:
+  Domain() = default;
+  explicit Domain(std::vector<Value> values);
+
+  /// Adds `v` if not already present.
+  void Add(Value v);
+  bool Contains(Value v) const;
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<Value>& values() const { return values_; }
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  /// Set union with another domain.
+  void UnionWith(const Domain& other);
+
+  friend bool operator==(const Domain& a, const Domain& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace wsv::data
+
+#endif  // WSVERIFY_DATA_VALUE_H_

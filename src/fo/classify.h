@@ -1,0 +1,42 @@
+#ifndef WSVERIFY_FO_CLASSIFY_H_
+#define WSVERIFY_FO_CLASSIFY_H_
+
+#include <string>
+
+namespace wsv::fo {
+
+/// Classification of a relation symbol according to the peer schema classes
+/// of Definition 2.1 plus the auxiliary propositions introduced by the
+/// semantics (queue states, moveW, receivedQ). The input-boundedness checker
+/// keys off these classes.
+enum class RelClass {
+  kDatabase,    // W.D
+  kState,       // W.S (except queue states)
+  kQueueState,  // emptyQ propositions
+  kInput,       // W.I
+  kPrevInput,   // prev_I relations
+  kAction,      // W.A
+  kInFlat,      // W.Qin, flat
+  kInNested,    // W.Qin, nested
+  kOutFlat,     // W.Qout, flat
+  kOutNested,   // W.Qout, nested
+  kMove,        // move_W propositions (run semantics, Section 3)
+  kReceived,    // received_Q propositions (Section 5)
+  kUnknown,     // not declared anywhere
+};
+
+/// Returns a printable name for diagnostics.
+const char* RelClassName(RelClass c);
+
+/// Maps relation names (peer-local or composition-qualified) to their
+/// schema class. Implemented by spec::Peer (local names) and
+/// spec::Composition (qualified names).
+class SymbolClassifier {
+ public:
+  virtual ~SymbolClassifier() = default;
+  virtual RelClass Classify(const std::string& relation_name) const = 0;
+};
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_CLASSIFY_H_

@@ -1,0 +1,275 @@
+#include "fo/formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsv::fo {
+
+FormulaPtr MakeNode(FormulaKind kind, std::string relation,
+                    std::vector<Term> terms, std::vector<FormulaPtr> children,
+                    std::vector<std::string> vars) {
+  auto node = std::shared_ptr<Formula>(new Formula());
+  node->kind_ = kind;
+  node->relation_ = std::move(relation);
+  node->terms_ = std::move(terms);
+  node->children_ = std::move(children);
+  node->vars_ = std::move(vars);
+  return node;
+}
+
+FormulaPtr Formula::True() { return MakeNode(FormulaKind::kTrue, "", {}, {}, {}); }
+
+FormulaPtr Formula::False() {
+  return MakeNode(FormulaKind::kFalse, "", {}, {}, {});
+}
+
+FormulaPtr Formula::Atom(std::string relation, std::vector<Term> terms) {
+  return MakeNode(FormulaKind::kAtom, std::move(relation), std::move(terms),
+                  {}, {});
+}
+
+FormulaPtr Formula::Equality(Term lhs, Term rhs) {
+  return MakeNode(FormulaKind::kEquality, "", {std::move(lhs), std::move(rhs)},
+                  {}, {});
+}
+
+FormulaPtr Formula::Not(FormulaPtr f) {
+  return MakeNode(FormulaKind::kNot, "", {}, {std::move(f)}, {});
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  return MakeNode(FormulaKind::kAnd, "", {}, {std::move(a), std::move(b)}, {});
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
+  assert(!fs.empty());
+  if (fs.size() == 1) return fs[0];
+  return MakeNode(FormulaKind::kAnd, "", {}, std::move(fs), {});
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  return MakeNode(FormulaKind::kOr, "", {}, {std::move(a), std::move(b)}, {});
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
+  assert(!fs.empty());
+  if (fs.size() == 1) return fs[0];
+  return MakeNode(FormulaKind::kOr, "", {}, std::move(fs), {});
+}
+
+FormulaPtr Formula::Implies(FormulaPtr a, FormulaPtr b) {
+  return MakeNode(FormulaKind::kImplies, "", {},
+                  {std::move(a), std::move(b)}, {});
+}
+
+FormulaPtr Formula::Exists(std::vector<std::string> vars, FormulaPtr body) {
+  return MakeNode(FormulaKind::kExists, "", {}, {std::move(body)},
+                  std::move(vars));
+}
+
+FormulaPtr Formula::Forall(std::vector<std::string> vars, FormulaPtr body) {
+  return MakeNode(FormulaKind::kForall, "", {}, {std::move(body)},
+                  std::move(vars));
+}
+
+namespace {
+
+void CollectFreeVariables(const Formula& f, std::set<std::string>& bound,
+                          std::set<std::string>& out) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquality:
+      for (const Term& t : f.terms()) {
+        if (t.is_variable() && bound.count(t.text) == 0) out.insert(t.text);
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::vector<std::string> added;
+      for (const std::string& v : f.bound_variables()) {
+        if (bound.insert(v).second) added.push_back(v);
+      }
+      CollectFreeVariables(*f.body(), bound, out);
+      for (const std::string& v : added) bound.erase(v);
+      return;
+    }
+    default:
+      for (const FormulaPtr& c : f.children()) {
+        CollectFreeVariables(*c, bound, out);
+      }
+      return;
+  }
+}
+
+void CollectConstants(const Formula& f, std::set<std::string>& out) {
+  for (const Term& t : f.terms()) {
+    if (t.is_constant()) out.insert(t.text);
+  }
+  for (const FormulaPtr& c : f.children()) CollectConstants(*c, out);
+}
+
+void CollectRelations(const Formula& f, std::set<std::string>& out) {
+  if (f.kind() == FormulaKind::kAtom) out.insert(f.relation());
+  for (const FormulaPtr& c : f.children()) CollectRelations(*c, out);
+}
+
+std::string JoinVars(const std::vector<std::string>& vars) {
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vars[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<std::string> Formula::FreeVariables() const {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  CollectFreeVariables(*this, bound, out);
+  return out;
+}
+
+std::set<std::string> Formula::Constants() const {
+  std::set<std::string> out;
+  CollectConstants(*this, out);
+  return out;
+}
+
+std::set<std::string> Formula::RelationNames() const {
+  std::set<std::string> out;
+  CollectRelations(*this, out);
+  return out;
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kFalse:
+      return "false";
+    case FormulaKind::kAtom: {
+      std::string out = relation_;
+      if (!terms_.empty()) {
+        out += "(";
+        for (size_t i = 0; i < terms_.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += terms_[i].ToString();
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case FormulaKind::kEquality:
+      return terms_[0].ToString() + " = " + terms_[1].ToString();
+    case FormulaKind::kNot:
+      return "not (" + children_[0]->ToString() + ")";
+    case FormulaKind::kAnd: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case FormulaKind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " or ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case FormulaKind::kImplies:
+      return "(" + children_[0]->ToString() + " -> " +
+             children_[1]->ToString() + ")";
+    case FormulaKind::kExists:
+      return "exists " + JoinVars(vars_) + ": (" + children_[0]->ToString() +
+             ")";
+    case FormulaKind::kForall:
+      return "forall " + JoinVars(vars_) + ": (" + children_[0]->ToString() +
+             ")";
+  }
+  return "?";
+}
+
+FormulaPtr SubstituteVariable(const FormulaPtr& f, const std::string& var,
+                              const Term& replacement) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquality: {
+      bool touched = false;
+      std::vector<Term> terms = f->terms();
+      for (Term& t : terms) {
+        if (t.is_variable() && t.text == var) {
+          t = replacement;
+          touched = true;
+        }
+      }
+      if (!touched) return f;
+      if (f->kind() == FormulaKind::kAtom) {
+        return Formula::Atom(f->relation(), std::move(terms));
+      }
+      return Formula::Equality(terms[0], terms[1]);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // A quantifier rebinding `var` shadows the substitution.
+      for (const std::string& v : f->bound_variables()) {
+        if (v == var) return f;
+      }
+      FormulaPtr body = SubstituteVariable(f->body(), var, replacement);
+      if (body == f->body()) return f;
+      if (f->kind() == FormulaKind::kExists) {
+        return Formula::Exists(f->bound_variables(), std::move(body));
+      }
+      return Formula::Forall(f->bound_variables(), std::move(body));
+    }
+    default: {
+      bool touched = false;
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children().size());
+      for (const FormulaPtr& c : f->children()) {
+        FormulaPtr nc = SubstituteVariable(c, var, replacement);
+        if (nc != c) touched = true;
+        children.push_back(std::move(nc));
+      }
+      if (!touched) return f;
+      switch (f->kind()) {
+        case FormulaKind::kNot:
+          return Formula::Not(children[0]);
+        case FormulaKind::kAnd:
+          return Formula::And(std::move(children));
+        case FormulaKind::kOr:
+          return Formula::Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Formula::Implies(children[0], children[1]);
+        default:
+          assert(false && "unreachable");
+          return f;
+      }
+    }
+  }
+}
+
+bool FormulaEquals(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a->kind() != b->kind()) return false;
+  if (a->relation() != b->relation()) return false;
+  if (!(a->terms() == b->terms())) return false;
+  if (a->bound_variables() != b->bound_variables()) return false;
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!FormulaEquals(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace wsv::fo

@@ -1,0 +1,107 @@
+#ifndef WSVERIFY_FO_FORMULA_H_
+#define WSVERIFY_FO_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fo/term.h"
+
+namespace wsv::fo {
+
+class Formula;
+/// Formulas are immutable trees shared by pointer; subtrees are reused
+/// freely (e.g. when grounding a property under many valuations).
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Node kinds of the FO fragment used by peer rules and property leaves
+/// (Definition 2.1, Section 3).
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,      // R(t1, ..., tk)
+  kEquality,  // t1 = t2
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kExists,  // exists x1,...,xn: child
+  kForall,  // forall x1,...,xn: child
+};
+
+/// An immutable first-order formula node.
+///
+/// Relation names are stored as written in the source after normalization:
+/// queue sigils (`?R` for in-queues, `!R` for out-queues in the paper's
+/// display notation) are stripped by the parser; peer qualification
+/// ("Officer.customer") is kept as part of the name.
+class Formula {
+ public:
+  FormulaKind kind() const { return kind_; }
+
+  // --- Atom accessors (kind == kAtom) ---
+  const std::string& relation() const { return relation_; }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  // --- Equality accessors (kind == kEquality): terms()[0] = terms()[1] ---
+
+  // --- Connective accessors ---
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  const FormulaPtr& child(size_t i) const { return children_[i]; }
+
+  // --- Quantifier accessors (kind == kExists/kForall) ---
+  const std::vector<std::string>& bound_variables() const { return vars_; }
+  const FormulaPtr& body() const { return children_[0]; }
+
+  /// Free variables of the formula, sorted.
+  std::set<std::string> FreeVariables() const;
+
+  /// All constant spellings appearing in the formula.
+  std::set<std::string> Constants() const;
+
+  /// All relation names appearing in atoms.
+  std::set<std::string> RelationNames() const;
+
+  /// Renders the formula in the library's input syntax (re-parseable).
+  std::string ToString() const;
+
+  // --- Factories ---
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(std::string relation, std::vector<Term> terms);
+  static FormulaPtr Equality(Term lhs, Term rhs);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr And(std::vector<FormulaPtr> fs);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(std::vector<FormulaPtr> fs);
+  static FormulaPtr Implies(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Exists(std::vector<std::string> vars, FormulaPtr body);
+  static FormulaPtr Forall(std::vector<std::string> vars, FormulaPtr body);
+
+ private:
+  Formula() = default;
+  friend FormulaPtr MakeNode(FormulaKind kind, std::string relation,
+                             std::vector<Term> terms,
+                             std::vector<FormulaPtr> children,
+                             std::vector<std::string> vars);
+
+  FormulaKind kind_ = FormulaKind::kTrue;
+  std::string relation_;
+  std::vector<Term> terms_;
+  std::vector<FormulaPtr> children_;
+  std::vector<std::string> vars_;
+};
+
+/// Replaces every free occurrence of variable `var` by `replacement`
+/// (capture is avoided by skipping subtrees that rebind `var`).
+FormulaPtr SubstituteVariable(const FormulaPtr& f, const std::string& var,
+                              const Term& replacement);
+
+/// Structural equality of formulas.
+bool FormulaEquals(const FormulaPtr& a, const FormulaPtr& b);
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_FORMULA_H_

@@ -1,0 +1,237 @@
+#include "fo/input_bounded.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wsv::fo {
+
+const char* RelClassName(RelClass c) {
+  switch (c) {
+    case RelClass::kDatabase: return "database";
+    case RelClass::kState: return "state";
+    case RelClass::kQueueState: return "queue-state";
+    case RelClass::kInput: return "input";
+    case RelClass::kPrevInput: return "previous-input";
+    case RelClass::kAction: return "action";
+    case RelClass::kInFlat: return "flat in-queue";
+    case RelClass::kInNested: return "nested in-queue";
+    case RelClass::kOutFlat: return "flat out-queue";
+    case RelClass::kOutNested: return "nested out-queue";
+    case RelClass::kMove: return "move";
+    case RelClass::kReceived: return "received";
+    case RelClass::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsGuardClass(RelClass c, const InputBoundedOptions& options) {
+  switch (c) {
+    case RelClass::kInput:
+    case RelClass::kPrevInput:
+    case RelClass::kInFlat:
+    case RelClass::kOutFlat:
+      return true;
+    case RelClass::kDatabase:
+      return options.allow_database_guards;
+    default:
+      return false;
+  }
+}
+
+/// Classes whose atoms may not contain bound variables (the β atoms of the
+/// formation rule).
+bool IsRestrictedClass(RelClass c) {
+  return c == RelClass::kState || c == RelClass::kAction ||
+         c == RelClass::kInNested;
+}
+
+/// Collects the top-level positive atom conjuncts of `f` into `atoms`
+/// (flattening nested conjunctions).
+void CollectConjunctAtoms(const FormulaPtr& f, std::vector<FormulaPtr>& atoms) {
+  if (f->kind() == FormulaKind::kAtom) {
+    atoms.push_back(f);
+    return;
+  }
+  if (f->kind() == FormulaKind::kAnd) {
+    for (const FormulaPtr& c : f->children()) CollectConjunctAtoms(c, atoms);
+  }
+}
+
+/// Checks that no atom of a restricted class anywhere inside `f` uses a
+/// variable from `bound`.
+Status CheckRestrictedAtoms(const FormulaPtr& f,
+                            const std::set<std::string>& bound,
+                            const SymbolClassifier& classifier) {
+  if (f->kind() == FormulaKind::kAtom) {
+    RelClass c = classifier.Classify(f->relation());
+    if (IsRestrictedClass(c)) {
+      for (const Term& t : f->terms()) {
+        if (t.is_variable() && bound.count(t.text) > 0) {
+          return Status::UndecidableRegime(
+              "not input-bounded: quantified variable '" + t.text +
+              "' occurs in " + std::string(RelClassName(c)) + " atom " +
+              f->ToString() +
+              " (Section 3.1 forbids quantification into state, action and "
+              "nested in-queue atoms)");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+  if (f->kind() == FormulaKind::kExists || f->kind() == FormulaKind::kForall) {
+    // Inner quantifiers shadowing a bound variable remove it from scope.
+    std::set<std::string> inner = bound;
+    for (const std::string& v : f->bound_variables()) inner.erase(v);
+    return CheckRestrictedAtoms(f->body(), inner, classifier);
+  }
+  for (const FormulaPtr& c : f->children()) {
+    WSV_RETURN_IF_ERROR(CheckRestrictedAtoms(c, bound, classifier));
+  }
+  return Status::Ok();
+}
+
+Status CheckQuantifierNode(const FormulaPtr& f,
+                           const SymbolClassifier& classifier,
+                           const InputBoundedOptions& options) {
+  // Identify the guard region: for exists, the whole body's top-level
+  // conjuncts; for forall, the antecedent of the body implication.
+  FormulaPtr guard_region;
+  if (f->kind() == FormulaKind::kExists) {
+    guard_region = f->body();
+  } else {
+    if (f->body()->kind() != FormulaKind::kImplies) {
+      return Status::UndecidableRegime(
+          "not input-bounded: universal quantifier body must have the form "
+          "'guard -> phi', got: " +
+          f->body()->ToString());
+    }
+    guard_region = f->body()->child(0);
+  }
+
+  std::vector<FormulaPtr> guard_atoms;
+  CollectConjunctAtoms(guard_region, guard_atoms);
+
+  // Every bound variable must occur in some guard-class atom.
+  for (const std::string& v : f->bound_variables()) {
+    bool covered = false;
+    for (const FormulaPtr& atom : guard_atoms) {
+      if (!IsGuardClass(classifier.Classify(atom->relation()), options)) {
+        continue;
+      }
+      for (const Term& t : atom->terms()) {
+        if (t.is_variable() && t.text == v) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) break;
+    }
+    if (!covered) {
+      return Status::UndecidableRegime(
+          "not input-bounded: quantified variable '" + v +
+          "' is not covered by any input, previous-input, or flat-queue "
+          "guard atom in " +
+          f->ToString());
+    }
+  }
+
+  // No bound variable may appear in a restricted-class atom in the body.
+  std::set<std::string> bound(f->bound_variables().begin(),
+                              f->bound_variables().end());
+  return CheckRestrictedAtoms(f->body(), bound, classifier);
+}
+
+}  // namespace
+
+Status CheckInputBounded(const FormulaPtr& formula,
+                         const SymbolClassifier& classifier,
+                         const InputBoundedOptions& options) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquality:
+      return Status::Ok();
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      WSV_RETURN_IF_ERROR(CheckQuantifierNode(formula, classifier, options));
+      return CheckInputBounded(formula->body(), classifier, options);
+    default:
+      for (const FormulaPtr& c : formula->children()) {
+        WSV_RETURN_IF_ERROR(CheckInputBounded(c, classifier, options));
+      }
+      return Status::Ok();
+  }
+}
+
+namespace {
+
+/// Polarity-aware scan: rejects universal quantification (and existential
+/// quantification under negative polarity, which is universal in disguise),
+/// and requires ground state/nested-queue atoms.
+Status CheckExistentialGround(const FormulaPtr& f, bool positive,
+                              const SymbolClassifier& classifier) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquality:
+      return Status::Ok();
+    case FormulaKind::kAtom: {
+      RelClass c = classifier.Classify(f->relation());
+      if (c == RelClass::kState || c == RelClass::kInNested ||
+          c == RelClass::kOutNested) {
+        for (const Term& t : f->terms()) {
+          if (t.is_variable()) {
+            return Status::UndecidableRegime(
+                "input/flat-send rule is not input-bounded: " +
+                std::string(RelClassName(c)) + " atom " + f->ToString() +
+                " must be ground (Section 3.1, condition 2; relaxation is "
+                "undecidable per Theorem 3.10)");
+          }
+        }
+      }
+      return Status::Ok();
+    }
+    case FormulaKind::kNot:
+      return CheckExistentialGround(f->child(0), !positive, classifier);
+    case FormulaKind::kImplies:
+      WSV_RETURN_IF_ERROR(
+          CheckExistentialGround(f->child(0), !positive, classifier));
+      return CheckExistentialGround(f->child(1), positive, classifier);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f->children()) {
+        WSV_RETURN_IF_ERROR(CheckExistentialGround(c, positive, classifier));
+      }
+      return Status::Ok();
+    case FormulaKind::kExists:
+      if (!positive) {
+        return Status::UndecidableRegime(
+            "input/flat-send rule is not an exists-only formula: existential "
+            "quantifier under negation in " +
+            f->ToString());
+      }
+      return CheckExistentialGround(f->body(), positive, classifier);
+    case FormulaKind::kForall:
+      if (positive) {
+        return Status::UndecidableRegime(
+            "input/flat-send rule is not an exists-only formula: universal "
+            "quantifier in " +
+            f->ToString());
+      }
+      return CheckExistentialGround(f->body(), positive, classifier);
+  }
+  return Status::Internal("unhandled formula kind");
+}
+
+}  // namespace
+
+Status CheckExistentialGroundRule(const FormulaPtr& formula,
+                                  const SymbolClassifier& classifier) {
+  return CheckExistentialGround(formula, /*positive=*/true, classifier);
+}
+
+}  // namespace wsv::fo

@@ -1,0 +1,49 @@
+#ifndef WSVERIFY_FO_INPUT_BOUNDED_H_
+#define WSVERIFY_FO_INPUT_BOUNDED_H_
+
+#include "common/status.h"
+#include "fo/classify.h"
+#include "fo/formula.h"
+
+namespace wsv::fo {
+
+/// Options for the input-boundedness analysis.
+struct InputBoundedOptions {
+  /// Whether database atoms may serve as quantification guards in addition
+  /// to the guard classes of Section 3.1 (inputs, previous inputs, flat
+  /// in/out queues).
+  ///
+  /// The paper's formation rule lists only I, PrevI, Qf_in, Qf_out, but its
+  /// own Example 2.2 (asserted input-bounded in Example 3.3) quantifies ssn
+  /// through the database atom customer(id, ssn, name) in rules (3), (4) and
+  /// (8). Since the database is fixed throughout a run and the pseudo-domain
+  /// construction bounds its active domain, database guards preserve the
+  /// finite-model argument; we accept them by default and expose this switch
+  /// for the strict reading.
+  bool allow_database_guards = true;
+};
+
+/// Checks that `formula` is an input-bounded FO formula (Section 3.1):
+/// every quantifier occurrence has the shape
+///     exists x̄: (guards and phi)    or    forall x̄: (guards -> phi)
+/// where the guards are a conjunction of atoms over the guard classes such
+/// that every bound variable occurs in some guard atom, and no bound
+/// variable occurs in any state, action, or nested in-queue atom in the
+/// quantifier body.
+///
+/// Returns kUndecidableRegime with an explanatory message on violation.
+Status CheckInputBounded(const FormulaPtr& formula,
+                         const SymbolClassifier& classifier,
+                         const InputBoundedOptions& options = {});
+
+/// Checks the condition for input rules and flat-queue send rules
+/// (Section 3.1, condition 2): the formula is existential (no universal
+/// quantifiers, no implications hiding them... implications are permitted as
+/// plain boolean combinations since ∃*FO matrices are closed under boolean
+/// operations on atoms) and every state or nested-queue atom is ground.
+Status CheckExistentialGroundRule(const FormulaPtr& formula,
+                                  const SymbolClassifier& classifier);
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_INPUT_BOUNDED_H_

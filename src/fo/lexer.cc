@@ -1,0 +1,209 @@
+#include "fo/lexer.h"
+
+#include <cctype>
+
+namespace wsv::fo {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string constant";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kColonDash: return "':-'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kNotEquals: return "'!='";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (source[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      advance(1);
+      continue;
+    }
+    // Comments: // or # to end of line.
+    if (c == '#' || (c == '/' && i + 1 < source.size() &&
+                     source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    // String constants.
+    if (c == '"') {
+      size_t start = i + 1;
+      size_t j = start;
+      while (j < source.size() && source[j] != '"' && source[j] != '\n') ++j;
+      if (j >= source.size() || source[j] != '"') {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kString, std::string(source.substr(start, j - start)));
+      advance(j + 1 - i);
+      continue;
+    }
+    // Numbers (uninterpreted constants).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      push(TokenKind::kNumber, std::string(source.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    // Identifiers, possibly sigil-prefixed (?R, !R) and dotted (P.R).
+    if (IsIdentStart(c) || ((c == '?' || c == '!') && i + 1 < source.size() &&
+                            IsIdentStart(source[i + 1]))) {
+      size_t j = i;
+      if (source[j] == '?' || source[j] == '!') ++j;
+      while (j < source.size() && IsIdentChar(source[j])) ++j;
+      // Dotted qualification segments.
+      while (j + 1 < source.size() && source[j] == '.' &&
+             (IsIdentStart(source[j + 1]) || source[j + 1] == '?' ||
+              source[j + 1] == '!')) {
+        ++j;  // consume '.'
+        if (source[j] == '?' || source[j] == '!') ++j;
+        while (j < source.size() && IsIdentChar(source[j])) ++j;
+      }
+      push(TokenKind::kIdent, std::string(source.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    // '!' as start of '!='.
+    if (c == '!' && i + 1 < source.size() && source[i + 1] == '=') {
+      push(TokenKind::kNotEquals, "!=");
+      advance(2);
+      continue;
+    }
+    // Punctuation.
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); advance(1); continue;
+      case ')': push(TokenKind::kRParen, ")"); advance(1); continue;
+      case '{': push(TokenKind::kLBrace, "{"); advance(1); continue;
+      case '}': push(TokenKind::kRBrace, "}"); advance(1); continue;
+      case '[': push(TokenKind::kLBracket, "["); advance(1); continue;
+      case ']': push(TokenKind::kRBracket, "]"); advance(1); continue;
+      case ',': push(TokenKind::kComma, ","); advance(1); continue;
+      case ';': push(TokenKind::kSemicolon, ";"); advance(1); continue;
+      case '=': push(TokenKind::kEquals, "="); advance(1); continue;
+      case ':':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          push(TokenKind::kColonDash, ":-");
+          advance(2);
+        } else {
+          push(TokenKind::kColon, ":");
+          advance(1);
+        }
+        continue;
+      case '-':
+        if (i + 1 < source.size() && source[i + 1] == '>') {
+          push(TokenKind::kArrow, "->");
+          advance(2);
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at line " + std::to_string(line) +
+                              ", column " + std::to_string(column));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line, column});
+  return tokens;
+}
+
+const Token& TokenCursor::Peek(size_t lookahead) const {
+  size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // kEnd sentinel
+  return tokens_[idx];
+}
+
+const Token& TokenCursor::Next() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenCursor::TryConsume(TokenKind kind) {
+  if (Peek().kind != kind) return false;
+  Next();
+  return true;
+}
+
+bool TokenCursor::TryConsumeIdent(std::string_view word) {
+  if (Peek().kind != TokenKind::kIdent || Peek().text != word) return false;
+  Next();
+  return true;
+}
+
+Result<Token> TokenCursor::Expect(TokenKind kind, std::string_view context) {
+  if (Peek().kind != kind) {
+    return ErrorHere("expected " + std::string(TokenKindName(kind)) + " in " +
+                     std::string(context) + ", found '" + Peek().text + "'");
+  }
+  return Next();
+}
+
+Status TokenCursor::ExpectIdent(std::string_view word,
+                                std::string_view context) {
+  if (Peek().kind != TokenKind::kIdent || Peek().text != word) {
+    return ErrorHere("expected '" + std::string(word) + "' in " +
+                     std::string(context) + ", found '" + Peek().text + "'");
+  }
+  Next();
+  return Status::Ok();
+}
+
+Status TokenCursor::ErrorHere(std::string message) const {
+  const Token& t = Peek();
+  return Status::ParseError(message + " (line " + std::to_string(t.line) +
+                            ", column " + std::to_string(t.column) + ")");
+}
+
+}  // namespace wsv::fo

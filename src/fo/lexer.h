@@ -1,0 +1,80 @@
+#ifndef WSVERIFY_FO_LEXER_H_
+#define WSVERIFY_FO_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv::fo {
+
+/// Token kinds shared by the FO, LTL-FO and specification-DSL parsers.
+enum class TokenKind {
+  kIdent,     // customer, Officer.customer, ?apply, !getRating
+  kString,    // "excellent" (a constant)
+  kNumber,    // 42 (an uninterpreted constant)
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kSemicolon, // ;
+  kColon,     // :
+  kColonDash, // :-
+  kEquals,    // =
+  kNotEquals, // !=
+  kArrow,     // ->
+  kEnd,       // end of input
+};
+
+/// Returns a printable name for a token kind (for diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+  int column;
+};
+
+/// Tokenizes `source`. Identifiers may start with `?` or `!` (queue sigils)
+/// and may contain `.` separators for peer qualification. `//` and `#` start
+/// line comments.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+/// A cursor over a token stream with the helpers recursive-descent parsers
+/// need. Parsers for FO, LTL-FO and the spec DSL all drive one of these.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t lookahead = 0) const;
+  const Token& Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  /// True (and advances) iff the current token has the given kind.
+  bool TryConsume(TokenKind kind);
+  /// True (and advances) iff the current token is the identifier `word`.
+  bool TryConsumeIdent(std::string_view word);
+
+  /// Consumes a token of `kind` or returns a parse error mentioning
+  /// `context`.
+  Result<Token> Expect(TokenKind kind, std::string_view context);
+  /// Consumes the exact identifier `word` or errors.
+  Status ExpectIdent(std::string_view word, std::string_view context);
+
+  /// Builds a parse error anchored at the current token.
+  Status ErrorHere(std::string message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_LEXER_H_

@@ -1,0 +1,197 @@
+#include "fo/parser.h"
+
+#include <vector>
+
+namespace wsv::fo {
+
+std::string NormalizeRelationName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool at_segment_start = true;
+  for (char c : name) {
+    if (at_segment_start && (c == '?' || c == '!')) {
+      at_segment_start = false;
+      continue;
+    }
+    if (c == '.') {
+      at_segment_start = true;
+    } else {
+      at_segment_start = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+class FoParser {
+ public:
+  explicit FoParser(TokenCursor& cursor) : cur_(cursor) {}
+
+  Result<FormulaPtr> ParseImplies() {
+    WSV_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseOr());
+    if (cur_.TryConsume(TokenKind::kArrow)) {
+      WSV_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseImplies());
+      return Formula::Implies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+ private:
+  Result<FormulaPtr> ParseOr() {
+    WSV_ASSIGN_OR_RETURN(FormulaPtr first, ParseAnd());
+    std::vector<FormulaPtr> parts{std::move(first)};
+    while (cur_.TryConsumeIdent("or")) {
+      WSV_ASSIGN_OR_RETURN(FormulaPtr next, ParseAnd());
+      parts.push_back(std::move(next));
+    }
+    return Formula::Or(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    WSV_ASSIGN_OR_RETURN(FormulaPtr first, ParseUnary());
+    std::vector<FormulaPtr> parts{std::move(first)};
+    while (cur_.TryConsumeIdent("and")) {
+      WSV_ASSIGN_OR_RETURN(FormulaPtr next, ParseUnary());
+      parts.push_back(std::move(next));
+    }
+    return Formula::And(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (cur_.TryConsumeIdent("not")) {
+      WSV_ASSIGN_OR_RETURN(FormulaPtr inner, ParseUnary());
+      return Formula::Not(std::move(inner));
+    }
+    if (cur_.Peek().kind == TokenKind::kIdent &&
+        (cur_.Peek().text == "exists" || cur_.Peek().text == "forall")) {
+      bool is_exists = cur_.Next().text == "exists";
+      WSV_ASSIGN_OR_RETURN(std::vector<std::string> vars, ParseVarList());
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kColon, "quantifier").status());
+      // Quantifier bodies extend maximally to the right.
+      WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseImplies());
+      return is_exists ? Formula::Exists(std::move(vars), std::move(body))
+                       : Formula::Forall(std::move(vars), std::move(body));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::vector<std::string>> ParseVarList() {
+    std::vector<std::string> vars;
+    while (true) {
+      WSV_ASSIGN_OR_RETURN(Token t,
+                           cur_.Expect(TokenKind::kIdent, "variable list"));
+      vars.push_back(t.text);
+      if (!cur_.TryConsume(TokenKind::kComma)) break;
+    }
+    return vars;
+  }
+
+  Result<FormulaPtr> ParsePrimary() {
+    const Token& t = cur_.Peek();
+    switch (t.kind) {
+      case TokenKind::kLParen: {
+        cur_.Next();
+        WSV_ASSIGN_OR_RETURN(FormulaPtr inner, ParseImplies());
+        WSV_RETURN_IF_ERROR(
+            cur_.Expect(TokenKind::kRParen, "parenthesized formula").status());
+        return inner;
+      }
+      case TokenKind::kLBracket: {
+        // '[' ... ']' is an alternative grouping (the paper's display style).
+        cur_.Next();
+        WSV_ASSIGN_OR_RETURN(FormulaPtr inner, ParseImplies());
+        WSV_RETURN_IF_ERROR(
+            cur_.Expect(TokenKind::kRBracket, "bracketed formula").status());
+        return inner;
+      }
+      case TokenKind::kString:
+      case TokenKind::kNumber: {
+        // Constant on the left of an equality.
+        Term lhs = Term::Constant(cur_.Next().text);
+        return ParseEqualityTail(std::move(lhs));
+      }
+      case TokenKind::kIdent: {
+        if (t.text == "true") {
+          cur_.Next();
+          return Formula::True();
+        }
+        if (t.text == "false") {
+          cur_.Next();
+          return Formula::False();
+        }
+        std::string name = cur_.Next().text;
+        if (cur_.Peek().kind == TokenKind::kLParen) {
+          cur_.Next();
+          std::vector<Term> terms;
+          if (cur_.Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              WSV_ASSIGN_OR_RETURN(Term term, ParseTerm());
+              terms.push_back(std::move(term));
+              if (!cur_.TryConsume(TokenKind::kComma)) break;
+            }
+          }
+          WSV_RETURN_IF_ERROR(
+              cur_.Expect(TokenKind::kRParen, "atom").status());
+          return Formula::Atom(NormalizeRelationName(name), std::move(terms));
+        }
+        if (cur_.Peek().kind == TokenKind::kEquals ||
+            cur_.Peek().kind == TokenKind::kNotEquals) {
+          return ParseEqualityTail(Term::Variable(name));
+        }
+        // Propositional (0-ary) atom.
+        return Formula::Atom(NormalizeRelationName(name), {});
+      }
+      default:
+        return cur_.ErrorHere("expected a formula, found '" + t.text + "'");
+    }
+  }
+
+  Result<FormulaPtr> ParseEqualityTail(Term lhs) {
+    bool negated = false;
+    if (cur_.TryConsume(TokenKind::kNotEquals)) {
+      negated = true;
+    } else {
+      WSV_RETURN_IF_ERROR(cur_.Expect(TokenKind::kEquals, "equality").status());
+    }
+    WSV_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    FormulaPtr eq = Formula::Equality(std::move(lhs), std::move(rhs));
+    return negated ? Formula::Not(std::move(eq)) : eq;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = cur_.Peek();
+    switch (t.kind) {
+      case TokenKind::kIdent:
+        return Term::Variable(cur_.Next().text);
+      case TokenKind::kString:
+      case TokenKind::kNumber:
+        return Term::Constant(cur_.Next().text);
+      default:
+        return cur_.ErrorHere("expected a term, found '" + t.text + "'");
+    }
+  }
+
+  TokenCursor& cur_;
+};
+
+}  // namespace
+
+Result<FormulaPtr> ParseFormulaAt(TokenCursor& cursor) {
+  FoParser parser(cursor);
+  return parser.ParseImplies();
+}
+
+Result<FormulaPtr> ParseFormula(std::string_view source) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+  WSV_ASSIGN_OR_RETURN(FormulaPtr formula, ParseFormulaAt(cursor));
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("trailing input after formula");
+  }
+  return formula;
+}
+
+}  // namespace wsv::fo

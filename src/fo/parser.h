@@ -1,0 +1,37 @@
+#ifndef WSVERIFY_FO_PARSER_H_
+#define WSVERIFY_FO_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "fo/lexer.h"
+
+namespace wsv::fo {
+
+/// Strips queue sigils from a (possibly qualified) relation name:
+/// "?apply" -> "apply", "Officer.!rating" -> "Officer.rating".
+///
+/// Sigils are display sugar from the paper (?R = in-queue, !R = out-queue);
+/// relation-symbol sets are disjoint within a peer (Definition 2.1) and
+/// qualified by peer name at composition level, so the bare name is
+/// unambiguous.
+std::string NormalizeRelationName(std::string_view name);
+
+/// Parses a complete FO formula from `source`.
+///
+/// Grammar (precedence from loosest): implication (right-assoc) < or < and <
+/// not/quantifier < primary. Quantifier bodies extend as far right as
+/// possible: `exists x, y: p(x) and q(y)` binds both conjuncts. Terms:
+/// identifiers are variables; quoted strings and numbers are constants.
+Result<FormulaPtr> ParseFormula(std::string_view source);
+
+/// Parses one FO formula starting at `cursor` (used by the LTL-FO and spec
+/// parsers to embed FO subformulas). Stops at the first token that cannot
+/// continue the formula.
+Result<FormulaPtr> ParseFormulaAt(TokenCursor& cursor);
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_PARSER_H_

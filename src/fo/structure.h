@@ -1,0 +1,91 @@
+#ifndef WSVERIFY_FO_STRUCTURE_H_
+#define WSVERIFY_FO_STRUCTURE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/instance.h"
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace wsv::fo {
+
+/// A relational structure against which FO formulas are evaluated.
+///
+/// Implementations map relation names to relation instances and fix the
+/// element domain over which quantifiers range. In the paper's semantics,
+/// quantifiers range over the active domain of the run; during verification,
+/// the evaluation domain is the pseudo-domain computed from the
+/// specification (Section 3.1 / DESIGN.md §5).
+class StructureView {
+ public:
+  virtual ~StructureView() = default;
+
+  /// Returns the relation named `name`, or nullptr if this structure does
+  /// not define it.
+  virtual const data::Relation* Find(const std::string& name) const = 0;
+
+  /// Domain of quantification.
+  virtual const data::Domain& EvaluationDomain() const = 0;
+};
+
+/// A structure backed by an explicit name -> relation map.
+class MapStructure : public StructureView {
+ public:
+  MapStructure() = default;
+
+  /// Registers `relation` under `name` (replacing any previous binding).
+  void Set(std::string name, data::Relation relation) {
+    relations_[std::move(name)] = std::move(relation);
+  }
+
+  data::Domain& mutable_domain() { return domain_; }
+  void SetDomain(data::Domain domain) { domain_ = std::move(domain); }
+
+  const data::Relation* Find(const std::string& name) const override {
+    auto it = relations_.find(name);
+    return it == relations_.end() ? nullptr : &it->second;
+  }
+
+  const data::Domain& EvaluationDomain() const override { return domain_; }
+
+ private:
+  std::unordered_map<std::string, data::Relation> relations_;
+  data::Domain domain_;
+};
+
+/// A structure that exposes several instances, each under a name prefix
+/// (e.g. "Officer." for peer qualification, "" for peer-local access),
+/// without copying relations. Later layers shadow earlier ones.
+class LayeredStructure : public StructureView {
+ public:
+  /// Adds `instance` whose relations are visible as `prefix` + name.
+  /// `instance` must outlive this view.
+  void AddLayer(std::string prefix, const data::Instance* instance) {
+    layers_.emplace_back(std::move(prefix), instance);
+  }
+
+  /// Adds a single named relation (e.g. a queue view). `relation` must
+  /// outlive this view.
+  void AddRelation(std::string name, const data::Relation* relation) {
+    extra_[std::move(name)] = relation;
+  }
+
+  void SetDomain(data::Domain domain) { domain_ = std::move(domain); }
+  data::Domain& mutable_domain() { return domain_; }
+
+  const data::Relation* Find(const std::string& name) const override;
+
+  const data::Domain& EvaluationDomain() const override { return domain_; }
+
+ private:
+  std::vector<std::pair<std::string, const data::Instance*>> layers_;
+  std::unordered_map<std::string, const data::Relation*> extra_;
+  data::Domain domain_;
+};
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_STRUCTURE_H_

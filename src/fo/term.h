@@ -1,0 +1,42 @@
+#ifndef WSVERIFY_FO_TERM_H_
+#define WSVERIFY_FO_TERM_H_
+
+#include <string>
+
+namespace wsv::fo {
+
+/// A first-order term: a variable or an (uninterpreted) constant.
+///
+/// Syntactic convention throughout the library: plain identifiers in term
+/// position are variables; quoted strings and numeric literals are constants
+/// (e.g. rule (4) in the paper uses the constants "excellent", "approved").
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind = Kind::kVariable;
+  /// Variable name, or constant spelling (without quotes).
+  std::string text;
+
+  static Term Variable(std::string name) {
+    return Term{Kind::kVariable, std::move(name)};
+  }
+  static Term Constant(std::string spelling) {
+    return Term{Kind::kConstant, std::move(spelling)};
+  }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.text == b.text;
+  }
+
+  /// Renders the term: variables bare, constants quoted.
+  std::string ToString() const {
+    return is_variable() ? text : "\"" + text + "\"";
+  }
+};
+
+}  // namespace wsv::fo
+
+#endif  // WSVERIFY_FO_TERM_H_

@@ -1,0 +1,107 @@
+#include "ltl/grounding.h"
+
+#include <cassert>
+
+namespace wsv::ltl {
+
+namespace {
+
+class Grounder {
+ public:
+  Grounder(GroundLtl& out, bool allow_free_leaves)
+      : out_(out), allow_free_leaves_(allow_free_leaves) {}
+
+  Result<automata::PRef> Lower(const LtlPtr& f) {
+    switch (f->kind()) {
+      case LtlKind::kLeaf:
+        return LowerLeaf(f->leaf(), /*negated=*/false);
+      case LtlKind::kNot: {
+        // After NNF, negation sits directly over a leaf.
+        const LtlPtr& inner = f->child(0);
+        if (inner->kind() != LtlKind::kLeaf) {
+          return Status::Internal(
+              "GroundToPropositional expects negation normal form");
+        }
+        return LowerLeaf(inner->leaf(), /*negated=*/true);
+      }
+      case LtlKind::kAnd: {
+        WSV_ASSIGN_OR_RETURN(automata::PRef a, Lower(f->child(0)));
+        WSV_ASSIGN_OR_RETURN(automata::PRef b, Lower(f->child(1)));
+        return out_.manager.And(a, b);
+      }
+      case LtlKind::kOr: {
+        WSV_ASSIGN_OR_RETURN(automata::PRef a, Lower(f->child(0)));
+        WSV_ASSIGN_OR_RETURN(automata::PRef b, Lower(f->child(1)));
+        return out_.manager.Or(a, b);
+      }
+      case LtlKind::kNext: {
+        WSV_ASSIGN_OR_RETURN(automata::PRef a, Lower(f->child(0)));
+        return out_.manager.Next(a);
+      }
+      case LtlKind::kUntil: {
+        WSV_ASSIGN_OR_RETURN(automata::PRef a, Lower(f->child(0)));
+        WSV_ASSIGN_OR_RETURN(automata::PRef b, Lower(f->child(1)));
+        return out_.manager.Until(a, b);
+      }
+      case LtlKind::kRelease: {
+        WSV_ASSIGN_OR_RETURN(automata::PRef a, Lower(f->child(0)));
+        WSV_ASSIGN_OR_RETURN(automata::PRef b, Lower(f->child(1)));
+        return out_.manager.Release(a, b);
+      }
+      case LtlKind::kImplies:
+        return Status::Internal(
+            "GroundToPropositional expects negation normal form (no "
+            "implications)");
+      case LtlKind::kForallQ:
+      case LtlKind::kExistsQ:
+        return Status::Internal(
+            "GroundToPropositional: expand temporal quantifiers over the "
+            "pseudo-domain first (ExpandTemporalQuantifiers)");
+    }
+    return Status::Internal("unhandled LTL kind");
+  }
+
+ private:
+  Result<automata::PRef> LowerLeaf(const fo::FormulaPtr& leaf, bool negated) {
+    if (!allow_free_leaves_ && !leaf->FreeVariables().empty()) {
+      return Status::Internal(
+          "GroundToPropositional requires closed leaves; free variables in " +
+          leaf->ToString());
+    }
+    if (leaf->kind() == fo::FormulaKind::kTrue) {
+      return negated ? out_.manager.False() : out_.manager.True();
+    }
+    if (leaf->kind() == fo::FormulaKind::kFalse) {
+      return negated ? out_.manager.True() : out_.manager.False();
+    }
+    std::string key = leaf->ToString();
+    auto it = prop_ids_.find(key);
+    automata::PropId id;
+    if (it != prop_ids_.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<automata::PropId>(out_.propositions.size());
+      out_.propositions.push_back(leaf);
+      prop_ids_.emplace(std::move(key), id);
+    }
+    return out_.manager.Lit(id, negated);
+  }
+
+  GroundLtl& out_;
+  bool allow_free_leaves_;
+  std::map<std::string, automata::PropId> prop_ids_;
+};
+
+}  // namespace
+
+Result<GroundLtl> GroundToPropositional(const LtlPtr& formula, bool negate,
+                                        bool allow_free_leaves) {
+  LtlPtr nnf = ToNegationNormalForm(
+      negate ? LtlFormula::Not(formula) : formula);
+  GroundLtl out;
+  Grounder grounder(out, allow_free_leaves);
+  WSV_ASSIGN_OR_RETURN(out.root, grounder.Lower(nnf));
+  return out;
+}
+
+}  // namespace wsv::ltl

@@ -1,0 +1,46 @@
+#ifndef WSVERIFY_LTL_GROUNDING_H_
+#define WSVERIFY_LTL_GROUNDING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/gpvw.h"
+#include "automata/pltl.h"
+#include "common/status.h"
+#include "ltl/ltl_formula.h"
+
+namespace wsv::ltl {
+
+/// A closed LTL-FO formula lowered to propositional LTL: every distinct FO
+/// sentence leaf becomes a proposition; the verifier evaluates the
+/// propositions on each run snapshot and feeds the valuations to the Büchi
+/// automaton built from `root`.
+struct GroundLtl {
+  automata::PLtlManager manager;
+  automata::PRef root = automata::PLtlManager::kTrueRef;
+  /// Proposition table: propositions[i] is the FO sentence for PropId i.
+  std::vector<fo::FormulaPtr> propositions;
+
+  /// Builds the (degeneralized) Büchi automaton for `root`.
+  Result<automata::BuchiAutomaton> BuildAutomaton(size_t max_nodes = 200000) {
+    return automata::TranslateToBuchi(manager, root, propositions.size(),
+                                      max_nodes);
+  }
+};
+
+/// Lowers `formula` into propositional LTL in negation normal form. When
+/// `negate` is true, the negation is lowered instead (verification searches
+/// for runs of the negated property).
+///
+/// By default leaves must be FO sentences (ground the property first). With
+/// `allow_free_leaves`, leaves may carry free variables (the property's
+/// closure variables): the resulting propositions are *symbolic* — one
+/// automaton serves every valuation, with per-valuation proposition truth
+/// supplied at search time (verifier::SymbolicTask).
+Result<GroundLtl> GroundToPropositional(const LtlPtr& formula, bool negate,
+                                        bool allow_free_leaves = false);
+
+}  // namespace wsv::ltl
+
+#endif  // WSVERIFY_LTL_GROUNDING_H_

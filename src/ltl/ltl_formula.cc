@@ -1,0 +1,404 @@
+#include "ltl/ltl_formula.h"
+
+#include <cassert>
+
+namespace wsv::ltl {
+
+// LtlFormula members are private; factories construct through a thin
+// builder so nodes stay immutable after creation.
+struct LtlNodeBuilder {
+  static LtlPtr Make(LtlKind kind, fo::FormulaPtr leaf,
+                     std::vector<LtlPtr> kids,
+                     std::vector<std::string> vars = {}) {
+    auto node = std::shared_ptr<LtlFormula>(new LtlFormula());
+    node->kind_ = kind;
+    node->leaf_ = std::move(leaf);
+    node->children_ = std::move(kids);
+    node->vars_ = std::move(vars);
+    return node;
+  }
+};
+
+LtlPtr LtlFormula::Leaf(fo::FormulaPtr f) {
+  assert(f != nullptr);
+  return LtlNodeBuilder::Make(LtlKind::kLeaf, std::move(f), {});
+}
+
+LtlPtr LtlFormula::Not(LtlPtr f) {
+  return LtlNodeBuilder::Make(LtlKind::kNot, nullptr, {std::move(f)});
+}
+
+LtlPtr LtlFormula::And(LtlPtr a, LtlPtr b) {
+  return LtlNodeBuilder::Make(LtlKind::kAnd, nullptr,
+                              {std::move(a), std::move(b)});
+}
+
+LtlPtr LtlFormula::Or(LtlPtr a, LtlPtr b) {
+  return LtlNodeBuilder::Make(LtlKind::kOr, nullptr,
+                              {std::move(a), std::move(b)});
+}
+
+LtlPtr LtlFormula::Implies(LtlPtr a, LtlPtr b) {
+  return LtlNodeBuilder::Make(LtlKind::kImplies, nullptr,
+                              {std::move(a), std::move(b)});
+}
+
+LtlPtr LtlFormula::Next(LtlPtr f) {
+  return LtlNodeBuilder::Make(LtlKind::kNext, nullptr, {std::move(f)});
+}
+
+LtlPtr LtlFormula::Until(LtlPtr a, LtlPtr b) {
+  return LtlNodeBuilder::Make(LtlKind::kUntil, nullptr,
+                              {std::move(a), std::move(b)});
+}
+
+LtlPtr LtlFormula::Release(LtlPtr a, LtlPtr b) {
+  return LtlNodeBuilder::Make(LtlKind::kRelease, nullptr,
+                              {std::move(a), std::move(b)});
+}
+
+LtlPtr LtlFormula::Globally(LtlPtr f) {
+  return Release(Leaf(fo::Formula::False()), std::move(f));
+}
+
+LtlPtr LtlFormula::Finally(LtlPtr f) {
+  return Until(Leaf(fo::Formula::True()), std::move(f));
+}
+
+LtlPtr LtlFormula::Before(LtlPtr a, LtlPtr b) {
+  return Release(std::move(a), std::move(b));
+}
+
+LtlPtr LtlFormula::ForallQ(std::vector<std::string> vars, LtlPtr body) {
+  return LtlNodeBuilder::Make(LtlKind::kForallQ, nullptr, {std::move(body)},
+                              std::move(vars));
+}
+
+LtlPtr LtlFormula::ExistsQ(std::vector<std::string> vars, LtlPtr body) {
+  return LtlNodeBuilder::Make(LtlKind::kExistsQ, nullptr, {std::move(body)},
+                              std::move(vars));
+}
+
+std::set<std::string> LtlFormula::FreeVariables() const {
+  std::set<std::string> out;
+  if (kind_ == LtlKind::kLeaf) return leaf_->FreeVariables();
+  for (const LtlPtr& c : children_) {
+    auto sub = c->FreeVariables();
+    out.insert(sub.begin(), sub.end());
+  }
+  for (const std::string& v : vars_) out.erase(v);
+  return out;
+}
+
+std::set<std::string> LtlFormula::Constants() const {
+  std::set<std::string> out;
+  if (kind_ == LtlKind::kLeaf) return leaf_->Constants();
+  for (const LtlPtr& c : children_) {
+    auto sub = c->Constants();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void LtlFormula::CollectLeaves(std::vector<fo::FormulaPtr>& out) const {
+  if (kind_ == LtlKind::kLeaf) {
+    out.push_back(leaf_);
+    return;
+  }
+  for (const LtlPtr& c : children_) c->CollectLeaves(out);
+}
+
+std::string LtlFormula::ToString() const {
+  switch (kind_) {
+    case LtlKind::kLeaf:
+      return "(" + leaf_->ToString() + ")";
+    case LtlKind::kNot:
+      return "not " + children_[0]->ToString();
+    case LtlKind::kAnd:
+      return "(" + children_[0]->ToString() + " and " +
+             children_[1]->ToString() + ")";
+    case LtlKind::kOr:
+      return "(" + children_[0]->ToString() + " or " +
+             children_[1]->ToString() + ")";
+    case LtlKind::kImplies:
+      return "(" + children_[0]->ToString() + " -> " +
+             children_[1]->ToString() + ")";
+    case LtlKind::kNext:
+      return "X " + children_[0]->ToString();
+    case LtlKind::kUntil:
+      return "(" + children_[0]->ToString() + " U " +
+             children_[1]->ToString() + ")";
+    case LtlKind::kRelease:
+      return "(" + children_[0]->ToString() + " R " +
+             children_[1]->ToString() + ")";
+    case LtlKind::kForallQ:
+    case LtlKind::kExistsQ: {
+      std::string out = kind_ == LtlKind::kForallQ ? "forall " : "exists ";
+      for (size_t i = 0; i < vars_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += vars_[i];
+      }
+      return out + ": " + children_[0]->ToString();
+    }
+  }
+  return "?";
+}
+
+LtlPtr SubstituteVariable(const LtlPtr& f, const std::string& var,
+                          const fo::Term& replacement) {
+  if (f->kind() == LtlKind::kForallQ || f->kind() == LtlKind::kExistsQ) {
+    for (const std::string& v : f->bound_variables()) {
+      if (v == var) return f;  // shadowed
+    }
+    LtlPtr body = SubstituteVariable(f->body(), var, replacement);
+    if (body == f->body()) return f;
+    return f->kind() == LtlKind::kForallQ
+               ? LtlFormula::ForallQ(f->bound_variables(), std::move(body))
+               : LtlFormula::ExistsQ(f->bound_variables(), std::move(body));
+  }
+  if (f->kind() == LtlKind::kLeaf) {
+    fo::FormulaPtr sub = fo::SubstituteVariable(f->leaf(), var, replacement);
+    if (sub == f->leaf()) return f;
+    return LtlFormula::Leaf(std::move(sub));
+  }
+  bool touched = false;
+  std::vector<LtlPtr> kids;
+  kids.reserve(f->children().size());
+  for (const LtlPtr& c : f->children()) {
+    LtlPtr nc = SubstituteVariable(c, var, replacement);
+    if (nc != c) touched = true;
+    kids.push_back(std::move(nc));
+  }
+  if (!touched) return f;
+  switch (f->kind()) {
+    case LtlKind::kNot:
+      return LtlFormula::Not(kids[0]);
+    case LtlKind::kAnd:
+      return LtlFormula::And(kids[0], kids[1]);
+    case LtlKind::kOr:
+      return LtlFormula::Or(kids[0], kids[1]);
+    case LtlKind::kImplies:
+      return LtlFormula::Implies(kids[0], kids[1]);
+    case LtlKind::kNext:
+      return LtlFormula::Next(kids[0]);
+    case LtlKind::kUntil:
+      return LtlFormula::Until(kids[0], kids[1]);
+    case LtlKind::kRelease:
+      return LtlFormula::Release(kids[0], kids[1]);
+    case LtlKind::kLeaf:
+    case LtlKind::kForallQ:
+    case LtlKind::kExistsQ:
+      break;  // handled above
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+namespace {
+
+LtlPtr Nnf(const LtlPtr& f, bool negated) {
+  switch (f->kind()) {
+    case LtlKind::kLeaf:
+      return negated ? LtlFormula::Not(f) : f;
+    case LtlKind::kNot:
+      return Nnf(f->child(0), !negated);
+    case LtlKind::kAnd: {
+      LtlPtr a = Nnf(f->child(0), negated);
+      LtlPtr b = Nnf(f->child(1), negated);
+      return negated ? LtlFormula::Or(a, b) : LtlFormula::And(a, b);
+    }
+    case LtlKind::kOr: {
+      LtlPtr a = Nnf(f->child(0), negated);
+      LtlPtr b = Nnf(f->child(1), negated);
+      return negated ? LtlFormula::And(a, b) : LtlFormula::Or(a, b);
+    }
+    case LtlKind::kImplies: {
+      // a -> b == not a or b.
+      LtlPtr a = Nnf(f->child(0), !negated);
+      LtlPtr b = Nnf(f->child(1), negated);
+      return negated ? LtlFormula::And(a, b) : LtlFormula::Or(a, b);
+    }
+    case LtlKind::kNext:
+      return LtlFormula::Next(Nnf(f->child(0), negated));
+    case LtlKind::kUntil: {
+      LtlPtr a = Nnf(f->child(0), negated);
+      LtlPtr b = Nnf(f->child(1), negated);
+      return negated ? LtlFormula::Release(a, b) : LtlFormula::Until(a, b);
+    }
+    case LtlKind::kRelease: {
+      LtlPtr a = Nnf(f->child(0), negated);
+      LtlPtr b = Nnf(f->child(1), negated);
+      return negated ? LtlFormula::Until(a, b) : LtlFormula::Release(a, b);
+    }
+    case LtlKind::kForallQ: {
+      LtlPtr body = Nnf(f->body(), negated);
+      return negated ? LtlFormula::ExistsQ(f->bound_variables(), body)
+                     : LtlFormula::ForallQ(f->bound_variables(), body);
+    }
+    case LtlKind::kExistsQ: {
+      LtlPtr body = Nnf(f->body(), negated);
+      return negated ? LtlFormula::ForallQ(f->bound_variables(), body)
+                     : LtlFormula::ExistsQ(f->bound_variables(), body);
+    }
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+}  // namespace
+
+LtlPtr ToNegationNormalForm(const LtlPtr& f) { return Nnf(f, false); }
+
+LtlPtr ExpandTemporalQuantifiers(const LtlPtr& f,
+                                 const std::vector<std::string>& domain) {
+  switch (f->kind()) {
+    case LtlKind::kLeaf:
+      return f;
+    case LtlKind::kForallQ:
+    case LtlKind::kExistsQ: {
+      LtlPtr body = ExpandTemporalQuantifiers(f->body(), domain);
+      // Expand one variable at a time over the domain spellings.
+      std::vector<LtlPtr> grounded{body};
+      for (const std::string& var : f->bound_variables()) {
+        std::vector<LtlPtr> next;
+        for (const LtlPtr& g : grounded) {
+          for (const std::string& value : domain) {
+            next.push_back(
+                SubstituteVariable(g, var, fo::Term::Constant(value)));
+          }
+        }
+        grounded = std::move(next);
+      }
+      bool conj = f->kind() == LtlKind::kForallQ;
+      LtlPtr acc = grounded.empty()
+                       ? LtlFormula::Leaf(conj ? fo::Formula::True()
+                                               : fo::Formula::False())
+                       : grounded[0];
+      for (size_t i = 1; i < grounded.size(); ++i) {
+        acc = conj ? LtlFormula::And(acc, grounded[i])
+                   : LtlFormula::Or(acc, grounded[i]);
+      }
+      return acc;
+    }
+    default: {
+      bool touched = false;
+      std::vector<LtlPtr> kids;
+      kids.reserve(f->children().size());
+      for (const LtlPtr& c : f->children()) {
+        LtlPtr nc = ExpandTemporalQuantifiers(c, domain);
+        if (nc != c) touched = true;
+        kids.push_back(std::move(nc));
+      }
+      if (!touched) return f;
+      switch (f->kind()) {
+        case LtlKind::kNot:
+          return LtlFormula::Not(kids[0]);
+        case LtlKind::kAnd:
+          return LtlFormula::And(kids[0], kids[1]);
+        case LtlKind::kOr:
+          return LtlFormula::Or(kids[0], kids[1]);
+        case LtlKind::kImplies:
+          return LtlFormula::Implies(kids[0], kids[1]);
+        case LtlKind::kNext:
+          return LtlFormula::Next(kids[0]);
+        case LtlKind::kUntil:
+          return LtlFormula::Until(kids[0], kids[1]);
+        case LtlKind::kRelease:
+          return LtlFormula::Release(kids[0], kids[1]);
+        default:
+          return f;
+      }
+    }
+  }
+}
+
+LtlPtr LiftLeaf(const fo::FormulaPtr& f) {
+  switch (f->kind()) {
+    case fo::FormulaKind::kTrue:
+    case fo::FormulaKind::kFalse:
+    case fo::FormulaKind::kAtom:
+    case fo::FormulaKind::kEquality:
+      return LtlFormula::Leaf(f);
+    case fo::FormulaKind::kNot:
+      return LtlFormula::Not(LiftLeaf(f->child(0)));
+    case fo::FormulaKind::kAnd: {
+      LtlPtr acc = LiftLeaf(f->child(0));
+      for (size_t i = 1; i < f->children().size(); ++i) {
+        acc = LtlFormula::And(std::move(acc), LiftLeaf(f->child(i)));
+      }
+      return acc;
+    }
+    case fo::FormulaKind::kOr: {
+      LtlPtr acc = LiftLeaf(f->child(0));
+      for (size_t i = 1; i < f->children().size(); ++i) {
+        acc = LtlFormula::Or(std::move(acc), LiftLeaf(f->child(i)));
+      }
+      return acc;
+    }
+    case fo::FormulaKind::kImplies:
+      return LtlFormula::Implies(LiftLeaf(f->child(0)), LiftLeaf(f->child(1)));
+    case fo::FormulaKind::kExists:
+      return LtlFormula::ExistsQ(f->bound_variables(), LiftLeaf(f->body()));
+    case fo::FormulaKind::kForall:
+      return LtlFormula::ForallQ(f->bound_variables(), LiftLeaf(f->body()));
+  }
+  assert(false && "unreachable");
+  return LtlFormula::Leaf(f);
+}
+
+LtlPtr LiftAllLeaves(const LtlPtr& f) {
+  if (f->kind() == LtlKind::kLeaf) return LiftLeaf(f->leaf());
+  bool touched = false;
+  std::vector<LtlPtr> kids;
+  kids.reserve(f->children().size());
+  for (const LtlPtr& c : f->children()) {
+    LtlPtr nc = LiftAllLeaves(c);
+    if (nc != c) touched = true;
+    kids.push_back(std::move(nc));
+  }
+  if (!touched) return f;
+  switch (f->kind()) {
+    case LtlKind::kNot:
+      return LtlFormula::Not(kids[0]);
+    case LtlKind::kAnd:
+      return LtlFormula::And(kids[0], kids[1]);
+    case LtlKind::kOr:
+      return LtlFormula::Or(kids[0], kids[1]);
+    case LtlKind::kImplies:
+      return LtlFormula::Implies(kids[0], kids[1]);
+    case LtlKind::kNext:
+      return LtlFormula::Next(kids[0]);
+    case LtlKind::kUntil:
+      return LtlFormula::Until(kids[0], kids[1]);
+    case LtlKind::kRelease:
+      return LtlFormula::Release(kids[0], kids[1]);
+    case LtlKind::kForallQ:
+      return LtlFormula::ForallQ(f->bound_variables(), kids[0]);
+    case LtlKind::kExistsQ:
+      return LtlFormula::ExistsQ(f->bound_variables(), kids[0]);
+    case LtlKind::kLeaf:
+      break;
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+bool IsPureFo(const LtlPtr& f) {
+  switch (f->kind()) {
+    case LtlKind::kLeaf:
+      return true;
+    case LtlKind::kNot:
+    case LtlKind::kAnd:
+    case LtlKind::kOr:
+    case LtlKind::kImplies: {
+      for (const LtlPtr& c : f->children()) {
+        if (!IsPureFo(c)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace wsv::ltl

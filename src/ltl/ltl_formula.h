@@ -1,0 +1,130 @@
+#ifndef WSVERIFY_LTL_LTL_FORMULA_H_
+#define WSVERIFY_LTL_LTL_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fo/formula.h"
+
+namespace wsv::ltl {
+
+class LtlFormula;
+using LtlPtr = std::shared_ptr<const LtlFormula>;
+
+/// Node kinds of LTL-FO formulas (Definition 3.1): FO formulas closed under
+/// negation, disjunction, X and U. Release (R) is the dual of U, used for
+/// negation normal form; the paper's B ("before") operator coincides with R
+/// (phi B psi == not(not phi U not psi) == phi R psi). G and F are expanded
+/// at construction: G f = false R f, F f = true U f.
+enum class LtlKind {
+  kLeaf,  // an FO formula evaluated on the current snapshot
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kNext,     // X f
+  kUntil,    // f U g
+  kRelease,  // f R g
+  /// Quantifiers over temporal formulas. Plain LTL-FO sentences never
+  /// contain these (Definition 3.1 confines quantifiers to FO leaves); they
+  /// arise in environment specifications, whose observer-at-recipient
+  /// translation pushes an X under a quantifier (Section 5). The verifier
+  /// eliminates them by expansion over the finite pseudo-domain.
+  kForallQ,
+  kExistsQ,
+};
+
+/// An immutable LTL-FO formula tree. Quantifiers appear only inside leaves
+/// (Definition 3.1 allows no temporal operator in the scope of a
+/// quantifier); the universal closure of free variables is carried
+/// separately by ltl::Property.
+class LtlFormula {
+ public:
+  LtlKind kind() const { return kind_; }
+
+  /// Leaf accessor (kind == kLeaf).
+  const fo::FormulaPtr& leaf() const { return leaf_; }
+
+  const std::vector<LtlPtr>& children() const { return children_; }
+  const LtlPtr& child(size_t i) const { return children_[i]; }
+
+  /// Quantifier accessors (kind == kForallQ / kExistsQ).
+  const std::vector<std::string>& bound_variables() const { return vars_; }
+  const LtlPtr& body() const { return children_[0]; }
+
+  /// Free variables across all leaves.
+  std::set<std::string> FreeVariables() const;
+
+  /// Constant spellings across all leaves.
+  std::set<std::string> Constants() const;
+
+  /// All FO leaf formulas (in syntax order, duplicates preserved).
+  void CollectLeaves(std::vector<fo::FormulaPtr>& out) const;
+
+  /// Re-parseable rendering.
+  std::string ToString() const;
+
+  // --- Factories ---
+  static LtlPtr Leaf(fo::FormulaPtr f);
+  static LtlPtr Not(LtlPtr f);
+  static LtlPtr And(LtlPtr a, LtlPtr b);
+  static LtlPtr Or(LtlPtr a, LtlPtr b);
+  static LtlPtr Implies(LtlPtr a, LtlPtr b);
+  static LtlPtr Next(LtlPtr f);
+  static LtlPtr Until(LtlPtr a, LtlPtr b);
+  static LtlPtr Release(LtlPtr a, LtlPtr b);
+  /// G f == false R f.
+  static LtlPtr Globally(LtlPtr f);
+  /// F f == true U f.
+  static LtlPtr Finally(LtlPtr f);
+  /// f B g ("f must hold before g fails") == f R g.
+  static LtlPtr Before(LtlPtr a, LtlPtr b);
+  /// Quantifiers over temporal formulas (environment specs only).
+  static LtlPtr ForallQ(std::vector<std::string> vars, LtlPtr body);
+  static LtlPtr ExistsQ(std::vector<std::string> vars, LtlPtr body);
+
+ private:
+  LtlFormula() = default;
+  friend struct LtlNodeBuilder;
+
+  LtlKind kind_ = LtlKind::kLeaf;
+  fo::FormulaPtr leaf_;
+  std::vector<LtlPtr> children_;
+  std::vector<std::string> vars_;
+};
+
+/// Substitutes a variable by a term in every leaf.
+LtlPtr SubstituteVariable(const LtlPtr& f, const std::string& var,
+                          const fo::Term& replacement);
+
+/// Rewrites to negation normal form: negations appear only directly over
+/// leaves; Implies is eliminated. Temporal dualities: not X f = X not f,
+/// not (a U b) = not a R not b, not (a R b) = not a U not b; quantifier
+/// nodes dualize (not forall = exists not).
+LtlPtr ToNegationNormalForm(const LtlPtr& f);
+
+/// Eliminates kForallQ/kExistsQ nodes by expanding them into conjunctions /
+/// disjunctions over the given domain element spellings — exact over the
+/// finite pseudo-domain (used for environment specs, Section 5).
+LtlPtr ExpandTemporalQuantifiers(const LtlPtr& f,
+                                 const std::vector<std::string>& domain);
+
+/// Expands an FO formula into LTL connective structure whose leaves are
+/// atomic (atoms, equalities, true/false); FO quantifiers become temporal
+/// quantifier nodes. Inverse of the parser's leaf collapsing; used when a
+/// transformation must reach individual atoms (observer-at-recipient
+/// translation, protocol channel-event mapping).
+LtlPtr LiftLeaf(const fo::FormulaPtr& f);
+
+/// LiftLeaf applied to every leaf of an LTL formula.
+LtlPtr LiftAllLeaves(const LtlPtr& f);
+
+/// True iff `f` contains no temporal operator (such formulas collapse into a
+/// single FO leaf during parsing).
+bool IsPureFo(const LtlPtr& f);
+
+}  // namespace wsv::ltl
+
+#endif  // WSVERIFY_LTL_LTL_FORMULA_H_

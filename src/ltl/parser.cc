@@ -1,0 +1,337 @@
+#include <string>
+#include <vector>
+
+#include "fo/lexer.h"
+#include "fo/parser.h"
+#include "ltl/property.h"
+
+namespace wsv::ltl {
+
+namespace {
+
+using fo::Token;
+using fo::TokenCursor;
+using fo::TokenKind;
+
+bool IsKeyword(const Token& t, const char* word) {
+  return t.kind == TokenKind::kIdent && t.text == word;
+}
+
+/// Smart constructors that keep maximal pure-FO regions collapsed into
+/// single leaves (fewer propositions for the automaton translation).
+LtlPtr MkNot(LtlPtr a) {
+  if (a->kind() == LtlKind::kLeaf) {
+    return LtlFormula::Leaf(fo::Formula::Not(a->leaf()));
+  }
+  return LtlFormula::Not(std::move(a));
+}
+
+LtlPtr MkAnd(LtlPtr a, LtlPtr b) {
+  if (a->kind() == LtlKind::kLeaf && b->kind() == LtlKind::kLeaf) {
+    return LtlFormula::Leaf(fo::Formula::And(a->leaf(), b->leaf()));
+  }
+  return LtlFormula::And(std::move(a), std::move(b));
+}
+
+LtlPtr MkOr(LtlPtr a, LtlPtr b) {
+  if (a->kind() == LtlKind::kLeaf && b->kind() == LtlKind::kLeaf) {
+    return LtlFormula::Leaf(fo::Formula::Or(a->leaf(), b->leaf()));
+  }
+  return LtlFormula::Or(std::move(a), std::move(b));
+}
+
+LtlPtr MkImplies(LtlPtr a, LtlPtr b) {
+  if (a->kind() == LtlKind::kLeaf && b->kind() == LtlKind::kLeaf) {
+    return LtlFormula::Leaf(fo::Formula::Implies(a->leaf(), b->leaf()));
+  }
+  return LtlFormula::Implies(std::move(a), std::move(b));
+}
+
+class LtlParser {
+ public:
+  explicit LtlParser(TokenCursor& cursor, bool allow_temporal_quantifiers)
+      : cur_(cursor),
+        allow_temporal_quantifiers_(allow_temporal_quantifiers) {}
+
+  Result<LtlPtr> ParseImplies() {
+    WSV_ASSIGN_OR_RETURN(LtlPtr lhs, ParseOr());
+    if (cur_.TryConsume(TokenKind::kArrow)) {
+      WSV_ASSIGN_OR_RETURN(LtlPtr rhs, ParseImplies());
+      return MkImplies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+ private:
+  Result<LtlPtr> ParseOr() {
+    WSV_ASSIGN_OR_RETURN(LtlPtr acc, ParseAnd());
+    while (cur_.TryConsumeIdent("or")) {
+      WSV_ASSIGN_OR_RETURN(LtlPtr next, ParseAnd());
+      acc = MkOr(std::move(acc), std::move(next));
+    }
+    return acc;
+  }
+
+  Result<LtlPtr> ParseAnd() {
+    WSV_ASSIGN_OR_RETURN(LtlPtr acc, ParseUntil());
+    while (cur_.TryConsumeIdent("and")) {
+      WSV_ASSIGN_OR_RETURN(LtlPtr next, ParseUntil());
+      acc = MkAnd(std::move(acc), std::move(next));
+    }
+    return acc;
+  }
+
+  Result<LtlPtr> ParseUntil() {
+    WSV_ASSIGN_OR_RETURN(LtlPtr lhs, ParseUnary());
+    if (IsKeyword(cur_.Peek(), "U")) {
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr rhs, ParseUntil());
+      return LtlFormula::Until(std::move(lhs), std::move(rhs));
+    }
+    if (IsKeyword(cur_.Peek(), "R")) {
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr rhs, ParseUntil());
+      return LtlFormula::Release(std::move(lhs), std::move(rhs));
+    }
+    if (IsKeyword(cur_.Peek(), "B")) {
+      // phi B psi ("phi must hold before psi fails") == phi R psi.
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr rhs, ParseUntil());
+      return LtlFormula::Before(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<LtlPtr> ParseUnary() {
+    const Token& t = cur_.Peek();
+    if (IsKeyword(t, "not")) {
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr inner, ParseUnary());
+      return MkNot(std::move(inner));
+    }
+    if (IsKeyword(t, "X")) {
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr inner, ParseUnary());
+      return LtlFormula::Next(std::move(inner));
+    }
+    if (IsKeyword(t, "G")) {
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr inner, ParseUnary());
+      return LtlFormula::Globally(std::move(inner));
+    }
+    if (IsKeyword(t, "F")) {
+      cur_.Next();
+      WSV_ASSIGN_OR_RETURN(LtlPtr inner, ParseUnary());
+      return LtlFormula::Finally(std::move(inner));
+    }
+    if (IsKeyword(t, "exists") || IsKeyword(t, "forall")) {
+      bool is_exists = cur_.Next().text == "exists";
+      std::vector<std::string> vars;
+      while (true) {
+        WSV_ASSIGN_OR_RETURN(Token v,
+                             cur_.Expect(TokenKind::kIdent, "variable list"));
+        vars.push_back(v.text);
+        if (!cur_.TryConsume(TokenKind::kComma)) break;
+      }
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kColon, "quantifier").status());
+      WSV_ASSIGN_OR_RETURN(LtlPtr body, ParseImplies());
+      if (body->kind() != LtlKind::kLeaf) {
+        if (allow_temporal_quantifiers_) {
+          return is_exists
+                     ? LtlFormula::ExistsQ(std::move(vars), std::move(body))
+                     : LtlFormula::ForallQ(std::move(vars), std::move(body));
+        }
+        return cur_.ErrorHere(
+            "quantifier over temporal operators: only the top-level "
+            "universal closure may quantify across X/U/G/F/B (Definition "
+            "3.1)");
+      }
+      fo::FormulaPtr fo_body =
+          is_exists ? fo::Formula::Exists(std::move(vars), body->leaf())
+                    : fo::Formula::Forall(std::move(vars), body->leaf());
+      return LtlFormula::Leaf(std::move(fo_body));
+    }
+    return ParsePrimary();
+  }
+
+  Result<LtlPtr> ParsePrimary() {
+    const Token& t = cur_.Peek();
+    switch (t.kind) {
+      case TokenKind::kLParen: {
+        cur_.Next();
+        WSV_ASSIGN_OR_RETURN(LtlPtr inner, ParseImplies());
+        WSV_RETURN_IF_ERROR(
+            cur_.Expect(TokenKind::kRParen, "parenthesized formula").status());
+        return inner;
+      }
+      case TokenKind::kLBracket: {
+        cur_.Next();
+        WSV_ASSIGN_OR_RETURN(LtlPtr inner, ParseImplies());
+        WSV_RETURN_IF_ERROR(
+            cur_.Expect(TokenKind::kRBracket, "bracketed formula").status());
+        return inner;
+      }
+      case TokenKind::kString:
+      case TokenKind::kNumber: {
+        fo::Term lhs = fo::Term::Constant(cur_.Next().text);
+        return ParseEqualityTail(std::move(lhs));
+      }
+      case TokenKind::kIdent: {
+        if (t.text == "true") {
+          cur_.Next();
+          return LtlFormula::Leaf(fo::Formula::True());
+        }
+        if (t.text == "false") {
+          cur_.Next();
+          return LtlFormula::Leaf(fo::Formula::False());
+        }
+        std::string name = cur_.Next().text;
+        if (cur_.Peek().kind == TokenKind::kLParen) {
+          cur_.Next();
+          std::vector<fo::Term> terms;
+          if (cur_.Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              WSV_ASSIGN_OR_RETURN(fo::Term term, ParseTerm());
+              terms.push_back(std::move(term));
+              if (!cur_.TryConsume(TokenKind::kComma)) break;
+            }
+          }
+          WSV_RETURN_IF_ERROR(cur_.Expect(TokenKind::kRParen, "atom").status());
+          return LtlFormula::Leaf(fo::Formula::Atom(
+              fo::NormalizeRelationName(name), std::move(terms)));
+        }
+        if (cur_.Peek().kind == TokenKind::kEquals ||
+            cur_.Peek().kind == TokenKind::kNotEquals) {
+          return ParseEqualityTail(fo::Term::Variable(name));
+        }
+        return LtlFormula::Leaf(
+            fo::Formula::Atom(fo::NormalizeRelationName(name), {}));
+      }
+      default:
+        return cur_.ErrorHere("expected an LTL-FO formula, found '" + t.text +
+                              "'");
+    }
+  }
+
+  Result<LtlPtr> ParseEqualityTail(fo::Term lhs) {
+    bool negated = false;
+    if (cur_.TryConsume(TokenKind::kNotEquals)) {
+      negated = true;
+    } else {
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kEquals, "equality").status());
+    }
+    WSV_ASSIGN_OR_RETURN(fo::Term rhs, ParseTerm());
+    fo::FormulaPtr eq = fo::Formula::Equality(std::move(lhs), std::move(rhs));
+    if (negated) eq = fo::Formula::Not(std::move(eq));
+    return LtlFormula::Leaf(std::move(eq));
+  }
+
+  Result<fo::Term> ParseTerm() {
+    const Token& t = cur_.Peek();
+    switch (t.kind) {
+      case TokenKind::kIdent:
+        return fo::Term::Variable(cur_.Next().text);
+      case TokenKind::kString:
+      case TokenKind::kNumber:
+        return fo::Term::Constant(cur_.Next().text);
+      default:
+        return cur_.ErrorHere("expected a term, found '" + t.text + "'");
+    }
+  }
+
+  TokenCursor& cur_;
+  bool allow_temporal_quantifiers_;
+};
+
+}  // namespace
+
+Result<LtlPtr> ParseLtlAt(fo::TokenCursor& cursor) {
+  LtlParser parser(cursor, /*allow_temporal_quantifiers=*/false);
+  return parser.ParseImplies();
+}
+
+Result<LtlPtr> ParseEnvironmentLtl(std::string_view source) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, fo::Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+  LtlParser parser(cursor, /*allow_temporal_quantifiers=*/true);
+  WSV_ASSIGN_OR_RETURN(LtlPtr formula, parser.ParseImplies());
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("trailing input after environment specification");
+  }
+  return formula;
+}
+
+Result<Property> Property::Parse(std::string_view source) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, fo::Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+
+  std::vector<std::string> closure;
+  if (IsKeyword(cursor.Peek(), "forall")) {
+    // Tentatively read a closure prefix; if the body turns out pure-FO the
+    // quantifier folds back into the leaf.
+    cursor.Next();
+    while (true) {
+      WSV_ASSIGN_OR_RETURN(Token v,
+                           cursor.Expect(TokenKind::kIdent, "closure"));
+      closure.push_back(v.text);
+      if (!cursor.TryConsume(TokenKind::kComma)) break;
+    }
+    WSV_RETURN_IF_ERROR(
+        cursor.Expect(TokenKind::kColon, "universal closure").status());
+  }
+
+  WSV_ASSIGN_OR_RETURN(LtlPtr body, ParseLtlAt(cursor));
+  if (!cursor.AtEnd()) {
+    return cursor.ErrorHere("trailing input after property");
+  }
+  if (!closure.empty() && body->kind() == LtlKind::kLeaf) {
+    // Pure FO: fold the closure into the leaf, leaving a strict sentence.
+    body = LtlFormula::Leaf(
+        fo::Formula::Forall(std::move(closure), body->leaf()));
+    closure = {};
+  }
+  return Property(std::move(closure), std::move(body));
+}
+
+Status Property::CheckInputBounded(
+    const fo::SymbolClassifier& classifier,
+    const fo::InputBoundedOptions& options) const {
+  std::vector<fo::FormulaPtr> leaves;
+  formula_->CollectLeaves(leaves);
+  for (const fo::FormulaPtr& leaf : leaves) {
+    WSV_RETURN_IF_ERROR(fo::CheckInputBounded(leaf, classifier, options));
+  }
+  return Status::Ok();
+}
+
+Result<LtlPtr> Property::Ground(const std::vector<std::string>& values) const {
+  if (values.size() != closure_variables_.size()) {
+    return Status::Internal("Ground: expected " +
+                            std::to_string(closure_variables_.size()) +
+                            " values, got " + std::to_string(values.size()));
+  }
+  LtlPtr grounded = formula_;
+  for (size_t i = 0; i < values.size(); ++i) {
+    grounded = SubstituteVariable(grounded, closure_variables_[i],
+                                  fo::Term::Constant(values[i]));
+  }
+  return grounded;
+}
+
+std::string Property::ToString() const {
+  std::string out;
+  if (!closure_variables_.empty()) {
+    out += "forall ";
+    for (size_t i = 0; i < closure_variables_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += closure_variables_[i];
+    }
+    out += ": ";
+  }
+  out += formula_->ToString();
+  return out;
+}
+
+}  // namespace wsv::ltl

@@ -1,0 +1,72 @@
+#ifndef WSVERIFY_LTL_PROPERTY_H_
+#define WSVERIFY_LTL_PROPERTY_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fo/classify.h"
+#include "fo/input_bounded.h"
+#include "fo/lexer.h"
+#include "ltl/ltl_formula.h"
+
+namespace wsv::ltl {
+
+/// An LTL-FO sentence (Definition 3.1): the universal closure
+/// `forall x̄: phi` of an LTL-FO formula phi. The closure variables are kept
+/// separate; verification enumerates their valuations over the run domain
+/// (pseudo-domain) and checks each grounded instance.
+class Property {
+ public:
+  Property(std::vector<std::string> closure_variables, LtlPtr formula)
+      : closure_variables_(std::move(closure_variables)),
+        formula_(std::move(formula)) {}
+
+  /// Parses a property such as
+  ///   forall id, l: G(apply(id, l) -> F letter(id, l, "approved"))
+  /// A leading `forall` whose body contains temporal operators is the
+  /// universal closure; quantifiers over pure-FO subformulas fold into FO
+  /// leaves. Temporal syntax: prefix X/G/F, infix U/R/B, plus not/and/or/->.
+  static Result<Property> Parse(std::string_view source);
+
+  const std::vector<std::string>& closure_variables() const {
+    return closure_variables_;
+  }
+  const LtlPtr& formula() const { return formula_; }
+
+  /// Strictly input-bounded sentences have no quantification over temporal
+  /// operators (Section 5): i.e. no closure variables.
+  bool IsStrict() const { return closure_variables_.empty(); }
+
+  /// All constants in the property (must be interned into the verification
+  /// domain).
+  std::set<std::string> Constants() const { return formula_->Constants(); }
+
+  /// Checks that all FO subformulas are input-bounded (Section 3.1).
+  Status CheckInputBounded(const fo::SymbolClassifier& classifier,
+                           const fo::InputBoundedOptions& options = {}) const;
+
+  /// Grounds the formula by substituting `values[i]` (a constant spelling)
+  /// for closure variable i; the result has no free variables.
+  Result<LtlPtr> Ground(const std::vector<std::string>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> closure_variables_;
+  LtlPtr formula_;
+};
+
+/// Parses an LTL-FO formula (without closure handling) starting at `cursor`.
+Result<LtlPtr> ParseLtlAt(fo::TokenCursor& cursor);
+
+/// Parses an environment-specification formula (Section 5): like LTL-FO,
+/// but quantifiers may scope over temporal operators (kForallQ/kExistsQ
+/// nodes), which the modular verifier expands over the pseudo-domain.
+Result<LtlPtr> ParseEnvironmentLtl(std::string_view source);
+
+}  // namespace wsv::ltl
+
+#endif  // WSVERIFY_LTL_PROPERTY_H_

@@ -1,0 +1,57 @@
+#include "modular/env_spec.h"
+
+#include "common/strings.h"
+#include "ltl/property.h"
+
+namespace wsv::modular {
+
+Result<EnvironmentSpec> EnvironmentSpec::Parse(std::string_view source) {
+  WSV_ASSIGN_OR_RETURN(ltl::LtlPtr formula, ltl::ParseEnvironmentLtl(source));
+  return EnvironmentSpec(std::move(formula));
+}
+
+namespace {
+
+bool HasTemporalQuantifier(const ltl::LtlPtr& f) {
+  if (f->kind() == ltl::LtlKind::kForallQ ||
+      f->kind() == ltl::LtlKind::kExistsQ) {
+    return true;
+  }
+  for (const ltl::LtlPtr& c : f->children()) {
+    if (HasTemporalQuantifier(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EnvironmentSpec::IsStrict() const {
+  return !HasTemporalQuantifier(formula_);
+}
+
+Status EnvironmentSpec::ValidateAgainst(const spec::Composition& comp) const {
+  std::vector<fo::FormulaPtr> leaves;
+  formula_->CollectLeaves(leaves);
+  for (const fo::FormulaPtr& leaf : leaves) {
+    for (const std::string& rel : leaf->RelationNames()) {
+      if (StartsWith(rel, "env.")) {
+        const spec::Channel* ch = comp.FindChannel(rel.substr(4));
+        if (ch == nullptr || (!ch->FromEnvironment() && !ch->ToEnvironment())) {
+          return Status::InvalidSpec(
+              "environment spec references '" + rel +
+              "' which is not an environment-facing queue");
+        }
+        continue;
+      }
+      fo::RelClass c = comp.Classify(rel);
+      if (c == fo::RelClass::kReceived || c == fo::RelClass::kMove) continue;
+      return Status::InvalidSpec(
+          "environment spec may only reference environment-facing queues "
+          "(env.Q), received_Q and move propositions; found '" +
+          rel + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsv::modular

@@ -1,0 +1,55 @@
+#ifndef WSVERIFY_MODULAR_ENV_SPEC_H_
+#define WSVERIFY_MODULAR_ENV_SPEC_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ltl/ltl_formula.h"
+#include "spec/composition.h"
+
+namespace wsv::modular {
+
+/// An environment specification (Section 5): an LTL-FO formula over the
+/// environment-facing queues of an open composition, describing the
+/// input-output behavior of the undisclosed outside peers.
+///
+/// Naming convention: the environment's view of channel Q is written
+/// `env.Q` — the first message (what the environment consumes) for channels
+/// flowing to the environment, the most recently enqueued message (what the
+/// environment produced) for channels flowing from it. Example 5.1's spec
+/// reads:
+///
+///   G forall ssn: env.getRating(ssn) ->
+///       (env.rating(ssn, "poor") or env.rating(ssn, "fair") or
+///        env.rating(ssn, "good") or env.rating(ssn, "excellent"))
+class EnvironmentSpec {
+ public:
+  /// Parses an environment spec. Unlike LTL-FO sentences, quantifiers may
+  /// scope over temporal operators (the non-strict case of Theorem 5.5 —
+  /// flagged by the regime check, still verifiable boundedly).
+  static Result<EnvironmentSpec> Parse(std::string_view source);
+
+  explicit EnvironmentSpec(ltl::LtlPtr formula)
+      : formula_(std::move(formula)) {}
+
+  const ltl::LtlPtr& formula() const { return formula_; }
+
+  /// Strictly input-bounded specs have no temporal operator in the scope of
+  /// a quantifier (Theorem 5.4's decidability requirement).
+  bool IsStrict() const;
+
+  std::set<std::string> Constants() const { return formula_->Constants(); }
+
+  /// Checks that the spec only references environment-facing queues of
+  /// `comp` (via env.Q atoms and received_Q/move_env propositions).
+  Status ValidateAgainst(const spec::Composition& comp) const;
+
+ private:
+  ltl::LtlPtr formula_;
+};
+
+}  // namespace wsv::modular
+
+#endif  // WSVERIFY_MODULAR_ENV_SPEC_H_

@@ -1,0 +1,155 @@
+#include "modular/modular_verifier.h"
+
+#include "ltl/grounding.h"
+#include "modular/translation.h"
+#include "verifier/engine.h"
+#include "verifier/validate.h"
+
+namespace wsv::modular {
+
+ModularVerifier::ModularVerifier(const spec::Composition* comp,
+                                 ModularVerifierOptions options)
+    : comp_(comp), options_(std::move(options)) {
+  options_.run.allow_env_moves = true;
+}
+
+Status ModularVerifier::CheckDecidableRegime(
+    const ltl::Property& property, const EnvironmentSpec& env) const {
+  if (comp_->IsClosed()) {
+    return Status::UndecidableRegime(
+        "composition is closed; modular verification applies to open "
+        "compositions (Section 5) — use Verifier instead");
+  }
+  if (options_.run.queue_bound == 0) {
+    return Status::UndecidableRegime(
+        "unbounded queues (Corollary 3.6 applies to modular verification "
+        "too)");
+  }
+  if (!options_.run.lossy) {
+    return Status::UndecidableRegime(
+        "perfect channels (Theorem 3.7); Theorem 5.4 requires bounded lossy "
+        "queues");
+  }
+  if (!env.IsStrict()) {
+    return Status::UndecidableRegime(
+        "non-strict environment specification: quantifiers scope over "
+        "temporal operators, undecidable in general (Theorem 5.5); the "
+        "verdict is bounded-sound");
+  }
+  WSV_RETURN_IF_ERROR(env.ValidateAgainst(*comp_));
+  // Theorem 5.4 restricts the env spec to flat environment-facing queues.
+  std::vector<fo::FormulaPtr> leaves;
+  env.formula()->CollectLeaves(leaves);
+  for (const fo::FormulaPtr& leaf : leaves) {
+    for (const std::string& rel : leaf->RelationNames()) {
+      if (rel.rfind("env.", 0) == 0) {
+        const spec::Channel* ch = comp_->FindChannel(rel.substr(4));
+        if (ch != nullptr && ch->kind == spec::QueueKind::kNested) {
+          return Status::UndecidableRegime(
+              "environment spec references nested queue '" + ch->name +
+              "'; Theorem 5.4 covers flat environment-facing queues only");
+        }
+      }
+    }
+  }
+  WSV_RETURN_IF_ERROR(comp_->CheckInputBounded(options_.ib_options));
+  WSV_RETURN_IF_ERROR(
+      property.CheckInputBounded(*comp_, options_.ib_options));
+  return Status::Ok();
+}
+
+Result<verifier::VerificationResult> ModularVerifier::Verify(
+    const ltl::Property& property, const EnvironmentSpec& env) {
+  WSV_RETURN_IF_ERROR(verifier::ValidateProperty(*comp_, property));
+  WSV_RETURN_IF_ERROR(verifier::ValidateLtlSchema(*comp_, env.formula()));
+  verifier::VerificationResult result;
+  result.regime = CheckDecidableRegime(property, env);
+  if (!result.regime.ok() && options_.require_decidable_regime) {
+    return result.regime;
+  }
+
+  std::set<std::string> extra = property.Constants();
+  for (const std::string& c : env.Constants()) extra.insert(c);
+  verifier::PseudoDomain pd = verifier::BuildPseudoDomain(
+      *comp_, extra, options_.fresh_domain_size);
+  interner_ = std::move(pd.interner);
+
+  std::optional<std::vector<data::Instance>> fixed;
+  if (options_.fixed_databases.has_value()) {
+    WSV_ASSIGN_OR_RETURN(
+        std::vector<data::Instance> dbs,
+        verifier::MaterializeDatabases(*comp_, *options_.fixed_databases,
+                                       interner_, pd.domain));
+    fixed = std::move(dbs);
+  }
+
+  // psi -> psi-bar -> psi-bar-r -> quantifier-free over the pseudo-domain.
+  ltl::LtlPtr env_bar = RelativizeToMove(
+      env.formula(), spec::Composition::EnvMovePropName());
+  WSV_ASSIGN_OR_RETURN(ltl::LtlPtr env_bar_r,
+                       ObserverAtRecipientTranslate(env_bar, *comp_));
+  // Environment message candidates must be interned before the engine runs.
+  for (const auto& [channel, rows] : options_.run.env_message_candidates) {
+    (void)channel;
+    for (const std::vector<std::string>& row : rows) {
+      for (const std::string& spelling : row) interner_.Intern(spelling);
+    }
+  }
+
+  std::vector<std::string> domain_spellings = options_.env_quantifier_domain;
+  if (domain_spellings.empty()) {
+    for (data::Value v : pd.domain) {
+      domain_spellings.push_back(interner_.Text(v));
+    }
+  } else {
+    for (const std::string& c : domain_spellings) interner_.Intern(c);
+  }
+  ltl::LtlPtr env_expanded =
+      ltl::ExpandTemporalQuantifiers(env_bar_r, domain_spellings);
+
+  // Search for a run with (env_expanded and not phi), phi's closure
+  // variables symbolic — one instance per valuation.
+  ltl::LtlPtr violation = ltl::LtlFormula::And(
+      env_expanded, ltl::LtlFormula::Not(property.formula()));
+  WSV_ASSIGN_OR_RETURN(
+      ltl::GroundLtl ground,
+      ltl::GroundToPropositional(violation, /*negate=*/false,
+                                 /*allow_free_leaves=*/true));
+  verifier::SymbolicTask task;
+  WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
+  task.leaves = std::move(ground.propositions);
+  task.closure_variables = property.closure_variables();
+  task.valuations = verifier::EnumerateValuations(
+      pd.domain, interner_, task.closure_variables.size());
+  result.stats.valuations_checked = task.valuations.size();
+
+  verifier::EngineOptions engine_options;
+  engine_options.run = options_.run;
+  engine_options.iso_reduction = options_.iso_reduction;
+  engine_options.max_databases = options_.max_databases;
+  engine_options.budget = options_.budget;
+  engine_options.fixed_databases = std::move(fixed);
+  verifier::VerificationEngine engine(comp_, &interner_, pd.domain, pd.fresh,
+                                      engine_options);
+  WSV_ASSIGN_OR_RETURN(verifier::EngineOutcome outcome, engine.Run(task));
+
+  result.stats.databases_checked = outcome.databases_checked;
+  result.stats.searches = outcome.searches;
+  result.stats.prefiltered = outcome.prefiltered;
+  result.stats.search = outcome.search_stats;
+  result.holds = !outcome.violation_found;
+  if (outcome.violation_found) {
+    verifier::Counterexample ce;
+    ce.databases = std::move(outcome.databases);
+    ce.closure_valuation = std::move(outcome.label);
+    ce.lasso = std::move(outcome.lasso);
+    result.counterexample = std::move(ce);
+  }
+  if (!outcome.budget_status.ok() && result.holds && result.regime.ok()) {
+    result.regime = outcome.budget_status;
+  }
+  result.complete = false;  // bounded pseudo-domain by construction
+  return result;
+}
+
+}  // namespace wsv::modular

@@ -1,0 +1,145 @@
+#include "modular/translation.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace wsv::modular {
+
+using ltl::LtlFormula;
+using ltl::LtlKind;
+using ltl::LtlPtr;
+
+ltl::LtlPtr RelativizeToMove(const ltl::LtlPtr& f,
+                             const std::string& alpha_proposition) {
+  auto alpha = [&]() {
+    return LtlFormula::Leaf(fo::Formula::Atom(alpha_proposition, {}));
+  };
+  auto not_alpha = [&]() {
+    return LtlFormula::Leaf(
+        fo::Formula::Not(fo::Formula::Atom(alpha_proposition, {})));
+  };
+  auto recurse = [&](const LtlPtr& g) {
+    return RelativizeToMove(g, alpha_proposition);
+  };
+
+  switch (f->kind()) {
+    case LtlKind::kLeaf:
+      return f;
+    case LtlKind::kNot:
+      return LtlFormula::Not(recurse(f->child(0)));
+    case LtlKind::kAnd:
+      return LtlFormula::And(recurse(f->child(0)), recurse(f->child(1)));
+    case LtlKind::kOr:
+      return LtlFormula::Or(recurse(f->child(0)), recurse(f->child(1)));
+    case LtlKind::kImplies:
+      return LtlFormula::Implies(recurse(f->child(0)), recurse(f->child(1)));
+    case LtlKind::kNext: {
+      // X_a f == X(not a U (a and f)).
+      LtlPtr body = recurse(f->child(0));
+      return LtlFormula::Next(LtlFormula::Until(
+          not_alpha(), LtlFormula::And(alpha(), std::move(body))));
+    }
+    case LtlKind::kUntil: {
+      // f U_a g == (a -> f) U (a and g).
+      LtlPtr a = recurse(f->child(0));
+      LtlPtr b = recurse(f->child(1));
+      return LtlFormula::Until(LtlFormula::Implies(alpha(), std::move(a)),
+                               LtlFormula::And(alpha(), std::move(b)));
+    }
+    case LtlKind::kRelease: {
+      // f R_a g == not (not f U_a not g).
+      LtlPtr a = recurse(f->child(0));
+      LtlPtr b = recurse(f->child(1));
+      LtlPtr until = LtlFormula::Until(
+          LtlFormula::Implies(alpha(), LtlFormula::Not(std::move(a))),
+          LtlFormula::And(alpha(), LtlFormula::Not(std::move(b))));
+      return LtlFormula::Not(std::move(until));
+    }
+    case LtlKind::kForallQ:
+      return LtlFormula::ForallQ(f->bound_variables(), recurse(f->body()));
+    case LtlKind::kExistsQ:
+      return LtlFormula::ExistsQ(f->bound_variables(), recurse(f->body()));
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+namespace {
+
+/// Does this FO formula mention an atom over a queue the environment feeds?
+bool MentionsEnvOutAtom(const fo::FormulaPtr& f,
+                        const spec::Composition& comp) {
+  for (const std::string& rel : f->RelationNames()) {
+    if (!StartsWith(rel, "env.")) continue;
+    const spec::Channel* ch = comp.FindChannel(rel.substr(4));
+    if (ch != nullptr && ch->FromEnvironment()) return true;
+  }
+  return false;
+}
+
+Result<LtlPtr> TranslateRec(const LtlPtr& f, const spec::Composition& comp) {
+  if (f->kind() == LtlKind::kLeaf) {
+    const fo::FormulaPtr& leaf = f->leaf();
+    if (!MentionsEnvOutAtom(leaf, comp)) return LtlPtr(f);
+    if (leaf->kind() == fo::FormulaKind::kAtom) {
+      // env.Q atom with Q in E.Qout: (received_Q -> atom).
+      //
+      // The paper writes X(received_Q -> Q(x̄)) because its moveE labels the
+      // *pre-move* snapshot, with the enqueue observable one step later. In
+      // this library the run propositions (move_*, received_*) describe the
+      // transition INTO a snapshot, so the environment's send and the
+      // recipient's observation coincide at the same (post-move) alpha
+      // position and no X is needed (DESIGN.md, semantic alignment).
+      const spec::Channel* ch = comp.FindChannel(leaf->relation().substr(4));
+      assert(ch != nullptr && ch->FromEnvironment());
+      LtlPtr received = LtlFormula::Leaf(fo::Formula::Atom(
+          spec::Composition::ReceivedPropName(ch->name), {}));
+      return LtlFormula::Implies(std::move(received), LtlPtr(f));
+    }
+    // Composite leaf containing such an atom: lift into LTL structure and
+    // recurse so the rewrite lands on the atoms.
+    return TranslateRec(ltl::LiftLeaf(leaf), comp);
+  }
+  bool touched = false;
+  std::vector<LtlPtr> kids;
+  kids.reserve(f->children().size());
+  for (const LtlPtr& c : f->children()) {
+    WSV_ASSIGN_OR_RETURN(LtlPtr nc, TranslateRec(c, comp));
+    if (nc != c) touched = true;
+    kids.push_back(std::move(nc));
+  }
+  if (!touched) return LtlPtr(f);
+  switch (f->kind()) {
+    case LtlKind::kNot:
+      return LtlFormula::Not(kids[0]);
+    case LtlKind::kAnd:
+      return LtlFormula::And(kids[0], kids[1]);
+    case LtlKind::kOr:
+      return LtlFormula::Or(kids[0], kids[1]);
+    case LtlKind::kImplies:
+      return LtlFormula::Implies(kids[0], kids[1]);
+    case LtlKind::kNext:
+      return LtlFormula::Next(kids[0]);
+    case LtlKind::kUntil:
+      return LtlFormula::Until(kids[0], kids[1]);
+    case LtlKind::kRelease:
+      return LtlFormula::Release(kids[0], kids[1]);
+    case LtlKind::kForallQ:
+      return LtlFormula::ForallQ(f->bound_variables(), kids[0]);
+    case LtlKind::kExistsQ:
+      return LtlFormula::ExistsQ(f->bound_variables(), kids[0]);
+    case LtlKind::kLeaf:
+      break;
+  }
+  return Status::Internal("unreachable in TranslateRec");
+}
+
+}  // namespace
+
+Result<ltl::LtlPtr> ObserverAtRecipientTranslate(
+    const ltl::LtlPtr& f, const spec::Composition& comp) {
+  return TranslateRec(f, comp);
+}
+
+}  // namespace wsv::modular

@@ -1,0 +1,34 @@
+#ifndef WSVERIFY_MODULAR_TRANSLATION_H_
+#define WSVERIFY_MODULAR_TRANSLATION_H_
+
+#include "common/status.h"
+#include "ltl/ltl_formula.h"
+#include "spec/composition.h"
+
+namespace wsv::modular {
+
+/// psi -> psi-bar (Definition 5.3): relativizes every X and U (and R, their
+/// dual) to configurations where `alpha` holds (alpha = move_env):
+///   X_a f     == X(not a U (a and f))
+///   f U_a g   == (a -> f) U (a and g)
+///   f R_a g   == not(not f U_a not g)
+/// Boolean structure, leaves and quantifier nodes are traversed unchanged.
+ltl::LtlPtr RelativizeToMove(const ltl::LtlPtr& f,
+                             const std::string& alpha_proposition);
+
+/// psi-bar -> psi-bar-r (Section 5, observer-at-recipient translation):
+/// every atom over a queue the environment feeds (env.Q with Q in E.Qout)
+/// becomes (received_Q -> atom). The paper writes X(received_Q -> Q(x̄))
+/// under its pre-move moveE convention; this library's run propositions
+/// describe the transition INTO a snapshot, which places the send and its
+/// observation at the same position (no X; see DESIGN.md). FO leaves
+/// containing such atoms are first lifted into LTL structure (quantifiers
+/// become kForallQ/kExistsQ nodes) so the rewrite lands on the atom; either
+/// way the rewrite happens AFTER relativization (the paper notes the
+/// translation order matters).
+Result<ltl::LtlPtr> ObserverAtRecipientTranslate(
+    const ltl::LtlPtr& f, const spec::Composition& comp);
+
+}  // namespace wsv::modular
+
+#endif  // WSVERIFY_MODULAR_TRANSLATION_H_

@@ -1,0 +1,82 @@
+#include "protocol/ltl_protocol.h"
+
+#include "ltl/grounding.h"
+#include "ltl/property.h"
+
+namespace wsv::protocol {
+
+Result<automata::BuchiAutomaton> DataAgnosticAutomatonFromLtl(
+    const spec::Composition& comp, std::string_view ltl_text) {
+  WSV_ASSIGN_OR_RETURN(ltl::Property property, ltl::Property::Parse(ltl_text));
+  if (!property.closure_variables().empty()) {
+    return Status::InvalidSpec(
+        "data-agnostic protocol formulas are propositional (no variables)");
+  }
+  // Undo the parser's pure-FO leaf collapsing so every proposition is a
+  // bare channel-name atom.
+  ltl::LtlPtr lifted = ltl::LiftAllLeaves(property.formula());
+  WSV_ASSIGN_OR_RETURN(
+      ltl::GroundLtl ground,
+      ltl::GroundToPropositional(lifted, /*negate=*/false));
+
+  // Map grounding propositions (0-ary channel-name atoms) onto channel
+  // indices.
+  std::vector<automata::PropId> mapping;
+  for (const fo::FormulaPtr& prop : ground.propositions) {
+    if (prop->kind() != fo::FormulaKind::kAtom || !prop->terms().empty()) {
+      return Status::InvalidSpec(
+          "protocol formula atoms must be bare channel names, got: " +
+          prop->ToString());
+    }
+    const spec::Channel* channel = comp.FindChannel(prop->relation());
+    if (channel == nullptr) {
+      return Status::NotFound("protocol formula references unknown channel '" +
+                              prop->relation() + "'");
+    }
+    size_t index = 0;
+    for (; index < comp.channels().size(); ++index) {
+      if (&comp.channels()[index] == channel) break;
+    }
+    mapping.push_back(static_cast<automata::PropId>(index));
+  }
+
+  WSV_ASSIGN_OR_RETURN(automata::BuchiAutomaton automaton,
+                       ground.BuildAutomaton());
+  automata::BuchiAutomaton remapped(comp.channels().size());
+  for (size_t s = 0; s < automaton.num_states(); ++s) remapped.AddState();
+  for (automata::StateId s : automaton.initial_states()) {
+    remapped.AddInitial(s);
+  }
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    for (const automata::BuchiTransition& t :
+         automaton.transitions_from(static_cast<automata::StateId>(s))) {
+      remapped.AddTransition(static_cast<automata::StateId>(s), t.to,
+                             automata::PropExpr::Remap(t.guard, mapping));
+    }
+  }
+  std::vector<automata::StateId> accepting;
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    if (automaton.IsAccepting(static_cast<automata::StateId>(s))) {
+      accepting.push_back(static_cast<automata::StateId>(s));
+    }
+  }
+  remapped.AddAcceptingSet(std::move(accepting));
+  return remapped;
+}
+
+Result<ConversationProtocol> DataAgnosticProtocolFromLtl(
+    const spec::Composition& comp, std::string_view ltl_text,
+    ObserverSemantics observer) {
+  WSV_ASSIGN_OR_RETURN(automata::BuchiAutomaton automaton,
+                       DataAgnosticAutomatonFromLtl(comp, ltl_text));
+  WSV_ASSIGN_OR_RETURN(ConversationProtocol protocol,
+                       ConversationProtocol::DataAgnostic(
+                           comp, std::move(automaton), observer));
+  // Keep the formula: verification negates it instead of complementing the
+  // automaton.
+  WSV_ASSIGN_OR_RETURN(ltl::Property property, ltl::Property::Parse(ltl_text));
+  protocol.SetLtlFormula(property.formula());
+  return protocol;
+}
+
+}  // namespace wsv::protocol

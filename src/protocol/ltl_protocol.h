@@ -1,0 +1,30 @@
+#ifndef WSVERIFY_PROTOCOL_LTL_PROTOCOL_H_
+#define WSVERIFY_PROTOCOL_LTL_PROTOCOL_H_
+
+#include <string_view>
+
+#include "automata/buchi.h"
+#include "common/status.h"
+#include "protocol/protocol.h"
+#include "spec/composition.h"
+
+namespace wsv::protocol {
+
+/// Builds a data-agnostic protocol automaton from an LTL formula over
+/// channel-event propositions (Example 4.1's "G(getRating -> F rating)"):
+/// atoms are channel names; the formula is translated to a Büchi automaton
+/// whose proposition ids index comp.channels().
+///
+/// Büchi automata are strictly more expressive than LTL, so protocols beyond
+/// this helper are built directly with automata::BuchiAutomaton.
+Result<automata::BuchiAutomaton> DataAgnosticAutomatonFromLtl(
+    const spec::Composition& comp, std::string_view ltl_text);
+
+/// Convenience: DataAgnosticAutomatonFromLtl + ConversationProtocol wiring.
+Result<ConversationProtocol> DataAgnosticProtocolFromLtl(
+    const spec::Composition& comp, std::string_view ltl_text,
+    ObserverSemantics observer = ObserverSemantics::kAtRecipient);
+
+}  // namespace wsv::protocol
+
+#endif  // WSVERIFY_PROTOCOL_LTL_PROTOCOL_H_

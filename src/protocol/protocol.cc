@@ -1,0 +1,79 @@
+#include "protocol/protocol.h"
+
+#include <algorithm>
+
+#include "fo/input_bounded.h"
+
+namespace wsv::protocol {
+
+ConversationProtocol::ConversationProtocol(
+    std::vector<ProtocolSymbol> symbols, automata::BuchiAutomaton automaton,
+    ObserverSemantics observer)
+    : symbols_(std::move(symbols)),
+      automaton_(std::move(automaton)),
+      observer_(observer) {
+  automaton_.set_num_props(symbols_.size());
+}
+
+fo::FormulaPtr ChannelEventAtom(const std::string& channel,
+                                ObserverSemantics observer) {
+  std::string prop = observer == ObserverSemantics::kAtRecipient
+                         ? spec::Composition::ReceivedPropName(channel)
+                         : "sent_" + channel;
+  return fo::Formula::Atom(std::move(prop), {});
+}
+
+Result<ConversationProtocol> ConversationProtocol::DataAgnostic(
+    const spec::Composition& comp, automata::BuchiAutomaton automaton,
+    ObserverSemantics observer) {
+  std::vector<ProtocolSymbol> symbols;
+  for (const spec::Channel& ch : comp.channels()) {
+    symbols.push_back(
+        ProtocolSymbol{ch.name, ChannelEventAtom(ch.name, observer)});
+  }
+  // Sanity: automaton guards must not reference propositions beyond the
+  // channel count.
+  for (automata::PropId p : automata::MentionedProps(automaton)) {
+    if (p >= symbols.size()) {
+      return Status::InvalidSpec(
+          "protocol automaton references proposition " + std::to_string(p) +
+          " but the composition has only " +
+          std::to_string(symbols.size()) + " channels");
+    }
+  }
+  return ConversationProtocol(std::move(symbols), std::move(automaton),
+                              observer);
+}
+
+std::vector<std::string> ConversationProtocol::FreeVariables() const {
+  std::set<std::string> vars;
+  for (const ProtocolSymbol& s : symbols_) {
+    auto f = s.guard->FreeVariables();
+    vars.insert(f.begin(), f.end());
+  }
+  return std::vector<std::string>(vars.begin(), vars.end());
+}
+
+std::set<std::string> ConversationProtocol::Constants() const {
+  std::set<std::string> out;
+  for (const ProtocolSymbol& s : symbols_) {
+    auto c = s.guard->Constants();
+    out.insert(c.begin(), c.end());
+  }
+  return out;
+}
+
+Status ConversationProtocol::CheckInputBounded(
+    const fo::SymbolClassifier& classifier,
+    const fo::InputBoundedOptions& options) const {
+  for (const ProtocolSymbol& s : symbols_) {
+    Status status = fo::CheckInputBounded(s.guard, classifier, options);
+    if (!status.ok()) {
+      return Status(status.code(), "protocol symbol '" + s.name +
+                                       "': " + status.message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsv::protocol

@@ -1,0 +1,88 @@
+#ifndef WSVERIFY_PROTOCOL_PROTOCOL_H_
+#define WSVERIFY_PROTOCOL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "common/status.h"
+#include "fo/formula.h"
+#include "ltl/ltl_formula.h"
+#include "spec/composition.h"
+
+namespace wsv::protocol {
+
+/// Where the message observer sits (Section 4): observer-at-recipient sees
+/// only messages actually enqueued (decidable, Theorems 4.2/4.5);
+/// observer-at-source sees every send attempt, including dropped ones
+/// (undecidable, Theorem 4.3 — still explorable boundedly).
+enum class ObserverSemantics { kAtRecipient, kAtSource };
+
+/// One protocol alphabet symbol sigma with its guard formula phi_sigma
+/// (Definition 4.4). For data-agnostic protocols the guard is the
+/// message-enqueue event of one queue.
+struct ProtocolSymbol {
+  std::string name;
+  /// FO formula over the out-queue views of the composition schema
+  /// (possibly with free variables; satisfaction quantifies them universally
+  /// over the run domain).
+  fo::FormulaPtr guard;
+};
+
+/// A conversation protocol (Σ, B, {phi_sigma}) for a composition: the Büchi
+/// automaton B runs over the per-snapshot truth valuations of the symbols
+/// and must accept every run of the composition.
+class ConversationProtocol {
+ public:
+  /// `automaton` must be plain (one acceptance set); its guard propositions
+  /// index into `symbols`.
+  ConversationProtocol(std::vector<ProtocolSymbol> symbols,
+                       automata::BuchiAutomaton automaton,
+                       ObserverSemantics observer);
+
+  /// Data-agnostic protocol (Section 4, Theorem 4.2): one symbol per channel
+  /// of `comp`, true when a new message is placed in (observer-at-recipient)
+  /// or sent on (observer-at-source) that channel. The automaton's
+  /// proposition ids index comp.channels().
+  static Result<ConversationProtocol> DataAgnostic(
+      const spec::Composition& comp, automata::BuchiAutomaton automaton,
+      ObserverSemantics observer);
+
+  const std::vector<ProtocolSymbol>& symbols() const { return symbols_; }
+  const automata::BuchiAutomaton& automaton() const { return automaton_; }
+  ObserverSemantics observer() const { return observer_; }
+
+  /// When the protocol language was given in LTL (Example 4.1 style), the
+  /// formula over channel-name atoms. Verification then negates the formula
+  /// directly instead of complementing the automaton (complementation is
+  /// exponential; negation is free).
+  const ltl::LtlPtr& ltl_formula() const { return ltl_formula_; }
+  void SetLtlFormula(ltl::LtlPtr formula) {
+    ltl_formula_ = std::move(formula);
+  }
+
+  /// Free variables across all symbol guards (sorted).
+  std::vector<std::string> FreeVariables() const;
+
+  /// Constants across all symbol guards.
+  std::set<std::string> Constants() const;
+
+  /// True iff every guard is input-bounded (Theorem 4.5's requirement).
+  Status CheckInputBounded(const fo::SymbolClassifier& classifier,
+                           const fo::InputBoundedOptions& options = {}) const;
+
+ private:
+  std::vector<ProtocolSymbol> symbols_;
+  automata::BuchiAutomaton automaton_;
+  ObserverSemantics observer_;
+  ltl::LtlPtr ltl_formula_;
+};
+
+/// The event proposition of `channel` under `observer` semantics
+/// ("received_Q" / "sent_Q") as an FO atom.
+fo::FormulaPtr ChannelEventAtom(const std::string& channel,
+                                ObserverSemantics observer);
+
+}  // namespace wsv::protocol
+
+#endif  // WSVERIFY_PROTOCOL_PROTOCOL_H_

@@ -1,0 +1,137 @@
+#include "protocol/protocol_verifier.h"
+
+#include <set>
+
+#include "ltl/grounding.h"
+
+#include "verifier/engine.h"
+
+namespace wsv::protocol {
+
+ProtocolVerifier::ProtocolVerifier(const spec::Composition* comp,
+                                   ProtocolVerifierOptions options)
+    : comp_(comp), options_(std::move(options)) {}
+
+Status ProtocolVerifier::CheckDecidableRegime(
+    const ConversationProtocol& protocol) const {
+  if (protocol.observer() == ObserverSemantics::kAtSource) {
+    return Status::UndecidableRegime(
+        "observer-at-source semantics: protocol verification undecidable "
+        "(Theorem 4.3); use observer-at-recipient");
+  }
+  if (options_.run.queue_bound == 0) {
+    return Status::UndecidableRegime(
+        "unbounded queues: protocol verification undecidable (Theorem "
+        "4.6(i))");
+  }
+  if (!options_.run.lossy) {
+    return Status::UndecidableRegime(
+        "perfect flat channels: protocol verification undecidable (Theorem "
+        "4.6(ii))");
+  }
+  if (options_.run.deterministic_flat_sends) {
+    return Status::UndecidableRegime(
+        "deterministic flat sends: protocol verification undecidable "
+        "(Theorem 4.6(iii)) unless message parameters are ground");
+  }
+  if (!comp_->IsClosed() && !options_.run.allow_env_moves) {
+    return Status::UndecidableRegime(
+        "open composition without environment model");
+  }
+  WSV_RETURN_IF_ERROR(comp_->CheckInputBounded(options_.ib_options));
+  WSV_RETURN_IF_ERROR(
+      protocol.CheckInputBounded(*comp_, options_.ib_options));
+  return Status::Ok();
+}
+
+Result<verifier::VerificationResult> ProtocolVerifier::Verify(
+    const ConversationProtocol& protocol) {
+  verifier::VerificationResult result;
+  result.regime = CheckDecidableRegime(protocol);
+  if (!result.regime.ok() && options_.require_decidable_regime) {
+    return result.regime;
+  }
+
+  verifier::PseudoDomain pd = verifier::BuildPseudoDomain(
+      *comp_, protocol.Constants(), options_.fresh_domain_size);
+  interner_ = std::move(pd.interner);
+
+  std::optional<std::vector<data::Instance>> fixed;
+  if (options_.fixed_databases.has_value()) {
+    WSV_ASSIGN_OR_RETURN(
+        std::vector<data::Instance> dbs,
+        verifier::MaterializeDatabases(*comp_, *options_.fixed_databases,
+                                       interner_, pd.domain));
+    fixed = std::move(dbs);
+  }
+
+  verifier::SymbolicTask task;
+  if (protocol.ltl_formula() != nullptr) {
+    // LTL-given protocol: the violating runs are exactly those of the
+    // negated formula — no Büchi complementation needed. Grounding
+    // propositions are channel-name atoms, which evaluate as the channel's
+    // event proposition under the protocol's observer semantics.
+    ltl::LtlPtr lifted = ltl::LiftAllLeaves(protocol.ltl_formula());
+    WSV_ASSIGN_OR_RETURN(
+        ltl::GroundLtl ground,
+        ltl::GroundToPropositional(lifted, /*negate=*/true));
+    WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
+    for (const fo::FormulaPtr& prop : ground.propositions) {
+      if (prop->kind() != fo::FormulaKind::kAtom || !prop->terms().empty()) {
+        return Status::InvalidSpec(
+            "LTL protocol propositions must be channel names, got: " +
+            prop->ToString());
+      }
+      if (comp_->FindChannel(prop->relation()) == nullptr) {
+        return Status::NotFound("LTL protocol references unknown channel '" +
+                                prop->relation() + "'");
+      }
+      task.leaves.push_back(
+          ChannelEventAtom(prop->relation(), protocol.observer()));
+    }
+  } else {
+    // Automaton-given protocol: a run violates the protocol iff its event
+    // sequence is accepted by the complement of B.
+    WSV_ASSIGN_OR_RETURN(
+        automata::BuchiAutomaton complement,
+        automata::ComplementBuchi(protocol.automaton(), options_.complement));
+    task.automaton = std::move(complement);
+    for (const ProtocolSymbol& symbol : protocol.symbols()) {
+      task.leaves.push_back(symbol.guard);
+    }
+  }
+  task.closure_variables = protocol.FreeVariables();
+  task.valuations = verifier::EnumerateValuations(
+      pd.domain, interner_, task.closure_variables.size());
+  result.stats.valuations_checked = task.valuations.size();
+
+  verifier::EngineOptions engine_options;
+  engine_options.run = options_.run;
+  engine_options.iso_reduction = options_.iso_reduction;
+  engine_options.max_databases = options_.max_databases;
+  engine_options.budget = options_.budget;
+  engine_options.fixed_databases = std::move(fixed);
+  verifier::VerificationEngine engine(comp_, &interner_, pd.domain, pd.fresh,
+                                      engine_options);
+  WSV_ASSIGN_OR_RETURN(verifier::EngineOutcome outcome, engine.Run(task));
+
+  result.stats.databases_checked = outcome.databases_checked;
+  result.stats.searches = outcome.searches;
+  result.stats.prefiltered = outcome.prefiltered;
+  result.stats.search = outcome.search_stats;
+  result.holds = !outcome.violation_found;
+  if (outcome.violation_found) {
+    verifier::Counterexample ce;
+    ce.databases = std::move(outcome.databases);
+    ce.closure_valuation = std::move(outcome.label);
+    ce.lasso = std::move(outcome.lasso);
+    result.counterexample = std::move(ce);
+  }
+  if (!outcome.budget_status.ok() && result.holds && result.regime.ok()) {
+    result.regime = outcome.budget_status;
+  }
+  result.complete = false;  // protocol verification is always domain-bounded
+  return result;
+}
+
+}  // namespace wsv::protocol

@@ -1,0 +1,52 @@
+#ifndef WSVERIFY_PROTOCOL_PROTOCOL_VERIFIER_H_
+#define WSVERIFY_PROTOCOL_PROTOCOL_VERIFIER_H_
+
+#include "automata/complement.h"
+#include "protocol/protocol.h"
+#include "verifier/engine.h"
+#include "verifier/verifier.h"
+
+namespace wsv::protocol {
+
+struct ProtocolVerifierOptions {
+  runtime::RunOptions run;
+  /// Fresh pseudo-domain elements (see VerifierOptions::fresh_domain_size).
+  size_t fresh_domain_size = 2;
+  bool iso_reduction = true;
+  size_t max_databases = static_cast<size_t>(-1);
+  verifier::SearchBudget budget;
+  automata::ComplementOptions complement;
+  fo::InputBoundedOptions ib_options;
+  bool require_decidable_regime = false;
+  std::optional<std::vector<verifier::NamedDatabase>> fixed_databases;
+};
+
+/// Verifies conversation protocols against compositions (Theorems 4.2 and
+/// 4.5): the composition satisfies (Σ, B, {phi_sigma}) iff no run's event
+/// sequence is accepted by the complement of B; the verifier complements B
+/// (rank-based, or the cheap construction for deterministic B) and searches
+/// the product.
+class ProtocolVerifier {
+ public:
+  explicit ProtocolVerifier(const spec::Composition* comp,
+                            ProtocolVerifierOptions options = {});
+
+  /// Maps the instance onto the paper's decidability results: undecidable
+  /// for observer-at-source (Theorem 4.3), unbounded queues (Theorem
+  /// 4.6(i)), perfect flat channels (4.6(ii)), or non-input-bounded guards.
+  Status CheckDecidableRegime(const ConversationProtocol& protocol) const;
+
+  Result<verifier::VerificationResult> Verify(
+      const ConversationProtocol& protocol);
+
+  const Interner& interner() const { return interner_; }
+
+ private:
+  const spec::Composition* comp_;
+  ProtocolVerifierOptions options_;
+  Interner interner_;
+};
+
+}  // namespace wsv::protocol
+
+#endif  // WSVERIFY_PROTOCOL_PROTOCOL_VERIFIER_H_

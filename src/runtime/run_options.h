@@ -1,0 +1,75 @@
+#ifndef WSVERIFY_RUNTIME_RUN_OPTIONS_H_
+#define WSVERIFY_RUNTIME_RUN_OPTIONS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsv::runtime {
+
+/// Communication semantics knobs explored by the paper (Sections 2, 3.2):
+/// queue bounds, lossy vs perfect channels, deterministic flat sends
+/// (Theorem 3.8), perfect nested channels (remark after Theorem 3.4), and
+/// environment transitions for open compositions (Section 5).
+struct RunOptions {
+  /// k-bounded queues: each queue holds at most k messages; messages
+  /// arriving at a full queue are dropped (Section 3.1). The decidability
+  /// results require a finite bound; 0 is invalid.
+  size_t queue_bound = 1;
+
+  /// Lossy channels: a sent message may nondeterministically fail to be
+  /// enqueued (Section 2). Theorem 3.4's decidability requires lossy
+  /// channels; perfect flat channels are undecidable even 1-bounded
+  /// (Theorem 3.7) — the verifier still explores them soundly within the
+  /// bounded configuration space.
+  bool lossy = true;
+
+  /// Keep nested channels perfect while flat channels stay lossy (the
+  /// decidability of Theorem 3.4 survives this relaxation; see the remark
+  /// "Perfect nested message channels").
+  bool perfect_nested = false;
+
+  /// Theorem 3.8 semantics: when a flat send rule yields several candidate
+  /// tuples, no message is sent and the error flag error_<Q> is set, instead
+  /// of nondeterministically picking one tuple.
+  bool deterministic_flat_sends = false;
+
+  /// Pragmatic divergence from Definition 2.4 (documented in DESIGN.md):
+  /// when true, a nested send rule whose result is empty does not enqueue an
+  /// empty message. The paper enqueues unconditionally, which floods bounded
+  /// queues with empty messages on every move; examples enable skipping.
+  bool skip_empty_nested_sends = true;
+
+  /// Open compositions (Section 5): allow environment transitions that
+  /// consume from the composition's environment-facing out-queues and feed
+  /// its environment-facing in-queues.
+  bool allow_env_moves = false;
+
+  /// Cap on tuples per environment-generated nested message (environment
+  /// specs in Theorem 5.4 only constrain flat queues, so a small cap
+  /// suffices).
+  size_t env_nested_max_tuples = 1;
+
+  /// Serialize environment transitions: each environment move performs at
+  /// most one action (consume one head message, or feed one message into
+  /// one queue, or stutter). Definition-faithful multi-queue environment
+  /// transitions are sequences of such moves reaching the same
+  /// configurations, while the branching factor drops from the product of
+  /// all queues' choices to their sum.
+  bool env_single_action = true;
+
+  /// The finite domain of environment-generated messages (Section 5 assumes
+  /// environment transitions draw tuples "from some finite domain"). Keyed
+  /// by channel name; each entry lists the candidate tuples (constant
+  /// spellings, which the verifier interns). Channels without an entry
+  /// default to every tuple over the evaluation domain — exhaustive but
+  /// often intractably large; restricting the candidates restricts the
+  /// modeled environment.
+  std::map<std::string, std::vector<std::vector<std::string>>>
+      env_message_candidates;
+};
+
+}  // namespace wsv::runtime
+
+#endif  // WSVERIFY_RUNTIME_RUN_OPTIONS_H_

@@ -1,0 +1,60 @@
+#include "runtime/simulator.h"
+
+namespace wsv::runtime {
+
+data::Domain Simulator::ComputeDomain(
+    const spec::Composition& comp,
+    const std::vector<data::Instance>& databases, const Interner* interner) {
+  data::Domain domain;
+  for (const data::Instance& db : databases) {
+    db.CollectActiveDomain(domain);
+  }
+  for (const std::string& c : comp.Constants()) {
+    SymbolId id = interner->Lookup(c);
+    if (id != kInvalidSymbol) domain.Add(id);
+  }
+  return domain;
+}
+
+Simulator::Simulator(const spec::Composition* comp,
+                     std::vector<data::Instance> databases,
+                     const Interner* interner, RunOptions options,
+                     uint64_t seed)
+    : generator_(comp, databases, ComputeDomain(*comp, databases, interner),
+                 interner, options),
+      current_(MakeInitialSnapshot(*comp)),
+      rng_(seed) {
+  Reset();
+}
+
+Result<size_t> Simulator::Step() {
+  WSV_ASSIGN_OR_RETURN(std::vector<Snapshot> successors,
+                       generator_.Successors(current_));
+  if (successors.empty()) return static_cast<size_t>(0);
+  std::uniform_int_distribution<size_t> pick(0, successors.size() - 1);
+  current_ = std::move(successors[pick(rng_)]);
+  return successors.size();
+}
+
+Result<std::vector<Snapshot>> Simulator::Run(size_t steps) {
+  std::vector<Snapshot> trace{current_};
+  for (size_t i = 0; i < steps; ++i) {
+    WSV_ASSIGN_OR_RETURN(size_t choices, Step());
+    if (choices == 0) break;
+    trace.push_back(current_);
+  }
+  return trace;
+}
+
+void Simulator::Reset() {
+  // Pick a random options-consistent initial snapshot (Definition 2.6).
+  Result<std::vector<Snapshot>> initials = generator_.InitialSnapshots();
+  if (initials.ok() && !initials->empty()) {
+    std::uniform_int_distribution<size_t> pick(0, initials->size() - 1);
+    current_ = std::move((*initials)[pick(rng_)]);
+  } else {
+    current_ = MakeInitialSnapshot(generator_.composition());
+  }
+}
+
+}  // namespace wsv::runtime

@@ -1,0 +1,56 @@
+#ifndef WSVERIFY_RUNTIME_SIMULATOR_H_
+#define WSVERIFY_RUNTIME_SIMULATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "runtime/transition.h"
+
+namespace wsv::runtime {
+
+/// Executes concrete runs of a composition over given databases: at each
+/// step a random legal successor (random mover, random input choice, random
+/// message fate) is taken. Used by the example programs to exercise
+/// specifications end-to-end, and by tests as a differential oracle against
+/// the verifier's reachability.
+class Simulator {
+ public:
+  /// `comp` and `interner` must outlive the simulator; `databases` aligns
+  /// with comp.peers(). The evaluation domain is the active domain of the
+  /// databases plus all specification constants.
+  Simulator(const spec::Composition* comp,
+            std::vector<data::Instance> databases, const Interner* interner,
+            RunOptions options, uint64_t seed = 42);
+
+  const Snapshot& current() const { return current_; }
+  const TransitionGenerator& generator() const { return generator_; }
+
+  /// Takes one random step; returns the number of successor choices that
+  /// were available (0 means deadlock, current() unchanged — note that per
+  /// Definition 2.4 a peer can always move, so 0 only occurs on internal
+  /// error).
+  Result<size_t> Step();
+
+  /// Runs `steps` steps, recording each snapshot (including the initial one
+  /// on the first call).
+  Result<std::vector<Snapshot>> Run(size_t steps);
+
+  /// Resets to the initial snapshot.
+  void Reset();
+
+ private:
+  static data::Domain ComputeDomain(
+      const spec::Composition& comp,
+      const std::vector<data::Instance>& databases, const Interner* interner);
+
+  TransitionGenerator generator_;
+  Snapshot current_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace wsv::runtime
+
+#endif  // WSVERIFY_RUNTIME_SIMULATOR_H_

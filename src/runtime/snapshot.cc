@@ -1,0 +1,105 @@
+#include "runtime/snapshot.h"
+
+#include "common/hash.h"
+
+namespace wsv::runtime {
+
+bool PeerConfig::operator==(const PeerConfig& other) const {
+  return state == other.state && input == other.input && prev == other.prev &&
+         action == other.action && send_errors == other.send_errors;
+}
+
+size_t PeerConfig::Hash() const {
+  size_t seed = 0x9e377ULL;
+  HashCombine(seed, state.Hash());
+  HashCombine(seed, input.Hash());
+  HashCombine(seed, prev.Hash());
+  HashCombine(seed, action.Hash());
+  for (bool b : send_errors) HashCombine(seed, b ? 2 : 1);
+  return seed;
+}
+
+bool Snapshot::operator==(const Snapshot& other) const {
+  return mover == other.mover && received == other.received &&
+         sent == other.sent && peers == other.peers &&
+         channels == other.channels;
+}
+
+size_t Snapshot::Hash() const {
+  size_t seed = 0x5eedULL + static_cast<size_t>(mover + 3);
+  for (const PeerConfig& p : peers) HashCombine(seed, p.Hash());
+  for (const auto& queue : channels) {
+    HashCombine(seed, queue.size());
+    for (const data::Relation& msg : queue) HashCombine(seed, msg.Hash());
+  }
+  for (bool b : received) HashCombine(seed, b ? 2 : 1);
+  for (bool b : sent) HashCombine(seed, b ? 2 : 1);
+  return seed;
+}
+
+std::string Snapshot::ToString(const spec::Composition& comp,
+                               const Interner& interner) const {
+  std::string out;
+  if (mover == kNoMover) {
+    out += "[initial]\n";
+  } else if (mover == kEnvMover) {
+    out += "[environment moved]\n";
+  } else {
+    out += "[" + comp.peers()[mover].name() + " moved]\n";
+  }
+  for (size_t i = 0; i < peers.size(); ++i) {
+    const spec::Peer& spec_peer = comp.peers()[i];
+    const PeerConfig& cfg = peers[i];
+    std::string body;
+    auto append = [&](const char* tag, const data::Instance& inst) {
+      std::string s = inst.ToString(interner);
+      if (!s.empty()) {
+        body += "    " + std::string(tag) + ": ";
+        // Indent continuation lines.
+        for (char c : s) {
+          body += c;
+          if (c == '\n') body += "    ";
+        }
+        if (!body.empty() && body.back() != '\n') body += "\n";
+      }
+    };
+    append("state", cfg.state);
+    append("input", cfg.input);
+    append("prev", cfg.prev);
+    append("action", cfg.action);
+    if (!body.empty()) {
+      out += "  " + spec_peer.name() + ":\n" + body;
+    }
+  }
+  for (size_t c = 0; c < channels.size(); ++c) {
+    if (channels[c].empty()) continue;
+    out += "  queue " + comp.channels()[c].name + ": ";
+    for (size_t m = 0; m < channels[c].size(); ++m) {
+      if (m > 0) out += " | ";
+      out += channels[c][m].ToString(interner);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Snapshot MakeInitialSnapshot(const spec::Composition& comp) {
+  Snapshot snap;
+  snap.peers.reserve(comp.peers().size());
+  for (const spec::Peer& peer : comp.peers()) {
+    PeerConfig cfg;
+    cfg.state = data::Instance(&peer.declared_state_schema());
+    cfg.input = data::Instance(&peer.input_schema());
+    cfg.prev = data::Instance(&peer.prev_input_schema());
+    cfg.action = data::Instance(&peer.action_schema());
+    cfg.send_errors.assign(peer.out_queues().size(), false);
+    snap.peers.push_back(std::move(cfg));
+  }
+  snap.channels.assign(comp.channels().size(), {});
+  snap.received.assign(comp.channels().size(), false);
+  snap.sent.assign(comp.channels().size(), false);
+  snap.mover = kNoMover;
+  return snap;
+}
+
+}  // namespace wsv::runtime

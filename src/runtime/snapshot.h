@@ -1,0 +1,71 @@
+#ifndef WSVERIFY_RUNTIME_SNAPSHOT_H_
+#define WSVERIFY_RUNTIME_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "data/instance.h"
+#include "data/relation.h"
+#include "spec/composition.h"
+
+namespace wsv::runtime {
+
+/// Mover values beyond peer indices.
+inline constexpr int kNoMover = -1;   // initial snapshot
+inline constexpr int kEnvMover = -2;  // environment transition (Section 5)
+
+/// The per-peer part of a configuration (Definition 2.3), excluding the
+/// fixed database (held once per run, not per snapshot) and the queues
+/// (held at composition level, since channels are shared between sender and
+/// receiver).
+struct PeerConfig {
+  data::Instance state;   // declared states (queue-states are derived)
+  data::Instance input;   // current input; each relation holds <= 1 tuple
+  data::Instance prev;    // previous non-empty inputs (lookback window)
+  data::Instance action;  // actions performed entering this configuration
+  /// error_<Q> flags for deterministic flat sends (Theorem 3.8), aligned
+  /// with the peer's out_queues().
+  std::vector<bool> send_errors;
+
+  bool operator==(const PeerConfig& other) const;
+  size_t Hash() const;
+};
+
+/// A snapshot of a run (Definition 2.6): every peer's configuration plus the
+/// shared channel contents and bookkeeping for the run propositions
+/// (move_<peer>, received_<queue>) and protocol events.
+struct Snapshot {
+  std::vector<PeerConfig> peers;
+  /// channels[c] is the message sequence of composition channel c
+  /// (front = index 0 = next message to consume).
+  std::vector<std::vector<data::Relation>> channels;
+  /// Which peer moved to produce this snapshot (kNoMover / kEnvMover).
+  int mover = kNoMover;
+  /// received[c]: a new message was enqueued on channel c in the transition
+  /// into this snapshot (observer-at-recipient events; received_<Q>).
+  std::vector<bool> received;
+  /// sent[c]: a send rule emitted a message on channel c in the transition
+  /// into this snapshot, whether or not it was enqueued
+  /// (observer-at-source events, Theorem 4.3).
+  std::vector<bool> sent;
+
+  bool operator==(const Snapshot& other) const;
+  size_t Hash() const;
+
+  /// Multi-line rendering (for counterexample traces).
+  std::string ToString(const spec::Composition& comp,
+                       const Interner& interner) const;
+};
+
+struct SnapshotHash {
+  size_t operator()(const Snapshot& s) const { return s.Hash(); }
+};
+
+/// Builds the initial snapshot: empty states, inputs, actions and queues
+/// (Definition 2.6). `comp` must be validated.
+Snapshot MakeInitialSnapshot(const spec::Composition& comp);
+
+}  // namespace wsv::runtime
+
+#endif  // WSVERIFY_RUNTIME_SNAPSHOT_H_

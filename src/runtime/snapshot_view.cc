@@ -1,0 +1,86 @@
+#include "runtime/snapshot_view.h"
+
+namespace wsv::runtime {
+
+namespace {
+
+data::Relation PropRelation(bool value) {
+  data::Relation r(0);
+  if (value) r.Insert(data::Tuple{});
+  return r;
+}
+
+void AddInstance(fo::MapStructure& structure, const std::string& prefix,
+                 const data::Instance& inst) {
+  for (size_t i = 0; i < inst.schema()->size(); ++i) {
+    structure.Set(prefix + inst.schema()->relation(i).name, inst.relation(i));
+  }
+}
+
+}  // namespace
+
+fo::MapStructure BuildPropertyStructure(
+    const spec::Composition& comp,
+    const std::vector<data::Instance>& databases, const Snapshot& snap,
+    const data::Domain& domain) {
+  fo::MapStructure structure;
+  structure.SetDomain(domain);
+
+  // Single-peer compositions also expose unqualified names (matching
+  // Composition::Classify's resolution rule).
+  bool single_peer = comp.peers().size() == 1;
+  for (size_t p = 0; p < comp.peers().size(); ++p) {
+    const spec::Peer& peer = comp.peers()[p];
+    const PeerConfig& cfg = snap.peers[p];
+    const std::string prefix = peer.name() + ".";
+    for (const std::string& pfx :
+         single_peer ? std::vector<std::string>{prefix, ""}
+                     : std::vector<std::string>{prefix}) {
+      AddInstance(structure, pfx, databases[p]);
+      AddInstance(structure, pfx, cfg.state);
+      AddInstance(structure, pfx, cfg.input);
+      AddInstance(structure, pfx, cfg.prev);
+      AddInstance(structure, pfx, cfg.action);
+    }
+    structure.Set(spec::Composition::MovePropName(peer.name()),
+                  PropRelation(snap.mover == static_cast<int>(p)));
+    if (!peer.out_queues().empty()) {
+      for (size_t q = 0; q < peer.out_queues().size(); ++q) {
+        structure.Set(prefix + "error_" + peer.out_queues()[q].name,
+                      PropRelation(q < cfg.send_errors.size() &&
+                                   cfg.send_errors[q]));
+      }
+    }
+  }
+  structure.Set(spec::Composition::EnvMovePropName(),
+                PropRelation(snap.mover == kEnvMover));
+
+  for (size_t c = 0; c < comp.channels().size(); ++c) {
+    const spec::Channel& channel = comp.channels()[c];
+    const auto& queue = snap.channels[c];
+    data::Relation first = queue.empty() ? data::Relation(channel.arity())
+                                         : queue.front();
+    data::Relation last = queue.empty() ? data::Relation(channel.arity())
+                                        : queue.back();
+    if (channel.receiver != spec::Channel::kEnvironment) {
+      const std::string& rname = comp.peers()[channel.receiver].name();
+      structure.Set(rname + "." + channel.name, first);
+      structure.Set(rname + "." + spec::QueueEmptyStateName(channel.name),
+                    PropRelation(queue.empty()));
+    } else {
+      structure.Set("env." + channel.name, first);
+    }
+    if (channel.sender != spec::Channel::kEnvironment) {
+      const std::string& sname = comp.peers()[channel.sender].name();
+      structure.Set(sname + "." + channel.name, last);
+    } else {
+      structure.Set("env." + channel.name, last);
+    }
+    structure.Set(spec::Composition::ReceivedPropName(channel.name),
+                  PropRelation(snap.received[c]));
+    structure.Set("sent_" + channel.name, PropRelation(snap.sent[c]));
+  }
+  return structure;
+}
+
+}  // namespace wsv::runtime

@@ -1,0 +1,35 @@
+#ifndef WSVERIFY_RUNTIME_SNAPSHOT_VIEW_H_
+#define WSVERIFY_RUNTIME_SNAPSHOT_VIEW_H_
+
+#include <vector>
+
+#include "data/instance.h"
+#include "data/value.h"
+#include "fo/structure.h"
+#include "runtime/snapshot.h"
+#include "spec/composition.h"
+
+namespace wsv::runtime {
+
+/// Builds the relational structure over which composition-level LTL-FO
+/// properties are evaluated at a snapshot (Section 3, "Semantics of LTL-FO
+/// Properties"):
+///
+///  * every peer relation under "Peer.name" (database, state, input,
+///    previous input, action);
+///  * in-queue symbols as f(q) — the first message — under
+///    "<receiver>.<queue>", and out-queue symbols as l(q) — the most
+///    recently enqueued message — under "<sender>.<queue>";
+///  * environment-facing queues under "env.<queue>" (f(q) for queues the
+///    environment consumes, l(q) for queues it feeds — Section 5);
+///  * queue-state propositions "Peer.empty_<queue>";
+///  * run propositions "move_<peer>", "move_env", "received_<queue>",
+///    "sent_<queue>".
+fo::MapStructure BuildPropertyStructure(
+    const spec::Composition& comp,
+    const std::vector<data::Instance>& databases, const Snapshot& snap,
+    const data::Domain& domain);
+
+}  // namespace wsv::runtime
+
+#endif  // WSVERIFY_RUNTIME_SNAPSHOT_VIEW_H_

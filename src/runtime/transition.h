@@ -1,0 +1,114 @@
+#ifndef WSVERIFY_RUNTIME_TRANSITION_H_
+#define WSVERIFY_RUNTIME_TRANSITION_H_
+
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "data/instance.h"
+#include "data/value.h"
+#include "fo/eval.h"
+#include "runtime/run_options.h"
+#include "runtime/snapshot.h"
+#include "spec/composition.h"
+
+namespace wsv::runtime {
+
+/// Generates the legal successor snapshots of a composition configuration
+/// (Definition 2.4 lifted to serialized runs, Definition 2.6).
+///
+/// A transition picks one mover (a peer, or the environment for open
+/// compositions) and branches over: the user's input choices (at most one
+/// option tuple per input relation), nondeterministic flat-send picks,
+/// lossy-channel drops, and — for environment moves — arbitrary
+/// domain-bounded message injections (Section 5).
+class TransitionGenerator {
+ public:
+  /// `comp` must be validated and outlive the generator. `databases` is one
+  /// instance of each peer's database schema, aligned with comp.peers().
+  /// `domain` is the evaluation domain for rule quantifiers (the
+  /// pseudo-domain during verification, or the active domain during
+  /// simulation); `interner` resolves rule constants.
+  TransitionGenerator(const spec::Composition* comp,
+                      std::vector<data::Instance> databases,
+                      data::Domain domain, const Interner* interner,
+                      RunOptions options);
+
+  const spec::Composition& composition() const { return *comp_; }
+  const std::vector<data::Instance>& databases() const { return databases_; }
+  const data::Domain& domain() const { return domain_; }
+  const RunOptions& options() const { return options_; }
+
+  /// All legal initial snapshots (Definition 2.6): states, previous inputs,
+  /// actions and queues empty; every peer's current input is any
+  /// options-consistent choice at the empty configuration (Definition 2.3
+  /// requires each configuration to carry its input).
+  Result<std::vector<Snapshot>> InitialSnapshots() const;
+
+  /// All successors across all movers (peers, plus the environment when
+  /// options().allow_env_moves).
+  Result<std::vector<Snapshot>> Successors(const Snapshot& snap) const;
+
+  /// Successors where peer `peer_index` moves.
+  Result<std::vector<Snapshot>> SuccessorsForPeer(const Snapshot& snap,
+                                                  size_t peer_index) const;
+
+  /// Successors where the environment moves (open compositions only).
+  Result<std::vector<Snapshot>> EnvSuccessors(const Snapshot& snap) const;
+
+  /// The evaluation structure a peer's rules see in `snap` (database, state,
+  /// queue-states, first messages of in-queues, previous inputs); inputs are
+  /// layered on top by the caller. Exposed for testing.
+  Result<fo::MapStructure> BuildRuleStructure(const Snapshot& snap,
+                                              size_t peer_index,
+                                              bool include_input) const;
+
+ private:
+  struct PeerWiring {
+    /// Composition channel index per in-queue / out-queue (aligned with the
+    /// peer's in_queues() / out_queues()).
+    std::vector<size_t> in_channel;
+    std::vector<size_t> out_channel;
+    /// In-queues mentioned in some rule body (these are dequeued on every
+    /// move of the peer, Definition 2.4).
+    std::vector<bool> consumes;
+  };
+
+  /// A message produced by a send rule, before channel delivery.
+  struct OutgoingMessage {
+    size_t channel;
+    spec::QueueKind kind;
+    data::Relation content;  // singleton for flat
+  };
+
+  /// Enumerates the options-consistent input instances of `peer` at the
+  /// configuration whose rule structure (without inputs) is `base`
+  /// (Definition 2.3: at most one option tuple per input relation).
+  Result<std::vector<data::Instance>> EnumerateInputChoices(
+      const spec::Peer& peer, const fo::MapStructure& base) const;
+
+  /// Applies channel delivery (lossy branching, bounds) of `messages` to
+  /// `base`, appending all resulting snapshots to `out`.
+  void DeliverMessages(Snapshot base,
+                       const std::vector<OutgoingMessage>& messages,
+                       size_t message_index,
+                       std::vector<Snapshot>& out) const;
+
+  bool ChannelIsLossy(spec::QueueKind kind) const;
+
+  /// Candidate environment-message contents for a channel (configured
+  /// finite domain, or every tuple over the evaluation domain).
+  std::vector<data::Relation> EnvCandidates(size_t channel_index) const;
+
+  const spec::Composition* comp_;
+  std::vector<data::Instance> databases_;
+  data::Domain domain_;
+  const Interner* interner_;
+  RunOptions options_;
+  fo::Evaluator evaluator_;
+  std::vector<PeerWiring> wiring_;
+};
+
+}  // namespace wsv::runtime
+
+#endif  // WSVERIFY_RUNTIME_TRANSITION_H_

@@ -1,0 +1,194 @@
+#include "spec/composition.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace wsv::spec {
+
+Status Composition::AddPeer(Peer peer) {
+  if (FindPeer(peer.name()) != nullptr) {
+    return Status::InvalidSpec("composition " + name_ + ": duplicate peer '" +
+                               peer.name() + "'");
+  }
+  peers_.push_back(std::move(peer));
+  return Status::Ok();
+}
+
+const Peer* Composition::FindPeer(const std::string& name) const {
+  for (const Peer& p : peers_) {
+    if (p.name() == name) return &p;
+  }
+  return nullptr;
+}
+
+size_t Composition::PeerIndex(const std::string& name) const {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].name() == name) return i;
+  }
+  return kNpos;
+}
+
+Status Composition::Validate() {
+  channels_.clear();
+  for (Peer& p : peers_) {
+    WSV_RETURN_IF_ERROR(p.Validate());
+  }
+
+  // Queue-name uniqueness across peers: at most one sender and one receiver
+  // per queue name (Definition 2.5).
+  std::map<std::string, Channel> by_name;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    for (const QueueDecl& q : peers_[i].out_queues()) {
+      Channel& ch = by_name[q.name];
+      if (ch.name.empty()) {
+        ch.name = q.name;
+        ch.kind = q.kind;
+        ch.attributes = q.attributes;
+      } else if (ch.sender != Channel::kEnvironment) {
+        return Status::InvalidSpec(
+            "composition " + name_ + ": queue '" + q.name +
+            "' is an out-queue of two peers (each queue has a unique sender)");
+      } else if (ch.kind != q.kind || ch.attributes.size() != q.arity()) {
+        return Status::InvalidSpec("composition " + name_ + ": queue '" +
+                                   q.name +
+                                   "' declared with mismatched kind/arity");
+      }
+      ch.sender = i;
+    }
+    for (const QueueDecl& q : peers_[i].in_queues()) {
+      Channel& ch = by_name[q.name];
+      if (ch.name.empty()) {
+        ch.name = q.name;
+        ch.kind = q.kind;
+        ch.attributes = q.attributes;
+      } else if (ch.receiver != Channel::kEnvironment) {
+        return Status::InvalidSpec(
+            "composition " + name_ + ": queue '" + q.name +
+            "' is an in-queue of two peers (each queue has a unique "
+            "receiver)");
+      } else if (ch.kind != q.kind || ch.attributes.size() != q.arity()) {
+        return Status::InvalidSpec("composition " + name_ + ": queue '" +
+                                   q.name +
+                                   "' declared with mismatched kind/arity");
+      }
+      ch.receiver = i;
+    }
+  }
+  for (auto& [name, ch] : by_name) {
+    if (ch.sender != Channel::kEnvironment &&
+        ch.sender == ch.receiver) {
+      return Status::InvalidSpec("composition " + name_ + ": queue '" + name +
+                                 "' loops back to its own peer");
+    }
+    channels_.push_back(std::move(ch));
+  }
+  validated_ = true;
+  return Status::Ok();
+}
+
+const Channel* Composition::FindChannel(const std::string& name) const {
+  for (const Channel& ch : channels_) {
+    if (ch.name == name) return &ch;
+  }
+  return nullptr;
+}
+
+bool Composition::IsClosed() const {
+  for (const Channel& ch : channels_) {
+    if (ch.FromEnvironment() || ch.ToEnvironment()) return false;
+  }
+  return true;
+}
+
+std::set<std::string> Composition::Constants() const {
+  std::set<std::string> out;
+  for (const Peer& p : peers_) {
+    auto c = p.Constants();
+    out.insert(c.begin(), c.end());
+  }
+  return out;
+}
+
+Interner Composition::BuildInterner() const {
+  Interner interner;
+  for (const std::string& c : Constants()) interner.Intern(c);
+  return interner;
+}
+
+fo::RelClass Composition::Classify(const std::string& name) const {
+  // Run propositions.
+  if (name == EnvMovePropName()) return fo::RelClass::kMove;
+  for (const Peer& p : peers_) {
+    if (name == MovePropName(p.name())) return fo::RelClass::kMove;
+  }
+  for (const Channel& ch : channels_) {
+    if (name == ReceivedPropName(ch.name)) return fo::RelClass::kReceived;
+  }
+  // Qualified name?
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    const Peer* peer = FindPeer(name.substr(0, dot));
+    if (peer == nullptr) return fo::RelClass::kUnknown;
+    return peer->Classify(name.substr(dot + 1));
+  }
+  // Unqualified: unambiguous only for single-peer compositions.
+  if (peers_.size() == 1) return peers_[0].Classify(name);
+  return fo::RelClass::kUnknown;
+}
+
+namespace {
+
+/// Looks up `name` across all of a peer's schemas (declared + derived).
+size_t PeerArityOf(const Peer& peer, const std::string& name) {
+  for (const data::Schema* schema :
+       {&peer.database_schema(), &peer.runtime_state_schema(),
+        &peer.input_schema(), &peer.prev_input_schema(),
+        &peer.action_schema()}) {
+    size_t i = schema->IndexOf(name);
+    if (i != data::Schema::kNpos) return schema->relation(i).arity();
+  }
+  if (const QueueDecl* q = peer.FindInQueue(name)) return q->arity();
+  if (const QueueDecl* q = peer.FindOutQueue(name)) return q->arity();
+  for (const QueueDecl& q : peer.out_queues()) {
+    if (name == "error_" + q.name) return 0;
+  }
+  return data::Schema::kNpos;
+}
+
+}  // namespace
+
+size_t Composition::ArityOfQualified(const std::string& name) const {
+  // Run propositions.
+  if (name == EnvMovePropName()) return 0;
+  for (const Peer& p : peers_) {
+    if (name == MovePropName(p.name())) return 0;
+  }
+  for (const Channel& ch : channels_) {
+    if (name == ReceivedPropName(ch.name) || name == "sent_" + ch.name) {
+      return 0;
+    }
+    if (name == "env." + ch.name &&
+        (ch.FromEnvironment() || ch.ToEnvironment())) {
+      return ch.arity();
+    }
+  }
+  size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    const Peer* peer = FindPeer(name.substr(0, dot));
+    if (peer == nullptr) return data::Schema::kNpos;
+    return PeerArityOf(*peer, name.substr(dot + 1));
+  }
+  if (peers_.size() == 1) return PeerArityOf(peers_[0], name);
+  return data::Schema::kNpos;
+}
+
+Status Composition::CheckInputBounded(
+    const fo::InputBoundedOptions& options) const {
+  for (const Peer& p : peers_) {
+    WSV_RETURN_IF_ERROR(p.CheckInputBounded(options));
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsv::spec

@@ -1,0 +1,106 @@
+#ifndef WSVERIFY_SPEC_COMPOSITION_H_
+#define WSVERIFY_SPEC_COMPOSITION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "fo/classify.h"
+#include "spec/peer.h"
+
+namespace wsv::spec {
+
+/// A communication channel: a queue relation connecting a unique sender to a
+/// unique receiver (Section 2). Open compositions have channels whose sender
+/// or receiver is the environment (kEnvironment).
+struct Channel {
+  static constexpr size_t kEnvironment = static_cast<size_t>(-1);
+
+  std::string name;
+  size_t sender = kEnvironment;    // peer index, or kEnvironment
+  size_t receiver = kEnvironment;  // peer index, or kEnvironment
+  QueueKind kind = QueueKind::kFlat;
+  std::vector<std::string> attributes;
+
+  size_t arity() const { return attributes.size(); }
+  bool FromEnvironment() const { return sender == kEnvironment; }
+  bool ToEnvironment() const { return receiver == kEnvironment; }
+};
+
+/// A composition of peers (Definition 2.5). Channels are derived by matching
+/// out-queue and in-queue names across peers: queue names are global, each
+/// with a unique sender and receiver. Unmatched queues connect to the
+/// environment (the composition is then open, Section 5).
+class Composition : public fo::SymbolClassifier {
+ public:
+  explicit Composition(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a peer (peers are stored by value; add fully-built peers).
+  Status AddPeer(Peer peer);
+
+  const std::vector<Peer>& peers() const { return peers_; }
+  const Peer* FindPeer(const std::string& name) const;
+  size_t PeerIndex(const std::string& name) const;
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  /// Validates every peer, checks cross-peer queue uniqueness and arity/kind
+  /// agreement, and derives the channel list.
+  Status Validate();
+
+  const std::vector<Channel>& channels() const { return channels_; }
+  const Channel* FindChannel(const std::string& name) const;
+
+  /// True iff every channel has both a sender and a receiver inside the
+  /// composition (Definition 2.5).
+  bool IsClosed() const;
+
+  /// All constant spellings in any peer's rules.
+  std::set<std::string> Constants() const;
+
+  /// Builds an interner seeded with every constant of the composition.
+  Interner BuildInterner() const;
+
+  /// Classifier over composition-qualified names ("Officer.customer"),
+  /// the run propositions move_<peer>, move_env, and received_<queue>
+  /// (Sections 3 and 5). Unqualified names resolve only in single-peer
+  /// compositions.
+  fo::RelClass Classify(const std::string& name) const override;
+
+  /// Input-boundedness of every peer (Section 3.1).
+  Status CheckInputBounded(const fo::InputBoundedOptions& options = {}) const;
+
+  /// Arity of a relation name as used in properties (qualified "Peer.rel",
+  /// derived prev_/empty_ names, run propositions, env.Q channel views);
+  /// kNpos when the name does not resolve.
+  size_t ArityOfQualified(const std::string& name) const;
+
+  /// "peer.relation" qualification used in properties.
+  static std::string Qualify(const std::string& peer,
+                             const std::string& relation) {
+    return peer + "." + relation;
+  }
+
+  /// Name of the move proposition for a peer / the environment (Section 3).
+  static std::string MovePropName(const std::string& peer) {
+    return "move_" + peer;
+  }
+  static std::string EnvMovePropName() { return "move_env"; }
+  /// Name of the receivedQ proposition (Section 5).
+  static std::string ReceivedPropName(const std::string& queue) {
+    return "received_" + queue;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Peer> peers_;
+  std::vector<Channel> channels_;
+  bool validated_ = false;
+};
+
+}  // namespace wsv::spec
+
+#endif  // WSVERIFY_SPEC_COMPOSITION_H_

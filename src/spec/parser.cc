@@ -1,0 +1,227 @@
+#include "spec/parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "fo/lexer.h"
+#include "fo/parser.h"
+
+namespace wsv::spec {
+
+namespace {
+
+using fo::Token;
+using fo::TokenCursor;
+using fo::TokenKind;
+
+class SpecParser {
+ public:
+  explicit SpecParser(TokenCursor& cursor) : cur_(cursor) {}
+
+  Result<Composition> Parse() {
+    std::vector<Peer> peers;
+    std::optional<std::string> comp_name;
+    std::vector<std::string> comp_peers;
+
+    while (!cur_.AtEnd()) {
+      if (cur_.TryConsumeIdent("peer")) {
+        WSV_ASSIGN_OR_RETURN(Peer peer, ParsePeer());
+        peers.push_back(std::move(peer));
+        continue;
+      }
+      if (cur_.TryConsumeIdent("composition")) {
+        WSV_ASSIGN_OR_RETURN(Token name,
+                             cur_.Expect(TokenKind::kIdent, "composition"));
+        comp_name = name.text;
+        WSV_RETURN_IF_ERROR(
+            cur_.Expect(TokenKind::kLBrace, "composition").status());
+        while (!cur_.TryConsume(TokenKind::kRBrace)) {
+          WSV_RETURN_IF_ERROR(cur_.ExpectIdent("peers", "composition body"));
+          while (true) {
+            WSV_ASSIGN_OR_RETURN(Token p,
+                                 cur_.Expect(TokenKind::kIdent, "peer list"));
+            comp_peers.push_back(p.text);
+            if (!cur_.TryConsume(TokenKind::kComma)) break;
+          }
+          WSV_RETURN_IF_ERROR(
+              cur_.Expect(TokenKind::kSemicolon, "peer list").status());
+        }
+        continue;
+      }
+      return cur_.ErrorHere("expected 'peer' or 'composition', found '" +
+                            cur_.Peek().text + "'");
+    }
+
+    Composition comp(comp_name.value_or("composition"));
+    if (comp_peers.empty()) {
+      for (Peer& p : peers) {
+        WSV_RETURN_IF_ERROR(comp.AddPeer(std::move(p)));
+      }
+    } else {
+      for (const std::string& wanted : comp_peers) {
+        bool found = false;
+        for (Peer& p : peers) {
+          if (p.name() == wanted) {
+            WSV_RETURN_IF_ERROR(comp.AddPeer(std::move(p)));
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::ParseError("composition references undeclared peer '" +
+                                    wanted + "'");
+        }
+      }
+    }
+    WSV_RETURN_IF_ERROR(comp.Validate());
+    return comp;
+  }
+
+ private:
+  Result<Peer> ParsePeer() {
+    WSV_ASSIGN_OR_RETURN(Token name, cur_.Expect(TokenKind::kIdent, "peer"));
+    Peer peer(name.text);
+    WSV_RETURN_IF_ERROR(cur_.Expect(TokenKind::kLBrace, "peer body").status());
+    while (!cur_.TryConsume(TokenKind::kRBrace)) {
+      WSV_ASSIGN_OR_RETURN(Token section,
+                           cur_.Expect(TokenKind::kIdent, "peer section"));
+      if (section.text == "database") {
+        WSV_RETURN_IF_ERROR(ParseRelationBlock(
+            [&](std::string n, std::vector<std::string> a) {
+              return peer.AddDatabaseRelation(std::move(n), std::move(a));
+            }));
+      } else if (section.text == "state") {
+        WSV_RETURN_IF_ERROR(ParseRelationBlock(
+            [&](std::string n, std::vector<std::string> a) {
+              return peer.AddStateRelation(std::move(n), std::move(a));
+            }));
+      } else if (section.text == "input") {
+        WSV_RETURN_IF_ERROR(ParseRelationBlock(
+            [&](std::string n, std::vector<std::string> a) {
+              return peer.AddInputRelation(std::move(n), std::move(a));
+            }));
+      } else if (section.text == "action") {
+        WSV_RETURN_IF_ERROR(ParseRelationBlock(
+            [&](std::string n, std::vector<std::string> a) {
+              return peer.AddActionRelation(std::move(n), std::move(a));
+            }));
+      } else if (section.text == "inqueue" || section.text == "outqueue") {
+        bool is_in = section.text == "inqueue";
+        QueueKind kind;
+        if (cur_.TryConsumeIdent("flat")) {
+          kind = QueueKind::kFlat;
+        } else if (cur_.TryConsumeIdent("nested")) {
+          kind = QueueKind::kNested;
+        } else {
+          return cur_.ErrorHere("expected 'flat' or 'nested' after '" +
+                                section.text + "'");
+        }
+        WSV_RETURN_IF_ERROR(ParseRelationBlock(
+            [&](std::string n, std::vector<std::string> a) {
+              return is_in ? peer.AddInQueue(std::move(n), kind, std::move(a))
+                           : peer.AddOutQueue(std::move(n), kind,
+                                              std::move(a));
+            }));
+      } else if (section.text == "lookback") {
+        WSV_ASSIGN_OR_RETURN(Token k,
+                             cur_.Expect(TokenKind::kNumber, "lookback"));
+        peer.SetLookback(std::stoi(k.text));
+        WSV_RETURN_IF_ERROR(
+            cur_.Expect(TokenKind::kSemicolon, "lookback").status());
+      } else if (section.text == "rules") {
+        WSV_RETURN_IF_ERROR(ParseRules(peer));
+      } else {
+        return cur_.ErrorHere("unknown peer section '" + section.text + "'");
+      }
+    }
+    return peer;
+  }
+
+  template <typename AddFn>
+  Status ParseRelationBlock(AddFn add) {
+    WSV_RETURN_IF_ERROR(
+        cur_.Expect(TokenKind::kLBrace, "relation block").status());
+    while (!cur_.TryConsume(TokenKind::kRBrace)) {
+      Result<Token> name = cur_.Expect(TokenKind::kIdent, "relation");
+      if (!name.ok()) return name.status();
+      std::vector<std::string> attributes;
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kLParen, "relation").status());
+      if (cur_.Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          Result<Token> attr = cur_.Expect(TokenKind::kIdent, "attribute");
+          if (!attr.ok()) return attr.status();
+          attributes.push_back(attr.value().text);
+          if (!cur_.TryConsume(TokenKind::kComma)) break;
+        }
+      }
+      WSV_RETURN_IF_ERROR(cur_.Expect(TokenKind::kRParen, "relation").status());
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kSemicolon, "relation").status());
+      WSV_RETURN_IF_ERROR(add(name.value().text, std::move(attributes)));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseRules(Peer& peer) {
+    WSV_RETURN_IF_ERROR(cur_.Expect(TokenKind::kLBrace, "rules").status());
+    while (!cur_.TryConsume(TokenKind::kRBrace)) {
+      Result<Token> kind_tok = cur_.Expect(TokenKind::kIdent, "rule kind");
+      if (!kind_tok.ok()) return kind_tok.status();
+      RuleKind kind;
+      const std::string& k = kind_tok.value().text;
+      if (k == "options") {
+        kind = RuleKind::kInputOptions;
+      } else if (k == "insert") {
+        kind = RuleKind::kStateInsert;
+      } else if (k == "delete") {
+        kind = RuleKind::kStateDelete;
+      } else if (k == "action") {
+        kind = RuleKind::kAction;
+      } else if (k == "send") {
+        kind = RuleKind::kSend;
+      } else {
+        return cur_.ErrorHere(
+            "expected rule kind (options/insert/delete/action/send), found '" +
+            k + "'");
+      }
+      Result<Token> rel = cur_.Expect(TokenKind::kIdent, "rule head");
+      if (!rel.ok()) return rel.status();
+      std::vector<std::string> head_vars;
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kLParen, "rule head").status());
+      if (cur_.Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          Result<Token> v = cur_.Expect(TokenKind::kIdent, "head variable");
+          if (!v.ok()) return v.status();
+          head_vars.push_back(v.value().text);
+          if (!cur_.TryConsume(TokenKind::kComma)) break;
+        }
+      }
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kRParen, "rule head").status());
+      WSV_RETURN_IF_ERROR(
+          cur_.Expect(TokenKind::kColonDash, "rule").status());
+      Result<fo::FormulaPtr> body = fo::ParseFormulaAt(cur_);
+      if (!body.ok()) return body.status();
+      WSV_RETURN_IF_ERROR(cur_.Expect(TokenKind::kSemicolon, "rule").status());
+      WSV_RETURN_IF_ERROR(
+          peer.AddRule(kind, fo::NormalizeRelationName(rel.value().text),
+                       std::move(head_vars), std::move(body).value()));
+    }
+    return Status::Ok();
+  }
+
+  TokenCursor& cur_;
+};
+
+}  // namespace
+
+Result<Composition> ParseComposition(std::string_view source) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, fo::Tokenize(source));
+  TokenCursor cursor(std::move(tokens));
+  SpecParser parser(cursor);
+  return parser.Parse();
+}
+
+}  // namespace wsv::spec

@@ -1,0 +1,44 @@
+#ifndef WSVERIFY_SPEC_PARSER_H_
+#define WSVERIFY_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "spec/composition.h"
+
+namespace wsv::spec {
+
+/// Parses a composition from the specification DSL and validates it.
+///
+/// The DSL mirrors Definition 2.1/2.5. Example (excerpt of the paper's
+/// Example 2.2):
+///
+///   peer Officer {
+///     database { customer(cId, ssn, name); }
+///     state    { application(cId, loan); }
+///     input    { reccom(cId, recommendation); }
+///     action   { letter(cId, name, loan, decision); }
+///     inqueue flat    { apply(cId, loan); rating(ssn, category); }
+///     inqueue nested  { history(ssn, account, balance); }
+///     outqueue flat   { getRating(ssn); }
+///     rules {
+///       options reccom(id, rec) :-
+///         exists ssn, name: customer(id, ssn, name)
+///           and (rec = "approve" or rec = "deny");
+///       insert application(id, loan) :- ?apply(id, loan);
+///       send getRating(ssn) :-
+///         exists id, loan, name: ?apply(id, loan)
+///           and customer(id, ssn, name);
+///     }
+///   }
+///
+///   composition Loan { peers Officer, CreditAgency; }
+///
+/// Channels are derived by queue-name matching across the listed peers. If
+/// no `composition` block is present, all declared peers form an anonymous
+/// composition.
+Result<Composition> ParseComposition(std::string_view source);
+
+}  // namespace wsv::spec
+
+#endif  // WSVERIFY_SPEC_PARSER_H_

@@ -1,0 +1,333 @@
+#include "spec/peer.h"
+
+#include <algorithm>
+
+#include "fo/input_bounded.h"
+
+namespace wsv::spec {
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kInputOptions: return "options";
+    case RuleKind::kStateInsert: return "insert";
+    case RuleKind::kStateDelete: return "delete";
+    case RuleKind::kAction: return "action";
+    case RuleKind::kSend: return "send";
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::string out = RuleKindName(kind);
+  out += " ";
+  out += relation;
+  out += "(";
+  for (size_t i = 0; i < head_vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_vars[i];
+  }
+  out += ") :- ";
+  out += body->ToString();
+  return out;
+}
+
+std::string QueueEmptyStateName(const std::string& queue) {
+  return "empty_" + queue;
+}
+
+std::string PrevInputName(const std::string& input, int i) {
+  if (i == 1) return "prev_" + input;
+  return "prev" + std::to_string(i) + "_" + input;
+}
+
+Status Peer::CheckNameFresh(const std::string& name) const {
+  if (database_.Contains(name) || state_.Contains(name) ||
+      input_.Contains(name) || action_.Contains(name) ||
+      FindInQueue(name) != nullptr || FindOutQueue(name) != nullptr) {
+    return Status::InvalidSpec("peer " + name_ + ": relation name '" + name +
+                               "' is declared twice (Definition 2.1 requires "
+                               "disjoint schemas)");
+  }
+  return Status::Ok();
+}
+
+Status Peer::AddDatabaseRelation(std::string name,
+                                 std::vector<std::string> attributes) {
+  WSV_RETURN_IF_ERROR(CheckNameFresh(name));
+  return database_.AddRelation({std::move(name), std::move(attributes)});
+}
+
+Status Peer::AddStateRelation(std::string name,
+                              std::vector<std::string> attributes) {
+  WSV_RETURN_IF_ERROR(CheckNameFresh(name));
+  return state_.AddRelation({std::move(name), std::move(attributes)});
+}
+
+Status Peer::AddInputRelation(std::string name,
+                              std::vector<std::string> attributes) {
+  WSV_RETURN_IF_ERROR(CheckNameFresh(name));
+  return input_.AddRelation({std::move(name), std::move(attributes)});
+}
+
+Status Peer::AddActionRelation(std::string name,
+                               std::vector<std::string> attributes) {
+  WSV_RETURN_IF_ERROR(CheckNameFresh(name));
+  return action_.AddRelation({std::move(name), std::move(attributes)});
+}
+
+Status Peer::AddInQueue(std::string name, QueueKind kind,
+                        std::vector<std::string> attributes) {
+  WSV_RETURN_IF_ERROR(CheckNameFresh(name));
+  in_queues_.push_back(QueueDecl{std::move(name), kind, std::move(attributes)});
+  return Status::Ok();
+}
+
+Status Peer::AddOutQueue(std::string name, QueueKind kind,
+                         std::vector<std::string> attributes) {
+  WSV_RETURN_IF_ERROR(CheckNameFresh(name));
+  out_queues_.push_back(
+      QueueDecl{std::move(name), kind, std::move(attributes)});
+  return Status::Ok();
+}
+
+const QueueDecl* Peer::FindInQueue(const std::string& name) const {
+  for (const QueueDecl& q : in_queues_) {
+    if (q.name == name) return &q;
+  }
+  return nullptr;
+}
+
+const QueueDecl* Peer::FindOutQueue(const std::string& name) const {
+  for (const QueueDecl& q : out_queues_) {
+    if (q.name == name) return &q;
+  }
+  return nullptr;
+}
+
+Status Peer::AddRule(RuleKind kind, const std::string& relation,
+                     std::vector<std::string> head_vars, fo::FormulaPtr body) {
+  if (FindRule(kind, relation) != nullptr) {
+    return Status::InvalidSpec("peer " + name_ + ": duplicate " +
+                               RuleKindName(kind) + " rule for '" + relation +
+                               "'");
+  }
+  rules_.push_back(Rule{kind, relation, std::move(head_vars), std::move(body)});
+  return Status::Ok();
+}
+
+const Rule* Peer::FindRule(RuleKind kind, const std::string& relation) const {
+  for (const Rule& r : rules_) {
+    if (r.kind == kind && r.relation == relation) return &r;
+  }
+  return nullptr;
+}
+
+fo::RelClass Peer::Classify(const std::string& name) const {
+  if (database_.Contains(name)) return fo::RelClass::kDatabase;
+  if (state_.Contains(name)) return fo::RelClass::kState;
+  if (input_.Contains(name)) return fo::RelClass::kInput;
+  if (action_.Contains(name)) return fo::RelClass::kAction;
+  if (const QueueDecl* q = FindInQueue(name)) {
+    return q->kind == QueueKind::kFlat ? fo::RelClass::kInFlat
+                                       : fo::RelClass::kInNested;
+  }
+  if (const QueueDecl* q = FindOutQueue(name)) {
+    return q->kind == QueueKind::kFlat ? fo::RelClass::kOutFlat
+                                       : fo::RelClass::kOutNested;
+  }
+  // Derived symbols: queue states, send-error flags (Theorem 3.8: "it can
+  // be consulted by the peer rules and the properties") and previous
+  // inputs.
+  for (const QueueDecl& q : in_queues_) {
+    if (name == QueueEmptyStateName(q.name)) return fo::RelClass::kQueueState;
+  }
+  for (const QueueDecl& q : out_queues_) {
+    if (q.kind == QueueKind::kFlat && name == "error_" + q.name) {
+      return fo::RelClass::kQueueState;
+    }
+  }
+  for (size_t i = 0; i < input_.size(); ++i) {
+    const std::string& input = input_.relation(i).name;
+    for (int k = 1; k <= lookback_; ++k) {
+      if (name == PrevInputName(input, k)) return fo::RelClass::kPrevInput;
+    }
+  }
+  return fo::RelClass::kUnknown;
+}
+
+namespace {
+
+/// Relation classes a rule body of the given kind may mention
+/// (Definition 2.1). Input rules see D, S, PrevI, Qin; state/action/send
+/// rules additionally see I.
+bool ClassAllowedInBody(RuleKind kind, fo::RelClass c) {
+  switch (c) {
+    case fo::RelClass::kDatabase:
+    case fo::RelClass::kState:
+    case fo::RelClass::kQueueState:
+    case fo::RelClass::kPrevInput:
+    case fo::RelClass::kInFlat:
+    case fo::RelClass::kInNested:
+      return true;
+    case fo::RelClass::kInput:
+      return kind != RuleKind::kInputOptions;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Peer::ValidateRule(const Rule& rule) const {
+  // Head target exists and has the right kind.
+  size_t arity;
+  switch (rule.kind) {
+    case RuleKind::kInputOptions: {
+      size_t i = input_.IndexOf(rule.relation);
+      if (i == data::Schema::kNpos) {
+        return Status::InvalidSpec("peer " + name_ + ": options rule for '" +
+                                   rule.relation + "' which is not an input");
+      }
+      arity = input_.relation(i).arity();
+      break;
+    }
+    case RuleKind::kStateInsert:
+    case RuleKind::kStateDelete: {
+      size_t i = state_.IndexOf(rule.relation);
+      if (i == data::Schema::kNpos) {
+        return Status::InvalidSpec("peer " + name_ + ": " +
+                                   RuleKindName(rule.kind) + " rule for '" +
+                                   rule.relation + "' which is not a state");
+      }
+      arity = state_.relation(i).arity();
+      break;
+    }
+    case RuleKind::kAction: {
+      size_t i = action_.IndexOf(rule.relation);
+      if (i == data::Schema::kNpos) {
+        return Status::InvalidSpec("peer " + name_ + ": action rule for '" +
+                                   rule.relation + "' which is not an action");
+      }
+      arity = action_.relation(i).arity();
+      break;
+    }
+    case RuleKind::kSend: {
+      const QueueDecl* q = FindOutQueue(rule.relation);
+      if (q == nullptr) {
+        return Status::InvalidSpec("peer " + name_ + ": send rule for '" +
+                                   rule.relation +
+                                   "' which is not an out-queue");
+      }
+      arity = q->arity();
+      break;
+    }
+    default:
+      return Status::Internal("bad rule kind");
+  }
+
+  if (rule.head_vars.size() != arity) {
+    return Status::InvalidSpec(
+        "peer " + name_ + ": rule head " + rule.relation + " expects " +
+        std::to_string(arity) + " variables, got " +
+        std::to_string(rule.head_vars.size()));
+  }
+  std::set<std::string> distinct(rule.head_vars.begin(),
+                                 rule.head_vars.end());
+  if (distinct.size() != rule.head_vars.size()) {
+    return Status::InvalidSpec("peer " + name_ + ": rule head " +
+                               rule.relation +
+                               " must use distinct variables");
+  }
+
+  // Body free variables must appear in the head.
+  for (const std::string& v : rule.body->FreeVariables()) {
+    if (distinct.count(v) == 0) {
+      return Status::InvalidSpec("peer " + name_ + ": rule " +
+                                 rule.ToString() + " has free variable '" + v +
+                                 "' not bound by the head");
+    }
+  }
+
+  // Body vocabulary check.
+  for (const std::string& rel : rule.body->RelationNames()) {
+    fo::RelClass c = Classify(rel);
+    if (c == fo::RelClass::kUnknown) {
+      return Status::InvalidSpec("peer " + name_ + ": rule body references "
+                                 "undeclared relation '" +
+                                 rel + "'");
+    }
+    if (!ClassAllowedInBody(rule.kind, c)) {
+      return Status::InvalidSpec(
+          "peer " + name_ + ": rule " + rule.ToString() + " references " +
+          fo::RelClassName(c) + " relation '" + rel +
+          "', which Definition 2.1 does not allow in " +
+          RuleKindName(rule.kind) + " rule bodies");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Peer::Validate() {
+  if (lookback_ < 1) {
+    return Status::InvalidSpec("peer " + name_ + ": lookback must be >= 1");
+  }
+  // Build derived schemas.
+  runtime_state_ = state_;
+  for (const QueueDecl& q : in_queues_) {
+    WSV_RETURN_IF_ERROR(
+        runtime_state_.AddRelation({QueueEmptyStateName(q.name), {}}));
+  }
+  prev_input_ = data::Schema();
+  for (size_t i = 0; i < input_.size(); ++i) {
+    const data::RelationSchema& r = input_.relation(i);
+    for (int k = 1; k <= lookback_; ++k) {
+      WSV_RETURN_IF_ERROR(
+          prev_input_.AddRelation({PrevInputName(r.name, k), r.attributes}));
+    }
+  }
+
+  for (const Rule& rule : rules_) {
+    WSV_RETURN_IF_ERROR(ValidateRule(rule));
+  }
+  validated_ = true;
+  return Status::Ok();
+}
+
+std::set<std::string> Peer::Constants() const {
+  std::set<std::string> out;
+  for (const Rule& rule : rules_) {
+    auto c = rule.body->Constants();
+    out.insert(c.begin(), c.end());
+  }
+  return out;
+}
+
+Status Peer::CheckInputBounded(const fo::InputBoundedOptions& options) const {
+  for (const Rule& rule : rules_) {
+    bool flat_send = false;
+    if (rule.kind == RuleKind::kSend) {
+      const QueueDecl* q = FindOutQueue(rule.relation);
+      flat_send = q != nullptr && q->kind == QueueKind::kFlat;
+    }
+    if (rule.kind == RuleKind::kInputOptions || flat_send) {
+      // Section 3.1 condition 2.
+      Status s = fo::CheckExistentialGroundRule(rule.body, *this);
+      if (!s.ok()) {
+        return Status(s.code(),
+                      "peer " + name_ + ", rule [" + rule.ToString() + "]: " +
+                          s.message());
+      }
+    } else {
+      // Section 3.1 condition 1.
+      Status s = fo::CheckInputBounded(rule.body, *this, options);
+      if (!s.ok()) {
+        return Status(s.code(),
+                      "peer " + name_ + ", rule [" + rule.ToString() + "]: " +
+                          s.message());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsv::spec

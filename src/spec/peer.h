@@ -1,0 +1,154 @@
+#ifndef WSVERIFY_SPEC_PEER_H_
+#define WSVERIFY_SPEC_PEER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "fo/classify.h"
+#include "fo/formula.h"
+#include "fo/input_bounded.h"
+
+namespace wsv::spec {
+
+/// Queue flavor (Section 2): flat queues carry single-tuple messages, nested
+/// queues carry set-of-tuples messages.
+enum class QueueKind { kFlat, kNested };
+
+/// Declaration of one message queue relation.
+struct QueueDecl {
+  std::string name;
+  QueueKind kind;
+  std::vector<std::string> attributes;
+
+  size_t arity() const { return attributes.size(); }
+};
+
+/// The rule flavors of Definition 2.1.
+enum class RuleKind {
+  kInputOptions,  // Options_I(x̄) <- phi
+  kStateInsert,   // S(x̄) <- phi+
+  kStateDelete,   // not S(x̄) <- phi-
+  kAction,        // A(x̄) <- phi
+  kSend,          // Q(x̄) <- phi
+};
+
+const char* RuleKindName(RuleKind kind);
+
+/// One peer rule: head relation, head variable tuple, FO body.
+struct Rule {
+  RuleKind kind;
+  std::string relation;
+  std::vector<std::string> head_vars;
+  fo::FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+/// A Web service peer (Definition 2.1): database, state, input and action
+/// schemas, in/out queues, and the reaction rules. After construction call
+/// Validate(), which also derives the runtime schemas (queue-state
+/// propositions `empty_Q`, previous-input relations `prev_I`, ...).
+class Peer : public fo::SymbolClassifier {
+ public:
+  explicit Peer(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- Schema declaration -----------------------------------------------
+  Status AddDatabaseRelation(std::string name,
+                             std::vector<std::string> attributes);
+  Status AddStateRelation(std::string name,
+                          std::vector<std::string> attributes);
+  Status AddInputRelation(std::string name,
+                          std::vector<std::string> attributes);
+  Status AddActionRelation(std::string name,
+                           std::vector<std::string> attributes);
+  Status AddInQueue(std::string name, QueueKind kind,
+                    std::vector<std::string> attributes);
+  Status AddOutQueue(std::string name, QueueKind kind,
+                     std::vector<std::string> attributes);
+
+  /// Sets the input lookback window k >= 1 (peers with k-lookback, Section
+  /// 3.1): rules may consult prev_I == prev1_I through prev<k>_I.
+  void SetLookback(int k) { lookback_ = k; }
+  int lookback() const { return lookback_; }
+
+  // --- Rules --------------------------------------------------------------
+  /// Adds a rule; Definition 2.1 allows at most one rule per (kind,
+  /// relation) pair, which is enforced here.
+  Status AddRule(RuleKind kind, const std::string& relation,
+                 std::vector<std::string> head_vars, fo::FormulaPtr body);
+
+  /// Returns the rule for (kind, relation) or nullptr (missing rules behave
+  /// as `false`, i.e. never fire / produce no options).
+  const Rule* FindRule(RuleKind kind, const std::string& relation) const;
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // --- Declared schemas ----------------------------------------------------
+  const data::Schema& database_schema() const { return database_; }
+  const data::Schema& input_schema() const { return input_; }
+  const data::Schema& action_schema() const { return action_; }
+  /// User-declared states only (no queue-state propositions).
+  const data::Schema& declared_state_schema() const { return state_; }
+  const std::vector<QueueDecl>& in_queues() const { return in_queues_; }
+  const std::vector<QueueDecl>& out_queues() const { return out_queues_; }
+  const QueueDecl* FindInQueue(const std::string& name) const;
+  const QueueDecl* FindOutQueue(const std::string& name) const;
+
+  // --- Derived runtime schemas (available after Validate) ------------------
+  /// States plus one `empty_<Q>` proposition per in-queue.
+  const data::Schema& runtime_state_schema() const { return runtime_state_; }
+  /// prev_<I> (and prev2_<I>.. up to lookback) per input relation.
+  const data::Schema& prev_input_schema() const { return prev_input_; }
+
+  /// Checks well-formedness per Definition 2.1: disjoint relation names,
+  /// distinct head variables, rule bodies over the permitted vocabulary with
+  /// free variables contained in the head. Builds the derived schemas.
+  Status Validate();
+
+  /// All constant spellings used in rule bodies.
+  std::set<std::string> Constants() const;
+
+  /// fo::SymbolClassifier over this peer's local (unqualified) names.
+  fo::RelClass Classify(const std::string& relation_name) const override;
+
+  /// Checks the input-boundedness conditions of Section 3.1 for this peer:
+  /// state, action and nested-send rule bodies are input-bounded formulas;
+  /// input rules and flat-send rules are existential with ground
+  /// state/nested-queue atoms.
+  Status CheckInputBounded(const fo::InputBoundedOptions& options = {}) const;
+
+ private:
+  Status CheckNameFresh(const std::string& name) const;
+  Status ValidateRule(const Rule& rule) const;
+
+  std::string name_;
+  data::Schema database_;
+  data::Schema state_;
+  data::Schema input_;
+  data::Schema action_;
+  std::vector<QueueDecl> in_queues_;
+  std::vector<QueueDecl> out_queues_;
+  std::vector<Rule> rules_;
+  int lookback_ = 1;
+
+  data::Schema runtime_state_;
+  data::Schema prev_input_;
+  bool validated_ = false;
+};
+
+/// Name of the queue-state proposition for in-queue `queue` ("empty_Q").
+std::string QueueEmptyStateName(const std::string& queue);
+
+/// Name of the i-th previous-input relation for input `input` (i >= 1;
+/// i == 1 yields "prev_I", otherwise "prev<i>_I").
+std::string PrevInputName(const std::string& input, int i = 1);
+
+}  // namespace wsv::spec
+
+#endif  // WSVERIFY_SPEC_PEER_H_

@@ -1,0 +1,87 @@
+#include "spec/printer.h"
+
+namespace wsv::spec {
+
+namespace {
+
+void PrintRelationBlock(std::string& out, const char* keyword,
+                        const data::Schema& schema) {
+  if (schema.size() == 0) return;
+  out += "  ";
+  out += keyword;
+  out += " {\n";
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const data::RelationSchema& r = schema.relation(i);
+    out += "    " + r.name + "(";
+    for (size_t a = 0; a < r.attributes.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += r.attributes[a];
+    }
+    out += ");\n";
+  }
+  out += "  }\n";
+}
+
+void PrintQueueBlock(std::string& out, const char* keyword,
+                     const std::vector<QueueDecl>& queues, QueueKind kind) {
+  bool any = false;
+  for (const QueueDecl& q : queues) any = any || q.kind == kind;
+  if (!any) return;
+  out += "  ";
+  out += keyword;
+  out += kind == QueueKind::kFlat ? " flat {\n" : " nested {\n";
+  for (const QueueDecl& q : queues) {
+    if (q.kind != kind) continue;
+    out += "    " + q.name + "(";
+    for (size_t a = 0; a < q.attributes.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += q.attributes[a];
+    }
+    out += ");\n";
+  }
+  out += "  }\n";
+}
+
+}  // namespace
+
+std::string PrintPeer(const Peer& peer) {
+  std::string out = "peer " + peer.name() + " {\n";
+  PrintRelationBlock(out, "database", peer.database_schema());
+  PrintRelationBlock(out, "input", peer.input_schema());
+  PrintRelationBlock(out, "state", peer.declared_state_schema());
+  PrintRelationBlock(out, "action", peer.action_schema());
+  PrintQueueBlock(out, "inqueue", peer.in_queues(), QueueKind::kFlat);
+  PrintQueueBlock(out, "inqueue", peer.in_queues(), QueueKind::kNested);
+  PrintQueueBlock(out, "outqueue", peer.out_queues(), QueueKind::kFlat);
+  PrintQueueBlock(out, "outqueue", peer.out_queues(), QueueKind::kNested);
+  if (peer.lookback() > 1) {
+    out += "  lookback " + std::to_string(peer.lookback()) + ";\n";
+  }
+  if (!peer.rules().empty()) {
+    out += "  rules {\n";
+    for (const Rule& rule : peer.rules()) {
+      // Rule::ToString emits DSL-compatible "kind head(vars) :- body".
+      out += "    " + rule.ToString() + ";\n";
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PrintComposition(const Composition& comp) {
+  std::string out;
+  for (const Peer& peer : comp.peers()) {
+    out += PrintPeer(peer);
+    out += "\n";
+  }
+  out += "composition " + comp.name() + " { peers ";
+  for (size_t i = 0; i < comp.peers().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += comp.peers()[i].name();
+  }
+  out += "; }\n";
+  return out;
+}
+
+}  // namespace wsv::spec

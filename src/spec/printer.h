@@ -1,0 +1,21 @@
+#ifndef WSVERIFY_SPEC_PRINTER_H_
+#define WSVERIFY_SPEC_PRINTER_H_
+
+#include <string>
+
+#include "spec/composition.h"
+
+namespace wsv::spec {
+
+/// Serializes a peer back into the specification DSL; the output re-parses
+/// to an equivalent peer (round-trip tested).
+std::string PrintPeer(const Peer& peer);
+
+/// Serializes a whole composition (peers + composition block) into DSL
+/// text. Useful for persisting programmatically-built compositions (e.g.
+/// CFSM embeddings) and for diffing specifications.
+std::string PrintComposition(const Composition& comp);
+
+}  // namespace wsv::spec
+
+#endif  // WSVERIFY_SPEC_PRINTER_H_

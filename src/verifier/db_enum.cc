@@ -1,0 +1,126 @@
+#include "verifier/db_enum.h"
+
+#include <cassert>
+
+#include "data/isomorphism.h"
+
+namespace wsv::verifier {
+
+namespace {
+
+/// All tuples over domain^arity, in lexicographic order.
+std::vector<data::Tuple> TupleUniverse(const data::Domain& domain,
+                                       size_t arity) {
+  std::vector<data::Tuple> universe;
+  if (arity == 0) {
+    universe.push_back(data::Tuple{});
+    return universe;
+  }
+  if (domain.empty()) return universe;
+  std::vector<size_t> idx(arity, 0);
+  while (true) {
+    std::vector<data::Value> row(arity);
+    for (size_t i = 0; i < arity; ++i) row[i] = domain.values()[idx[i]];
+    universe.push_back(data::Tuple(std::move(row)));
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < domain.size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+  return universe;
+}
+
+}  // namespace
+
+DatabaseEnumerator::DatabaseEnumerator(const spec::Composition* comp,
+                                       data::Domain domain,
+                                       std::vector<data::Value> movable,
+                                       bool iso_reduce)
+    : comp_(comp),
+      domain_(std::move(domain)),
+      movable_(std::move(movable)),
+      iso_reduce_(iso_reduce) {
+  for (size_t p = 0; p < comp_->peers().size(); ++p) {
+    const data::Schema& db = comp_->peers()[p].database_schema();
+    for (size_t r = 0; r < db.size(); ++r) {
+      Slot slot;
+      slot.peer = p;
+      slot.relation = r;
+      slot.universe = TupleUniverse(domain_, db.relation(r).arity());
+      slot.num_tuples = slot.universe.size();
+      assert(slot.num_tuples <= 63 &&
+             "database relation universe too large to enumerate");
+      slots_.push_back(std::move(slot));
+    }
+  }
+}
+
+size_t DatabaseEnumerator::RawCount() const {
+  size_t count = 1;
+  for (const Slot& slot : slots_) {
+    size_t options = static_cast<size_t>(1) << slot.num_tuples;
+    if (count > (static_cast<size_t>(-1) / options)) {
+      return static_cast<size_t>(-1);
+    }
+    count *= options;
+  }
+  return count;
+}
+
+void DatabaseEnumerator::Materialize(std::vector<data::Instance>* out) const {
+  out->clear();
+  for (size_t p = 0; p < comp_->peers().size(); ++p) {
+    out->emplace_back(&comp_->peers()[p].database_schema());
+  }
+  for (const Slot& slot : slots_) {
+    data::Relation& rel = (*out)[slot.peer].relation(slot.relation);
+    for (size_t t = 0; t < slot.num_tuples; ++t) {
+      if ((slot.mask >> t) & 1) rel.Insert(slot.universe[t]);
+    }
+  }
+}
+
+bool DatabaseEnumerator::Advance() {
+  for (Slot& slot : slots_) {
+    uint64_t limit = slot.num_tuples >= 64
+                         ? ~static_cast<uint64_t>(0)
+                         : (static_cast<uint64_t>(1) << slot.num_tuples) - 1;
+    if (slot.mask < limit) {
+      ++slot.mask;
+      return true;
+    }
+    slot.mask = 0;
+  }
+  return false;  // wrapped around: exhausted
+}
+
+bool DatabaseEnumerator::Next(std::vector<data::Instance>* out) {
+  while (!exhausted_) {
+    if (first_) {
+      first_ = false;  // start from the all-empty databases
+    } else if (!Advance()) {
+      exhausted_ = true;
+      break;
+    }
+    Materialize(out);
+    if (iso_reduce_) {
+      std::vector<const data::Instance*> ptrs;
+      ptrs.reserve(out->size());
+      for (const data::Instance& inst : *out) ptrs.push_back(&inst);
+      if (!data::IsCanonicalUnderPermutationsJoint(ptrs, movable_)) continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void DatabaseEnumerator::Reset() {
+  for (Slot& slot : slots_) slot.mask = 0;
+  exhausted_ = false;
+  first_ = true;
+}
+
+}  // namespace wsv::verifier

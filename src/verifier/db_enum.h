@@ -1,0 +1,60 @@
+#ifndef WSVERIFY_VERIFIER_DB_ENUM_H_
+#define WSVERIFY_VERIFIER_DB_ENUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/instance.h"
+#include "data/value.h"
+#include "spec/composition.h"
+
+namespace wsv::verifier {
+
+/// Lazily enumerates all database instances of a composition over a finite
+/// pseudo-domain, optionally keeping only canonical representatives under
+/// permutations of the fresh (non-constant) elements — genericity of FO
+/// rules makes isomorphic databases equi-satisfiable, so one representative
+/// per orbit suffices (DESIGN.md §5 step 3).
+class DatabaseEnumerator {
+ public:
+  /// `movable` are the pseudo-domain elements that permutations may move
+  /// (fresh elements; constants stay fixed).
+  DatabaseEnumerator(const spec::Composition* comp, data::Domain domain,
+                     std::vector<data::Value> movable, bool iso_reduce);
+
+  /// Total number of raw (pre-reduction) database vectors.
+  /// Returns SIZE_MAX if the count overflows.
+  size_t RawCount() const;
+
+  /// Produces the next database vector (aligned with comp.peers());
+  /// returns false when exhausted.
+  bool Next(std::vector<data::Instance>* out);
+
+  /// Restarts the enumeration.
+  void Reset();
+
+ private:
+  struct Slot {
+    size_t peer;       // peer index
+    size_t relation;   // database-relation index within the peer
+    size_t num_tuples; // |domain|^arity — the tuple universe size
+    std::vector<data::Tuple> universe;
+    uint64_t mask = 0;  // current subset of the universe
+  };
+
+  void Materialize(std::vector<data::Instance>* out) const;
+  bool Advance();
+
+  const spec::Composition* comp_;
+  data::Domain domain_;
+  std::vector<data::Value> movable_;
+  bool iso_reduce_;
+  std::vector<Slot> slots_;
+  bool exhausted_ = false;
+  bool first_ = true;
+};
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_DB_ENUM_H_

@@ -1,0 +1,372 @@
+#include "verifier/engine.h"
+
+#include <unordered_map>
+
+#include "automata/emptiness.h"
+#include "runtime/transition.h"
+#include "verifier/db_enum.h"
+
+namespace wsv::verifier {
+
+Result<std::vector<data::Instance>> MaterializeDatabases(
+    const spec::Composition& comp, const std::vector<NamedDatabase>& named,
+    Interner& interner, data::Domain& domain) {
+  if (named.size() != comp.peers().size()) {
+    return Status::InvalidSpec(
+        "fixed databases: expected one database per peer (" +
+        std::to_string(comp.peers().size()) + "), got " +
+        std::to_string(named.size()));
+  }
+  std::vector<data::Instance> out;
+  for (size_t p = 0; p < comp.peers().size(); ++p) {
+    const data::Schema& schema = comp.peers()[p].database_schema();
+    data::Instance inst(&schema);
+    for (const auto& [relation, tuples] : named[p]) {
+      size_t idx = schema.IndexOf(relation);
+      if (idx == data::Schema::kNpos) {
+        return Status::NotFound("fixed database for peer '" +
+                                comp.peers()[p].name() +
+                                "' mentions unknown relation '" + relation +
+                                "'");
+      }
+      for (const std::vector<std::string>& tuple : tuples) {
+        if (tuple.size() != schema.relation(idx).arity()) {
+          return Status::InvalidSpec("fixed database tuple arity mismatch in "
+                                     "relation '" +
+                                     relation + "'");
+        }
+        std::vector<data::Value> row;
+        row.reserve(tuple.size());
+        for (const std::string& spelling : tuple) {
+          data::Value v = interner.Intern(spelling);
+          domain.Add(v);
+          row.push_back(v);
+        }
+        inst.relation(idx).Insert(data::Tuple(std::move(row)));
+      }
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+PseudoDomain BuildPseudoDomain(const spec::Composition& comp,
+                               const std::set<std::string>& extra_constants,
+                               size_t fresh_count) {
+  PseudoDomain pd;
+  pd.interner = comp.BuildInterner();
+  for (const std::string& c : extra_constants) pd.interner.Intern(c);
+  for (SymbolId id = 0; id < pd.interner.size(); ++id) pd.domain.Add(id);
+  for (size_t i = 0; i < fresh_count; ++i) {
+    data::Value v = pd.interner.Intern("#" + std::to_string(i + 1));
+    pd.fresh.push_back(v);
+    pd.domain.Add(v);
+  }
+  return pd;
+}
+
+std::vector<std::vector<std::string>> EnumerateValuations(
+    const data::Domain& domain, const Interner& interner, size_t num_vars) {
+  std::vector<std::vector<std::string>> out;
+  std::vector<size_t> idx(num_vars, 0);
+  if (domain.empty() && num_vars > 0) return out;
+  while (true) {
+    std::vector<std::string> valuation;
+    valuation.reserve(num_vars);
+    for (size_t i = 0; i < num_vars; ++i) {
+      valuation.push_back(interner.Text(domain.values()[idx[i]]));
+    }
+    out.push_back(std::move(valuation));
+    if (num_vars == 0) break;
+    size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < domain.size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+  return out;
+}
+
+VerificationEngine::VerificationEngine(const spec::Composition* comp,
+                                       const Interner* interner,
+                                       data::Domain domain,
+                                       std::vector<data::Value> fresh,
+                                       EngineOptions options)
+    : comp_(comp),
+      interner_(interner),
+      domain_(std::move(domain)),
+      fresh_(std::move(fresh)),
+      options_(std::move(options)) {}
+
+namespace {
+
+/// A leaf is database-rigid when every relation it mentions is a fixed
+/// database relation: its truth (per valuation) is then constant along any
+/// run with the same database, so it can be decided once and folded into
+/// the automaton before the state-space search.
+bool IsRigidLeaf(const fo::FormulaPtr& leaf, const spec::Composition& comp) {
+  for (const std::string& rel : leaf->RelationNames()) {
+    if (comp.Classify(rel) != fo::RelClass::kDatabase) return false;
+  }
+  return true;
+}
+
+/// Rebuilds `automaton` with guards partially evaluated under the rigid
+/// truths, dropping edges whose guards became false.
+automata::BuchiAutomaton RestrictAutomaton(
+    const automata::BuchiAutomaton& automaton,
+    const std::vector<int8_t>& truths) {
+  automata::BuchiAutomaton out(automaton.num_props());
+  for (size_t s = 0; s < automaton.num_states(); ++s) out.AddState();
+  for (automata::StateId s : automaton.initial_states()) out.AddInitial(s);
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    for (const automata::BuchiTransition& t :
+         automaton.transitions_from(static_cast<automata::StateId>(s))) {
+      automata::PropExprPtr guard =
+          automata::PropExpr::PartialEval(t.guard, truths);
+      if (guard->kind() == automata::PropExpr::Kind::kFalse) continue;
+      out.AddTransition(static_cast<automata::StateId>(s), t.to,
+                        std::move(guard));
+    }
+  }
+  std::vector<automata::StateId> accepting;
+  for (size_t s = 0; s < automaton.num_states(); ++s) {
+    if (automaton.IsAccepting(static_cast<automata::StateId>(s))) {
+      accepting.push_back(static_cast<automata::StateId>(s));
+    }
+  }
+  out.AddAcceptingSet(std::move(accepting));
+  return out;
+}
+
+}  // namespace
+
+Result<bool> VerificationEngine::CheckDatabases(
+    SymbolicTask& task, const std::vector<data::Instance>& dbs,
+    EngineOutcome& outcome) {
+  runtime::TransitionGenerator generator(comp_, dbs, domain_, interner_,
+                                         options_.run);
+  SnapshotNormalization normalization;
+  normalization.keep_mover =
+      AnyPropositionMentionsPrefix(task.leaves, "move_");
+  normalization.keep_flags =
+      AnyPropositionMentionsPrefix(task.leaves, "received_") ||
+      AnyPropositionMentionsPrefix(task.leaves, "sent_");
+  // Action relations are pure outputs; previous-input relations matter only
+  // to rules that read them. Keep each exactly when some proposition (or,
+  // for prev, some rule) observes it.
+  std::set<std::string> leaf_relations;
+  for (const fo::FormulaPtr& leaf : task.leaves) {
+    auto rels = leaf->RelationNames();
+    leaf_relations.insert(rels.begin(), rels.end());
+  }
+  normalization.keep_actions = false;
+  for (const std::string& rel : leaf_relations) {
+    if (comp_->Classify(rel) == fo::RelClass::kAction) {
+      normalization.keep_actions = true;
+      break;
+    }
+  }
+  normalization.keep_prev.resize(comp_->peers().size());
+  for (size_t p = 0; p < comp_->peers().size(); ++p) {
+    const spec::Peer& peer = comp_->peers()[p];
+    std::set<std::string> rule_relations;
+    for (const spec::Rule& rule : peer.rules()) {
+      auto rels = rule.body->RelationNames();
+      rule_relations.insert(rels.begin(), rels.end());
+    }
+    const data::Schema& prev = peer.prev_input_schema();
+    std::vector<bool>& keep = normalization.keep_prev[p];
+    keep.resize(prev.size(), false);
+    for (size_t r = 0; r < prev.size(); ++r) {
+      const std::string& name = prev.relation(r).name;
+      keep[r] = rule_relations.count(name) > 0 ||
+                leaf_relations.count(peer.name() + "." + name) > 0 ||
+                (comp_->peers().size() == 1 &&
+                 leaf_relations.count(name) > 0);
+    }
+    // The lookback window shifts prev_i into prev_{i+1}: keeping a deeper
+    // slot requires keeping every shallower slot of the same input. Slots
+    // are laid out consecutively per input (Peer::Validate).
+    size_t lookback = static_cast<size_t>(peer.lookback());
+    for (size_t base = 0; base + lookback <= keep.size(); base += lookback) {
+      for (size_t j = lookback; j-- > 1;) {
+        if (keep[base + j]) keep[base + j - 1] = true;
+      }
+    }
+  }
+  SnapshotGraph graph(&generator, std::move(normalization));
+  LeafCache cache(&graph, task.leaves, interner_);
+  struct GraphStatsGuard {
+    SnapshotGraph& graph;
+    EngineOutcome& outcome;
+    ~GraphStatsGuard() { outcome.search_stats.snapshots += graph.size(); }
+  } guard{graph, outcome};
+
+  // Exhaustively explore the configuration graph once: every instance
+  // shares it, and full coverage enables the ever-satisfied prefilter.
+  WSV_ASSIGN_OR_RETURN(bool complete_graph,
+                       graph.ExploreAll(options_.budget.max_states));
+  if (!complete_graph) {
+    outcome.budget_status = Status::BudgetExceeded(
+        "configuration graph exceeded max_states = " +
+        std::to_string(options_.budget.max_states) +
+        " snapshots; verdict is bounded");
+  }
+
+  // Rigid-leaf detection and their satisfying sets at the initial snapshot
+  // (any snapshot works: rigid leaves only read the fixed database).
+  std::vector<bool> rigid(task.leaves.size(), false);
+  bool any_rigid = false;
+  for (size_t i = 0; i < task.leaves.size(); ++i) {
+    rigid[i] = IsRigidLeaf(task.leaves[i], *comp_);
+    any_rigid = any_rigid || rigid[i];
+  }
+  SnapshotId init_sid = 0;
+  if (any_rigid) {
+    WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* initials,
+                         graph.Initials());
+    init_sid = initials->front();
+  }
+
+  // Ever-satisfied unions per leaf (valid only over a complete graph): a
+  // valuation row never satisfied anywhere makes its proposition
+  // constant-false along every run.
+  std::vector<const data::Relation*> ever_sat(task.leaves.size(), nullptr);
+  std::vector<const data::Relation*> always_sat(task.leaves.size(), nullptr);
+  if (complete_graph) {
+    for (size_t i = 0; i < task.leaves.size(); ++i) {
+      WSV_ASSIGN_OR_RETURN(ever_sat[i], cache.EverSatisfied(i));
+      WSV_ASSIGN_OR_RETURN(always_sat[i], cache.AlwaysSatisfied(i));
+    }
+  }
+
+  struct MemoEntry {
+    bool empty_language;
+    automata::BuchiAutomaton automaton;
+  };
+  std::unordered_map<std::string, MemoEntry> prefilter_memo_;
+
+  for (const std::vector<std::string>& valuation : task.valuations) {
+    // Build this instance's per-leaf lookup rows.
+    std::vector<data::Tuple> leaf_rows;
+    leaf_rows.reserve(task.leaves.size());
+    std::vector<int8_t> rigid_truths(task.leaves.size(), -1);
+    for (size_t i = 0; i < task.leaves.size(); ++i) {
+      const std::vector<std::string>& vars = cache.LeafVariables(i);
+      std::vector<data::Value> row;
+      row.reserve(vars.size());
+      for (const std::string& var : vars) {
+        size_t pos = 0;
+        for (; pos < task.closure_variables.size(); ++pos) {
+          if (task.closure_variables[pos] == var) break;
+        }
+        if (pos == task.closure_variables.size()) {
+          return Status::Internal("leaf variable '" + var +
+                                  "' is not a closure variable");
+        }
+        SymbolId v = interner_->Lookup(valuation[pos]);
+        if (v == kInvalidSymbol) {
+          return Status::Internal("valuation constant '" + valuation[pos] +
+                                  "' not interned");
+        }
+        row.push_back(v);
+      }
+      leaf_rows.push_back(data::Tuple(std::move(row)));
+      if (rigid[i]) {
+        WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat,
+                             cache.Get(init_sid, i));
+        rigid_truths[i] = sat->rows().Contains(leaf_rows[i]) ? 1 : 0;
+      } else if (ever_sat[i] != nullptr &&
+                 !ever_sat[i]->Contains(leaf_rows[i])) {
+        rigid_truths[i] = 0;  // never satisfied anywhere in the graph
+      } else if (always_sat[i] != nullptr &&
+                 always_sat[i]->Contains(leaf_rows[i])) {
+        rigid_truths[i] = 1;  // satisfied at every reachable snapshot
+      }
+    }
+
+    // Prefilter: with database-rigid and never/always-satisfied
+    // propositions fixed, an automaton with empty language cannot accept
+    // any run — skip the search. Restriction + emptiness depends only on
+    // the truth-status vector, so it is memoized across valuations (there
+    // are at most 3^#leaves distinct vectors, versus |domain|^#vars
+    // valuations).
+    bool any_fixed = false;
+    for (int8_t t : rigid_truths) any_fixed = any_fixed || t >= 0;
+    std::string memo_key(rigid_truths.begin(), rigid_truths.end());
+    auto memo = prefilter_memo_.find(memo_key);
+    if (memo == prefilter_memo_.end()) {
+      automata::BuchiAutomaton restricted =
+          any_fixed ? RestrictAutomaton(task.automaton, rigid_truths)
+                    : task.automaton;
+      bool empty = any_fixed && automata::IsEmptyLanguage(restricted);
+      memo = prefilter_memo_
+                 .emplace(std::move(memo_key),
+                          MemoEntry{empty, std::move(restricted)})
+                 .first;
+    }
+    if (memo->second.empty_language) {
+      ++outcome.prefiltered;
+      continue;
+    }
+    const automata::BuchiAutomaton& restricted = memo->second.automaton;
+
+    ++outcome.searches;
+    ProductSearch search(&graph, &cache, &restricted, std::move(leaf_rows),
+                         options_.budget);
+    Result<std::optional<LassoWitness>> witness =
+        search.FindAcceptedRun(&outcome.search_stats);
+    if (!witness.ok()) {
+      if (witness.status().code() == StatusCode::kBudgetExceeded) {
+        outcome.budget_status = witness.status();
+        continue;
+      }
+      return witness.status();
+    }
+    if (witness.value().has_value()) {
+      outcome.violation_found = true;
+      outcome.databases = dbs;
+      outcome.label = valuation;
+      outcome.lasso = std::move(**witness);
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
+  EngineOutcome outcome;
+  if (task.valuations.empty()) {
+    task.valuations.push_back({});  // single instance with no variables
+  }
+
+  if (options_.fixed_databases.has_value()) {
+    ++outcome.databases_checked;
+    WSV_ASSIGN_OR_RETURN(bool found,
+                         CheckDatabases(task, *options_.fixed_databases,
+                                        outcome));
+    (void)found;
+    return outcome;
+  }
+
+  DatabaseEnumerator enumerator(comp_, domain_, fresh_,
+                                options_.iso_reduction);
+  std::vector<data::Instance> dbs;
+  while (enumerator.Next(&dbs)) {
+    if (outcome.databases_checked >= options_.max_databases) {
+      outcome.budget_status = Status::BudgetExceeded(
+          "database enumeration stopped at max_databases; verdict is "
+          "bounded");
+      break;
+    }
+    ++outcome.databases_checked;
+    WSV_ASSIGN_OR_RETURN(bool found, CheckDatabases(task, dbs, outcome));
+    if (found) break;
+  }
+  return outcome;
+}
+
+}  // namespace wsv::verifier

@@ -1,0 +1,131 @@
+#ifndef WSVERIFY_VERIFIER_ENGINE_H_
+#define WSVERIFY_VERIFIER_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "common/interner.h"
+#include "common/status.h"
+#include "data/instance.h"
+#include "data/value.h"
+#include "fo/formula.h"
+#include "runtime/run_options.h"
+#include "spec/composition.h"
+#include "verifier/product_search.h"
+
+namespace wsv::verifier {
+
+/// A symbolic verification task: one Büchi automaton accepting exactly the
+/// violating runs, whose propositions are *open* FO formulas (leaves) over
+/// the composition schema with free variables among `closure_variables`.
+/// Each entry of `valuations` instantiates the closure variables; the
+/// automaton is shared across all instances, and per-snapshot leaf
+/// satisfaction is computed once (relationally) and looked up per instance.
+///
+/// Verifier (LTL-FO, Theorem 3.4), ProtocolVerifier (Theorems 4.2/4.5) and
+/// ModularVerifier (Theorem 5.4) all lower to this shape.
+struct SymbolicTask {
+  automata::BuchiAutomaton automaton{0};
+  /// Proposition table: leaves[i] is the FO formula of PropId i.
+  std::vector<fo::FormulaPtr> leaves;
+  /// Universal-closure variables (substitution order of `valuations`).
+  std::vector<std::string> closure_variables;
+  /// One instance per valuation (constant spellings, aligned with
+  /// closure_variables). A single empty valuation when there are no
+  /// closure variables.
+  std::vector<std::vector<std::string>> valuations;
+};
+
+/// A database given by constant spellings: relation name -> tuples of
+/// spellings. Used to pin verification to concrete databases (the verifier
+/// interns the spellings into its pseudo-domain).
+using NamedDatabase =
+    std::map<std::string, std::vector<std::vector<std::string>>>;
+
+/// Materializes one NamedDatabase per peer into instances over `interner`,
+/// interning unseen spellings and adding them to `domain`.
+Result<std::vector<data::Instance>> MaterializeDatabases(
+    const spec::Composition& comp, const std::vector<NamedDatabase>& named,
+    Interner& interner, data::Domain& domain);
+
+/// The pseudo-domain of a verification task: every specification constant
+/// plus `fresh_count` fresh elements (spelled "#1", "#2", ...).
+struct PseudoDomain {
+  Interner interner;
+  data::Domain domain;
+  std::vector<data::Value> fresh;
+};
+
+/// Builds the pseudo-domain for `comp` with the given extra constants (from
+/// the property / protocol / environment spec).
+PseudoDomain BuildPseudoDomain(const spec::Composition& comp,
+                               const std::set<std::string>& extra_constants,
+                               size_t fresh_count);
+
+/// All valuations of `num_vars` variables over `domain`, as constant
+/// spellings.
+std::vector<std::vector<std::string>> EnumerateValuations(
+    const data::Domain& domain, const Interner& interner, size_t num_vars);
+
+struct EngineOptions {
+  runtime::RunOptions run;
+  bool iso_reduction = true;
+  size_t max_databases = static_cast<size_t>(-1);
+  SearchBudget budget;
+  /// Verify against these databases only (skips enumeration).
+  std::optional<std::vector<data::Instance>> fixed_databases;
+};
+
+/// Outcome of an engine run; the caller wraps it into the public
+/// VerificationResult types.
+struct EngineOutcome {
+  bool violation_found = false;
+  /// Set when violation_found.
+  std::vector<data::Instance> databases;
+  std::vector<std::string> label;
+  LassoWitness lasso;
+
+  size_t databases_checked = 0;
+  size_t searches = 0;
+  /// Instances discharged by the rigid-proposition emptiness prefilter
+  /// without a state-space search.
+  size_t prefiltered = 0;
+  SearchStats search_stats;
+  /// Non-OK when some search hit its budget (verdict is then bounded).
+  Status budget_status = Status::Ok();
+};
+
+/// Runs the symbolic task against every database over the pseudo-domain
+/// (canonical representatives only, when iso_reduction), stopping at the
+/// first violation. Per database: the configuration graph is explored once
+/// and shared by all instances; instances whose automaton is empty after
+/// fixing the database-rigid propositions are skipped without search.
+class VerificationEngine {
+ public:
+  /// `comp` and `interner` must outlive the engine. `fresh` are the
+  /// pseudo-domain elements permutations may move.
+  VerificationEngine(const spec::Composition* comp, const Interner* interner,
+                     data::Domain domain, std::vector<data::Value> fresh,
+                     EngineOptions options);
+
+  Result<EngineOutcome> Run(SymbolicTask& task);
+
+ private:
+  Result<bool> CheckDatabases(SymbolicTask& task,
+                              const std::vector<data::Instance>& dbs,
+                              EngineOutcome& outcome);
+
+  const spec::Composition* comp_;
+  const Interner* interner_;
+  data::Domain domain_;
+  std::vector<data::Value> fresh_;
+  EngineOptions options_;
+};
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_ENGINE_H_

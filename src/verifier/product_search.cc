@@ -1,0 +1,233 @@
+#include "verifier/product_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace wsv::verifier {
+
+bool AnyPropositionMentionsPrefix(
+    const std::vector<fo::FormulaPtr>& propositions, std::string_view prefix) {
+  for (const fo::FormulaPtr& p : propositions) {
+    for (const std::string& rel : p->RelationNames()) {
+      if (StartsWith(rel, prefix)) return true;
+      size_t dot = rel.rfind('.');
+      if (dot != std::string::npos &&
+          StartsWith(std::string_view(rel).substr(dot + 1), prefix)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+ProductSearch::ProductSearch(SnapshotGraph* graph, LeafCache* leaf_cache,
+                             const automata::BuchiAutomaton* automaton,
+                             std::vector<data::Tuple> leaf_rows,
+                             SearchBudget budget)
+    : graph_(graph),
+      leaf_cache_(leaf_cache),
+      automaton_(automaton),
+      leaf_rows_(std::move(leaf_rows)),
+      budget_(budget) {}
+
+Result<const std::vector<bool>*> ProductSearch::Valuation(SnapshotId sid) {
+  if (sid >= valuations_.size()) valuations_.resize(sid + 1);
+  if (!valuations_[sid].has_value()) {
+    std::vector<bool> valuation(leaf_rows_.size(), false);
+    for (size_t p = 0; p < leaf_rows_.size(); ++p) {
+      WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat,
+                           leaf_cache_->Get(sid, p));
+      valuation[p] = sat->rows().Contains(leaf_rows_[p]);
+    }
+    valuations_[sid] = std::move(valuation);
+  }
+  return &*valuations_[sid];
+}
+
+ProductSearch::ProductId ProductSearch::InternProduct(SnapshotId sid,
+                                                      automata::StateId q) {
+  uint64_t key = (static_cast<uint64_t>(sid) << 32) | q;
+  auto it = product_ids_.find(key);
+  if (it != product_ids_.end()) return it->second;
+  ProductId id = static_cast<ProductId>(product_states_.size());
+  product_ids_.emplace(key, id);
+  product_states_.emplace_back(sid, q);
+  color_.push_back(Color::kWhite);
+  inner_visited_.push_back(false);
+  return id;
+}
+
+Result<std::vector<ProductSearch::ProductId>> ProductSearch::ProductSuccessors(
+    ProductId pid) {
+  auto [sid, q] = product_states_[pid];
+  WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* succs,
+                       graph_->Successors(sid));
+  std::vector<SnapshotId> snapshot_succs = *succs;  // stable copy
+  std::vector<ProductId> out;
+  for (SnapshotId next_sid : snapshot_succs) {
+    WSV_ASSIGN_OR_RETURN(const std::vector<bool>* valuation,
+                         Valuation(next_sid));
+    for (const automata::BuchiTransition& t :
+         automaton_->transitions_from(q)) {
+      if (!t.guard->Eval(*valuation)) continue;
+      out.push_back(InternProduct(next_sid, t.to));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  transitions_ += out.size();
+  return out;
+}
+
+Result<std::optional<std::vector<ProductSearch::ProductId>>>
+ProductSearch::InnerDfs(ProductId seed) {
+  // Searches for a cycle back onto the outer (cyan) stack, starting from
+  // `seed` (an accepting state that just finished its outer expansion).
+  struct Frame {
+    ProductId state;
+    std::vector<ProductId> succs;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<ProductId> path{seed};
+  WSV_ASSIGN_OR_RETURN(std::vector<ProductId> seed_succs,
+                       ProductSuccessors(seed));
+  stack.push_back(Frame{seed, std::move(seed_succs), 0});
+  inner_visited_[seed] = true;
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.succs.size()) {
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    ProductId next = frame.succs[frame.next++];
+    if (color_[next] == Color::kCyan) {
+      path.push_back(next);
+      return std::optional<std::vector<ProductId>>(std::move(path));
+    }
+    if (inner_visited_[next]) continue;
+    inner_visited_[next] = true;
+    WSV_ASSIGN_OR_RETURN(std::vector<ProductId> succs,
+                         ProductSuccessors(next));
+    path.push_back(next);
+    stack.push_back(Frame{next, std::move(succs), 0});
+  }
+  return std::optional<std::vector<ProductId>>();
+}
+
+Result<std::optional<LassoWitness>> ProductSearch::FindAcceptedRun(
+    SearchStats* stats) {
+  assert(automaton_->num_accepting_sets() <= 1 &&
+         "degeneralize the property automaton first");
+
+  auto finish = [&]() {
+    if (stats != nullptr) {
+      // Snapshot counts are owned by the shared graph; the engine adds them
+      // once per database.
+      stats->product_states += product_states_.size();
+      stats->transitions += transitions_;
+    }
+  };
+
+  // Seed: every initial snapshot, paired with the automaton edges from
+  // initial states whose guards match that snapshot's valuation.
+  WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* init_ptr,
+                       graph_->Initials());
+  std::vector<SnapshotId> initial_snaps = *init_ptr;
+  std::vector<ProductId> initials;
+  for (SnapshotId s0 : initial_snaps) {
+    WSV_ASSIGN_OR_RETURN(const std::vector<bool>* v0, Valuation(s0));
+    for (automata::StateId q0 : automaton_->initial_states()) {
+      for (const automata::BuchiTransition& t :
+           automaton_->transitions_from(q0)) {
+        if (!t.guard->Eval(*v0)) continue;
+        ProductId pid = InternProduct(s0, t.to);
+        if (std::find(initials.begin(), initials.end(), pid) ==
+            initials.end()) {
+          initials.push_back(pid);
+        }
+      }
+    }
+  }
+
+  // Outer DFS (CVWY nested depth-first search): postorder on an accepting
+  // state triggers the inner cycle search.
+  struct Frame {
+    ProductId state;
+    std::vector<ProductId> succs;
+    size_t next = 0;
+  };
+  for (ProductId root : initials) {
+    if (color_[root] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    WSV_ASSIGN_OR_RETURN(std::vector<ProductId> root_succs,
+                         ProductSuccessors(root));
+    color_[root] = Color::kCyan;
+    stack.push_back(Frame{root, std::move(root_succs), 0});
+
+    while (!stack.empty()) {
+      if (product_states_.size() > budget_.max_states) {
+        finish();
+        return Status::BudgetExceeded(
+            "product exploration exceeded max_states = " +
+            std::to_string(budget_.max_states));
+      }
+      Frame& frame = stack.back();
+      if (frame.next < frame.succs.size()) {
+        ProductId next = frame.succs[frame.next++];
+        if (color_[next] != Color::kWhite) continue;
+        WSV_ASSIGN_OR_RETURN(std::vector<ProductId> succs,
+                             ProductSuccessors(next));
+        color_[next] = Color::kCyan;
+        stack.push_back(Frame{next, std::move(succs), 0});
+        continue;
+      }
+      // Postorder.
+      ProductId state = frame.state;
+      if (automaton_->IsAccepting(product_states_[state].second)) {
+        WSV_ASSIGN_OR_RETURN(std::optional<std::vector<ProductId>> cycle_path,
+                             InnerDfs(state));
+        if (cycle_path.has_value()) {
+          // Prefix: the outer stack from root to `state`. Cycle: the inner
+          // path state -> ... -> t (t cyan), closed through the outer-stack
+          // segment t -> ... -> state.
+          LassoWitness witness;
+          for (const Frame& f : stack) {
+            witness.prefix.push_back(
+                graph_->snapshot(product_states_[f.state].first));
+          }
+          ProductId reentry = cycle_path->back();
+          std::vector<ProductId> cycle = *cycle_path;
+          size_t reentry_pos = stack.size();
+          for (size_t i = 0; i < stack.size(); ++i) {
+            if (stack[i].state == reentry) {
+              reentry_pos = i;
+              break;
+            }
+          }
+          if (reentry_pos < stack.size()) {
+            for (size_t i = reentry_pos + 1; i < stack.size(); ++i) {
+              cycle.push_back(stack[i].state);
+            }
+          }
+          for (ProductId p : cycle) {
+            witness.cycle.push_back(
+                graph_->snapshot(product_states_[p].first));
+          }
+          finish();
+          return std::optional<LassoWitness>(std::move(witness));
+        }
+      }
+      color_[state] = Color::kBlue;
+      stack.pop_back();
+    }
+  }
+  finish();
+  return std::optional<LassoWitness>();
+}
+
+}  // namespace wsv::verifier

@@ -1,0 +1,92 @@
+#ifndef WSVERIFY_VERIFIER_PRODUCT_SEARCH_H_
+#define WSVERIFY_VERIFIER_PRODUCT_SEARCH_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/buchi.h"
+#include "common/interner.h"
+#include "common/status.h"
+#include "fo/formula.h"
+#include "verifier/snapshot_graph.h"
+
+namespace wsv::verifier {
+
+struct SearchBudget {
+  /// Cap on distinct product states explored (per search).
+  size_t max_states = 1000000;
+};
+
+struct SearchStats {
+  size_t snapshots = 0;
+  size_t product_states = 0;
+  size_t transitions = 0;
+};
+
+/// A violating run witness: a finite prefix from an initial snapshot
+/// followed by a cycle repeated forever (cycle[0] == prefix.back()).
+struct LassoWitness {
+  std::vector<runtime::Snapshot> prefix;
+  std::vector<runtime::Snapshot> cycle;
+};
+
+/// The core model-checking engine (DESIGN.md §5 step 5): on-the-fly nested
+/// depth-first search (Courcoubetis-Vardi-Wolper-Yannakakis) over the
+/// product of a SnapshotGraph with a Büchi automaton whose propositions are
+/// open FO leaf formulas; this search instantiates them with one fixed
+/// closure valuation, answered by tuple lookups into the shared LeafCache.
+///
+/// Every client reduces to this engine: LTL-FO verification (automaton of
+/// the negated property), conversation protocols (complement of the
+/// protocol automaton over received_<Q> events), and modular verification
+/// (automaton of env-spec ∧ ¬property). All searches (one per
+/// closure-variable valuation) share one SnapshotGraph and LeafCache, so the
+/// configuration graph is expanded and the leaves evaluated once per
+/// database.
+class ProductSearch {
+ public:
+  /// All pointers must outlive the search. `automaton` must be plain
+  /// (1 acceptance set). `leaf_rows[i]` is this instance's valuation
+  /// projected to leaf i's free variables (sorted), as interned values.
+  ProductSearch(SnapshotGraph* graph, LeafCache* leaf_cache,
+                const automata::BuchiAutomaton* automaton,
+                std::vector<data::Tuple> leaf_rows, SearchBudget budget);
+
+  /// Searches for a run of the composition accepted by the automaton.
+  /// nullopt = no such run (property holds / protocol satisfied).
+  Result<std::optional<LassoWitness>> FindAcceptedRun(SearchStats* stats);
+
+ private:
+  using ProductId = uint32_t;
+
+  enum class Color : uint8_t { kWhite, kCyan, kBlue };
+
+  Result<const std::vector<bool>*> Valuation(SnapshotId sid);
+  ProductId InternProduct(SnapshotId sid, automata::StateId q);
+  Result<std::vector<ProductId>> ProductSuccessors(ProductId pid);
+  Result<std::optional<std::vector<ProductId>>> InnerDfs(ProductId seed);
+
+  SnapshotGraph* graph_;
+  LeafCache* leaf_cache_;
+  const automata::BuchiAutomaton* automaton_;
+  std::vector<data::Tuple> leaf_rows_;
+  SearchBudget budget_;
+
+  std::vector<std::optional<std::vector<bool>>> valuations_;
+
+  std::vector<std::pair<SnapshotId, automata::StateId>> product_states_;
+  std::unordered_map<uint64_t, ProductId> product_ids_;
+  std::vector<Color> color_;
+  std::vector<bool> inner_visited_;
+  size_t transitions_ = 0;
+};
+
+/// True iff some proposition observes snapshot bookkeeping with the given
+/// relation-name prefix ("move_", "received_", "sent_") — used to decide
+/// whether SnapshotGraph may normalize it away.
+bool AnyPropositionMentionsPrefix(
+    const std::vector<fo::FormulaPtr>& propositions, std::string_view prefix);
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_PRODUCT_SEARCH_H_

@@ -1,0 +1,157 @@
+#include "verifier/snapshot_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "runtime/snapshot_view.h"
+
+namespace wsv::verifier {
+
+SnapshotGraph::SnapshotGraph(const runtime::TransitionGenerator* generator,
+                             SnapshotNormalization normalization)
+    : generator_(generator), normalization_(std::move(normalization)) {}
+
+Result<SnapshotId> SnapshotGraph::Intern(runtime::Snapshot snap) {
+  if (!normalization_.keep_mover) snap.mover = runtime::kNoMover;
+  if (!normalization_.keep_flags) {
+    snap.received.assign(snap.received.size(), false);
+    snap.sent.assign(snap.sent.size(), false);
+  }
+  if (!normalization_.keep_actions) {
+    for (runtime::PeerConfig& cfg : snap.peers) cfg.action.Clear();
+  }
+  if (!normalization_.keep_prev.empty()) {
+    for (size_t p = 0; p < snap.peers.size(); ++p) {
+      const std::vector<bool>& keep = normalization_.keep_prev[p];
+      for (size_t r = 0; r < keep.size(); ++r) {
+        if (!keep[r]) snap.peers[p].prev.relation(r).Clear();
+      }
+    }
+  }
+  auto it = ids_.find(snap);
+  if (it != ids_.end()) return it->second;
+  SnapshotId id = static_cast<SnapshotId>(snapshots_.size());
+  ids_.emplace(snap, id);
+  snapshots_.push_back(std::move(snap));
+  successors_.emplace_back();
+  return id;
+}
+
+Result<const std::vector<SnapshotId>*> SnapshotGraph::Initials() {
+  if (!initials_.has_value()) {
+    WSV_ASSIGN_OR_RETURN(std::vector<runtime::Snapshot> snaps,
+                         generator_->InitialSnapshots());
+    std::vector<SnapshotId> ids;
+    for (runtime::Snapshot& s : snaps) {
+      WSV_ASSIGN_OR_RETURN(SnapshotId id, Intern(std::move(s)));
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    initials_ = std::move(ids);
+  }
+  return &*initials_;
+}
+
+Result<const std::vector<SnapshotId>*> SnapshotGraph::Successors(
+    SnapshotId sid) {
+  if (!successors_[sid].has_value()) {
+    // Copy: Intern below may grow snapshots_ and invalidate references.
+    runtime::Snapshot current = snapshots_[sid];
+    WSV_ASSIGN_OR_RETURN(std::vector<runtime::Snapshot> succ,
+                         generator_->Successors(current));
+    std::vector<SnapshotId> ids;
+    ids.reserve(succ.size());
+    for (runtime::Snapshot& s : succ) {
+      WSV_ASSIGN_OR_RETURN(SnapshotId id, Intern(std::move(s)));
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    transitions_ += ids.size();
+    successors_[sid] = std::move(ids);
+  }
+  return &*successors_[sid];
+}
+
+Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots) {
+  WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* inits, Initials());
+  std::deque<SnapshotId> frontier(inits->begin(), inits->end());
+  std::vector<bool> expanded;
+  while (!frontier.empty()) {
+    SnapshotId sid = frontier.front();
+    frontier.pop_front();
+    if (sid >= expanded.size()) expanded.resize(snapshots_.size(), false);
+    if (expanded[sid]) continue;
+    expanded[sid] = true;
+    WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* succ, Successors(sid));
+    for (SnapshotId next : *succ) {
+      if (next >= expanded.size() || !expanded[next]) frontier.push_back(next);
+    }
+    if (snapshots_.size() > max_snapshots) return false;
+  }
+  fully_explored_ = true;
+  return true;
+}
+
+fo::MapStructure SnapshotGraph::Structure(SnapshotId sid) const {
+  return runtime::BuildPropertyStructure(generator_->composition(),
+                                         generator_->databases(),
+                                         snapshots_[sid],
+                                         generator_->domain());
+}
+
+LeafCache::LeafCache(SnapshotGraph* graph, std::vector<fo::FormulaPtr> leaves,
+                     const Interner* interner)
+    : graph_(graph), leaves_(std::move(leaves)), evaluator_(interner) {
+  leaf_vars_.reserve(leaves_.size());
+  for (const fo::FormulaPtr& leaf : leaves_) {
+    auto frees = leaf->FreeVariables();
+    leaf_vars_.emplace_back(frees.begin(), frees.end());  // sets are sorted
+  }
+}
+
+Result<const fo::ValuationSet*> LeafCache::Get(SnapshotId sid, size_t leaf) {
+  if (sid >= cache_.size()) cache_.resize(sid + 1);
+  if (cache_[sid].empty() && !leaves_.empty()) {
+    // Evaluate every leaf in one pass so the (relation-copying) snapshot
+    // structure is built once and immediately discarded.
+    fo::MapStructure structure = graph_->Structure(sid);
+    cache_[sid].reserve(leaves_.size());
+    for (const fo::FormulaPtr& formula : leaves_) {
+      WSV_ASSIGN_OR_RETURN(fo::ValuationSet result,
+                           evaluator_.Evaluate(formula, structure));
+      cache_[sid].emplace_back(std::move(result));
+    }
+  }
+  return &*cache_[sid][leaf];
+}
+
+Result<const data::Relation*> LeafCache::EverSatisfied(size_t leaf) {
+  if (ever_.size() < leaves_.size()) ever_.resize(leaves_.size());
+  if (!ever_[leaf].has_value()) {
+    data::Relation all(leaf_vars_[leaf].size());
+    for (SnapshotId sid = 0; sid < graph_->size(); ++sid) {
+      WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat, Get(sid, leaf));
+      all = all.Union(sat->rows());
+    }
+    ever_[leaf] = std::move(all);
+  }
+  return &*ever_[leaf];
+}
+
+Result<const data::Relation*> LeafCache::AlwaysSatisfied(size_t leaf) {
+  if (always_.size() < leaves_.size()) always_.resize(leaves_.size());
+  if (!always_[leaf].has_value()) {
+    data::Relation common(leaf_vars_[leaf].size());
+    for (SnapshotId sid = 0; sid < graph_->size(); ++sid) {
+      WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat, Get(sid, leaf));
+      common = sid == 0 ? sat->rows() : common.Intersection(sat->rows());
+      if (common.empty()) break;
+    }
+    always_[leaf] = std::move(common);
+  }
+  return &*always_[leaf];
+}
+
+}  // namespace wsv::verifier

@@ -1,0 +1,137 @@
+#ifndef WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_
+#define WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "fo/eval.h"
+#include "fo/structure.h"
+#include "runtime/transition.h"
+
+namespace wsv::verifier {
+
+using SnapshotId = uint32_t;
+
+/// Which parts of a snapshot must be kept distinct. Everything here is
+/// bisimulation-invariant for successor computation — the mover tag, event
+/// flags, action relations (pure outputs; Definition 2.1 forbids reading
+/// them in rule bodies) and previous-input relations no rule consults — so
+/// any part not observed by a proposition is normalized away, collapsing
+/// bisimilar snapshots.
+struct SnapshotNormalization {
+  bool keep_mover = true;
+  bool keep_flags = true;
+  bool keep_actions = true;
+  /// keep_prev[peer][prev-relation index within the peer's
+  /// prev_input_schema]; empty = keep everything.
+  std::vector<std::vector<bool>> keep_prev;
+};
+
+/// The composition's configuration graph for one database choice, explored
+/// lazily and shared across all property instances (valuations of the
+/// universal closure): the expensive successor computation and the
+/// per-snapshot property-evaluation structures are paid once, while each
+/// product search only re-evaluates its own propositions on the cached
+/// structures.
+///
+/// Snapshots are normalized: the mover tag and received/sent event flags do
+/// not influence successor computation, so unless `keep_mover` /
+/// `keep_flags` is set (because some proposition observes them), snapshots
+/// differing only there are collapsed.
+class SnapshotGraph {
+ public:
+  SnapshotGraph(const runtime::TransitionGenerator* generator,
+                SnapshotNormalization normalization);
+
+  const runtime::TransitionGenerator& generator() const { return *generator_; }
+
+  /// Ids of the initial snapshots (Definition 2.6).
+  Result<const std::vector<SnapshotId>*> Initials();
+
+  /// Successor snapshot ids (deduplicated), computed on first use.
+  Result<const std::vector<SnapshotId>*> Successors(SnapshotId sid);
+
+  const runtime::Snapshot& snapshot(SnapshotId sid) const {
+    return snapshots_[sid];
+  }
+
+  /// Builds the property-evaluation structure of a snapshot (transient —
+  /// structures copy every relation, so they are never cached; LeafCache
+  /// evaluates all leaves in one pass per snapshot instead).
+  fo::MapStructure Structure(SnapshotId sid) const;
+
+  size_t size() const { return snapshots_.size(); }
+  size_t transitions_computed() const { return transitions_; }
+
+  /// Exhaustively explores the reachable configuration graph (BFS), up to
+  /// `max_snapshots`. Returns true iff exploration completed; on false the
+  /// graph is partial and callers must fall back to on-the-fly search
+  /// semantics (bounded verdicts).
+  Result<bool> ExploreAll(size_t max_snapshots);
+
+  /// True after a successful ExploreAll.
+  bool fully_explored() const { return fully_explored_; }
+
+ private:
+  Result<SnapshotId> Intern(runtime::Snapshot snap);
+
+  const runtime::TransitionGenerator* generator_;
+  SnapshotNormalization normalization_;
+
+  std::vector<runtime::Snapshot> snapshots_;
+  std::unordered_map<runtime::Snapshot, SnapshotId, runtime::SnapshotHash>
+      ids_;
+  std::vector<std::optional<std::vector<SnapshotId>>> successors_;
+  std::optional<std::vector<SnapshotId>> initials_;
+  size_t transitions_ = 0;
+  bool fully_explored_ = false;
+};
+
+/// Caches, per snapshot and per leaf formula, the set of satisfying
+/// assignments of the leaf's free variables. Evaluated relationally once —
+/// every property instance (closure valuation) then answers "does this leaf
+/// hold under my valuation?" with a tuple lookup.
+class LeafCache {
+ public:
+  /// `graph` must outlive the cache; `interner` resolves leaf constants.
+  LeafCache(SnapshotGraph* graph, std::vector<fo::FormulaPtr> leaves,
+            const Interner* interner);
+
+  const std::vector<fo::FormulaPtr>& leaves() const { return leaves_; }
+
+  /// Sorted free variables of leaf `leaf` (the column order of its
+  /// ValuationSets).
+  const std::vector<std::string>& LeafVariables(size_t leaf) const {
+    return leaf_vars_[leaf];
+  }
+
+  /// Satisfying assignments of leaf `leaf` at snapshot `sid`.
+  Result<const fo::ValuationSet*> Get(SnapshotId sid, size_t leaf);
+
+  /// Union of the satisfying assignments of leaf `leaf` over *all* reachable
+  /// snapshots; requires graph->fully_explored(). A valuation row absent
+  /// from this union makes the proposition constant-false along every run —
+  /// the engine then discharges the instance by automaton emptiness alone.
+  Result<const data::Relation*> EverSatisfied(size_t leaf);
+
+  /// Intersection over all reachable snapshots: rows satisfied *everywhere*
+  /// make the proposition constant-true along every run.
+  Result<const data::Relation*> AlwaysSatisfied(size_t leaf);
+
+ private:
+  SnapshotGraph* graph_;
+  std::vector<fo::FormulaPtr> leaves_;
+  std::vector<std::vector<std::string>> leaf_vars_;
+  fo::Evaluator evaluator_;
+  /// cache_[sid][leaf]
+  std::vector<std::vector<std::optional<fo::ValuationSet>>> cache_;
+  std::vector<std::optional<data::Relation>> ever_;
+  std::vector<std::optional<data::Relation>> always_;
+};
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_

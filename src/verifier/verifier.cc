@@ -1,0 +1,150 @@
+#include "verifier/verifier.h"
+
+#include "automata/buchi.h"
+#include "ltl/grounding.h"
+#include "verifier/domain_bound.h"
+#include "verifier/engine.h"
+#include "verifier/validate.h"
+
+namespace wsv::verifier {
+
+std::string Counterexample::ToString(const spec::Composition& comp,
+                                     const Interner& interner) const {
+  std::string out = "=== Counterexample ===\n";
+  for (size_t p = 0; p < databases.size(); ++p) {
+    std::string db = databases[p].ToString(interner);
+    if (!db.empty()) {
+      out += "database of " + comp.peers()[p].name() + ":\n" + db;
+    }
+  }
+  if (!closure_valuation.empty()) {
+    out += "property variables: ";
+    for (size_t i = 0; i < closure_valuation.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += closure_valuation[i];
+    }
+    out += "\n";
+  }
+  out += "--- run prefix (" + std::to_string(lasso.prefix.size()) +
+         " snapshots; bisimulation-normalized bookkeeping such as mover "
+         "tags may be blank) ---\n";
+  for (const runtime::Snapshot& s : lasso.prefix) {
+    out += s.ToString(comp, interner);
+  }
+  out += "--- cycle repeated forever (" + std::to_string(lasso.cycle.size()) +
+         " snapshots) ---\n";
+  for (const runtime::Snapshot& s : lasso.cycle) {
+    out += s.ToString(comp, interner);
+  }
+  return out;
+}
+
+Verifier::Verifier(const spec::Composition* comp, VerifierOptions options)
+    : comp_(comp), options_(std::move(options)) {}
+
+Status Verifier::CheckDecidableRegime(const ltl::Property& property) const {
+  if (options_.run.queue_bound == 0) {
+    return Status::UndecidableRegime(
+        "unbounded queues: verification undecidable even for input-bounded "
+        "compositions (Corollary 3.6)");
+  }
+  if (!options_.run.lossy) {
+    return Status::UndecidableRegime(
+        "perfect channels: undecidable already for 1-bounded perfect flat "
+        "queues (Theorem 3.7); enable lossy channels (Theorem 3.4) or "
+        "perfect_nested only");
+  }
+  if (options_.run.deterministic_flat_sends) {
+    return Status::UndecidableRegime(
+        "deterministic flat send rules: undecidable even with 1-bounded "
+        "lossy flat queues (Theorem 3.8)");
+  }
+  if (!comp_->IsClosed() && !options_.run.allow_env_moves) {
+    return Status::UndecidableRegime(
+        "open composition verified without an environment model; use "
+        "ModularVerifier (Section 5) or close the composition");
+  }
+  WSV_RETURN_IF_ERROR(comp_->CheckInputBounded(options_.ib_options));
+  WSV_RETURN_IF_ERROR(
+      property.CheckInputBounded(*comp_, options_.ib_options));
+  return Status::Ok();
+}
+
+Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
+  WSV_RETURN_IF_ERROR(ValidateProperty(*comp_, property));
+  VerificationResult result;
+  result.regime = CheckDecidableRegime(property);
+  if (!result.regime.ok() && options_.require_decidable_regime) {
+    return result.regime;
+  }
+
+  // --- Pseudo-domain: constants + fresh elements. ---
+  size_t fresh = options_.fresh_domain_size;
+  if (fresh == 0) {
+    fresh = SufficientFreshDomainSize(*comp_, property,
+                                      options_.run.queue_bound);
+  }
+  PseudoDomain pd =
+      BuildPseudoDomain(*comp_, property.Constants(), fresh);
+  interner_ = std::move(pd.interner);
+  domain_ = std::move(pd.domain);
+  fresh_values_ = std::move(pd.fresh);
+
+  // Pin the databases before enumerating valuations, so their values join
+  // the quantification domain.
+  std::optional<std::vector<data::Instance>> fixed;
+  if (options_.fixed_databases.has_value()) {
+    WSV_ASSIGN_OR_RETURN(
+        std::vector<data::Instance> dbs,
+        MaterializeDatabases(*comp_, *options_.fixed_databases, interner_,
+                             domain_));
+    fixed = std::move(dbs);
+  }
+
+  // --- The symbolic task: one automaton of the negated property with open
+  // leaves; one instance per valuation of the closure variables. ---
+  SymbolicTask task;
+  task.closure_variables = property.closure_variables();
+  WSV_ASSIGN_OR_RETURN(
+      ltl::GroundLtl ground,
+      ltl::GroundToPropositional(property.formula(), /*negate=*/true,
+                                 /*allow_free_leaves=*/true));
+  WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
+  task.leaves = std::move(ground.propositions);
+  task.valuations = EnumerateValuations(domain_, interner_,
+                                        task.closure_variables.size());
+  result.stats.valuations_checked = task.valuations.size();
+
+  // --- Database sweep. ---
+  EngineOptions engine_options;
+  engine_options.run = options_.run;
+  engine_options.iso_reduction = options_.iso_reduction;
+  engine_options.max_databases = options_.max_databases;
+  engine_options.budget = options_.budget;
+  engine_options.fixed_databases = std::move(fixed);
+  VerificationEngine engine(comp_, &interner_, domain_, fresh_values_,
+                            engine_options);
+  WSV_ASSIGN_OR_RETURN(EngineOutcome outcome, engine.Run(task));
+
+  result.stats.databases_checked = outcome.databases_checked;
+  result.stats.searches = outcome.searches;
+  result.stats.prefiltered = outcome.prefiltered;
+  result.stats.search = outcome.search_stats;
+  result.holds = !outcome.violation_found;
+  if (outcome.violation_found) {
+    Counterexample ce;
+    ce.databases = std::move(outcome.databases);
+    ce.closure_valuation = std::move(outcome.label);
+    ce.lasso = std::move(outcome.lasso);
+    result.counterexample = std::move(ce);
+  }
+  if (!outcome.budget_status.ok() && result.holds && result.regime.ok()) {
+    result.regime = outcome.budget_status;
+  }
+  result.complete = result.regime.ok() && outcome.budget_status.ok() &&
+                    !options_.fixed_databases.has_value() &&
+                    options_.fresh_domain_size == 0;
+  return result;
+}
+
+}  // namespace wsv::verifier

@@ -1,0 +1,120 @@
+#ifndef WSVERIFY_VERIFIER_VERIFIER_H_
+#define WSVERIFY_VERIFIER_VERIFIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "ltl/property.h"
+#include "runtime/run_options.h"
+#include "spec/composition.h"
+#include "verifier/engine.h"
+#include "verifier/product_search.h"
+
+namespace wsv::verifier {
+
+struct VerifierOptions {
+  /// Communication semantics (queue bound, lossy channels, ...).
+  runtime::RunOptions run;
+
+  /// Number of fresh pseudo-domain elements added beyond the specification
+  /// and property constants. 0 selects SufficientFreshDomainSize() — the
+  /// theoretically complete (often large) bound; small explicit values give
+  /// bounded verification: a reported counterexample is always real, while
+  /// "holds" is relative to the explored domain size.
+  size_t fresh_domain_size = 2;
+
+  /// Enumerate databases up to isomorphism (permutations of the fresh
+  /// elements); sound and complete because FO rules are generic.
+  bool iso_reduction = true;
+
+  /// Stop after this many databases (bounded verdict if hit).
+  size_t max_databases = static_cast<size_t>(-1);
+
+  /// Per-search state cap.
+  SearchBudget budget;
+
+  /// Refuse to run (rather than degrade to a bounded verdict) when the
+  /// instance falls outside the decidable regime of Theorem 3.4.
+  bool require_decidable_regime = false;
+
+  fo::InputBoundedOptions ib_options;
+
+  /// Verify against these databases only (one per peer, by constant
+  /// spellings), instead of enumerating all databases over the
+  /// pseudo-domain.
+  std::optional<std::vector<NamedDatabase>> fixed_databases;
+};
+
+/// A violating run: the database choice, the property-variable valuation,
+/// and the lasso-shaped run (Section 2's runs are infinite; the witness is
+/// finitely presented as prefix + cycle).
+struct Counterexample {
+  std::vector<data::Instance> databases;
+  std::vector<std::string> closure_valuation;  // constant spellings
+  LassoWitness lasso;
+
+  std::string ToString(const spec::Composition& comp,
+                       const Interner& interner) const;
+};
+
+struct VerificationStats {
+  size_t databases_checked = 0;
+  size_t valuations_checked = 0;
+  size_t searches = 0;
+  /// Instances discharged by the rigid-proposition prefilter without a
+  /// state-space search.
+  size_t prefiltered = 0;
+  SearchStats search;
+};
+
+struct VerificationResult {
+  /// Property satisfied over the explored space.
+  bool holds = false;
+  std::optional<Counterexample> counterexample;
+  VerificationStats stats;
+  /// OK when the instance lies in the decidable class of Theorem 3.4
+  /// (input-bounded composition & property, bounded lossy queues, closed
+  /// composition); otherwise records the crossed boundary and the verdict is
+  /// sound only for the explored bounds.
+  Status regime = Status::Ok();
+  /// True when the verdict is complete: decidable regime, the pseudo-domain
+  /// met the sufficient bound, and no budget cap was hit.
+  bool complete = false;
+};
+
+/// Sound-and-complete verifier for input-bounded compositions with bounded
+/// lossy queues (Theorem 3.4), implemented by pseudo-domain reduction +
+/// explicit on-the-fly Büchi product search (DESIGN.md §5).
+class Verifier {
+ public:
+  /// `comp` must be validated and outlive the verifier.
+  explicit Verifier(const spec::Composition* comp,
+                    VerifierOptions options = {});
+
+  /// Classifies the (composition, property, semantics) instance against the
+  /// paper's decidability map; returns OK inside Theorem 3.4's class and an
+  /// explanatory kUndecidableRegime status outside it.
+  Status CheckDecidableRegime(const ltl::Property& property) const;
+
+  /// Verifies `property` against all runs of the composition.
+  Result<VerificationResult> Verify(const ltl::Property& property);
+
+  /// The interner used for the last Verify call (constants + fresh
+  /// pseudo-domain elements); needed to render counterexamples.
+  const Interner& interner() const { return interner_; }
+  const data::Domain& domain() const { return domain_; }
+
+ private:
+  const spec::Composition* comp_;
+  VerifierOptions options_;
+  Interner interner_;
+  data::Domain domain_;
+  std::vector<data::Value> fresh_values_;
+};
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_VERIFIER_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "abstraction/abstraction.h"
+#include "fo/parser.h"
+#include "ltl/property.h"
+#include "spec/parser.h"
+#include "verifier/verifier.h"
+
+namespace wsv::abstraction {
+namespace {
+
+TEST(AbstractFormula, AtomsBecomeExistentials) {
+  auto f = fo::ParseFormula("r(x, \"k\")");
+  ASSERT_TRUE(f.ok());
+  fo::FormulaPtr a = AbstractFormula(*f);
+  EXPECT_EQ(a->kind(), fo::FormulaKind::kExists);
+  EXPECT_TRUE(a->FreeVariables().empty());
+}
+
+TEST(AbstractFormula, EqualitiesBecomeTrue) {
+  auto f = fo::ParseFormula("x = y and r(x)");
+  ASSERT_TRUE(f.ok());
+  fo::FormulaPtr a = AbstractFormula(*f);
+  // (true and exists _: r(_)).
+  EXPECT_TRUE(a->FreeVariables().empty());
+  auto g = fo::ParseFormula("x = \"k\"");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(AbstractFormula(*g)->kind(), fo::FormulaKind::kTrue);
+}
+
+TEST(AbstractFormula, PropositionsSurvive) {
+  auto f = fo::ParseFormula("flag and r(x)");
+  ASSERT_TRUE(f.ok());
+  fo::FormulaPtr a = AbstractFormula(*f);
+  EXPECT_EQ(a->RelationNames().count("flag"), 1u);
+}
+
+TEST(DataAgnosticAbstraction, DropsClosureVariables) {
+  auto p = ltl::Property::Parse("forall x: G(a(x) -> F b(x))");
+  ASSERT_TRUE(p.ok());
+  ltl::Property abstracted = DataAgnosticAbstraction(*p);
+  EXPECT_TRUE(abstracted.closure_variables().empty());
+  EXPECT_TRUE(abstracted.formula()->FreeVariables().empty());
+}
+
+// The introduction's motivating gap, as a unit test: the buggy agency
+// (answers any record's value) passes the abstraction and fails the
+// data-aware check.
+constexpr char kBuggy[] = R"(
+peer Bank {
+  database { person(s); }
+  input    { check(s); }
+  state    { seen(s, v); }
+  inqueue flat  { score(s, v); }
+  outqueue flat { getScore(s); }
+  rules {
+    options check(s) :- person(s);
+    send getScore(s) :- check(s);
+    insert seen(s, v) :- ?score(s, v);
+  }
+}
+peer Agency {
+  database { record(s, v); }
+  inqueue flat  { getScore(s); }
+  outqueue flat { score(s, v); }
+  rules {
+    send score(s, v) :- exists s2: ?getScore(s) and record(s2, v);
+  }
+}
+)";
+
+TEST(DataAgnosticAbstraction, MissesTheRecordSwappingBug) {
+  auto comp = spec::ParseComposition(kBuggy);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  auto property = ltl::Property::Parse(
+      "forall s, v: G(Bank.seen(s, v) -> "
+      "(exists w: Agency.record(s, w) and w = v))");
+  ASSERT_TRUE(property.ok());
+
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 1;
+  options.fixed_databases = std::vector<verifier::NamedDatabase>{
+      {{"person", {{"s1"}, {"s2"}}}},
+      {{"record", {{"s1", "700"}, {"s2", "550"}}}}};
+
+  {
+    verifier::Verifier verifier(&*comp, options);
+    auto result = verifier.Verify(*property);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->holds);  // data-aware: bug found
+  }
+  {
+    ltl::Property abstracted = DataAgnosticAbstraction(*property);
+    verifier::Verifier verifier(&*comp, options);
+    auto result = verifier.Verify(abstracted);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->holds);  // abstraction: bug missed
+  }
+}
+
+}  // namespace
+}  // namespace wsv::abstraction

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cfsm/cfsm.h"
+#include "cfsm/embed.h"
+#include "ltl/property.h"
+#include "verifier/verifier.h"
+
+namespace wsv::cfsm {
+namespace {
+
+/// Stop-and-wait: sender sends "data" then waits for "ack"; receiver
+/// consumes "data" and answers "ack".
+CfsmSystem StopAndWait() {
+  CfsmSystem system;
+  CfsmMachine sender;
+  sender.name = "sender";
+  sender.num_states = 2;
+  sender.transitions.push_back({0, 1, CfsmTransition::Kind::kSend, 0, "data"});
+  sender.transitions.push_back(
+      {1, 0, CfsmTransition::Kind::kReceive, 1, "ack"});
+  CfsmMachine receiver;
+  receiver.name = "receiver";
+  receiver.num_states = 2;
+  receiver.transitions.push_back(
+      {0, 1, CfsmTransition::Kind::kReceive, 0, "data"});
+  receiver.transitions.push_back({1, 0, CfsmTransition::Kind::kSend, 1, "ack"});
+  system.machines = {sender, receiver};
+  system.channels = {{"d", 0, 1}, {"a", 1, 0}};
+  return system;
+}
+
+/// Producer floods one channel with alternating letters; consumer drains.
+CfsmSystem ProducerConsumer() {
+  CfsmSystem system;
+  CfsmMachine producer;
+  producer.name = "producer";
+  producer.num_states = 2;
+  producer.transitions.push_back({0, 1, CfsmTransition::Kind::kSend, 0, "a"});
+  producer.transitions.push_back({1, 0, CfsmTransition::Kind::kSend, 0, "b"});
+  CfsmMachine consumer;
+  consumer.name = "consumer";
+  consumer.num_states = 1;
+  consumer.transitions.push_back(
+      {0, 0, CfsmTransition::Kind::kReceive, 0, "a"});
+  consumer.transitions.push_back(
+      {0, 0, CfsmTransition::Kind::kReceive, 0, "b"});
+  system.machines = {producer, consumer};
+  system.channels = {{"c", 0, 1}};
+  return system;
+}
+
+TEST(CfsmValidate, CatchesOwnershipViolations) {
+  CfsmSystem system = StopAndWait();
+  EXPECT_TRUE(system.Validate().ok());
+  // Receiver tries to send on the sender's channel.
+  system.machines[1].transitions.push_back(
+      {0, 0, CfsmTransition::Kind::kSend, 0, "x"});
+  EXPECT_FALSE(system.Validate().ok());
+}
+
+TEST(CfsmExplore, StopAndWaitIsTiny) {
+  CfsmSystem system = StopAndWait();
+  ExploreOptions options;
+  options.queue_bound = 1;
+  options.lossy = false;
+  CfsmExplorer explorer(&system, options);
+  auto result = explorer.Explore();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->budget_exhausted);
+  // (s0,r0,[],[]) -> (s1,r0,[d],[]) -> (s1,r1,[],[]) -> (s1,r0,[],[a]) ->
+  // back to (s0,r0,[],[]): 4 configurations.
+  EXPECT_EQ(result->configs_visited, 4u);
+}
+
+TEST(CfsmExplore, LossySendsAddSkippedDeliveries) {
+  CfsmSystem system = StopAndWait();
+  ExploreOptions options;
+  options.queue_bound = 1;
+  options.lossy = true;
+  CfsmExplorer explorer(&system, options);
+  auto result = explorer.Explore();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->configs_visited, 4u);  // lost-message deadlock states
+}
+
+TEST(CfsmExplore, ConfigCountGrowsWithQueueBound) {
+  CfsmSystem system = ProducerConsumer();
+  size_t last = 0;
+  for (size_t k : {1, 2, 4, 8}) {
+    ExploreOptions options;
+    options.queue_bound = k;
+    options.lossy = true;
+    CfsmExplorer explorer(&system, options);
+    auto result = explorer.Explore();
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->configs_visited, last);
+    last = result->configs_visited;
+  }
+}
+
+TEST(CfsmExplore, UnboundedQueueExhaustsAnyBudget) {
+  CfsmSystem system = ProducerConsumer();
+  ExploreOptions options;
+  options.queue_bound = 0;  // unbounded (Corollary 3.6's regime)
+  options.lossy = false;
+  options.max_configs = 5000;
+  CfsmExplorer explorer(&system, options);
+  auto result = explorer.Explore();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->budget_exhausted);
+}
+
+TEST(CfsmExplore, TargetReachability) {
+  CfsmSystem system = StopAndWait();
+  ExploreOptions options;
+  options.lossy = false;
+  CfsmExplorer explorer(&system, options);
+  auto both_busy = explorer.Explore(std::vector<size_t>{1, 1});
+  ASSERT_TRUE(both_busy.ok());
+  EXPECT_TRUE(both_busy->target_reached);
+}
+
+TEST(CfsmEmbed, ProducesInputBoundedComposition) {
+  auto comp = EmbedAsComposition(StopAndWait());
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_EQ(comp->peers().size(), 2u);
+  EXPECT_TRUE(comp->IsClosed());
+  EXPECT_TRUE(comp->CheckInputBounded().ok())
+      << comp->CheckInputBounded().message();
+}
+
+TEST(CfsmEmbed, ControlStateInvariantHolds) {
+  auto comp = EmbedAsComposition(StopAndWait());
+  ASSERT_TRUE(comp.ok());
+  // Stop-and-wait invariant: a data message can be in flight only while the
+  // sender is waiting for the acknowledgment.
+  auto property = ltl::Property::Parse(
+      "G((not receiver.empty_d) -> sender.at_1)");
+  ASSERT_TRUE(property.ok());
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 1;
+  verifier::Verifier verifier(&*comp, options);
+  auto result = verifier.Verify(*property);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->holds);
+}
+
+TEST(CfsmEmbed, EmbeddedReachabilityMatchesExplorerModuloDrain) {
+  // Both analyses agree that the "both busy" configuration is reachable.
+  CfsmSystem system = StopAndWait();
+  ExploreOptions options;
+  CfsmExplorer explorer(&system, options);
+  auto direct = explorer.Explore(std::vector<size_t>{1, 1});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->target_reached);
+
+  auto comp = EmbedAsComposition(system);
+  ASSERT_TRUE(comp.ok());
+  auto property =
+      ltl::Property::Parse("G(not (sender.at_1 and receiver.at_1))");
+  ASSERT_TRUE(property.ok());
+  verifier::VerifierOptions voptions;
+  voptions.fresh_domain_size = 1;
+  verifier::Verifier verifier(&*comp, voptions);
+  auto result = verifier.Verify(*property);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->holds);  // reachable in the embedding too
+}
+
+}  // namespace
+}  // namespace wsv::cfsm

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "automata/buchi.h"
+#include "automata/emptiness.h"
+#include "common/interner.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace wsv {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::UndecidableRegime("outside Theorem 3.4");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kUndecidableRegime);
+  EXPECT_NE(err.ToString().find("outside Theorem 3.4"), std::string::npos);
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> good = 41;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good + 1, 42);
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, AssignOrReturnMacroPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    WSV_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 14);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(Interner, StableDenseIds) {
+  Interner interner;
+  SymbolId a = interner.Intern("alpha");
+  SymbolId b = interner.Intern("beta");
+  EXPECT_EQ(interner.Intern("alpha"), a);  // idempotent
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Text(a), "alpha");
+  EXPECT_EQ(interner.Lookup("beta"), b);
+  EXPECT_EQ(interner.Lookup("gamma"), kInvalidSymbol);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Strings, JoinSplitTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Trim("  x \n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("received_q", "received_"));
+  EXPECT_FALSE(StartsWith("rec", "received_"));
+}
+
+// --- Büchi utility coverage (Intersect, determinism checks) ---------------
+
+TEST(BuchiUtil, IntersectionOfComplementaryLanguagesIsEmpty) {
+  using namespace automata;
+  // A: infinitely many p. B: finitely many p (eventually globally !p).
+  BuchiAutomaton a(1);
+  StateId a0 = a.AddState();
+  a.AddInitial(a0);
+  a.AddTransition(a0, a0, PropExpr::Not(PropExpr::Lit(0)));
+  StateId a1 = a.AddState();
+  a.AddTransition(a0, a1, PropExpr::Lit(0));
+  a.AddTransition(a1, a1, PropExpr::Lit(0));
+  a.AddTransition(a1, a0, PropExpr::Not(PropExpr::Lit(0)));
+  a.AddAcceptingSet({a1});  // p seen infinitely often
+
+  BuchiAutomaton b(1);
+  StateId b0 = b.AddState();
+  StateId b1 = b.AddState();
+  b.AddInitial(b0);
+  b.AddTransition(b0, b0, PropExpr::True());
+  b.AddTransition(b0, b1, PropExpr::Not(PropExpr::Lit(0)));
+  b.AddTransition(b1, b1, PropExpr::Not(PropExpr::Lit(0)));
+  b.AddAcceptingSet({b1});  // eventually globally !p
+
+  auto product = BuchiAutomaton::Intersect(a, b);
+  ASSERT_TRUE(product.ok());
+  EXPECT_TRUE(IsEmptyLanguage(*product));
+}
+
+TEST(BuchiUtil, IntersectionOfOverlappingLanguagesIsNonEmpty) {
+  using namespace automata;
+  // A: G p. B: F p. Intersection: G p (non-empty).
+  BuchiAutomaton a(1);
+  StateId a0 = a.AddState();
+  a.AddInitial(a0);
+  a.AddTransition(a0, a0, PropExpr::Lit(0));
+  a.AddAcceptingSet({a0});
+
+  BuchiAutomaton b(1);
+  StateId b0 = b.AddState();
+  StateId b1 = b.AddState();
+  b.AddInitial(b0);
+  b.AddTransition(b0, b0, PropExpr::True());
+  b.AddTransition(b0, b1, PropExpr::Lit(0));
+  b.AddTransition(b1, b1, PropExpr::True());
+  b.AddAcceptingSet({b1});
+
+  auto product = BuchiAutomaton::Intersect(a, b);
+  ASSERT_TRUE(product.ok());
+  EXPECT_FALSE(IsEmptyLanguage(*product));
+}
+
+TEST(BuchiUtil, DeterminismAndCompletenessChecks) {
+  using namespace automata;
+  BuchiAutomaton det(1);
+  StateId s = det.AddState();
+  det.AddInitial(s);
+  det.AddTransition(s, s, PropExpr::Lit(0));
+  det.AddTransition(s, s, PropExpr::Not(PropExpr::Lit(0)));
+  det.AddAcceptingSet({s});
+  EXPECT_TRUE(det.IsDeterministic());
+  EXPECT_TRUE(det.IsComplete());
+
+  BuchiAutomaton nondet(1);
+  StateId n0 = nondet.AddState();
+  StateId n1 = nondet.AddState();
+  nondet.AddInitial(n0);
+  nondet.AddTransition(n0, n0, PropExpr::True());
+  nondet.AddTransition(n0, n1, PropExpr::Lit(0));
+  nondet.AddAcceptingSet({n1});
+  EXPECT_FALSE(nondet.IsDeterministic());
+  EXPECT_FALSE(nondet.IsComplete());  // n1 has no outgoing transitions
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "data/instance.h"
+#include "data/isomorphism.h"
+#include "data/relation.h"
+#include "data/schema.h"
+
+namespace wsv::data {
+namespace {
+
+TEST(Domain, SortedDeduplicated) {
+  Domain d({5, 1, 3, 1, 5});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.Contains(1));
+  EXPECT_TRUE(d.Contains(3));
+  EXPECT_TRUE(d.Contains(5));
+  EXPECT_FALSE(d.Contains(2));
+  d.Add(2);
+  EXPECT_EQ(d.values(), (std::vector<Value>{1, 2, 3, 5}));
+}
+
+TEST(Domain, UnionWith) {
+  Domain a({1, 3});
+  Domain b({2, 3, 4});
+  a.UnionWith(b);
+  EXPECT_EQ(a.values(), (std::vector<Value>{1, 2, 3, 4}));
+}
+
+TEST(Relation, InsertEraseContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));  // set semantics
+  EXPECT_TRUE(r.Insert({0, 9}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_TRUE(r.Erase({1, 2}));
+  EXPECT_FALSE(r.Erase({1, 2}));
+  EXPECT_FALSE(r.Contains({1, 2}));
+}
+
+TEST(Relation, TuplesStaySorted) {
+  Relation r(1);
+  r.Insert({9});
+  r.Insert({1});
+  r.Insert({5});
+  std::vector<Value> seen;
+  for (const Tuple& t : r) seen.push_back(t[0]);
+  EXPECT_EQ(seen, (std::vector<Value>{1, 5, 9}));
+}
+
+TEST(Relation, SetOperations) {
+  Relation a(1, {Tuple{1}, Tuple{2}, Tuple{3}});
+  Relation b(1, {Tuple{2}, Tuple{4}});
+  EXPECT_EQ(a.Union(b).size(), 4u);
+  EXPECT_EQ(a.Difference(b).size(), 2u);
+  EXPECT_EQ(a.Intersection(b).size(), 1u);
+  EXPECT_TRUE(a.Intersection(b).Contains({2}));
+}
+
+TEST(Relation, HashDistinguishesAndAgrees) {
+  Relation a(1, {Tuple{1}, Tuple{2}});
+  Relation b(1, {Tuple{2}, Tuple{1}});  // same set, different insert order
+  Relation c(1, {Tuple{1}});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Schema, DuplicateNamesRejected) {
+  Schema s;
+  EXPECT_TRUE(s.AddRelation({"r", {"a"}}).ok());
+  EXPECT_FALSE(s.AddRelation({"r", {"b", "c"}}).ok());
+  EXPECT_EQ(s.ArityOf("r"), 1u);
+  EXPECT_EQ(s.IndexOf("missing"), Schema::kNpos);
+}
+
+TEST(Instance, EqualityAndHash) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation({"r", {"a", "b"}}).ok());
+  Instance i1(&s);
+  Instance i2(&s);
+  EXPECT_EQ(i1, i2);
+  i1.relation("r").Insert({1, 2});
+  EXPECT_FALSE(i1 == i2);
+  i2.relation("r").Insert({1, 2});
+  EXPECT_EQ(i1, i2);
+  EXPECT_EQ(i1.Hash(), i2.Hash());
+}
+
+TEST(Instance, ActiveDomain) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation({"r", {"a", "b"}}).ok());
+  Instance inst(&s);
+  inst.relation("r").Insert({7, 9});
+  Domain d;
+  inst.CollectActiveDomain(d);
+  EXPECT_EQ(d.values(), (std::vector<Value>{7, 9}));
+}
+
+TEST(Isomorphism, RenameRelation) {
+  Relation r(2, {Tuple{1, 2}});
+  ValueRenaming renaming{{1, 2}, {2, 1}};
+  Relation renamed = RenameRelation(r, renaming);
+  EXPECT_TRUE(renamed.Contains({2, 1}));
+  EXPECT_FALSE(renamed.Contains({1, 2}));
+}
+
+TEST(Isomorphism, CanonicalPicksOneRepresentativePerOrbit) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation({"r", {"a"}}).ok());
+  // Domain {1, 2} movable: {(1)} and {(2)} are isomorphic; exactly one is
+  // canonical. {} and {(1),(2)} are fixed points.
+  std::vector<Value> movable{1, 2};
+  size_t canonical_singletons = 0;
+  for (Value v : movable) {
+    Instance inst(&s);
+    inst.relation("r").Insert({v});
+    if (IsCanonicalUnderPermutations(inst, movable)) ++canonical_singletons;
+  }
+  EXPECT_EQ(canonical_singletons, 1u);
+
+  Instance empty(&s);
+  EXPECT_TRUE(IsCanonicalUnderPermutations(empty, movable));
+  Instance full(&s);
+  full.relation("r").Insert({1});
+  full.relation("r").Insert({2});
+  EXPECT_TRUE(IsCanonicalUnderPermutations(full, movable));
+}
+
+TEST(Isomorphism, JointCanonicalityCouplesInstances) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation({"r", {"a"}}).ok());
+  std::vector<Value> movable{1, 2};
+  // The pair ({(1)}, {(2)}) and ({(2)}, {(1)}) are one orbit: exactly one
+  // of them is canonical.
+  size_t canonical = 0;
+  for (auto [x, y] : {std::pair<Value, Value>{1, 2}, {2, 1}}) {
+    Instance a(&s);
+    a.relation("r").Insert({x});
+    Instance b(&s);
+    b.relation("r").Insert({y});
+    if (IsCanonicalUnderPermutationsJoint({&a, &b}, movable)) ++canonical;
+  }
+  EXPECT_EQ(canonical, 1u);
+}
+
+/// Parameterized orbit property: over a small movable domain, the number of
+/// canonical unary relations equals the number of orbits, which for subsets
+/// of an n-element set under S_n is n + 1 (one orbit per cardinality).
+class OrbitCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrbitCountTest, CanonicalCountEqualsOrbitCount) {
+  int n = GetParam();
+  Schema s;
+  ASSERT_TRUE(s.AddRelation({"r", {"a"}}).ok());
+  std::vector<Value> movable;
+  for (int i = 0; i < n; ++i) movable.push_back(static_cast<Value>(i));
+  size_t canonical = 0;
+  for (size_t mask = 0; mask < (static_cast<size_t>(1) << n); ++mask) {
+    Instance inst(&s);
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) inst.relation("r").Insert({static_cast<Value>(i)});
+    }
+    if (IsCanonicalUnderPermutations(inst, movable)) ++canonical;
+  }
+  EXPECT_EQ(canonical, static_cast<size_t>(n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDomains, OrbitCountTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wsv::data

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "fo/eval.h"
+#include "fo/formula.h"
+#include "fo/input_bounded.h"
+#include "fo/parser.h"
+#include "fo/structure.h"
+
+namespace wsv::fo {
+namespace {
+
+TEST(FoParser, ParsesAtomsAndConnectives) {
+  auto f = ParseFormula("customer(id, ssn, name) and (rec = \"approve\" or "
+                        "rec = \"deny\")");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), FormulaKind::kAnd);
+  auto frees = (*f)->FreeVariables();
+  EXPECT_EQ(frees.size(), 4u);  // id, ssn, name, rec
+}
+
+TEST(FoParser, QueueSigilsNormalize) {
+  auto f = ParseFormula("?apply(id, loan) and O.!rating(ssn, r)");
+  ASSERT_TRUE(f.ok()) << f.status();
+  auto rels = (*f)->RelationNames();
+  EXPECT_TRUE(rels.count("apply") == 1);
+  EXPECT_TRUE(rels.count("O.rating") == 1);
+}
+
+TEST(FoParser, QuantifierScopesMaximally) {
+  auto f = ParseFormula("exists x: p(x) and q(x)");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ((*f)->kind(), FormulaKind::kExists);
+  EXPECT_TRUE((*f)->FreeVariables().empty());
+}
+
+TEST(FoParser, RejectsGarbage) {
+  EXPECT_FALSE(ParseFormula("exists : p(x)").ok());
+  EXPECT_FALSE(ParseFormula("p(x) and").ok());
+  EXPECT_FALSE(ParseFormula("(p(x)").ok());
+}
+
+TEST(FoParser, RoundTripsThroughToString) {
+  const char* inputs[] = {
+      "p(x, \"a\") and not q(x)",
+      "exists x, y: r(x, y) and (x = y or p(x, \"c\"))",
+      "forall z: g(z) -> exists w: h(w, z)",
+  };
+  for (const char* input : inputs) {
+    auto f1 = ParseFormula(input);
+    ASSERT_TRUE(f1.ok()) << f1.status();
+    auto f2 = ParseFormula((*f1)->ToString());
+    ASSERT_TRUE(f2.ok()) << "re-parse of " << (*f1)->ToString();
+    EXPECT_TRUE(FormulaEquals(*f1, *f2)) << (*f1)->ToString();
+  }
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = interner_.Intern("a");
+    b_ = interner_.Intern("b");
+    c_ = interner_.Intern("c");
+    structure_.SetDomain(data::Domain({a_, b_, c_}));
+
+    data::Relation edge(2);
+    edge.Insert({a_, b_});
+    edge.Insert({b_, c_});
+    structure_.Set("edge", edge);
+
+    data::Relation node(1);
+    node.Insert({a_});
+    node.Insert({b_});
+    node.Insert({c_});
+    structure_.Set("node", node);
+  }
+
+  bool Holds(const std::string& text) {
+    auto f = ParseFormula(text);
+    EXPECT_TRUE(f.ok()) << f.status();
+    Evaluator eval(&interner_);
+    auto result = eval.EvaluateSentence(*f, structure_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  Interner interner_;
+  data::Value a_, b_, c_;
+  MapStructure structure_;
+};
+
+TEST_F(EvalTest, GroundAtoms) {
+  EXPECT_TRUE(Holds("edge(\"a\", \"b\")"));
+  EXPECT_FALSE(Holds("edge(\"b\", \"a\")"));
+}
+
+TEST_F(EvalTest, ExistentialQuantification) {
+  EXPECT_TRUE(Holds("exists x: edge(\"a\", x)"));
+  EXPECT_FALSE(Holds("exists x: edge(x, \"a\")"));
+  EXPECT_TRUE(Holds("exists x, y: edge(x, y) and edge(y, \"c\")"));
+}
+
+TEST_F(EvalTest, UniversalQuantification) {
+  EXPECT_TRUE(Holds("forall x: node(x)"));
+  EXPECT_FALSE(Holds("forall x: exists y: edge(x, y)"));  // c has no edge
+  EXPECT_TRUE(Holds("forall x, y: edge(x, y) -> node(x) and node(y)"));
+}
+
+TEST_F(EvalTest, NegationAndEquality) {
+  EXPECT_TRUE(Holds("not edge(\"a\", \"c\")"));
+  EXPECT_TRUE(Holds("exists x: node(x) and not (x = \"a\")"));
+  EXPECT_TRUE(Holds("forall x, y, z: edge(x, y) and edge(x, z) -> y = z"));
+}
+
+TEST_F(EvalTest, RepeatedVariablesInAtoms) {
+  EXPECT_FALSE(Holds("exists x: edge(x, x)"));
+  data::Relation loop(2);
+  loop.Insert({a_, a_});
+  structure_.Set("loop", loop);
+  EXPECT_TRUE(Holds("exists x: loop(x, x)"));
+}
+
+TEST_F(EvalTest, QueryProducesHeadOrder) {
+  auto f = ParseFormula("edge(y, x)");  // note swapped head order below
+  ASSERT_TRUE(f.ok());
+  Evaluator eval(&interner_);
+  auto rel = eval.EvaluateQuery(*f, {"x", "y"}, structure_);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->Contains({b_, a_}));  // x=b, y=a from edge(a, b)
+  EXPECT_TRUE(rel->Contains({c_, b_}));
+}
+
+TEST_F(EvalTest, QueryExtendsUnconstrainedHeadVars) {
+  auto f = ParseFormula("node(x)");
+  ASSERT_TRUE(f.ok());
+  Evaluator eval(&interner_);
+  auto rel = eval.EvaluateQuery(*f, {"x", "free"}, structure_);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(rel->size(), 9u);  // 3 nodes x 3 domain values
+}
+
+TEST_F(EvalTest, MissingRelationIsAnError) {
+  auto f = ParseFormula("nonexistent(x)");
+  ASSERT_TRUE(f.ok());
+  Evaluator eval(&interner_);
+  auto result = eval.Evaluate(*f, structure_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// --- Input-boundedness checker -------------------------------------------
+
+class FakeClassifier : public SymbolClassifier {
+ public:
+  RelClass Classify(const std::string& name) const override {
+    if (name == "inp") return RelClass::kInput;
+    if (name == "prev_inp") return RelClass::kPrevInput;
+    if (name == "flatq") return RelClass::kInFlat;
+    if (name == "nestq") return RelClass::kInNested;
+    if (name == "db") return RelClass::kDatabase;
+    if (name == "st") return RelClass::kState;
+    if (name == "act") return RelClass::kAction;
+    return RelClass::kUnknown;
+  }
+};
+
+TEST(InputBounded, AcceptsGuardedQuantification) {
+  FakeClassifier cls;
+  auto f = ParseFormula("exists x: inp(x) and db(x, x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(*f, cls).ok());
+}
+
+TEST(InputBounded, AcceptsUniversalGuardedForm) {
+  FakeClassifier cls;
+  auto f = ParseFormula("forall x: inp(x) -> db(x, x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(*f, cls).ok());
+}
+
+TEST(InputBounded, RejectsUnguardedQuantification) {
+  FakeClassifier cls;
+  auto f = ParseFormula("exists x: st(x)");
+  ASSERT_TRUE(f.ok());
+  Status s = CheckInputBounded(*f, cls);
+  EXPECT_EQ(s.code(), StatusCode::kUndecidableRegime);
+}
+
+TEST(InputBounded, RejectsQuantifiedVariableInStateAtom) {
+  FakeClassifier cls;
+  auto f = ParseFormula("exists x: inp(x) and st(x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(CheckInputBounded(*f, cls).code(),
+            StatusCode::kUndecidableRegime);
+}
+
+TEST(InputBounded, RejectsQuantifiedVariableInNestedQueueAtom) {
+  FakeClassifier cls;
+  auto f = ParseFormula("exists x: inp(x) and nestq(x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(CheckInputBounded(*f, cls).code(),
+            StatusCode::kUndecidableRegime);
+}
+
+TEST(InputBounded, FlatQueueGuardAllowed) {
+  FakeClassifier cls;
+  auto f = ParseFormula("exists x: flatq(x) and db(x, x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(*f, cls).ok());
+}
+
+TEST(InputBounded, DatabaseGuardControlledByOption) {
+  FakeClassifier cls;
+  auto f = ParseFormula("exists x: db(x, x) and flatq(x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(*f, cls).ok());  // default: allowed
+  InputBoundedOptions strict;
+  strict.allow_database_guards = false;
+  // x is still covered by the flat-queue atom flatq(x), so this stays legal.
+  EXPECT_TRUE(CheckInputBounded(*f, cls, strict).ok());
+  auto g = ParseFormula("exists x: db(x, x) and x = \"c\"");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(CheckInputBounded(*g, cls).ok());
+  EXPECT_EQ(CheckInputBounded(*g, cls, strict).code(),
+            StatusCode::kUndecidableRegime);
+}
+
+TEST(InputBounded, ExistentialGroundRuleChecks) {
+  FakeClassifier cls;
+  auto ok = ParseFormula("exists x: inp(x) and db(x, x) and st(\"a\")");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(CheckExistentialGroundRule(*ok, cls).ok());
+
+  auto bad_univ = ParseFormula("forall x: inp(x) -> db(x, x)");
+  ASSERT_TRUE(bad_univ.ok());
+  EXPECT_EQ(CheckExistentialGroundRule(*bad_univ, cls).code(),
+            StatusCode::kUndecidableRegime);
+
+  auto bad_state = ParseFormula("exists x: inp(x) and st(x)");
+  ASSERT_TRUE(bad_state.ok());
+  EXPECT_EQ(CheckExistentialGroundRule(*bad_state, cls).code(),
+            StatusCode::kUndecidableRegime);
+
+  auto bad_nested = ParseFormula("exists x: inp(x) and nestq(x)");
+  ASSERT_TRUE(bad_nested.ok());
+  EXPECT_EQ(CheckExistentialGroundRule(*bad_nested, cls).code(),
+            StatusCode::kUndecidableRegime);
+}
+
+TEST(Substitution, ReplacesFreeOccurrencesOnly) {
+  auto f = ParseFormula("p(x) and exists x: q(x, y)");
+  ASSERT_TRUE(f.ok());
+  FormulaPtr g = SubstituteVariable(*f, "x", Term::Constant("a"));
+  EXPECT_EQ(g->ToString(), "(p(\"a\") and exists x: (q(x, y)))");
+  FormulaPtr h = SubstituteVariable(*f, "y", Term::Constant("b"));
+  EXPECT_EQ(h->ToString(), "(p(x) and exists x: (q(x, \"b\")))");
+}
+
+}  // namespace
+}  // namespace wsv::fo

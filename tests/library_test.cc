@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "ltl/property.h"
+#include "modular/env_spec.h"
+#include "spec/library.h"
+
+namespace wsv::spec::library {
+namespace {
+
+TEST(LoanComposition, ParsesAndValidates) {
+  auto comp = LoanComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_EQ(comp->peers().size(), 4u);
+  EXPECT_TRUE(comp->IsClosed());
+  EXPECT_EQ(comp->channels().size(), 7u);  // apply, getRating, rating,
+                                           // getHistory, history, recommend,
+                                           // decision
+}
+
+TEST(LoanComposition, IsInputBounded) {
+  auto comp = LoanComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_TRUE(comp->CheckInputBounded().ok())
+      << comp->CheckInputBounded().message();
+}
+
+TEST(LoanComposition, ChannelKindsMatchThePaper) {
+  auto comp = LoanComposition();
+  ASSERT_TRUE(comp.ok());
+  const Channel* history = comp->FindChannel("history");
+  ASSERT_NE(history, nullptr);
+  EXPECT_EQ(history->kind, QueueKind::kNested);
+  const Channel* rating = comp->FindChannel("rating");
+  ASSERT_NE(rating, nullptr);
+  EXPECT_EQ(rating->kind, QueueKind::kFlat);
+  const Channel* recommend = comp->FindChannel("recommend");
+  ASSERT_NE(recommend, nullptr);
+  EXPECT_EQ(recommend->kind, QueueKind::kNested);
+}
+
+TEST(LoanComposition, Property11ParsesAndIsInputBounded) {
+  auto comp = LoanComposition();
+  ASSERT_TRUE(comp.ok());
+  auto property = ltl::Property::Parse(LoanProperty11());
+  ASSERT_TRUE(property.ok()) << property.status();
+  EXPECT_EQ(property->closure_variables().size(), 4u);
+  EXPECT_TRUE(property->CheckInputBounded(*comp).ok())
+      << property->CheckInputBounded(*comp).message();
+}
+
+TEST(LoanComposition, PolicyPropertyParsesAndIsInputBounded) {
+  auto comp = LoanComposition();
+  ASSERT_TRUE(comp.ok());
+  auto property = ltl::Property::Parse(LoanPropertyPolicy());
+  ASSERT_TRUE(property.ok()) << property.status();
+  EXPECT_TRUE(property->CheckInputBounded(*comp).ok())
+      << property->CheckInputBounded(*comp).message();
+}
+
+TEST(OfficerOnly, IsOpenComposition) {
+  auto comp = OfficerOnlyComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_FALSE(comp->IsClosed());
+  // All seven channels face the environment.
+  size_t env_facing = 0;
+  for (const Channel& ch : comp->channels()) {
+    if (ch.FromEnvironment() || ch.ToEnvironment()) ++env_facing;
+  }
+  EXPECT_EQ(env_facing, comp->channels().size());
+}
+
+TEST(OfficerOnly, EnvironmentSpecParsesStrictAndValidates) {
+  auto comp = OfficerOnlyComposition();
+  ASSERT_TRUE(comp.ok());
+  auto env = modular::EnvironmentSpec::Parse(OfficerEnvironmentSpec());
+  ASSERT_TRUE(env.ok()) << env.status();
+  EXPECT_TRUE(env->IsStrict());
+  EXPECT_TRUE(env->ValidateAgainst(*comp).ok())
+      << env->ValidateAgainst(*comp).message();
+}
+
+TEST(Shop, ParsesValidatesInputBounded) {
+  auto comp = ShopComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_TRUE(comp->IsClosed());  // no queues at all
+  EXPECT_TRUE(comp->channels().empty());
+  EXPECT_TRUE(comp->CheckInputBounded().ok())
+      << comp->CheckInputBounded().message();
+}
+
+TEST(Shop, LookbackVariantValidates) {
+  auto comp = ShopComposition(3);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_EQ(comp->peers()[0].lookback(), 3);
+  // prev_view, prev2_view, prev3_view all exist.
+  EXPECT_NE(comp->peers()[0].prev_input_schema().IndexOf("prev3_view"),
+            data::Schema::kNpos);
+}
+
+TEST(Bookstore, ParsesValidatesInputBounded) {
+  auto comp = BookstoreComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_TRUE(comp->IsClosed());
+  EXPECT_EQ(comp->channels().size(), 2u);
+  EXPECT_TRUE(comp->CheckInputBounded().ok())
+      << comp->CheckInputBounded().message();
+}
+
+TEST(Airline, ParsesValidatesInputBounded) {
+  auto comp = AirlineComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_TRUE(comp->IsClosed());
+  EXPECT_EQ(comp->channels().size(), 2u);  // hold, bookAck
+  EXPECT_TRUE(comp->CheckInputBounded().ok())
+      << comp->CheckInputBounded().message();
+}
+
+TEST(MotoGp, ParsesValidatesInputBounded) {
+  auto comp = MotoGpComposition();
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  EXPECT_TRUE(comp->IsClosed());  // single peer, no queues
+  EXPECT_TRUE(comp->CheckInputBounded().ok())
+      << comp->CheckInputBounded().message();
+}
+
+}  // namespace
+}  // namespace wsv::spec::library

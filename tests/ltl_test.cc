@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "fo/parser.h"
+#include "ltl/grounding.h"
+#include "ltl/ltl_formula.h"
+#include "ltl/property.h"
+
+namespace wsv::ltl {
+namespace {
+
+TEST(LtlParser, TemporalOperators) {
+  auto p = Property::Parse("G(req -> F resp)");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->closure_variables().empty());
+  EXPECT_EQ(p->formula()->kind(), LtlKind::kRelease);  // G == false R .
+}
+
+TEST(LtlParser, UniversalClosure) {
+  auto p = Property::Parse("forall x, y: G(a(x, y) -> F b(x))");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->closure_variables(),
+            (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(LtlParser, PureFoClosureFoldsIntoLeaf) {
+  auto p = Property::Parse("forall x: a(x) -> b(x)");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->closure_variables().empty());
+  EXPECT_EQ(p->formula()->kind(), LtlKind::kLeaf);
+  EXPECT_TRUE(p->IsStrict());
+}
+
+TEST(LtlParser, PureFoRegionsCollapse) {
+  auto p = Property::Parse("G(a(x) and not b(x) or c = \"k\")");
+  ASSERT_TRUE(p.ok()) << p.status();
+  // The whole G-body is one FO leaf.
+  std::vector<fo::FormulaPtr> leaves;
+  p->formula()->CollectLeaves(leaves);
+  ASSERT_EQ(leaves.size(), 2u);  // the 'false' of G == false R ., plus body
+}
+
+TEST(LtlParser, QuantifierOverTemporalRejected) {
+  auto p = Property::Parse("G(exists x: F a(x))");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(LtlParser, EnvironmentModeAllowsTemporalQuantifier) {
+  auto f = ParseEnvironmentLtl("G forall s: req(s) -> X resp(s)");
+  ASSERT_TRUE(f.ok()) << f.status();
+}
+
+TEST(LtlParser, UntilBeforeRelease) {
+  auto p = Property::Parse("a U b");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->formula()->kind(), LtlKind::kUntil);
+  auto q = Property::Parse("a B b");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->formula()->kind(), LtlKind::kRelease);  // B == R
+}
+
+TEST(Nnf, PushesNegationsToLeaves) {
+  auto p = Property::Parse("not G(a -> F b)");
+  ASSERT_TRUE(p.ok());
+  LtlPtr nnf = ToNegationNormalForm(p->formula());
+  // not G x == F not x == true U (a and G not b).
+  EXPECT_EQ(nnf->kind(), LtlKind::kUntil);
+  std::function<void(const LtlPtr&)> check = [&](const LtlPtr& f) {
+    if (f->kind() == LtlKind::kNot) {
+      EXPECT_EQ(f->child(0)->kind(), LtlKind::kLeaf);
+      return;
+    }
+    EXPECT_NE(f->kind(), LtlKind::kImplies);
+    for (const LtlPtr& c : f->children()) check(c);
+  };
+  check(nnf);
+}
+
+TEST(Substitution, GroundsClosureVariables) {
+  auto p = Property::Parse("forall x: G(a(x) -> F b(x))");
+  ASSERT_TRUE(p.ok());
+  auto grounded = p->Ground({"v1"});
+  ASSERT_TRUE(grounded.ok());
+  EXPECT_TRUE((*grounded)->FreeVariables().empty());
+  EXPECT_EQ((*grounded)->Constants().count("v1"), 1u);
+}
+
+TEST(TemporalQuantifiers, ExpansionOverDomain) {
+  auto f = ParseEnvironmentLtl("forall s: F a(s)");
+  ASSERT_TRUE(f.ok());
+  LtlPtr expanded = ExpandTemporalQuantifiers(*f, {"u", "v"});
+  // (F a(u)) and (F a(v)).
+  EXPECT_EQ(expanded->kind(), LtlKind::kAnd);
+  EXPECT_TRUE(expanded->FreeVariables().empty());
+  auto consts = expanded->Constants();
+  EXPECT_TRUE(consts.count("u") == 1 && consts.count("v") == 1);
+}
+
+TEST(TemporalQuantifiers, ExistsBecomesDisjunction) {
+  auto f = ParseEnvironmentLtl("exists s: X a(s)");
+  ASSERT_TRUE(f.ok());
+  LtlPtr expanded = ExpandTemporalQuantifiers(*f, {"u", "v"});
+  EXPECT_EQ(expanded->kind(), LtlKind::kOr);
+}
+
+TEST(TemporalQuantifiers, ShadowingRespected) {
+  auto f = ParseEnvironmentLtl("forall s: F (exists s: a(s) and b(s))");
+  ASSERT_TRUE(f.ok());
+  LtlPtr expanded = ExpandTemporalQuantifiers(*f, {"u"});
+  // The inner FO exists is untouched; only the outer variable grounds.
+  EXPECT_TRUE(expanded->FreeVariables().empty());
+}
+
+TEST(Grounding, SharesPropositionsAcrossLeaves) {
+  auto p = Property::Parse("G(a -> F a)");
+  ASSERT_TRUE(p.ok());
+  auto ground = GroundToPropositional(p->formula(), /*negate=*/false);
+  ASSERT_TRUE(ground.ok());
+  EXPECT_EQ(ground->propositions.size(), 1u);  // 'a' deduplicated
+}
+
+TEST(Grounding, RejectsFreeVariablesByDefault) {
+  auto p = Property::Parse("forall x: G a(x)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(GroundToPropositional(p->formula(), false).ok());
+  EXPECT_TRUE(GroundToPropositional(p->formula(), false, true).ok());
+}
+
+TEST(Grounding, NegationLowersDually) {
+  auto p = Property::Parse("G a");
+  ASSERT_TRUE(p.ok());
+  auto pos = GroundToPropositional(p->formula(), /*negate=*/false);
+  auto neg = GroundToPropositional(p->formula(), /*negate=*/true);
+  ASSERT_TRUE(pos.ok() && neg.ok());
+  // G a releases; not (G a) is an until.
+  EXPECT_EQ(pos->manager.kind(pos->root), automata::PLtlKind::kRelease);
+  EXPECT_EQ(neg->manager.kind(neg->root), automata::PLtlKind::kUntil);
+}
+
+TEST(LiftLeaf, ExposesAtoms) {
+  auto f = fo::ParseFormula("a(x) and (b(x) or not c)");
+  ASSERT_TRUE(f.ok());
+  LtlPtr lifted = LiftLeaf(*f);
+  EXPECT_EQ(lifted->kind(), LtlKind::kAnd);
+  std::vector<fo::FormulaPtr> leaves;
+  lifted->CollectLeaves(leaves);
+  EXPECT_EQ(leaves.size(), 3u);
+  for (const fo::FormulaPtr& leaf : leaves) {
+    EXPECT_EQ(leaf->kind(), fo::FormulaKind::kAtom);
+  }
+}
+
+TEST(Property, ToStringRoundTrips) {
+  const char* inputs[] = {
+      "G(req -> F resp)",
+      "forall x: G(a(x) -> X b(x))",
+      "(not resp) U (req or G not resp)",
+      "G[(X p) -> (q or r)]",
+  };
+  for (const char* input : inputs) {
+    auto p1 = Property::Parse(input);
+    ASSERT_TRUE(p1.ok()) << input << ": " << p1.status();
+    auto p2 = Property::Parse(p1->ToString());
+    ASSERT_TRUE(p2.ok()) << p1->ToString();
+    EXPECT_EQ(p1->ToString(), p2->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace wsv::ltl

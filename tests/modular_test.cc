@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "modular/modular_verifier.h"
+#include "modular/translation.h"
+#include "spec/library.h"
+#include "spec/parser.h"
+
+namespace wsv::modular {
+namespace {
+
+TEST(EnvSpec, ParsesStrictAndNonStrict) {
+  auto strict = EnvironmentSpec::Parse(
+      "G forall s: env.getRating(s) -> env.rating(s, \"good\")");
+  ASSERT_TRUE(strict.ok()) << strict.status();
+  EXPECT_TRUE(strict->IsStrict());
+
+  auto non_strict = EnvironmentSpec::Parse(
+      "forall s: G (env.getRating(s) -> F env.rating(s, \"good\"))");
+  ASSERT_TRUE(non_strict.ok()) << non_strict.status();
+  EXPECT_FALSE(non_strict->IsStrict());
+}
+
+TEST(EnvSpec, ValidatesChannelReferences) {
+  auto comp = spec::library::OfficerOnlyComposition();
+  ASSERT_TRUE(comp.ok());
+  auto good = EnvironmentSpec::Parse("G env.rating(\"s\", \"good\")");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->ValidateAgainst(*comp).ok());
+
+  auto bad_channel = EnvironmentSpec::Parse("G env.bogus(\"s\")");
+  ASSERT_TRUE(bad_channel.ok());
+  EXPECT_FALSE(bad_channel->ValidateAgainst(*comp).ok());
+
+  auto peer_relation = EnvironmentSpec::Parse("G Officer.customer(\"a\", \"b\", \"c\")");
+  ASSERT_TRUE(peer_relation.ok());
+  EXPECT_FALSE(peer_relation->ValidateAgainst(*comp).ok());
+}
+
+TEST(Translation, RelativizeGlobally) {
+  // G f relativized: f must hold at every env-move position.
+  auto p = ltl::ParseEnvironmentLtl("G a");
+  ASSERT_TRUE(p.ok());
+  ltl::LtlPtr bar = RelativizeToMove(*p, "move_env");
+  // The rewrite introduces the move_env proposition.
+  std::vector<fo::FormulaPtr> leaves;
+  bar->CollectLeaves(leaves);
+  bool mentions_move = false;
+  for (const auto& leaf : leaves) {
+    if (leaf->RelationNames().count("move_env") > 0) mentions_move = true;
+  }
+  EXPECT_TRUE(mentions_move);
+}
+
+TEST(Translation, NextBecomesNextOfUntil) {
+  auto p = ltl::ParseEnvironmentLtl("X a");
+  ASSERT_TRUE(p.ok());
+  ltl::LtlPtr bar = RelativizeToMove(*p, "move_env");
+  // X_a f == X(not a U (a and f)).
+  ASSERT_EQ(bar->kind(), ltl::LtlKind::kNext);
+  EXPECT_EQ(bar->child(0)->kind(), ltl::LtlKind::kUntil);
+}
+
+TEST(Translation, ObserverAtRecipientRewritesEnvOutAtoms) {
+  auto comp = spec::library::OfficerOnlyComposition();
+  ASSERT_TRUE(comp.ok());
+  // rating flows from the environment to the Officer: env.rating atoms
+  // become X(received_rating -> atom); env.getRating (to the environment)
+  // stays untouched.
+  auto p = ltl::ParseEnvironmentLtl(
+      "G (env.getRating(\"s\") -> env.rating(\"s\", \"good\"))");
+  ASSERT_TRUE(p.ok());
+  auto translated = ObserverAtRecipientTranslate(*p, *comp);
+  ASSERT_TRUE(translated.ok());
+  std::string rendered = (*translated)->ToString();
+  EXPECT_NE(rendered.find("received_rating"), std::string::npos);
+  EXPECT_EQ(rendered.find("received_getRating"), std::string::npos);
+}
+
+constexpr char kEchoPeer[] = R"(
+peer Echo {
+  state { seen(x); }
+  inqueue flat  { in(x); }
+  outqueue flat { out(x); }
+  rules {
+    insert seen(x) :- ?in(x);
+    send out(x) :- ?in(x);
+  }
+}
+)";
+
+class ModularEchoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto comp = spec::ParseComposition(kEchoPeer);
+    ASSERT_TRUE(comp.ok()) << comp.status();
+    comp_ = std::make_unique<spec::Composition>(std::move(*comp));
+    ASSERT_FALSE(comp_->IsClosed());
+    options_.fresh_domain_size = 1;
+    options_.fixed_databases = std::vector<verifier::NamedDatabase>{{}};
+    options_.run.env_message_candidates["in"] = {{"a"}, {"b"}};
+    options_.budget.max_states = 2000000;
+  }
+
+  verifier::VerificationResult Check(const std::string& property_text,
+                                     const std::string& env_text) {
+    auto property = ltl::Property::Parse(property_text);
+    auto env = EnvironmentSpec::Parse(env_text);
+    EXPECT_TRUE(property.ok()) << property.status();
+    EXPECT_TRUE(env.ok()) << env.status();
+    ModularVerifier verifier(comp_.get(), options_);
+    auto result = verifier.Verify(*property, *env);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(*result);
+  }
+
+  std::unique_ptr<spec::Composition> comp_;
+  ModularVerifierOptions options_;
+};
+
+TEST_F(ModularEchoTest, UnconstrainedEnvironmentReachesEverything) {
+  auto r = Check("G(not Echo.seen(\"b\"))", "true");
+  EXPECT_FALSE(r.holds);  // env may send b
+  EXPECT_TRUE(r.regime.ok()) << r.regime;
+}
+
+TEST_F(ModularEchoTest, EnvironmentSpecExcludesRuns) {
+  // Under the spec "the environment only ever has 'a' enqueued", seen(b)
+  // is unreachable.
+  auto r = Check("G(not Echo.seen(\"b\"))",
+                 "G (received_in -> env.in(\"a\"))");
+  EXPECT_TRUE(r.holds) << "env spec should exclude b-runs";
+}
+
+TEST_F(ModularEchoTest, NonStrictSpecFlagged) {
+  auto property = ltl::Property::Parse("G true");
+  auto env = EnvironmentSpec::Parse(
+      "forall x: G (env.in(x) -> F env.in(x))");
+  ASSERT_TRUE(property.ok() && env.ok());
+  ModularVerifier verifier(comp_.get(), options_);
+  EXPECT_EQ(verifier.CheckDecidableRegime(*property, *env).code(),
+            StatusCode::kUndecidableRegime);  // Theorem 5.5
+}
+
+TEST_F(ModularEchoTest, ClosedCompositionRejected) {
+  auto loan = spec::library::LoanComposition();
+  ASSERT_TRUE(loan.ok());
+  auto property = ltl::Property::Parse("G true");
+  auto env = EnvironmentSpec::Parse("true");
+  ASSERT_TRUE(property.ok() && env.ok());
+  ModularVerifier verifier(&*loan, ModularVerifierOptions{});
+  EXPECT_EQ(verifier.CheckDecidableRegime(*property, *env).code(),
+            StatusCode::kUndecidableRegime);
+}
+
+TEST_F(ModularEchoTest, EchoForwardsOnlyReceivedValues) {
+  // Safety across the open boundary: what Echo sends out it has seen.
+  auto r = Check(
+      "G(received_out -> (exists x: Echo.out(x) and Echo.seen(x)))",
+      "true");
+  EXPECT_TRUE(r.holds);
+}
+
+}  // namespace
+}  // namespace wsv::modular

@@ -1,0 +1,177 @@
+// Nested-queue semantics (Section 2): a nested send collects every tuple of
+// one rule firing into ONE message; receivers see the whole set as f(Q).
+// Also covers the perfect-nested relaxation (remark after Theorem 3.4), the
+// empty-message divergence knob, and the emptiness-test boundary of
+// Theorem 3.9.
+
+#include <gtest/gtest.h>
+
+#include "ltl/property.h"
+#include "runtime/transition.h"
+#include "spec/parser.h"
+#include "verifier/verifier.h"
+
+namespace wsv::runtime {
+namespace {
+
+constexpr char kCatalogSpec[] = R"(
+peer Seller {
+  database { stock(item, price); }
+  input    { publish(); }
+  outqueue nested { catalog(item, price); }
+  rules {
+    options publish() :- true;
+    send catalog(i, p) :- publish() and stock(i, p);
+  }
+}
+peer Buyer {
+  state { knows(item, price); }
+  inqueue nested { catalog(item, price); }
+  rules {
+    insert knows(i, p) :- ?catalog(i, p);
+  }
+}
+)";
+
+class NestedQueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = spec::ParseComposition(kCatalogSpec);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    comp_ = std::make_unique<spec::Composition>(std::move(*parsed));
+    interner_ = comp_->BuildInterner();
+    dbs_.emplace_back(&comp_->peers()[0].database_schema());
+    dbs_.emplace_back(&comp_->peers()[1].database_schema());
+    auto& stock = dbs_[0].relation("stock");
+    stock.Insert({V("pen"), V("p2")});
+    stock.Insert({V("ink"), V("p5")});
+  }
+
+  data::Value V(const std::string& s) { return interner_.Intern(s); }
+
+  TransitionGenerator Generator(RunOptions options) {
+    data::Domain domain;
+    for (const auto& db : dbs_) db.CollectActiveDomain(domain);
+    return TransitionGenerator(comp_.get(), dbs_, domain, &interner_,
+                               options);
+  }
+
+  Snapshot SellerPublishing() {
+    Snapshot s = MakeInitialSnapshot(*comp_);
+    s.peers[0].input.relation("publish").Insert(data::Tuple{});
+    return s;
+  }
+
+  std::unique_ptr<spec::Composition> comp_;
+  Interner interner_;
+  std::vector<data::Instance> dbs_;
+};
+
+TEST_F(NestedQueueTest, WholeSetTravelsAsOneMessage) {
+  TransitionGenerator gen = Generator(RunOptions{});
+  auto succ = gen.SuccessorsForPeer(SellerPublishing(), 0);
+  ASSERT_TRUE(succ.ok());
+  bool delivered = false;
+  for (const Snapshot& s : *succ) {
+    if (s.channels[0].empty()) continue;
+    delivered = true;
+    ASSERT_EQ(s.channels[0].size(), 1u);  // ONE message...
+    EXPECT_EQ(s.channels[0].front().size(), 2u);  // ...holding both tuples
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NestedQueueTest, ReceiverAbsorbsTheWholeMessage) {
+  TransitionGenerator gen = Generator(RunOptions{});
+  Snapshot s = MakeInitialSnapshot(*comp_);
+  data::Relation msg(2);
+  msg.Insert({V("pen"), V("p2")});
+  msg.Insert({V("ink"), V("p5")});
+  s.channels[0].push_back(msg);
+  auto succ = gen.SuccessorsForPeer(s, 1);
+  ASSERT_TRUE(succ.ok());
+  for (const Snapshot& next : *succ) {
+    EXPECT_EQ(next.peers[1].state.relation("knows").size(), 2u);
+    EXPECT_TRUE(next.channels[0].empty());  // message consumed
+  }
+}
+
+TEST_F(NestedQueueTest, EmptyNestedSendsSkippedByDefault) {
+  // No publish input: the send rule yields the empty set; by default no
+  // message is enqueued.
+  TransitionGenerator gen = Generator(RunOptions{});
+  auto succ = gen.SuccessorsForPeer(MakeInitialSnapshot(*comp_), 0);
+  ASSERT_TRUE(succ.ok());
+  for (const Snapshot& s : *succ) {
+    EXPECT_TRUE(s.channels[0].empty());
+  }
+}
+
+TEST_F(NestedQueueTest, EmptyNestedSendsEnqueueUnderPaperSemantics) {
+  RunOptions options;
+  options.skip_empty_nested_sends = false;  // Definition 2.4, literally
+  TransitionGenerator gen = Generator(options);
+  auto succ = gen.SuccessorsForPeer(MakeInitialSnapshot(*comp_), 0);
+  ASSERT_TRUE(succ.ok());
+  bool empty_message_seen = false;
+  for (const Snapshot& s : *succ) {
+    if (!s.channels[0].empty() && s.channels[0].front().empty()) {
+      empty_message_seen = true;
+    }
+  }
+  EXPECT_TRUE(empty_message_seen);
+}
+
+TEST_F(NestedQueueTest, PerfectNestedChannelsAlwaysDeliver) {
+  // The remark after Theorem 3.4: decidability survives perfect *nested*
+  // channels (flat ones stay lossy).
+  RunOptions options;
+  options.perfect_nested = true;
+  TransitionGenerator gen = Generator(options);
+  auto succ = gen.SuccessorsForPeer(SellerPublishing(), 0);
+  ASSERT_TRUE(succ.ok());
+  for (const Snapshot& s : *succ) {
+    EXPECT_FALSE(s.channels[0].empty());  // no drop branch
+  }
+}
+
+TEST_F(NestedQueueTest, PerfectNestedStaysInDecidableRegime) {
+  auto property = ltl::Property::Parse("G true");
+  ASSERT_TRUE(property.ok());
+  verifier::VerifierOptions options;
+  options.run.perfect_nested = true;  // lossy flat + perfect nested: OK
+  verifier::Verifier verifier(comp_.get(), options);
+  EXPECT_TRUE(verifier.CheckDecidableRegime(*property).ok());
+}
+
+TEST_F(NestedQueueTest, QuantifyingIntoNestedMessagesIsFlagged) {
+  // Theorem 3.9 / the input-boundedness syntax: quantified variables must
+  // not reach nested in-queue atoms (emptiness tests on nested messages are
+  // undecidable).
+  auto property = ltl::Property::Parse(
+      "G(not (exists i, p: Buyer.catalog(i, p)))");
+  ASSERT_TRUE(property.ok());
+  verifier::Verifier verifier(comp_.get(), verifier::VerifierOptions{});
+  Status regime = verifier.CheckDecidableRegime(*property);
+  EXPECT_EQ(regime.code(), StatusCode::kUndecidableRegime);
+}
+
+TEST_F(NestedQueueTest, NestedContentsVerifiableViaState) {
+  // The decidable route to nested-message properties: let the receiver
+  // absorb the message into state and quantify over the closure instead.
+  auto property = ltl::Property::Parse(
+      "forall i, p: G(Buyer.knows(i, p) -> Seller.stock(i, p))");
+  ASSERT_TRUE(property.ok());
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 1;
+  options.fixed_databases = std::vector<verifier::NamedDatabase>{
+      {{"stock", {{"pen", "p2"}, {"ink", "p5"}}}}, {}};
+  verifier::Verifier verifier(comp_.get(), options);
+  auto result = verifier.Verify(*property);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->holds);
+  EXPECT_TRUE(result->regime.ok()) << result->regime;
+}
+
+}  // namespace
+}  // namespace wsv::runtime

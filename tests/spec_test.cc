@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "spec/parser.h"
+
+namespace wsv::spec {
+namespace {
+
+TEST(SpecParser, RejectsUnknownSection) {
+  auto r = ParseComposition("peer P { bogus { } }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SpecParser, RejectsDuplicateRelationNames) {
+  auto r = ParseComposition(R"(
+peer P {
+  database { r(a); }
+  state    { r(b); }
+})");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidSpec);
+}
+
+TEST(SpecParser, RejectsRuleForWrongKind) {
+  auto r = ParseComposition(R"(
+peer P {
+  database { d(x); }
+  rules { insert d(x) :- d(x); }
+})");
+  EXPECT_FALSE(r.ok());  // insert targets a database relation
+}
+
+TEST(SpecParser, RejectsArityMismatchInHead) {
+  auto r = ParseComposition(R"(
+peer P {
+  state { s(a, b); }
+  input { i(x); }
+  rules {
+    options i(x) :- true;
+    insert s(x) :- i(x);
+  }
+})");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SpecParser, RejectsRepeatedHeadVariables) {
+  auto r = ParseComposition(R"(
+peer P {
+  state { s(a, b); }
+  input { i(x); }
+  rules {
+    options i(x) :- true;
+    insert s(x, x) :- i(x);
+  }
+})");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SpecParser, RejectsUnboundBodyVariable) {
+  auto r = ParseComposition(R"(
+peer P {
+  database { d(x, y); }
+  state { s(a); }
+  input { i(x); }
+  rules {
+    options i(x) :- exists y: d(x, y);
+    insert s(x) :- d(x, y);
+  }
+})");
+  EXPECT_FALSE(r.ok());  // y free in body, not in head
+}
+
+TEST(SpecParser, RejectsActionAtomInRuleBody) {
+  auto r = ParseComposition(R"(
+peer P {
+  action { a(x); }
+  state { s(x); }
+  input { i(x); }
+  rules {
+    options i(x) :- true;
+    action a(x) :- i(x);
+    insert s(x) :- a(x);
+  }
+})");
+  EXPECT_FALSE(r.ok());  // Definition 2.1: bodies cannot read actions
+}
+
+TEST(SpecParser, RejectsInputAtomInOptionsRule) {
+  auto r = ParseComposition(R"(
+peer P {
+  input { i(x); j(x); }
+  database { d(x); }
+  rules {
+    options i(x) :- j(x);
+  }
+})");
+  EXPECT_FALSE(r.ok());  // options rules see D, S, PrevI, Qin — not I
+}
+
+TEST(SpecParser, RejectsDuplicateSendRule) {
+  auto r = ParseComposition(R"(
+peer P {
+  input { i(x); }
+  database { d(x); }
+  outqueue flat { q(x); }
+  rules {
+    options i(x) :- d(x);
+    send q(x) :- i(x);
+    send q(x) :- d(x);
+  }
+})");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SpecParser, QueueKindMismatchAcrossPeersRejected) {
+  auto r = ParseComposition(R"(
+peer A { outqueue flat { q(x); } rules { } }
+peer B { inqueue nested { q(x); } state { s(x); }
+  rules { insert s(x) :- ?q(x); } }
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SpecParser, TwoSendersForOneQueueRejected) {
+  auto r = ParseComposition(R"(
+peer A { outqueue flat { q(x); } rules { } }
+peer B { outqueue flat { q(x); } rules { } }
+peer C { state { s(x); } inqueue flat { q(x); }
+  rules { insert s(x) :- ?q(x); } }
+)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SpecParser, SelfLoopQueueRejected) {
+  auto r = ParseComposition(R"(
+peer A {
+  inqueue flat { p(x); }
+  outqueue flat { q(x); }
+  rules { send q(x) :- ?p(x); }
+}
+)");
+  ASSERT_TRUE(r.ok());  // open composition is fine
+  auto self_loop = ParseComposition(R"(
+peer A {
+  state { s(x); }
+  rules { }
+}
+peer B {
+  inqueue flat { q(x); }
+  outqueue flat { q2(x); }
+  rules { send q2(x) :- ?q(x); }
+}
+)");
+  EXPECT_TRUE(self_loop.ok());  // q and q2 env-facing; no self loop here
+}
+
+TEST(SpecParser, LookbackDeclaration) {
+  auto r = ParseComposition(R"(
+peer P {
+  input { i(x); }
+  database { d(x); }
+  lookback 3;
+  rules { options i(x) :- d(x); }
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->peers()[0].lookback(), 3);
+  EXPECT_NE(r->peers()[0].prev_input_schema().IndexOf("prev3_i"),
+            data::Schema::kNpos);
+}
+
+TEST(SpecParser, CommentsAndSigilsAccepted) {
+  auto r = ParseComposition(R"(
+// line comment
+# another comment
+peer P {
+  state { s(x); }
+  inqueue flat { q(x); }
+  rules {
+    insert s(x) :- ?q(x);  // sigil on in-queue
+  }
+}
+)");
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(Composition, ClassifiesQualifiedNames) {
+  auto r = ParseComposition(R"(
+peer A {
+  database { d(x); }
+  input { i(x); }
+  state { s(x); }
+  action { act(x); }
+  outqueue flat { q(x); }
+  inqueue nested { n(x); }
+  rules {
+    options i(x) :- d(x);
+    send q(x) :- i(x);
+  }
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Classify("A.d"), fo::RelClass::kDatabase);
+  EXPECT_EQ(r->Classify("A.i"), fo::RelClass::kInput);
+  EXPECT_EQ(r->Classify("A.s"), fo::RelClass::kState);
+  EXPECT_EQ(r->Classify("A.act"), fo::RelClass::kAction);
+  EXPECT_EQ(r->Classify("A.q"), fo::RelClass::kOutFlat);
+  EXPECT_EQ(r->Classify("A.n"), fo::RelClass::kInNested);
+  EXPECT_EQ(r->Classify("A.prev_i"), fo::RelClass::kPrevInput);
+  EXPECT_EQ(r->Classify("A.empty_n"), fo::RelClass::kQueueState);
+  EXPECT_EQ(r->Classify("move_A"), fo::RelClass::kMove);
+  EXPECT_EQ(r->Classify("received_q"), fo::RelClass::kReceived);
+  EXPECT_EQ(r->Classify("A.nope"), fo::RelClass::kUnknown);
+  // Single-peer composition: unqualified names resolve too.
+  EXPECT_EQ(r->Classify("d"), fo::RelClass::kDatabase);
+}
+
+TEST(InputBoundedness, LoanStyleViolationsDetected) {
+  // Non-ground state atom in an options rule (Theorem 3.10's regime).
+  auto r = ParseComposition(R"(
+peer P {
+  state { s(x); }
+  input { i(x); }
+  inqueue flat { q(x); }
+  rules {
+    options i(x) :- s(x);
+    insert s(x) :- ?q(x);
+  }
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  Status ib = r->CheckInputBounded();
+  EXPECT_EQ(ib.code(), StatusCode::kUndecidableRegime);
+}
+
+}  // namespace
+}  // namespace wsv::spec

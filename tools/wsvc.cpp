@@ -1,0 +1,374 @@
+// wsvc — the wsverify command-line verifier.
+//
+//   wsvc check <spec-file>
+//       Parse and validate a composition; report channels, closedness and
+//       the input-boundedness analysis (Section 3.1).
+//
+//   wsvc verify <spec-file> --property "<ltl-fo>" [options]
+//       Verify an LTL-FO property (Theorem 3.4). Options:
+//         --db Peer.relation=a,b;c,d     pin a database relation (repeat)
+//         --queue-bound <k>              k-bounded queues (default 1)
+//         --perfect                      perfect channels (Theorem 3.7 regime)
+//         --fresh <n>                    fresh pseudo-domain elements (default 1)
+//         --max-states <n>               product-state budget
+//         --trace                        print the counterexample run
+//
+//   wsvc protocol <spec-file> --ltl "<formula>" [--observer source] [options]
+//       Verify a data-agnostic conversation protocol given in LTL over
+//       channel names (Theorem 4.2 / 4.3).
+//
+//   wsvc modular <spec-file> --property "<ltl-fo>" --env "<env-spec>"
+//         [--env-msg chan=a,b;c,d] [--env-domain a,b] [options]
+//       Modular verification of an open composition under an environment
+//       specification (Theorem 5.4).
+//
+//   wsvc simulate <spec-file> [--steps <n>] [--seed <s>] [--db ...]
+//       Print a random run over the pinned database.
+//
+//   wsvc print <spec-file>
+//       Parse and pretty-print the composition in normalized DSL form.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "ltl/property.h"
+#include "modular/modular_verifier.h"
+#include "protocol/ltl_protocol.h"
+#include "protocol/protocol_verifier.h"
+#include "runtime/simulator.h"
+#include "spec/parser.h"
+#include "spec/printer.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+using namespace wsv;
+
+struct Args {
+  std::string command;
+  std::string spec_file;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> dbs;       // Peer.relation=tuples
+  std::vector<std::string> env_msgs;  // chan=tuples
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wsvc <check|verify|protocol|modular|simulate|print> "
+               "<spec-file> [options]\n(see the header of tools/wsvc.cpp or "
+               "README.md for the option list)\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->spec_file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--perfect" || flag == "--trace") {
+      args->flags[flag] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    std::string value = argv[++i];
+    if (flag == "--db") {
+      args->dbs.push_back(value);
+    } else if (flag == "--env-msg") {
+      args->env_msgs.push_back(value);
+    } else {
+      args->flags[flag] = value;
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open spec file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses "Peer.relation=a,b;c,d" into (peer, relation, tuples).
+Result<std::tuple<std::string, std::string, std::vector<std::vector<std::string>>>>
+ParseDbFlag(const std::string& text) {
+  size_t eq = text.find('=');
+  size_t dot = text.find('.');
+  if (eq == std::string::npos || dot == std::string::npos || dot > eq) {
+    return Status::ParseError(
+        "--db expects Peer.relation=v1,v2;v3,v4 — got: " + text);
+  }
+  std::string peer = text.substr(0, dot);
+  std::string relation = text.substr(dot + 1, eq - dot - 1);
+  std::vector<std::vector<std::string>> tuples;
+  for (const std::string& row : Split(text.substr(eq + 1), ';')) {
+    if (row.empty()) continue;
+    std::vector<std::string> fields = Split(row, ',');
+    tuples.push_back(std::move(fields));
+  }
+  return std::make_tuple(std::move(peer), std::move(relation),
+                         std::move(tuples));
+}
+
+Result<std::vector<verifier::NamedDatabase>> BuildDatabases(
+    const spec::Composition& comp, const std::vector<std::string>& db_flags) {
+  std::vector<verifier::NamedDatabase> dbs(comp.peers().size());
+  for (const std::string& flag : db_flags) {
+    WSV_ASSIGN_OR_RETURN(auto parsed, ParseDbFlag(flag));
+    auto& [peer, relation, tuples] = parsed;
+    size_t index = comp.PeerIndex(peer);
+    if (index == spec::Composition::kNpos) {
+      return Status::NotFound("--db references unknown peer '" + peer + "'");
+    }
+    auto& rel = dbs[index][relation];
+    rel.insert(rel.end(), tuples.begin(), tuples.end());
+  }
+  return dbs;
+}
+
+size_t FlagOr(const Args& args, const std::string& name, size_t fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  return static_cast<size_t>(std::stoull(it->second));
+}
+
+void PrintVerdict(const char* what, const verifier::VerificationResult& r) {
+  std::printf("%s: %s\n", what, r.holds ? "HOLDS" : "VIOLATED");
+  std::printf("  regime: %s\n",
+              r.regime.ok() ? "decidable" : r.regime.message().c_str());
+  std::printf("  databases: %zu, instances: %zu (+%zu prefiltered), "
+              "snapshots: %zu, product states: %zu\n",
+              r.stats.databases_checked, r.stats.searches, r.stats.prefiltered,
+              r.stats.search.snapshots, r.stats.search.product_states);
+}
+
+int RunCheck(const Args& args, spec::Composition& comp) {
+  (void)args;
+  std::printf("composition '%s': %zu peer(s), %zu channel(s), %s\n",
+              comp.name().c_str(), comp.peers().size(),
+              comp.channels().size(), comp.IsClosed() ? "closed" : "open");
+  for (const spec::Channel& ch : comp.channels()) {
+    std::printf("  channel %-16s %s -> %s (%s, arity %zu)\n", ch.name.c_str(),
+                ch.FromEnvironment() ? "env"
+                                     : comp.peers()[ch.sender].name().c_str(),
+                ch.ToEnvironment() ? "env"
+                                   : comp.peers()[ch.receiver].name().c_str(),
+                ch.kind == spec::QueueKind::kFlat ? "flat" : "nested",
+                ch.arity());
+  }
+  Status ib = comp.CheckInputBounded();
+  if (ib.ok()) {
+    std::printf("input-bounded: yes (Theorem 3.4's decidable class)\n");
+  } else {
+    std::printf("input-bounded: NO — %s\n", ib.message().c_str());
+  }
+  return 0;
+}
+
+int RunVerify(const Args& args, spec::Composition& comp) {
+  auto it = args.flags.find("--property");
+  if (it == args.flags.end()) {
+    std::fprintf(stderr, "verify requires --property\n");
+    return 2;
+  }
+  auto property = ltl::Property::Parse(it->second);
+  if (!property.ok()) {
+    std::fprintf(stderr, "property: %s\n",
+                 property.status().ToString().c_str());
+    return 2;
+  }
+  verifier::VerifierOptions options;
+  options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
+  options.run.lossy = args.flags.count("--perfect") == 0;
+  options.fresh_domain_size = FlagOr(args, "--fresh", 1);
+  options.budget.max_states = FlagOr(args, "--max-states", 4000000);
+  if (!args.dbs.empty()) {
+    auto dbs = BuildDatabases(comp, args.dbs);
+    if (!dbs.ok()) {
+      std::fprintf(stderr, "%s\n", dbs.status().ToString().c_str());
+      return 2;
+    }
+    options.fixed_databases = std::move(*dbs);
+  }
+  verifier::Verifier verifier(&comp, options);
+  auto result = verifier.Verify(*property);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintVerdict("property", *result);
+  if (!result->holds && args.flags.count("--trace") > 0 &&
+      result->counterexample.has_value()) {
+    std::printf("%s", result->counterexample
+                          ->ToString(comp, verifier.interner())
+                          .c_str());
+  }
+  return result->holds ? 0 : 3;
+}
+
+int RunProtocol(const Args& args, spec::Composition& comp) {
+  auto it = args.flags.find("--ltl");
+  if (it == args.flags.end()) {
+    std::fprintf(stderr, "protocol requires --ltl\n");
+    return 2;
+  }
+  auto observer = protocol::ObserverSemantics::kAtRecipient;
+  auto obs = args.flags.find("--observer");
+  if (obs != args.flags.end() && obs->second == "source") {
+    observer = protocol::ObserverSemantics::kAtSource;
+  }
+  auto proto = protocol::DataAgnosticProtocolFromLtl(comp, it->second,
+                                                     observer);
+  if (!proto.ok()) {
+    std::fprintf(stderr, "protocol: %s\n", proto.status().ToString().c_str());
+    return 2;
+  }
+  protocol::ProtocolVerifierOptions options;
+  options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
+  options.fresh_domain_size = FlagOr(args, "--fresh", 1);
+  options.budget.max_states = FlagOr(args, "--max-states", 4000000);
+  if (!args.dbs.empty()) {
+    auto dbs = BuildDatabases(comp, args.dbs);
+    if (!dbs.ok()) {
+      std::fprintf(stderr, "%s\n", dbs.status().ToString().c_str());
+      return 2;
+    }
+    options.fixed_databases = std::move(*dbs);
+  }
+  protocol::ProtocolVerifier verifier(&comp, options);
+  auto result = verifier.Verify(*proto);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintVerdict("protocol", *result);
+  return result->holds ? 0 : 3;
+}
+
+int RunModular(const Args& args, spec::Composition& comp) {
+  auto pit = args.flags.find("--property");
+  auto eit = args.flags.find("--env");
+  if (pit == args.flags.end() || eit == args.flags.end()) {
+    std::fprintf(stderr, "modular requires --property and --env\n");
+    return 2;
+  }
+  auto property = ltl::Property::Parse(pit->second);
+  auto env = modular::EnvironmentSpec::Parse(eit->second);
+  if (!property.ok() || !env.ok()) {
+    std::fprintf(stderr, "parse error: %s / %s\n",
+                 property.status().ToString().c_str(),
+                 env.status().ToString().c_str());
+    return 2;
+  }
+  modular::ModularVerifierOptions options;
+  options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
+  options.fresh_domain_size = FlagOr(args, "--fresh", 1);
+  options.budget.max_states = FlagOr(args, "--max-states", 8000000);
+  auto dom = args.flags.find("--env-domain");
+  if (dom != args.flags.end()) {
+    options.env_quantifier_domain = Split(dom->second, ',');
+  }
+  for (const std::string& msg : args.env_msgs) {
+    size_t eq = msg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--env-msg expects chan=v1,v2;v3,v4\n");
+      return 2;
+    }
+    auto& rows = options.run.env_message_candidates[msg.substr(0, eq)];
+    for (const std::string& row : Split(msg.substr(eq + 1), ';')) {
+      if (!row.empty()) rows.push_back(Split(row, ','));
+    }
+  }
+  if (!args.dbs.empty()) {
+    auto dbs = BuildDatabases(comp, args.dbs);
+    if (!dbs.ok()) {
+      std::fprintf(stderr, "%s\n", dbs.status().ToString().c_str());
+      return 2;
+    }
+    options.fixed_databases = std::move(*dbs);
+  }
+  modular::ModularVerifier verifier(&comp, options);
+  auto result = verifier.Verify(*property, *env);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintVerdict("modular", *result);
+  return result->holds ? 0 : 3;
+}
+
+int RunSimulate(const Args& args, spec::Composition& comp) {
+  Interner interner = comp.BuildInterner();
+  std::vector<data::Instance> dbs;
+  for (const auto& peer : comp.peers()) {
+    dbs.emplace_back(&peer.database_schema());
+  }
+  for (const std::string& flag : args.dbs) {
+    auto parsed = ParseDbFlag(flag);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    auto& [peer, relation, tuples] = *parsed;
+    size_t index = comp.PeerIndex(peer);
+    if (index == spec::Composition::kNpos) {
+      std::fprintf(stderr, "unknown peer '%s'\n", peer.c_str());
+      return 2;
+    }
+    for (const auto& row : tuples) {
+      std::vector<data::Value> values;
+      for (const std::string& v : row) values.push_back(interner.Intern(v));
+      dbs[index].relation(relation).Insert(data::Tuple(std::move(values)));
+    }
+  }
+  runtime::RunOptions run;
+  run.queue_bound = FlagOr(args, "--queue-bound", 1);
+  runtime::Simulator sim(&comp, dbs, &interner, run,
+                         FlagOr(args, "--seed", 42));
+  auto trace = sim.Run(FlagOr(args, "--steps", 10));
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& snap : *trace) {
+    std::printf("%s", snap.ToString(comp, interner).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+
+  auto source = ReadFile(args.spec_file);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto comp = spec::ParseComposition(*source);
+  if (!comp.ok()) {
+    std::fprintf(stderr, "spec: %s\n", comp.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.command == "check") return RunCheck(args, *comp);
+  if (args.command == "print") {
+    std::printf("%s", spec::PrintComposition(*comp).c_str());
+    return 0;
+  }
+  if (args.command == "verify") return RunVerify(args, *comp);
+  if (args.command == "protocol") return RunProtocol(args, *comp);
+  if (args.command == "modular") return RunModular(args, *comp);
+  if (args.command == "simulate") return RunSimulate(args, *comp);
+  return Usage();
+}
