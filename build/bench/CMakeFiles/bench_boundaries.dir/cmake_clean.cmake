@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boundaries.dir/bench_boundaries.cpp.o"
+  "CMakeFiles/bench_boundaries.dir/bench_boundaries.cpp.o.d"
+  "bench_boundaries"
+  "bench_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

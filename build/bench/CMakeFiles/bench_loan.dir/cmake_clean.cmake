@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loan.dir/bench_loan.cpp.o"
+  "CMakeFiles/bench_loan.dir/bench_loan.cpp.o.d"
+  "bench_loan"
+  "bench_loan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

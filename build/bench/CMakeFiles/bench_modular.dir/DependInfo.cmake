@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_modular.cpp" "bench/CMakeFiles/bench_modular.dir/bench_modular.cpp.o" "gcc" "bench/CMakeFiles/bench_modular.dir/bench_modular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modular/CMakeFiles/wsv_modular.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/wsv_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/wsv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wsv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltl/CMakeFiles/wsv_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wsv_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/wsv_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

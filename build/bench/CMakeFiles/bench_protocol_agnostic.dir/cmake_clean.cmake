@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_agnostic.dir/bench_protocol_agnostic.cpp.o"
+  "CMakeFiles/bench_protocol_agnostic.dir/bench_protocol_agnostic.cpp.o.d"
+  "bench_protocol_agnostic"
+  "bench_protocol_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_aware.dir/bench_protocol_aware.cpp.o"
+  "CMakeFiles/bench_protocol_aware.dir/bench_protocol_aware.cpp.o.d"
+  "bench_protocol_aware"
+  "bench_protocol_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_peer.dir/bench_single_peer.cpp.o"
+  "CMakeFiles/bench_single_peer.dir/bench_single_peer.cpp.o.d"
+  "bench_single_peer"
+  "bench_single_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unbounded.dir/bench_unbounded.cpp.o"
+  "CMakeFiles/bench_unbounded.dir/bench_unbounded.cpp.o.d"
+  "bench_unbounded"
+  "bench_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfsm_boundary.dir/cfsm_boundary.cpp.o"
+  "CMakeFiles/cfsm_boundary.dir/cfsm_boundary.cpp.o.d"
+  "cfsm_boundary"
+  "cfsm_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfsm_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_application.dir/loan_application.cpp.o"
+  "CMakeFiles/loan_application.dir/loan_application.cpp.o.d"
+  "loan_application"
+  "loan_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

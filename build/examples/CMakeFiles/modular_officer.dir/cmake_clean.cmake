@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_officer.dir/modular_officer.cpp.o"
+  "CMakeFiles/modular_officer.dir/modular_officer.cpp.o.d"
+  "modular_officer"
+  "modular_officer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_officer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

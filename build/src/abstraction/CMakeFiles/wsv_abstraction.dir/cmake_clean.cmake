@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_abstraction.dir/abstraction.cc.o"
+  "CMakeFiles/wsv_abstraction.dir/abstraction.cc.o.d"
+  "libwsv_abstraction.a"
+  "libwsv_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

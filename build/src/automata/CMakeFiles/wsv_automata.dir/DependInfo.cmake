@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/buchi.cc" "src/automata/CMakeFiles/wsv_automata.dir/buchi.cc.o" "gcc" "src/automata/CMakeFiles/wsv_automata.dir/buchi.cc.o.d"
+  "/root/repo/src/automata/complement.cc" "src/automata/CMakeFiles/wsv_automata.dir/complement.cc.o" "gcc" "src/automata/CMakeFiles/wsv_automata.dir/complement.cc.o.d"
+  "/root/repo/src/automata/emptiness.cc" "src/automata/CMakeFiles/wsv_automata.dir/emptiness.cc.o" "gcc" "src/automata/CMakeFiles/wsv_automata.dir/emptiness.cc.o.d"
+  "/root/repo/src/automata/gpvw.cc" "src/automata/CMakeFiles/wsv_automata.dir/gpvw.cc.o" "gcc" "src/automata/CMakeFiles/wsv_automata.dir/gpvw.cc.o.d"
+  "/root/repo/src/automata/pltl.cc" "src/automata/CMakeFiles/wsv_automata.dir/pltl.cc.o" "gcc" "src/automata/CMakeFiles/wsv_automata.dir/pltl.cc.o.d"
+  "/root/repo/src/automata/prop_expr.cc" "src/automata/CMakeFiles/wsv_automata.dir/prop_expr.cc.o" "gcc" "src/automata/CMakeFiles/wsv_automata.dir/prop_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

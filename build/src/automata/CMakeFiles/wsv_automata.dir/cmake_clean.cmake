@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_automata.dir/buchi.cc.o"
+  "CMakeFiles/wsv_automata.dir/buchi.cc.o.d"
+  "CMakeFiles/wsv_automata.dir/complement.cc.o"
+  "CMakeFiles/wsv_automata.dir/complement.cc.o.d"
+  "CMakeFiles/wsv_automata.dir/emptiness.cc.o"
+  "CMakeFiles/wsv_automata.dir/emptiness.cc.o.d"
+  "CMakeFiles/wsv_automata.dir/gpvw.cc.o"
+  "CMakeFiles/wsv_automata.dir/gpvw.cc.o.d"
+  "CMakeFiles/wsv_automata.dir/pltl.cc.o"
+  "CMakeFiles/wsv_automata.dir/pltl.cc.o.d"
+  "CMakeFiles/wsv_automata.dir/prop_expr.cc.o"
+  "CMakeFiles/wsv_automata.dir/prop_expr.cc.o.d"
+  "libwsv_automata.a"
+  "libwsv_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

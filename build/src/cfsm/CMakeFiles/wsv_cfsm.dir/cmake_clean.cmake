@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_cfsm.dir/cfsm.cc.o"
+  "CMakeFiles/wsv_cfsm.dir/cfsm.cc.o.d"
+  "CMakeFiles/wsv_cfsm.dir/embed.cc.o"
+  "CMakeFiles/wsv_cfsm.dir/embed.cc.o.d"
+  "libwsv_cfsm.a"
+  "libwsv_cfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_cfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsv_cfsm.a"
+)

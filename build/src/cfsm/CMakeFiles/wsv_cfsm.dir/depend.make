@@ -1,0 +1,2 @@
+# Empty dependencies file for wsv_cfsm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_common.dir/interner.cc.o"
+  "CMakeFiles/wsv_common.dir/interner.cc.o.d"
+  "CMakeFiles/wsv_common.dir/status.cc.o"
+  "CMakeFiles/wsv_common.dir/status.cc.o.d"
+  "CMakeFiles/wsv_common.dir/strings.cc.o"
+  "CMakeFiles/wsv_common.dir/strings.cc.o.d"
+  "libwsv_common.a"
+  "libwsv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_data.dir/instance.cc.o"
+  "CMakeFiles/wsv_data.dir/instance.cc.o.d"
+  "CMakeFiles/wsv_data.dir/isomorphism.cc.o"
+  "CMakeFiles/wsv_data.dir/isomorphism.cc.o.d"
+  "CMakeFiles/wsv_data.dir/relation.cc.o"
+  "CMakeFiles/wsv_data.dir/relation.cc.o.d"
+  "CMakeFiles/wsv_data.dir/schema.cc.o"
+  "CMakeFiles/wsv_data.dir/schema.cc.o.d"
+  "CMakeFiles/wsv_data.dir/tuple.cc.o"
+  "CMakeFiles/wsv_data.dir/tuple.cc.o.d"
+  "CMakeFiles/wsv_data.dir/value.cc.o"
+  "CMakeFiles/wsv_data.dir/value.cc.o.d"
+  "libwsv_data.a"
+  "libwsv_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fo/eval.cc" "src/fo/CMakeFiles/wsv_fo.dir/eval.cc.o" "gcc" "src/fo/CMakeFiles/wsv_fo.dir/eval.cc.o.d"
+  "/root/repo/src/fo/formula.cc" "src/fo/CMakeFiles/wsv_fo.dir/formula.cc.o" "gcc" "src/fo/CMakeFiles/wsv_fo.dir/formula.cc.o.d"
+  "/root/repo/src/fo/input_bounded.cc" "src/fo/CMakeFiles/wsv_fo.dir/input_bounded.cc.o" "gcc" "src/fo/CMakeFiles/wsv_fo.dir/input_bounded.cc.o.d"
+  "/root/repo/src/fo/lexer.cc" "src/fo/CMakeFiles/wsv_fo.dir/lexer.cc.o" "gcc" "src/fo/CMakeFiles/wsv_fo.dir/lexer.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/fo/CMakeFiles/wsv_fo.dir/parser.cc.o" "gcc" "src/fo/CMakeFiles/wsv_fo.dir/parser.cc.o.d"
+  "/root/repo/src/fo/structure.cc" "src/fo/CMakeFiles/wsv_fo.dir/structure.cc.o" "gcc" "src/fo/CMakeFiles/wsv_fo.dir/structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsv_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_fo.dir/eval.cc.o"
+  "CMakeFiles/wsv_fo.dir/eval.cc.o.d"
+  "CMakeFiles/wsv_fo.dir/formula.cc.o"
+  "CMakeFiles/wsv_fo.dir/formula.cc.o.d"
+  "CMakeFiles/wsv_fo.dir/input_bounded.cc.o"
+  "CMakeFiles/wsv_fo.dir/input_bounded.cc.o.d"
+  "CMakeFiles/wsv_fo.dir/lexer.cc.o"
+  "CMakeFiles/wsv_fo.dir/lexer.cc.o.d"
+  "CMakeFiles/wsv_fo.dir/parser.cc.o"
+  "CMakeFiles/wsv_fo.dir/parser.cc.o.d"
+  "CMakeFiles/wsv_fo.dir/structure.cc.o"
+  "CMakeFiles/wsv_fo.dir/structure.cc.o.d"
+  "libwsv_fo.a"
+  "libwsv_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

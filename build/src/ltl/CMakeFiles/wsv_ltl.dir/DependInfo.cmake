@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltl/grounding.cc" "src/ltl/CMakeFiles/wsv_ltl.dir/grounding.cc.o" "gcc" "src/ltl/CMakeFiles/wsv_ltl.dir/grounding.cc.o.d"
+  "/root/repo/src/ltl/ltl_formula.cc" "src/ltl/CMakeFiles/wsv_ltl.dir/ltl_formula.cc.o" "gcc" "src/ltl/CMakeFiles/wsv_ltl.dir/ltl_formula.cc.o.d"
+  "/root/repo/src/ltl/parser.cc" "src/ltl/CMakeFiles/wsv_ltl.dir/parser.cc.o" "gcc" "src/ltl/CMakeFiles/wsv_ltl.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fo/CMakeFiles/wsv_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/wsv_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

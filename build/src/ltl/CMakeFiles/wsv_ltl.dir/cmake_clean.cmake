@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_ltl.dir/grounding.cc.o"
+  "CMakeFiles/wsv_ltl.dir/grounding.cc.o.d"
+  "CMakeFiles/wsv_ltl.dir/ltl_formula.cc.o"
+  "CMakeFiles/wsv_ltl.dir/ltl_formula.cc.o.d"
+  "CMakeFiles/wsv_ltl.dir/parser.cc.o"
+  "CMakeFiles/wsv_ltl.dir/parser.cc.o.d"
+  "libwsv_ltl.a"
+  "libwsv_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

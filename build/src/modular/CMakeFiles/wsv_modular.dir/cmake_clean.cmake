@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_modular.dir/env_spec.cc.o"
+  "CMakeFiles/wsv_modular.dir/env_spec.cc.o.d"
+  "CMakeFiles/wsv_modular.dir/modular_verifier.cc.o"
+  "CMakeFiles/wsv_modular.dir/modular_verifier.cc.o.d"
+  "CMakeFiles/wsv_modular.dir/translation.cc.o"
+  "CMakeFiles/wsv_modular.dir/translation.cc.o.d"
+  "libwsv_modular.a"
+  "libwsv_modular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

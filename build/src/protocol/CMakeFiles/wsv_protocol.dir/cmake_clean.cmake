@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_protocol.dir/ltl_protocol.cc.o"
+  "CMakeFiles/wsv_protocol.dir/ltl_protocol.cc.o.d"
+  "CMakeFiles/wsv_protocol.dir/protocol.cc.o"
+  "CMakeFiles/wsv_protocol.dir/protocol.cc.o.d"
+  "CMakeFiles/wsv_protocol.dir/protocol_verifier.cc.o"
+  "CMakeFiles/wsv_protocol.dir/protocol_verifier.cc.o.d"
+  "libwsv_protocol.a"
+  "libwsv_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/simulator.cc" "src/runtime/CMakeFiles/wsv_runtime.dir/simulator.cc.o" "gcc" "src/runtime/CMakeFiles/wsv_runtime.dir/simulator.cc.o.d"
+  "/root/repo/src/runtime/snapshot.cc" "src/runtime/CMakeFiles/wsv_runtime.dir/snapshot.cc.o" "gcc" "src/runtime/CMakeFiles/wsv_runtime.dir/snapshot.cc.o.d"
+  "/root/repo/src/runtime/snapshot_view.cc" "src/runtime/CMakeFiles/wsv_runtime.dir/snapshot_view.cc.o" "gcc" "src/runtime/CMakeFiles/wsv_runtime.dir/snapshot_view.cc.o.d"
+  "/root/repo/src/runtime/transition.cc" "src/runtime/CMakeFiles/wsv_runtime.dir/transition.cc.o" "gcc" "src/runtime/CMakeFiles/wsv_runtime.dir/transition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/wsv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wsv_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

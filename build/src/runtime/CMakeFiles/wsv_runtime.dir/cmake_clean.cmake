@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_runtime.dir/simulator.cc.o"
+  "CMakeFiles/wsv_runtime.dir/simulator.cc.o.d"
+  "CMakeFiles/wsv_runtime.dir/snapshot.cc.o"
+  "CMakeFiles/wsv_runtime.dir/snapshot.cc.o.d"
+  "CMakeFiles/wsv_runtime.dir/snapshot_view.cc.o"
+  "CMakeFiles/wsv_runtime.dir/snapshot_view.cc.o.d"
+  "CMakeFiles/wsv_runtime.dir/transition.cc.o"
+  "CMakeFiles/wsv_runtime.dir/transition.cc.o.d"
+  "libwsv_runtime.a"
+  "libwsv_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/composition.cc" "src/spec/CMakeFiles/wsv_spec.dir/composition.cc.o" "gcc" "src/spec/CMakeFiles/wsv_spec.dir/composition.cc.o.d"
+  "/root/repo/src/spec/library.cc" "src/spec/CMakeFiles/wsv_spec.dir/library.cc.o" "gcc" "src/spec/CMakeFiles/wsv_spec.dir/library.cc.o.d"
+  "/root/repo/src/spec/parser.cc" "src/spec/CMakeFiles/wsv_spec.dir/parser.cc.o" "gcc" "src/spec/CMakeFiles/wsv_spec.dir/parser.cc.o.d"
+  "/root/repo/src/spec/peer.cc" "src/spec/CMakeFiles/wsv_spec.dir/peer.cc.o" "gcc" "src/spec/CMakeFiles/wsv_spec.dir/peer.cc.o.d"
+  "/root/repo/src/spec/printer.cc" "src/spec/CMakeFiles/wsv_spec.dir/printer.cc.o" "gcc" "src/spec/CMakeFiles/wsv_spec.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fo/CMakeFiles/wsv_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_spec.dir/composition.cc.o"
+  "CMakeFiles/wsv_spec.dir/composition.cc.o.d"
+  "CMakeFiles/wsv_spec.dir/library.cc.o"
+  "CMakeFiles/wsv_spec.dir/library.cc.o.d"
+  "CMakeFiles/wsv_spec.dir/parser.cc.o"
+  "CMakeFiles/wsv_spec.dir/parser.cc.o.d"
+  "CMakeFiles/wsv_spec.dir/peer.cc.o"
+  "CMakeFiles/wsv_spec.dir/peer.cc.o.d"
+  "CMakeFiles/wsv_spec.dir/printer.cc.o"
+  "CMakeFiles/wsv_spec.dir/printer.cc.o.d"
+  "libwsv_spec.a"
+  "libwsv_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

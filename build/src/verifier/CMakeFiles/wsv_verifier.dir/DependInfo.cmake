@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/db_enum.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/db_enum.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/db_enum.cc.o.d"
+  "/root/repo/src/verifier/domain_bound.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/domain_bound.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/domain_bound.cc.o.d"
+  "/root/repo/src/verifier/engine.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/engine.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/engine.cc.o.d"
+  "/root/repo/src/verifier/product_search.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/product_search.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/product_search.cc.o.d"
+  "/root/repo/src/verifier/snapshot_graph.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/snapshot_graph.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/snapshot_graph.cc.o.d"
+  "/root/repo/src/verifier/validate.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/validate.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/validate.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/verifier/CMakeFiles/wsv_verifier.dir/verifier.cc.o" "gcc" "src/verifier/CMakeFiles/wsv_verifier.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/wsv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltl/CMakeFiles/wsv_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/wsv_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/wsv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wsv_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wsv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

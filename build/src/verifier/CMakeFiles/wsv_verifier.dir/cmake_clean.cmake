@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsv_verifier.dir/db_enum.cc.o"
+  "CMakeFiles/wsv_verifier.dir/db_enum.cc.o.d"
+  "CMakeFiles/wsv_verifier.dir/domain_bound.cc.o"
+  "CMakeFiles/wsv_verifier.dir/domain_bound.cc.o.d"
+  "CMakeFiles/wsv_verifier.dir/engine.cc.o"
+  "CMakeFiles/wsv_verifier.dir/engine.cc.o.d"
+  "CMakeFiles/wsv_verifier.dir/product_search.cc.o"
+  "CMakeFiles/wsv_verifier.dir/product_search.cc.o.d"
+  "CMakeFiles/wsv_verifier.dir/snapshot_graph.cc.o"
+  "CMakeFiles/wsv_verifier.dir/snapshot_graph.cc.o.d"
+  "CMakeFiles/wsv_verifier.dir/validate.cc.o"
+  "CMakeFiles/wsv_verifier.dir/validate.cc.o.d"
+  "CMakeFiles/wsv_verifier.dir/verifier.cc.o"
+  "CMakeFiles/wsv_verifier.dir/verifier.cc.o.d"
+  "libwsv_verifier.a"
+  "libwsv_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsv_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

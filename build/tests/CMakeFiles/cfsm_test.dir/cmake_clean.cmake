@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfsm_test.dir/cfsm_test.cc.o"
+  "CMakeFiles/cfsm_test.dir/cfsm_test.cc.o.d"
+  "cfsm_test"
+  "cfsm_test.pdb"
+  "cfsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

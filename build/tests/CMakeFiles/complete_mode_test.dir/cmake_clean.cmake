@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complete_mode_test.dir/complete_mode_test.cc.o"
+  "CMakeFiles/complete_mode_test.dir/complete_mode_test.cc.o.d"
+  "complete_mode_test"
+  "complete_mode_test.pdb"
+  "complete_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complete_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

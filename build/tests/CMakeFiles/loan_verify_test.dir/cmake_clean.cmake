@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_verify_test.dir/loan_verify_test.cc.o"
+  "CMakeFiles/loan_verify_test.dir/loan_verify_test.cc.o.d"
+  "loan_verify_test"
+  "loan_verify_test.pdb"
+  "loan_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_queue_test.dir/nested_queue_test.cc.o"
+  "CMakeFiles/nested_queue_test.dir/nested_queue_test.cc.o.d"
+  "nested_queue_test"
+  "nested_queue_test.pdb"
+  "nested_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

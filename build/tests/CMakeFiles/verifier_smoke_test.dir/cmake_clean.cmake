@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_smoke_test.dir/verifier_smoke_test.cc.o"
+  "CMakeFiles/verifier_smoke_test.dir/verifier_smoke_test.cc.o.d"
+  "verifier_smoke_test"
+  "verifier_smoke_test.pdb"
+  "verifier_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

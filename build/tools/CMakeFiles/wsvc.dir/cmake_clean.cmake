@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsvc.dir/wsvc.cpp.o"
+  "CMakeFiles/wsvc.dir/wsvc.cpp.o.d"
+  "wsvc"
+  "wsvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
