@@ -47,6 +47,7 @@ void RunLoan(benchmark::State& state, const std::string& property_text,
   bool holds = false;
   size_t snapshots = 0;
   size_t prefiltered = 0;
+  bench::ResetObs();
   for (auto _ : state) {
     verifier::Verifier verifier(&*comp, options);
     auto result = verifier.Verify(*property);
@@ -58,6 +59,7 @@ void RunLoan(benchmark::State& state, const std::string& property_text,
     snapshots = result->stats.search.snapshots;
     prefiltered = result->stats.prefiltered;
   }
+  bench::ExportObsCounters(state);
   state.counters["holds"] = holds ? 1 : 0;
   state.counters["snapshots"] = static_cast<double>(snapshots);
   state.counters["prefiltered"] = static_cast<double>(prefiltered);

@@ -71,6 +71,7 @@ void RunVerification(benchmark::State& state, size_t relations, size_t arity) {
   options.budget.max_states = 500000;
   size_t databases = 0;
   size_t snapshots = 0;
+  bench::ResetObs();
   for (auto _ : state) {
     verifier::Verifier verifier(&comp, options);
     auto result = verifier.Verify(*property);
@@ -85,6 +86,7 @@ void RunVerification(benchmark::State& state, size_t relations, size_t arity) {
     databases = result->stats.databases_checked;
     snapshots = result->stats.search.snapshots;
   }
+  bench::ExportObsCounters(state);
   state.counters["databases"] = static_cast<double>(databases);
   state.counters["snapshots"] = static_cast<double>(snapshots);
 }

@@ -7,12 +7,37 @@
 // google-benchmark counters, so `for b in build/bench/*; do $b; done`
 // reproduces the full evaluation.
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <string>
 
+#include "obs/metrics.h"
 #include "spec/parser.h"
 
 namespace wsv::bench {
+
+/// Zeroes the global observability registry so the exported counters
+/// reflect this benchmark's timing loop only. Call before `for (auto _ :
+/// state)`.
+inline void ResetObs() { obs::Registry::Global().Reset(); }
+
+/// Exports the global registry into google-benchmark user counters,
+/// averaged per iteration — `bench_* --benchmark_format=json` then carries
+/// the same counter names as `wsvc --stats-json` (see README
+/// "Observability"). Call after the timing loop.
+inline void ExportObsCounters(benchmark::State& state) {
+  for (const auto& [name, value] : obs::Registry::Global().CounterValues()) {
+    state.counters[name] = benchmark::Counter(
+        static_cast<double>(value), benchmark::Counter::kAvgIterations);
+  }
+  for (const auto& [name, timer] : obs::Registry::Global().TimerValues()) {
+    if (timer.count() == 0) continue;
+    state.counters[name + "_ns"] =
+        benchmark::Counter(static_cast<double>(timer.total_nanos()),
+                           benchmark::Counter::kAvgIterations);
+  }
+}
 
 /// Parses a composition and aborts on error (bench specs are static).
 inline spec::Composition MustParse(const char* source) {

@@ -2,6 +2,7 @@
 
 #include "ltl/grounding.h"
 #include "modular/translation.h"
+#include "obs/timer.h"
 #include "verifier/engine.h"
 #include "verifier/validate.h"
 
@@ -111,13 +112,16 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   // variables symbolic — one instance per valuation.
   ltl::LtlPtr violation = ltl::LtlFormula::And(
       env_expanded, ltl::LtlFormula::Not(property.formula()));
-  WSV_ASSIGN_OR_RETURN(
-      ltl::GroundLtl ground,
-      ltl::GroundToPropositional(violation, /*negate=*/false,
-                                 /*allow_free_leaves=*/true));
   verifier::SymbolicTask task;
-  WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
-  task.leaves = std::move(ground.propositions);
+  {
+    obs::PhaseTimer automaton_phase("automaton");
+    WSV_ASSIGN_OR_RETURN(
+        ltl::GroundLtl ground,
+        ltl::GroundToPropositional(violation, /*negate=*/false,
+                                   /*allow_free_leaves=*/true));
+    WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
+    task.leaves = std::move(ground.propositions);
+  }
   task.closure_variables = property.closure_variables();
   task.valuations = verifier::EnumerateValuations(
       pd.domain, interner_, task.closure_variables.size());
@@ -136,7 +140,10 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   result.stats.databases_checked = outcome.databases_checked;
   result.stats.searches = outcome.searches;
   result.stats.prefiltered = outcome.prefiltered;
+  result.stats.prefilter_memo_misses = outcome.prefilter_memo_misses;
+  result.stats.prefilter_memo_hits = outcome.prefilter_memo_hits;
   result.stats.search = outcome.search_stats;
+  result.stats.timings = outcome.timings;
   result.holds = !outcome.violation_found;
   if (outcome.violation_found) {
     verifier::Counterexample ce;

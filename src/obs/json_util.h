@@ -1,0 +1,57 @@
+#ifndef WSVERIFY_OBS_JSON_UTIL_H_
+#define WSVERIFY_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// added): ", \, control characters.
+std::string JsonEscape(std::string_view text);
+
+/// Minimal streaming JSON writer with automatic comma placement. All the
+/// observability serializers (stats document, trace events) go through this
+/// so their output is well-formed by construction.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Splices a pre-rendered JSON value verbatim (caller guarantees
+  /// validity).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: whether it already holds a value.
+  std::vector<bool> has_value_;
+  bool after_key_ = false;
+};
+
+/// Validates that `text` is one syntactically well-formed JSON value
+/// (RFC 8259 grammar; no semantic checks). Used by the test suite to keep
+/// every serializer honest without an external JSON dependency.
+Status JsonValidate(std::string_view text);
+
+}  // namespace wsv::obs
+
+#endif  // WSVERIFY_OBS_JSON_UTIL_H_

@@ -1,0 +1,82 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace wsv::obs {
+
+void Histogram::Record(uint64_t value) {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  // Bucket 0: exact zero. Bucket i: [2^(i-1), 2^i), i.e. bit_width(value).
+  ++buckets_[value == 0 ? 0 : std::bit_width(value)];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  buckets_.fill(0);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+TimerStat& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<TimerStat>();
+  return *slot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, t] : timers_) t->Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, TimerStat>> Registry::TimerValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, TimerStat>> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) out.emplace_back(name, *t);
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram>> Registry::HistogramValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, *h);
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlive all users
+  return *registry;
+}
+
+}  // namespace wsv::obs

@@ -1,0 +1,114 @@
+#ifndef WSVERIFY_OBS_METRICS_H_
+#define WSVERIFY_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsv::obs {
+
+/// A monotonic counter. Increments are plain (non-atomic): the verification
+/// pipeline is single-threaded, and observability must stay off the hot
+/// path's critical latency; a torn read from a future concurrent reporter
+/// would at worst misprint one heartbeat line.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Power-of-two bucketed histogram of non-negative samples. Bucket 0 holds
+/// exact zeros; bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+class Histogram {
+ public:
+  /// Zeros + one bucket per bit of a uint64_t.
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// Min/max of recorded samples; 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  void Reset();
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/// Accumulated wall time of one named phase: total nanoseconds and the
+/// number of timed intervals folded in.
+class TimerStat {
+ public:
+  void Add(int64_t nanos) {
+    total_nanos_ += nanos < 0 ? 0 : static_cast<uint64_t>(nanos);
+    ++count_;
+  }
+  uint64_t total_nanos() const { return total_nanos_; }
+  uint64_t count() const { return count_; }
+  void Reset() {
+    total_nanos_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  uint64_t total_nanos_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Named registry of counters, histograms and phase timers. Instruments are
+/// created on first use and never destroyed, so call sites may cache the
+/// returned references across Reset() (which zeroes values but keeps
+/// identities) — the hot path then pays one pointer chase per event.
+///
+/// Registration is mutex-guarded; recording into an instrument is not (see
+/// Counter). Export snapshots are taken under the registration mutex.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  TimerStat& timer(const std::string& name);
+
+  /// Phase timing is opt-in: PhaseTimer reads this flag and skips its two
+  /// clock calls entirely when off, keeping disabled overhead to one branch.
+  bool timing_enabled() const { return timing_enabled_; }
+  void set_timing_enabled(bool enabled) { timing_enabled_ = enabled; }
+
+  /// Zeroes every instrument, preserving identities (cached references in
+  /// instrumented code stay valid).
+  void Reset();
+
+  /// Sorted-by-name value snapshots, for export.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, TimerStat>> TimerValues() const;
+  std::vector<std::pair<std::string, Histogram>> HistogramValues() const;
+
+  /// The process-wide registry every instrumented pipeline stage reports to.
+  static Registry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  bool timing_enabled_ = false;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+};
+
+}  // namespace wsv::obs
+
+#endif  // WSVERIFY_OBS_METRICS_H_

@@ -1,0 +1,27 @@
+#ifndef WSVERIFY_OBS_OBS_H_
+#define WSVERIFY_OBS_OBS_H_
+
+// Umbrella header for the observability subsystem (DESIGN: the measurement
+// backbone of the verification pipeline):
+//
+//   metrics.h    — Counter / Histogram / TimerStat and the named Registry
+//   timer.h      — NowNanos() and the RAII PhaseTimer
+//   trace.h      — Chrome trace-event recorder (chrome://tracing, Perfetto)
+//   progress.h   — periodic stderr heartbeat
+//   stats_json.h — versioned stats-JSON document (schema v1)
+//   json_util.h  — streaming JSON writer + syntactic validator
+//
+// Conventions: counters and histograms are dot-namespaced by pipeline stage
+// ("engine.", "dbenum.", "graph.", "leafcache.", "ndfs.", "sim."); phase
+// timers live under "phase.". Counters are always collected (an increment
+// each); phase timing, tracing, and the heartbeat are opt-in and cost one
+// branch when off.
+
+#include "obs/json_util.h"  // IWYU pragma: export
+#include "obs/metrics.h"    // IWYU pragma: export
+#include "obs/progress.h"   // IWYU pragma: export
+#include "obs/stats_json.h" // IWYU pragma: export
+#include "obs/timer.h"      // IWYU pragma: export
+#include "obs/trace.h"      // IWYU pragma: export
+
+#endif  // WSVERIFY_OBS_OBS_H_

@@ -1,0 +1,59 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace wsv::obs {
+
+void ProgressMeter::Enable(int64_t period_millis) {
+  enabled_ = true;
+  period_nanos_ = period_millis * 1000000;
+  started_nanos_ = NowNanos();
+  last_beat_nanos_ = started_nanos_;
+  last_states_ = 0;
+}
+
+void ProgressMeter::MaybeBeat() {
+  if (!enabled_) return;
+  int64_t now = NowNanos();
+  if (now - last_beat_nanos_ < period_nanos_) return;
+  Beat(now, "progress");
+}
+
+void ProgressMeter::FinalBeat() {
+  if (!enabled_) return;
+  Beat(NowNanos(), "done");
+}
+
+void ProgressMeter::Beat(int64_t now, const char* tag) {
+  Registry& registry = Registry::Global();
+  uint64_t dbs = registry.counter("engine.databases_checked").value();
+  uint64_t searches = registry.counter("engine.searches").value();
+  uint64_t prefiltered = registry.counter("engine.prefiltered").value();
+  uint64_t snapshots = registry.counter("graph.snapshots").value();
+  uint64_t states = registry.counter("ndfs.product_states").value();
+  double elapsed = static_cast<double>(now - started_nanos_) / 1e9;
+  double window = static_cast<double>(now - last_beat_nanos_) / 1e9;
+  double rate = window > 0
+                    ? static_cast<double>(states - last_states_) / window
+                    : 0.0;
+  std::fprintf(stderr,
+               "[wsv %s] t=%.1fs dbs=%llu searches=%llu prefiltered=%llu "
+               "snapshots=%llu states=%llu (%.0f states/s)\n",
+               tag, elapsed, static_cast<unsigned long long>(dbs),
+               static_cast<unsigned long long>(searches),
+               static_cast<unsigned long long>(prefiltered),
+               static_cast<unsigned long long>(snapshots),
+               static_cast<unsigned long long>(states), rate);
+  last_beat_nanos_ = now;
+  last_states_ = states;
+}
+
+ProgressMeter& ProgressMeter::Global() {
+  static ProgressMeter* meter = new ProgressMeter();
+  return *meter;
+}
+
+}  // namespace wsv::obs

@@ -1,0 +1,40 @@
+#ifndef WSVERIFY_OBS_PROGRESS_H_
+#define WSVERIFY_OBS_PROGRESS_H_
+
+#include <cstdint>
+
+namespace wsv::obs {
+
+/// Periodic stderr heartbeat for long verification runs: databases checked,
+/// searches launched, snapshots and product states explored, and the
+/// exploration rate since the previous beat. The pipeline calls MaybeBeat()
+/// at coarse points (per database, every few thousand product states); the
+/// meter rate-limits actual output to the configured period.
+class ProgressMeter {
+ public:
+  void Enable(int64_t period_millis = 1000);
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Prints a heartbeat line if at least one period elapsed since the last.
+  void MaybeBeat();
+
+  /// Unconditionally prints one final line (end-of-run summary).
+  void FinalBeat();
+
+  /// The process-wide meter the pipeline reports to.
+  static ProgressMeter& Global();
+
+ private:
+  void Beat(int64_t now, const char* tag);
+
+  bool enabled_ = false;
+  int64_t period_nanos_ = 0;
+  int64_t started_nanos_ = 0;
+  int64_t last_beat_nanos_ = 0;
+  uint64_t last_states_ = 0;
+};
+
+}  // namespace wsv::obs
+
+#endif  // WSVERIFY_OBS_PROGRESS_H_

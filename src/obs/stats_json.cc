@@ -1,0 +1,96 @@
+#include "obs/stats_json.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_util.h"
+
+namespace wsv::obs {
+
+std::string RenderStatsJson(
+    const Registry& registry, const std::string& generator,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(kStatsSchemaVersion);
+  w.Key("generator").String(generator);
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : registry.CounterValues()) {
+    w.Key(name).Uint(value);
+  }
+  w.EndObject();
+
+  w.Key("timers_ns").BeginObject();
+  for (const auto& [name, timer] : registry.TimerValues()) {
+    w.Key(name).BeginObject();
+    w.Key("total_ns").Uint(timer.total_nanos());
+    w.Key("count").Uint(timer.count());
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : registry.HistogramValues()) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(histogram.count());
+    w.Key("sum").Uint(histogram.sum());
+    w.Key("min").Uint(histogram.min());
+    w.Key("max").Uint(histogram.max());
+    // Buckets trimmed to the highest non-empty one; bucket i >= 1 counts
+    // samples in [2^(i-1), 2^i), bucket 0 counts exact zeros.
+    size_t last = Histogram::kBuckets;
+    while (last > 0 && histogram.buckets()[last - 1] == 0) --last;
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < last; ++i) w.Uint(histogram.buckets()[i]);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  for (const auto& [key, json] : extra) {
+    w.Key(key).Raw(json);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+Status WriteStatsJson(
+    const Registry& registry, const std::string& generator,
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open stats file: " + path);
+  out << RenderStatsJson(registry, generator, extra) << "\n";
+  if (!out.good()) return Status::Internal("failed writing stats: " + path);
+  return Status::Ok();
+}
+
+std::string RenderTextSummary(const Registry& registry) {
+  std::string out;
+  char line[160];
+  for (const auto& [name, timer] : registry.TimerValues()) {
+    std::snprintf(line, sizeof(line), "  %-34s %10.3f ms  (x%llu)\n",
+                  name.c_str(), static_cast<double>(timer.total_nanos()) / 1e6,
+                  static_cast<unsigned long long>(timer.count()));
+    out += line;
+  }
+  for (const auto& [name, value] : registry.CounterValues()) {
+    std::snprintf(line, sizeof(line), "  %-34s %10llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, histogram] : registry.HistogramValues()) {
+    std::snprintf(line, sizeof(line),
+                  "  %-34s count=%llu sum=%llu min=%llu max=%llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(histogram.count()),
+                  static_cast<unsigned long long>(histogram.sum()),
+                  static_cast<unsigned long long>(histogram.min()),
+                  static_cast<unsigned long long>(histogram.max()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wsv::obs

@@ -1,0 +1,45 @@
+#ifndef WSVERIFY_OBS_STATS_JSON_H_
+#define WSVERIFY_OBS_STATS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace wsv::obs {
+
+/// Version of the stats-JSON document layout. Bump when a required key
+/// changes meaning or disappears; adding keys is backward compatible.
+inline constexpr int kStatsSchemaVersion = 1;
+
+/// The stats document always contains these top-level keys
+/// (tools/check_stats_schema.py enforces the same list):
+///   schema_version : int   — kStatsSchemaVersion
+///   generator      : str   — producing tool ("wsvc", test binaries, ...)
+///   counters       : {name: int}
+///   timers_ns      : {name: {total_ns: int, count: int}}
+///   histograms     : {name: {count, sum, min, max, buckets: [int]}}
+/// Callers append further sections (command, verdict, ...) via `extra`.
+
+/// Renders the versioned stats document from a registry snapshot.
+/// `extra` entries are (key, pre-rendered JSON value) appended at top level;
+/// keys must not collide with the required ones.
+std::string RenderStatsJson(
+    const Registry& registry, const std::string& generator,
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+/// Writes RenderStatsJson output to `path`.
+Status WriteStatsJson(
+    const Registry& registry, const std::string& generator,
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+/// Renders a human-readable summary of the registry (counters and phase
+/// timers) for `wsvc -v` — one aligned "name value" line each.
+std::string RenderTextSummary(const Registry& registry);
+
+}  // namespace wsv::obs
+
+#endif  // WSVERIFY_OBS_STATS_JSON_H_

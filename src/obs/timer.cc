@@ -1,0 +1,36 @@
+#include "obs/timer.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wsv::obs {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool TimingEnabled() { return Registry::Global().timing_enabled(); }
+
+bool TracingEnabled() { return TraceRecorder::Global().enabled(); }
+
+PhaseTimer::PhaseTimer(const char* name, std::string trace_args_json)
+    : name_(name),
+      start_(TimingEnabled() || TracingEnabled() ? NowNanos() : -1),
+      trace_args_json_(std::move(trace_args_json)) {}
+
+PhaseTimer::~PhaseTimer() {
+  if (start_ < 0) return;
+  int64_t end = NowNanos();
+  Registry::Global().timer(std::string("phase.") + name_).Add(end - start_);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.enabled()) {
+    recorder.Complete(name_, "phase", start_, end - start_,
+                      std::move(trace_args_json_));
+  }
+}
+
+}  // namespace wsv::obs

@@ -1,0 +1,47 @@
+#ifndef WSVERIFY_OBS_TIMER_H_
+#define WSVERIFY_OBS_TIMER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wsv::obs {
+
+/// Monotonic wall clock, nanoseconds since an arbitrary epoch.
+int64_t NowNanos();
+
+/// RAII phase timer: accumulates the enclosed scope's wall time into the
+/// global registry under "phase.<name>" and, when tracing is on, emits a
+/// matching trace span. When both timing and tracing are disabled the
+/// constructor is one branch and no clock is read.
+///
+///   { obs::PhaseTimer timer("ndfs"); ... }   // -> timer "phase.ndfs"
+///
+/// Phases measure code regions, not a partition of the run: lazily-computed
+/// work (leaf evaluation under NDFS, graph expansion under a successor
+/// call) accumulates into its own phase while nested inside another.
+class PhaseTimer {
+ public:
+  /// `name` must outlive the timer (string literals in practice).
+  /// `trace_args_json` is attached to the trace span only; pass {} (and
+  /// build args under obs::TracingEnabled()) to keep the disabled path
+  /// allocation-free.
+  explicit PhaseTimer(const char* name, std::string trace_args_json = {});
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_;  // -1 when observability is off
+  std::string trace_args_json_;
+};
+
+/// True when phase timing is collecting (Registry::Global() flag).
+bool TimingEnabled();
+/// True when the global trace recorder is collecting.
+bool TracingEnabled();
+
+}  // namespace wsv::obs
+
+#endif  // WSVERIFY_OBS_TIMER_H_

@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/json_util.h"
+#include "obs/timer.h"
+
+namespace wsv::obs {
+
+void TraceRecorder::Enable() {
+  enabled_ = true;
+  origin_nanos_ = NowNanos();
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+bool TraceRecorder::Admit() {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::Complete(std::string name, const char* category,
+                             int64_t start_nanos, int64_t dur_nanos,
+                             std::string args_json) {
+  if (!enabled_ || !Admit()) return;
+  events_.push_back(Event{std::move(name), category, 'X',
+                          start_nanos - origin_nanos_, dur_nanos, 0,
+                          std::move(args_json)});
+}
+
+void TraceRecorder::Instant(std::string name, const char* category,
+                            std::string args_json) {
+  if (!enabled_ || !Admit()) return;
+  events_.push_back(Event{std::move(name), category, 'i',
+                          NowNanos() - origin_nanos_, 0, 0,
+                          std::move(args_json)});
+}
+
+void TraceRecorder::CounterSample(std::string name, const char* category,
+                                  uint64_t value) {
+  if (!enabled_ || !Admit()) return;
+  events_.push_back(Event{std::move(name), category, 'C',
+                          NowNanos() - origin_nanos_, 0, value, {}});
+}
+
+std::string TraceRecorder::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  auto emit = [&w](const Event& e) {
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("cat").String(e.category);
+    w.Key("ph").String(std::string(1, e.phase));
+    // Trace-event timestamps are microseconds; fractional micros keep
+    // nanosecond resolution.
+    w.Key("ts").Double(static_cast<double>(e.ts_nanos) / 1000.0);
+    if (e.phase == 'X') {
+      w.Key("dur").Double(static_cast<double>(e.dur_nanos) / 1000.0);
+    }
+    w.Key("pid").Uint(0);
+    w.Key("tid").Uint(0);
+    if (e.phase == 'C') {
+      w.Key("args").BeginObject().Key("value").Uint(e.value).EndObject();
+    } else if (e.phase == 'i') {
+      w.Key("s").String("g");  // global-scope instant
+      if (!e.args_json.empty()) w.Key("args").Raw(e.args_json);
+    } else if (!e.args_json.empty()) {
+      w.Key("args").Raw(e.args_json);
+    }
+    w.EndObject();
+  };
+  for (const Event& e : events_) emit(e);
+  if (dropped_ > 0) {
+    Event note{"trace_truncated", "obs", 'i', NowNanos() - origin_nanos_, 0, 0,
+               "{\"dropped\":" + std::to_string(dropped_) + "}"};
+    emit(note);
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.Take();
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open trace file: " + path);
+  out << ToJson() << "\n";
+  if (!out.good()) return Status::Internal("failed writing trace: " + path);
+  return Status::Ok();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+}  // namespace wsv::obs

@@ -1,0 +1,76 @@
+#ifndef WSVERIFY_OBS_TRACE_H_
+#define WSVERIFY_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv::obs {
+
+/// Records scoped spans and instant markers in the Chrome trace-event JSON
+/// format (the "Trace Event Format" consumed by chrome://tracing and
+/// Perfetto). Disabled by default; when disabled every record call is a
+/// single branch.
+///
+/// Events are buffered in memory and serialized on demand. The buffer is
+/// capped (SetMaxEvents) so a pathological run cannot exhaust memory; on
+/// overflow further events are dropped and counted, and the serialized
+/// trace ends with an instant event reporting the number dropped.
+class TraceRecorder {
+ public:
+  /// Starts recording; timestamps are reported relative to this call.
+  void Enable();
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Caps the buffer (default 1M events).
+  void SetMaxEvents(size_t max_events) { max_events_ = max_events; }
+
+  /// A completed span ("ph":"X"): [start_nanos, start_nanos + dur_nanos).
+  /// `args_json` is either empty or a pre-rendered JSON object.
+  void Complete(std::string name, const char* category, int64_t start_nanos,
+                int64_t dur_nanos, std::string args_json = {});
+
+  /// An instant marker ("ph":"i").
+  void Instant(std::string name, const char* category,
+               std::string args_json = {});
+
+  /// A counter sample ("ph":"C") — Perfetto renders these as value tracks.
+  void CounterSample(std::string name, const char* category, uint64_t value);
+
+  size_t size() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  void Clear();
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+  /// The process-wide recorder used by PhaseTimer and the pipeline.
+  static TraceRecorder& Global();
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    char phase;          // 'X', 'i', 'C'
+    int64_t ts_nanos;    // relative to Enable()
+    int64_t dur_nanos;   // 'X' only
+    uint64_t value;      // 'C' only
+    std::string args_json;
+  };
+
+  bool Admit();
+
+  bool enabled_ = false;
+  size_t max_events_ = 1u << 20;
+  int64_t origin_nanos_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace wsv::obs
+
+#endif  // WSVERIFY_OBS_TRACE_H_

@@ -1,9 +1,10 @@
 #include "protocol/protocol_verifier.h"
 
+#include <optional>
 #include <set>
 
 #include "ltl/grounding.h"
-
+#include "obs/timer.h"
 #include "verifier/engine.h"
 
 namespace wsv::protocol {
@@ -66,6 +67,7 @@ Result<verifier::VerificationResult> ProtocolVerifier::Verify(
   }
 
   verifier::SymbolicTask task;
+  std::optional<obs::PhaseTimer> automaton_phase(std::in_place, "automaton");
   if (protocol.ltl_formula() != nullptr) {
     // LTL-given protocol: the violating runs are exactly those of the
     // negated formula — no Büchi complementation needed. Grounding
@@ -100,6 +102,7 @@ Result<verifier::VerificationResult> ProtocolVerifier::Verify(
       task.leaves.push_back(symbol.guard);
     }
   }
+  automaton_phase.reset();  // closes the phase.automaton span
   task.closure_variables = protocol.FreeVariables();
   task.valuations = verifier::EnumerateValuations(
       pd.domain, interner_, task.closure_variables.size());
@@ -118,7 +121,10 @@ Result<verifier::VerificationResult> ProtocolVerifier::Verify(
   result.stats.databases_checked = outcome.databases_checked;
   result.stats.searches = outcome.searches;
   result.stats.prefiltered = outcome.prefiltered;
+  result.stats.prefilter_memo_misses = outcome.prefilter_memo_misses;
+  result.stats.prefilter_memo_hits = outcome.prefilter_memo_hits;
   result.stats.search = outcome.search_stats;
+  result.stats.timings = outcome.timings;
   result.holds = !outcome.violation_found;
   if (outcome.violation_found) {
     verifier::Counterexample ce;

@@ -1,5 +1,7 @@
 #include "runtime/simulator.h"
 
+#include "obs/metrics.h"
+
 namespace wsv::runtime {
 
 data::Domain Simulator::ComputeDomain(
@@ -30,6 +32,11 @@ Simulator::Simulator(const spec::Composition* comp,
 Result<size_t> Simulator::Step() {
   WSV_ASSIGN_OR_RETURN(std::vector<Snapshot> successors,
                        generator_.Successors(current_));
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter& steps = registry.counter("sim.steps");
+  static obs::Histogram& branching = registry.histogram("sim.branching");
+  steps.Add(1);
+  branching.Record(successors.size());
   if (successors.empty()) return static_cast<size_t>(0);
   std::uniform_int_distribution<size_t> pick(0, successors.size() - 1);
   current_ = std::move(successors[pick(rng_)]);

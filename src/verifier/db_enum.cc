@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "data/isomorphism.h"
+#include "obs/metrics.h"
 
 namespace wsv::verifier {
 
@@ -98,6 +99,10 @@ bool DatabaseEnumerator::Advance() {
 }
 
 bool DatabaseEnumerator::Next(std::vector<data::Instance>* out) {
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter& candidates = registry.counter("dbenum.candidates");
+  static obs::Counter& iso_rejected = registry.counter("dbenum.iso_rejected");
+  static obs::Counter& yielded = registry.counter("dbenum.yielded");
   while (!exhausted_) {
     if (first_) {
       first_ = false;  // start from the all-empty databases
@@ -105,13 +110,18 @@ bool DatabaseEnumerator::Next(std::vector<data::Instance>* out) {
       exhausted_ = true;
       break;
     }
+    candidates.Add(1);
     Materialize(out);
     if (iso_reduce_) {
       std::vector<const data::Instance*> ptrs;
       ptrs.reserve(out->size());
       for (const data::Instance& inst : *out) ptrs.push_back(&inst);
-      if (!data::IsCanonicalUnderPermutationsJoint(ptrs, movable_)) continue;
+      if (!data::IsCanonicalUnderPermutationsJoint(ptrs, movable_)) {
+        iso_rejected.Add(1);
+        continue;
+      }
     }
+    yielded.Add(1);
     return true;
   }
   return false;

@@ -3,6 +3,9 @@
 #include <unordered_map>
 
 #include "automata/emptiness.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/timer.h"
 #include "runtime/transition.h"
 #include "verifier/db_enum.h"
 
@@ -146,6 +149,13 @@ automata::BuchiAutomaton RestrictAutomaton(
 Result<bool> VerificationEngine::CheckDatabases(
     SymbolicTask& task, const std::vector<data::Instance>& dbs,
     EngineOutcome& outcome) {
+  // One trace span per database sweep iteration; args built only when the
+  // recorder is on so the common path stays allocation-free.
+  obs::PhaseTimer db_span(
+      "check_db",
+      obs::TracingEnabled()
+          ? "{\"db\":" + std::to_string(outcome.databases_checked) + "}"
+          : std::string());
   runtime::TransitionGenerator generator(comp_, dbs, domain_, interner_,
                                          options_.run);
   SnapshotNormalization normalization;
@@ -201,9 +211,15 @@ Result<bool> VerificationEngine::CheckDatabases(
   LeafCache cache(&graph, task.leaves, interner_);
   struct GraphStatsGuard {
     SnapshotGraph& graph;
+    LeafCache& cache;
     EngineOutcome& outcome;
-    ~GraphStatsGuard() { outcome.search_stats.snapshots += graph.size(); }
-  } guard{graph, outcome};
+    ~GraphStatsGuard() {
+      outcome.search_stats.snapshots += graph.size();
+      outcome.search_stats.graph_transitions += graph.transitions_computed();
+      outcome.search_stats.leaf_cache_hits += cache.hits();
+      outcome.search_stats.leaf_cache_misses += cache.misses();
+    }
+  } guard{graph, cache, outcome};
 
   // Exhaustively explore the configuration graph once: every instance
   // shares it, and full coverage enables the ever-satisfied prefilter.
@@ -299,6 +315,9 @@ Result<bool> VerificationEngine::CheckDatabases(
     std::string memo_key(rigid_truths.begin(), rigid_truths.end());
     auto memo = prefilter_memo_.find(memo_key);
     if (memo == prefilter_memo_.end()) {
+      obs::PhaseTimer prefilter_phase("prefilter");
+      ++outcome.prefilter_memo_misses;
+      obs::Registry::Global().counter("engine.prefilter_memo_misses").Add(1);
       automata::BuchiAutomaton restricted =
           any_fixed ? RestrictAutomaton(task.automaton, rigid_truths)
                     : task.automaton;
@@ -307,18 +326,31 @@ Result<bool> VerificationEngine::CheckDatabases(
                  .emplace(std::move(memo_key),
                           MemoEntry{empty, std::move(restricted)})
                  .first;
+    } else {
+      ++outcome.prefilter_memo_hits;
+      static obs::Counter& memo_hits =
+          obs::Registry::Global().counter("engine.prefilter_memo_hits");
+      memo_hits.Add(1);
     }
     if (memo->second.empty_language) {
       ++outcome.prefiltered;
+      static obs::Counter& prefiltered =
+          obs::Registry::Global().counter("engine.prefiltered");
+      prefiltered.Add(1);
       continue;
     }
     const automata::BuchiAutomaton& restricted = memo->second.automaton;
 
     ++outcome.searches;
+    static obs::Counter& searches =
+        obs::Registry::Global().counter("engine.searches");
+    searches.Add(1);
     ProductSearch search(&graph, &cache, &restricted, std::move(leaf_rows),
                          options_.budget);
-    Result<std::optional<LassoWitness>> witness =
-        search.FindAcceptedRun(&outcome.search_stats);
+    Result<std::optional<LassoWitness>> witness = [&] {
+      obs::PhaseTimer ndfs_phase("ndfs");
+      return search.FindAcceptedRun(&outcome.search_stats);
+    }();
     if (!witness.ok()) {
       if (witness.status().code() == StatusCode::kBudgetExceeded) {
         outcome.budget_status = witness.status();
@@ -327,6 +359,7 @@ Result<bool> VerificationEngine::CheckDatabases(
       return witness.status();
     }
     if (witness.value().has_value()) {
+      obs::Registry::Global().counter("engine.violations").Add(1);
       outcome.violation_found = true;
       outcome.databases = dbs;
       outcome.label = valuation;
@@ -337,35 +370,81 @@ Result<bool> VerificationEngine::CheckDatabases(
   return false;
 }
 
+namespace {
+
+/// Snapshot of the engine's phase timers, for before/after deltas so the
+/// outcome carries only this run's share of the global accumulators.
+PhaseTimings TimerSnapshot() {
+  obs::Registry& registry = obs::Registry::Global();
+  PhaseTimings t;
+  t.db_enum_ns = registry.timer("phase.db_enum").total_nanos();
+  t.graph_expand_ns = registry.timer("phase.graph_expand").total_nanos();
+  t.leaf_eval_ns = registry.timer("phase.leaf_eval").total_nanos();
+  t.prefilter_ns = registry.timer("phase.prefilter").total_nanos();
+  t.ndfs_ns = registry.timer("phase.ndfs").total_nanos();
+  return t;
+}
+
+PhaseTimings TimerDelta(const PhaseTimings& before) {
+  PhaseTimings now = TimerSnapshot();
+  PhaseTimings d;
+  d.db_enum_ns = now.db_enum_ns - before.db_enum_ns;
+  d.graph_expand_ns = now.graph_expand_ns - before.graph_expand_ns;
+  d.leaf_eval_ns = now.leaf_eval_ns - before.leaf_eval_ns;
+  d.prefilter_ns = now.prefilter_ns - before.prefilter_ns;
+  d.ndfs_ns = now.ndfs_ns - before.ndfs_ns;
+  return d;
+}
+
+void CountDatabase(EngineOutcome& outcome) {
+  ++outcome.databases_checked;
+  static obs::Counter& dbs =
+      obs::Registry::Global().counter("engine.databases_checked");
+  dbs.Add(1);
+  obs::ProgressMeter::Global().MaybeBeat();
+}
+
+}  // namespace
+
 Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   EngineOutcome outcome;
+  PhaseTimings timers_before = TimerSnapshot();
+  obs::Registry::Global()
+      .counter("engine.instances")
+      .Add(task.valuations.empty() ? 1 : task.valuations.size());
   if (task.valuations.empty()) {
     task.valuations.push_back({});  // single instance with no variables
   }
 
   if (options_.fixed_databases.has_value()) {
-    ++outcome.databases_checked;
+    CountDatabase(outcome);
     WSV_ASSIGN_OR_RETURN(bool found,
                          CheckDatabases(task, *options_.fixed_databases,
                                         outcome));
     (void)found;
+    outcome.timings = TimerDelta(timers_before);
     return outcome;
   }
 
   DatabaseEnumerator enumerator(comp_, domain_, fresh_,
                                 options_.iso_reduction);
   std::vector<data::Instance> dbs;
-  while (enumerator.Next(&dbs)) {
+  auto next = [&] {
+    obs::PhaseTimer enum_phase("db_enum");
+    return enumerator.Next(&dbs);
+  };
+  while (next()) {
     if (outcome.databases_checked >= options_.max_databases) {
       outcome.budget_status = Status::BudgetExceeded(
           "database enumeration stopped at max_databases; verdict is "
           "bounded");
       break;
     }
-    ++outcome.databases_checked;
+    CountDatabase(outcome);
     WSV_ASSIGN_OR_RETURN(bool found, CheckDatabases(task, dbs, outcome));
     if (found) break;
   }
+  outcome.timings = TimerDelta(timers_before);
   return outcome;
 }
 

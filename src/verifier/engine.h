@@ -80,6 +80,19 @@ struct EngineOptions {
   std::optional<std::vector<data::Instance>> fixed_databases;
 };
 
+/// Wall time spent in each pipeline phase during one engine run, in
+/// nanoseconds. Zero when phase timing is disabled
+/// (obs::Registry::Global().timing_enabled()). Phases measure code regions
+/// and may nest (leaf evaluation runs lazily under graph expansion and
+/// NDFS), so they are not a partition of the total.
+struct PhaseTimings {
+  uint64_t db_enum_ns = 0;
+  uint64_t graph_expand_ns = 0;
+  uint64_t leaf_eval_ns = 0;
+  uint64_t prefilter_ns = 0;
+  uint64_t ndfs_ns = 0;
+};
+
 /// Outcome of an engine run; the caller wraps it into the public
 /// VerificationResult types.
 struct EngineOutcome {
@@ -94,7 +107,12 @@ struct EngineOutcome {
   /// Instances discharged by the rigid-proposition emptiness prefilter
   /// without a state-space search.
   size_t prefiltered = 0;
+  /// Prefilter memo lookups: distinct truth-status vectors computed versus
+  /// reused across valuations.
+  size_t prefilter_memo_misses = 0;
+  size_t prefilter_memo_hits = 0;
   SearchStats search_stats;
+  PhaseTimings timings;
   /// Non-OK when some search hit its budget (verdict is then bounded).
   Status budget_status = Status::Ok();
 };

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 
 namespace wsv::verifier {
 
@@ -56,6 +58,10 @@ ProductSearch::ProductId ProductSearch::InternProduct(SnapshotId sid,
   product_states_.emplace_back(sid, q);
   color_.push_back(Color::kWhite);
   inner_visited_.push_back(false);
+  // Heartbeat at a granularity that costs one branch per 4096 states.
+  if ((product_states_.size() & 0xFFF) == 0) {
+    obs::ProgressMeter::Global().MaybeBeat();
+  }
   return id;
 }
 
@@ -90,6 +96,7 @@ ProductSearch::InnerDfs(ProductId seed) {
     std::vector<ProductId> succs;
     size_t next = 0;
   };
+  ++inner_searches_;
   std::vector<Frame> stack;
   std::vector<ProductId> path{seed};
   WSV_ASSIGN_OR_RETURN(std::vector<ProductId> seed_succs,
@@ -130,7 +137,18 @@ Result<std::optional<LassoWitness>> ProductSearch::FindAcceptedRun(
       // once per database.
       stats->product_states += product_states_.size();
       stats->transitions += transitions_;
+      stats->inner_searches += inner_searches_;
     }
+    obs::Registry& registry = obs::Registry::Global();
+    static obs::Counter& states_counter = registry.counter("ndfs.product_states");
+    static obs::Counter& trans_counter = registry.counter("ndfs.transitions");
+    static obs::Counter& inner_counter = registry.counter("ndfs.inner_searches");
+    static obs::Histogram& per_search =
+        registry.histogram("ndfs.states_per_search");
+    states_counter.Add(product_states_.size());
+    trans_counter.Add(transitions_);
+    inner_counter.Add(inner_searches_);
+    per_search.Record(product_states_.size());
   };
 
   // Seed: every initial snapshot, paired with the automaton edges from
@@ -171,6 +189,8 @@ Result<std::optional<LassoWitness>> ProductSearch::FindAcceptedRun(
 
     while (!stack.empty()) {
       if (product_states_.size() > budget_.max_states) {
+        if (stats != nullptr) ++stats->budget_hits;
+        obs::Registry::Global().counter("ndfs.budget_hits").Add(1);
         finish();
         return Status::BudgetExceeded(
             "product exploration exceeded max_states = " +

@@ -17,10 +17,27 @@ struct SearchBudget {
   size_t max_states = 1000000;
 };
 
+/// Counters accumulated across every search of one engine run. The same
+/// numbers are mirrored into the global obs::Registry (dot-namespaced
+/// "graph.*", "leafcache.*", "ndfs.*") for the stats-JSON/trace exports;
+/// this struct is the in-process API surface (benches, tests, callers).
 struct SearchStats {
+  /// Distinct configuration-graph snapshots interned (per database).
   size_t snapshots = 0;
+  /// Distinct product states interned across all searches.
   size_t product_states = 0;
+  /// Product transitions generated across all searches.
   size_t transitions = 0;
+  /// Configuration-graph edges computed (successor-set sizes summed).
+  size_t graph_transitions = 0;
+  /// Per-snapshot leaf-table lookups served from the LeafCache...
+  size_t leaf_cache_hits = 0;
+  /// ...versus evaluation passes that had to run the relational evaluator.
+  size_t leaf_cache_misses = 0;
+  /// Inner (cycle-detection) DFS launches of the nested DFS.
+  size_t inner_searches = 0;
+  /// Searches aborted by the product-state budget.
+  size_t budget_hits = 0;
 };
 
 /// A violating run witness: a finite prefix from an initial snapshot
@@ -79,6 +96,7 @@ class ProductSearch {
   std::vector<Color> color_;
   std::vector<bool> inner_visited_;
   size_t transitions_ = 0;
+  size_t inner_searches_ = 0;
 };
 
 /// True iff some proposition observes snapshot bookkeeping with the given

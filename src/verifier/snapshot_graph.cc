@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/timer.h"
 #include "runtime/snapshot_view.h"
 
 namespace wsv::verifier {
@@ -29,11 +32,19 @@ Result<SnapshotId> SnapshotGraph::Intern(runtime::Snapshot snap) {
     }
   }
   auto it = ids_.find(snap);
-  if (it != ids_.end()) return it->second;
+  if (it != ids_.end()) {
+    static obs::Counter& hits =
+        obs::Registry::Global().counter("graph.intern_hits");
+    hits.Add(1);
+    return it->second;
+  }
   SnapshotId id = static_cast<SnapshotId>(snapshots_.size());
   ids_.emplace(snap, id);
   snapshots_.push_back(std::move(snap));
   successors_.emplace_back();
+  static obs::Counter& interned =
+      obs::Registry::Global().counter("graph.snapshots");
+  interned.Add(1);
   return id;
 }
 
@@ -69,21 +80,32 @@ Result<const std::vector<SnapshotId>*> SnapshotGraph::Successors(
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     transitions_ += ids.size();
+    obs::Registry& registry = obs::Registry::Global();
+    static obs::Counter& calls = registry.counter("graph.successor_calls");
+    static obs::Counter& edges = registry.counter("graph.transitions");
+    static obs::Histogram& fanout =
+        registry.histogram("graph.successors_per_snapshot");
+    calls.Add(1);
+    edges.Add(ids.size());
+    fanout.Record(ids.size());
     successors_[sid] = std::move(ids);
   }
   return &*successors_[sid];
 }
 
 Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots) {
+  obs::PhaseTimer phase("graph_expand");
   WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* inits, Initials());
   std::deque<SnapshotId> frontier(inits->begin(), inits->end());
   std::vector<bool> expanded;
+  size_t expansions = 0;
   while (!frontier.empty()) {
     SnapshotId sid = frontier.front();
     frontier.pop_front();
     if (sid >= expanded.size()) expanded.resize(snapshots_.size(), false);
     if (expanded[sid]) continue;
     expanded[sid] = true;
+    if ((++expansions & 0x3FF) == 0) obs::ProgressMeter::Global().MaybeBeat();
     WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* succ, Successors(sid));
     for (SnapshotId next : *succ) {
       if (next >= expanded.size() || !expanded[next]) frontier.push_back(next);
@@ -114,6 +136,13 @@ LeafCache::LeafCache(SnapshotGraph* graph, std::vector<fo::FormulaPtr> leaves,
 Result<const fo::ValuationSet*> LeafCache::Get(SnapshotId sid, size_t leaf) {
   if (sid >= cache_.size()) cache_.resize(sid + 1);
   if (cache_[sid].empty() && !leaves_.empty()) {
+    ++misses_;
+    obs::Registry& registry = obs::Registry::Global();
+    static obs::Counter& misses = registry.counter("leafcache.misses");
+    static obs::Counter& evals = registry.counter("leafcache.leaf_evals");
+    misses.Add(1);
+    evals.Add(leaves_.size());
+    obs::PhaseTimer phase("leaf_eval");
     // Evaluate every leaf in one pass so the (relation-copying) snapshot
     // structure is built once and immediately discarded.
     fo::MapStructure structure = graph_->Structure(sid);
@@ -123,6 +152,11 @@ Result<const fo::ValuationSet*> LeafCache::Get(SnapshotId sid, size_t leaf) {
                            evaluator_.Evaluate(formula, structure));
       cache_[sid].emplace_back(std::move(result));
     }
+  } else {
+    ++hits_;
+    static obs::Counter& hits =
+        obs::Registry::Global().counter("leafcache.hits");
+    hits.Add(1);
   }
   return &*cache_[sid][leaf];
 }

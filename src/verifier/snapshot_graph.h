@@ -121,6 +121,11 @@ class LeafCache {
   /// make the proposition constant-true along every run.
   Result<const data::Relation*> AlwaysSatisfied(size_t leaf);
 
+  /// Get() calls answered from an already-evaluated snapshot...
+  size_t hits() const { return hits_; }
+  /// ...versus snapshots whose leaves had to be evaluated relationally.
+  size_t misses() const { return misses_; }
+
  private:
   SnapshotGraph* graph_;
   std::vector<fo::FormulaPtr> leaves_;
@@ -130,6 +135,8 @@ class LeafCache {
   std::vector<std::vector<std::optional<fo::ValuationSet>>> cache_;
   std::vector<std::optional<data::Relation>> ever_;
   std::vector<std::optional<data::Relation>> always_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
 };
 
 }  // namespace wsv::verifier

@@ -2,6 +2,7 @@
 
 #include "automata/buchi.h"
 #include "ltl/grounding.h"
+#include "obs/timer.h"
 #include "verifier/domain_bound.h"
 #include "verifier/engine.h"
 #include "verifier/validate.h"
@@ -105,12 +106,15 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
   // leaves; one instance per valuation of the closure variables. ---
   SymbolicTask task;
   task.closure_variables = property.closure_variables();
-  WSV_ASSIGN_OR_RETURN(
-      ltl::GroundLtl ground,
-      ltl::GroundToPropositional(property.formula(), /*negate=*/true,
-                                 /*allow_free_leaves=*/true));
-  WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
-  task.leaves = std::move(ground.propositions);
+  {
+    obs::PhaseTimer automaton_phase("automaton");
+    WSV_ASSIGN_OR_RETURN(
+        ltl::GroundLtl ground,
+        ltl::GroundToPropositional(property.formula(), /*negate=*/true,
+                                   /*allow_free_leaves=*/true));
+    WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
+    task.leaves = std::move(ground.propositions);
+  }
   task.valuations = EnumerateValuations(domain_, interner_,
                                         task.closure_variables.size());
   result.stats.valuations_checked = task.valuations.size();
@@ -129,7 +133,10 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
   result.stats.databases_checked = outcome.databases_checked;
   result.stats.searches = outcome.searches;
   result.stats.prefiltered = outcome.prefiltered;
+  result.stats.prefilter_memo_misses = outcome.prefilter_memo_misses;
+  result.stats.prefilter_memo_hits = outcome.prefilter_memo_hits;
   result.stats.search = outcome.search_stats;
+  result.stats.timings = outcome.timings;
   result.holds = !outcome.violation_found;
   if (outcome.violation_found) {
     Counterexample ce;

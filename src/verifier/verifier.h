@@ -67,7 +67,13 @@ struct VerificationStats {
   /// Instances discharged by the rigid-proposition prefilter without a
   /// state-space search.
   size_t prefiltered = 0;
+  /// Prefilter memoization effectiveness across valuations.
+  size_t prefilter_memo_misses = 0;
+  size_t prefilter_memo_hits = 0;
   SearchStats search;
+  /// Per-phase wall time of the engine run (zero unless
+  /// obs::Registry::Global().timing_enabled()).
+  PhaseTimings timings;
 };
 
 struct VerificationResult {

@@ -1,0 +1,215 @@
+// Tests for the observability subsystem (src/obs/): registry semantics,
+// histogram bucketing, JSON writer/validator, the stats document schema,
+// trace-event well-formedness, and end-to-end counter collection through a
+// Verifier run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ltl/property.h"
+#include "obs/obs.h"
+#include "spec/parser.h"
+#include "verifier/verifier.h"
+
+namespace wsv {
+namespace {
+
+constexpr char kPingPongSpec[] = R"(
+peer Requester {
+  database { item(x); }
+  input    { ask(x); }
+  state    { got(x); }
+  inqueue flat  { resp(x); }
+  outqueue flat { req(x); }
+  rules {
+    options ask(x) :- item(x);
+    send req(x) :- ask(x);
+    insert got(x) :- ?resp(x);
+  }
+}
+peer Responder {
+  inqueue flat  { req(x); }
+  outqueue flat { resp(x); }
+  rules {
+    send resp(x) :- ?req(x);
+  }
+}
+)";
+
+TEST(Registry, CounterAccumulatesAndResetsInPlace) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("test.hits");
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  // Reset zeroes values but preserves instrument identity, so cached
+  // references in instrumented code keep working.
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&registry.counter("test.hits"), &c);
+  c.Add(7);
+  EXPECT_EQ(registry.counter("test.hits").value(), 7u);
+}
+
+TEST(Registry, ExportsAreSortedByName) {
+  obs::Registry registry;
+  registry.counter("b").Add(2);
+  registry.counter("a").Add(1);
+  registry.counter("c").Add(3);
+  auto values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].first, "a");
+  EXPECT_EQ(values[1].first, "b");
+  EXPECT_EQ(values[2].first, "c");
+}
+
+TEST(Histogram, PowerOfTwoBuckets) {
+  obs::Histogram h;
+  h.Record(0);   // bucket 0 (exact zeros)
+  h.Record(1);   // bucket 1: [1, 2)
+  h.Record(2);   // bucket 2: [2, 4)
+  h.Record(3);   // bucket 2
+  h.Record(4);   // bucket 3: [4, 8)
+  h.Record(100); // bucket 7: [64, 128)
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.buckets()[7], 1u);
+}
+
+TEST(PhaseTimer, RecordsOnlyWhenTimingEnabled) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.Reset();
+  registry.set_timing_enabled(false);
+  { obs::PhaseTimer t("obs_test_disabled"); }
+  EXPECT_EQ(registry.timer("phase.obs_test_disabled").count(), 0u);
+
+  registry.set_timing_enabled(true);
+  { obs::PhaseTimer t("obs_test_enabled"); }
+  registry.set_timing_enabled(false);
+  EXPECT_EQ(registry.timer("phase.obs_test_enabled").count(), 1u);
+}
+
+TEST(JsonWriter, CommasAndEscapes) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\n");
+  w.Key("n").Uint(18446744073709551615ull);
+  w.Key("i").Int(-5);
+  w.Key("b").Bool(true);
+  w.Key("arr").BeginArray();
+  w.Uint(1).Uint(2).Null();
+  w.EndArray();
+  w.Key("nested").BeginObject().EndObject();
+  w.EndObject();
+  std::string json = w.Take();
+  EXPECT_EQ(json,
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":18446744073709551615,\"i\":-5,"
+            "\"b\":true,\"arr\":[1,2,null],\"nested\":{}}");
+  EXPECT_TRUE(obs::JsonValidate(json).ok());
+}
+
+TEST(JsonValidate, AcceptsValidRejectsMalformed) {
+  EXPECT_TRUE(obs::JsonValidate("null").ok());
+  EXPECT_TRUE(obs::JsonValidate("[1, 2.5e-3, \"x\", {\"k\": []}]").ok());
+  EXPECT_TRUE(obs::JsonValidate("\"\\u00e9\"").ok());
+  EXPECT_FALSE(obs::JsonValidate("").ok());
+  EXPECT_FALSE(obs::JsonValidate("{").ok());
+  EXPECT_FALSE(obs::JsonValidate("[1,]").ok());
+  EXPECT_FALSE(obs::JsonValidate("{\"a\":1,}").ok());
+  EXPECT_FALSE(obs::JsonValidate("{'a':1}").ok());
+  EXPECT_FALSE(obs::JsonValidate("01").ok());
+  EXPECT_FALSE(obs::JsonValidate("1 2").ok());  // trailing garbage
+}
+
+TEST(StatsJson, ContainsSchemaRequiredKeysAndValidates) {
+  obs::Registry registry;
+  registry.counter("engine.searches").Add(3);
+  registry.timer("phase.ndfs").Add(1000);
+  registry.histogram("graph.successors_per_snapshot").Record(4);
+  std::string json = obs::RenderStatsJson(
+      registry, "obs_test", {{"verdict", "{\"holds\":true}"}});
+  EXPECT_TRUE(obs::JsonValidate(json).ok()) << json;
+  for (const char* key :
+       {"\"schema_version\"", "\"generator\"", "\"counters\"",
+        "\"timers_ns\"", "\"histograms\"", "\"verdict\"",
+        "\"engine.searches\"", "\"phase.ndfs\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(Trace, EventsSerializeToValidChromeTraceJson) {
+  obs::TraceRecorder recorder;
+  recorder.Enable();
+  recorder.Complete("span \"quoted\"", "phase", obs::NowNanos(), 1500,
+                    "{\"db\":1}");
+  recorder.Instant("marker", "engine");
+  recorder.CounterSample("states", "ndfs", 42);
+  std::string json = recorder.ToJson();
+  EXPECT_TRUE(obs::JsonValidate(json).ok()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Trace, BufferCapDropsAndReportsOverflow) {
+  obs::TraceRecorder recorder;
+  recorder.Enable();
+  recorder.SetMaxEvents(2);
+  for (int i = 0; i < 5; ++i) recorder.Instant("e", "t");
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  std::string json = recorder.ToJson();
+  EXPECT_TRUE(obs::JsonValidate(json).ok()) << json;
+  EXPECT_NE(json.find("trace_truncated"), std::string::npos);
+}
+
+TEST(Observability, VerifierRunPopulatesCountersAndTimings) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.Reset();
+  registry.set_timing_enabled(true);
+
+  auto comp = spec::ParseComposition(kPingPongSpec);
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  auto property =
+      ltl::Property::Parse("G(not (exists x: Requester.got(x)))");
+  ASSERT_TRUE(property.ok());
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 1;
+  verifier::Verifier verifier(&*comp, options);
+  auto result = verifier.Verify(*property);
+  registry.set_timing_enabled(false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // got(a) is reachable: the property is violated and the refuting search
+  // must have explored databases, snapshots, and product states.
+  EXPECT_FALSE(result->holds);
+  EXPECT_GT(result->stats.databases_checked, 0u);
+  EXPECT_GT(result->stats.search.snapshots, 0u);
+  EXPECT_GT(result->stats.search.product_states, 0u);
+  EXPECT_GT(result->stats.search.inner_searches, 0u);
+  EXPECT_GT(result->stats.search.leaf_cache_misses, 0u);
+  EXPECT_GT(result->stats.timings.graph_expand_ns, 0u);
+  EXPECT_GT(result->stats.timings.ndfs_ns, 0u);
+
+  // The same numbers are mirrored into the global registry.
+  EXPECT_GE(registry.counter("engine.databases_checked").value(),
+            result->stats.databases_checked);
+  EXPECT_GE(registry.counter("graph.snapshots").value(),
+            result->stats.search.snapshots);
+  EXPECT_GE(registry.counter("ndfs.product_states").value(),
+            result->stats.search.product_states);
+  EXPECT_GT(registry.timer("phase.ndfs").total_nanos(), 0u);
+}
+
+}  // namespace
+}  // namespace wsv

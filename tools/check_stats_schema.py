@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validates a `wsvc --stats-json` document against schema v1.
+
+Usage: check_stats_schema.py STATS_JSON [TRACE_JSON]
+
+Checks the required top-level keys and their types (see
+src/obs/stats_json.h); with a second argument, also checks that the trace
+file is a well-formed Chrome trace-event document. Exits non-zero with a
+message on the first problem found, so it can run directly under ctest.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_stats_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_stats(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    expect(isinstance(doc, dict), "top level must be an object")
+
+    required = {
+        "schema_version": int,
+        "generator": str,
+        "counters": dict,
+        "timers_ns": dict,
+        "histograms": dict,
+    }
+    for key, ty in required.items():
+        expect(key in doc, f"missing required key '{key}'")
+        expect(isinstance(doc[key], ty),
+               f"'{key}' must be {ty.__name__}, got {type(doc[key]).__name__}")
+    expect(doc["schema_version"] == 1,
+           f"unknown schema_version {doc['schema_version']}")
+
+    for name, value in doc["counters"].items():
+        expect(isinstance(value, int) and value >= 0,
+               f"counter '{name}' must be a non-negative integer")
+    for name, timer in doc["timers_ns"].items():
+        expect(isinstance(timer, dict), f"timer '{name}' must be an object")
+        for field in ("total_ns", "count"):
+            expect(isinstance(timer.get(field), int),
+                   f"timer '{name}' missing integer '{field}'")
+    for name, hist in doc["histograms"].items():
+        expect(isinstance(hist, dict), f"histogram '{name}' must be an object")
+        for field in ("count", "sum", "min", "max"):
+            expect(isinstance(hist.get(field), int),
+                   f"histogram '{name}' missing integer '{field}'")
+        expect(isinstance(hist.get("buckets"), list),
+               f"histogram '{name}' missing 'buckets' list")
+
+    # wsvc-produced documents also carry command/spec/verdict sections.
+    if "verdict" in doc:
+        verdict = doc["verdict"]
+        expect(isinstance(verdict, dict), "'verdict' must be an object")
+        expect(isinstance(verdict.get("exit_code"), int),
+               "'verdict.exit_code' must be an integer")
+        if "stats" in verdict:
+            expect(isinstance(verdict["stats"], dict),
+                   "'verdict.stats' must be an object")
+        if "phase_ns" in verdict:
+            for phase in ("db_enum", "graph_expand", "leaf_eval", "ndfs"):
+                expect(isinstance(verdict["phase_ns"].get(phase), int),
+                       f"'verdict.phase_ns.{phase}' must be an integer")
+    return doc
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    expect(isinstance(doc, dict), "trace top level must be an object")
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list), "trace must contain 'traceEvents' list")
+    for i, event in enumerate(events):
+        expect(isinstance(event, dict), f"traceEvents[{i}] must be an object")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            expect(field in event, f"traceEvents[{i}] missing '{field}'")
+        if event["ph"] == "X":
+            expect("dur" in event,
+                   f"traceEvents[{i}] is a complete span without 'dur'")
+    return len(events)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        fail("usage: check_stats_schema.py STATS_JSON [TRACE_JSON]")
+    doc = check_stats(argv[1])
+    summary = (f"stats OK: {len(doc['counters'])} counters, "
+               f"{len(doc['timers_ns'])} timers, "
+               f"{len(doc['histograms'])} histograms")
+    if len(argv) == 3:
+        summary += f"; trace OK: {check_trace(argv[2])} events"
+    print(summary)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,37 +1,14 @@
 // wsvc — the wsverify command-line verifier.
 //
-//   wsvc check <spec-file>
-//       Parse and validate a composition; report channels, closedness and
-//       the input-boundedness analysis (Section 3.1).
-//
-//   wsvc verify <spec-file> --property "<ltl-fo>" [options]
-//       Verify an LTL-FO property (Theorem 3.4). Options:
-//         --db Peer.relation=a,b;c,d     pin a database relation (repeat)
-//         --queue-bound <k>              k-bounded queues (default 1)
-//         --perfect                      perfect channels (Theorem 3.7 regime)
-//         --fresh <n>                    fresh pseudo-domain elements (default 1)
-//         --max-states <n>               product-state budget
-//         --trace                        print the counterexample run
-//
-//   wsvc protocol <spec-file> --ltl "<formula>" [--observer source] [options]
-//       Verify a data-agnostic conversation protocol given in LTL over
-//       channel names (Theorem 4.2 / 4.3).
-//
-//   wsvc modular <spec-file> --property "<ltl-fo>" --env "<env-spec>"
-//         [--env-msg chan=a,b;c,d] [--env-domain a,b] [options]
-//       Modular verification of an open composition under an environment
-//       specification (Theorem 5.4).
-//
-//   wsvc simulate <spec-file> [--steps <n>] [--seed <s>] [--db ...]
-//       Print a random run over the pinned database.
-//
-//   wsvc print <spec-file>
-//       Parse and pretty-print the composition in normalized DSL form.
+// Commands and the full option list live in Usage() below; README.md
+// ("Observability") documents the stats/trace output formats.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +16,7 @@
 #include "common/strings.h"
 #include "ltl/property.h"
 #include "modular/modular_verifier.h"
+#include "obs/obs.h"
 #include "protocol/ltl_protocol.h"
 #include "protocol/protocol_verifier.h"
 #include "runtime/simulator.h"
@@ -58,25 +36,101 @@ struct Args {
   std::vector<std::string> env_msgs;  // chan=tuples
 };
 
+/// What the executed command produced, for the stats-JSON verdict section.
+struct CliReport {
+  const char* kind = nullptr;  // "property" | "protocol" | "modular"
+  std::optional<verifier::VerificationResult> result;
+};
+
+const std::set<std::string>& BoolFlags() {
+  static const std::set<std::string> flags = {
+      "--perfect", "--trace", "--progress", "-v", "--verbose"};
+  return flags;
+}
+
+const std::set<std::string>& ValueFlags() {
+  static const std::set<std::string> flags = {
+      "--property",  "--ltl",           "--env",        "--observer",
+      "--queue-bound", "--fresh",       "--max-states", "--max-databases",
+      "--steps",     "--seed",          "--db",         "--env-msg",
+      "--env-domain", "--stats-json",   "--trace-json", "--progress-ms"};
+  return flags;
+}
+
+/// The one place that documents the CLI (keep in sync with README.md).
 int Usage() {
-  std::fprintf(stderr,
-               "usage: wsvc <check|verify|protocol|modular|simulate|print> "
-               "<spec-file> [options]\n(see the header of tools/wsvc.cpp or "
-               "README.md for the option list)\n");
+  std::fprintf(
+      stderr,
+      "usage: wsvc <command> <spec-file> [options]\n"
+      "\n"
+      "commands:\n"
+      "  check     parse + validate; report channels, closedness,\n"
+      "            input-boundedness (Section 3.1)\n"
+      "  verify    verify an LTL-FO property (Theorem 3.4); needs --property\n"
+      "  protocol  verify a conversation protocol in LTL over channel names\n"
+      "            (Theorems 4.2/4.3); needs --ltl\n"
+      "  modular   modular verification of an open composition (Theorem 5.4);\n"
+      "            needs --property and --env\n"
+      "  simulate  print a random run over the pinned database\n"
+      "  print     pretty-print the composition in normalized DSL form\n"
+      "\n"
+      "verification options:\n"
+      "  --property <ltl-fo>      property to verify (verify, modular)\n"
+      "  --ltl <formula>          protocol formula over channel names\n"
+      "  --env <env-spec>         environment specification (modular)\n"
+      "  --observer source        observer-at-source semantics (protocol)\n"
+      "  --db P.rel=a,b;c,d       pin a database relation (repeatable)\n"
+      "  --env-msg chan=a,b;c,d   environment message candidates (modular)\n"
+      "  --env-domain a,b         env quantifier domain (modular)\n"
+      "  --queue-bound <k>        k-bounded queues (default 1)\n"
+      "  --perfect                perfect channels (Theorem 3.7 regime)\n"
+      "  --fresh <n>              fresh pseudo-domain elements (default 1)\n"
+      "  --max-states <n>         product-state budget per search\n"
+      "  --max-databases <n>      stop the database sweep after n databases\n"
+      "  --steps <n> / --seed <s> simulation length / RNG seed (simulate)\n"
+      "  --trace                  print the counterexample run\n"
+      "\n"
+      "observability options:\n"
+      "  --stats-json <file>      write all counters, phase timers and the\n"
+      "                           verdict as versioned JSON (schema v%d)\n"
+      "  --trace-json <file>      write a Chrome trace-event file (open in\n"
+      "                           chrome://tracing or ui.perfetto.dev)\n"
+      "  --progress               heartbeat on stderr (dbs / states / rate)\n"
+      "  --progress-ms <ms>       heartbeat period (default 1000)\n"
+      "  -v, --verbose            print a counter/timer summary on stderr\n",
+      obs::kStatsSchemaVersion);
   return 2;
+}
+
+bool IsKnownCommand(const std::string& command) {
+  static const std::set<std::string> commands = {
+      "check", "verify", "protocol", "modular", "simulate", "print"};
+  return commands.count(command) > 0;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 3) return false;
   args->command = argv[1];
   args->spec_file = argv[2];
+  if (!IsKnownCommand(args->command)) {
+    std::fprintf(stderr, "wsvc: unknown command '%s'\n",
+                 args->command.c_str());
+    return false;
+  }
   for (int i = 3; i < argc; ++i) {
     std::string flag = argv[i];
-    if (flag == "--perfect" || flag == "--trace") {
+    if (BoolFlags().count(flag) > 0) {
       args->flags[flag] = "1";
       continue;
     }
-    if (i + 1 >= argc) return false;
+    if (ValueFlags().count(flag) == 0) {
+      std::fprintf(stderr, "wsvc: unknown flag '%s'\n", flag.c_str());
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "wsvc: flag '%s' requires a value\n", flag.c_str());
+      return false;
+    }
     std::string value = argv[++i];
     if (flag == "--db") {
       args->dbs.push_back(value);
@@ -137,7 +191,14 @@ Result<std::vector<verifier::NamedDatabase>> BuildDatabases(
 size_t FlagOr(const Args& args, const std::string& name, size_t fallback) {
   auto it = args.flags.find(name);
   if (it == args.flags.end()) return fallback;
-  return static_cast<size_t>(std::stoull(it->second));
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "wsvc: flag '%s' expects a number, got '%s'\n",
+                 name.c_str(), it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<size_t>(value);
 }
 
 void PrintVerdict(const char* what, const verifier::VerificationResult& r) {
@@ -173,7 +234,7 @@ int RunCheck(const Args& args, spec::Composition& comp) {
   return 0;
 }
 
-int RunVerify(const Args& args, spec::Composition& comp) {
+int RunVerify(const Args& args, spec::Composition& comp, CliReport* report) {
   auto it = args.flags.find("--property");
   if (it == args.flags.end()) {
     std::fprintf(stderr, "verify requires --property\n");
@@ -190,6 +251,8 @@ int RunVerify(const Args& args, spec::Composition& comp) {
   options.run.lossy = args.flags.count("--perfect") == 0;
   options.fresh_domain_size = FlagOr(args, "--fresh", 1);
   options.budget.max_states = FlagOr(args, "--max-states", 4000000);
+  options.max_databases =
+      FlagOr(args, "--max-databases", static_cast<size_t>(-1));
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -211,18 +274,21 @@ int RunVerify(const Args& args, spec::Composition& comp) {
                           ->ToString(comp, verifier.interner())
                           .c_str());
   }
-  return result->holds ? 0 : 3;
+  report->kind = "property";
+  int rc = result->holds ? 0 : 3;
+  report->result = std::move(*result);
+  return rc;
 }
 
-int RunProtocol(const Args& args, spec::Composition& comp) {
+int RunProtocol(const Args& args, spec::Composition& comp, CliReport* report) {
   auto it = args.flags.find("--ltl");
   if (it == args.flags.end()) {
     std::fprintf(stderr, "protocol requires --ltl\n");
     return 2;
   }
   auto observer = protocol::ObserverSemantics::kAtRecipient;
-  auto obs = args.flags.find("--observer");
-  if (obs != args.flags.end() && obs->second == "source") {
+  auto obs_flag = args.flags.find("--observer");
+  if (obs_flag != args.flags.end() && obs_flag->second == "source") {
     observer = protocol::ObserverSemantics::kAtSource;
   }
   auto proto = protocol::DataAgnosticProtocolFromLtl(comp, it->second,
@@ -235,6 +301,8 @@ int RunProtocol(const Args& args, spec::Composition& comp) {
   options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
   options.fresh_domain_size = FlagOr(args, "--fresh", 1);
   options.budget.max_states = FlagOr(args, "--max-states", 4000000);
+  options.max_databases =
+      FlagOr(args, "--max-databases", static_cast<size_t>(-1));
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -250,10 +318,13 @@ int RunProtocol(const Args& args, spec::Composition& comp) {
     return 1;
   }
   PrintVerdict("protocol", *result);
-  return result->holds ? 0 : 3;
+  report->kind = "protocol";
+  int rc = result->holds ? 0 : 3;
+  report->result = std::move(*result);
+  return rc;
 }
 
-int RunModular(const Args& args, spec::Composition& comp) {
+int RunModular(const Args& args, spec::Composition& comp, CliReport* report) {
   auto pit = args.flags.find("--property");
   auto eit = args.flags.find("--env");
   if (pit == args.flags.end() || eit == args.flags.end()) {
@@ -272,6 +343,8 @@ int RunModular(const Args& args, spec::Composition& comp) {
   options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
   options.fresh_domain_size = FlagOr(args, "--fresh", 1);
   options.budget.max_states = FlagOr(args, "--max-states", 8000000);
+  options.max_databases =
+      FlagOr(args, "--max-databases", static_cast<size_t>(-1));
   auto dom = args.flags.find("--env-domain");
   if (dom != args.flags.end()) {
     options.env_quantifier_domain = Split(dom->second, ',');
@@ -302,7 +375,10 @@ int RunModular(const Args& args, spec::Composition& comp) {
     return 1;
   }
   PrintVerdict("modular", *result);
-  return result->holds ? 0 : 3;
+  report->kind = "modular";
+  int rc = result->holds ? 0 : 3;
+  report->result = std::move(*result);
+  return rc;
 }
 
 int RunSimulate(const Args& args, spec::Composition& comp) {
@@ -344,11 +420,76 @@ int RunSimulate(const Args& args, spec::Composition& comp) {
   return 0;
 }
 
+/// Renders the "verdict" stats-JSON section from the command's result.
+std::string RenderVerdictJson(const CliReport& report, int exit_code) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("exit_code").Int(exit_code);
+  if (report.kind != nullptr && report.result.has_value()) {
+    const verifier::VerificationResult& r = *report.result;
+    w.Key("kind").String(report.kind);
+    w.Key("holds").Bool(r.holds);
+    w.Key("complete").Bool(r.complete);
+    w.Key("counterexample").Bool(r.counterexample.has_value());
+    w.Key("regime").BeginObject();
+    w.Key("ok").Bool(r.regime.ok());
+    w.Key("code").String(StatusCodeName(r.regime.code()));
+    w.Key("message").String(r.regime.message());
+    w.EndObject();
+    w.Key("budget_exceeded")
+        .Bool(r.regime.code() == StatusCode::kBudgetExceeded ||
+              r.stats.search.budget_hits > 0);
+    w.Key("stats").BeginObject();
+    w.Key("databases_checked").Uint(r.stats.databases_checked);
+    w.Key("valuations_checked").Uint(r.stats.valuations_checked);
+    w.Key("searches").Uint(r.stats.searches);
+    w.Key("prefiltered").Uint(r.stats.prefiltered);
+    w.Key("prefilter_memo_hits").Uint(r.stats.prefilter_memo_hits);
+    w.Key("prefilter_memo_misses").Uint(r.stats.prefilter_memo_misses);
+    w.Key("snapshots").Uint(r.stats.search.snapshots);
+    w.Key("graph_transitions").Uint(r.stats.search.graph_transitions);
+    w.Key("product_states").Uint(r.stats.search.product_states);
+    w.Key("product_transitions").Uint(r.stats.search.transitions);
+    w.Key("leaf_cache_hits").Uint(r.stats.search.leaf_cache_hits);
+    w.Key("leaf_cache_misses").Uint(r.stats.search.leaf_cache_misses);
+    w.Key("inner_searches").Uint(r.stats.search.inner_searches);
+    w.Key("budget_hits").Uint(r.stats.search.budget_hits);
+    w.EndObject();
+    w.Key("phase_ns").BeginObject();
+    w.Key("db_enum").Uint(r.stats.timings.db_enum_ns);
+    w.Key("graph_expand").Uint(r.stats.timings.graph_expand_ns);
+    w.Key("leaf_eval").Uint(r.stats.timings.leaf_eval_ns);
+    w.Key("prefilter").Uint(r.stats.timings.prefilter_ns);
+    w.Key("ndfs").Uint(r.stats.timings.ndfs_ns);
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+
+  // Observability setup: counters are always collected; phase timing,
+  // tracing and the heartbeat are enabled by their flags. --stats-json and
+  // -v imply timing so the per-phase numbers they report are non-zero.
+  bool verbose =
+      args.flags.count("-v") > 0 || args.flags.count("--verbose") > 0;
+  auto stats_path = args.flags.find("--stats-json");
+  auto trace_path = args.flags.find("--trace-json");
+  if (verbose || stats_path != args.flags.end()) {
+    obs::Registry::Global().set_timing_enabled(true);
+  }
+  if (trace_path != args.flags.end()) {
+    obs::TraceRecorder::Global().Enable();
+  }
+  if (args.flags.count("--progress") > 0) {
+    obs::ProgressMeter::Global().Enable(
+        static_cast<int64_t>(FlagOr(args, "--progress-ms", 1000)));
+  }
 
   auto source = ReadFile(args.spec_file);
   if (!source.ok()) {
@@ -361,14 +502,50 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (args.command == "check") return RunCheck(args, *comp);
-  if (args.command == "print") {
-    std::printf("%s", spec::PrintComposition(*comp).c_str());
-    return 0;
+  CliReport report;
+  int rc = 2;
+  {
+    obs::PhaseTimer total_phase("total");
+    if (args.command == "check") {
+      rc = RunCheck(args, *comp);
+    } else if (args.command == "print") {
+      std::printf("%s", spec::PrintComposition(*comp).c_str());
+      rc = 0;
+    } else if (args.command == "verify") {
+      rc = RunVerify(args, *comp, &report);
+    } else if (args.command == "protocol") {
+      rc = RunProtocol(args, *comp, &report);
+    } else if (args.command == "modular") {
+      rc = RunModular(args, *comp, &report);
+    } else if (args.command == "simulate") {
+      rc = RunSimulate(args, *comp);
+    }
   }
-  if (args.command == "verify") return RunVerify(args, *comp);
-  if (args.command == "protocol") return RunProtocol(args, *comp);
-  if (args.command == "modular") return RunModular(args, *comp);
-  if (args.command == "simulate") return RunSimulate(args, *comp);
-  return Usage();
+  obs::ProgressMeter::Global().FinalBeat();
+
+  if (stats_path != args.flags.end()) {
+    std::vector<std::pair<std::string, std::string>> extra;
+    extra.emplace_back("command", "\"" + obs::JsonEscape(args.command) + "\"");
+    extra.emplace_back("spec", "\"" + obs::JsonEscape(args.spec_file) + "\"");
+    extra.emplace_back("verdict", RenderVerdictJson(report, rc));
+    Status written = obs::WriteStatsJson(obs::Registry::Global(), "wsvc",
+                                         stats_path->second, extra);
+    if (!written.ok()) {
+      std::fprintf(stderr, "stats-json: %s\n", written.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (trace_path != args.flags.end()) {
+    Status written =
+        obs::TraceRecorder::Global().WriteFile(trace_path->second);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace-json: %s\n", written.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (verbose) {
+    std::fprintf(stderr, "--- observability summary ---\n%s",
+                 obs::RenderTextSummary(obs::Registry::Global()).c_str());
+  }
+  return rc;
 }
