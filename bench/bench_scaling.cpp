@@ -114,6 +114,49 @@ BENCHMARK(BM_RelationSweep)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Parallel database sweep at a fixed workload (arity 2: 2^(2^2) raw
+/// databases per relation): wall time versus worker count. UseRealTime —
+/// CPU time sums across workers and would hide the speedup.
+void BM_JobsSweep(benchmark::State& state) {
+  spec::Composition comp = SyntheticPeer(/*relations=*/2, /*arity=*/2);
+  auto property = ltl::Property::Parse(
+      "G(not (exists x0, x1: s0(x0, x1) and not r0(x0, x1)))");
+  if (!property.ok()) {
+    state.SkipWithError(property.status().ToString().c_str());
+    return;
+  }
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.budget.max_states = 500000;
+  options.jobs = static_cast<size_t>(state.range(0));
+  size_t databases = 0;
+  bench::ResetObs();
+  for (auto _ : state) {
+    verifier::Verifier verifier(&comp, options);
+    auto result = verifier.Verify(*property);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    if (!result->holds) {
+      state.SkipWithError("property unexpectedly violated");
+      return;
+    }
+    databases = result->stats.databases_checked;
+  }
+  bench::ExportObsCounters(state);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+  state.counters["databases"] = static_cast<double>(databases);
+}
+BENCHMARK(BM_JobsSweep)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -1,0 +1,56 @@
+#ifndef WSVERIFY_COMMON_THREAD_POOL_H_
+#define WSVERIFY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsv {
+
+/// A fixed-size worker pool over a FIFO task queue. Built for the parallel
+/// database sweep (long-running worker loops that pull shared work), but
+/// generic: any () -> void task can be submitted. Tasks must not throw.
+///
+/// Lifecycle: Submit() enqueues; Wait() blocks until the queue is drained
+/// and every worker is idle (tasks submitted from within tasks are
+/// honored); the destructor Wait()s and joins. The pool is not reentrant
+/// from its own workers' Wait() calls.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Resolves a user-facing jobs value: 0 selects the hardware concurrency
+  /// (at least 1); anything else passes through.
+  static size_t ResolveJobs(size_t jobs);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // Wait(): queue empty and none active
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wsv
+
+#endif  // WSVERIFY_COMMON_THREAD_POOL_H_

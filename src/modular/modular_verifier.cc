@@ -132,6 +132,7 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   engine_options.iso_reduction = options_.iso_reduction;
   engine_options.max_databases = options_.max_databases;
   engine_options.budget = options_.budget;
+  engine_options.jobs = options_.jobs;
   engine_options.fixed_databases = std::move(fixed);
   verifier::VerificationEngine engine(comp_, &interner_, pd.domain, pd.fresh,
                                       engine_options);
@@ -143,6 +144,7 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   result.stats.prefilter_memo_misses = outcome.prefilter_memo_misses;
   result.stats.prefilter_memo_hits = outcome.prefilter_memo_hits;
   result.stats.search = outcome.search_stats;
+  result.stats.jobs = outcome.jobs;
   result.stats.timings = outcome.timings;
   result.holds = !outcome.violation_found;
   if (outcome.violation_found) {
@@ -150,6 +152,7 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
     ce.databases = std::move(outcome.databases);
     ce.closure_valuation = std::move(outcome.label);
     ce.lasso = std::move(outcome.lasso);
+    ce.database_index = outcome.violation_db_index;
     result.counterexample = std::move(ce);
   }
   if (!outcome.budget_status.ok() && result.holds && result.regime.ok()) {

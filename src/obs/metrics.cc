@@ -4,21 +4,62 @@
 
 namespace wsv::obs {
 
+Histogram::Histogram(const Histogram& other) { *this = other; }
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  min_.store(other.min_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void Histogram::Record(uint64_t value) {
-  if (count_ == 0 || value < min_) min_ = value;
-  if (value > max_) max_ = value;
-  ++count_;
-  sum_ += value;
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (value < prev &&
+         !min_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
   // Bucket 0: exact zero. Bucket i: [2^(i-1), 2^i), i.e. bit_width(value).
-  ++buckets_[value == 0 ? 0 : std::bit_width(value)];
+  buckets_[value == 0 ? 0 : std::bit_width(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<uint64_t, kBuckets> out;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Histogram::Reset() {
-  count_ = 0;
-  sum_ = 0;
-  min_ = 0;
-  max_ = 0;
-  buckets_.fill(0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~static_cast<uint64_t>(0), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+TimerStat::TimerStat(const TimerStat& other) { *this = other; }
+
+TimerStat& TimerStat::operator=(const TimerStat& other) {
+  total_nanos_.store(other.total_nanos(), std::memory_order_relaxed);
+  count_.store(other.count(), std::memory_order_relaxed);
+  return *this;
 }
 
 Counter& Registry::counter(const std::string& name) {

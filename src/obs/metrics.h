@@ -2,6 +2,7 @@
 #define WSVERIFY_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -12,63 +13,86 @@
 
 namespace wsv::obs {
 
-/// A monotonic counter. Increments are plain (non-atomic): the verification
-/// pipeline is single-threaded, and observability must stay off the hot
-/// path's critical latency; a torn read from a future concurrent reporter
-/// would at worst misprint one heartbeat line.
+/// A monotonic counter. Increments are relaxed atomics: the parallel
+/// database sweep records from every worker thread, and relaxed fetch_add
+/// keeps the hot path to one uncontended RMW with no ordering fences.
+/// Cross-counter consistency is not guaranteed (a concurrent reader may see
+/// counter A ahead of counter B), which is fine for monitoring output.
 class Counter {
  public:
-  void Add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Power-of-two bucketed histogram of non-negative samples. Bucket 0 holds
 /// exact zeros; bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+/// Recording is lock-free (relaxed atomics; CAS loops for min/max); a
+/// snapshot copy taken while writers are active is internally consistent
+/// per field but fields may be mutually skewed by in-flight samples.
 class Histogram {
  public:
   /// Zeros + one bucket per bit of a uint64_t.
   static constexpr size_t kBuckets = 65;
 
+  Histogram() = default;
+  /// Snapshot copy (relaxed loads); safe concurrently with Record().
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
   void Record(uint64_t value);
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Min/max of recorded samples; 0 when empty.
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
-  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::array<uint64_t, kBuckets> buckets() const;
   void Reset();
 
  private:
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
-  std::array<uint64_t, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~static_cast<uint64_t>(0)};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
 /// Accumulated wall time of one named phase: total nanoseconds and the
-/// number of timed intervals folded in.
+/// number of timed intervals folded in. Accumulation is relaxed-atomic so
+/// worker threads can time phases concurrently; total and count advance
+/// independently (a reader may see one interval's nanos before its count).
 class TimerStat {
  public:
+  TimerStat() = default;
+  /// Snapshot copy (relaxed loads); safe concurrently with Add().
+  TimerStat(const TimerStat& other);
+  TimerStat& operator=(const TimerStat& other);
+
   void Add(int64_t nanos) {
-    total_nanos_ += nanos < 0 ? 0 : static_cast<uint64_t>(nanos);
-    ++count_;
+    total_nanos_.fetch_add(nanos < 0 ? 0 : static_cast<uint64_t>(nanos),
+                           std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
-  uint64_t total_nanos() const { return total_nanos_; }
-  uint64_t count() const { return count_; }
+  uint64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   void Reset() {
-    total_nanos_ = 0;
-    count_ = 0;
+    total_nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  uint64_t total_nanos_ = 0;
-  uint64_t count_ = 0;
+  std::atomic<uint64_t> total_nanos_{0};
+  std::atomic<uint64_t> count_{0};
 };
 
 /// Named registry of counters, histograms and phase timers. Instruments are
@@ -76,8 +100,9 @@ class TimerStat {
 /// returned references across Reset() (which zeroes values but keeps
 /// identities) — the hot path then pays one pointer chase per event.
 ///
-/// Registration is mutex-guarded; recording into an instrument is not (see
-/// Counter). Export snapshots are taken under the registration mutex.
+/// Registration is mutex-guarded; recording into an instrument is lock-free
+/// (relaxed atomics — see Counter). Export snapshots are taken under the
+/// registration mutex and are safe while worker threads keep recording.
 class Registry {
  public:
   Counter& counter(const std::string& name);
@@ -86,8 +111,12 @@ class Registry {
 
   /// Phase timing is opt-in: PhaseTimer reads this flag and skips its two
   /// clock calls entirely when off, keeping disabled overhead to one branch.
-  bool timing_enabled() const { return timing_enabled_; }
-  void set_timing_enabled(bool enabled) { timing_enabled_ = enabled; }
+  bool timing_enabled() const {
+    return timing_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_timing_enabled(bool enabled) {
+    timing_enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
   /// Zeroes every instrument, preserving identities (cached references in
   /// instrumented code stay valid).
@@ -103,7 +132,7 @@ class Registry {
 
  private:
   mutable std::mutex mu_;
-  bool timing_enabled_ = false;
+  std::atomic<bool> timing_enabled_{false};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<TimerStat>> timers_;

@@ -8,26 +8,35 @@
 namespace wsv::obs {
 
 void ProgressMeter::Enable(int64_t period_millis) {
-  enabled_ = true;
   period_nanos_ = period_millis * 1000000;
   started_nanos_ = NowNanos();
-  last_beat_nanos_ = started_nanos_;
+  last_beat_nanos_.store(started_nanos_, std::memory_order_relaxed);
   last_states_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 void ProgressMeter::MaybeBeat() {
-  if (!enabled_) return;
+  if (!enabled()) return;
   int64_t now = NowNanos();
-  if (now - last_beat_nanos_ < period_nanos_) return;
-  Beat(now, "progress");
+  int64_t last = last_beat_nanos_.load(std::memory_order_relaxed);
+  if (now - last < period_nanos_) return;
+  // One winner per period: the thread whose CAS lands prints this beat.
+  if (!last_beat_nanos_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+    return;
+  }
+  Beat(now, last, "progress");
 }
 
 void ProgressMeter::FinalBeat() {
-  if (!enabled_) return;
-  Beat(NowNanos(), "done");
+  if (!enabled()) return;
+  int64_t now = NowNanos();
+  int64_t last = last_beat_nanos_.exchange(now, std::memory_order_relaxed);
+  Beat(now, last, "done");
 }
 
-void ProgressMeter::Beat(int64_t now, const char* tag) {
+void ProgressMeter::Beat(int64_t now, int64_t window_start, const char* tag) {
+  std::lock_guard<std::mutex> lock(beat_mu_);
   Registry& registry = Registry::Global();
   uint64_t dbs = registry.counter("engine.databases_checked").value();
   uint64_t searches = registry.counter("engine.searches").value();
@@ -35,7 +44,7 @@ void ProgressMeter::Beat(int64_t now, const char* tag) {
   uint64_t snapshots = registry.counter("graph.snapshots").value();
   uint64_t states = registry.counter("ndfs.product_states").value();
   double elapsed = static_cast<double>(now - started_nanos_) / 1e9;
-  double window = static_cast<double>(now - last_beat_nanos_) / 1e9;
+  double window = static_cast<double>(now - window_start) / 1e9;
   double rate = window > 0
                     ? static_cast<double>(states - last_states_) / window
                     : 0.0;
@@ -47,7 +56,6 @@ void ProgressMeter::Beat(int64_t now, const char* tag) {
                static_cast<unsigned long long>(prefiltered),
                static_cast<unsigned long long>(snapshots),
                static_cast<unsigned long long>(states), rate);
-  last_beat_nanos_ = now;
   last_states_ = states;
 }
 

@@ -1,7 +1,9 @@
 #ifndef WSVERIFY_OBS_PROGRESS_H_
 #define WSVERIFY_OBS_PROGRESS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 namespace wsv::obs {
 
@@ -10,11 +12,16 @@ namespace wsv::obs {
 /// exploration rate since the previous beat. The pipeline calls MaybeBeat()
 /// at coarse points (per database, every few thousand product states); the
 /// meter rate-limits actual output to the configured period.
+///
+/// MaybeBeat() is safe from concurrent sweep workers: the period gate is a
+/// compare-exchange on the last-beat timestamp, so exactly one thread wins
+/// each period and prints (under a mutex protecting the rate window); losers
+/// return after one relaxed load.
 class ProgressMeter {
  public:
   void Enable(int64_t period_millis = 1000);
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Prints a heartbeat line if at least one period elapsed since the last.
   void MaybeBeat();
@@ -26,12 +33,13 @@ class ProgressMeter {
   static ProgressMeter& Global();
 
  private:
-  void Beat(int64_t now, const char* tag);
+  void Beat(int64_t now, int64_t window_start, const char* tag);
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   int64_t period_nanos_ = 0;
   int64_t started_nanos_ = 0;
-  int64_t last_beat_nanos_ = 0;
+  std::atomic<int64_t> last_beat_nanos_{0};
+  std::mutex beat_mu_;  // guards the print and the rate window below
   uint64_t last_states_ = 0;
 };
 

@@ -39,10 +39,12 @@ std::string RenderStatsJson(
     w.Key("max").Uint(histogram.max());
     // Buckets trimmed to the highest non-empty one; bucket i >= 1 counts
     // samples in [2^(i-1), 2^i), bucket 0 counts exact zeros.
+    const std::array<uint64_t, Histogram::kBuckets> buckets =
+        histogram.buckets();
     size_t last = Histogram::kBuckets;
-    while (last > 0 && histogram.buckets()[last - 1] == 0) --last;
+    while (last > 0 && buckets[last - 1] == 0) --last;
     w.Key("buckets").BeginArray();
-    for (size_t i = 0; i < last; ++i) w.Uint(histogram.buckets()[i]);
+    for (size_t i = 0; i < last; ++i) w.Uint(buckets[i]);
     w.EndArray();
     w.EndObject();
   }

@@ -8,13 +8,25 @@
 namespace wsv::obs {
 
 void TraceRecorder::Enable() {
-  enabled_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
   origin_nanos_ = NowNanos();
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 bool TraceRecorder::Admit() {
@@ -28,7 +40,9 @@ bool TraceRecorder::Admit() {
 void TraceRecorder::Complete(std::string name, const char* category,
                              int64_t start_nanos, int64_t dur_nanos,
                              std::string args_json) {
-  if (!enabled_ || !Admit()) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) return;
   events_.push_back(Event{std::move(name), category, 'X',
                           start_nanos - origin_nanos_, dur_nanos, 0,
                           std::move(args_json)});
@@ -36,7 +50,9 @@ void TraceRecorder::Complete(std::string name, const char* category,
 
 void TraceRecorder::Instant(std::string name, const char* category,
                             std::string args_json) {
-  if (!enabled_ || !Admit()) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) return;
   events_.push_back(Event{std::move(name), category, 'i',
                           NowNanos() - origin_nanos_, 0, 0,
                           std::move(args_json)});
@@ -44,12 +60,15 @@ void TraceRecorder::Instant(std::string name, const char* category,
 
 void TraceRecorder::CounterSample(std::string name, const char* category,
                                   uint64_t value) {
-  if (!enabled_ || !Admit()) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) return;
   events_.push_back(Event{std::move(name), category, 'C',
                           NowNanos() - origin_nanos_, 0, value, {}});
 }
 
 std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();

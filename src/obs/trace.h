@@ -1,7 +1,9 @@
 #ifndef WSVERIFY_OBS_TRACE_H_
 #define WSVERIFY_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,12 +20,16 @@ namespace wsv::obs {
 /// capped (SetMaxEvents) so a pathological run cannot exhaust memory; on
 /// overflow further events are dropped and counted, and the serialized
 /// trace ends with an instant event reporting the number dropped.
+///
+/// Record calls are safe from multiple threads (the buffer is mutex-guarded
+/// — events are rare relative to the work they span, so contention is
+/// negligible); the disabled path stays one relaxed atomic load.
 class TraceRecorder {
  public:
   /// Starts recording; timestamps are reported relative to this call.
   void Enable();
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Caps the buffer (default 1M events).
   void SetMaxEvents(size_t max_events) { max_events_ = max_events; }
@@ -40,8 +46,8 @@ class TraceRecorder {
   /// A counter sample ("ph":"C") — Perfetto renders these as value tracks.
   void CounterSample(std::string name, const char* category, uint64_t value);
 
-  size_t size() const { return events_.size(); }
-  uint64_t dropped() const { return dropped_; }
+  size_t size() const;
+  uint64_t dropped() const;
   void Clear();
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
@@ -62,9 +68,11 @@ class TraceRecorder {
     std::string args_json;
   };
 
+  /// Requires mu_ held.
   bool Admit();
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   size_t max_events_ = 1u << 20;
   int64_t origin_nanos_ = 0;
   uint64_t dropped_ = 0;

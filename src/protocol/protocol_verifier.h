@@ -15,6 +15,9 @@ struct ProtocolVerifierOptions {
   bool iso_reduction = true;
   size_t max_databases = static_cast<size_t>(-1);
   verifier::SearchBudget budget;
+  /// Worker threads for the database sweep (1 = serial, 0 = hardware
+  /// concurrency); see VerifierOptions::jobs.
+  size_t jobs = 1;
   automata::ComplementOptions complement;
   fo::InputBoundedOptions ib_options;
   bool require_decidable_regime = false;

@@ -1,6 +1,6 @@
 #include "verifier/db_enum.h"
 
-#include <cassert>
+#include <string>
 
 #include "data/isomorphism.h"
 #include "obs/metrics.h"
@@ -52,8 +52,17 @@ DatabaseEnumerator::DatabaseEnumerator(const spec::Composition* comp,
       slot.relation = r;
       slot.universe = TupleUniverse(domain_, db.relation(r).arity());
       slot.num_tuples = slot.universe.size();
-      assert(slot.num_tuples <= 63 &&
-             "database relation universe too large to enumerate");
+      // Slot::mask indexes subsets of the universe with a uint64_t, so 63
+      // tuples is the hard ceiling (bit 63 is reserved to keep the
+      // (1 << num_tuples) limit arithmetic in Advance() well defined).
+      if (slot.num_tuples > 63 && status_.ok()) {
+        status_ = Status::BudgetExceeded(
+            "database relation '" + db.relation(r).name + "' has a tuple "
+            "universe of " + std::to_string(slot.num_tuples) +
+            " (|domain|^arity) which exceeds the 63-tuple enumeration "
+            "limit; shrink the domain, the fresh-element count, or the "
+            "relation arity");
+      }
       slots_.push_back(std::move(slot));
     }
   }
@@ -103,6 +112,7 @@ bool DatabaseEnumerator::Next(std::vector<data::Instance>* out) {
   static obs::Counter& candidates = registry.counter("dbenum.candidates");
   static obs::Counter& iso_rejected = registry.counter("dbenum.iso_rejected");
   static obs::Counter& yielded = registry.counter("dbenum.yielded");
+  if (!status_.ok()) return false;
   while (!exhausted_) {
     if (first_) {
       first_ = false;  // start from the all-empty databases

@@ -27,6 +27,13 @@ class DatabaseEnumerator {
   /// Returns SIZE_MAX if the count overflows.
   size_t RawCount() const;
 
+  /// Non-OK when some relation's tuple universe |domain|^arity exceeds the
+  /// 63 tuples a Slot::mask can index — the sweep over 2^64+ subsets is
+  /// infeasible anyway, so this surfaces as a budget error instead of
+  /// silently-overflowing mask arithmetic. Next() yields nothing while
+  /// non-OK.
+  const Status& status() const { return status_; }
+
   /// Produces the next database vector (aligned with comp.peers());
   /// returns false when exhausted.
   bool Next(std::vector<data::Instance>* out);
@@ -51,6 +58,7 @@ class DatabaseEnumerator {
   std::vector<data::Value> movable_;
   bool iso_reduce_;
   std::vector<Slot> slots_;
+  Status status_ = Status::Ok();
   bool exhausted_ = false;
   bool first_ = true;
 };

@@ -3,11 +3,13 @@
 #include <unordered_map>
 
 #include "automata/emptiness.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/timer.h"
 #include "runtime/transition.h"
 #include "verifier/db_enum.h"
+#include "verifier/parallel_sweep.h"
 
 namespace wsv::verifier {
 
@@ -147,14 +149,14 @@ automata::BuchiAutomaton RestrictAutomaton(
 }  // namespace
 
 Result<bool> VerificationEngine::CheckDatabases(
-    SymbolicTask& task, const std::vector<data::Instance>& dbs,
-    EngineOutcome& outcome) {
+    const SymbolicTask& task, const std::vector<data::Instance>& dbs,
+    size_t db_index, EngineOutcome& outcome) {
   // One trace span per database sweep iteration; args built only when the
   // recorder is on so the common path stays allocation-free.
   obs::PhaseTimer db_span(
       "check_db",
       obs::TracingEnabled()
-          ? "{\"db\":" + std::to_string(outcome.databases_checked) + "}"
+          ? "{\"db\":" + std::to_string(db_index) + "}"
           : std::string());
   runtime::TransitionGenerator generator(comp_, dbs, domain_, interner_,
                                          options_.run);
@@ -263,7 +265,7 @@ Result<bool> VerificationEngine::CheckDatabases(
     bool empty_language;
     automata::BuchiAutomaton automaton;
   };
-  std::unordered_map<std::string, MemoEntry> prefilter_memo_;
+  std::unordered_map<std::string, MemoEntry> prefilter_memo;
 
   for (const std::vector<std::string>& valuation : task.valuations) {
     // Build this instance's per-leaf lookup rows.
@@ -313,8 +315,8 @@ Result<bool> VerificationEngine::CheckDatabases(
     bool any_fixed = false;
     for (int8_t t : rigid_truths) any_fixed = any_fixed || t >= 0;
     std::string memo_key(rigid_truths.begin(), rigid_truths.end());
-    auto memo = prefilter_memo_.find(memo_key);
-    if (memo == prefilter_memo_.end()) {
+    auto memo = prefilter_memo.find(memo_key);
+    if (memo == prefilter_memo.end()) {
       obs::PhaseTimer prefilter_phase("prefilter");
       ++outcome.prefilter_memo_misses;
       obs::Registry::Global().counter("engine.prefilter_memo_misses").Add(1);
@@ -322,7 +324,7 @@ Result<bool> VerificationEngine::CheckDatabases(
           any_fixed ? RestrictAutomaton(task.automaton, rigid_truths)
                     : task.automaton;
       bool empty = any_fixed && automata::IsEmptyLanguage(restricted);
-      memo = prefilter_memo_
+      memo = prefilter_memo
                  .emplace(std::move(memo_key),
                           MemoEntry{empty, std::move(restricted)})
                  .first;
@@ -359,7 +361,9 @@ Result<bool> VerificationEngine::CheckDatabases(
       return witness.status();
     }
     if (witness.value().has_value()) {
-      obs::Registry::Global().counter("engine.violations").Add(1);
+      // The engine.violations counter is bumped by Run() once the winning
+      // witness is selected — a parallel sweep may record candidates in
+      // several workers but reports exactly one.
       outcome.violation_found = true;
       outcome.databases = dbs;
       outcome.label = valuation;
@@ -409,6 +413,7 @@ void CountDatabase(EngineOutcome& outcome) {
 Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   EngineOutcome outcome;
   PhaseTimings timers_before = TimerSnapshot();
+  size_t jobs = ThreadPool::ResolveJobs(options_.jobs);
   obs::Registry::Global()
       .counter("engine.instances")
       .Add(task.valuations.empty() ? 1 : task.valuations.size());
@@ -417,17 +422,39 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   }
 
   if (options_.fixed_databases.has_value()) {
+    outcome.jobs = 1;  // a single pinned database: nothing to parallelize
     CountDatabase(outcome);
     WSV_ASSIGN_OR_RETURN(bool found,
                          CheckDatabases(task, *options_.fixed_databases,
-                                        outcome));
-    (void)found;
+                                        /*db_index=*/0, outcome));
+    if (found) {
+      outcome.violation_db_index = 0;
+      obs::Registry::Global().counter("engine.violations").Add(1);
+    }
     outcome.timings = TimerDelta(timers_before);
     return outcome;
   }
 
   DatabaseEnumerator enumerator(comp_, domain_, fresh_,
                                 options_.iso_reduction);
+  WSV_RETURN_IF_ERROR(enumerator.status());
+  outcome.jobs = jobs;
+  if (jobs > 1) {
+    ParallelSweep sweep(&enumerator, jobs, options_.max_databases);
+    WSV_ASSIGN_OR_RETURN(
+        EngineOutcome swept,
+        sweep.Run([&](size_t db_index, const std::vector<data::Instance>& dbs,
+                      EngineOutcome& worker_outcome) {
+          return CheckDatabases(task, dbs, db_index, worker_outcome);
+        }));
+    swept.jobs = jobs;
+    if (swept.violation_found) {
+      obs::Registry::Global().counter("engine.violations").Add(1);
+    }
+    swept.timings = TimerDelta(timers_before);
+    return swept;
+  }
+
   std::vector<data::Instance> dbs;
   auto next = [&] {
     obs::PhaseTimer enum_phase("db_enum");
@@ -440,9 +467,15 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
           "bounded");
       break;
     }
+    size_t db_index = outcome.databases_checked;
     CountDatabase(outcome);
-    WSV_ASSIGN_OR_RETURN(bool found, CheckDatabases(task, dbs, outcome));
-    if (found) break;
+    WSV_ASSIGN_OR_RETURN(bool found,
+                         CheckDatabases(task, dbs, db_index, outcome));
+    if (found) {
+      outcome.violation_db_index = db_index;
+      obs::Registry::Global().counter("engine.violations").Add(1);
+      break;
+    }
   }
   outcome.timings = TimerDelta(timers_before);
   return outcome;

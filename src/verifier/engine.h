@@ -76,6 +76,12 @@ struct EngineOptions {
   bool iso_reduction = true;
   size_t max_databases = static_cast<size_t>(-1);
   SearchBudget budget;
+  /// Worker threads for the database sweep. 1 = serial (default); 0 =
+  /// hardware concurrency. Parallel sweeps are deterministic: the verdict,
+  /// witness database index, label and lasso always match the serial run's
+  /// (aggregate statistics such as databases_checked may exceed them — see
+  /// ParallelSweep).
+  size_t jobs = 1;
   /// Verify against these databases only (skips enumeration).
   std::optional<std::vector<data::Instance>> fixed_databases;
 };
@@ -101,6 +107,13 @@ struct EngineOutcome {
   std::vector<data::Instance> databases;
   std::vector<std::string> label;
   LassoWitness lasso;
+  /// Position of the witness database in enumeration order (SIZE_MAX when
+  /// no violation). Identical across serial and parallel sweeps.
+  size_t violation_db_index = static_cast<size_t>(-1);
+
+  /// Worker threads the sweep actually ran with (EngineOptions::jobs after
+  /// resolving 0 to the hardware concurrency).
+  size_t jobs = 1;
 
   size_t databases_checked = 0;
   size_t searches = 0;
@@ -122,6 +135,10 @@ struct EngineOutcome {
 /// first violation. Per database: the configuration graph is explored once
 /// and shared by all instances; instances whose automaton is empty after
 /// fixing the database-rigid propositions are skipped without search.
+///
+/// With options.jobs > 1 the sweep runs on a worker pool (ParallelSweep):
+/// each worker checks whole databases against its private accumulators;
+/// the task, composition, interner and domain are shared read-only.
 class VerificationEngine {
  public:
   /// `comp` and `interner` must outlive the engine. `fresh` are the
@@ -132,11 +149,17 @@ class VerificationEngine {
 
   Result<EngineOutcome> Run(SymbolicTask& task);
 
- private:
-  Result<bool> CheckDatabases(SymbolicTask& task,
+  /// The per-database checking step of the sweep: explores the
+  /// configuration graph for `dbs` and runs every task instance against it,
+  /// accumulating into `outcome`. Returns true when a witness was recorded
+  /// (outcome.databases/label/lasso; the caller assigns the index).
+  /// `db_index` labels the trace span. Thread-safe for concurrent calls
+  /// with distinct `outcome` objects.
+  Result<bool> CheckDatabases(const SymbolicTask& task,
                               const std::vector<data::Instance>& dbs,
-                              EngineOutcome& outcome);
+                              size_t db_index, EngineOutcome& outcome);
 
+ private:
   const spec::Composition* comp_;
   const Interner* interner_;
   data::Domain domain_;

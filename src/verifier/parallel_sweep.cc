@@ -1,0 +1,207 @@
+#include "verifier/parallel_sweep.h"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/timer.h"
+
+namespace wsv::verifier {
+
+namespace {
+
+/// A violation found by one worker: everything needed to reconstruct the
+/// serial sweep's witness once the lowest index is known.
+struct Candidate {
+  size_t index;
+  std::vector<data::Instance> databases;
+  std::vector<std::string> label;
+  LassoWitness lasso;
+};
+
+/// Worker-local sweep state; only touched by its own thread until the
+/// barrier at the end of Run().
+struct Worker {
+  EngineOutcome outcome;
+  std::optional<Candidate> candidate;
+  /// (database index, status) per database whose check ended with a
+  /// non-OK budget status — replayed in serial order at merge time.
+  std::vector<std::pair<size_t, Status>> budget_events;
+  std::optional<std::pair<size_t, Status>> error;
+};
+
+void AddSearchStats(const SearchStats& from, SearchStats& into) {
+  into.snapshots += from.snapshots;
+  into.product_states += from.product_states;
+  into.transitions += from.transitions;
+  into.graph_transitions += from.graph_transitions;
+  into.leaf_cache_hits += from.leaf_cache_hits;
+  into.leaf_cache_misses += from.leaf_cache_misses;
+  into.inner_searches += from.inner_searches;
+  into.budget_hits += from.budget_hits;
+}
+
+}  // namespace
+
+ParallelSweep::ParallelSweep(DatabaseEnumerator* enumerator, size_t jobs,
+                             size_t max_databases)
+    : enumerator_(enumerator), jobs_(jobs), max_databases_(max_databases) {}
+
+Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
+  // Producer state: the enumerator and dispatch cursor, under one lock.
+  std::mutex producer_mu;
+  size_t next_index = 0;
+  bool max_databases_hit = false;
+
+  // Lowest witness index found so far; dispatch stops at or above it. Only
+  // ever lowered, so every index below the final value was dispatched (in
+  // order) and fully checked — the basis of the determinism guarantee.
+  std::atomic<size_t> stop_before{static_cast<size_t>(-1)};
+  // A hard (non-budget) error anywhere aborts all dispatch.
+  std::atomic<bool> abort{false};
+
+  std::vector<Worker> workers(jobs_);
+
+  static obs::Counter& dbs_counter =
+      obs::Registry::Global().counter("engine.databases_checked");
+
+  auto worker_fn = [&](size_t w) {
+    Worker& me = workers[w];
+    std::vector<data::Instance> dbs;
+    while (!abort.load(std::memory_order_acquire)) {
+      size_t index;
+      {
+        std::lock_guard<std::mutex> lock(producer_mu);
+        if (next_index >= stop_before.load(std::memory_order_acquire)) break;
+        if (next_index >= max_databases_) {
+          max_databases_hit = true;
+          break;
+        }
+        bool more = [&] {
+          obs::PhaseTimer enum_phase("db_enum");
+          return enumerator_->Next(&dbs);
+        }();
+        if (!more) break;
+        index = next_index++;
+      }
+      ++me.outcome.databases_checked;
+      dbs_counter.Add(1);
+      obs::ProgressMeter::Global().MaybeBeat();
+
+      Result<bool> found = check(index, dbs, me.outcome);
+      if (!found.ok()) {
+        if (!me.error.has_value() || index < me.error->first) {
+          me.error = {index, found.status()};
+        }
+        abort.store(true, std::memory_order_release);
+        break;
+      }
+      if (!me.outcome.budget_status.ok()) {
+        me.budget_events.emplace_back(index, me.outcome.budget_status);
+        me.outcome.budget_status = Status::Ok();
+      }
+      if (*found) {
+        me.candidate = Candidate{index, std::move(me.outcome.databases),
+                                 std::move(me.outcome.label),
+                                 std::move(me.outcome.lasso)};
+        me.outcome.violation_found = false;
+        me.outcome.databases.clear();
+        me.outcome.label.clear();
+        me.outcome.lasso = LassoWitness{};
+        // Lower the dispatch fence; CAS-min since another worker may have
+        // found an earlier witness concurrently.
+        size_t cur = stop_before.load(std::memory_order_acquire);
+        while (index < cur &&
+               !stop_before.compare_exchange_weak(
+                   cur, index, std::memory_order_acq_rel)) {
+        }
+        // This worker's future pulls would all have higher indices than its
+        // own witness — nothing left for it to decide.
+        break;
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(jobs_);
+    for (size_t w = 0; w < jobs_; ++w) {
+      pool.Submit([&worker_fn, w] { worker_fn(w); });
+    }
+    pool.Wait();
+  }
+
+  // --- Merge: sums first, then the deterministic winner selection. ---
+  EngineOutcome merged;
+  for (const Worker& w : workers) {
+    merged.databases_checked += w.outcome.databases_checked;
+    merged.searches += w.outcome.searches;
+    merged.prefiltered += w.outcome.prefiltered;
+    merged.prefilter_memo_misses += w.outcome.prefilter_memo_misses;
+    merged.prefilter_memo_hits += w.outcome.prefilter_memo_hits;
+    AddSearchStats(w.outcome.search_stats, merged.search_stats);
+  }
+
+  // Lowest-index witness and lowest-index hard error across workers.
+  Candidate* best = nullptr;
+  for (Worker& w : workers) {
+    if (w.candidate.has_value() &&
+        (best == nullptr || w.candidate->index < best->index)) {
+      best = &*w.candidate;
+    }
+  }
+  std::optional<std::pair<size_t, Status>> first_error;
+  for (const Worker& w : workers) {
+    if (w.error.has_value() &&
+        (!first_error.has_value() || w.error->first < first_error->first)) {
+      first_error = w.error;
+    }
+  }
+
+  // The serial sweep processes indices in order, so whichever of
+  // {first witness, first hard error} has the lower index is what it would
+  // have reported; the other is unreachable.
+  if (first_error.has_value() &&
+      (best == nullptr || first_error->first < best->index)) {
+    return first_error->second;
+  }
+
+  if (best != nullptr) {
+    merged.violation_found = true;
+    merged.violation_db_index = best->index;
+    merged.databases = std::move(best->databases);
+    merged.label = std::move(best->label);
+    merged.lasso = std::move(best->lasso);
+  }
+
+  // Budget status, serial-equivalent: the serial sweep overwrites
+  // budget_status per database, so it ends with the event of the highest
+  // index it processed — which is at most the witness index (it stops
+  // there). Events beyond the witness come from in-flight databases the
+  // serial sweep never reaches; drop them.
+  size_t cutoff =
+      best != nullptr ? best->index : static_cast<size_t>(-1);
+  std::optional<std::pair<size_t, Status>> last_budget;
+  for (const Worker& w : workers) {
+    for (const auto& event : w.budget_events) {
+      if (event.first > cutoff) continue;
+      if (!last_budget.has_value() || event.first > last_budget->first) {
+        last_budget = event;
+      }
+    }
+  }
+  if (last_budget.has_value()) {
+    merged.budget_status = last_budget->second;
+  }
+  if (best == nullptr && max_databases_hit) {
+    merged.budget_status = Status::BudgetExceeded(
+        "database enumeration stopped at max_databases; verdict is "
+        "bounded");
+  }
+  return merged;
+}
+
+}  // namespace wsv::verifier

@@ -1,0 +1,59 @@
+#ifndef WSVERIFY_VERIFIER_PARALLEL_SWEEP_H_
+#define WSVERIFY_VERIFIER_PARALLEL_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "data/instance.h"
+#include "verifier/db_enum.h"
+#include "verifier/engine.h"
+
+namespace wsv::verifier {
+
+/// Multi-threaded database sweep with deterministic first-violation
+/// semantics: `jobs` workers pull databases from the enumerator under a
+/// producer lock (enumeration is cheap; checking is expensive) and run the
+/// check callback on worker-local EngineOutcome accumulators, merged when
+/// all workers have drained.
+///
+/// Determinism guarantee: the reported witness is always the one with the
+/// LOWEST database index in enumeration order, bit-for-bit identical to the
+/// serial sweep's. Dispatch is monotone in the index and stops below the
+/// current best witness index, so every database preceding the winner is
+/// fully checked before the sweep concludes; databases beyond the winner
+/// that were already in flight only contribute to the aggregate statistics
+/// (databases_checked and friends may exceed their serial values — verdict,
+/// witness index, witness label and lasso never differ).
+class ParallelSweep {
+ public:
+  /// Per-database check: `db_index` is the database's position in
+  /// enumeration order, `dbs` the materialized instances (worker-owned),
+  /// `outcome` the calling worker's private accumulator. Returns true when
+  /// a violation witness was recorded into `outcome`. Must be safe to call
+  /// concurrently on distinct `outcome` objects (shared inputs read-only).
+  using CheckFn = std::function<Result<bool>(
+      size_t db_index, const std::vector<data::Instance>& dbs,
+      EngineOutcome& outcome)>;
+
+  /// `enumerator` must outlive the sweep and be freshly positioned; it is
+  /// only advanced under the internal producer lock.
+  ParallelSweep(DatabaseEnumerator* enumerator, size_t jobs,
+                size_t max_databases);
+
+  /// Runs the sweep to completion and merges the worker outcomes. The
+  /// merged outcome carries summed statistics, the lowest-index witness (if
+  /// any) and serial-equivalent budget status. Hard (non-budget) errors
+  /// abort the sweep and are returned, unless a witness with a lower
+  /// database index makes them unreachable in the serial order.
+  Result<EngineOutcome> Run(const CheckFn& check);
+
+ private:
+  DatabaseEnumerator* enumerator_;
+  size_t jobs_;
+  size_t max_databases_;
+};
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_PARALLEL_SWEEP_H_

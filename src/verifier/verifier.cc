@@ -125,6 +125,7 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
   engine_options.iso_reduction = options_.iso_reduction;
   engine_options.max_databases = options_.max_databases;
   engine_options.budget = options_.budget;
+  engine_options.jobs = options_.jobs;
   engine_options.fixed_databases = std::move(fixed);
   VerificationEngine engine(comp_, &interner_, domain_, fresh_values_,
                             engine_options);
@@ -136,6 +137,7 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
   result.stats.prefilter_memo_misses = outcome.prefilter_memo_misses;
   result.stats.prefilter_memo_hits = outcome.prefilter_memo_hits;
   result.stats.search = outcome.search_stats;
+  result.stats.jobs = outcome.jobs;
   result.stats.timings = outcome.timings;
   result.holds = !outcome.violation_found;
   if (outcome.violation_found) {
@@ -143,6 +145,7 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
     ce.databases = std::move(outcome.databases);
     ce.closure_valuation = std::move(outcome.label);
     ce.lasso = std::move(outcome.lasso);
+    ce.database_index = outcome.violation_db_index;
     result.counterexample = std::move(ce);
   }
   if (!outcome.budget_status.ok() && result.holds && result.regime.ok()) {

@@ -36,6 +36,10 @@ struct VerifierOptions {
   /// Per-search state cap.
   SearchBudget budget;
 
+  /// Worker threads for the database sweep (1 = serial, 0 = hardware
+  /// concurrency). Verdict and counterexample are identical at any setting.
+  size_t jobs = 1;
+
   /// Refuse to run (rather than degrade to a bounded verdict) when the
   /// instance falls outside the decidable regime of Theorem 3.4.
   bool require_decidable_regime = false;
@@ -55,6 +59,10 @@ struct Counterexample {
   std::vector<data::Instance> databases;
   std::vector<std::string> closure_valuation;  // constant spellings
   LassoWitness lasso;
+  /// Position of the witness database in enumeration order; identical
+  /// across serial and parallel sweeps (SIZE_MAX for fixed databases only
+  /// when no enumeration happened — then it is 0).
+  size_t database_index = 0;
 
   std::string ToString(const spec::Composition& comp,
                        const Interner& interner) const;
@@ -70,6 +78,9 @@ struct VerificationStats {
   /// Prefilter memoization effectiveness across valuations.
   size_t prefilter_memo_misses = 0;
   size_t prefilter_memo_hits = 0;
+  /// Worker threads the database sweep ran with (after resolving jobs=0 to
+  /// the hardware concurrency).
+  size_t jobs = 1;
   SearchStats search;
   /// Per-phase wall time of the engine run (zero unless
   /// obs::Registry::Global().timing_enabled()).

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "automata/buchi.h"
 #include "automata/emptiness.h"
 #include "common/interner.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace wsv {
 namespace {
@@ -136,6 +139,37 @@ TEST(BuchiUtil, DeterminismAndCompletenessChecks) {
   nondet.AddAcceptingSet({n1});
   EXPECT_FALSE(nondet.IsDeterministic());
   EXPECT_FALSE(nondet.IsComplete());  // n1 has no outgoing transitions
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::ResolveJobs(3), 3u);
+  EXPECT_GE(ThreadPool::ResolveJobs(0), 1u);  // 0 = hardware concurrency
 }
 
 }  // namespace

@@ -60,6 +60,38 @@ peer P { database { r(x); } rules { } }
   }
 }
 
+/// Slot::mask indexes relation subsets with a uint64_t, so a tuple universe
+/// beyond 63 tuples (|domain|^arity) must surface as an explicit error, not
+/// silent shift overflow.
+TEST(DatabaseEnumerator, OversizedTupleUniverseIsAnError) {
+  auto comp = spec::ParseComposition(R"(
+peer P { database { r(x, y); } rules { } }
+)");
+  ASSERT_TRUE(comp.ok());
+  PseudoDomain pd = BuildPseudoDomain(*comp, {}, 9);  // 9^2 = 81 > 63
+  DatabaseEnumerator overflow(&*comp, pd.domain, pd.fresh,
+                              /*iso_reduce=*/true);
+  EXPECT_FALSE(overflow.status().ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kBudgetExceeded);
+  std::vector<data::Instance> dbs;
+  EXPECT_FALSE(overflow.Next(&dbs));  // yields nothing instead of garbage
+
+  PseudoDomain small = BuildPseudoDomain(*comp, {}, 7);  // 7^2 = 49 <= 63
+  DatabaseEnumerator fits(&*comp, small.domain, small.fresh,
+                          /*iso_reduce=*/true);
+  EXPECT_TRUE(fits.status().ok());
+
+  // The engine propagates the error instead of reporting a bogus verdict.
+  auto property = ltl::Property::Parse("G true");
+  ASSERT_TRUE(property.ok());
+  VerifierOptions options;
+  options.fresh_domain_size = 9;
+  Verifier verifier(&*comp, options);
+  auto result = verifier.Verify(*property);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded);
+}
+
 TEST(DatabaseEnumerator, ResetRestarts) {
   auto comp = spec::ParseComposition(R"(
 peer P { database { r(x); } rules { } }

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ltl/property.h"
+#include "obs/metrics.h"
+#include "spec/parser.h"
+#include "verifier/verifier.h"
+
+namespace wsv::verifier {
+namespace {
+
+constexpr char kPingPong[] = R"(
+peer Requester {
+  database { item(x); }
+  input    { ask(x); }
+  state    { got(x); }
+  inqueue flat  { resp(x); }
+  outqueue flat { req(x); }
+  rules {
+    options ask(x) :- item(x);
+    send req(x) :- ask(x);
+    insert got(x) :- ?resp(x);
+  }
+}
+peer Responder {
+  inqueue flat  { req(x); }
+  outqueue flat { resp(x); }
+  rules {
+    send resp(x) :- ?req(x);
+  }
+}
+)";
+
+/// One verification run at a given jobs setting, with the observability
+/// registry reset so per-run counters (engine.violations) are observable.
+struct RunResult {
+  VerificationResult result;
+  std::string counterexample_text;  // empty when holds
+  uint64_t violations_counter = 0;
+};
+
+RunResult VerifyWithJobs(const spec::Composition& comp,
+                         const std::string& property_text, size_t jobs) {
+  obs::Registry::Global().Reset();
+  auto property = ltl::Property::Parse(property_text);
+  EXPECT_TRUE(property.ok()) << property.status();
+  VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.jobs = jobs;
+  Verifier verifier(&comp, options);
+  auto result = verifier.Verify(*property);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunResult run;
+  run.result = std::move(*result);
+  if (run.result.counterexample.has_value()) {
+    run.counterexample_text =
+        run.result.counterexample->ToString(comp, verifier.interner());
+  }
+  run.violations_counter =
+      obs::Registry::Global().counter("engine.violations").value();
+  return run;
+}
+
+/// The determinism contract: verdict, witness database index, witness
+/// valuation and the full rendered counterexample are bit-for-bit identical
+/// at jobs = 1, 2 and 4, and exactly one violation is reported regardless
+/// of how many workers found candidates concurrently.
+TEST(ParallelSweep, ViolationIsDeterministicAcrossJobCounts) {
+  auto comp = spec::ParseComposition(kPingPong);
+  ASSERT_TRUE(comp.ok());
+  const std::string property = "forall x: G(not Requester.got(x))";
+
+  RunResult serial = VerifyWithJobs(*comp, property, 1);
+  ASSERT_FALSE(serial.result.holds);
+  ASSERT_TRUE(serial.result.counterexample.has_value());
+  EXPECT_EQ(serial.violations_counter, 1u);
+  EXPECT_EQ(serial.result.stats.jobs, 1u);
+  const size_t serial_index = serial.result.counterexample->database_index;
+  const size_t serial_checked = serial.result.stats.databases_checked;
+
+  for (size_t jobs : {2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    RunResult parallel = VerifyWithJobs(*comp, property, jobs);
+    ASSERT_FALSE(parallel.result.holds);
+    ASSERT_TRUE(parallel.result.counterexample.has_value());
+    EXPECT_EQ(parallel.result.stats.jobs, jobs);
+    EXPECT_EQ(parallel.result.counterexample->database_index, serial_index);
+    EXPECT_EQ(parallel.result.counterexample->closure_valuation,
+              serial.result.counterexample->closure_valuation);
+    EXPECT_EQ(parallel.counterexample_text, serial.counterexample_text);
+    // Exactly one violation is reported even when several workers had
+    // in-flight candidates.
+    EXPECT_EQ(parallel.violations_counter, 1u);
+    // In-flight databases beyond the witness may add to the aggregate, but
+    // everything before the witness must have been checked.
+    EXPECT_GE(parallel.result.stats.databases_checked, serial_checked);
+  }
+}
+
+/// When the property holds the sweep runs to exhaustion: every database is
+/// dispatched exactly once, so all aggregate statistics match the serial
+/// run's exactly.
+TEST(ParallelSweep, HoldsVerdictHasIdenticalStatistics) {
+  auto comp = spec::ParseComposition(kPingPong);
+  ASSERT_TRUE(comp.ok());
+  const std::string property =
+      "forall x: G(Requester.got(x) -> Requester.item(x))";
+
+  RunResult serial = VerifyWithJobs(*comp, property, 1);
+  ASSERT_TRUE(serial.result.holds);
+  EXPECT_EQ(serial.violations_counter, 0u);
+
+  for (size_t jobs : {2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    RunResult parallel = VerifyWithJobs(*comp, property, jobs);
+    EXPECT_TRUE(parallel.result.holds);
+    EXPECT_EQ(parallel.violations_counter, 0u);
+    EXPECT_EQ(parallel.result.stats.databases_checked,
+              serial.result.stats.databases_checked);
+    EXPECT_EQ(parallel.result.stats.searches, serial.result.stats.searches);
+    EXPECT_EQ(parallel.result.stats.prefiltered,
+              serial.result.stats.prefiltered);
+    EXPECT_EQ(parallel.result.stats.search.snapshots,
+              serial.result.stats.search.snapshots);
+    EXPECT_EQ(parallel.result.stats.search.product_states,
+              serial.result.stats.search.product_states);
+  }
+}
+
+/// jobs = 0 resolves to the hardware concurrency (at least one worker) and
+/// reports the resolved value back through the stats.
+TEST(ParallelSweep, JobsZeroResolvesToHardwareConcurrency) {
+  auto comp = spec::ParseComposition(kPingPong);
+  ASSERT_TRUE(comp.ok());
+  RunResult run = VerifyWithJobs(
+      *comp, "forall x: G(Requester.got(x) -> Requester.item(x))", 0);
+  EXPECT_TRUE(run.result.holds);
+  EXPECT_GE(run.result.stats.jobs, 1u);
+}
+
+/// max_databases still produces the bounded-verdict budget status when the
+/// sweep is parallel.
+TEST(ParallelSweep, MaxDatabasesBoundsParallelSweep) {
+  auto comp = spec::ParseComposition(kPingPong);
+  ASSERT_TRUE(comp.ok());
+  obs::Registry::Global().Reset();
+  auto property =
+      ltl::Property::Parse("forall x: G(Requester.got(x) -> "
+                           "Requester.item(x))");
+  ASSERT_TRUE(property.ok());
+  VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.jobs = 4;
+  options.max_databases = 1;
+  Verifier verifier(&*comp, options);
+  auto result = verifier.Verify(*property);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->holds);
+  EXPECT_LE(result->stats.databases_checked, 1u);
+  EXPECT_FALSE(result->regime.ok());  // bounded verdict flagged
+  EXPECT_FALSE(result->complete);
+}
+
+}  // namespace
+}  // namespace wsv::verifier

@@ -67,6 +67,9 @@ def check_stats(path):
         if "stats" in verdict:
             expect(isinstance(verdict["stats"], dict),
                    "'verdict.stats' must be an object")
+            jobs = verdict["stats"].get("jobs")
+            expect(isinstance(jobs, int) and jobs >= 1,
+                   "'verdict.stats.jobs' must be a positive integer")
         if "phase_ns" in verdict:
             for phase in ("db_enum", "graph_expand", "leaf_eval", "ndfs"):
                 expect(isinstance(verdict["phase_ns"].get(phase), int),

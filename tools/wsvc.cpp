@@ -53,7 +53,8 @@ const std::set<std::string>& ValueFlags() {
       "--property",  "--ltl",           "--env",        "--observer",
       "--queue-bound", "--fresh",       "--max-states", "--max-databases",
       "--steps",     "--seed",          "--db",         "--env-msg",
-      "--env-domain", "--stats-json",   "--trace-json", "--progress-ms"};
+      "--env-domain", "--stats-json",   "--trace-json", "--progress-ms",
+      "--jobs"};
   return flags;
 }
 
@@ -87,6 +88,9 @@ int Usage() {
       "  --fresh <n>              fresh pseudo-domain elements (default 1)\n"
       "  --max-states <n>         product-state budget per search\n"
       "  --max-databases <n>      stop the database sweep after n databases\n"
+      "  --jobs <n>               worker threads for the database sweep\n"
+      "                           (default 1; 0 = hardware concurrency);\n"
+      "                           verdict and witness are identical at any n\n"
       "  --steps <n> / --seed <s> simulation length / RNG seed (simulate)\n"
       "  --trace                  print the counterexample run\n"
       "\n"
@@ -253,6 +257,7 @@ int RunVerify(const Args& args, spec::Composition& comp, CliReport* report) {
   options.budget.max_states = FlagOr(args, "--max-states", 4000000);
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
+  options.jobs = FlagOr(args, "--jobs", 1);
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -303,6 +308,7 @@ int RunProtocol(const Args& args, spec::Composition& comp, CliReport* report) {
   options.budget.max_states = FlagOr(args, "--max-states", 4000000);
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
+  options.jobs = FlagOr(args, "--jobs", 1);
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -345,6 +351,7 @@ int RunModular(const Args& args, spec::Composition& comp, CliReport* report) {
   options.budget.max_states = FlagOr(args, "--max-states", 8000000);
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
+  options.jobs = FlagOr(args, "--jobs", 1);
   auto dom = args.flags.find("--env-domain");
   if (dom != args.flags.end()) {
     options.env_quantifier_domain = Split(dom->second, ',');
@@ -431,6 +438,9 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
     w.Key("holds").Bool(r.holds);
     w.Key("complete").Bool(r.complete);
     w.Key("counterexample").Bool(r.counterexample.has_value());
+    if (r.counterexample.has_value()) {
+      w.Key("witness_db_index").Uint(r.counterexample->database_index);
+    }
     w.Key("regime").BeginObject();
     w.Key("ok").Bool(r.regime.ok());
     w.Key("code").String(StatusCodeName(r.regime.code()));
@@ -440,6 +450,7 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
         .Bool(r.regime.code() == StatusCode::kBudgetExceeded ||
               r.stats.search.budget_hits > 0);
     w.Key("stats").BeginObject();
+    w.Key("jobs").Uint(r.stats.jobs);
     w.Key("databases_checked").Uint(r.stats.databases_checked);
     w.Key("valuations_checked").Uint(r.stats.valuations_checked);
     w.Key("searches").Uint(r.stats.searches);
