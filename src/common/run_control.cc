@@ -1,0 +1,102 @@
+#include "common/run_control.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace wsv {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kComplete:
+      return "complete";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCanceled:
+      return "canceled";
+    case StopReason::kDbFailures:
+      return "db-failures";
+  }
+  return "complete";
+}
+
+bool ParseStopReason(const char* text, StopReason* out) {
+  for (StopReason r : {StopReason::kComplete, StopReason::kBudget,
+                       StopReason::kDeadline, StopReason::kCanceled,
+                       StopReason::kDbFailures}) {
+    if (std::strcmp(text, StopReasonName(r)) == 0) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+StopReason StopReasonFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kBudgetExceeded:
+      return StopReason::kBudget;
+    case StatusCode::kDeadlineExceeded:
+      return StopReason::kDeadline;
+    case StatusCode::kCanceled:
+      return StopReason::kCanceled;
+    case StatusCode::kPartialFailure:
+      return StopReason::kDbFailures;
+    default:
+      return StopReason::kComplete;
+  }
+}
+
+void RunControl::ArmDeadlineMs(uint64_t ms) {
+  if (ms == 0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  deadline_ns_.store(
+      SteadyNowNs() + static_cast<int64_t>(ms) * 1'000'000,
+      std::memory_order_relaxed);
+}
+
+Status RunControl::Check() const {
+  if (cancel_.load(std::memory_order_relaxed)) {
+    return Status::Canceled(
+        "cancellation requested; results cover the completed prefix only");
+  }
+  if (deadline_hit_.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded(
+        "wall-clock deadline exceeded; results cover the completed prefix "
+        "only");
+  }
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && SteadyNowNs() >= deadline) {
+    deadline_hit_.store(true, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        "wall-clock deadline exceeded; results cover the completed prefix "
+        "only");
+  }
+  return Status::Ok();
+}
+
+void RunControl::Reset() {
+  cancel_.store(false, std::memory_order_relaxed);
+  deadline_ns_.store(0, std::memory_order_relaxed);
+  deadline_hit_.store(false, std::memory_order_relaxed);
+}
+
+RunControl& RunControl::Global() {
+  static RunControl* control = new RunControl();
+  return *control;
+}
+
+}  // namespace wsv

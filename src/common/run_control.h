@@ -1,0 +1,99 @@
+#ifndef WSVERIFY_COMMON_RUN_CONTROL_H_
+#define WSVERIFY_COMMON_RUN_CONTROL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace wsv {
+
+/// Why a verification run stopped where it did. `kComplete` means the full
+/// state space (within the configured bounds) was covered; every other
+/// value marks a partial-but-sound result: a reported violation is always
+/// real, while a clean pass is relative to what was actually explored.
+enum class StopReason {
+  kComplete = 0,
+  /// A per-search or per-sweep budget (max_states, max_databases) was hit.
+  kBudget,
+  /// The wall-clock deadline expired.
+  kDeadline,
+  /// Cooperative cancellation (Ctrl-C, caller token).
+  kCanceled,
+  /// Some databases' checks failed hard and were skipped.
+  kDbFailures,
+};
+
+/// Stable lowercase names used in verdict JSON and checkpoints
+/// ("complete", "budget", "deadline", "canceled", "db-failures").
+const char* StopReasonName(StopReason reason);
+
+/// Parses a StopReasonName back; false when `text` matches no reason.
+bool ParseStopReason(const char* text, StopReason* out);
+
+/// Maps a sweep-stopping Status onto the StopReason taxonomy: OK ->
+/// complete, kBudgetExceeded -> budget, kDeadlineExceeded -> deadline,
+/// kCanceled -> canceled, kPartialFailure -> db-failures. Any other code is
+/// a hard error and maps to complete (callers never feed those here).
+StopReason StopReasonFromStatus(const Status& status);
+
+/// Shared run-control state for one verification run: a wall-clock deadline
+/// and a cooperative cancellation token. Every long loop of the pipeline
+/// (NDFS, snapshot-graph expansion, the valuation loop, sweep dispatch)
+/// polls Check() at a coarse stride (~1k iterations), so a stop request
+/// takes effect within milliseconds without per-iteration cost.
+///
+/// Thread-safety: all members are lock-free atomics. RequestCancel() is
+/// async-signal-safe (a relaxed store), so a SIGINT handler may call it.
+class RunControl {
+ public:
+  RunControl() = default;
+
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Arms a wall-clock deadline `ms` milliseconds from now; 0 disarms.
+  void ArmDeadlineMs(uint64_t ms);
+
+  /// Requests cooperative cancellation. Async-signal-safe; idempotent.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  bool deadline_armed() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Non-OK exactly when the run should stop: kCanceled after
+  /// RequestCancel(), kDeadlineExceeded once the armed deadline has passed
+  /// (latched — it stays expired even if re-armed later). Costs two relaxed
+  /// loads plus, while a deadline is armed, one steady_clock read.
+  Status Check() const;
+
+  /// True for the statuses Check() produces — the "wind down and report
+  /// partial results" statuses, as opposed to hard errors.
+  static bool IsStopStatus(const Status& status) {
+    return status.code() == StatusCode::kDeadlineExceeded ||
+           status.code() == StatusCode::kCanceled;
+  }
+
+  /// Clears the cancel flag and disarms the deadline (tests, reuse).
+  void Reset();
+
+  /// Process-wide instance, shared by the CLI's signal handler and the
+  /// verifier options it builds.
+  static RunControl& Global();
+
+ private:
+  std::atomic<bool> cancel_{false};
+  /// Deadline as nanoseconds on the steady clock; 0 = disarmed.
+  std::atomic<int64_t> deadline_ns_{0};
+  /// Latched once the deadline is observed expired, so subsequent checks
+  /// skip the clock read.
+  mutable std::atomic<bool> deadline_hit_{false};
+};
+
+}  // namespace wsv
+
+#endif  // WSVERIFY_COMMON_RUN_CONTROL_H_

@@ -18,6 +18,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCanceled:
+      return "Canceled";
+    case StatusCode::kPartialFailure:
+      return "PartialFailure";
   }
   return "Unknown";
 }

@@ -30,6 +30,13 @@ enum class StatusCode {
   kInternal,
   /// Requested entity (relation, peer, channel) does not exist.
   kNotFound,
+  /// The run hit its wall-clock deadline; results are partial but sound.
+  kDeadlineExceeded,
+  /// Cooperative cancellation (Ctrl-C, caller token) stopped the run.
+  kCanceled,
+  /// Some per-database checks failed and were skipped; the verdict is
+  /// bounded to the databases that completed.
+  kPartialFailure,
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -64,6 +71,15 @@ class Status {
   }
   static Status NotFound(std::string m) {
     return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Canceled(std::string m) {
+    return Status(StatusCode::kCanceled, std::move(m));
+  }
+  static Status PartialFailure(std::string m) {
+    return Status(StatusCode::kPartialFailure, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <stdexcept>
+#include <utility>
+
 namespace wsv {
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -20,10 +23,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, Completion done) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), std::move(done)});
   }
   work_cv_.notify_one();
 }
@@ -33,17 +36,47 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadPool::Shutdown() {
+  std::deque<Task> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(queue_);
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  if (dropped.empty()) return;
+  std::exception_ptr canceled = std::make_exception_ptr(
+      std::runtime_error("task canceled: ThreadPool::Shutdown dropped it "
+                         "before it started"));
+  for (Task& task : dropped) {
+    if (task.done) task.done(canceled);
+  }
+}
+
+std::exception_ptr ThreadPool::first_exception() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_exception_;
+}
+
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (stop_ && queue_.empty()) return;
-    std::function<void()> task = std::move(queue_.front());
+    Task task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    task();
+    // The exception boundary: a throw here would otherwise escape the
+    // thread and std::terminate the whole process.
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (task.done) task.done(error);
     lock.lock();
+    if (error && !task.done && !first_exception_) first_exception_ = error;
     --active_;
     if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
   }

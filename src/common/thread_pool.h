@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -13,14 +14,27 @@ namespace wsv {
 
 /// A fixed-size worker pool over a FIFO task queue. Built for the parallel
 /// database sweep (long-running worker loops that pull shared work), but
-/// generic: any () -> void task can be submitted. Tasks must not throw.
+/// generic: any () -> void task can be submitted.
+///
+/// Exceptions: a throwing task never escapes its worker thread (that would
+/// std::terminate the process). The worker catches everything and hands the
+/// std::exception_ptr to the task's completion callback when one was
+/// submitted; otherwise the pool retains the first such exception, exposed
+/// via first_exception() after Wait().
 ///
 /// Lifecycle: Submit() enqueues; Wait() blocks until the queue is drained
 /// and every worker is idle (tasks submitted from within tasks are
-/// honored); the destructor Wait()s and joins. The pool is not reentrant
-/// from its own workers' Wait() calls.
+/// honored); Shutdown() drops queued-but-unstarted tasks (their completions
+/// fire with a cancellation exception) so Wait() and the destructor only
+/// wait for tasks already running; the destructor Wait()s and joins. The
+/// pool is not reentrant from its own workers' Wait() calls.
 class ThreadPool {
  public:
+  /// Called when the task finishes: nullptr on success, the captured
+  /// exception on throw, a std::runtime_error("task canceled: ...") pointer
+  /// when Shutdown() dropped the task before it started.
+  using Completion = std::function<void(std::exception_ptr)>;
+
   /// Spawns `threads` workers (at least 1).
   explicit ThreadPool(size_t threads);
   ~ThreadPool();
@@ -28,10 +42,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task, Completion done = nullptr);
 
   /// Blocks until all submitted tasks have finished.
   void Wait();
+
+  /// Stop-draining shutdown: discards queued tasks that have not started
+  /// (invoking their completions with a cancellation exception_ptr) without
+  /// touching tasks already running. After this, Wait() and the destructor
+  /// block only behind in-flight work. The pool remains usable: new
+  /// Submit() calls are accepted.
+  void Shutdown();
+
+  /// The first exception thrown by a completion-less task since
+  /// construction, or nullptr. Stable only after Wait().
+  std::exception_ptr first_exception() const;
 
   size_t size() const { return workers_.size(); }
 
@@ -40,14 +65,20 @@ class ThreadPool {
   static size_t ResolveJobs(size_t jobs);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    Completion done;
+  };
+
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;  // Wait(): queue empty and none active
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_exception_;
   std::vector<std::thread> workers_;
 };
 

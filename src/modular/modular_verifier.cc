@@ -134,6 +134,13 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   engine_options.budget = options_.budget;
   engine_options.jobs = options_.jobs;
   engine_options.fixed_databases = std::move(fixed);
+  engine_options.control = options_.control;
+  engine_options.on_db_error = options_.on_db_error;
+  engine_options.checkpoint_path = options_.checkpoint_path;
+  engine_options.checkpoint_fingerprint = options_.checkpoint_fingerprint;
+  engine_options.checkpoint_every = options_.checkpoint_every;
+  engine_options.resume_prefix = options_.resume_prefix;
+  engine_options.resume_failed = options_.resume_failed;
   verifier::VerificationEngine engine(comp_, &interner_, pd.domain, pd.fresh,
                                       engine_options);
   WSV_ASSIGN_OR_RETURN(verifier::EngineOutcome outcome, engine.Run(task));
@@ -155,8 +162,13 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
     ce.database_index = outcome.violation_db_index;
     result.counterexample = std::move(ce);
   }
-  if (!outcome.budget_status.ok() && result.holds && result.regime.ok()) {
-    result.regime = outcome.budget_status;
+  result.coverage.stop_reason = outcome.stop_reason;
+  result.coverage.stop_status = outcome.stop_status;
+  result.coverage.completed_prefix = outcome.completed_prefix;
+  result.coverage.failed_db_indices = std::move(outcome.failed_db_indices);
+  result.coverage.db_retries = outcome.db_retries;
+  if (!outcome.stop_status.ok() && result.holds && result.regime.ok()) {
+    result.regime = outcome.stop_status;
   }
   result.complete = false;  // bounded pseudo-domain by construction
   return result;

@@ -29,6 +29,16 @@ struct ModularVerifierOptions {
   /// narrowing *strengthens* the check: the environment is constrained for
   /// fewer values, so more runs count as environment-conforming.
   std::vector<std::string> env_quantifier_domain;
+
+  /// Robustness knobs (deadline/cancel token, fault isolation, checkpoint +
+  /// resume); see VerifierOptions for semantics.
+  RunControl* control = nullptr;
+  verifier::OnDbError on_db_error = verifier::OnDbError::kAbort;
+  std::string checkpoint_path;
+  std::string checkpoint_fingerprint;
+  size_t checkpoint_every = 64;
+  size_t resume_prefix = 0;
+  std::vector<size_t> resume_failed;
 };
 
 /// Modular verification (Theorem 5.4): checks C |=_psi phi — every run of

@@ -22,6 +22,16 @@ struct ProtocolVerifierOptions {
   fo::InputBoundedOptions ib_options;
   bool require_decidable_regime = false;
   std::optional<std::vector<verifier::NamedDatabase>> fixed_databases;
+
+  /// Robustness knobs (deadline/cancel token, fault isolation, checkpoint +
+  /// resume); see VerifierOptions for semantics.
+  RunControl* control = nullptr;
+  verifier::OnDbError on_db_error = verifier::OnDbError::kAbort;
+  std::string checkpoint_path;
+  std::string checkpoint_fingerprint;
+  size_t checkpoint_every = 64;
+  size_t resume_prefix = 0;
+  std::vector<size_t> resume_failed;
 };
 
 /// Verifies conversation protocols against compositions (Theorems 4.2 and

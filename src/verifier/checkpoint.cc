@@ -1,0 +1,157 @@
+#include "verifier/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wsv::verifier {
+
+namespace {
+
+constexpr char kMagic[] = "wsv-checkpoint";
+constexpr int kVersion = 1;
+
+Status Corrupt(const std::string& path, const std::string& why) {
+  return Status::ParseError("checkpoint '" + path + "' is corrupted (" +
+                            why + "); delete it or rerun without --resume");
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path, const Checkpoint& cp) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::NotFound("cannot open checkpoint file for writing: " +
+                              tmp);
+    }
+    out << kMagic << ' ' << kVersion << '\n';
+    out << "fingerprint "
+        << (cp.fingerprint.empty() ? "-" : cp.fingerprint) << '\n';
+    out << "completed_prefix " << cp.completed_prefix << '\n';
+    out << "failed";
+    if (cp.failed_indices.empty()) {
+      out << " -";
+    } else {
+      for (size_t i = 0; i < cp.failed_indices.size(); ++i) {
+        out << (i == 0 ? " " : ",") << cp.failed_indices[i];
+      }
+    }
+    out << '\n';
+    out << "databases_completed " << cp.databases_completed << '\n';
+    out << "stop_reason " << cp.stop_reason << '\n';
+    out << "end\n";
+    out.flush();
+    if (!out) {
+      return Status::Internal("failed writing checkpoint file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("failed renaming checkpoint '" + tmp +
+                            "' over '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<Checkpoint> ReadCheckpoint(const std::string& path,
+                                  const std::string& expected_fingerprint) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open checkpoint file: " + path);
+
+  Checkpoint cp;
+  std::string line;
+
+  if (!std::getline(in, line)) return Corrupt(path, "empty file");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = -1;
+    header >> magic >> version;
+    if (magic != kMagic) return Corrupt(path, "bad magic");
+    if (version != kVersion) {
+      return Corrupt(path, "unsupported version " + std::to_string(version));
+    }
+  }
+
+  bool saw_end = false;
+  bool saw_prefix = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "fingerprint") {
+      fields >> cp.fingerprint;
+      if (cp.fingerprint == "-") cp.fingerprint.clear();
+    } else if (key == "completed_prefix") {
+      if (!(fields >> cp.completed_prefix)) {
+        return Corrupt(path, "non-numeric completed_prefix");
+      }
+      saw_prefix = true;
+    } else if (key == "databases_completed") {
+      if (!(fields >> cp.databases_completed)) {
+        return Corrupt(path, "non-numeric databases_completed");
+      }
+    } else if (key == "stop_reason") {
+      fields >> cp.stop_reason;
+    } else if (key == "failed") {
+      std::string list;
+      fields >> list;
+      if (list != "-" && !list.empty()) {
+        std::istringstream items(list);
+        std::string item;
+        while (std::getline(items, item, ',')) {
+          try {
+            cp.failed_indices.push_back(std::stoull(item));
+          } catch (...) {
+            return Corrupt(path, "non-numeric failed index '" + item + "'");
+          }
+        }
+      }
+    } else {
+      return Corrupt(path, "unknown field '" + key + "'");
+    }
+  }
+  if (!saw_end) return Corrupt(path, "truncated: missing end marker");
+  if (!saw_prefix) return Corrupt(path, "missing completed_prefix");
+  for (uint64_t index : cp.failed_indices) {
+    if (index >= cp.completed_prefix) {
+      return Corrupt(path, "failed index beyond the completed prefix");
+    }
+  }
+  if (!expected_fingerprint.empty() &&
+      cp.fingerprint != expected_fingerprint) {
+    return Status::InvalidSpec(
+        "checkpoint '" + path + "' was written for a different "
+        "spec/property/options combination (fingerprint " + cp.fingerprint +
+        " != " + expected_fingerprint + "); refusing to resume");
+  }
+  return cp;
+}
+
+std::string FingerprintParts(std::initializer_list<std::string_view> parts) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&hash](const char* data, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      hash ^= static_cast<unsigned char>(data[i]);
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (std::string_view part : parts) {
+    // Length prefix keeps ("ab","c") distinct from ("a","bc").
+    uint64_t len = part.size();
+    mix(reinterpret_cast<const char*>(&len), sizeof(len));
+    mix(part.data(), part.size());
+  }
+  char out[17];
+  std::snprintf(out, sizeof(out), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(out);
+}
+
+}  // namespace wsv::verifier

@@ -1,0 +1,58 @@
+#ifndef WSVERIFY_VERIFIER_CHECKPOINT_H_
+#define WSVERIFY_VERIFIER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/run_control.h"
+#include "common/status.h"
+
+namespace wsv::verifier {
+
+/// Persistent progress of a database sweep, keyed to the deterministic
+/// enumeration order of DatabaseEnumerator. `completed_prefix` is the
+/// high-water mark: every database index in [0, completed_prefix) was
+/// either fully checked (no violation) or recorded in `failed_indices`.
+/// Resuming a sweep from a checkpoint fast-forwards the enumerator past
+/// that prefix, so the resumed run's verdict, witness index and lasso are
+/// bit-for-bit what an uninterrupted run would have produced.
+struct Checkpoint {
+  /// Guards against resuming with a different spec/property/options; the
+  /// reader rejects a mismatch. Empty disables the check.
+  std::string fingerprint;
+  uint64_t completed_prefix = 0;
+  /// Database indices (all < completed_prefix) whose checks failed hard and
+  /// were skipped under --on-db-error skip.
+  std::vector<uint64_t> failed_indices;
+  /// Databases completed at write time, including out-of-order completions
+  /// ahead of the prefix (informational aggregate; >= completed_prefix
+  /// minus failures only transiently during a parallel sweep).
+  uint64_t databases_completed = 0;
+  /// Why the writing run stopped; "in-progress" for periodic mid-run
+  /// checkpoints.
+  std::string stop_reason = "in-progress";
+};
+
+/// Atomically persists `cp` to `path`: the document is written to
+/// "<path>.tmp" and renamed over the target, so readers never observe a
+/// torn file and a crash mid-write leaves the previous checkpoint intact.
+Status WriteCheckpoint(const std::string& path, const Checkpoint& cp);
+
+/// Parses a checkpoint written by WriteCheckpoint. Corrupted, truncated
+/// (missing the trailing "end" marker) or wrong-version files are rejected
+/// with kParseError; when `expected_fingerprint` is non-empty, a mismatch
+/// is rejected with kInvalidSpec.
+Result<Checkpoint> ReadCheckpoint(const std::string& path,
+                                  const std::string& expected_fingerprint);
+
+/// FNV-1a-64 over the concatenation of `parts` (length-prefixed, so part
+/// boundaries are unambiguous), rendered as 16 hex digits. Used to
+/// fingerprint (spec text, property, enumeration-affecting options).
+std::string FingerprintParts(std::initializer_list<std::string_view> parts);
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_CHECKPOINT_H_

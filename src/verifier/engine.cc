@@ -8,6 +8,7 @@
 #include "obs/progress.h"
 #include "obs/timer.h"
 #include "runtime/transition.h"
+#include "verifier/checkpoint.h"
 #include "verifier/db_enum.h"
 #include "verifier/parallel_sweep.h"
 
@@ -103,7 +104,11 @@ VerificationEngine::VerificationEngine(const spec::Composition* comp,
       interner_(interner),
       domain_(std::move(domain)),
       fresh_(std::move(fresh)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  // The deadline/cancellation token rides wherever the budget already goes,
+  // so every search loop picks it up without extra plumbing.
+  options_.budget.control = options_.control;
+}
 
 namespace {
 
@@ -225,10 +230,11 @@ Result<bool> VerificationEngine::CheckDatabases(
 
   // Exhaustively explore the configuration graph once: every instance
   // shares it, and full coverage enables the ever-satisfied prefilter.
-  WSV_ASSIGN_OR_RETURN(bool complete_graph,
-                       graph.ExploreAll(options_.budget.max_states));
+  WSV_ASSIGN_OR_RETURN(
+      bool complete_graph,
+      graph.ExploreAll(options_.budget.max_states, options_.budget.control));
   if (!complete_graph) {
-    outcome.budget_status = Status::BudgetExceeded(
+    outcome.stop_status = Status::BudgetExceeded(
         "configuration graph exceeded max_states = " +
         std::to_string(options_.budget.max_states) +
         " snapshots; verdict is bounded");
@@ -268,6 +274,11 @@ Result<bool> VerificationEngine::CheckDatabases(
   std::unordered_map<std::string, MemoEntry> prefilter_memo;
 
   for (const std::vector<std::string>& valuation : task.valuations) {
+    // The valuation count is |domain|^#vars — a deadline must be able to cut
+    // a sweep short between instances, not only inside a search.
+    if (options_.budget.control != nullptr) {
+      WSV_RETURN_IF_ERROR(options_.budget.control->Check());
+    }
     // Build this instance's per-leaf lookup rows.
     std::vector<data::Tuple> leaf_rows;
     leaf_rows.reserve(task.leaves.size());
@@ -355,7 +366,7 @@ Result<bool> VerificationEngine::CheckDatabases(
     }();
     if (!witness.ok()) {
       if (witness.status().code() == StatusCode::kBudgetExceeded) {
-        outcome.budget_status = witness.status();
+        outcome.stop_status = witness.status();
         continue;
       }
       return witness.status();
@@ -408,6 +419,33 @@ void CountDatabase(EngineOutcome& outcome) {
   obs::ProgressMeter::Global().MaybeBeat();
 }
 
+/// Best-effort checkpoint write: a failed write must not take down a sweep
+/// that is otherwise making progress, so the status is only counted.
+void PersistCheckpoint(const EngineOptions& options, size_t completed_prefix,
+                       const std::vector<size_t>& failed,
+                       size_t databases_completed,
+                       const std::string& stop_reason) {
+  Checkpoint cp;
+  cp.fingerprint = options.checkpoint_fingerprint;
+  cp.completed_prefix = completed_prefix;
+  // A parallel sweep can fail a database ahead of the completed prefix;
+  // such indices are re-checked on resume (which starts at the prefix), so
+  // persisting them would be both redundant and unreadable — the checkpoint
+  // format requires failed indices below the prefix.
+  for (size_t index : failed) {
+    if (index < completed_prefix) cp.failed_indices.push_back(index);
+  }
+  cp.databases_completed = databases_completed;
+  cp.stop_reason = stop_reason;
+  Status written = WriteCheckpoint(options.checkpoint_path, cp);
+  obs::Registry& registry = obs::Registry::Global();
+  if (written.ok()) {
+    registry.counter("checkpoint.writes").Add(1);
+  } else {
+    registry.counter("checkpoint.write_errors").Add(1);
+  }
+}
+
 }  // namespace
 
 Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
@@ -424,12 +462,21 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   if (options_.fixed_databases.has_value()) {
     outcome.jobs = 1;  // a single pinned database: nothing to parallelize
     CountDatabase(outcome);
-    WSV_ASSIGN_OR_RETURN(bool found,
-                         CheckDatabases(task, *options_.fixed_databases,
-                                        /*db_index=*/0, outcome));
-    if (found) {
+    Result<bool> found = CheckDatabases(task, *options_.fixed_databases,
+                                        /*db_index=*/0, outcome);
+    if (!found.ok()) {
+      if (!RunControl::IsStopStatus(found.status())) return found.status();
+      // A deadline/cancel stop still yields a partial outcome: the caller
+      // reports an inconclusive verdict over zero completed databases.
+      outcome.stop_status = found.status();
+    } else if (*found) {
       outcome.violation_db_index = 0;
       obs::Registry::Global().counter("engine.violations").Add(1);
+    }
+    if (found.ok()) outcome.completed_prefix = 1;
+    outcome.stop_reason = StopReasonFromStatus(outcome.stop_status);
+    if (outcome.stop_reason == StopReason::kDeadline) {
+      obs::Registry::Global().counter("engine.deadline_hits").Add(1);
     }
     outcome.timings = TimerDelta(timers_before);
     return outcome;
@@ -438,47 +485,59 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   DatabaseEnumerator enumerator(comp_, domain_, fresh_,
                                 options_.iso_reduction);
   WSV_RETURN_IF_ERROR(enumerator.status());
-  outcome.jobs = jobs;
-  if (jobs > 1) {
-    ParallelSweep sweep(&enumerator, jobs, options_.max_databases);
-    WSV_ASSIGN_OR_RETURN(
-        EngineOutcome swept,
-        sweep.Run([&](size_t db_index, const std::vector<data::Instance>& dbs,
-                      EngineOutcome& worker_outcome) {
-          return CheckDatabases(task, dbs, db_index, worker_outcome);
-        }));
-    swept.jobs = jobs;
-    if (swept.violation_found) {
-      obs::Registry::Global().counter("engine.violations").Add(1);
-    }
-    swept.timings = TimerDelta(timers_before);
-    return swept;
-  }
 
-  std::vector<data::Instance> dbs;
-  auto next = [&] {
-    obs::PhaseTimer enum_phase("db_enum");
-    return enumerator.Next(&dbs);
-  };
-  while (next()) {
-    if (outcome.databases_checked >= options_.max_databases) {
-      outcome.budget_status = Status::BudgetExceeded(
-          "database enumeration stopped at max_databases; verdict is "
-          "bounded");
-      break;
-    }
-    size_t db_index = outcome.databases_checked;
-    CountDatabase(outcome);
-    WSV_ASSIGN_OR_RETURN(bool found,
-                         CheckDatabases(task, dbs, db_index, outcome));
-    if (found) {
-      outcome.violation_db_index = db_index;
-      obs::Registry::Global().counter("engine.violations").Add(1);
-      break;
-    }
+  // Serial and parallel sweeps share one code path (jobs == 1 runs the
+  // sweep on a single worker): fault isolation, deadline/cancel winding and
+  // checkpointing behave identically at every job count.
+  SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  sweep_options.max_databases = options_.max_databases;
+  sweep_options.start_index = options_.resume_prefix;
+  sweep_options.control = options_.control;
+  sweep_options.skip_failed_databases =
+      options_.on_db_error == OnDbError::kSkip;
+  sweep_options.resume_failed = options_.resume_failed;
+  if (!options_.checkpoint_path.empty()) {
+    sweep_options.checkpoint_every = options_.checkpoint_every;
+    sweep_options.checkpoint_fn = [this](size_t completed_prefix,
+                                         const std::vector<size_t>& failed,
+                                         size_t databases_completed) {
+      PersistCheckpoint(options_, completed_prefix, failed,
+                        options_.resume_prefix + databases_completed,
+                        "in-progress");
+    };
   }
-  outcome.timings = TimerDelta(timers_before);
-  return outcome;
+  ParallelSweep sweep(&enumerator, sweep_options);
+  WSV_ASSIGN_OR_RETURN(
+      EngineOutcome swept,
+      sweep.Run([&](size_t db_index, const std::vector<data::Instance>& dbs,
+                    EngineOutcome& worker_outcome) {
+        return CheckDatabases(task, dbs, db_index, worker_outcome);
+      }));
+  swept.jobs = jobs;
+  if (swept.violation_found) {
+    obs::Registry::Global().counter("engine.violations").Add(1);
+  }
+  if (swept.stop_reason == StopReason::kDeadline) {
+    obs::Registry::Global().counter("engine.deadline_hits").Add(1);
+  }
+  if (!options_.checkpoint_path.empty()) {
+    // Final checkpoint carries the real stop reason — "complete" marks the
+    // sweep as finished so a --resume of it is a no-op fast path. When a
+    // violation was found the persisted prefix is capped at the witness
+    // index: a resume then re-checks the witness database and reproduces
+    // the VIOLATED verdict instead of silently skipping past it.
+    size_t persisted_prefix = swept.completed_prefix;
+    if (swept.violation_found &&
+        swept.violation_db_index < persisted_prefix) {
+      persisted_prefix = swept.violation_db_index;
+    }
+    PersistCheckpoint(options_, persisted_prefix, swept.failed_db_indices,
+                      options_.resume_prefix + swept.databases_checked,
+                      StopReasonName(swept.stop_reason));
+  }
+  swept.timings = TimerDelta(timers_before);
+  return swept;
 }
 
 }  // namespace wsv::verifier

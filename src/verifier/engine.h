@@ -9,6 +9,7 @@
 
 #include "automata/buchi.h"
 #include "common/interner.h"
+#include "common/run_control.h"
 #include "common/status.h"
 #include "data/instance.h"
 #include "data/value.h"
@@ -71,6 +72,18 @@ PseudoDomain BuildPseudoDomain(const spec::Composition& comp,
 std::vector<std::vector<std::string>> EnumerateValuations(
     const data::Domain& domain, const Interner& interner, size_t num_vars);
 
+/// How the sweep treats a database whose check fails hard (an exception
+/// such as std::bad_alloc, or a non-budget error status).
+enum class OnDbError {
+  /// Abort the whole sweep and surface the error (legacy behavior).
+  kAbort,
+  /// Retry the database once; if it fails again, record its index in the
+  /// outcome's failed list and keep sweeping. A clean pass then degrades to
+  /// a bounded verdict (StopReason::kDbFailures); a found violation is
+  /// still a sound VIOLATION.
+  kSkip,
+};
+
 struct EngineOptions {
   runtime::RunOptions run;
   bool iso_reduction = true;
@@ -84,6 +97,26 @@ struct EngineOptions {
   size_t jobs = 1;
   /// Verify against these databases only (skips enumeration).
   std::optional<std::vector<data::Instance>> fixed_databases;
+
+  /// Deadline/cancellation token polled by every pipeline loop (not owned;
+  /// may be null). A stop ends the run with a partial outcome: stop_reason
+  /// kDeadline / kCanceled, covering the completed database prefix.
+  RunControl* control = nullptr;
+  /// Fault isolation policy for per-database check failures in the sweep.
+  OnDbError on_db_error = OnDbError::kAbort;
+
+  /// When non-empty, the sweep persists progress checkpoints here (atomic
+  /// temp-file + rename) every `checkpoint_every` completed databases and
+  /// once more when the sweep ends, stamped with `checkpoint_fingerprint`.
+  std::string checkpoint_path;
+  std::string checkpoint_fingerprint;
+  size_t checkpoint_every = 64;
+  /// Resume support: skip checking databases [0, resume_prefix) — the
+  /// enumerator still walks them so indices stay aligned with an
+  /// uninterrupted run — and carry `resume_failed` (indices inside that
+  /// prefix that a previous run skipped) into the outcome's failed list.
+  size_t resume_prefix = 0;
+  std::vector<size_t> resume_failed;
 };
 
 /// Wall time spent in each pipeline phase during one engine run, in
@@ -126,8 +159,23 @@ struct EngineOutcome {
   size_t prefilter_memo_hits = 0;
   SearchStats search_stats;
   PhaseTimings timings;
-  /// Non-OK when some search hit its budget (verdict is then bounded).
-  Status budget_status = Status::Ok();
+  /// Why the run is not complete: budget exhaustion (kBudgetExceeded),
+  /// deadline (kDeadlineExceeded), cancellation (kCanceled) or skipped
+  /// database failures (kPartialFailure). OK when stop_reason == kComplete.
+  /// Generalizes the old budget_status field.
+  Status stop_status = Status::Ok();
+  /// stop_status, classified (kComplete / kBudget / kDeadline / kCanceled /
+  /// kDbFailures).
+  StopReason stop_reason = StopReason::kComplete;
+  /// High-water mark of the deterministic enumeration order: every index in
+  /// [0, completed_prefix) was checked or recorded as failed. Includes any
+  /// resumed prefix.
+  size_t completed_prefix = 0;
+  /// Indices whose checks failed hard and were skipped (OnDbError::kSkip),
+  /// sorted; includes EngineOptions::resume_failed.
+  std::vector<size_t> failed_db_indices;
+  /// Per-database check retries performed by the fault-isolated sweep.
+  size_t db_retries = 0;
 };
 
 /// Runs the symbolic task against every database over the pseudo-domain

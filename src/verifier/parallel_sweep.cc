@@ -1,8 +1,11 @@
 #include "verifier/parallel_sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <new>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -34,6 +37,18 @@ struct Worker {
   std::optional<std::pair<size_t, Status>> error;
 };
 
+/// Shared completion bookkeeping: the contiguous completed prefix of the
+/// enumeration order (the checkpointable high-water mark), out-of-order
+/// completions ahead of it, and the failed-index list.
+struct Progress {
+  std::mutex mu;
+  size_t next_expected = 0;
+  std::set<size_t> done_ahead;
+  std::vector<size_t> failed;
+  size_t total_done = 0;
+  size_t since_checkpoint = 0;
+};
+
 void AddSearchStats(const SearchStats& from, SearchStats& into) {
   into.snapshots += from.snapshots;
   into.product_states += from.product_states;
@@ -45,16 +60,45 @@ void AddSearchStats(const SearchStats& from, SearchStats& into) {
   into.budget_hits += from.budget_hits;
 }
 
+/// The fault-isolation boundary: a check that throws (std::bad_alloc from a
+/// huge product search, most importantly) is converted to a hard error
+/// status instead of escaping the worker thread.
+Result<bool> GuardedCheck(const ParallelSweep::CheckFn& check, size_t index,
+                          const std::vector<data::Instance>& dbs,
+                          EngineOutcome& outcome) {
+  try {
+    return check(index, dbs, outcome);
+  } catch (const std::bad_alloc&) {
+    return Status::Internal("database check ran out of memory (bad_alloc)");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("database check threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("database check threw a non-standard exception");
+  }
+}
+
 }  // namespace
 
-ParallelSweep::ParallelSweep(DatabaseEnumerator* enumerator, size_t jobs,
-                             size_t max_databases)
-    : enumerator_(enumerator), jobs_(jobs), max_databases_(max_databases) {}
+ParallelSweep::ParallelSweep(DatabaseEnumerator* enumerator,
+                             SweepOptions options)
+    : enumerator_(enumerator), options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = 1;
+}
 
 Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
+  // Resume fast-forward: walk the enumerator over the completed prefix so
+  // dispatch indices stay aligned with an uninterrupted run's.
+  if (options_.start_index > 0) {
+    obs::PhaseTimer enum_phase("db_enum");
+    std::vector<data::Instance> scratch;
+    for (size_t i = 0; i < options_.start_index; ++i) {
+      if (!enumerator_->Next(&scratch)) break;
+    }
+  }
+
   // Producer state: the enumerator and dispatch cursor, under one lock.
   std::mutex producer_mu;
-  size_t next_index = 0;
+  size_t next_index = options_.start_index;
   bool max_databases_hit = false;
 
   // Lowest witness index found so far; dispatch stops at or above it. Only
@@ -63,47 +107,131 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   std::atomic<size_t> stop_before{static_cast<size_t>(-1)};
   // A hard (non-budget) error anywhere aborts all dispatch.
   std::atomic<bool> abort{false};
+  // A deadline/cancel stop winds dispatch down; checks already running
+  // observe the same token and stop from within.
+  std::atomic<bool> stopped{false};
+  std::mutex stop_mu;
+  std::optional<Status> stop_event;
 
-  std::vector<Worker> workers(jobs_);
+  Progress progress;
+  progress.next_expected = options_.start_index;
+  progress.failed = options_.resume_failed;
+  std::sort(progress.failed.begin(), progress.failed.end());
 
+  std::vector<Worker> workers(options_.jobs);
+
+  obs::Registry& registry = obs::Registry::Global();
   static obs::Counter& dbs_counter =
-      obs::Registry::Global().counter("engine.databases_checked");
+      registry.counter("engine.databases_checked");
+  static obs::Counter& failures_counter =
+      registry.counter("sweep.db_failures");
+  static obs::Counter& retries_counter = registry.counter("sweep.retries");
+
+  auto record_stop = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    if (!stop_event.has_value()) stop_event = status;
+    stopped.store(true, std::memory_order_release);
+  };
+
+  auto mark_done = [&](size_t index) {
+    std::lock_guard<std::mutex> lock(progress.mu);
+    ++progress.total_done;
+    if (index == progress.next_expected) {
+      ++progress.next_expected;
+      while (!progress.done_ahead.empty() &&
+             *progress.done_ahead.begin() == progress.next_expected) {
+        progress.done_ahead.erase(progress.done_ahead.begin());
+        ++progress.next_expected;
+      }
+    } else {
+      progress.done_ahead.insert(index);
+    }
+    if (options_.checkpoint_fn && options_.checkpoint_every > 0 &&
+        ++progress.since_checkpoint >= options_.checkpoint_every) {
+      progress.since_checkpoint = 0;
+      std::vector<size_t> failed = progress.failed;
+      std::sort(failed.begin(), failed.end());
+      options_.checkpoint_fn(progress.next_expected, failed,
+                             progress.total_done);
+    }
+  };
+
+  auto mark_failed = [&](size_t index) {
+    {
+      std::lock_guard<std::mutex> lock(progress.mu);
+      progress.failed.push_back(index);
+    }
+    failures_counter.Add(1);
+    mark_done(index);  // failed databases count toward the resumable prefix
+  };
 
   auto worker_fn = [&](size_t w) {
     Worker& me = workers[w];
     std::vector<data::Instance> dbs;
-    while (!abort.load(std::memory_order_acquire)) {
+    while (!abort.load(std::memory_order_acquire) &&
+           !stopped.load(std::memory_order_acquire)) {
       size_t index;
       {
         std::lock_guard<std::mutex> lock(producer_mu);
-        if (next_index >= stop_before.load(std::memory_order_acquire)) break;
-        if (next_index >= max_databases_) {
-          max_databases_hit = true;
-          break;
+        if (options_.control != nullptr) {
+          Status token = options_.control->Check();
+          if (!token.ok()) {
+            record_stop(token);
+            break;
+          }
         }
+        if (next_index >= stop_before.load(std::memory_order_acquire)) break;
         bool more = [&] {
           obs::PhaseTimer enum_phase("db_enum");
           return enumerator_->Next(&dbs);
         }();
         if (!more) break;
+        if (next_index >= options_.max_databases) {
+          max_databases_hit = true;
+          break;
+        }
         index = next_index++;
       }
       ++me.outcome.databases_checked;
       dbs_counter.Add(1);
       obs::ProgressMeter::Global().MaybeBeat();
 
-      Result<bool> found = check(index, dbs, me.outcome);
-      if (!found.ok()) {
-        if (!me.error.has_value() || index < me.error->first) {
-          me.error = {index, found.status()};
-        }
-        abort.store(true, std::memory_order_release);
+      Result<bool> found = GuardedCheck(check, index, dbs, me.outcome);
+      if (!found.ok() && RunControl::IsStopStatus(found.status())) {
+        record_stop(found.status());
         break;
       }
-      if (!me.outcome.budget_status.ok()) {
-        me.budget_events.emplace_back(index, me.outcome.budget_status);
-        me.outcome.budget_status = Status::Ok();
+      if (!found.ok()) {
+        // Hard error: retry once on the same worker-local accumulators
+        // (statistics may double-count the failed attempt; the verdict
+        // machinery is unaffected). Clear any budget event the failed
+        // attempt left behind so it is not replayed twice.
+        me.outcome.stop_status = Status::Ok();
+        ++me.outcome.db_retries;
+        retries_counter.Add(1);
+        found = GuardedCheck(check, index, dbs, me.outcome);
+        if (!found.ok() && RunControl::IsStopStatus(found.status())) {
+          record_stop(found.status());
+          break;
+        }
+        if (!found.ok()) {
+          if (options_.skip_failed_databases) {
+            me.outcome.stop_status = Status::Ok();
+            mark_failed(index);
+            continue;
+          }
+          if (!me.error.has_value() || index < me.error->first) {
+            me.error = {index, found.status()};
+          }
+          abort.store(true, std::memory_order_release);
+          break;
+        }
       }
+      if (!me.outcome.stop_status.ok()) {
+        me.budget_events.emplace_back(index, me.outcome.stop_status);
+        me.outcome.stop_status = Status::Ok();
+      }
+      mark_done(index);
       if (*found) {
         me.candidate = Candidate{index, std::move(me.outcome.databases),
                                  std::move(me.outcome.label),
@@ -127,8 +255,8 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   };
 
   {
-    ThreadPool pool(jobs_);
-    for (size_t w = 0; w < jobs_; ++w) {
+    ThreadPool pool(options_.jobs);
+    for (size_t w = 0; w < options_.jobs; ++w) {
       pool.Submit([&worker_fn, w] { worker_fn(w); });
     }
     pool.Wait();
@@ -142,8 +270,10 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
     merged.prefiltered += w.outcome.prefiltered;
     merged.prefilter_memo_misses += w.outcome.prefilter_memo_misses;
     merged.prefilter_memo_hits += w.outcome.prefilter_memo_hits;
+    merged.db_retries += w.outcome.db_retries;
     AddSearchStats(w.outcome.search_stats, merged.search_stats);
   }
+  merged.completed_prefix = progress.next_expected;
 
   // Lowest-index witness and lowest-index hard error across workers.
   Candidate* best = nullptr;
@@ -177,30 +307,50 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
     merged.lasso = std::move(best->lasso);
   }
 
-  // Budget status, serial-equivalent: the serial sweep overwrites
-  // budget_status per database, so it ends with the event of the highest
-  // index it processed — which is at most the witness index (it stops
-  // there). Events beyond the witness come from in-flight databases the
-  // serial sweep never reaches; drop them.
-  size_t cutoff =
-      best != nullptr ? best->index : static_cast<size_t>(-1);
-  std::optional<std::pair<size_t, Status>> last_budget;
-  for (const Worker& w : workers) {
-    for (const auto& event : w.budget_events) {
-      if (event.first > cutoff) continue;
-      if (!last_budget.has_value() || event.first > last_budget->first) {
-        last_budget = event;
+  // Failed indices: sorted, and — when a witness exists — restricted to
+  // indices below it: a serial fault-isolated run stops at the witness, so
+  // later failures are unreachable.
+  std::sort(progress.failed.begin(), progress.failed.end());
+  for (size_t index : progress.failed) {
+    if (best != nullptr && index >= best->index) break;
+    merged.failed_db_indices.push_back(index);
+  }
+
+  // Stop status, serial-equivalent. Precedence: a deadline/cancel stop is
+  // the reason the sweep ended; otherwise skipped failures bound the
+  // verdict; otherwise replay budget events — the serial sweep overwrites
+  // its budget status per database, so it ends with the event of the
+  // highest index it processed, which is at most the witness index (it
+  // stops there). Events beyond the witness come from in-flight databases
+  // the serial sweep never reaches; drop them.
+  if (stop_event.has_value()) {
+    merged.stop_status = *stop_event;
+  } else if (!merged.failed_db_indices.empty()) {
+    merged.stop_status = Status::PartialFailure(
+        std::to_string(merged.failed_db_indices.size()) +
+        " database check(s) failed and were skipped; verdict is bounded to "
+        "the databases that completed");
+  } else {
+    size_t cutoff = best != nullptr ? best->index : static_cast<size_t>(-1);
+    std::optional<std::pair<size_t, Status>> last_budget;
+    for (const Worker& w : workers) {
+      for (const auto& event : w.budget_events) {
+        if (event.first > cutoff) continue;
+        if (!last_budget.has_value() || event.first > last_budget->first) {
+          last_budget = event;
+        }
       }
     }
+    if (last_budget.has_value()) {
+      merged.stop_status = last_budget->second;
+    }
+    if (best == nullptr && max_databases_hit) {
+      merged.stop_status = Status::BudgetExceeded(
+          "database enumeration stopped at max_databases; verdict is "
+          "bounded");
+    }
   }
-  if (last_budget.has_value()) {
-    merged.budget_status = last_budget->second;
-  }
-  if (best == nullptr && max_databases_hit) {
-    merged.budget_status = Status::BudgetExceeded(
-        "database enumeration stopped at max_databases; verdict is "
-        "bounded");
-  }
+  merged.stop_reason = StopReasonFromStatus(merged.stop_status);
   return merged;
 }
 

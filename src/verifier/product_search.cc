@@ -67,6 +67,11 @@ ProductSearch::ProductId ProductSearch::InternProduct(SnapshotId sid,
 
 Result<std::vector<ProductSearch::ProductId>> ProductSearch::ProductSuccessors(
     ProductId pid) {
+  // One poll site covers both the outer and the inner DFS — every loop
+  // iteration expands successors. Amortized to one Check() per ~1k calls.
+  if (budget_.control != nullptr && (++control_polls_ & 0x3FF) == 0) {
+    WSV_RETURN_IF_ERROR(budget_.control->Check());
+  }
   auto [sid, q] = product_states_[pid];
   WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* succs,
                        graph_->Successors(sid));

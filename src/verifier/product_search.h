@@ -6,6 +6,7 @@
 
 #include "automata/buchi.h"
 #include "common/interner.h"
+#include "common/run_control.h"
 #include "common/status.h"
 #include "fo/formula.h"
 #include "verifier/snapshot_graph.h"
@@ -15,6 +16,10 @@ namespace wsv::verifier {
 struct SearchBudget {
   /// Cap on distinct product states explored (per search).
   size_t max_states = 1000000;
+  /// Optional deadline/cancellation token, polled every ~1k product-state
+  /// expansions; a stop aborts the search with the token's stop status
+  /// (kDeadlineExceeded / kCanceled). Not owned; may be null.
+  RunControl* control = nullptr;
 };
 
 /// Counters accumulated across every search of one engine run. The same
@@ -97,6 +102,7 @@ class ProductSearch {
   std::vector<bool> inner_visited_;
   size_t transitions_ = 0;
   size_t inner_searches_ = 0;
+  size_t control_polls_ = 0;
 };
 
 /// True iff some proposition observes snapshot bookkeeping with the given

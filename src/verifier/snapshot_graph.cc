@@ -93,7 +93,8 @@ Result<const std::vector<SnapshotId>*> SnapshotGraph::Successors(
   return &*successors_[sid];
 }
 
-Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots) {
+Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots,
+                                       RunControl* control) {
   obs::PhaseTimer phase("graph_expand");
   WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* inits, Initials());
   std::deque<SnapshotId> frontier(inits->begin(), inits->end());
@@ -105,7 +106,10 @@ Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots) {
     if (sid >= expanded.size()) expanded.resize(snapshots_.size(), false);
     if (expanded[sid]) continue;
     expanded[sid] = true;
-    if ((++expansions & 0x3FF) == 0) obs::ProgressMeter::Global().MaybeBeat();
+    if ((++expansions & 0x3FF) == 0) {
+      obs::ProgressMeter::Global().MaybeBeat();
+      if (control != nullptr) WSV_RETURN_IF_ERROR(control->Check());
+    }
     WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* succ, Successors(sid));
     for (SnapshotId next : *succ) {
       if (next >= expanded.size() || !expanded[next]) frontier.push_back(next);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/run_control.h"
 #include "common/status.h"
 #include "fo/eval.h"
 #include "fo/structure.h"
@@ -69,8 +70,10 @@ class SnapshotGraph {
   /// Exhaustively explores the reachable configuration graph (BFS), up to
   /// `max_snapshots`. Returns true iff exploration completed; on false the
   /// graph is partial and callers must fall back to on-the-fly search
-  /// semantics (bounded verdicts).
-  Result<bool> ExploreAll(size_t max_snapshots);
+  /// semantics (bounded verdicts). `control` (optional) is polled every ~1k
+  /// expansions; a stop aborts with its stop status.
+  Result<bool> ExploreAll(size_t max_snapshots,
+                          RunControl* control = nullptr);
 
   /// True after a successful ExploreAll.
   bool fully_explored() const { return fully_explored_; }

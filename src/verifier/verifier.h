@@ -50,6 +50,23 @@ struct VerifierOptions {
   /// spellings), instead of enumerating all databases over the
   /// pseudo-domain.
   std::optional<std::vector<NamedDatabase>> fixed_databases;
+
+  /// Deadline/cancellation token polled throughout the pipeline (not owned;
+  /// may be null). A stop yields a partial result covering the completed
+  /// database prefix (see VerificationResult::coverage).
+  RunControl* control = nullptr;
+  /// Fault isolation: how a database whose check fails hard (exception or
+  /// internal error) is treated. kSkip records it in coverage.failed and
+  /// keeps sweeping; kAbort (default) surfaces the error.
+  OnDbError on_db_error = OnDbError::kAbort;
+  /// Checkpoint persistence + resume (see EngineOptions for field-by-field
+  /// semantics). Fingerprint validation against a loaded checkpoint is the
+  /// caller's job; the verifier stamps checkpoints with it verbatim.
+  std::string checkpoint_path;
+  std::string checkpoint_fingerprint;
+  size_t checkpoint_every = 64;
+  size_t resume_prefix = 0;
+  std::vector<size_t> resume_failed;
 };
 
 /// A violating run: the database choice, the property-variable valuation,
@@ -87,11 +104,32 @@ struct VerificationStats {
   PhaseTimings timings;
 };
 
+/// How much of the deterministic database enumeration a run covered and why
+/// it stopped — the resumable-progress record of the verdict. A violation is
+/// sound regardless of coverage; "holds" is only as strong as the covered
+/// prefix.
+struct Coverage {
+  /// Why the run ended (kComplete when nothing cut it short).
+  StopReason stop_reason = StopReason::kComplete;
+  /// The stop's status (budget/deadline/cancel/db-failure detail); OK when
+  /// stop_reason == kComplete.
+  Status stop_status = Status::Ok();
+  /// Every database index in [0, completed_prefix) was checked or recorded
+  /// as failed (deterministic enumeration order; includes resumed prefixes).
+  size_t completed_prefix = 0;
+  /// Indices whose checks failed hard and were skipped (sorted).
+  std::vector<size_t> failed_db_indices;
+  /// Per-database check retries the fault-isolated sweep performed.
+  size_t db_retries = 0;
+};
+
 struct VerificationResult {
   /// Property satisfied over the explored space.
   bool holds = false;
   std::optional<Counterexample> counterexample;
   VerificationStats stats;
+  /// Enumeration coverage and stop reason of this run.
+  Coverage coverage;
   /// OK when the instance lies in the decidable class of Theorem 3.4
   /// (input-bounded composition & property, bounded lossy queues, closed
   /// composition); otherwise records the crossed boundary and the verdict is

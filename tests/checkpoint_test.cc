@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/run_control.h"
+#include "ltl/property.h"
+#include "spec/parser.h"
+#include "verifier/checkpoint.h"
+#include "verifier/verifier.h"
+
+namespace wsv::verifier {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointIo, RoundTripPreservesEveryField) {
+  const std::string path = TempPath("roundtrip.ckpt");
+  Checkpoint cp;
+  cp.fingerprint = FingerprintParts({"spec", "property"});
+  cp.completed_prefix = 42;
+  cp.failed_indices = {3, 17, 40};
+  cp.databases_completed = 45;
+  cp.stop_reason = "deadline";
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+
+  auto loaded = ReadCheckpoint(path, cp.fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->fingerprint, cp.fingerprint);
+  EXPECT_EQ(loaded->completed_prefix, 42u);
+  EXPECT_EQ(loaded->failed_indices, cp.failed_indices);
+  EXPECT_EQ(loaded->databases_completed, 45u);
+  EXPECT_EQ(loaded->stop_reason, "deadline");
+}
+
+TEST(CheckpointIo, WriteReplacesExistingFileAtomically) {
+  const std::string path = TempPath("replace.ckpt");
+  Checkpoint first;
+  first.completed_prefix = 1;
+  ASSERT_TRUE(WriteCheckpoint(path, first).ok());
+  Checkpoint second;
+  second.completed_prefix = 2;
+  ASSERT_TRUE(WriteCheckpoint(path, second).ok());
+
+  auto loaded = ReadCheckpoint(path, "");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->completed_prefix, 2u);
+  // The temp file of the atomic write must not linger.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(CheckpointIo, MissingFileIsNotFound) {
+  auto loaded = ReadCheckpoint(TempPath("does-not-exist.ckpt"), "");
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(CheckpointIo, RejectsCorruptedDocuments) {
+  struct Case {
+    const char* name;
+    const char* content;
+  };
+  const Case cases[] = {
+      {"empty", ""},
+      {"bad magic", "not-a-checkpoint 1\nend\n"},
+      {"unsupported version",
+       "wsv-checkpoint 99\ncompleted_prefix 1\nend\n"},
+      {"non-numeric prefix",
+       "wsv-checkpoint 1\ncompleted_prefix abc\nend\n"},
+      {"unknown field",
+       "wsv-checkpoint 1\ncompleted_prefix 1\nbogus 3\nend\n"},
+      {"truncated (no end marker)",
+       "wsv-checkpoint 1\nfingerprint -\ncompleted_prefix 7\n"},
+      {"failed index beyond prefix",
+       "wsv-checkpoint 1\ncompleted_prefix 2\nfailed 5\nend\n"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string path = TempPath("corrupt.ckpt");
+    std::ofstream(path) << c.content;
+    auto loaded = ReadCheckpoint(path, "");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(CheckpointIo, RejectsFingerprintMismatch) {
+  const std::string path = TempPath("fingerprint.ckpt");
+  Checkpoint cp;
+  cp.fingerprint = FingerprintParts({"original spec"});
+  cp.completed_prefix = 5;
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+
+  auto loaded = ReadCheckpoint(path, FingerprintParts({"edited spec"}));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidSpec);
+  // But the empty expected fingerprint disables the check (for tooling).
+  EXPECT_TRUE(ReadCheckpoint(path, "").ok());
+}
+
+TEST(CheckpointIo, FingerprintIsBoundaryAware) {
+  // Length-prefixed parts: moving a character across a part boundary must
+  // change the fingerprint even though the concatenation is identical.
+  EXPECT_NE(FingerprintParts({"ab", "c"}), FingerprintParts({"a", "bc"}));
+  EXPECT_EQ(FingerprintParts({"ab", "c"}), FingerprintParts({"ab", "c"}));
+}
+
+// --- End-to-end: interrupt, checkpoint, resume, identical verdict. ---
+
+constexpr char kPingPong[] = R"(
+peer Requester {
+  database { item(x); }
+  input    { ask(x); }
+  state    { got(x); }
+  inqueue flat  { resp(x); }
+  outqueue flat { req(x); }
+  rules {
+    options ask(x) :- item(x);
+    send req(x) :- ask(x);
+    insert got(x) :- ?resp(x);
+  }
+}
+peer Responder {
+  inqueue flat  { req(x); }
+  outqueue flat { resp(x); }
+  rules {
+    send resp(x) :- ?req(x);
+  }
+}
+)";
+
+struct RunOutput {
+  VerificationResult result;
+  std::string counterexample_text;
+};
+
+RunOutput RunVerifier(const spec::Composition& comp,
+                      const std::string& property_text,
+                      VerifierOptions options) {
+  auto property = ltl::Property::Parse(property_text);
+  EXPECT_TRUE(property.ok()) << property.status();
+  Verifier verifier(&comp, std::move(options));
+  auto result = verifier.Verify(*property);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunOutput out;
+  out.result = std::move(*result);
+  if (out.result.counterexample.has_value()) {
+    out.counterexample_text =
+        out.result.counterexample->ToString(comp, verifier.interner());
+  }
+  return out;
+}
+
+/// The resume contract end to end: a run stopped early (here via
+/// max_databases, which exercises the same completed-prefix machinery as a
+/// deadline without timing nondeterminism) leaves a checkpoint from which
+/// the resumed run reproduces the uninterrupted verdict, witness index and
+/// rendered counterexample bit-for-bit.
+TEST(CheckpointResume, ResumedRunMatchesUninterruptedBitForBit) {
+  auto comp = spec::ParseComposition(kPingPong);
+  ASSERT_TRUE(comp.ok());
+  const std::string property = "forall x: G(not Requester.got(x))";
+  const std::string ckpt = TempPath("resume.ckpt");
+  const std::string fingerprint = FingerprintParts({kPingPong, property});
+
+  VerifierOptions base;
+  base.fresh_domain_size = 2;
+
+  RunOutput full = RunVerifier(*comp, property, base);
+  ASSERT_FALSE(full.result.holds);
+  ASSERT_TRUE(full.result.counterexample.has_value());
+
+  // Interrupted leg: stop before the witness, leaving a checkpoint.
+  VerifierOptions interrupted = base;
+  interrupted.max_databases =
+      full.result.counterexample->database_index;  // stop just short of it
+  interrupted.checkpoint_path = ckpt;
+  interrupted.checkpoint_fingerprint = fingerprint;
+  RunOutput partial = RunVerifier(*comp, property, interrupted);
+  EXPECT_TRUE(partial.result.holds);  // bounded: witness not reached yet
+  EXPECT_EQ(partial.result.coverage.stop_reason, StopReason::kBudget);
+
+  auto loaded = ReadCheckpoint(ckpt, fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->completed_prefix,
+            full.result.counterexample->database_index);
+
+  // Resumed leg: fast-forward past the checkpointed prefix.
+  VerifierOptions resumed = base;
+  resumed.checkpoint_path = ckpt;
+  resumed.checkpoint_fingerprint = fingerprint;
+  resumed.resume_prefix = static_cast<size_t>(loaded->completed_prefix);
+  for (uint64_t index : loaded->failed_indices) {
+    resumed.resume_failed.push_back(static_cast<size_t>(index));
+  }
+  RunOutput rerun = RunVerifier(*comp, property, resumed);
+
+  ASSERT_FALSE(rerun.result.holds);
+  ASSERT_TRUE(rerun.result.counterexample.has_value());
+  EXPECT_EQ(rerun.result.counterexample->database_index,
+            full.result.counterexample->database_index);
+  EXPECT_EQ(rerun.result.counterexample->closure_valuation,
+            full.result.counterexample->closure_valuation);
+  EXPECT_EQ(rerun.counterexample_text, full.counterexample_text);
+
+  // The final checkpoint of the resumed run records the witness run's stop,
+  // with the prefix capped at the witness index so resuming a VIOLATED run
+  // re-checks the witness database rather than skipping past it.
+  auto final_ckpt = ReadCheckpoint(ckpt, fingerprint);
+  ASSERT_TRUE(final_ckpt.ok()) << final_ckpt.status();
+  EXPECT_EQ(final_ckpt->stop_reason, "complete");
+  EXPECT_EQ(final_ckpt->completed_prefix,
+            full.result.counterexample->database_index);
+
+  // Resume of the completed VIOLATED checkpoint reproduces the verdict.
+  VerifierOptions again = resumed;
+  again.resume_prefix = static_cast<size_t>(final_ckpt->completed_prefix);
+  RunOutput rerun2 = RunVerifier(*comp, property, again);
+  ASSERT_FALSE(rerun2.result.holds);
+  ASSERT_TRUE(rerun2.result.counterexample.has_value());
+  EXPECT_EQ(rerun2.result.counterexample->database_index,
+            full.result.counterexample->database_index);
+}
+
+/// Cancellation through the public Verifier options: the partial result
+/// carries kCanceled coverage and a checkpoint, and a Reset() control plus
+/// resume completes the verification.
+TEST(CheckpointResume, CanceledRunLeavesResumableCheckpoint) {
+  auto comp = spec::ParseComposition(kPingPong);
+  ASSERT_TRUE(comp.ok());
+  const std::string property =
+      "forall x: G(Requester.got(x) -> Requester.item(x))";
+  const std::string ckpt = TempPath("canceled.ckpt");
+
+  RunControl control;
+  control.RequestCancel();
+  VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.control = &control;
+  options.checkpoint_path = ckpt;
+  RunOutput canceled = RunVerifier(*comp, property, options);
+  EXPECT_EQ(canceled.result.coverage.stop_reason, StopReason::kCanceled);
+  EXPECT_FALSE(canceled.result.complete);
+
+  auto loaded = ReadCheckpoint(ckpt, "");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->stop_reason, "canceled");
+
+  control.Reset();
+  options.resume_prefix = static_cast<size_t>(loaded->completed_prefix);
+  RunOutput resumed = RunVerifier(*comp, property, options);
+  EXPECT_TRUE(resumed.result.holds);
+  EXPECT_EQ(resumed.result.coverage.stop_reason, StopReason::kComplete);
+}
+
+TEST(StopReasonNames, RoundTrip) {
+  for (StopReason reason :
+       {StopReason::kComplete, StopReason::kBudget, StopReason::kDeadline,
+        StopReason::kCanceled, StopReason::kDbFailures}) {
+    StopReason parsed;
+    ASSERT_TRUE(ParseStopReason(StopReasonName(reason), &parsed))
+        << StopReasonName(reason);
+    EXPECT_EQ(parsed, reason);
+  }
+  StopReason parsed;
+  EXPECT_FALSE(ParseStopReason("nonsense", &parsed));
+}
+
+}  // namespace
+}  // namespace wsv::verifier

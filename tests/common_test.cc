@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
 
 #include "automata/buchi.h"
 #include "automata/emptiness.h"
@@ -170,6 +173,74 @@ TEST(ThreadPool, DestructorDrainsPendingWork) {
 TEST(ThreadPool, ResolveJobs) {
   EXPECT_EQ(ThreadPool::ResolveJobs(3), 3u);
   EXPECT_GE(ThreadPool::ResolveJobs(0), 1u);  // 0 = hardware concurrency
+}
+
+TEST(ThreadPool, ThrowingTaskReachesItsCompletion) {
+  ThreadPool pool(2);
+  std::exception_ptr seen;
+  std::atomic<bool> fired{false};
+  pool.Submit([] { throw std::runtime_error("boom"); },
+              [&](std::exception_ptr error) {
+                seen = error;
+                fired.store(true);
+              });
+  pool.Wait();
+  ASSERT_TRUE(fired.load());
+  ASSERT_TRUE(seen != nullptr);
+  try {
+    std::rethrow_exception(seen);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // A completion-handled exception is not retained by the pool.
+  EXPECT_TRUE(pool.first_exception() == nullptr);
+}
+
+TEST(ThreadPool, CompletionlessExceptionRetainedAfterWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Wait();
+  std::exception_ptr retained = pool.first_exception();
+  ASSERT_TRUE(retained != nullptr);
+  try {
+    std::rethrow_exception(retained);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The pool survived the throw and still runs work.
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, ShutdownDropsQueuedTasksButKeepsPoolUsable) {
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();  // hold the single worker inside the first task
+  std::atomic<int> ran{0};
+  std::atomic<int> canceled{0};
+  pool.Submit([&gate] { std::lock_guard<std::mutex> wait(gate); });
+  // These queue behind the blocked worker and are dropped by Shutdown();
+  // each completion fires with the cancellation exception.
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); },
+                [&](std::exception_ptr error) {
+                  if (error != nullptr) canceled.fetch_add(1);
+                });
+  }
+  pool.Shutdown();
+  gate.unlock();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(canceled.load(), 5);
+  // The pool accepts and runs new work after a shutdown.
+  std::atomic<int> after{0};
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/run_control.h"
+#include "spec/parser.h"
+#include "verifier/db_enum.h"
+#include "verifier/engine.h"
+#include "verifier/parallel_sweep.h"
+
+namespace wsv::verifier {
+namespace {
+
+/// Single unary database relation over a 2-element fresh domain: the
+/// iso-reduced enumeration yields exactly 3 canonical databases
+/// ({}, {#1}, {#1,#2}), small enough to reason about indices exactly.
+constexpr char kTinySpec[] = R"(
+peer P {
+  database { d(x); }
+  input    { i(x); }
+  rules {
+    options i(x) :- d(x);
+  }
+}
+)";
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto comp = spec::ParseComposition(kTinySpec);
+    ASSERT_TRUE(comp.ok()) << comp.status();
+    comp_.emplace(std::move(*comp));
+    pd_ = BuildPseudoDomain(*comp_, {}, /*fresh_count=*/2);
+  }
+
+  /// Fresh enumerator positioned at the start (each Run consumes one).
+  DatabaseEnumerator MakeEnumerator() {
+    return DatabaseEnumerator(&*comp_, pd_.domain, pd_.fresh,
+                              /*iso_reduce=*/true);
+  }
+
+  std::optional<spec::Composition> comp_;
+  PseudoDomain pd_;
+};
+
+TEST_F(FaultInjectionTest, EnumerationHasThreeDatabases) {
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  std::vector<data::Instance> dbs;
+  size_t count = 0;
+  while (enumerator.Next(&dbs)) ++count;
+  ASSERT_EQ(count, 3u);
+}
+
+/// A check that keeps throwing for one database is retried once and then
+/// recorded as failed; the sweep still completes the other databases and
+/// degrades the clean pass to a db-failures verdict — at every job count.
+TEST_F(FaultInjectionTest, ThrowingCheckIsRetriedThenSkipped) {
+  for (size_t jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    std::atomic<size_t> attempts_on_bad{0};
+    SweepOptions options;
+    options.jobs = jobs;
+    options.skip_failed_databases = true;
+    DatabaseEnumerator enumerator = MakeEnumerator();
+    ParallelSweep sweep(&enumerator, options);
+    auto outcome = sweep.Run([&](size_t index, const std::vector<data::Instance>&,
+                                 EngineOutcome&) -> Result<bool> {
+      if (index == 1) {
+        ++attempts_on_bad;
+        throw std::bad_alloc();
+      }
+      return false;
+    });
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_FALSE(outcome->violation_found);
+    EXPECT_EQ(outcome->failed_db_indices, std::vector<size_t>{1});
+    EXPECT_EQ(attempts_on_bad.load(), 2u);  // original attempt + one retry
+    EXPECT_EQ(outcome->db_retries, 1u);
+    EXPECT_EQ(outcome->completed_prefix, 3u);
+    EXPECT_EQ(outcome->stop_reason, StopReason::kDbFailures);
+    EXPECT_EQ(outcome->stop_status.code(), StatusCode::kPartialFailure);
+  }
+}
+
+/// A transient failure (first attempt throws, retry succeeds) leaves no
+/// trace in the failed list — only the retry counter.
+TEST_F(FaultInjectionTest, TransientFailureSucceedsOnRetry) {
+  std::atomic<size_t> attempts_on_bad{0};
+  SweepOptions options;
+  options.skip_failed_databases = true;
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run([&](size_t index, const std::vector<data::Instance>&,
+                               EngineOutcome&) -> Result<bool> {
+    if (index == 1 && attempts_on_bad.fetch_add(1) == 0) {
+      return Status::Internal("transient fault");
+    }
+    return false;
+  });
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->failed_db_indices.empty());
+  EXPECT_EQ(outcome->db_retries, 1u);
+  EXPECT_EQ(outcome->completed_prefix, 3u);
+  EXPECT_EQ(outcome->stop_reason, StopReason::kComplete);
+}
+
+/// Without skip_failed_databases the legacy contract holds: the sweep
+/// aborts and the error surfaces (after the one retry).
+TEST_F(FaultInjectionTest, AbortModeSurfacesTheError) {
+  SweepOptions options;
+  options.skip_failed_databases = false;
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run([&](size_t index, const std::vector<data::Instance>&,
+                               EngineOutcome&) -> Result<bool> {
+    if (index == 1) throw std::runtime_error("injected");
+    return false;
+  });
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInternal);
+}
+
+/// A violation stays a sound VIOLATION even when other databases failed:
+/// failures beyond the witness index are unreachable in serial order and
+/// must not appear in the failed list.
+TEST_F(FaultInjectionTest, WitnessBeforeFailureHidesTheFailure) {
+  for (size_t jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    SweepOptions options;
+    options.jobs = jobs;
+    options.skip_failed_databases = true;
+    DatabaseEnumerator enumerator = MakeEnumerator();
+    ParallelSweep sweep(&enumerator, options);
+    auto outcome = sweep.Run([&](size_t index, const std::vector<data::Instance>&,
+                                 EngineOutcome& out) -> Result<bool> {
+      if (index == 0) {
+        out.label = {"witness-0"};
+        return true;
+      }
+      if (index == 2) throw std::bad_alloc();
+      return false;
+    });
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_TRUE(outcome->violation_found);
+    EXPECT_EQ(outcome->violation_db_index, 0u);
+    EXPECT_EQ(outcome->label, std::vector<std::string>{"witness-0"});
+    EXPECT_TRUE(outcome->failed_db_indices.empty());
+  }
+}
+
+/// The dual case: a failure below the witness index IS reported alongside
+/// the (still deterministic, lowest-index) witness.
+TEST_F(FaultInjectionTest, FailureBelowWitnessIsReported) {
+  for (size_t jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    SweepOptions options;
+    options.jobs = jobs;
+    options.skip_failed_databases = true;
+    DatabaseEnumerator enumerator = MakeEnumerator();
+    ParallelSweep sweep(&enumerator, options);
+    auto outcome = sweep.Run([&](size_t index, const std::vector<data::Instance>&,
+                                 EngineOutcome& out) -> Result<bool> {
+      if (index == 0) throw std::bad_alloc();
+      if (index == 2) {
+        out.label = {"witness-2"};
+        return true;
+      }
+      return false;
+    });
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_TRUE(outcome->violation_found);
+    EXPECT_EQ(outcome->violation_db_index, 2u);
+    EXPECT_EQ(outcome->failed_db_indices, std::vector<size_t>{0});
+  }
+}
+
+/// A cancel requested before the sweep starts stops it at the first
+/// dispatch: nothing is checked, the outcome records kCanceled.
+TEST_F(FaultInjectionTest, CancellationStopsDispatch) {
+  RunControl control;
+  control.RequestCancel();
+  SweepOptions options;
+  options.control = &control;
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run(
+      [&](size_t, const std::vector<data::Instance>&, EngineOutcome&)
+          -> Result<bool> { return false; });
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->databases_checked, 0u);
+  EXPECT_EQ(outcome->completed_prefix, 0u);
+  EXPECT_EQ(outcome->stop_reason, StopReason::kCanceled);
+}
+
+/// A deadline that expires during the first check stops the sweep with a
+/// kDeadline outcome covering only the completed prefix.
+TEST_F(FaultInjectionTest, DeadlineStopsSweepMidway) {
+  RunControl control;
+  control.ArmDeadlineMs(1);
+  SweepOptions options;
+  options.control = &control;
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run([&](size_t, const std::vector<data::Instance>&,
+                               EngineOutcome&) -> Result<bool> {
+    // Outlive the deadline, then report the stop the way a control-polling
+    // check would.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Status check = control.Check();
+    if (!check.ok()) return check;
+    return false;
+  });
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->stop_reason, StopReason::kDeadline);
+  EXPECT_EQ(outcome->completed_prefix, 0u);
+}
+
+/// Periodic checkpoints report a monotonically non-decreasing completed
+/// prefix and, at the end, exactly the sweep's final progress.
+TEST_F(FaultInjectionTest, CheckpointCallbackSeesMonotoneProgress) {
+  std::mutex mu;
+  std::vector<size_t> prefixes;
+  SweepOptions options;
+  options.jobs = 2;
+  options.skip_failed_databases = true;
+  options.checkpoint_every = 1;
+  options.checkpoint_fn = [&](size_t completed_prefix,
+                              const std::vector<size_t>& failed,
+                              size_t databases_completed) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_LE(completed_prefix, 3u);
+    EXPECT_LE(failed.size(), 1u);
+    EXPECT_LE(databases_completed, 3u);
+    prefixes.push_back(completed_prefix);
+  };
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run([&](size_t index, const std::vector<data::Instance>&,
+                               EngineOutcome&) -> Result<bool> {
+    if (index == 1) throw std::bad_alloc();
+    return false;
+  });
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_FALSE(prefixes.empty());
+  for (size_t i = 1; i < prefixes.size(); ++i) {
+    EXPECT_LE(prefixes[i - 1], prefixes[i]);
+  }
+  EXPECT_EQ(outcome->completed_prefix, 3u);
+}
+
+/// Resume alignment: start_index fast-forwards the enumerator so a resumed
+/// sweep sees the same databases at the same indices, and carries the
+/// resumed failed list into the merged outcome.
+TEST_F(FaultInjectionTest, StartIndexPreservesIndexAlignment) {
+  // Reference: record each index's database from a full sweep.
+  std::mutex mu;
+  std::vector<std::vector<data::Instance>> seen(3);
+  {
+    DatabaseEnumerator enumerator = MakeEnumerator();
+    ParallelSweep sweep(&enumerator, SweepOptions{});
+    auto outcome = sweep.Run(
+        [&](size_t index, const std::vector<data::Instance>& dbs,
+            EngineOutcome&) -> Result<bool> {
+          std::lock_guard<std::mutex> lock(mu);
+          seen[index] = dbs;
+          return false;
+        });
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+  }
+  SweepOptions options;
+  options.start_index = 1;
+  options.resume_failed = {0};
+  options.skip_failed_databases = true;
+  DatabaseEnumerator enumerator = MakeEnumerator();
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run(
+      [&](size_t index, const std::vector<data::Instance>& dbs,
+          EngineOutcome&) -> Result<bool> {
+        EXPECT_GE(index, 1u);
+        EXPECT_LT(index, 3u);
+        EXPECT_EQ(dbs.size(), seen[index].size());
+        for (size_t p = 0; p < dbs.size(); ++p) {
+          EXPECT_EQ(dbs[p].ToString(pd_.interner),
+                    seen[index][p].ToString(pd_.interner));
+        }
+        return false;
+      });
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->databases_checked, 2u);
+  EXPECT_EQ(outcome->completed_prefix, 3u);
+  EXPECT_EQ(outcome->failed_db_indices, std::vector<size_t>{0});
+  EXPECT_EQ(outcome->stop_reason, StopReason::kDbFailures);
+}
+
+}  // namespace
+}  // namespace wsv::verifier

@@ -74,7 +74,35 @@ def check_stats(path):
             for phase in ("db_enum", "graph_expand", "leaf_eval", "ndfs"):
                 expect(isinstance(verdict["phase_ns"].get(phase), int),
                        f"'verdict.phase_ns.{phase}' must be an integer")
+        if "coverage" in verdict:
+            check_coverage(verdict["coverage"])
     return doc
+
+
+def check_coverage(cov):
+    """Validates the verdict.coverage block written for sweep verdicts."""
+    expect(isinstance(cov, dict), "'verdict.coverage' must be an object")
+    reasons = ("complete", "budget", "deadline", "canceled", "db-failures")
+    expect(cov.get("stop_reason") in reasons,
+           f"'coverage.stop_reason' must be one of {reasons}, "
+           f"got {cov.get('stop_reason')!r}")
+    for field in ("stop_code", "stop_message"):
+        expect(isinstance(cov.get(field), str),
+               f"'coverage.{field}' must be a string")
+    for field in ("completed_prefix", "databases_completed", "db_retries"):
+        expect(isinstance(cov.get(field), int) and cov[field] >= 0,
+               f"'coverage.{field}' must be a non-negative integer")
+    failed = cov.get("failed_db_indices")
+    expect(isinstance(failed, list), "'coverage.failed_db_indices' must be a list")
+    for index in failed:
+        # Indices ahead of the prefix are legal: a parallel sweep can record
+        # an out-of-order failure before the prefix catches up to it.
+        expect(isinstance(index, int) and index >= 0,
+               "'coverage.failed_db_indices' entries must be non-negative "
+               "integers")
+    if cov["stop_reason"] == "complete":
+        expect(cov["stop_code"] == "OK",
+               "'coverage.stop_code' must be OK when the sweep completed")
 
 
 def check_trace(path):

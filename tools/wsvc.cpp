@@ -3,6 +3,8 @@
 // Commands and the full option list live in Usage() below; README.md
 // ("Observability") documents the stats/trace output formats.
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_control.h"
 #include "common/strings.h"
 #include "ltl/property.h"
 #include "modular/modular_verifier.h"
@@ -22,6 +25,7 @@
 #include "runtime/simulator.h"
 #include "spec/parser.h"
 #include "spec/printer.h"
+#include "verifier/checkpoint.h"
 #include "verifier/verifier.h"
 
 namespace {
@@ -44,7 +48,7 @@ struct CliReport {
 
 const std::set<std::string>& BoolFlags() {
   static const std::set<std::string> flags = {
-      "--perfect", "--trace", "--progress", "-v", "--verbose"};
+      "--perfect", "--trace", "--progress", "-v", "--verbose", "--resume"};
   return flags;
 }
 
@@ -54,7 +58,8 @@ const std::set<std::string>& ValueFlags() {
       "--queue-bound", "--fresh",       "--max-states", "--max-databases",
       "--steps",     "--seed",          "--db",         "--env-msg",
       "--env-domain", "--stats-json",   "--trace-json", "--progress-ms",
-      "--jobs"};
+      "--jobs",      "--deadline-ms",   "--checkpoint", "--checkpoint-every",
+      "--on-db-error"};
   return flags;
 }
 
@@ -93,6 +98,23 @@ int Usage() {
       "                           verdict and witness are identical at any n\n"
       "  --steps <n> / --seed <s> simulation length / RNG seed (simulate)\n"
       "  --trace                  print the counterexample run\n"
+      "\n"
+      "robustness options (verify, protocol, modular):\n"
+      "  --deadline-ms <ms>       stop after this much wall time with a\n"
+      "                           partial verdict over the completed database\n"
+      "                           prefix (0 = no deadline); Ctrl-C stops the\n"
+      "                           same way, a second Ctrl-C force-exits\n"
+      "  --on-db-error <mode>     skip (default): retry a hard-failing\n"
+      "                           database once, then record it as failed\n"
+      "                           and keep sweeping; abort: surface the error\n"
+      "  --checkpoint <file>      persist sweep progress here (atomic\n"
+      "                           temp-file + rename), and once more when the\n"
+      "                           run ends\n"
+      "  --checkpoint-every <n>   databases between checkpoints (default 64)\n"
+      "  --resume                 fast-forward past the prefix recorded in\n"
+      "                           --checkpoint's file; the resumed run\n"
+      "                           reproduces the uninterrupted verdict and\n"
+      "                           witness bit-for-bit\n"
       "\n"
       "observability options:\n"
       "  --stats-json <file>      write all counters, phase timers and the\n"
@@ -192,17 +214,121 @@ Result<std::vector<verifier::NamedDatabase>> BuildDatabases(
   return dbs;
 }
 
-size_t FlagOr(const Args& args, const std::string& name, size_t fallback) {
+/// Numeric flag parser. strtoull silently wraps negatives ("-1" ->
+/// 18446744073709551615) and saturates overflows, so both are rejected
+/// explicitly; `max_value` caps flags where an absurd value would only
+/// exhaust memory or threads.
+size_t FlagOr(const Args& args, const std::string& name, size_t fallback,
+              size_t max_value = static_cast<size_t>(-1)) {
   auto it = args.flags.find(name);
   if (it == args.flags.end()) return fallback;
+  const std::string& text = it->second;
+  if (text.empty() || text[0] == '-' || text[0] == '+') {
+    std::fprintf(stderr,
+                 "wsvc: flag '%s' expects a non-negative number, got '%s'\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  errno = 0;
   char* end = nullptr;
-  unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') {
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
     std::fprintf(stderr, "wsvc: flag '%s' expects a number, got '%s'\n",
-                 name.c_str(), it->second.c_str());
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE || value > max_value) {
+    std::fprintf(stderr,
+                 "wsvc: flag '%s' value '%s' is out of range (max %llu)\n",
+                 name.c_str(), text.c_str(),
+                 static_cast<unsigned long long>(max_value));
     std::exit(2);
   }
   return static_cast<size_t>(value);
+}
+
+/// Sanity caps: values beyond these cannot be useful, only harmful.
+constexpr size_t kMaxJobs = 4096;
+constexpr size_t kMaxQueueBound = 1 << 20;
+constexpr size_t kMaxFresh = 1 << 20;
+
+/// Everything Run{Verify,Protocol,Modular} need to wire the robustness
+/// options (deadline/cancel token, fault isolation, checkpoint/resume) into
+/// their verifier options.
+struct RobustnessSetup {
+  RunControl* control = nullptr;
+  verifier::OnDbError on_db_error = verifier::OnDbError::kSkip;
+  std::string checkpoint_path;
+  std::string checkpoint_fingerprint;
+  size_t checkpoint_every = 64;
+  size_t resume_prefix = 0;
+  std::vector<size_t> resume_failed;
+};
+
+/// Builds the robustness setup from the flags. The checkpoint fingerprint
+/// covers everything that determines the enumeration order and the verdict
+/// (command, spec source, property/protocol/env, domain- and
+/// semantics-shaping flags) — but NOT --jobs, --max-databases or budgets:
+/// resuming with different resource limits is exactly the point.
+/// Returns 0, or the exit code on a flag/checkpoint error.
+int BuildRobustness(const Args& args, const std::string& spec_source,
+                    RobustnessSetup* out) {
+  out->control = &RunControl::Global();
+  uint64_t deadline_ms = FlagOr(args, "--deadline-ms", 0);
+  if (deadline_ms > 0) out->control->ArmDeadlineMs(deadline_ms);
+  auto mode = args.flags.find("--on-db-error");
+  if (mode != args.flags.end()) {
+    if (mode->second == "abort") {
+      out->on_db_error = verifier::OnDbError::kAbort;
+    } else if (mode->second == "skip") {
+      out->on_db_error = verifier::OnDbError::kSkip;
+    } else {
+      std::fprintf(stderr,
+                   "wsvc: --on-db-error expects 'abort' or 'skip', got '%s'\n",
+                   mode->second.c_str());
+      return 2;
+    }
+  }
+  auto cp = args.flags.find("--checkpoint");
+  if (cp == args.flags.end()) {
+    if (args.flags.count("--resume") > 0) {
+      std::fprintf(stderr, "wsvc: --resume requires --checkpoint <file>\n");
+      return 2;
+    }
+    return 0;
+  }
+  out->checkpoint_path = cp->second;
+  out->checkpoint_every = FlagOr(args, "--checkpoint-every", 64);
+  auto flag = [&args](const char* name) {
+    auto it = args.flags.find(name);
+    return it == args.flags.end() ? std::string() : it->second;
+  };
+  std::string dbs_joined;
+  for (const std::string& db : args.dbs) dbs_joined += db + "\n";
+  std::string env_msgs_joined;
+  for (const std::string& msg : args.env_msgs) env_msgs_joined += msg + "\n";
+  out->checkpoint_fingerprint = verifier::FingerprintParts(
+      {args.command, spec_source, flag("--property"), flag("--ltl"),
+       flag("--env"), flag("--observer"), flag("--queue-bound"),
+       args.flags.count("--perfect") > 0 ? "perfect" : "lossy",
+       flag("--fresh"), flag("--env-domain"), dbs_joined, env_msgs_joined});
+  if (args.flags.count("--resume") > 0) {
+    auto loaded = verifier::ReadCheckpoint(out->checkpoint_path,
+                                           out->checkpoint_fingerprint);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "wsvc: --resume: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    out->resume_prefix = static_cast<size_t>(loaded->completed_prefix);
+    out->resume_failed.assign(loaded->failed_indices.begin(),
+                              loaded->failed_indices.end());
+    std::fprintf(stderr,
+                 "wsvc: resuming past %zu completed database(s) (%zu "
+                 "previously failed)\n",
+                 out->resume_prefix, out->resume_failed.size());
+  }
+  return 0;
 }
 
 void PrintVerdict(const char* what, const verifier::VerificationResult& r) {
@@ -213,6 +339,21 @@ void PrintVerdict(const char* what, const verifier::VerificationResult& r) {
               "snapshots: %zu, product states: %zu\n",
               r.stats.databases_checked, r.stats.searches, r.stats.prefiltered,
               r.stats.search.snapshots, r.stats.search.product_states);
+  if (r.coverage.stop_reason != StopReason::kComplete) {
+    std::printf("  coverage: stopped early (%s); completed database prefix: "
+                "%zu, failed: %zu, retries: %zu\n",
+                StopReasonName(r.coverage.stop_reason),
+                r.coverage.completed_prefix,
+                r.coverage.failed_db_indices.size(), r.coverage.db_retries);
+  }
+}
+
+/// Maps a verdict to the process exit code: 0 holds, 3 violated (sound even
+/// when the run was cut short), 130 canceled before any conclusion.
+int VerdictExitCode(const verifier::VerificationResult& r) {
+  if (!r.holds) return 3;
+  if (r.coverage.stop_reason == StopReason::kCanceled) return 130;
+  return 0;
 }
 
 int RunCheck(const Args& args, spec::Composition& comp) {
@@ -238,7 +379,8 @@ int RunCheck(const Args& args, spec::Composition& comp) {
   return 0;
 }
 
-int RunVerify(const Args& args, spec::Composition& comp, CliReport* report) {
+int RunVerify(const Args& args, const std::string& spec_source,
+              spec::Composition& comp, CliReport* report) {
   auto it = args.flags.find("--property");
   if (it == args.flags.end()) {
     std::fprintf(stderr, "verify requires --property\n");
@@ -251,13 +393,24 @@ int RunVerify(const Args& args, spec::Composition& comp, CliReport* report) {
     return 2;
   }
   verifier::VerifierOptions options;
-  options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
+  options.run.queue_bound = FlagOr(args, "--queue-bound", 1, kMaxQueueBound);
   options.run.lossy = args.flags.count("--perfect") == 0;
-  options.fresh_domain_size = FlagOr(args, "--fresh", 1);
+  options.fresh_domain_size = FlagOr(args, "--fresh", 1, kMaxFresh);
   options.budget.max_states = FlagOr(args, "--max-states", 4000000);
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
-  options.jobs = FlagOr(args, "--jobs", 1);
+  options.jobs = FlagOr(args, "--jobs", 1, kMaxJobs);
+  RobustnessSetup rob;
+  if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
+    return rrc;
+  }
+  options.control = rob.control;
+  options.on_db_error = rob.on_db_error;
+  options.checkpoint_path = rob.checkpoint_path;
+  options.checkpoint_fingerprint = rob.checkpoint_fingerprint;
+  options.checkpoint_every = rob.checkpoint_every;
+  options.resume_prefix = rob.resume_prefix;
+  options.resume_failed = std::move(rob.resume_failed);
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -280,12 +433,13 @@ int RunVerify(const Args& args, spec::Composition& comp, CliReport* report) {
                           .c_str());
   }
   report->kind = "property";
-  int rc = result->holds ? 0 : 3;
+  int rc = VerdictExitCode(*result);
   report->result = std::move(*result);
   return rc;
 }
 
-int RunProtocol(const Args& args, spec::Composition& comp, CliReport* report) {
+int RunProtocol(const Args& args, const std::string& spec_source,
+                spec::Composition& comp, CliReport* report) {
   auto it = args.flags.find("--ltl");
   if (it == args.flags.end()) {
     std::fprintf(stderr, "protocol requires --ltl\n");
@@ -303,12 +457,23 @@ int RunProtocol(const Args& args, spec::Composition& comp, CliReport* report) {
     return 2;
   }
   protocol::ProtocolVerifierOptions options;
-  options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
-  options.fresh_domain_size = FlagOr(args, "--fresh", 1);
+  options.run.queue_bound = FlagOr(args, "--queue-bound", 1, kMaxQueueBound);
+  options.fresh_domain_size = FlagOr(args, "--fresh", 1, kMaxFresh);
   options.budget.max_states = FlagOr(args, "--max-states", 4000000);
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
-  options.jobs = FlagOr(args, "--jobs", 1);
+  options.jobs = FlagOr(args, "--jobs", 1, kMaxJobs);
+  RobustnessSetup rob;
+  if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
+    return rrc;
+  }
+  options.control = rob.control;
+  options.on_db_error = rob.on_db_error;
+  options.checkpoint_path = rob.checkpoint_path;
+  options.checkpoint_fingerprint = rob.checkpoint_fingerprint;
+  options.checkpoint_every = rob.checkpoint_every;
+  options.resume_prefix = rob.resume_prefix;
+  options.resume_failed = std::move(rob.resume_failed);
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -325,12 +490,13 @@ int RunProtocol(const Args& args, spec::Composition& comp, CliReport* report) {
   }
   PrintVerdict("protocol", *result);
   report->kind = "protocol";
-  int rc = result->holds ? 0 : 3;
+  int rc = VerdictExitCode(*result);
   report->result = std::move(*result);
   return rc;
 }
 
-int RunModular(const Args& args, spec::Composition& comp, CliReport* report) {
+int RunModular(const Args& args, const std::string& spec_source,
+               spec::Composition& comp, CliReport* report) {
   auto pit = args.flags.find("--property");
   auto eit = args.flags.find("--env");
   if (pit == args.flags.end() || eit == args.flags.end()) {
@@ -346,12 +512,23 @@ int RunModular(const Args& args, spec::Composition& comp, CliReport* report) {
     return 2;
   }
   modular::ModularVerifierOptions options;
-  options.run.queue_bound = FlagOr(args, "--queue-bound", 1);
-  options.fresh_domain_size = FlagOr(args, "--fresh", 1);
+  options.run.queue_bound = FlagOr(args, "--queue-bound", 1, kMaxQueueBound);
+  options.fresh_domain_size = FlagOr(args, "--fresh", 1, kMaxFresh);
   options.budget.max_states = FlagOr(args, "--max-states", 8000000);
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
-  options.jobs = FlagOr(args, "--jobs", 1);
+  options.jobs = FlagOr(args, "--jobs", 1, kMaxJobs);
+  RobustnessSetup rob;
+  if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
+    return rrc;
+  }
+  options.control = rob.control;
+  options.on_db_error = rob.on_db_error;
+  options.checkpoint_path = rob.checkpoint_path;
+  options.checkpoint_fingerprint = rob.checkpoint_fingerprint;
+  options.checkpoint_every = rob.checkpoint_every;
+  options.resume_prefix = rob.resume_prefix;
+  options.resume_failed = std::move(rob.resume_failed);
   auto dom = args.flags.find("--env-domain");
   if (dom != args.flags.end()) {
     options.env_quantifier_domain = Split(dom->second, ',');
@@ -383,7 +560,7 @@ int RunModular(const Args& args, spec::Composition& comp, CliReport* report) {
   }
   PrintVerdict("modular", *result);
   report->kind = "modular";
-  int rc = result->holds ? 0 : 3;
+  int rc = VerdictExitCode(*result);
   report->result = std::move(*result);
   return rc;
 }
@@ -449,6 +626,17 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
     w.Key("budget_exceeded")
         .Bool(r.regime.code() == StatusCode::kBudgetExceeded ||
               r.stats.search.budget_hits > 0);
+    w.Key("coverage").BeginObject();
+    w.Key("stop_reason").String(StopReasonName(r.coverage.stop_reason));
+    w.Key("stop_code").String(StatusCodeName(r.coverage.stop_status.code()));
+    w.Key("stop_message").String(r.coverage.stop_status.message());
+    w.Key("completed_prefix").Uint(r.coverage.completed_prefix);
+    w.Key("databases_completed").Uint(r.stats.databases_checked);
+    w.Key("failed_db_indices").BeginArray();
+    for (size_t index : r.coverage.failed_db_indices) w.Uint(index);
+    w.EndArray();
+    w.Key("db_retries").Uint(r.coverage.db_retries);
+    w.EndObject();
     w.Key("stats").BeginObject();
     w.Key("jobs").Uint(r.stats.jobs);
     w.Key("databases_checked").Uint(r.stats.databases_checked);
@@ -478,11 +666,30 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
   return w.Take();
 }
 
+/// First Ctrl-C: request cooperative cancellation — the run winds down and
+/// still emits the partial verdict, stats JSON and a final checkpoint.
+/// Second Ctrl-C: force-exit immediately (something is stuck).
+volatile std::sig_atomic_t g_sigint_seen = 0;
+
+extern "C" void HandleSigint(int) {
+  std::sig_atomic_t seen = g_sigint_seen;
+  g_sigint_seen = seen + 1;
+  if (seen > 0) std::_Exit(130);
+  // Async-signal-safe: a relaxed atomic store on an already-constructed
+  // object (main touches Global() before installing the handler).
+  RunControl::Global().RequestCancel();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+
+  // Construct the global RunControl before the handler can fire; signal
+  // handlers must not run a function-local static's first-time init.
+  RunControl::Global();
+  std::signal(SIGINT, HandleSigint);
 
   // Observability setup: counters are always collected; phase timing,
   // tracing and the heartbeat are enabled by their flags. --stats-json and
@@ -523,11 +730,11 @@ int main(int argc, char** argv) {
       std::printf("%s", spec::PrintComposition(*comp).c_str());
       rc = 0;
     } else if (args.command == "verify") {
-      rc = RunVerify(args, *comp, &report);
+      rc = RunVerify(args, *source, *comp, &report);
     } else if (args.command == "protocol") {
-      rc = RunProtocol(args, *comp, &report);
+      rc = RunProtocol(args, *source, *comp, &report);
     } else if (args.command == "modular") {
-      rc = RunModular(args, *comp, &report);
+      rc = RunModular(args, *source, *comp, &report);
     } else if (args.command == "simulate") {
       rc = RunSimulate(args, *comp);
     }
