@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "ltl/property.h"
@@ -149,6 +150,71 @@ void BM_JobsSweep(benchmark::State& state) {
   state.counters["databases"] = static_cast<double>(databases);
 }
 BENCHMARK(BM_JobsSweep)
+    ->ArgName("jobs")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Within-database parallelism: ONE pinned database, many property
+/// instances (|domain|^2 valuations of a two-variable closure), so all
+/// speedup must come from the second scheduler level — parallel graph
+/// exploration, leaf sealing and the chunked valuation fan-out — not from
+/// sweeping databases. The property is a response shape, G(s -> F t):
+/// its leaves flip across snapshots, so the never/always prefilter cannot
+/// discharge any instance and every valuation pays a real product search.
+void BM_ValuationFanout(benchmark::State& state) {
+  spec::Composition comp = bench::MustParse(R"(
+peer Store {
+  database { r(x); }
+  input    { in(x); }
+  state    { s(x); t(x); }
+  rules {
+    options in(x) :- r(x);
+    insert s(x) :- in(x);
+    insert t(x) :- s(x);
+  }
+}
+)");
+  auto property = ltl::Property::Parse(
+      "forall x, y: G((Store.s(x) -> F Store.t(x)) and "
+      "(Store.s(y) -> F Store.t(y)))");
+  if (!property.ok()) {
+    state.SkipWithError(property.status().ToString().c_str());
+    return;
+  }
+  verifier::VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.budget.max_states = 500000;
+  options.jobs = static_cast<size_t>(state.range(0));
+  verifier::NamedDatabase db;
+  db["r"] = {{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"f"}};
+  options.fixed_databases = std::vector<verifier::NamedDatabase>{db};
+  size_t valuations = 0;
+  size_t searches = 0;
+  bench::ResetObs();
+  for (auto _ : state) {
+    verifier::Verifier verifier(&comp, options);
+    auto result = verifier.Verify(*property);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    if (!result->holds) {
+      state.SkipWithError("property unexpectedly violated");
+      return;
+    }
+    valuations = result->stats.valuations_checked;
+    searches = result->stats.searches;
+  }
+  bench::ExportObsCounters(state);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+  state.counters["valuations"] = static_cast<double>(valuations);
+  state.counters["searches"] = static_cast<double>(searches);
+}
+BENCHMARK(BM_ValuationFanout)
     ->ArgName("jobs")
     ->Arg(1)
     ->Arg(2)

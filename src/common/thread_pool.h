@@ -64,6 +64,28 @@ class ThreadPool {
   /// (at least 1); anything else passes through.
   static size_t ResolveJobs(size_t jobs);
 
+  /// Cooperative fan-out of `count` chunk indices over the calling thread
+  /// plus idle pool workers. `fn(lane, chunk)` runs exactly once per chunk
+  /// in [0, count); chunks are claimed in increasing order from a shared
+  /// cursor, and `lane` (0 = caller, 1..helpers = pool drainers) lets
+  /// callers keep per-lane accumulators without locks.
+  ///
+  /// The caller always participates, so the call completes even when every
+  /// pool worker is pinned by long-running tasks (no deadlock on a shared
+  /// pool); idle workers pick up drainer tasks and join in. At most
+  /// `helpers` drainer tasks are submitted to `pool`. Drainers still queued
+  /// when the caller exhausts the cursor are abandoned (they no-op when the
+  /// pool eventually runs them), so a saturated pool costs nothing beyond
+  /// the caller's own serial pass.
+  ///
+  /// If `fn` throws, the first exception (lowest chunk index) is rethrown
+  /// on the calling thread after all started lanes finish; remaining chunks
+  /// are skipped. Pass pool == nullptr or helpers == 0 for a plain serial
+  /// loop on the caller (lane 0).
+  static void ParallelChunks(
+      ThreadPool* pool, size_t helpers, size_t count,
+      const std::function<void(size_t lane, size_t chunk)>& fn);
+
  private:
   struct Task {
     std::function<void()> fn;

@@ -123,7 +123,7 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
     task.leaves = std::move(ground.propositions);
   }
   task.closure_variables = property.closure_variables();
-  task.valuations = verifier::EnumerateValuations(
+  task.valuations = verifier::ValuationSpace(
       pd.domain, interner_, task.closure_variables.size());
   result.stats.valuations_checked = task.valuations.size();
 
@@ -160,6 +160,7 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
     ce.closure_valuation = std::move(outcome.label);
     ce.lasso = std::move(outcome.lasso);
     ce.database_index = outcome.violation_db_index;
+    ce.valuation_index = outcome.violation_valuation_index;
     result.counterexample = std::move(ce);
   }
   result.coverage.stop_reason = outcome.stop_reason;

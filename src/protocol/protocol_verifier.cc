@@ -104,7 +104,7 @@ Result<verifier::VerificationResult> ProtocolVerifier::Verify(
   }
   automaton_phase.reset();  // closes the phase.automaton span
   task.closure_variables = protocol.FreeVariables();
-  task.valuations = verifier::EnumerateValuations(
+  task.valuations = verifier::ValuationSpace(
       pd.domain, interner_, task.closure_variables.size());
   result.stats.valuations_checked = task.valuations.size();
 
@@ -141,6 +141,7 @@ Result<verifier::VerificationResult> ProtocolVerifier::Verify(
     ce.closure_valuation = std::move(outcome.label);
     ce.lasso = std::move(outcome.lasso);
     ce.database_index = outcome.violation_db_index;
+    ce.valuation_index = outcome.violation_valuation_index;
     result.counterexample = std::move(ce);
   }
   result.coverage.stop_reason = outcome.stop_reason;

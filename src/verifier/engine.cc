@@ -1,6 +1,13 @@
 #include "verifier/engine.h"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "automata/emptiness.h"
 #include "common/thread_pool.h"
@@ -71,26 +78,57 @@ PseudoDomain BuildPseudoDomain(const spec::Composition& comp,
   return pd;
 }
 
+ValuationSpace::ValuationSpace(const data::Domain& domain,
+                               const Interner& interner, size_t num_vars)
+    : num_vars_(num_vars) {
+  values_.assign(domain.values().begin(), domain.values().end());
+  spellings_.reserve(values_.size());
+  for (data::Value v : values_) spellings_.push_back(interner.Text(v));
+  if (num_vars_ == 0) return;  // size_ stays 1: the single empty valuation
+  if (values_.empty()) {
+    size_ = 0;
+    return;
+  }
+  for (size_t i = 0; i < num_vars_; ++i) {
+    if (size_ > static_cast<size_t>(-1) / values_.size()) {
+      size_ = static_cast<size_t>(-1);  // saturate |domain|^num_vars
+      return;
+    }
+    size_ *= values_.size();
+  }
+}
+
+void ValuationSpace::DecodeValues(size_t index,
+                                  std::vector<data::Value>* out) const {
+  out->clear();
+  out->reserve(num_vars_);
+  // Mixed-radix decode, position 0 least significant: the same order the
+  // historical materializing enumeration produced.
+  const size_t radix = values_.size();
+  for (size_t i = 0; i < num_vars_; ++i) {
+    out->push_back(values_[index % radix]);
+    index /= radix;
+  }
+}
+
+std::vector<std::string> ValuationSpace::DecodeSpellings(size_t index) const {
+  std::vector<std::string> out;
+  out.reserve(num_vars_);
+  const size_t radix = spellings_.size();
+  for (size_t i = 0; i < num_vars_; ++i) {
+    out.push_back(spellings_[index % radix]);
+    index /= radix;
+  }
+  return out;
+}
+
 std::vector<std::vector<std::string>> EnumerateValuations(
     const data::Domain& domain, const Interner& interner, size_t num_vars) {
+  ValuationSpace space(domain, interner, num_vars);
   std::vector<std::vector<std::string>> out;
-  std::vector<size_t> idx(num_vars, 0);
-  if (domain.empty() && num_vars > 0) return out;
-  while (true) {
-    std::vector<std::string> valuation;
-    valuation.reserve(num_vars);
-    for (size_t i = 0; i < num_vars; ++i) {
-      valuation.push_back(interner.Text(domain.values()[idx[i]]));
-    }
-    out.push_back(std::move(valuation));
-    if (num_vars == 0) break;
-    size_t i = 0;
-    while (i < idx.size()) {
-      if (++idx[i] < domain.size()) break;
-      idx[i] = 0;
-      ++i;
-    }
-    if (i == idx.size()) break;
+  out.reserve(space.size());
+  for (size_t i = 0; i < space.size(); ++i) {
+    out.push_back(space.DecodeSpellings(i));
   }
   return out;
 }
@@ -152,6 +190,192 @@ automata::BuchiAutomaton RestrictAutomaton(
 }
 
 }  // namespace
+
+/// Sharded, exactly-once prefilter memo: at most 3^#leaves distinct
+/// truth-status vectors versus |domain|^#vars valuations. Each key's entry
+/// is computed exactly once even under concurrent lookups (waiters block on
+/// the shard and then count a hit), so hit/miss totals are deterministic at
+/// any job count. Entries are pointer-stable: concurrent product searches
+/// read the memoized automata in place.
+class PrefilterMemo {
+ public:
+  struct Entry {
+    bool empty_language = false;
+    automata::BuchiAutomaton automaton{0};
+  };
+
+  /// Looks `key` up, running `compute` under the shard lock on first sight.
+  /// `*was_miss` reports whether this call computed the entry. The caller
+  /// owns `key`'s buffer (reused across lookups); the memo copies it only
+  /// on insert.
+  template <typename Fn>
+  const Entry* GetOrCompute(const std::string& key, bool* was_miss,
+                            const Fn& compute) {
+    Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      *was_miss = false;
+      return it->second.get();
+    }
+    *was_miss = true;
+    auto entry = std::make_unique<Entry>(compute());
+    const Entry* raw = entry.get();
+    shard.map.emplace(key, std::move(entry));
+    return raw;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Per-lane accumulators and scratch buffers of the valuation fan-out. A
+/// lane is touched by exactly one thread at a time (lane 0 = the
+/// dispatching caller, others = pool drainers), so nothing here is locked;
+/// lanes are merged in index order when the fan-out completes.
+struct VerificationEngine::ValuationLane {
+  struct Candidate {
+    size_t index;
+    LassoWitness lasso;
+  };
+
+  size_t searches = 0;
+  size_t prefiltered = 0;
+  size_t memo_misses = 0;
+  size_t memo_hits = 0;
+  SearchStats stats;
+  /// (valuation index, status) of searches cut by the state budget,
+  /// replayed in serial order at merge time (mirrors ParallelSweep).
+  std::vector<std::pair<size_t, Status>> budget_events;
+  /// Lowest-index witness this lane found.
+  std::optional<Candidate> candidate;
+
+  // Scratch reused across valuations: the decoded assignment, the rigid
+  // truth-status vector and the memo key built from it (no per-lookup
+  // string reallocation).
+  std::vector<data::Value> values;
+  std::vector<int8_t> rigid_truths;
+  std::string memo_key;
+};
+
+/// Read-only per-database state shared by every valuation instance.
+struct VerificationEngine::ValuationContext {
+  const SymbolicTask* task;
+  SnapshotGraph* graph;
+  LeafCache* cache;
+  PrefilterMemo* memo;
+  const std::vector<bool>* rigid;
+  SnapshotId init_sid;
+  const std::vector<const data::Relation*>* ever_sat;
+  const std::vector<const data::Relation*>* always_sat;
+  /// leaf_positions[i][k]: closure-variable position of leaf i's k-th free
+  /// variable — hoisted out of the per-valuation loop, which previously did
+  /// a string search per leaf variable per valuation.
+  const std::vector<std::vector<size_t>>* leaf_positions;
+};
+
+Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
+                                                   size_t index,
+                                                   ValuationLane& lane) {
+  const SymbolicTask& task = *ctx.task;
+  // The valuation count is |domain|^#vars — a deadline must be able to cut
+  // a sweep short between instances, not only inside a search.
+  if (options_.budget.control != nullptr) {
+    WSV_RETURN_IF_ERROR(options_.budget.control->Check());
+  }
+  task.valuations.DecodeValues(index, &lane.values);
+
+  // Build this instance's per-leaf lookup rows.
+  const size_t num_leaves = task.leaves.size();
+  lane.rigid_truths.assign(num_leaves, -1);
+  std::vector<data::Tuple> leaf_rows;
+  leaf_rows.reserve(num_leaves);
+  for (size_t i = 0; i < num_leaves; ++i) {
+    const std::vector<size_t>& positions = (*ctx.leaf_positions)[i];
+    std::vector<data::Value> row;
+    row.reserve(positions.size());
+    for (size_t pos : positions) row.push_back(lane.values[pos]);
+    leaf_rows.push_back(data::Tuple(std::move(row)));
+    if ((*ctx.rigid)[i]) {
+      WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat,
+                           ctx.cache->Get(ctx.init_sid, i));
+      lane.rigid_truths[i] = sat->rows().Contains(leaf_rows[i]) ? 1 : 0;
+    } else if ((*ctx.ever_sat)[i] != nullptr &&
+               !(*ctx.ever_sat)[i]->Contains(leaf_rows[i])) {
+      lane.rigid_truths[i] = 0;  // never satisfied anywhere in the graph
+    } else if ((*ctx.always_sat)[i] != nullptr &&
+               (*ctx.always_sat)[i]->Contains(leaf_rows[i])) {
+      lane.rigid_truths[i] = 1;  // satisfied at every reachable snapshot
+    }
+  }
+
+  // Prefilter: with database-rigid and never/always-satisfied propositions
+  // fixed, an automaton with empty language cannot accept any run — skip
+  // the search. Restriction + emptiness depends only on the truth-status
+  // vector, so it is memoized across valuations.
+  bool any_fixed = false;
+  for (int8_t t : lane.rigid_truths) any_fixed = any_fixed || t >= 0;
+  lane.memo_key.assign(lane.rigid_truths.begin(), lane.rigid_truths.end());
+  bool was_miss = false;
+  const PrefilterMemo::Entry* entry =
+      ctx.memo->GetOrCompute(lane.memo_key, &was_miss, [&] {
+        obs::PhaseTimer prefilter_phase("prefilter");
+        PrefilterMemo::Entry e;
+        e.automaton = any_fixed
+                          ? RestrictAutomaton(task.automaton, lane.rigid_truths)
+                          : task.automaton;
+        e.empty_language = any_fixed && automata::IsEmptyLanguage(e.automaton);
+        return e;
+      });
+  obs::Registry& registry = obs::Registry::Global();
+  if (was_miss) {
+    ++lane.memo_misses;
+    static obs::Counter& memo_misses =
+        registry.counter("engine.prefilter_memo_misses");
+    memo_misses.Add(1);
+  } else {
+    ++lane.memo_hits;
+    static obs::Counter& memo_hits =
+        registry.counter("engine.prefilter_memo_hits");
+    memo_hits.Add(1);
+  }
+  if (entry->empty_language) {
+    ++lane.prefiltered;
+    static obs::Counter& prefiltered = registry.counter("engine.prefiltered");
+    prefiltered.Add(1);
+    return false;
+  }
+
+  ++lane.searches;
+  static obs::Counter& searches = registry.counter("engine.searches");
+  searches.Add(1);
+  ProductSearch search(ctx.graph, ctx.cache, &entry->automaton,
+                       std::move(leaf_rows), options_.budget);
+  Result<std::optional<LassoWitness>> witness = [&] {
+    obs::PhaseTimer ndfs_phase("ndfs");
+    return search.FindAcceptedRun(&lane.stats);
+  }();
+  if (!witness.ok()) {
+    if (witness.status().code() == StatusCode::kBudgetExceeded) {
+      lane.budget_events.emplace_back(index, witness.status());
+      return false;
+    }
+    return witness.status();
+  }
+  if (witness.value().has_value()) {
+    if (!lane.candidate.has_value() || index < lane.candidate->index) {
+      lane.candidate =
+          ValuationLane::Candidate{index, std::move(**witness)};
+    }
+    return true;
+  }
+  return false;
+}
 
 Result<bool> VerificationEngine::CheckDatabases(
     const SymbolicTask& task, const std::vector<data::Instance>& dbs,
@@ -229,15 +453,25 @@ Result<bool> VerificationEngine::CheckDatabases(
   } guard{graph, cache, outcome};
 
   // Exhaustively explore the configuration graph once: every instance
-  // shares it, and full coverage enables the ever-satisfied prefilter.
-  WSV_ASSIGN_OR_RETURN(
-      bool complete_graph,
-      graph.ExploreAll(options_.budget.max_states, options_.budget.control));
+  // shares it, and full coverage enables the ever-satisfied prefilter. With
+  // a scheduler attached (pool_), each BFS level's successor computation
+  // runs on all lanes; ids stay identical to a serial exploration.
+  WSV_ASSIGN_OR_RETURN(bool complete_graph,
+                       graph.ExploreAll(options_.budget.max_states,
+                                        options_.budget.control, pool_,
+                                        lanes_));
   if (!complete_graph) {
     outcome.stop_status = Status::BudgetExceeded(
         "configuration graph exceeded max_states = " +
         std::to_string(options_.budget.max_states) +
         " snapshots; verdict is bounded");
+  } else {
+    // Seal the leaf cache up front (in parallel when lanes are available):
+    // every later Get is a lock-free hit, which both serves concurrent
+    // product searches and keeps hit/miss statistics identical at every job
+    // count. On an incomplete graph the cache stays lazy — the searches
+    // below then run serially, since they grow the graph on the fly.
+    WSV_RETURN_IF_ERROR(cache.SealAndPopulate(pool_, lanes_));
   }
 
   // Rigid-leaf detection and their satisfying sets at the initial snapshot
@@ -267,121 +501,182 @@ Result<bool> VerificationEngine::CheckDatabases(
     }
   }
 
-  struct MemoEntry {
-    bool empty_language;
-    automata::BuchiAutomaton automaton;
-  };
-  std::unordered_map<std::string, MemoEntry> prefilter_memo;
-
-  for (const std::vector<std::string>& valuation : task.valuations) {
-    // The valuation count is |domain|^#vars — a deadline must be able to cut
-    // a sweep short between instances, not only inside a search.
-    if (options_.budget.control != nullptr) {
-      WSV_RETURN_IF_ERROR(options_.budget.control->Check());
-    }
-    // Build this instance's per-leaf lookup rows.
-    std::vector<data::Tuple> leaf_rows;
-    leaf_rows.reserve(task.leaves.size());
-    std::vector<int8_t> rigid_truths(task.leaves.size(), -1);
-    for (size_t i = 0; i < task.leaves.size(); ++i) {
-      const std::vector<std::string>& vars = cache.LeafVariables(i);
-      std::vector<data::Value> row;
-      row.reserve(vars.size());
-      for (const std::string& var : vars) {
-        size_t pos = 0;
-        for (; pos < task.closure_variables.size(); ++pos) {
-          if (task.closure_variables[pos] == var) break;
-        }
-        if (pos == task.closure_variables.size()) {
-          return Status::Internal("leaf variable '" + var +
-                                  "' is not a closure variable");
-        }
-        SymbolId v = interner_->Lookup(valuation[pos]);
-        if (v == kInvalidSymbol) {
-          return Status::Internal("valuation constant '" + valuation[pos] +
-                                  "' not interned");
-        }
-        row.push_back(v);
+  // Hoist the leaf-variable -> closure-position mapping out of the
+  // per-valuation loop (it only depends on the task).
+  std::vector<std::vector<size_t>> leaf_positions(task.leaves.size());
+  for (size_t i = 0; i < task.leaves.size(); ++i) {
+    for (const std::string& var : cache.LeafVariables(i)) {
+      size_t pos = 0;
+      for (; pos < task.closure_variables.size(); ++pos) {
+        if (task.closure_variables[pos] == var) break;
       }
-      leaf_rows.push_back(data::Tuple(std::move(row)));
-      if (rigid[i]) {
-        WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat,
-                             cache.Get(init_sid, i));
-        rigid_truths[i] = sat->rows().Contains(leaf_rows[i]) ? 1 : 0;
-      } else if (ever_sat[i] != nullptr &&
-                 !ever_sat[i]->Contains(leaf_rows[i])) {
-        rigid_truths[i] = 0;  // never satisfied anywhere in the graph
-      } else if (always_sat[i] != nullptr &&
-                 always_sat[i]->Contains(leaf_rows[i])) {
-        rigid_truths[i] = 1;  // satisfied at every reachable snapshot
+      if (pos == task.closure_variables.size()) {
+        return Status::Internal("leaf variable '" + var +
+                                "' is not a closure variable");
       }
-    }
-
-    // Prefilter: with database-rigid and never/always-satisfied
-    // propositions fixed, an automaton with empty language cannot accept
-    // any run — skip the search. Restriction + emptiness depends only on
-    // the truth-status vector, so it is memoized across valuations (there
-    // are at most 3^#leaves distinct vectors, versus |domain|^#vars
-    // valuations).
-    bool any_fixed = false;
-    for (int8_t t : rigid_truths) any_fixed = any_fixed || t >= 0;
-    std::string memo_key(rigid_truths.begin(), rigid_truths.end());
-    auto memo = prefilter_memo.find(memo_key);
-    if (memo == prefilter_memo.end()) {
-      obs::PhaseTimer prefilter_phase("prefilter");
-      ++outcome.prefilter_memo_misses;
-      obs::Registry::Global().counter("engine.prefilter_memo_misses").Add(1);
-      automata::BuchiAutomaton restricted =
-          any_fixed ? RestrictAutomaton(task.automaton, rigid_truths)
-                    : task.automaton;
-      bool empty = any_fixed && automata::IsEmptyLanguage(restricted);
-      memo = prefilter_memo
-                 .emplace(std::move(memo_key),
-                          MemoEntry{empty, std::move(restricted)})
-                 .first;
-    } else {
-      ++outcome.prefilter_memo_hits;
-      static obs::Counter& memo_hits =
-          obs::Registry::Global().counter("engine.prefilter_memo_hits");
-      memo_hits.Add(1);
-    }
-    if (memo->second.empty_language) {
-      ++outcome.prefiltered;
-      static obs::Counter& prefiltered =
-          obs::Registry::Global().counter("engine.prefiltered");
-      prefiltered.Add(1);
-      continue;
-    }
-    const automata::BuchiAutomaton& restricted = memo->second.automaton;
-
-    ++outcome.searches;
-    static obs::Counter& searches =
-        obs::Registry::Global().counter("engine.searches");
-    searches.Add(1);
-    ProductSearch search(&graph, &cache, &restricted, std::move(leaf_rows),
-                         options_.budget);
-    Result<std::optional<LassoWitness>> witness = [&] {
-      obs::PhaseTimer ndfs_phase("ndfs");
-      return search.FindAcceptedRun(&outcome.search_stats);
-    }();
-    if (!witness.ok()) {
-      if (witness.status().code() == StatusCode::kBudgetExceeded) {
-        outcome.stop_status = witness.status();
-        continue;
-      }
-      return witness.status();
-    }
-    if (witness.value().has_value()) {
-      // The engine.violations counter is bumped by Run() once the winning
-      // witness is selected — a parallel sweep may record candidates in
-      // several workers but reports exactly one.
-      outcome.violation_found = true;
-      outcome.databases = dbs;
-      outcome.label = valuation;
-      outcome.lasso = std::move(**witness);
-      return true;
+      leaf_positions[i].push_back(pos);
     }
   }
+
+  PrefilterMemo prefilter_memo;
+  const ValuationContext ctx{&task,     &graph,      &cache,
+                             &prefilter_memo, &rigid, init_sid,
+                             &ever_sat, &always_sat, &leaf_positions};
+  const size_t total = task.valuations.size();
+
+  auto add_search_stats = [](const SearchStats& from, SearchStats& into) {
+    into.snapshots += from.snapshots;
+    into.product_states += from.product_states;
+    into.transitions += from.transitions;
+    into.graph_transitions += from.graph_transitions;
+    into.leaf_cache_hits += from.leaf_cache_hits;
+    into.leaf_cache_misses += from.leaf_cache_misses;
+    into.inner_searches += from.inner_searches;
+    into.budget_hits += from.budget_hits;
+  };
+  auto merge_lane = [&](const ValuationLane& lane) {
+    outcome.searches += lane.searches;
+    outcome.prefiltered += lane.prefiltered;
+    outcome.prefilter_memo_misses += lane.memo_misses;
+    outcome.prefilter_memo_hits += lane.memo_hits;
+    add_search_stats(lane.stats, outcome.search_stats);
+  };
+  // Replays budget events the way the serial loop would have: it overwrites
+  // its stop status per event in index order, so the survivor is the
+  // highest-index event at or below the cutoff (events past a witness come
+  // from instances a serial run never reaches).
+  auto replay_budget_events = [&](const std::vector<ValuationLane>& lanes,
+                                  size_t cutoff) {
+    const std::pair<size_t, Status>* last = nullptr;
+    for (const ValuationLane& lane : lanes) {
+      for (const auto& event : lane.budget_events) {
+        if (event.first > cutoff) continue;
+        if (last == nullptr || event.first > last->first) last = &event;
+      }
+    }
+    if (last != nullptr) outcome.stop_status = last->second;
+  };
+
+  // Fan the valuation sweep out only when the graph is complete (searches
+  // on a partial graph grow it on the fly, which is inherently serial) and
+  // there is real work to split.
+  const bool fan_out =
+      pool_ != nullptr && lanes_ > 1 && complete_graph && total > 1;
+
+  if (!fan_out) {
+    std::vector<ValuationLane> lanes(1);
+    ValuationLane& lane = lanes[0];
+    for (size_t vi = 0; vi < total; ++vi) {
+      Result<bool> one = CheckOneValuation(ctx, vi, lane);
+      if (!one.ok()) {
+        merge_lane(lane);
+        replay_budget_events(lanes, static_cast<size_t>(-1));
+        return one.status();
+      }
+      if (*one) {
+        // The engine.violations counter is bumped by Run() once the winning
+        // witness is selected — a parallel sweep may record candidates in
+        // several workers but reports exactly one.
+        merge_lane(lane);
+        replay_budget_events(lanes, vi);
+        outcome.violation_found = true;
+        outcome.databases = dbs;
+        outcome.label = task.valuations.DecodeSpellings(vi);
+        outcome.lasso = std::move(lane.candidate->lasso);
+        outcome.violation_valuation_index = vi;
+        return true;
+      }
+    }
+    merge_lane(lane);
+    replay_budget_events(lanes, static_cast<size_t>(-1));
+    return false;
+  }
+
+  // Parallel valuation fan-out on the shared scheduler, with
+  // ParallelSweep's deterministic merge semantics: chunks are claimed in
+  // increasing index order, dispatch stops below the best witness index, so
+  // every valuation preceding the winner is fully checked and the reported
+  // witness is bit-for-bit the serial one.
+  std::vector<ValuationLane> lanes(lanes_);
+  std::atomic<size_t> stop_before{static_cast<size_t>(-1)};
+  std::atomic<bool> abort{false};
+  std::mutex stop_mu;
+  std::optional<Status> stop_event;
+  std::optional<std::pair<size_t, Status>> hard_error;
+  const size_t per_chunk = std::max<size_t>(
+      1, std::min<size_t>(256, total / (lanes_ * 8) + 1));
+  const size_t num_chunks = (total + per_chunk - 1) / per_chunk;
+  static obs::Counter& chunk_counter =
+      obs::Registry::Global().counter("engine.valuation_chunks");
+  ThreadPool::ParallelChunks(
+      pool_, lanes_ - 1, num_chunks, [&](size_t lane_id, size_t chunk) {
+        ValuationLane& lane = lanes[lane_id];
+        chunk_counter.Add(1);
+        const size_t begin = chunk * per_chunk;
+        const size_t end = std::min(total, begin + per_chunk);
+        for (size_t vi = begin; vi < end; ++vi) {
+          if (abort.load(std::memory_order_acquire)) return;
+          if (vi >= stop_before.load(std::memory_order_acquire)) break;
+          Result<bool> one = CheckOneValuation(ctx, vi, lane);
+          if (!one.ok()) {
+            std::lock_guard<std::mutex> lock(stop_mu);
+            if (RunControl::IsStopStatus(one.status())) {
+              if (!stop_event.has_value()) stop_event = one.status();
+            } else if (!hard_error.has_value() || vi < hard_error->first) {
+              hard_error = {vi, one.status()};
+            }
+            abort.store(true, std::memory_order_release);
+            return;
+          }
+          if (*one) {
+            // Lower the dispatch fence; CAS-min since another lane may have
+            // found an earlier witness concurrently. Chunks this lane
+            // claims later start above the fence and are skipped on entry.
+            size_t cur = stop_before.load(std::memory_order_acquire);
+            while (vi < cur &&
+                   !stop_before.compare_exchange_weak(
+                       cur, vi, std::memory_order_acq_rel)) {
+            }
+            break;
+          }
+        }
+      });
+
+  for (const ValuationLane& lane : lanes) merge_lane(lane);
+
+  // Lowest-index witness across lanes; then the serial-order precedence
+  // between it and a hard error (whichever the serial loop hits first).
+  const ValuationLane::Candidate* best = nullptr;
+  for (ValuationLane& lane : lanes) {
+    if (lane.candidate.has_value() &&
+        (best == nullptr || lane.candidate->index < best->index)) {
+      best = &*lane.candidate;
+    }
+  }
+  if (hard_error.has_value() &&
+      (best == nullptr || hard_error->first < best->index)) {
+    return hard_error->second;
+  }
+  if (stop_event.has_value() && best == nullptr) {
+    return *stop_event;
+  }
+  if (best != nullptr) {
+    // A witness that raced with a deadline/cancel stop is still a sound
+    // violation (mirrors ParallelSweep); the stop supersedes budget events
+    // as the recorded stop status.
+    if (stop_event.has_value()) {
+      outcome.stop_status = *stop_event;
+    } else {
+      replay_budget_events(lanes, best->index);
+    }
+    outcome.violation_found = true;
+    outcome.databases = dbs;
+    outcome.label = task.valuations.DecodeSpellings(best->index);
+    outcome.lasso = std::move(const_cast<ValuationLane::Candidate*>(best)->lasso);
+    outcome.violation_valuation_index = best->index;
+    return true;
+  }
+  replay_budget_events(lanes, static_cast<size_t>(-1));
   return false;
 }
 
@@ -454,13 +749,31 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   size_t jobs = ThreadPool::ResolveJobs(options_.jobs);
   obs::Registry::Global()
       .counter("engine.instances")
-      .Add(task.valuations.empty() ? 1 : task.valuations.size());
-  if (task.valuations.empty()) {
-    task.valuations.push_back({});  // single instance with no variables
-  }
+      .Add(task.valuations.size());
+
+  // Rebinds the engine's borrowed scheduler for the duration of this run;
+  // cleared on every exit path so a later Run never sees a dangling pool.
+  struct SchedulerBinding {
+    VerificationEngine* engine;
+    SchedulerBinding(VerificationEngine* e, ThreadPool* pool, size_t lanes)
+        : engine(e) {
+      e->pool_ = pool;
+      e->lanes_ = lanes;
+    }
+    ~SchedulerBinding() {
+      engine->pool_ = nullptr;
+      engine->lanes_ = 1;
+    }
+  };
 
   if (options_.fixed_databases.has_value()) {
-    outcome.jobs = 1;  // a single pinned database: nothing to parallelize
+    // A single pinned database: all parallelism is within-database (graph
+    // exploration, leaf sealing, valuation fan-out). The caller is lane 0,
+    // so the pool only needs jobs - 1 helper threads.
+    outcome.jobs = jobs;
+    std::optional<ThreadPool> pool;
+    if (jobs > 1) pool.emplace(jobs - 1);
+    SchedulerBinding binding(this, pool.has_value() ? &*pool : nullptr, jobs);
     CountDatabase(outcome);
     Result<bool> found = CheckDatabases(task, *options_.fixed_databases,
                                         /*db_index=*/0, outcome);
@@ -507,6 +820,15 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
                         "in-progress");
     };
   }
+  // One shared pool feeds both scheduler levels: ParallelSweep runs its
+  // database workers on it, and each worker's CheckDatabases borrows it
+  // (pool_/lanes_) for within-database fan-out. Total threads = jobs, so
+  // --jobs is a global cap with no oversubscription: within-database
+  // helper tasks queue behind database workers and are simply abandoned
+  // (the fanning worker drains its own chunks) when the pool is saturated.
+  ThreadPool pool(jobs);
+  sweep_options.pool = &pool;
+  SchedulerBinding binding(this, jobs > 1 ? &pool : nullptr, jobs);
   ParallelSweep sweep(&enumerator, sweep_options);
   WSV_ASSIGN_OR_RETURN(
       EngineOutcome swept,

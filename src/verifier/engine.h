@@ -11,6 +11,7 @@
 #include "common/interner.h"
 #include "common/run_control.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/instance.h"
 #include "data/value.h"
 #include "fo/formula.h"
@@ -20,10 +21,48 @@
 
 namespace wsv::verifier {
 
+/// The valuation set |domain|^num_vars as an indexed generator instead of a
+/// materialized list: index i mixed-radix decodes to one assignment of the
+/// closure variables (position 0 is the least-significant digit, matching
+/// the historical enumeration order), so memory stays O(1) regardless of
+/// the instance count and the index doubles as the deterministic witness /
+/// checkpoint key for parallel valuation sweeps.
+class ValuationSpace {
+ public:
+  /// Zero variables: the single empty valuation (index 0).
+  ValuationSpace() = default;
+
+  /// Copies the domain's values and spellings, so the space stays valid
+  /// independent of the interner's lifetime.
+  ValuationSpace(const data::Domain& domain, const Interner& interner,
+                 size_t num_vars);
+
+  size_t num_vars() const { return num_vars_; }
+  /// |domain|^num_vars, saturated at SIZE_MAX; 0 iff the domain is empty
+  /// and num_vars > 0.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Decodes valuation `index` as interned values, aligned with the
+  /// closure-variable order. `out` is overwritten (reuse it across calls to
+  /// avoid reallocation).
+  void DecodeValues(size_t index, std::vector<data::Value>* out) const;
+
+  /// Decodes valuation `index` as constant spellings (the witness-label /
+  /// rendering form).
+  std::vector<std::string> DecodeSpellings(size_t index) const;
+
+ private:
+  std::vector<data::Value> values_;
+  std::vector<std::string> spellings_;
+  size_t num_vars_ = 0;
+  size_t size_ = 1;
+};
+
 /// A symbolic verification task: one Büchi automaton accepting exactly the
 /// violating runs, whose propositions are *open* FO formulas (leaves) over
 /// the composition schema with free variables among `closure_variables`.
-/// Each entry of `valuations` instantiates the closure variables; the
+/// Each index of `valuations` instantiates the closure variables; the
 /// automaton is shared across all instances, and per-snapshot leaf
 /// satisfaction is computed once (relationally) and looked up per instance.
 ///
@@ -35,10 +74,10 @@ struct SymbolicTask {
   std::vector<fo::FormulaPtr> leaves;
   /// Universal-closure variables (substitution order of `valuations`).
   std::vector<std::string> closure_variables;
-  /// One instance per valuation (constant spellings, aligned with
-  /// closure_variables). A single empty valuation when there are no
-  /// closure variables.
-  std::vector<std::vector<std::string>> valuations;
+  /// The instance space (one instance per valuation index). The default
+  /// space is the single empty valuation for tasks without closure
+  /// variables.
+  ValuationSpace valuations;
 };
 
 /// A database given by constant spellings: relation name -> tuples of
@@ -68,7 +107,9 @@ PseudoDomain BuildPseudoDomain(const spec::Composition& comp,
                                size_t fresh_count);
 
 /// All valuations of `num_vars` variables over `domain`, as constant
-/// spellings.
+/// spellings — the materialized form of ValuationSpace, kept for callers
+/// that genuinely need the full list (and as the reference order the
+/// indexed decode is tested against).
 std::vector<std::vector<std::string>> EnumerateValuations(
     const data::Domain& domain, const Interner& interner, size_t num_vars);
 
@@ -89,11 +130,14 @@ struct EngineOptions {
   bool iso_reduction = true;
   size_t max_databases = static_cast<size_t>(-1);
   SearchBudget budget;
-  /// Worker threads for the database sweep. 1 = serial (default); 0 =
-  /// hardware concurrency. Parallel sweeps are deterministic: the verdict,
-  /// witness database index, label and lasso always match the serial run's
-  /// (aggregate statistics such as databases_checked may exceed them — see
-  /// ParallelSweep).
+  /// Global worker budget for the two-level scheduler. 1 = serial
+  /// (default); 0 = hardware concurrency. One shared ThreadPool feeds both
+  /// levels — whole databases in the across-database sweep AND, within each
+  /// database, the parallel graph exploration plus chunked valuation
+  /// fan-out — so N is a cap with no oversubscription. Every parallel path
+  /// is deterministic: the verdict, witness database/valuation indices,
+  /// label and lasso always match the serial run's (aggregate statistics
+  /// such as databases_checked may exceed them — see ParallelSweep).
   size_t jobs = 1;
   /// Verify against these databases only (skips enumeration).
   std::optional<std::vector<data::Instance>> fixed_databases;
@@ -143,6 +187,10 @@ struct EngineOutcome {
   /// Position of the witness database in enumeration order (SIZE_MAX when
   /// no violation). Identical across serial and parallel sweeps.
   size_t violation_db_index = static_cast<size_t>(-1);
+  /// Index of the witness valuation in ValuationSpace order (SIZE_MAX when
+  /// no violation). Identical across serial and parallel valuation
+  /// fan-outs: the reported witness is always the lowest-index one.
+  size_t violation_valuation_index = static_cast<size_t>(-1);
 
   /// Worker threads the sweep actually ran with (EngineOptions::jobs after
   /// resolving 0 to the hardware concurrency).
@@ -208,11 +256,24 @@ class VerificationEngine {
                               size_t db_index, EngineOutcome& outcome);
 
  private:
+  /// One valuation instance of the fan-out, shared by the serial loop and
+  /// the chunked parallel dispatch (see engine.cc).
+  struct ValuationLane;
+  struct ValuationContext;
+  Result<bool> CheckOneValuation(const ValuationContext& ctx, size_t index,
+                                 ValuationLane& lane);
+
   const spec::Composition* comp_;
   const Interner* interner_;
   data::Domain domain_;
   std::vector<data::Value> fresh_;
   EngineOptions options_;
+  /// The shared two-level scheduler: set by Run() for the duration of a
+  /// sweep (borrowed, never owned here), consumed by CheckDatabases for
+  /// graph exploration, leaf sealing and valuation fan-out. lanes_ is the
+  /// global --jobs budget (callers + pool helpers).
+  ThreadPool* pool_ = nullptr;
+  size_t lanes_ = 1;
 };
 
 }  // namespace wsv::verifier

@@ -21,6 +21,7 @@ namespace {
 /// serial sweep's witness once the lowest index is known.
 struct Candidate {
   size_t index;
+  size_t valuation_index;
   std::vector<data::Instance> databases;
   std::vector<std::string> label;
   LassoWitness lasso;
@@ -233,10 +234,13 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
       }
       mark_done(index);
       if (*found) {
-        me.candidate = Candidate{index, std::move(me.outcome.databases),
+        me.candidate = Candidate{index,
+                                 me.outcome.violation_valuation_index,
+                                 std::move(me.outcome.databases),
                                  std::move(me.outcome.label),
                                  std::move(me.outcome.lasso)};
         me.outcome.violation_found = false;
+        me.outcome.violation_valuation_index = static_cast<size_t>(-1);
         me.outcome.databases.clear();
         me.outcome.label.clear();
         me.outcome.lasso = LassoWitness{};
@@ -255,11 +259,19 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   };
 
   {
-    ThreadPool pool(options_.jobs);
-    for (size_t w = 0; w < options_.jobs; ++w) {
-      pool.Submit([&worker_fn, w] { worker_fn(w); });
+    // Run on the borrowed scheduler when one is attached, else on a private
+    // pool. Wait() returns once the workers AND any within-database helper
+    // tasks they spawned onto the same pool have drained.
+    std::optional<ThreadPool> own_pool;
+    ThreadPool* pool = options_.pool;
+    if (pool == nullptr) {
+      own_pool.emplace(options_.jobs);
+      pool = &*own_pool;
     }
-    pool.Wait();
+    for (size_t w = 0; w < options_.jobs; ++w) {
+      pool->Submit([&worker_fn, w] { worker_fn(w); });
+    }
+    pool->Wait();
   }
 
   // --- Merge: sums first, then the deterministic winner selection. ---
@@ -302,6 +314,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   if (best != nullptr) {
     merged.violation_found = true;
     merged.violation_db_index = best->index;
+    merged.violation_valuation_index = best->valuation_index;
     merged.databases = std::move(best->databases);
     merged.label = std::move(best->label);
     merged.lasso = std::move(best->lasso);

@@ -6,6 +6,7 @@
 
 #include "common/run_control.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/instance.h"
 #include "verifier/db_enum.h"
 #include "verifier/engine.h"
@@ -17,6 +18,11 @@ namespace wsv::verifier {
 struct SweepOptions {
   /// Worker count; must be >= 1 (resolve 0 before constructing).
   size_t jobs = 1;
+  /// Scheduler to run the workers on (borrowed, not owned; must have at
+  /// least `jobs` threads). Null = the sweep creates a private pool. The
+  /// engine passes its shared two-level pool here so database workers and
+  /// within-database fan-out draw from one global --jobs budget.
+  ThreadPool* pool = nullptr;
   size_t max_databases = static_cast<size_t>(-1);
   /// Resume offset: databases [0, start_index) are fast-forwarded without
   /// checking (the enumerator still walks them, keeping indices aligned

@@ -195,7 +195,9 @@ Result<std::optional<LassoWitness>> ProductSearch::FindAcceptedRun(
     while (!stack.empty()) {
       if (product_states_.size() > budget_.max_states) {
         if (stats != nullptr) ++stats->budget_hits;
-        obs::Registry::Global().counter("ndfs.budget_hits").Add(1);
+        static obs::Counter& budget_counter =
+            obs::Registry::Global().counter("ndfs.budget_hits");
+        budget_counter.Add(1);
         finish();
         return Status::BudgetExceeded(
             "product exploration exceeded max_states = " +

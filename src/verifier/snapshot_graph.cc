@@ -1,7 +1,10 @@
 #include "verifier/snapshot_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -12,35 +15,46 @@ namespace wsv::verifier {
 
 SnapshotGraph::SnapshotGraph(const runtime::TransitionGenerator* generator,
                              SnapshotNormalization normalization)
-    : generator_(generator), normalization_(std::move(normalization)) {}
+    : generator_(generator), normalization_(std::move(normalization)) {
+  for (Shard& shard : shards_) {
+    shard = Shard(0, ShardHasher{this}, ShardEq{this});
+  }
+}
 
-Result<SnapshotId> SnapshotGraph::Intern(runtime::Snapshot snap) {
-  if (!normalization_.keep_mover) snap.mover = runtime::kNoMover;
+void SnapshotGraph::Normalize(runtime::Snapshot* snap) const {
+  if (!normalization_.keep_mover) snap->mover = runtime::kNoMover;
   if (!normalization_.keep_flags) {
-    snap.received.assign(snap.received.size(), false);
-    snap.sent.assign(snap.sent.size(), false);
+    snap->received.assign(snap->received.size(), false);
+    snap->sent.assign(snap->sent.size(), false);
   }
   if (!normalization_.keep_actions) {
-    for (runtime::PeerConfig& cfg : snap.peers) cfg.action.Clear();
+    for (runtime::PeerConfig& cfg : snap->peers) cfg.action.Clear();
   }
   if (!normalization_.keep_prev.empty()) {
-    for (size_t p = 0; p < snap.peers.size(); ++p) {
+    for (size_t p = 0; p < snap->peers.size(); ++p) {
       const std::vector<bool>& keep = normalization_.keep_prev[p];
       for (size_t r = 0; r < keep.size(); ++r) {
-        if (!keep[r]) snap.peers[p].prev.relation(r).Clear();
+        if (!keep[r]) snap->peers[p].prev.relation(r).Clear();
       }
     }
   }
-  auto it = ids_.find(snap);
-  if (it != ids_.end()) {
+}
+
+Result<SnapshotId> SnapshotGraph::Intern(runtime::Snapshot snap) {
+  Normalize(&snap);
+  size_t hash = runtime::SnapshotHash{}(snap);
+  Shard& shard = shards_[hash % kShards];
+  auto it = shard.find(Probe{hash, &snap});
+  if (it != shard.end()) {
     static obs::Counter& hits =
         obs::Registry::Global().counter("graph.intern_hits");
     hits.Add(1);
-    return it->second;
+    return *it;
   }
   SnapshotId id = static_cast<SnapshotId>(snapshots_.size());
-  ids_.emplace(snap, id);
   snapshots_.push_back(std::move(snap));
+  hashes_.push_back(hash);
+  shard.insert(id);
   successors_.emplace_back();
   static obs::Counter& interned =
       obs::Registry::Global().counter("graph.snapshots");
@@ -94,8 +108,17 @@ Result<const std::vector<SnapshotId>*> SnapshotGraph::Successors(
 }
 
 Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots,
-                                       RunControl* control) {
+                                       RunControl* control, ThreadPool* pool,
+                                       size_t lanes) {
   obs::PhaseTimer phase("graph_expand");
+  if (pool == nullptr || lanes <= 1) {
+    return ExploreAllSerial(max_snapshots, control);
+  }
+  return ExploreAllParallel(max_snapshots, control, pool, lanes);
+}
+
+Result<bool> SnapshotGraph::ExploreAllSerial(size_t max_snapshots,
+                                             RunControl* control) {
   WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* inits, Initials());
   std::deque<SnapshotId> frontier(inits->begin(), inits->end());
   std::vector<bool> expanded;
@@ -120,6 +143,176 @@ Result<bool> SnapshotGraph::ExploreAll(size_t max_snapshots,
   return true;
 }
 
+namespace {
+
+/// One frontier node's expansion, computed concurrently: its normalized
+/// successor snapshots with their content hashes, or the generator's error.
+struct NodeExpansion {
+  Status status = Status::Ok();
+  std::vector<runtime::Snapshot> succ;
+  std::vector<size_t> hash;
+};
+
+}  // namespace
+
+Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
+                                               RunControl* control,
+                                               ThreadPool* pool,
+                                               size_t lanes) {
+  WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* inits, Initials());
+  std::vector<SnapshotId> frontier(inits->begin(), inits->end());
+
+  while (!frontier.empty()) {
+    const size_t n = frontier.size();
+
+    // Compute phase: expand every frontier node concurrently. snapshots_ is
+    // not mutated here, so workers read it without copies or locks; ids are
+    // only assigned in the sequential merge below.
+    std::vector<NodeExpansion> expansions(n);
+    std::atomic<bool> stop_requested{false};
+    std::mutex stop_mu;
+    Status stop_status = Status::Ok();
+    const size_t per_chunk = std::max<size_t>(1, std::min<size_t>(64, n / (lanes * 4) + 1));
+    const size_t num_chunks = (n + per_chunk - 1) / per_chunk;
+    ThreadPool::ParallelChunks(
+        pool, lanes - 1, num_chunks, [&](size_t lane, size_t chunk) {
+          const size_t begin = chunk * per_chunk;
+          const size_t end = std::min(n, begin + per_chunk);
+          for (size_t p = begin; p < end; ++p) {
+            if (stop_requested.load(std::memory_order_relaxed)) return;
+            if (control != nullptr && (p - begin) % 64 == 0) {
+              if (lane == 0) obs::ProgressMeter::Global().MaybeBeat();
+              Status status = control->Check();
+              if (!status.ok()) {
+                std::lock_guard<std::mutex> lock(stop_mu);
+                if (stop_status.ok()) stop_status = std::move(status);
+                stop_requested.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+            NodeExpansion& out = expansions[p];
+            auto succ = generator_->Successors(snapshots_[frontier[p]]);
+            if (!succ.ok()) {
+              out.status = succ.status();
+              continue;
+            }
+            out.succ = std::move(succ).value();
+            out.hash.reserve(out.succ.size());
+            for (runtime::Snapshot& s : out.succ) {
+              Normalize(&s);
+              out.hash.push_back(runtime::SnapshotHash{}(s));
+            }
+          }
+        });
+    if (!stop_status.ok()) return stop_status;
+
+    // Dedup pass A (parallel per shard): resolve every candidate successor
+    // against its shard — either an already-interned id, or the globally
+    // first candidate with identical content (its representative).
+    size_t total = 0;
+    for (const NodeExpansion& exp : expansions) total += exp.succ.size();
+    // Flat candidate table: snapshot + hash pointers in global (frontier
+    // node, successor) order — the order the serial BFS interns in.
+    struct Candidate {
+      runtime::Snapshot* snap;
+      size_t hash;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(total);
+    std::array<std::vector<uint32_t>, kShards> shard_candidates;
+    for (NodeExpansion& exp : expansions) {
+      for (size_t j = 0; j < exp.succ.size(); ++j) {
+        shard_candidates[exp.hash[j] % kShards].push_back(
+            static_cast<uint32_t>(candidates.size()));
+        candidates.push_back(Candidate{&exp.succ[j], exp.hash[j]});
+      }
+    }
+    constexpr SnapshotId kUnresolved = static_cast<SnapshotId>(-1);
+    std::vector<SnapshotId> resolved(total, kUnresolved);
+    std::vector<uint32_t> representative(total, 0);
+    ThreadPool::ParallelChunks(
+        pool, lanes - 1, kShards, [&](size_t, size_t shard_index) {
+          const Shard& shard = shards_[shard_index];
+          // Level-local dedup within the shard: candidate index keyed by
+          // snapshot content, so later duplicates point at the first one.
+          struct CandHasher {
+            const std::vector<Candidate>* cands;
+            size_t operator()(uint32_t g) const { return (*cands)[g].hash; }
+          };
+          struct CandEq {
+            const std::vector<Candidate>* cands;
+            bool operator()(uint32_t a, uint32_t b) const {
+              return *(*cands)[a].snap == *(*cands)[b].snap;
+            }
+          };
+          std::unordered_set<uint32_t, CandHasher, CandEq> fresh(
+              0, CandHasher{&candidates}, CandEq{&candidates});
+          for (uint32_t g : shard_candidates[shard_index]) {
+            auto it = shard.find(Probe{candidates[g].hash, candidates[g].snap});
+            if (it != shard.end()) {
+              resolved[g] = *it;
+              continue;
+            }
+            auto [pos, inserted] = fresh.insert(g);
+            representative[g] = inserted ? g : *pos;
+          }
+        });
+
+    // Merge pass B (sequential): assign ids in exact frontier order — the
+    // same order the serial BFS interns in — so ids, counters, transitions,
+    // and the budget cut-off are bit-for-bit identical to a serial run.
+    obs::Registry& registry = obs::Registry::Global();
+    static obs::Counter& intern_hits = registry.counter("graph.intern_hits");
+    static obs::Counter& interned = registry.counter("graph.snapshots");
+    static obs::Counter& calls = registry.counter("graph.successor_calls");
+    static obs::Counter& edges = registry.counter("graph.transitions");
+    static obs::Histogram& fanout =
+        registry.histogram("graph.successors_per_snapshot");
+    std::vector<SnapshotId> assigned(total, kUnresolved);
+    std::vector<SnapshotId> next_frontier;
+    for (size_t p = 0, g = 0; p < n; ++p) {
+      NodeExpansion& exp = expansions[p];
+      WSV_RETURN_IF_ERROR(exp.status);
+      std::vector<SnapshotId> ids;
+      ids.reserve(exp.succ.size());
+      for (size_t j = 0; j < exp.succ.size(); ++j, ++g) {
+        SnapshotId id;
+        if (resolved[g] != kUnresolved) {
+          id = resolved[g];
+          intern_hits.Add(1);
+        } else if (representative[g] == g) {
+          id = static_cast<SnapshotId>(snapshots_.size());
+          snapshots_.push_back(std::move(exp.succ[j]));
+          hashes_.push_back(exp.hash[j]);
+          shards_[exp.hash[j] % kShards].insert(id);
+          successors_.emplace_back();
+          interned.Add(1);
+          next_frontier.push_back(id);
+          assigned[g] = id;
+        } else {
+          id = assigned[representative[g]];
+          intern_hits.Add(1);
+        }
+        ids.push_back(id);
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      transitions_ += ids.size();
+      calls.Add(1);
+      edges.Add(ids.size());
+      fanout.Record(ids.size());
+      successors_[frontier[p]] = std::move(ids);
+      if (snapshots_.size() > max_snapshots) return false;
+    }
+
+    obs::ProgressMeter::Global().MaybeBeat();
+    if (control != nullptr) WSV_RETURN_IF_ERROR(control->Check());
+    frontier = std::move(next_frontier);
+  }
+  fully_explored_ = true;
+  return true;
+}
+
 fo::MapStructure SnapshotGraph::Structure(SnapshotId sid) const {
   return runtime::BuildPropertyStructure(generator_->composition(),
                                          generator_->databases(),
@@ -137,32 +330,67 @@ LeafCache::LeafCache(SnapshotGraph* graph, std::vector<fo::FormulaPtr> leaves,
   }
 }
 
+Status LeafCache::EvaluateSnapshot(SnapshotId sid) {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter& misses = registry.counter("leafcache.misses");
+  static obs::Counter& evals = registry.counter("leafcache.leaf_evals");
+  misses.Add(1);
+  evals.Add(leaves_.size());
+  obs::PhaseTimer phase("leaf_eval");
+  // Evaluate every leaf in one pass so the (relation-copying) snapshot
+  // structure is built once and immediately discarded.
+  fo::MapStructure structure = graph_->Structure(sid);
+  cache_[sid].reserve(leaves_.size());
+  for (const fo::FormulaPtr& formula : leaves_) {
+    auto result = evaluator_.Evaluate(formula, structure);
+    if (!result.ok()) return result.status();
+    cache_[sid].emplace_back(std::move(result).value());
+  }
+  return Status::Ok();
+}
+
 Result<const fo::ValuationSet*> LeafCache::Get(SnapshotId sid, size_t leaf) {
   if (sid >= cache_.size()) cache_.resize(sid + 1);
   if (cache_[sid].empty() && !leaves_.empty()) {
-    ++misses_;
-    obs::Registry& registry = obs::Registry::Global();
-    static obs::Counter& misses = registry.counter("leafcache.misses");
-    static obs::Counter& evals = registry.counter("leafcache.leaf_evals");
-    misses.Add(1);
-    evals.Add(leaves_.size());
-    obs::PhaseTimer phase("leaf_eval");
-    // Evaluate every leaf in one pass so the (relation-copying) snapshot
-    // structure is built once and immediately discarded.
-    fo::MapStructure structure = graph_->Structure(sid);
-    cache_[sid].reserve(leaves_.size());
-    for (const fo::FormulaPtr& formula : leaves_) {
-      WSV_ASSIGN_OR_RETURN(fo::ValuationSet result,
-                           evaluator_.Evaluate(formula, structure));
-      cache_[sid].emplace_back(std::move(result));
-    }
+    WSV_RETURN_IF_ERROR(EvaluateSnapshot(sid));
   } else {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter& hits =
         obs::Registry::Global().counter("leafcache.hits");
     hits.Add(1);
   }
   return &*cache_[sid][leaf];
+}
+
+Status LeafCache::SealAndPopulate(ThreadPool* pool, size_t lanes) {
+  if (leaves_.empty()) return Status::Ok();
+  const size_t n = graph_->size();
+  if (cache_.size() < n) cache_.resize(n);
+  const size_t per_chunk = 16;
+  const size_t num_chunks = (n + per_chunk - 1) / per_chunk;
+  std::mutex error_mu;
+  SnapshotId error_sid = 0;
+  Status error = Status::Ok();
+  ThreadPool::ParallelChunks(
+      pool, lanes > 0 ? lanes - 1 : 0, num_chunks,
+      [&](size_t, size_t chunk) {
+        const size_t begin = chunk * per_chunk;
+        const size_t end = std::min(n, begin + per_chunk);
+        for (size_t sid = begin; sid < end; ++sid) {
+          if (!cache_[sid].empty()) continue;  // already evaluated lazily
+          Status status = EvaluateSnapshot(static_cast<SnapshotId>(sid));
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (error.ok() || sid < error_sid) {
+              error = std::move(status);
+              error_sid = static_cast<SnapshotId>(sid);
+            }
+            return;
+          }
+        }
+      });
+  return error;
 }
 
 Result<const data::Relation*> LeafCache::EverSatisfied(size_t leaf) {

@@ -1,13 +1,16 @@
 #ifndef WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_
 #define WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_
 
+#include <array>
+#include <atomic>
 #include <optional>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/interner.h"
 #include "common/run_control.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "fo/eval.h"
 #include "fo/structure.h"
 #include "runtime/transition.h"
@@ -42,10 +45,20 @@ struct SnapshotNormalization {
 /// not influence successor computation, so unless `keep_mover` /
 /// `keep_flags` is set (because some proposition observes them), snapshots
 /// differing only there are collapsed.
+///
+/// Interning is a sharded content-addressed table: snapshots live once in
+/// `snapshots_`, each shard stores SnapshotIds keyed by precomputed content
+/// hash. ExploreAll can run the successor computation level-parallel on a
+/// borrowed ThreadPool; ids are assigned by an ordered per-level merge, so
+/// the id sequence (and every derived witness and statistic) is bit-for-bit
+/// identical to the serial exploration at any job count.
 class SnapshotGraph {
  public:
   SnapshotGraph(const runtime::TransitionGenerator* generator,
                 SnapshotNormalization normalization);
+
+  SnapshotGraph(const SnapshotGraph&) = delete;
+  SnapshotGraph& operator=(const SnapshotGraph&) = delete;
 
   const runtime::TransitionGenerator& generator() const { return *generator_; }
 
@@ -72,21 +85,68 @@ class SnapshotGraph {
   /// graph is partial and callers must fall back to on-the-fly search
   /// semantics (bounded verdicts). `control` (optional) is polled every ~1k
   /// expansions; a stop aborts with its stop status.
-  Result<bool> ExploreAll(size_t max_snapshots,
-                          RunControl* control = nullptr);
+  ///
+  /// With a non-null `pool` and `lanes > 1`, each BFS level's successor
+  /// computation is fanned out over the calling thread plus up to
+  /// `lanes - 1` pool workers (see ThreadPool::ParallelChunks); the
+  /// sequential per-level merge then interns in frontier order, so ids,
+  /// counters, and the budget cut-off point are identical to a serial run.
+  Result<bool> ExploreAll(size_t max_snapshots, RunControl* control = nullptr,
+                          ThreadPool* pool = nullptr, size_t lanes = 1);
 
   /// True after a successful ExploreAll.
   bool fully_explored() const { return fully_explored_; }
 
  private:
+  static constexpr size_t kShards = 16;
+
+  /// Transparent probe for shard lookups: a normalized snapshot that may
+  /// not be interned yet, with its precomputed content hash.
+  struct Probe {
+    size_t hash;
+    const runtime::Snapshot* snap;
+  };
+  struct ShardHasher {
+    using is_transparent = void;
+    const SnapshotGraph* graph;
+    size_t operator()(SnapshotId id) const { return graph->hashes_[id]; }
+    size_t operator()(const Probe& probe) const { return probe.hash; }
+  };
+  struct ShardEq {
+    using is_transparent = void;
+    const SnapshotGraph* graph;
+    bool operator()(SnapshotId a, SnapshotId b) const {
+      return graph->snapshots_[a] == graph->snapshots_[b];
+    }
+    bool operator()(const Probe& probe, SnapshotId id) const {
+      return *probe.snap == graph->snapshots_[id];
+    }
+    bool operator()(SnapshotId id, const Probe& probe) const {
+      return *probe.snap == graph->snapshots_[id];
+    }
+    bool operator()(const Probe& a, const Probe& b) const {
+      return *a.snap == *b.snap;
+    }
+  };
+  using Shard = std::unordered_set<SnapshotId, ShardHasher, ShardEq>;
+
+  /// Applies the normalization in place (see SnapshotNormalization).
+  void Normalize(runtime::Snapshot* snap) const;
+
   Result<SnapshotId> Intern(runtime::Snapshot snap);
+
+  Result<bool> ExploreAllSerial(size_t max_snapshots, RunControl* control);
+  Result<bool> ExploreAllParallel(size_t max_snapshots, RunControl* control,
+                                  ThreadPool* pool, size_t lanes);
 
   const runtime::TransitionGenerator* generator_;
   SnapshotNormalization normalization_;
 
   std::vector<runtime::Snapshot> snapshots_;
-  std::unordered_map<runtime::Snapshot, SnapshotId, runtime::SnapshotHash>
-      ids_;
+  /// hashes_[id] is the content hash of snapshots_[id]; shards keep ids
+  /// only, so each snapshot is stored exactly once.
+  std::vector<size_t> hashes_;
+  std::array<Shard, kShards> shards_;
   std::vector<std::optional<std::vector<SnapshotId>>> successors_;
   std::optional<std::vector<SnapshotId>> initials_;
   size_t transitions_ = 0;
@@ -97,6 +157,10 @@ class SnapshotGraph {
 /// assignments of the leaf's free variables. Evaluated relationally once —
 /// every property instance (closure valuation) then answers "does this leaf
 /// hold under my valuation?" with a tuple lookup.
+///
+/// After a complete exploration, SealAndPopulate evaluates every snapshot
+/// up front (optionally in parallel); Get is then a lock-free read, safe to
+/// call concurrently from many product searches.
 class LeafCache {
  public:
   /// `graph` must outlive the cache; `interner` resolves leaf constants.
@@ -114,6 +178,15 @@ class LeafCache {
   /// Satisfying assignments of leaf `leaf` at snapshot `sid`.
   Result<const fo::ValuationSet*> Get(SnapshotId sid, size_t leaf);
 
+  /// Evaluates every leaf on every snapshot of the (fully explored) graph,
+  /// fanning the per-snapshot evaluation out over `pool` (see
+  /// ThreadPool::ParallelChunks; serial when pool is null or lanes <= 1).
+  /// Afterwards every Get is a hit and touches no mutable state, so
+  /// concurrent product searches can read the cache without locks. Hit/miss
+  /// totals are identical to the lazy path on a complete graph (one miss
+  /// per snapshot). On error, reports the lowest-snapshot-id failure.
+  Status SealAndPopulate(ThreadPool* pool = nullptr, size_t lanes = 1);
+
   /// Union of the satisfying assignments of leaf `leaf` over *all* reachable
   /// snapshots; requires graph->fully_explored(). A valuation row absent
   /// from this union makes the proposition constant-false along every run —
@@ -125,11 +198,15 @@ class LeafCache {
   Result<const data::Relation*> AlwaysSatisfied(size_t leaf);
 
   /// Get() calls answered from an already-evaluated snapshot...
-  size_t hits() const { return hits_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   /// ...versus snapshots whose leaves had to be evaluated relationally.
-  size_t misses() const { return misses_; }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
+  /// Evaluates all leaves of one snapshot into cache_[sid] (the miss path).
+  /// cache_ must already span sid.
+  Status EvaluateSnapshot(SnapshotId sid);
+
   SnapshotGraph* graph_;
   std::vector<fo::FormulaPtr> leaves_;
   std::vector<std::vector<std::string>> leaf_vars_;
@@ -138,8 +215,8 @@ class LeafCache {
   std::vector<std::vector<std::optional<fo::ValuationSet>>> cache_;
   std::vector<std::optional<data::Relation>> ever_;
   std::vector<std::optional<data::Relation>> always_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
 };
 
 }  // namespace wsv::verifier

@@ -115,8 +115,8 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
     WSV_ASSIGN_OR_RETURN(task.automaton, ground.BuildAutomaton());
     task.leaves = std::move(ground.propositions);
   }
-  task.valuations = EnumerateValuations(domain_, interner_,
-                                        task.closure_variables.size());
+  task.valuations =
+      ValuationSpace(domain_, interner_, task.closure_variables.size());
   result.stats.valuations_checked = task.valuations.size();
 
   // --- Database sweep. ---
@@ -153,6 +153,7 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
     ce.closure_valuation = std::move(outcome.label);
     ce.lasso = std::move(outcome.lasso);
     ce.database_index = outcome.violation_db_index;
+    ce.valuation_index = outcome.violation_valuation_index;
     result.counterexample = std::move(ce);
   }
   result.coverage.stop_reason = outcome.stop_reason;

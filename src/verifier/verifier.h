@@ -80,6 +80,10 @@ struct Counterexample {
   /// across serial and parallel sweeps (SIZE_MAX for fixed databases only
   /// when no enumeration happened — then it is 0).
   size_t database_index = 0;
+  /// Index of the witness valuation in ValuationSpace order (the
+  /// mixed-radix encoding of closure_valuation); identical across serial
+  /// and parallel valuation fan-outs.
+  size_t valuation_index = 0;
 
   std::string ToString(const spec::Composition& comp,
                        const Interner& interner) const;

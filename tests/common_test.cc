@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "automata/buchi.h"
 #include "automata/emptiness.h"
@@ -237,6 +240,91 @@ TEST(ThreadPool, ShutdownDropsQueuedTasksButKeepsPoolUsable) {
   EXPECT_EQ(ran.load(), 0);
   EXPECT_EQ(canceled.load(), 5);
   // The pool accepts and runs new work after a shutdown.
+  std::atomic<int> after{0};
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ParallelChunks, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(100);
+  for (auto& s : seen) s.store(0);
+  ThreadPool::ParallelChunks(&pool, /*helpers=*/3, /*count=*/100,
+                             [&](size_t /*lane*/, size_t chunk) {
+                               seen[chunk].fetch_add(1);
+                             });
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "chunk " << i;
+  }
+}
+
+TEST(ParallelChunks, SerialFallbackOnNullPoolPreservesOrder) {
+  std::vector<size_t> order;
+  ThreadPool::ParallelChunks(nullptr, /*helpers=*/4, /*count=*/10,
+                             [&](size_t lane, size_t chunk) {
+                               EXPECT_EQ(lane, 0u);
+                               order.push_back(chunk);
+                             });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelChunks, CallerDrainsOnSaturatedPool) {
+  // The single pool thread is pinned by an unrelated long task, so every
+  // drainer is queued behind it: the caller must complete all chunks itself
+  // without waiting for the queued drainers (which are abandoned).
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();
+  pool.Submit([&gate] { std::lock_guard<std::mutex> wait(gate); });
+  std::atomic<int> done{0};
+  ThreadPool::ParallelChunks(&pool, /*helpers=*/1, /*count=*/50,
+                             [&](size_t lane, size_t /*chunk*/) {
+                               EXPECT_EQ(lane, 0u);  // no drainer ever ran
+                               done.fetch_add(1);
+                             });
+  EXPECT_EQ(done.load(), 50);
+  gate.unlock();
+  pool.Wait();
+}
+
+TEST(ParallelChunks, LanesAreDisjoint) {
+  // Each lane id is owned by exactly one thread at a time: concurrent
+  // entries with the same lane would trip the entered flag.
+  ThreadPool pool(4);
+  constexpr size_t kLanes = 5;  // caller + 4 helpers
+  std::array<std::atomic<bool>, kLanes> entered{};
+  std::atomic<bool> overlap{false};
+  ThreadPool::ParallelChunks(&pool, kLanes - 1, /*count=*/200,
+                             [&](size_t lane, size_t /*chunk*/) {
+                               ASSERT_LT(lane, kLanes);
+                               if (entered[lane].exchange(true)) {
+                                 overlap.store(true);
+                               }
+                               entered[lane].store(false);
+                             });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ParallelChunks, LowestChunkExceptionRethrownOnCaller) {
+  ThreadPool pool(2);
+  try {
+    ThreadPool::ParallelChunks(&pool, /*helpers=*/2, /*count=*/40,
+                               [&](size_t /*lane*/, size_t chunk) {
+                                 if (chunk >= 7) {
+                                   throw std::runtime_error(
+                                       "chunk " + std::to_string(chunk));
+                                 }
+                               });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    // Several chunks may throw; the recorded error is the lowest-index one
+    // among them. Chunk 7 always runs (claims are monotone), so it is
+    // always the winner.
+    EXPECT_STREQ(e.what(), "chunk 7");
+  }
+  // The pool survives and is reusable.
   std::atomic<int> after{0};
   pool.Submit([&after] { after.fetch_add(1); });
   pool.Wait();

@@ -64,6 +64,9 @@ def check_stats(path):
         expect(isinstance(verdict, dict), "'verdict' must be an object")
         expect(isinstance(verdict.get("exit_code"), int),
                "'verdict.exit_code' must be an integer")
+        if "witness_valuation_index" in verdict:
+            expect(isinstance(verdict["witness_valuation_index"], int),
+                   "'verdict.witness_valuation_index' must be an integer")
         if "stats" in verdict:
             expect(isinstance(verdict["stats"], dict),
                    "'verdict.stats' must be an object")

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Runs google-benchmark binaries and aggregates their JSON output.
+
+Usage: run_bench.py [--build-dir BUILD] [--out OUT.json]
+                    [--filter REGEX] [BENCH_BINARY ...]
+
+With no positional arguments, runs every `bench_*` executable found in
+BUILD/bench (default: build/bench). Each binary is invoked with
+`--benchmark_format=json`; per-benchmark results — real/cpu time plus the
+user counters ExportObsCounters attached (the obs registry merged into the
+benchmark output, same names as `wsvc --stats-json`) — are collected into
+one document:
+
+    {
+      "schema_version": 1,
+      "host": {"cpus": N, "cmdline_filter": ...},
+      "runs": [
+        {"binary": "bench_scaling",
+         "benchmarks": [{"name": ..., "real_time_ms": ...,
+                         "counters": {...}}, ...]},
+        ...
+      ]
+    }
+
+The default output path is BENCH_scaling.json at the repository root, the
+file EXPERIMENTS.md quotes for the scaling tables. Exits non-zero when a
+binary fails to run or emits unparseable JSON.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_binaries(bench_dir):
+    if not os.path.isdir(bench_dir):
+        return []
+    out = []
+    for name in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, name)
+        if name.startswith("bench_") and os.access(path, os.X_OK) \
+                and os.path.isfile(path):
+            out.append(path)
+    return out
+
+
+def run_one(path, bench_filter, extra_args):
+    cmd = [path, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    cmd.extend(extra_args)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"{os.path.basename(path)} exited "
+                           f"{proc.returncode}")
+    # The banner helpers print a human-readable header to stdout before the
+    # JSON document; the document itself starts at the first '{'. A filter
+    # that matches nothing in this binary yields a clean exit with no JSON —
+    # that is a skip, not an error.
+    text = proc.stdout
+    start = text.find("{")
+    if start < 0:
+        if "Failed to match any benchmarks" in text + proc.stderr:
+            return None
+        raise RuntimeError(f"{os.path.basename(path)}: no JSON in output")
+    doc = json.loads(text[start:])
+    benchmarks = []
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        known = {"name", "run_name", "run_type", "repetitions",
+                 "repetition_index", "threads", "iterations", "real_time",
+                 "cpu_time", "time_unit", "family_index",
+                 "per_family_instance_index", "aggregate_name"}
+        counters = {k: v for k, v in b.items()
+                    if k not in known and isinstance(v, (int, float))}
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit, 1e-6)
+        benchmarks.append({
+            "name": b.get("name", "?"),
+            "iterations": b.get("iterations", 0),
+            "real_time_ms": b.get("real_time", 0.0) * scale,
+            "cpu_time_ms": b.get("cpu_time", 0.0) * scale,
+            "counters": counters,
+        })
+    return {
+        "binary": os.path.basename(path),
+        "context": {k: doc.get("context", {}).get(k)
+                    for k in ("num_cpus", "mhz_per_cpu",
+                              "cpu_scaling_enabled", "library_version")},
+        "benchmarks": benchmarks,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Run bench binaries, merge JSON + obs counters.")
+    parser.add_argument("binaries", nargs="*",
+                        help="bench executables (default: BUILD/bench/bench_*)")
+    parser.add_argument("--build-dir",
+                        default=os.path.join(repo_root(), "build"),
+                        help="build tree holding bench/ (default: build)")
+    parser.add_argument("--out",
+                        default=os.path.join(repo_root(),
+                                             "BENCH_scaling.json"),
+                        help="output path (default: BENCH_scaling.json at "
+                             "the repo root)")
+    parser.add_argument("--filter", default=None,
+                        help="--benchmark_filter regex forwarded to every "
+                             "binary")
+    parser.add_argument("--bench-arg", action="append", default=[],
+                        help="extra argument forwarded to every binary "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    binaries = args.binaries or find_binaries(
+        os.path.join(args.build_dir, "bench"))
+    if not binaries:
+        sys.stderr.write("run_bench: no bench binaries found; build them "
+                         "first (cmake --build build)\n")
+        return 1
+
+    runs = []
+    for path in binaries:
+        sys.stderr.write(f"run_bench: {os.path.basename(path)}\n")
+        try:
+            run = run_one(path, args.filter, args.bench_arg)
+        except (RuntimeError, json.JSONDecodeError) as e:
+            sys.stderr.write(f"run_bench: {e}\n")
+            return 1
+        if run is None:
+            sys.stderr.write(f"run_bench: {os.path.basename(path)}: "
+                             "filter matched nothing, skipped\n")
+            continue
+        runs.append(run)
+
+    doc = {
+        "schema_version": 1,
+        "host": {
+            "cpus": os.cpu_count(),
+            "filter": args.filter,
+        },
+        "runs": runs,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    sys.stderr.write(f"run_bench: wrote {args.out}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

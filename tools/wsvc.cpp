@@ -93,7 +93,9 @@ int Usage() {
       "  --fresh <n>              fresh pseudo-domain elements (default 1)\n"
       "  --max-states <n>         product-state budget per search\n"
       "  --max-databases <n>      stop the database sweep after n databases\n"
-      "  --jobs <n>               worker threads for the database sweep\n"
+      "  --jobs <n>               global worker budget for the two-level\n"
+      "                           scheduler: database sweep + within-database\n"
+      "                           graph exploration and valuation fan-out\n"
       "                           (default 1; 0 = hardware concurrency);\n"
       "                           verdict and witness are identical at any n\n"
       "  --steps <n> / --seed <s> simulation length / RNG seed (simulate)\n"
@@ -617,6 +619,7 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
     w.Key("counterexample").Bool(r.counterexample.has_value());
     if (r.counterexample.has_value()) {
       w.Key("witness_db_index").Uint(r.counterexample->database_index);
+      w.Key("witness_valuation_index").Uint(r.counterexample->valuation_index);
     }
     w.Key("regime").BeginObject();
     w.Key("ok").Bool(r.regime.ok());
