@@ -27,6 +27,8 @@ const char* StopReasonName(StopReason reason) {
       return "canceled";
     case StopReason::kDbFailures:
       return "db-failures";
+    case StopReason::kRangeEnd:
+      return "range-end";
   }
   return "complete";
 }
@@ -34,7 +36,7 @@ const char* StopReasonName(StopReason reason) {
 bool ParseStopReason(const char* text, StopReason* out) {
   for (StopReason r : {StopReason::kComplete, StopReason::kBudget,
                        StopReason::kDeadline, StopReason::kCanceled,
-                       StopReason::kDbFailures}) {
+                       StopReason::kDbFailures, StopReason::kRangeEnd}) {
     if (std::strcmp(text, StopReasonName(r)) == 0) {
       *out = r;
       return true;
@@ -53,6 +55,8 @@ StopReason StopReasonFromStatus(const Status& status) {
       return StopReason::kCanceled;
     case StatusCode::kPartialFailure:
       return StopReason::kDbFailures;
+    case StatusCode::kRangeEnd:
+      return StopReason::kRangeEnd;
     default:
       return StopReason::kComplete;
   }

@@ -22,10 +22,15 @@ enum class StopReason {
   kCanceled,
   /// Some databases' checks failed hard and were skipped.
   kDbFailures,
+  /// The assigned index range (--db-range / --valuation-range) was covered
+  /// in full while more of the enumeration remains beyond it; the shard is
+  /// done with its work unit, not the whole space.
+  kRangeEnd,
 };
 
 /// Stable lowercase names used in verdict JSON and checkpoints
-/// ("complete", "budget", "deadline", "canceled", "db-failures").
+/// ("complete", "budget", "deadline", "canceled", "db-failures",
+/// "range-end").
 const char* StopReasonName(StopReason reason);
 
 /// Parses a StopReasonName back; false when `text` matches no reason.
@@ -33,8 +38,9 @@ bool ParseStopReason(const char* text, StopReason* out);
 
 /// Maps a sweep-stopping Status onto the StopReason taxonomy: OK ->
 /// complete, kBudgetExceeded -> budget, kDeadlineExceeded -> deadline,
-/// kCanceled -> canceled, kPartialFailure -> db-failures. Any other code is
-/// a hard error and maps to complete (callers never feed those here).
+/// kCanceled -> canceled, kPartialFailure -> db-failures, kRangeEnd ->
+/// range-end. Any other code is a hard error and maps to complete (callers
+/// never feed those here).
 StopReason StopReasonFromStatus(const Status& status);
 
 /// Shared run-control state for one verification run: a wall-clock deadline

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Canceled";
     case StatusCode::kPartialFailure:
       return "PartialFailure";
+    case StatusCode::kRangeEnd:
+      return "RangeEnd";
   }
   return "Unknown";
 }

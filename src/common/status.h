@@ -37,6 +37,10 @@ enum class StatusCode {
   /// Some per-database checks failed and were skipped; the verdict is
   /// bounded to the databases that completed.
   kPartialFailure,
+  /// The sweep reached the end of its assigned index range (--db-range /
+  /// --valuation-range) with more work remaining beyond it; the shard's
+  /// verdict covers exactly its range.
+  kRangeEnd,
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -80,6 +84,9 @@ class Status {
   }
   static Status PartialFailure(std::string m) {
     return Status(StatusCode::kPartialFailure, std::move(m));
+  }
+  static Status RangeEnd(std::string m) {
+    return Status(StatusCode::kRangeEnd, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

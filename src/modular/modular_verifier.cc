@@ -131,6 +131,9 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   engine_options.run = options_.run;
   engine_options.iso_reduction = options_.iso_reduction;
   engine_options.max_databases = options_.max_databases;
+  engine_options.db_range_lo = options_.db_range_lo;
+  engine_options.db_range_hi = options_.db_range_hi;
+  engine_options.count_only = options_.count_only;
   engine_options.budget = options_.budget;
   engine_options.jobs = options_.jobs;
   engine_options.fixed_databases = std::move(fixed);
@@ -141,9 +144,18 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   engine_options.checkpoint_every = options_.checkpoint_every;
   engine_options.resume_prefix = options_.resume_prefix;
   engine_options.resume_failed = options_.resume_failed;
+  engine_options.resume_covered = options_.resume_covered;
   verifier::VerificationEngine engine(comp_, &interner_, pd.domain, pd.fresh,
                                       engine_options);
   WSV_ASSIGN_OR_RETURN(verifier::EngineOutcome outcome, engine.Run(task));
+
+  if (options_.count_only) {
+    result.enumeration_count = outcome.enumeration_count;
+    result.coverage.unit = outcome.coverage_unit;
+    result.stats.timings = outcome.timings;
+    result.holds = true;  // nothing verified; callers key off count_only
+    return result;
+  }
 
   result.stats.databases_checked = outcome.databases_checked;
   result.stats.searches = outcome.searches;
@@ -166,6 +178,10 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   result.coverage.stop_reason = outcome.stop_reason;
   result.coverage.stop_status = outcome.stop_status;
   result.coverage.completed_prefix = outcome.completed_prefix;
+  result.coverage.covered = std::move(outcome.covered);
+  result.coverage.unit = outcome.coverage_unit;
+  result.coverage.range_lo = options_.db_range_lo;
+  result.coverage.range_hi = options_.db_range_hi;
   result.coverage.failed_db_indices = std::move(outcome.failed_db_indices);
   result.coverage.db_retries = outcome.db_retries;
   if (!outcome.stop_status.ok() && result.holds && result.regime.ok()) {

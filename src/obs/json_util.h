@@ -2,8 +2,10 @@
 #define WSVERIFY_OBS_JSON_UTIL_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -51,6 +53,50 @@ class JsonWriter {
 /// (RFC 8259 grammar; no semantic checks). Used by the test suite to keep
 /// every serializer honest without an external JSON dependency.
 Status JsonValidate(std::string_view text);
+
+/// A parsed JSON value in DOM form, for the tools that need to READ the
+/// documents the pipeline writes (wsvc-merge consuming shard verdict JSON).
+/// Object members keep insertion order; duplicate keys keep the last value
+/// (matching how the documents are produced — JsonWriter never duplicates).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+
+  bool boolean = false;
+  /// Every number carries the double view; when the lexeme had no fraction,
+  /// exponent or sign (is_uint), `uinteger` is the exact value — the form
+  /// all index/counter fields in the verdict documents use.
+  double number = 0.0;
+  uint64_t uinteger = 0;
+  bool is_uint = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; null when absent or this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Nested lookup: Find(a) then Find(b) ...; null on any miss.
+  const JsonValue* FindPath(std::initializer_list<std::string_view> keys) const;
+
+  /// Typed accessors with fallbacks (fallback on kind mismatch).
+  bool AsBool(bool fallback) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+  uint64_t AsUint(uint64_t fallback) const {
+    return kind == Kind::kNumber && is_uint ? uinteger : fallback;
+  }
+  const std::string& AsString(const std::string& fallback) const {
+    return kind == Kind::kString ? string : fallback;
+  }
+};
+
+/// Parses one JSON document into DOM form (same grammar JsonValidate
+/// accepts; \u escapes are decoded to UTF-8, surrogate pairs included).
+Result<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace wsv::obs
 

@@ -13,7 +13,14 @@ struct ProtocolVerifierOptions {
   /// Fresh pseudo-domain elements (see VerifierOptions::fresh_domain_size).
   size_t fresh_domain_size = 2;
   bool iso_reduction = true;
+  /// Absolute-index enumeration bound and shard range (see VerifierOptions
+  /// for the full semantics).
   size_t max_databases = static_cast<size_t>(-1);
+  size_t db_range_lo = 0;
+  size_t db_range_hi = static_cast<size_t>(-1);
+  /// Count the canonical databases instead of verifying (see
+  /// VerifierOptions::count_only).
+  bool count_only = false;
   verifier::SearchBudget budget;
   /// Worker threads for the database sweep (1 = serial, 0 = hardware
   /// concurrency); see VerifierOptions::jobs.
@@ -32,6 +39,7 @@ struct ProtocolVerifierOptions {
   size_t checkpoint_every = 64;
   size_t resume_prefix = 0;
   std::vector<size_t> resume_failed;
+  std::vector<verifier::IndexInterval> resume_covered;
 };
 
 /// Verifies conversation protocols against compositions (Theorems 4.2 and

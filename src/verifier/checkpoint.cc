@@ -1,15 +1,19 @@
 #include "verifier/checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace wsv::verifier {
 
 namespace {
 
 constexpr char kMagic[] = "wsv-checkpoint";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+// Prefix-style files from before interval coverage; still readable.
+constexpr int kVersionPrefix = 1;
 
 Status Corrupt(const std::string& path, const std::string& why) {
   return Status::ParseError("checkpoint '" + path + "' is corrupted (" +
@@ -18,7 +22,127 @@ Status Corrupt(const std::string& path, const std::string& why) {
 
 }  // namespace
 
+std::vector<IndexInterval> NormalizeIntervals(std::vector<IndexInterval> set) {
+  set.erase(std::remove_if(set.begin(), set.end(),
+                           [](const IndexInterval& iv) {
+                             return iv.second <= iv.first;
+                           }),
+            set.end());
+  std::sort(set.begin(), set.end());
+  std::vector<IndexInterval> out;
+  for (const IndexInterval& iv : set) {
+    if (!out.empty() && iv.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, iv.second);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+void AddInterval(std::vector<IndexInterval>* set, uint64_t lo, uint64_t hi) {
+  if (hi <= lo) return;
+  set->emplace_back(lo, hi);
+  *set = NormalizeIntervals(std::move(*set));
+}
+
+bool IntervalsContain(const std::vector<IndexInterval>& set, uint64_t index) {
+  for (const IndexInterval& iv : set) {
+    if (index < iv.first) return false;
+    if (index < iv.second) return true;
+  }
+  return false;
+}
+
+std::vector<IndexInterval> IntersectIntervals(
+    const std::vector<IndexInterval>& set, uint64_t lo, uint64_t hi) {
+  std::vector<IndexInterval> out;
+  for (const IndexInterval& iv : set) {
+    uint64_t a = std::max(iv.first, lo);
+    uint64_t b = std::min(iv.second, hi);
+    if (a < b) out.emplace_back(a, b);
+  }
+  return out;
+}
+
+uint64_t ContiguousPrefix(const std::vector<IndexInterval>& set) {
+  if (set.empty() || set.front().first != 0) return 0;
+  return set.front().second;
+}
+
+std::vector<IndexInterval> IntervalGaps(const std::vector<IndexInterval>& set,
+                                        uint64_t end) {
+  std::vector<IndexInterval> gaps;
+  uint64_t cursor = 0;
+  for (const IndexInterval& iv : set) {
+    if (cursor >= end) break;
+    if (iv.first > cursor) {
+      gaps.emplace_back(cursor, std::min(iv.first, end));
+    }
+    cursor = std::max(cursor, iv.second);
+  }
+  if (cursor < end) gaps.emplace_back(cursor, end);
+  return gaps;
+}
+
+uint64_t ResumeStart(const std::vector<IndexInterval>& set, uint64_t lo) {
+  for (const IndexInterval& iv : set) {
+    if (lo < iv.first) return lo;
+    if (lo < iv.second) return iv.second;
+  }
+  return lo;
+}
+
+std::string IntervalsToString(const std::vector<IndexInterval>& set) {
+  if (set.empty()) return "-";
+  std::ostringstream out;
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out << ',';
+    out << set[i].first << ':' << set[i].second;
+  }
+  return out.str();
+}
+
+Result<std::vector<IndexInterval>> ParseIntervals(const std::string& text) {
+  std::vector<IndexInterval> set;
+  if (text == "-" || text.empty()) return set;
+  std::istringstream items(text);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("interval '" + item + "' is not 'lo:hi'");
+    }
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    try {
+      size_t used = 0;
+      lo = std::stoull(item.substr(0, colon), &used);
+      if (used != colon) throw std::invalid_argument(item);
+      std::string hi_text = item.substr(colon + 1);
+      hi = std::stoull(hi_text, &used);
+      if (used != hi_text.size()) throw std::invalid_argument(item);
+    } catch (...) {
+      return Status::ParseError("interval '" + item + "' is not numeric");
+    }
+    if (hi < lo) {
+      return Status::ParseError("interval '" + item + "' has hi < lo");
+    }
+    set.emplace_back(lo, hi);
+  }
+  return set;
+}
+
 Status WriteCheckpoint(const std::string& path, const Checkpoint& cp) {
+  // Lift prefix-only writers into interval form, then keep the derived
+  // prefix consistent with what is persisted.
+  std::vector<IndexInterval> covered = cp.covered;
+  if (covered.empty() && cp.completed_prefix > 0) {
+    covered.emplace_back(0, cp.completed_prefix);
+  }
+  covered = NormalizeIntervals(std::move(covered));
+  const uint64_t prefix = ContiguousPrefix(covered);
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
@@ -29,7 +153,9 @@ Status WriteCheckpoint(const std::string& path, const Checkpoint& cp) {
     out << kMagic << ' ' << kVersion << '\n';
     out << "fingerprint "
         << (cp.fingerprint.empty() ? "-" : cp.fingerprint) << '\n';
-    out << "completed_prefix " << cp.completed_prefix << '\n';
+    out << "completed_prefix " << prefix << '\n';
+    out << "covered " << IntervalsToString(covered) << '\n';
+    out << "unit " << (cp.unit.empty() ? "database" : cp.unit) << '\n';
     out << "failed";
     if (cp.failed_indices.empty()) {
       out << " -";
@@ -62,21 +188,22 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
 
   Checkpoint cp;
   std::string line;
+  int version = -1;
 
   if (!std::getline(in, line)) return Corrupt(path, "empty file");
   {
     std::istringstream header(line);
     std::string magic;
-    int version = -1;
     header >> magic >> version;
     if (magic != kMagic) return Corrupt(path, "bad magic");
-    if (version != kVersion) {
+    if (version != kVersion && version != kVersionPrefix) {
       return Corrupt(path, "unsupported version " + std::to_string(version));
     }
   }
 
   bool saw_end = false;
   bool saw_prefix = false;
+  bool saw_covered = false;
   while (std::getline(in, line)) {
     if (line == "end") {
       saw_end = true;
@@ -93,6 +220,20 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
         return Corrupt(path, "non-numeric completed_prefix");
       }
       saw_prefix = true;
+    } else if (key == "covered") {
+      std::string list;
+      fields >> list;
+      auto parsed = ParseIntervals(list);
+      if (!parsed.ok()) {
+        return Corrupt(path, "bad covered list: " + parsed.status().message());
+      }
+      cp.covered = NormalizeIntervals(std::move(parsed).value());
+      saw_covered = true;
+    } else if (key == "unit") {
+      fields >> cp.unit;
+      if (cp.unit != "database" && cp.unit != "valuation") {
+        return Corrupt(path, "unknown unit '" + cp.unit + "'");
+      }
     } else if (key == "databases_completed") {
       if (!(fields >> cp.databases_completed)) {
         return Corrupt(path, "non-numeric databases_completed");
@@ -119,8 +260,17 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
   }
   if (!saw_end) return Corrupt(path, "truncated: missing end marker");
   if (!saw_prefix) return Corrupt(path, "missing completed_prefix");
+  if (version >= kVersion && !saw_covered) {
+    return Corrupt(path, "missing covered intervals");
+  }
+  if (!saw_covered && cp.completed_prefix > 0) {
+    // v1 file: the prefix is the whole story.
+    cp.covered.emplace_back(0, cp.completed_prefix);
+  }
+  // Keep the derived prefix authoritative regardless of what was written.
+  cp.completed_prefix = ContiguousPrefix(cp.covered);
   for (uint64_t index : cp.failed_indices) {
-    if (index >= cp.completed_prefix) {
+    if (!IntervalsContain(cp.covered, index)) {
       return Corrupt(path, "failed index beyond the completed prefix");
     }
   }

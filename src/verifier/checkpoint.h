@@ -5,6 +5,7 @@
 #include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/run_control.h"
@@ -12,39 +13,94 @@
 
 namespace wsv::verifier {
 
-/// Persistent progress of a database sweep, keyed to the deterministic
-/// enumeration order of DatabaseEnumerator. `completed_prefix` is the
-/// high-water mark: every database index in [0, completed_prefix) was
-/// either fully checked (no violation) or recorded in `failed_indices`.
-/// Resuming a sweep from a checkpoint fast-forwards the enumerator past
-/// that prefix, so the resumed run's verdict, witness index and lasso are
-/// bit-for-bit what an uninterrupted run would have produced.
+/// Half-open [lo, hi) interval of the deterministic enumeration order.
+using IndexInterval = std::pair<uint64_t, uint64_t>;
+
+/// Sorts, drops empty intervals, and merges overlapping/adjacent ones, so
+/// the result is the canonical disjoint representation of the same index
+/// set. Every helper below expects (and every producer emits) this form.
+std::vector<IndexInterval> NormalizeIntervals(std::vector<IndexInterval> set);
+
+/// Adds [lo, hi) to a normalized set, keeping it normalized.
+void AddInterval(std::vector<IndexInterval>* set, uint64_t lo, uint64_t hi);
+
+/// True when `index` lies inside some interval of the normalized set.
+bool IntervalsContain(const std::vector<IndexInterval>& set, uint64_t index);
+
+/// The set restricted to [lo, hi) (used to cap a violated run's coverage at
+/// the witness index so a resume re-finds it).
+std::vector<IndexInterval> IntersectIntervals(
+    const std::vector<IndexInterval>& set, uint64_t lo, uint64_t hi);
+
+/// Length of the contiguous covered run starting at index 0 — the v1
+/// completed-prefix view of an interval set (0 when index 0 is uncovered).
+uint64_t ContiguousPrefix(const std::vector<IndexInterval>& set);
+
+/// The uncovered holes of [0, end) relative to the normalized set — what a
+/// merge must report as gaps before a "holds" verdict is trustworthy.
+std::vector<IndexInterval> IntervalGaps(const std::vector<IndexInterval>& set,
+                                        uint64_t end);
+
+/// Where a resumed run of work unit [lo, ...) should start: the end of the
+/// covered interval containing `lo`, or `lo` itself when it is uncovered.
+/// (The sweep dispatches one contiguous segment per leg, so covered
+/// intervals beyond the first hole are conservatively re-checked.)
+uint64_t ResumeStart(const std::vector<IndexInterval>& set, uint64_t lo);
+
+/// Renders "lo:hi,lo:hi" (or "-" for the empty set); the inverse of
+/// ParseIntervals. Used by the checkpoint format and diagnostics.
+std::string IntervalsToString(const std::vector<IndexInterval>& set);
+
+/// Parses IntervalsToString output; rejects malformed text or lo > hi.
+Result<std::vector<IndexInterval>> ParseIntervals(const std::string& text);
+
+/// Persistent progress of a database (or valuation) sweep, keyed to the
+/// deterministic enumeration order. `covered` is a normalized set of
+/// disjoint [lo, hi) intervals: every index inside it was either fully
+/// checked (no violation) or recorded in `failed_indices`. A v1 checkpoint
+/// recorded only the contiguous prefix [0, completed_prefix); the reader
+/// lifts such files into the interval form, so prefix-style checkpoints
+/// round-trip losslessly. Resuming fast-forwards the enumerator past the
+/// covered run containing the shard's range start, so the resumed run's
+/// verdict, witness index and lasso are bit-for-bit what an uninterrupted
+/// run over the same range would have produced.
 struct Checkpoint {
   /// Guards against resuming with a different spec/property/options; the
   /// reader rejects a mismatch. Empty disables the check.
   std::string fingerprint;
+  /// Disjoint covered intervals (normalized). Writers may instead leave
+  /// this empty and set completed_prefix; WriteCheckpoint then persists
+  /// [0, completed_prefix).
+  std::vector<IndexInterval> covered;
+  /// Derived v1 view: the contiguous covered run starting at index 0.
+  /// Maintained by WriteCheckpoint/ReadCheckpoint; prefer `covered`.
   uint64_t completed_prefix = 0;
-  /// Database indices (all < completed_prefix) whose checks failed hard and
+  /// Enumeration indices (inside `covered`) whose checks failed hard and
   /// were skipped under --on-db-error skip.
   std::vector<uint64_t> failed_indices;
-  /// Databases completed at write time, including out-of-order completions
-  /// ahead of the prefix (informational aggregate; >= completed_prefix
-  /// minus failures only transiently during a parallel sweep).
+  /// Work units completed at write time, including out-of-order completions
+  /// ahead of the covered intervals (informational aggregate).
   uint64_t databases_completed = 0;
   /// Why the writing run stopped; "in-progress" for periodic mid-run
-  /// checkpoints.
+  /// checkpoints, "range-end" for a shard that finished its --db-range.
   std::string stop_reason = "in-progress";
+  /// What the covered indices enumerate: "database" for sweep checkpoints,
+  /// "valuation" for pinned-database valuation shards.
+  std::string unit = "database";
 };
 
 /// Atomically persists `cp` to `path`: the document is written to
 /// "<path>.tmp" and renamed over the target, so readers never observe a
 /// torn file and a crash mid-write leaves the previous checkpoint intact.
+/// Writes format version 2 (interval coverage).
 Status WriteCheckpoint(const std::string& path, const Checkpoint& cp);
 
-/// Parses a checkpoint written by WriteCheckpoint. Corrupted, truncated
-/// (missing the trailing "end" marker) or wrong-version files are rejected
-/// with kParseError; when `expected_fingerprint` is non-empty, a mismatch
-/// is rejected with kInvalidSpec.
+/// Parses a checkpoint written by WriteCheckpoint — version 2, or a v1
+/// prefix-style file, which is lifted to covered = [0, completed_prefix).
+/// Corrupted, truncated (missing the trailing "end" marker) or
+/// unknown-version files are rejected with kParseError; when
+/// `expected_fingerprint` is non-empty, a mismatch is rejected with
+/// kInvalidSpec.
 Result<Checkpoint> ReadCheckpoint(const std::string& path,
                                   const std::string& expected_fingerprint);
 

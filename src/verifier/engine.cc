@@ -523,6 +523,11 @@ Result<bool> VerificationEngine::CheckDatabases(
                              &prefilter_memo, &rigid, init_sid,
                              &ever_sat, &always_sat, &leaf_positions};
   const size_t total = task.valuations.size();
+  // Valuation shard bounds; the full space on database sweeps (Run()
+  // rejects a valuation range there). Indices stay absolute, so a shard's
+  // witness valuation index matches the unsharded run's.
+  const size_t v_lo = std::min(options_.valuation_range_lo, total);
+  const size_t v_hi = std::min(options_.valuation_range_hi, total);
 
   auto add_search_stats = [](const SearchStats& from, SearchStats& into) {
     into.snapshots += from.snapshots;
@@ -557,16 +562,28 @@ Result<bool> VerificationEngine::CheckDatabases(
     if (last != nullptr) outcome.stop_status = last->second;
   };
 
+  // A shard cut short by its upper bound reports range-end — unless a
+  // bounded search inside the range already set a budget status, which must
+  // survive (range-end would let a merge attest full coverage of a range
+  // whose valuations were only partially searched).
+  auto apply_range_end = [&] {
+    if (v_hi < total && outcome.stop_status.ok()) {
+      outcome.stop_status = Status::RangeEnd(
+          "valuation sweep stopped at the end of the assigned range; the "
+          "verdict covers exactly this shard's valuations");
+    }
+  };
+
   // Fan the valuation sweep out only when the graph is complete (searches
   // on a partial graph grow it on the fly, which is inherently serial) and
   // there is real work to split.
   const bool fan_out =
-      pool_ != nullptr && lanes_ > 1 && complete_graph && total > 1;
+      pool_ != nullptr && lanes_ > 1 && complete_graph && v_hi - v_lo > 1;
 
   if (!fan_out) {
     std::vector<ValuationLane> lanes(1);
     ValuationLane& lane = lanes[0];
-    for (size_t vi = 0; vi < total; ++vi) {
+    for (size_t vi = v_lo; vi < v_hi; ++vi) {
       Result<bool> one = CheckOneValuation(ctx, vi, lane);
       if (!one.ok()) {
         merge_lane(lane);
@@ -589,6 +606,7 @@ Result<bool> VerificationEngine::CheckDatabases(
     }
     merge_lane(lane);
     replay_budget_events(lanes, static_cast<size_t>(-1));
+    apply_range_end();
     return false;
   }
 
@@ -603,17 +621,18 @@ Result<bool> VerificationEngine::CheckDatabases(
   std::mutex stop_mu;
   std::optional<Status> stop_event;
   std::optional<std::pair<size_t, Status>> hard_error;
+  const size_t work = v_hi - v_lo;
   const size_t per_chunk = std::max<size_t>(
-      1, std::min<size_t>(256, total / (lanes_ * 8) + 1));
-  const size_t num_chunks = (total + per_chunk - 1) / per_chunk;
+      1, std::min<size_t>(256, work / (lanes_ * 8) + 1));
+  const size_t num_chunks = (work + per_chunk - 1) / per_chunk;
   static obs::Counter& chunk_counter =
       obs::Registry::Global().counter("engine.valuation_chunks");
   ThreadPool::ParallelChunks(
       pool_, lanes_ - 1, num_chunks, [&](size_t lane_id, size_t chunk) {
         ValuationLane& lane = lanes[lane_id];
         chunk_counter.Add(1);
-        const size_t begin = chunk * per_chunk;
-        const size_t end = std::min(total, begin + per_chunk);
+        const size_t begin = v_lo + chunk * per_chunk;
+        const size_t end = std::min(v_hi, begin + per_chunk);
         for (size_t vi = begin; vi < end; ++vi) {
           if (abort.load(std::memory_order_acquire)) return;
           if (vi >= stop_before.load(std::memory_order_acquire)) break;
@@ -677,6 +696,7 @@ Result<bool> VerificationEngine::CheckDatabases(
     return true;
   }
   replay_budget_events(lanes, static_cast<size_t>(-1));
+  apply_range_end();
   return false;
 }
 
@@ -716,19 +736,20 @@ void CountDatabase(EngineOutcome& outcome) {
 
 /// Best-effort checkpoint write: a failed write must not take down a sweep
 /// that is otherwise making progress, so the status is only counted.
-void PersistCheckpoint(const EngineOptions& options, size_t completed_prefix,
+void PersistCheckpoint(const EngineOptions& options,
+                       const std::vector<IndexInterval>& covered,
                        const std::vector<size_t>& failed,
                        size_t databases_completed,
                        const std::string& stop_reason) {
   Checkpoint cp;
   cp.fingerprint = options.checkpoint_fingerprint;
-  cp.completed_prefix = completed_prefix;
-  // A parallel sweep can fail a database ahead of the completed prefix;
-  // such indices are re-checked on resume (which starts at the prefix), so
+  cp.covered = covered;
+  // A parallel sweep can fail a database ahead of the completed run; such
+  // indices are re-checked on resume (which restarts at the first hole), so
   // persisting them would be both redundant and unreadable — the checkpoint
-  // format requires failed indices below the prefix.
+  // format requires failed indices inside the covered intervals.
   for (size_t index : failed) {
-    if (index < completed_prefix) cp.failed_indices.push_back(index);
+    if (IntervalsContain(covered, index)) cp.failed_indices.push_back(index);
   }
   cp.databases_completed = databases_completed;
   cp.stop_reason = stop_reason;
@@ -747,6 +768,51 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   EngineOutcome outcome;
   PhaseTimings timers_before = TimerSnapshot();
   size_t jobs = ThreadPool::ResolveJobs(options_.jobs);
+
+  if (options_.db_range_hi < options_.db_range_lo) {
+    return Status::InvalidSpec("--db-range upper bound " +
+                               std::to_string(options_.db_range_hi) +
+                               " is below its lower bound " +
+                               std::to_string(options_.db_range_lo));
+  }
+  if (options_.valuation_range_hi < options_.valuation_range_lo) {
+    return Status::InvalidSpec("--valuation-range upper bound " +
+                               std::to_string(options_.valuation_range_hi) +
+                               " is below its lower bound " +
+                               std::to_string(options_.valuation_range_lo));
+  }
+  const bool has_valuation_range =
+      options_.valuation_range_lo != 0 ||
+      options_.valuation_range_hi != static_cast<size_t>(-1);
+  if (has_valuation_range && !options_.fixed_databases.has_value()) {
+    return Status::InvalidSpec(
+        "--valuation-range requires pinned databases (--db): database "
+        "sweeps shard with --db-range instead");
+  }
+
+  if (options_.count_only) {
+    // Count-only: report the size of the enumeration space (the coordinate
+    // system shard ranges index into) without checking anything.
+    if (options_.fixed_databases.has_value()) {
+      outcome.coverage_unit = "valuation";
+      outcome.enumeration_count = task.valuations.size();
+    } else {
+      DatabaseEnumerator enumerator(comp_, domain_, fresh_,
+                                    options_.iso_reduction);
+      WSV_RETURN_IF_ERROR(enumerator.status());
+      obs::PhaseTimer enum_phase("db_enum");
+      std::vector<data::Instance> scratch;
+      while (enumerator.Next(&scratch)) {
+        ++outcome.enumeration_count;
+        if (options_.control != nullptr) {
+          WSV_RETURN_IF_ERROR(options_.control->Check());
+        }
+      }
+    }
+    outcome.timings = TimerDelta(timers_before);
+    return outcome;
+  }
+
   obs::Registry::Global()
       .counter("engine.instances")
       .Add(task.valuations.size());
@@ -787,6 +853,24 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
       obs::Registry::Global().counter("engine.violations").Add(1);
     }
     if (found.ok()) outcome.completed_prefix = 1;
+    // Pinned runs shard over valuations, so coverage is valuation-indexed:
+    // a clean or range-end pass covered the whole assigned slice, a
+    // violation covers the slice below its witness (mirroring the sweep's
+    // witness-capped checkpoints), and any other stop claims nothing (the
+    // fan-out has no per-valuation completion order to attest).
+    outcome.coverage_unit = "valuation";
+    if (found.ok()) {
+      const size_t v_total = task.valuations.size();
+      const size_t v_lo = std::min(options_.valuation_range_lo, v_total);
+      const size_t v_hi = std::min(options_.valuation_range_hi, v_total);
+      if (*found) {
+        AddInterval(&outcome.covered, v_lo,
+                    outcome.violation_valuation_index);
+      } else if (outcome.stop_status.ok() ||
+                 outcome.stop_status.code() == StatusCode::kRangeEnd) {
+        AddInterval(&outcome.covered, v_lo, v_hi);
+      }
+    }
     outcome.stop_reason = StopReasonFromStatus(outcome.stop_status);
     if (outcome.stop_reason == StopReason::kDeadline) {
       obs::Registry::Global().counter("engine.deadline_hits").Add(1);
@@ -805,17 +889,41 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   SweepOptions sweep_options;
   sweep_options.jobs = jobs;
   sweep_options.max_databases = options_.max_databases;
-  sweep_options.start_index = options_.resume_prefix;
+  // The dispatch origin: the range start, or — when resuming — the end of
+  // the covered run containing it. Indices stay absolute throughout.
+  const size_t sweep_start =
+      std::max(options_.resume_prefix, options_.db_range_lo);
+  sweep_options.start_index = sweep_start;
+  // Coverage inherited from a resume. Legacy callers pass only a prefix
+  // (no intervals); that prefix attests [0, prefix), so lift it — otherwise
+  // the witness cap below would erase resumed coverage from checkpoints.
+  std::vector<IndexInterval> resume_base =
+      NormalizeIntervals(options_.resume_covered);
+  if (resume_base.empty() && options_.resume_prefix > 0) {
+    AddInterval(&resume_base, 0, options_.resume_prefix);
+  }
+  sweep_options.end_index = options_.db_range_hi;
   sweep_options.control = options_.control;
   sweep_options.skip_failed_databases =
       options_.on_db_error == OnDbError::kSkip;
   sweep_options.resume_failed = options_.resume_failed;
+  if (options_.db_range_lo != 0 ||
+      options_.db_range_hi != static_cast<size_t>(-1)) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.counter("sweep.range_lo").Add(options_.db_range_lo);
+    if (options_.db_range_hi != static_cast<size_t>(-1)) {
+      registry.counter("sweep.range_hi").Add(options_.db_range_hi);
+    }
+  }
   if (!options_.checkpoint_path.empty()) {
     sweep_options.checkpoint_every = options_.checkpoint_every;
-    sweep_options.checkpoint_fn = [this](size_t completed_prefix,
-                                         const std::vector<size_t>& failed,
-                                         size_t databases_completed) {
-      PersistCheckpoint(options_, completed_prefix, failed,
+    sweep_options.checkpoint_fn = [this, sweep_start, resume_base](
+                                      size_t completed_prefix,
+                                      const std::vector<size_t>& failed,
+                                      size_t databases_completed) {
+      std::vector<IndexInterval> covered = resume_base;
+      AddInterval(&covered, sweep_start, completed_prefix);
+      PersistCheckpoint(options_, covered, failed,
                         options_.resume_prefix + databases_completed,
                         "in-progress");
     };
@@ -843,18 +951,21 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
   if (swept.stop_reason == StopReason::kDeadline) {
     obs::Registry::Global().counter("engine.deadline_hits").Add(1);
   }
+  // Coverage: resumed intervals plus the contiguous run this sweep
+  // completed from its dispatch origin — capped below the witness when a
+  // violation was found, so a resume (or a merge of shard checkpoints)
+  // re-checks the witness database and reproduces the VIOLATED verdict
+  // instead of silently skipping past it.
+  std::vector<IndexInterval> covered = resume_base;
+  AddInterval(&covered, sweep_start, swept.completed_prefix);
+  if (swept.violation_found) {
+    covered = IntersectIntervals(covered, 0, swept.violation_db_index);
+  }
+  swept.covered = covered;
   if (!options_.checkpoint_path.empty()) {
     // Final checkpoint carries the real stop reason — "complete" marks the
-    // sweep as finished so a --resume of it is a no-op fast path. When a
-    // violation was found the persisted prefix is capped at the witness
-    // index: a resume then re-checks the witness database and reproduces
-    // the VIOLATED verdict instead of silently skipping past it.
-    size_t persisted_prefix = swept.completed_prefix;
-    if (swept.violation_found &&
-        swept.violation_db_index < persisted_prefix) {
-      persisted_prefix = swept.violation_db_index;
-    }
-    PersistCheckpoint(options_, persisted_prefix, swept.failed_db_indices,
+    // sweep as finished so a --resume of it is a no-op fast path.
+    PersistCheckpoint(options_, covered, swept.failed_db_indices,
                       options_.resume_prefix + swept.databases_checked,
                       StopReasonName(swept.stop_reason));
   }

@@ -17,6 +17,7 @@
 #include "fo/formula.h"
 #include "runtime/run_options.h"
 #include "spec/composition.h"
+#include "verifier/checkpoint.h"
 #include "verifier/product_search.h"
 
 namespace wsv::verifier {
@@ -128,7 +129,28 @@ enum class OnDbError {
 struct EngineOptions {
   runtime::RunOptions run;
   bool iso_reduction = true;
+  /// Exclusive bound on the enumeration in ABSOLUTE canonical indices:
+  /// databases with index >= max_databases are never dispatched, counted
+  /// from index 0 regardless of any resume offset or range lower bound.
   size_t max_databases = static_cast<size_t>(-1);
+  /// Absolute half-open slice [db_range_lo, db_range_hi) of the canonical
+  /// database enumeration this run checks — one shard's work unit. The
+  /// defaults cover the whole enumeration. A sweep cut short by the upper
+  /// bound (with more databases beyond it) stops with StopReason::kRangeEnd;
+  /// a sweep whose enumerator is exhausted inside the range stops kComplete,
+  /// which is the attestation a merge needs that the space ends in-range.
+  size_t db_range_lo = 0;
+  size_t db_range_hi = static_cast<size_t>(-1);
+  /// Half-open slice of the valuation space, legal only together with
+  /// fixed_databases (a pinned-database valuation shard); Run() rejects it
+  /// on database sweeps — those shard with db_range instead.
+  size_t valuation_range_lo = 0;
+  size_t valuation_range_hi = static_cast<size_t>(-1);
+  /// Walk the enumeration without checking anything and report its size in
+  /// EngineOutcome::enumeration_count (canonical databases, or valuations
+  /// when fixed_databases is set). Shard coordinators use this to split
+  /// ranges evenly.
+  bool count_only = false;
   SearchBudget budget;
   /// Global worker budget for the two-level scheduler. 1 = serial
   /// (default); 0 = hardware concurrency. One shared ThreadPool feeds both
@@ -161,6 +183,12 @@ struct EngineOptions {
   /// prefix that a previous run skipped) into the outcome's failed list.
   size_t resume_prefix = 0;
   std::vector<size_t> resume_failed;
+  /// Coverage intervals inherited from a resumed checkpoint (absolute
+  /// indices, normalized); unioned into the outcome's covered set and into
+  /// persisted checkpoints. Callers set resume_prefix to
+  /// ResumeStart(resume_covered, db_range_lo) so dispatch skips the covered
+  /// run containing the range start.
+  std::vector<IndexInterval> resume_covered;
 };
 
 /// Wall time spent in each pipeline phase during one engine run, in
@@ -215,10 +243,22 @@ struct EngineOutcome {
   /// stop_status, classified (kComplete / kBudget / kDeadline / kCanceled /
   /// kDbFailures).
   StopReason stop_reason = StopReason::kComplete;
-  /// High-water mark of the deterministic enumeration order: every index in
-  /// [0, completed_prefix) was checked or recorded as failed. Includes any
-  /// resumed prefix.
+  /// High-water mark of the contiguous completed run starting at the
+  /// dispatch origin (the resume/range start; index 0 for a whole-space
+  /// run): every index from the origin up to here was checked or recorded
+  /// as failed. Includes any resumed prefix.
   size_t completed_prefix = 0;
+  /// Disjoint covered intervals of the enumeration order (absolute
+  /// half-open indices, normalized), including resumed coverage; capped
+  /// below the witness when a violation is found, mirroring the persisted
+  /// checkpoint so a resume re-finds the witness. Unit: coverage_unit.
+  std::vector<IndexInterval> covered;
+  /// What `covered` indexes: "database" for sweeps, "valuation" for
+  /// pinned-database runs.
+  std::string coverage_unit = "database";
+  /// Count-only mode (EngineOptions::count_only): the size of the full
+  /// enumeration space; zero otherwise.
+  size_t enumeration_count = 0;
   /// Indices whose checks failed hard and were skipped (OnDbError::kSkip),
   /// sorted; includes EngineOptions::resume_failed.
   std::vector<size_t> failed_db_indices;

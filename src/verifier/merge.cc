@@ -1,0 +1,296 @@
+#include "verifier/merge.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/json_util.h"
+
+namespace wsv::verifier {
+
+namespace {
+
+uint64_t IntervalsLength(const std::vector<IndexInterval>& set) {
+  uint64_t total = 0;
+  for (const IndexInterval& iv : set) total += iv.second - iv.first;
+  return total;
+}
+
+}  // namespace
+
+Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards) {
+  if (shards.empty()) {
+    return Status::InvalidSpec("merge needs at least one shard report");
+  }
+  MergeReport merged;
+  merged.unit = shards[0].unit;
+
+  // Fingerprint and unit compatibility: shards that verified different
+  // problems (or different work units) must never be unioned — the indices
+  // would mean different things.
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& shard = shards[i];
+    if (shard.unit != merged.unit) {
+      return Status::InvalidSpec(
+          "shard '" + shard.source + "' covers unit '" + shard.unit +
+          "' but shard '" + shards[0].source + "' covers '" + merged.unit +
+          "' — these runs cannot merge");
+    }
+    if (shard.fingerprint.empty()) {
+      merged.warnings.push_back("shard '" + shard.source +
+                                "' carries no fingerprint; compatibility "
+                                "with the other shards is unchecked");
+      continue;
+    }
+    if (merged.fingerprint.empty()) {
+      merged.fingerprint = shard.fingerprint;
+    } else if (shard.fingerprint != merged.fingerprint) {
+      return Status::InvalidSpec(
+          "fingerprint mismatch: shard '" + shard.source + "' has " +
+          shard.fingerprint + " but an earlier shard has " +
+          merged.fingerprint + " — the runs verified different problems");
+    }
+  }
+
+  // Union coverage; the multiplicity excess is the overlap (duplicated
+  // work — deduplicate and warn, the verdicts still agree by determinism).
+  uint64_t sum_lengths = 0;
+  bool any_complete = false;
+  uint64_t complete_end = 0;
+  for (const ShardReport& shard : shards) {
+    std::vector<IndexInterval> covered = NormalizeIntervals(shard.covered);
+    sum_lengths += IntervalsLength(covered);
+    for (const IndexInterval& iv : covered) {
+      AddInterval(&merged.covered, iv.first, iv.second);
+    }
+    if (shard.stop_reason == "complete") {
+      any_complete = true;
+      for (const IndexInterval& iv : covered) {
+        complete_end = std::max(complete_end, iv.second);
+      }
+    }
+  }
+  merged.overlap = sum_lengths - IntervalsLength(merged.covered);
+  if (merged.overlap > 0) {
+    merged.warnings.push_back(
+        "shards overlap on " + std::to_string(merged.overlap) + " " +
+        merged.unit + " index(es); deduplicated (determinism makes the "
+        "duplicate verdicts agree, but the work was wasted)");
+  }
+
+  // Witness: the globally lowest (db, valuation) pair is exactly what one
+  // unsharded deterministic sweep would have stopped at.
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardReport& shard = shards[i];
+    if (!shard.has_witness) continue;
+    bool lower =
+        !merged.has_witness ||
+        shard.witness_db_index < merged.witness_db_index ||
+        (shard.witness_db_index == merged.witness_db_index &&
+         shard.witness_valuation_index < merged.witness_valuation_index);
+    if (lower) {
+      merged.has_witness = true;
+      merged.witness_db_index = shard.witness_db_index;
+      merged.witness_valuation_index = shard.witness_valuation_index;
+      merged.witness_shard = i;
+    }
+  }
+
+  // Failed indices: sorted union across shards.
+  std::set<uint64_t> failed;
+  for (const ShardReport& shard : shards) {
+    failed.insert(shard.failed_indices.begin(), shard.failed_indices.end());
+  }
+  merged.failed_indices.assign(failed.begin(), failed.end());
+
+  // Completeness attestation. The enumeration's true size is only known
+  // when some shard ran its enumerator to exhaustion (stop_reason
+  // "complete"); a pile of range-bounded shards, however contiguous, can
+  // never prove there is nothing beyond the highest range.
+  uint64_t end = 0;
+  for (const IndexInterval& iv : merged.covered) {
+    end = std::max(end, iv.second);
+  }
+  merged.gaps = IntervalGaps(merged.covered, end);
+  if (any_complete && end > complete_end) {
+    merged.warnings.push_back(
+        "a shard covers indices beyond the exhaustion point " +
+        std::to_string(complete_end) +
+        " attested by a 'complete' shard; reports are inconsistent");
+  }
+  merged.complete = any_complete && merged.gaps.empty() && end > 0 &&
+                    ContiguousPrefix(merged.covered) == end &&
+                    merged.failed_indices.empty();
+
+  if (merged.has_witness) {
+    merged.verdict = "violated";
+  } else if (merged.complete) {
+    merged.verdict = "holds";
+  } else {
+    merged.verdict = "incomplete";
+    if (!merged.gaps.empty()) {
+      merged.warnings.push_back(
+          "coverage has gaps (" + IntervalsToString(merged.gaps) +
+          "); the union proves nothing about the uncovered indices");
+    } else if (!any_complete) {
+      merged.warnings.push_back(
+          "no shard ran to enumerator exhaustion; the space beyond index " +
+          std::to_string(end) + " is unexplored");
+    } else if (!merged.failed_indices.empty()) {
+      merged.warnings.push_back(
+          std::to_string(merged.failed_indices.size()) +
+          " index(es) failed hard and were skipped; their verdicts are "
+          "unknown");
+    }
+  }
+  return merged;
+}
+
+Result<ShardReport> ShardFromStatsJson(const std::string& json_text,
+                                       const std::string& source) {
+  WSV_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::JsonParse(json_text));
+  ShardReport shard;
+  shard.source = source;
+  const obs::JsonValue* verdict = doc.Find("verdict");
+  if (verdict == nullptr || !verdict->IsObject()) {
+    return Status::ParseError("shard '" + source +
+                              "': stats JSON has no verdict object (was the "
+                              "run a verify/protocol/modular command?)");
+  }
+  if (const obs::JsonValue* fp = verdict->Find("fingerprint")) {
+    shard.fingerprint = fp->AsString("");
+  }
+  if (const obs::JsonValue* kind = verdict->Find("kind"); kind == nullptr) {
+    return Status::ParseError("shard '" + source +
+                              "': verdict carries no result (the command "
+                              "exited before verifying)");
+  }
+  shard.holds = verdict->Find("holds") != nullptr &&
+                verdict->Find("holds")->AsBool(false);
+  const obs::JsonValue* ce = verdict->Find("counterexample");
+  shard.has_witness = ce != nullptr && ce->AsBool(false);
+  if (shard.has_witness) {
+    const obs::JsonValue* db = verdict->Find("witness_db_index");
+    const obs::JsonValue* vi = verdict->Find("witness_valuation_index");
+    if (db == nullptr || vi == nullptr) {
+      return Status::ParseError("shard '" + source +
+                                "': counterexample without witness indices");
+    }
+    shard.witness_db_index = db->AsUint(0);
+    shard.witness_valuation_index = vi->AsUint(0);
+  }
+  const obs::JsonValue* cov = verdict->Find("coverage");
+  if (cov == nullptr || !cov->IsObject()) {
+    return Status::ParseError("shard '" + source +
+                              "': verdict has no coverage block");
+  }
+  if (const obs::JsonValue* reason = cov->Find("stop_reason")) {
+    shard.stop_reason = reason->AsString("complete");
+  }
+  if (const obs::JsonValue* unit = cov->Find("unit")) {
+    shard.unit = unit->AsString("database");
+  }
+  if (const obs::JsonValue* lo = cov->Find("range_lo")) {
+    shard.range_lo = lo->AsUint(0);
+  }
+  if (const obs::JsonValue* hi = cov->Find("range_hi")) {
+    shard.range_hi = hi->AsUint(UINT64_MAX);
+  }
+  const obs::JsonValue* covered = cov->Find("covered");
+  if (covered != nullptr && covered->IsArray()) {
+    for (const obs::JsonValue& iv : covered->array) {
+      if (!iv.IsArray() || iv.array.size() != 2) {
+        return Status::ParseError("shard '" + source +
+                                  "': coverage.covered entries must be "
+                                  "[lo, hi] pairs");
+      }
+      shard.covered.push_back(
+          {iv.array[0].AsUint(0), iv.array[1].AsUint(0)});
+    }
+  } else if (const obs::JsonValue* prefix = cov->Find("completed_prefix")) {
+    // Pre-interval documents: lift the prefix, like the checkpoint reader.
+    uint64_t p = prefix->AsUint(0);
+    if (p > 0) shard.covered.push_back({0, p});
+  }
+  shard.covered = NormalizeIntervals(std::move(shard.covered));
+  if (const obs::JsonValue* failed = cov->Find("failed_db_indices");
+      failed != nullptr && failed->IsArray()) {
+    for (const obs::JsonValue& index : failed->array) {
+      shard.failed_indices.push_back(index.AsUint(0));
+    }
+  }
+  return shard;
+}
+
+Status ApplyCheckpoint(const std::string& checkpoint_path,
+                       ShardReport* shard) {
+  WSV_ASSIGN_OR_RETURN(Checkpoint cp, ReadCheckpoint(checkpoint_path,
+                                                     shard->fingerprint));
+  if (shard->fingerprint.empty()) shard->fingerprint = cp.fingerprint;
+  if (cp.unit != shard->unit) {
+    return Status::InvalidSpec("checkpoint '" + checkpoint_path +
+                               "' covers unit '" + cp.unit +
+                               "' but the shard's verdict covers '" +
+                               shard->unit + "'");
+  }
+  for (const IndexInterval& iv : cp.covered) {
+    AddInterval(&shard->covered, iv.first, iv.second);
+  }
+  for (uint64_t index : cp.failed_indices) {
+    shard->failed_indices.push_back(index);
+  }
+  std::sort(shard->failed_indices.begin(), shard->failed_indices.end());
+  shard->failed_indices.erase(
+      std::unique(shard->failed_indices.begin(), shard->failed_indices.end()),
+      shard->failed_indices.end());
+  return Status::Ok();
+}
+
+std::string RenderMergeJson(const MergeReport& report, int exit_code) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("exit_code").Int(exit_code);
+  w.Key("kind").String("merge");
+  w.Key("verdict").String(report.verdict);
+  w.Key("holds").Bool(report.verdict == "holds");
+  w.Key("complete").Bool(report.complete);
+  w.Key("counterexample").Bool(report.has_witness);
+  if (report.has_witness) {
+    w.Key("witness_db_index").Uint(report.witness_db_index);
+    w.Key("witness_valuation_index").Uint(report.witness_valuation_index);
+    w.Key("witness_shard").Uint(report.witness_shard);
+  }
+  if (!report.fingerprint.empty()) {
+    w.Key("fingerprint").String(report.fingerprint);
+  }
+  w.Key("coverage").BeginObject();
+  w.Key("unit").String(report.unit);
+  w.Key("covered").BeginArray();
+  for (const IndexInterval& iv : report.covered) {
+    w.BeginArray().Uint(iv.first).Uint(iv.second).EndArray();
+  }
+  w.EndArray();
+  w.Key("completed_prefix").Uint(ContiguousPrefix(report.covered));
+  w.Key("gaps").BeginArray();
+  for (const IndexInterval& iv : report.gaps) {
+    w.BeginArray().Uint(iv.first).Uint(iv.second).EndArray();
+  }
+  w.EndArray();
+  w.Key("overlap").Uint(report.overlap);
+  w.Key("failed_db_indices").BeginArray();
+  for (uint64_t index : report.failed_indices) w.Uint(index);
+  w.EndArray();
+  w.EndObject();
+  w.Key("warnings").BeginArray();
+  for (const std::string& warning : report.warnings) w.String(warning);
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+int MergeExitCode(const MergeReport& report) {
+  if (report.verdict == "violated") return 3;
+  if (report.verdict == "holds") return 0;
+  return 4;
+}
+
+}  // namespace wsv::verifier

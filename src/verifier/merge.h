@@ -1,0 +1,102 @@
+#ifndef WSVERIFY_VERIFIER_MERGE_H_
+#define WSVERIFY_VERIFIER_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "verifier/checkpoint.h"
+
+namespace wsv::verifier {
+
+/// One shard's contribution to a merged verdict, extracted from the verdict
+/// section of its `wsvc --stats-json` document (ShardFromStatsJson) and
+/// optionally cross-checked against its checkpoint file.
+struct ShardReport {
+  /// Where the report came from (file path or shard label) — diagnostics
+  /// only, never part of the merge decision.
+  std::string source;
+  /// Spec/property/options fingerprint (FingerprintParts); shards with
+  /// different fingerprints verified different problems and must not merge.
+  std::string fingerprint;
+
+  bool holds = true;
+  bool has_witness = false;
+  uint64_t witness_db_index = 0;
+  uint64_t witness_valuation_index = 0;
+
+  /// Covered intervals (absolute indices, normalized half-open) and what
+  /// they index ("database" sweeps / "valuation" pinned-database runs).
+  std::vector<IndexInterval> covered;
+  std::string unit = "database";
+  /// The slice this shard was assigned.
+  uint64_t range_lo = 0;
+  uint64_t range_hi = UINT64_MAX;
+  /// StopReasonName of the shard's run: "complete" attests enumerator
+  /// exhaustion — the only way the merged space's true end is known.
+  std::string stop_reason = "complete";
+  std::vector<uint64_t> failed_indices;
+};
+
+/// The union of N shard runs of the same verification problem.
+struct MergeReport {
+  /// "violated" | "holds" | "incomplete". "holds" is emitted only when the
+  /// union is gap-free from 0, some shard attests enumerator exhaustion
+  /// ("complete") and no database failed — anything weaker over a
+  /// violation-free union degrades to "incomplete", never to "holds".
+  std::string verdict = "incomplete";
+  bool complete = false;
+
+  bool has_witness = false;
+  /// Globally lowest witness across shards, ordered by
+  /// (witness_db_index, witness_valuation_index) — identical to what one
+  /// unsharded run would report.
+  uint64_t witness_db_index = 0;
+  uint64_t witness_valuation_index = 0;
+  /// Index (into the input vector) of the shard that owns that witness.
+  size_t witness_shard = 0;
+
+  std::vector<IndexInterval> covered;  // normalized union
+  /// Uncovered holes in [0, end) where end is the highest covered index;
+  /// non-empty gaps force verdict "incomplete".
+  std::vector<IndexInterval> gaps;
+  /// Indices claimed by more than one shard (total multiplicity excess) —
+  /// deduplicated with a warning, not an error: overlap wastes work but
+  /// cannot corrupt a deterministic sweep's verdict.
+  uint64_t overlap = 0;
+
+  std::string unit = "database";
+  std::string fingerprint;
+  std::vector<uint64_t> failed_indices;  // sorted, deduplicated
+  std::vector<std::string> warnings;
+};
+
+/// Merges shard reports into one verdict. Fails (kInvalidSpec) when two
+/// shards carry different non-empty fingerprints or different units; a
+/// missing fingerprint is tolerated with a warning. `shards` must be
+/// non-empty.
+Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards);
+
+/// Parses one `wsvc --stats-json` document into a ShardReport (fingerprint,
+/// verdict, witness, coverage). `source` labels diagnostics.
+Result<ShardReport> ShardFromStatsJson(const std::string& json_text,
+                                       const std::string& source);
+
+/// Folds a checkpoint file into `shard`: validates the fingerprint against
+/// the shard's, unions the checkpoint's covered intervals and failed
+/// indices. Lets a merge credit progress a killed shard persisted after its
+/// last verdict write.
+Status ApplyCheckpoint(const std::string& checkpoint_path,
+                       ShardReport* shard);
+
+/// Renders the merged verdict as JSON (the "verdict" section of a
+/// wsvc-merge stats document).
+std::string RenderMergeJson(const MergeReport& report, int exit_code);
+
+/// Exit code contract: 0 holds (complete), 3 violated, 4 incomplete.
+int MergeExitCode(const MergeReport& report);
+
+}  // namespace wsv::verifier
+
+#endif  // WSVERIFY_VERIFIER_MERGE_H_

@@ -101,6 +101,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   std::mutex producer_mu;
   size_t next_index = options_.start_index;
   bool max_databases_hit = false;
+  bool range_end_hit = false;
 
   // Lowest witness index found so far; dispatch stops at or above it. Only
   // ever lowered, so every index below the final value was dispatched (in
@@ -187,6 +188,14 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
           return enumerator_->Next(&dbs);
         }();
         if (!more) break;
+        // Range end is checked before max_databases so a tie reports
+        // range-end (the shard finished its work unit; the global budget is
+        // the coordinator's concern). Next() succeeding first proves more
+        // enumeration remains beyond the bound.
+        if (next_index >= options_.end_index) {
+          range_end_hit = true;
+          break;
+        }
         if (next_index >= options_.max_databases) {
           max_databases_hit = true;
           break;
@@ -357,7 +366,14 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
     if (last_budget.has_value()) {
       merged.stop_status = last_budget->second;
     }
-    if (best == nullptr && max_databases_hit) {
+    if (best == nullptr && range_end_hit && !last_budget.has_value()) {
+      // A bounded per-database search keeps its budget status: reporting
+      // range-end over it would let a merge attest full coverage of a range
+      // whose databases were only partially searched.
+      merged.stop_status = Status::RangeEnd(
+          "database enumeration stopped at the end of the assigned range; "
+          "the verdict covers exactly this shard's indices");
+    } else if (best == nullptr && max_databases_hit) {
       merged.stop_status = Status::BudgetExceeded(
           "database enumeration stopped at max_databases; verdict is "
           "bounded");

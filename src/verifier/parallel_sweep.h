@@ -28,6 +28,13 @@ struct SweepOptions {
   /// checking (the enumerator still walks them, keeping indices aligned
   /// with an uninterrupted run).
   size_t start_index = 0;
+  /// Exclusive upper bound of the shard's work unit in absolute enumeration
+  /// indices: dispatch stops before this index. When the enumerator still
+  /// has databases at the bound, the sweep stops with kRangeEnd (the shard
+  /// covered exactly [start_index, end_index)); when it is exhausted first,
+  /// the stop is kComplete — the attestation a merge needs to know the
+  /// whole space ends inside some shard's range.
+  size_t end_index = static_cast<size_t>(-1);
   /// Deadline/cancellation token, polled at dispatch and inside checks (via
   /// SearchBudget::control). Not owned; may be null.
   RunControl* control = nullptr;

@@ -30,8 +30,25 @@ struct VerifierOptions {
   /// elements); sound and complete because FO rules are generic.
   bool iso_reduction = true;
 
-  /// Stop after this many databases (bounded verdict if hit).
+  /// Stop before this ABSOLUTE canonical database index (bounded verdict if
+  /// hit). Counted from index 0 of the enumeration even when resuming or
+  /// running a --db-range shard.
   size_t max_databases = static_cast<size_t>(-1);
+
+  /// Absolute half-open slice [db_range_lo, db_range_hi) of the canonical
+  /// database enumeration to check — one shard of a distributed sweep. The
+  /// defaults cover everything. See EngineOptions for the kRangeEnd /
+  /// kComplete stop semantics a merge relies on.
+  size_t db_range_lo = 0;
+  size_t db_range_hi = static_cast<size_t>(-1);
+  /// Valuation-space slice for pinned-database runs (fixed_databases);
+  /// rejected on database sweeps.
+  size_t valuation_range_lo = 0;
+  size_t valuation_range_hi = static_cast<size_t>(-1);
+  /// Report the size of the enumeration space (canonical databases, or
+  /// valuations under fixed_databases) without verifying anything; the
+  /// result carries it in VerificationResult::enumeration_count.
+  bool count_only = false;
 
   /// Per-search state cap.
   SearchBudget budget;
@@ -67,6 +84,9 @@ struct VerifierOptions {
   size_t checkpoint_every = 64;
   size_t resume_prefix = 0;
   std::vector<size_t> resume_failed;
+  /// Covered intervals inherited from a resumed checkpoint (see
+  /// EngineOptions::resume_covered).
+  std::vector<IndexInterval> resume_covered;
 };
 
 /// A violating run: the database choice, the property-variable valuation,
@@ -120,7 +140,20 @@ struct Coverage {
   Status stop_status = Status::Ok();
   /// Every database index in [0, completed_prefix) was checked or recorded
   /// as failed (deterministic enumeration order; includes resumed prefixes).
+  /// For a --db-range shard the contiguous run starts at the range's lower
+  /// bound instead of 0 — `covered` is the authoritative record.
   size_t completed_prefix = 0;
+  /// Disjoint covered intervals of the enumeration (absolute half-open
+  /// indices, normalized); capped below the witness on a violation. This is
+  /// what wsvc-merge unions across shards.
+  std::vector<IndexInterval> covered;
+  /// What `covered` indexes: "database" (sweeps) or "valuation"
+  /// (pinned-database runs).
+  std::string unit = "database";
+  /// The slice this run was assigned ([0, SIZE_MAX) when unsharded) — the
+  /// denominator of per-shard coverage reporting.
+  size_t range_lo = 0;
+  size_t range_hi = static_cast<size_t>(-1);
   /// Indices whose checks failed hard and were skipped (sorted).
   std::vector<size_t> failed_db_indices;
   /// Per-database check retries the fault-isolated sweep performed.
@@ -142,6 +175,9 @@ struct VerificationResult {
   /// True when the verdict is complete: decidable regime, the pseudo-domain
   /// met the sufficient bound, and no budget cap was hit.
   bool complete = false;
+  /// Count-only mode (VerifierOptions::count_only): the size of the full
+  /// enumeration space; zero otherwise.
+  size_t enumeration_count = 0;
 };
 
 /// Sound-and-complete verifier for input-bounded compositions with bounded

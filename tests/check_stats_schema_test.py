@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_stats_schema.py.
+
+Usage: check_stats_schema_test.py CHECKER_PATH
+
+Feeds the checker a series of crafted stats documents — valid sweep and
+merge verdicts, plus documents with missing fields, wrong types, and
+contract violations — and asserts on the checker's exit code for each.
+Exits non-zero with a description of the first case that disagrees.
+"""
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def base_doc():
+    """A minimal valid stats document with a sweep verdict."""
+    return {
+        "schema_version": 1,
+        "generator": "wsvc",
+        "counters": {"sweep.databases": 4, "sweep.range_lo": 0},
+        "timers_ns": {"verify": {"total_ns": 1000, "count": 1}},
+        "histograms": {
+            "db.size": {"count": 4, "sum": 10, "min": 1, "max": 4,
+                        "buckets": [1, 2, 1]},
+        },
+        "verdict": {
+            "exit_code": 0,
+            "kind": "verify",
+            "fingerprint": "deadbeef01234567",
+            "enumeration_count": 4,
+            "witness_valuation_index": 0,
+            "stats": {"jobs": 2},
+            "coverage": {
+                "stop_reason": "complete",
+                "stop_code": "OK",
+                "stop_message": "sweep ran to completion",
+                "completed_prefix": 4,
+                "databases_completed": 4,
+                "db_retries": 0,
+                "covered": [[0, 4]],
+                "unit": "database",
+                "range_lo": 0,
+                "range_hi": 4,
+                "failed_db_indices": [],
+            },
+        },
+    }
+
+
+def merge_doc():
+    """A minimal valid stats document with a wsvc-merge verdict."""
+    return {
+        "schema_version": 1,
+        "generator": "wsvc-merge",
+        "counters": {"merge.shards": 3, "merge.gaps": 0},
+        "timers_ns": {},
+        "histograms": {},
+        "verdict": {
+            "exit_code": 0,
+            "kind": "merge",
+            "verdict": "holds",
+            "holds": True,
+            "complete": True,
+            "counterexample": False,
+            "fingerprint": "deadbeef01234567",
+            "coverage": {
+                "unit": "database",
+                "covered": [[0, 4]],
+                "completed_prefix": 4,
+                "gaps": [],
+                "overlap": 0,
+                "failed_db_indices": [],
+            },
+            "warnings": [],
+        },
+    }
+
+
+def mutate(doc, path, value):
+    """Returns a deep copy of doc with the dotted path set (or deleted)."""
+    out = copy.deepcopy(doc)
+    node = out
+    parts = path.split(".")
+    for part in parts[:-1]:
+        node = node[part]
+    if value is DELETE:
+        del node[parts[-1]]
+    else:
+        node[parts[-1]] = value
+    return out
+
+
+DELETE = object()
+
+
+def run_checker(checker, doc):
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump(doc, f)
+        path = f.name
+    proc = subprocess.run([sys.executable, checker, path],
+                         capture_output=True, text=True)
+    return proc
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_stats_schema_test.py CHECKER_PATH",
+              file=sys.stderr)
+        return 2
+    checker = argv[1]
+
+    range_end = mutate(base_doc(), "verdict.coverage.stop_reason",
+                       "range-end")
+    range_end = mutate(range_end, "verdict.coverage.stop_code", "RangeEnd")
+    range_end = mutate(range_end, "verdict.coverage.covered", [[1, 3]])
+    range_end = mutate(range_end, "verdict.exit_code", 0)
+
+    gap_holds = mutate(merge_doc(), "verdict.coverage.gaps", [[2, 3]])
+
+    # (name, document, expect_ok)
+    cases = [
+        ("valid sweep verdict", base_doc(), True),
+        ("valid range-end shard verdict", range_end, True),
+        ("valid merge verdict", merge_doc(), True),
+        ("missing counters", mutate(base_doc(), "counters", DELETE), False),
+        ("missing schema_version",
+         mutate(base_doc(), "schema_version", DELETE), False),
+        ("wrong schema_version",
+         mutate(base_doc(), "schema_version", 99), False),
+        ("counter wrong type",
+         mutate(base_doc(), "counters", {"sweep.databases": "four"}), False),
+        ("timer missing count",
+         mutate(base_doc(), "timers_ns", {"verify": {"total_ns": 1}}), False),
+        ("exit_code wrong type",
+         mutate(base_doc(), "verdict.exit_code", "zero"), False),
+        ("fingerprint wrong type",
+         mutate(base_doc(), "verdict.fingerprint", 123), False),
+        ("enumeration_count wrong type",
+         mutate(base_doc(), "verdict.enumeration_count", "4"), False),
+        ("unknown stop_reason",
+         mutate(base_doc(), "verdict.coverage.stop_reason", "tired"), False),
+        ("covered not pairs",
+         mutate(base_doc(), "verdict.coverage.covered", [[3, 1]]), False),
+        ("covered wrong element type",
+         mutate(base_doc(), "verdict.coverage.covered", [["0", "4"]]), False),
+        ("bad coverage unit",
+         mutate(base_doc(), "verdict.coverage.unit", "galaxy"), False),
+        ("negative range_lo",
+         mutate(base_doc(), "verdict.coverage.range_lo", -1), False),
+        ("complete without OK stop_code",
+         mutate(base_doc(), "verdict.coverage.stop_code", "Budget"), False),
+        ("merge bad verdict word",
+         mutate(merge_doc(), "verdict.verdict", "maybe"), False),
+        ("merge holds over a gap", gap_holds, False),
+        ("merge missing warnings",
+         mutate(merge_doc(), "verdict.warnings", DELETE), False),
+        ("merge overlap wrong type",
+         mutate(merge_doc(), "verdict.coverage.overlap", "none"), False),
+        ("merge gaps wrong shape",
+         mutate(merge_doc(), "verdict.coverage.gaps", [[1]]), False),
+        ("merge counterexample without witness",
+         mutate(mutate(merge_doc(), "verdict.counterexample", True),
+                "verdict.verdict", "violated"), False),
+    ]
+
+    failures = 0
+    for name, doc, expect_ok in cases:
+        proc = run_checker(checker, doc)
+        ok = proc.returncode == 0
+        if ok != expect_ok:
+            failures += 1
+            print(f"FAIL: {name}: expected "
+                  f"{'accept' if expect_ok else 'reject'}, checker exited "
+                  f"{proc.returncode}; stderr: {proc.stderr.strip()}")
+        else:
+            print(f"ok: {name}")
+    if failures:
+        print(f"{failures} case(s) failed")
+        return 1
+    print(f"all {len(cases)} schema checker cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,15 +58,25 @@ def check_stats(path):
         expect(isinstance(hist.get("buckets"), list),
                f"histogram '{name}' missing 'buckets' list")
 
-    # wsvc-produced documents also carry command/spec/verdict sections.
+    # wsvc-produced documents also carry command/spec/verdict sections;
+    # wsvc-merge documents carry a merge-shaped verdict instead.
     if "verdict" in doc:
         verdict = doc["verdict"]
         expect(isinstance(verdict, dict), "'verdict' must be an object")
         expect(isinstance(verdict.get("exit_code"), int),
                "'verdict.exit_code' must be an integer")
+        if verdict.get("kind") == "merge":
+            check_merge_verdict(verdict)
+            return doc
         if "witness_valuation_index" in verdict:
             expect(isinstance(verdict["witness_valuation_index"], int),
                    "'verdict.witness_valuation_index' must be an integer")
+        if "fingerprint" in verdict:
+            expect(isinstance(verdict["fingerprint"], str),
+                   "'verdict.fingerprint' must be a string")
+        if "enumeration_count" in verdict:
+            expect(isinstance(verdict["enumeration_count"], int),
+                   "'verdict.enumeration_count' must be an integer")
         if "stats" in verdict:
             expect(isinstance(verdict["stats"], dict),
                    "'verdict.stats' must be an object")
@@ -82,10 +92,21 @@ def check_stats(path):
     return doc
 
 
+def check_intervals(value, what):
+    """Validates a covered/gaps value: a list of [lo, hi] index pairs."""
+    expect(isinstance(value, list), f"'{what}' must be a list")
+    for pair in value:
+        expect(isinstance(pair, list) and len(pair) == 2
+               and all(isinstance(x, int) and x >= 0 for x in pair)
+               and pair[0] <= pair[1],
+               f"'{what}' entries must be [lo, hi] index pairs")
+
+
 def check_coverage(cov):
     """Validates the verdict.coverage block written for sweep verdicts."""
     expect(isinstance(cov, dict), "'verdict.coverage' must be an object")
-    reasons = ("complete", "budget", "deadline", "canceled", "db-failures")
+    reasons = ("complete", "budget", "deadline", "canceled", "db-failures",
+               "range-end")
     expect(cov.get("stop_reason") in reasons,
            f"'coverage.stop_reason' must be one of {reasons}, "
            f"got {cov.get('stop_reason')!r}")
@@ -95,6 +116,15 @@ def check_coverage(cov):
     for field in ("completed_prefix", "databases_completed", "db_retries"):
         expect(isinstance(cov.get(field), int) and cov[field] >= 0,
                f"'coverage.{field}' must be a non-negative integer")
+    if "covered" in cov:
+        check_intervals(cov["covered"], "coverage.covered")
+    if "unit" in cov:
+        expect(cov["unit"] in ("database", "valuation"),
+               "'coverage.unit' must be 'database' or 'valuation'")
+    for field in ("range_lo", "range_hi"):
+        if field in cov:
+            expect(isinstance(cov[field], int) and cov[field] >= 0,
+                   f"'coverage.{field}' must be a non-negative integer")
     failed = cov.get("failed_db_indices")
     expect(isinstance(failed, list), "'coverage.failed_db_indices' must be a list")
     for index in failed:
@@ -106,6 +136,33 @@ def check_coverage(cov):
     if cov["stop_reason"] == "complete":
         expect(cov["stop_code"] == "OK",
                "'coverage.stop_code' must be OK when the sweep completed")
+
+
+def check_merge_verdict(verdict):
+    """Validates a wsvc-merge verdict (kind == 'merge')."""
+    expect(verdict.get("verdict") in ("holds", "violated", "incomplete"),
+           "'verdict.verdict' must be holds/violated/incomplete, "
+           f"got {verdict.get('verdict')!r}")
+    for field in ("holds", "complete", "counterexample"):
+        expect(isinstance(verdict.get(field), bool),
+               f"'verdict.{field}' must be a boolean")
+    if verdict["counterexample"]:
+        for field in ("witness_db_index", "witness_valuation_index",
+                      "witness_shard"):
+            expect(isinstance(verdict.get(field), int),
+                   f"'verdict.{field}' must be an integer")
+    cov = verdict.get("coverage")
+    expect(isinstance(cov, dict), "'verdict.coverage' must be an object")
+    expect(cov.get("unit") in ("database", "valuation"),
+           "'coverage.unit' must be 'database' or 'valuation'")
+    check_intervals(cov.get("covered"), "coverage.covered")
+    check_intervals(cov.get("gaps"), "coverage.gaps")
+    expect(isinstance(cov.get("overlap"), int) and cov["overlap"] >= 0,
+           "'coverage.overlap' must be a non-negative integer")
+    expect(verdict.get("verdict") != "holds" or not cov["gaps"],
+           "a merge must not report 'holds' over a coverage gap")
+    expect(isinstance(verdict.get("warnings"), list),
+           "'verdict.warnings' must be a list")
 
 
 def check_trace(path):

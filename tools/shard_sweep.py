@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Coordinates a K-shard distributed sweep: split, launch, merge.
+
+Usage:
+  shard_sweep.py [--shards K] [--bin-dir DIR] [--workdir DIR]
+                 [--stats-json FILE] [--check] -- COMMAND SPEC [WSVC-OPTS...]
+
+Everything after `--` is a `wsvc` invocation minus the binary name (e.g.
+`verify specs/airline.wsv --property "G(p)"`). The coordinator
+
+  1. asks wsvc for the enumeration-space size (--count-databases),
+  2. splits [0, N) into K contiguous --db-range slices (the last slice's
+     upper bound is N itself, so that shard runs its enumerator to
+     exhaustion and attests the true end of the space),
+  3. launches the K shard processes in parallel, each with its own
+     --stats-json and --checkpoint files,
+  4. merges the shard verdicts with wsvc-merge.
+
+Exit code is wsvc-merge's: 0 holds over the complete enumeration,
+3 violated (globally lowest witness), 4 incomplete, 2 setup error.
+
+--check additionally runs the same verification as ONE unsharded process
+and fails (exit 1) unless the merged verdict, witness indices and coverage
+are identical — the self-test the ctest suite runs.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg, code=2):
+    print(f"shard_sweep: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def find_binary(bin_dir, name):
+    candidates = []
+    if bin_dir:
+        candidates.append(os.path.join(bin_dir, name))
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates.append(os.path.join(here, "..", "build", "tools", name))
+    candidates.append(name)  # PATH
+    for cand in candidates[:-1]:
+        if os.path.isfile(cand) and os.access(cand, os.X_OK):
+            return cand
+    return candidates[-1]
+
+
+def count_space(wsvc, wsvc_args):
+    """Returns (size, unit) of the enumeration space."""
+    proc = subprocess.run([wsvc] + wsvc_args + ["--count-databases"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"--count-databases failed (rc={proc.returncode}):\n"
+             f"{proc.stderr.strip()}")
+    match = re.search(r"enumeration space: (\d+) (\w+)\(s\)", proc.stdout)
+    if not match:
+        fail(f"cannot parse count output: {proc.stdout.strip()!r}")
+    return int(match.group(1)), match.group(2)
+
+
+def split_ranges(total, shards):
+    """Contiguous [lo, hi) slices covering [0, total); last hi == total."""
+    shards = max(1, min(shards, total)) if total > 0 else 1
+    per = (total + shards - 1) // shards if total > 0 else 1
+    ranges = []
+    lo = 0
+    while lo < total:
+        ranges.append((lo, min(lo + per, total)))
+        lo += per
+    return ranges or [(0, max(total, 1))]
+
+
+def run_shards(wsvc, wsvc_args, ranges, unit, workdir):
+    """Launches one wsvc process per range; returns the stats/ckpt pairs."""
+    range_flag = "--db-range" if unit == "database" else "--valuation-range"
+    pairs, procs = [], []
+    for i, (lo, hi) in enumerate(ranges):
+        stats = os.path.join(workdir, f"shard{i}.json")
+        ckpt = os.path.join(workdir, f"shard{i}.ckpt")
+        cmd = [wsvc] + wsvc_args + [range_flag, f"{lo}:{hi}",
+                                    "--stats-json", stats,
+                                    "--checkpoint", ckpt]
+        procs.append((i, lo, hi, subprocess.Popen(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            text=True)))
+        pairs.append((stats, ckpt))
+    for i, lo, hi, proc in procs:
+        _, stderr = proc.communicate()
+        # 0 holds-over-shard, 3 violated: both are mergeable verdicts.
+        if proc.returncode not in (0, 3):
+            fail(f"shard {i} [{lo}:{hi}) failed (rc={proc.returncode}):\n"
+                 f"{stderr.strip()}")
+    return pairs
+
+
+def run_merge(merge_bin, pairs, stats_json):
+    cmd = [merge_bin]
+    if stats_json:
+        cmd += ["--stats-json", stats_json]
+    for stats, ckpt in pairs:
+        cmd += [stats, ckpt if os.path.exists(ckpt) else "-"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return proc.returncode
+
+
+def check_against_single(wsvc, wsvc_args, jobs, merged_path, workdir):
+    """Differential check: one unsharded run must agree with the merge."""
+    single_path = os.path.join(workdir, "single.json")
+    proc = subprocess.run(
+        [wsvc] + wsvc_args + ["--jobs", str(jobs),
+                              "--stats-json", single_path],
+        capture_output=True, text=True)
+    if proc.returncode not in (0, 3):
+        fail(f"single-process run failed (rc={proc.returncode}):\n"
+             f"{proc.stderr.strip()}", code=1)
+    with open(single_path, encoding="utf-8") as f:
+        single = json.load(f)["verdict"]
+    with open(merged_path, encoding="utf-8") as f:
+        merged = json.load(f)["verdict"]
+
+    expect_verdict = "violated" if single["counterexample"] else (
+        "holds" if single["coverage"]["stop_reason"] == "complete"
+        and not single["coverage"]["failed_db_indices"] else "incomplete")
+    problems = []
+    if merged["verdict"] != expect_verdict:
+        problems.append(f"verdict: merged {merged['verdict']!r} vs single "
+                        f"{expect_verdict!r}")
+    if merged["counterexample"] != single["counterexample"]:
+        problems.append("counterexample presence differs")
+    if single["counterexample"]:
+        for key in ("witness_db_index", "witness_valuation_index"):
+            if merged.get(key) != single.get(key):
+                problems.append(f"{key}: merged {merged.get(key)} vs single "
+                                f"{single.get(key)}")
+    if not single["counterexample"] and \
+            merged["coverage"]["covered"] != single["coverage"]["covered"]:
+        problems.append(f"coverage: merged {merged['coverage']['covered']} "
+                        f"vs single {single['coverage']['covered']}")
+    if merged.get("fingerprint") != single.get("fingerprint"):
+        problems.append("fingerprint differs")
+    if problems:
+        fail("differential check FAILED:\n  " + "\n  ".join(problems),
+             code=1)
+    print(f"check OK: merged verdict {merged['verdict']!r} matches the "
+          f"single-process run")
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--bin-dir", default=None,
+                        help="directory holding wsvc and wsvc-merge")
+    parser.add_argument("--workdir", default=None,
+                        help="where shard stats/checkpoints go "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--stats-json", default=None,
+                        help="write the merged stats document here")
+    parser.add_argument("--check", action="store_true",
+                        help="also run unsharded and compare verdicts")
+    parser.add_argument("wsvc_args", nargs=argparse.REMAINDER,
+                        help="-- COMMAND SPEC [WSVC-OPTS...]")
+    args = parser.parse_args()
+
+    wsvc_args = args.wsvc_args
+    if wsvc_args and wsvc_args[0] == "--":
+        wsvc_args = wsvc_args[1:]
+    if len(wsvc_args) < 2:
+        fail("expected '-- COMMAND SPEC [WSVC-OPTS...]' after the options")
+    if args.shards < 1:
+        fail("--shards must be >= 1")
+
+    wsvc = find_binary(args.bin_dir, "wsvc")
+    merge_bin = find_binary(args.bin_dir, "wsvc-merge")
+    workdir = args.workdir or tempfile.mkdtemp(prefix="shard_sweep.")
+    os.makedirs(workdir, exist_ok=True)
+
+    total, unit = count_space(wsvc, wsvc_args)
+    ranges = split_ranges(total, args.shards)
+    print(f"shard_sweep: {total} {unit}(s) across {len(ranges)} shard(s): "
+          + ", ".join(f"[{lo}:{hi})" for lo, hi in ranges))
+
+    pairs = run_shards(wsvc, wsvc_args, ranges, unit, workdir)
+    merged_path = args.stats_json or os.path.join(workdir, "merged.json")
+    rc = run_merge(merge_bin, pairs, merged_path)
+    if rc == 2:
+        sys.exit(2)
+    if args.check:
+        check_against_single(wsvc, wsvc_args, len(ranges), merged_path,
+                             workdir)
+    sys.exit(rc)
+
+
+if __name__ == "__main__":
+    main()

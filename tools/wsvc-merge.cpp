@@ -1,0 +1,152 @@
+// wsvc-merge — merges the verdicts of N range-sharded `wsvc` runs into one
+// verdict over the union of their coverage (tools/shard_sweep.py drives it).
+//
+// Each shard is a PAIR: the shard's --stats-json document, then its
+// --checkpoint file or "-" when the shard ran without one. The merge
+// refuses shards whose fingerprints disagree (they verified different
+// problems), deduplicates overlapping coverage with a warning, reports
+// uncovered gaps, and never upgrades a gappy union to "holds".
+//
+// Exit codes: 0 merged verdict holds over the complete enumeration,
+// 3 violated (witness = globally lowest (db, valuation) index), 4 the
+// union is violation-free but incomplete, 2 usage or incompatible shards.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "verifier/merge.h"
+
+namespace {
+
+using namespace wsv;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: wsvc-merge [--stats-json FILE] STATS1 CKPT1 [STATS2 CKPT2 ...]\n"
+      "\n"
+      "  STATSi  a shard's `wsvc --stats-json` document\n"
+      "  CKPTi   the shard's --checkpoint file, or '-' if it had none\n"
+      "  --stats-json FILE  write the merged verdict as a stats document\n"
+      "                     (schema v%d, generator \"wsvc-merge\")\n",
+      obs::kStatsSchemaVersion);
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--stats-json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wsvc-merge: --stats-json requires a value\n");
+        return Usage();
+      }
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "wsvc-merge: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.empty() || positional.size() % 2 != 0) {
+    std::fprintf(stderr,
+                 "wsvc-merge: expects STATS/CKPT pairs ('-' for a missing "
+                 "checkpoint), got %zu argument(s)\n",
+                 positional.size());
+    return Usage();
+  }
+
+  std::vector<verifier::ShardReport> shards;
+  for (size_t i = 0; i < positional.size(); i += 2) {
+    const std::string& stats_path = positional[i];
+    const std::string& ckpt_path = positional[i + 1];
+    auto text = ReadFile(stats_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "wsvc-merge: %s\n",
+                   text.status().ToString().c_str());
+      return 2;
+    }
+    auto shard = verifier::ShardFromStatsJson(*text, stats_path);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "wsvc-merge: %s\n",
+                   shard.status().ToString().c_str());
+      return 2;
+    }
+    if (ckpt_path != "-") {
+      Status applied = verifier::ApplyCheckpoint(ckpt_path, &*shard);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "wsvc-merge: checkpoint '%s': %s\n",
+                     ckpt_path.c_str(), applied.ToString().c_str());
+        return 2;
+      }
+    }
+    shards.push_back(std::move(*shard));
+  }
+
+  auto merged = verifier::MergeShards(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "wsvc-merge: %s\n",
+                 merged.status().ToString().c_str());
+    return 2;
+  }
+  int rc = verifier::MergeExitCode(*merged);
+
+  for (const std::string& warning : merged->warnings) {
+    std::fprintf(stderr, "wsvc-merge: warning: %s\n", warning.c_str());
+  }
+  std::printf("merge: %s (%zu shard(s), %s coverage %s",
+              merged->verdict.c_str(), shards.size(), merged->unit.c_str(),
+              verifier::IntervalsToString(merged->covered).c_str());
+  if (!merged->gaps.empty()) {
+    std::printf(", gaps %s",
+                verifier::IntervalsToString(merged->gaps).c_str());
+  }
+  std::printf(")\n");
+  if (merged->has_witness) {
+    std::printf("  witness: database %llu, valuation %llu (shard %zu: %s)\n",
+                static_cast<unsigned long long>(merged->witness_db_index),
+                static_cast<unsigned long long>(
+                    merged->witness_valuation_index),
+                merged->witness_shard, shards[merged->witness_shard].source.c_str());
+  }
+
+  // Per-shard counters for the obs stats document.
+  obs::Registry& registry = obs::Registry::Global();
+  registry.counter("merge.shards").Add(shards.size());
+  registry.counter("merge.gaps").Add(merged->gaps.size());
+  registry.counter("merge.overlap").Add(merged->overlap);
+  if (merged->has_witness) {
+    registry.counter("merge.witness_shard").Add(merged->witness_shard);
+  }
+
+  if (!out_path.empty()) {
+    std::vector<std::pair<std::string, std::string>> extra;
+    extra.emplace_back("verdict",
+                       verifier::RenderMergeJson(*merged, rc));
+    Status written = obs::WriteStatsJson(registry, "wsvc-merge", out_path,
+                                         extra);
+    if (!written.ok()) {
+      std::fprintf(stderr, "wsvc-merge: stats-json: %s\n",
+                   written.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}

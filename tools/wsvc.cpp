@@ -44,11 +44,16 @@ struct Args {
 struct CliReport {
   const char* kind = nullptr;  // "property" | "protocol" | "modular"
   std::optional<verifier::VerificationResult> result;
+  /// Spec/property/options fingerprint — emitted in the verdict JSON so
+  /// wsvc-merge can check shard compatibility.
+  std::string fingerprint;
 };
 
 const std::set<std::string>& BoolFlags() {
   static const std::set<std::string> flags = {
-      "--perfect", "--trace", "--progress", "-v", "--verbose", "--resume"};
+      "--perfect", "--trace",  "--progress",
+      "-v",        "--verbose", "--resume",
+      "--count-databases"};
   return flags;
 }
 
@@ -59,7 +64,7 @@ const std::set<std::string>& ValueFlags() {
       "--steps",     "--seed",          "--db",         "--env-msg",
       "--env-domain", "--stats-json",   "--trace-json", "--progress-ms",
       "--jobs",      "--deadline-ms",   "--checkpoint", "--checkpoint-every",
-      "--on-db-error"};
+      "--on-db-error", "--db-range",    "--valuation-range"};
   return flags;
 }
 
@@ -92,7 +97,19 @@ int Usage() {
       "  --perfect                perfect channels (Theorem 3.7 regime)\n"
       "  --fresh <n>              fresh pseudo-domain elements (default 1)\n"
       "  --max-states <n>         product-state budget per search\n"
-      "  --max-databases <n>      stop the database sweep after n databases\n"
+      "  --max-databases <n>      stop the database sweep before ABSOLUTE\n"
+      "                           canonical index n (counted from 0 even when\n"
+      "                           resuming or range-sharding)\n"
+      "  --db-range <lo:hi>       check only the absolute half-open slice\n"
+      "                           [lo, hi) of the canonical database\n"
+      "                           enumeration — one shard of a distributed\n"
+      "                           sweep (tools/shard_sweep.py, wsvc-merge)\n"
+      "  --valuation-range <lo:hi> the same slicing over the valuation space\n"
+      "                           of a pinned-database run (verify with --db)\n"
+      "  --count-databases        report the size of the enumeration space\n"
+      "                           (databases, or valuations under --db) and\n"
+      "                           exit without verifying — how a coordinator\n"
+      "                           picks shard boundaries\n"
       "  --jobs <n>               global worker budget for the two-level\n"
       "                           scheduler: database sweep + within-database\n"
       "                           graph exploration and valuation fan-out\n"
@@ -254,6 +271,46 @@ constexpr size_t kMaxJobs = 4096;
 constexpr size_t kMaxQueueBound = 1 << 20;
 constexpr size_t kMaxFresh = 1 << 20;
 
+size_t ParseIndexOrDie(const std::string& flag, const std::string& text) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') {
+    std::fprintf(stderr,
+                 "wsvc: flag '%s' expects non-negative indices, got '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "wsvc: flag '%s' expects an index, got '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return static_cast<size_t>(value);
+}
+
+/// Parses a "lo:hi" range flag (absolute half-open [lo, hi)) into *lo/*hi;
+/// leaves them untouched when the flag is absent.
+void RangeFlagOr(const Args& args, const std::string& name, size_t* lo,
+                 size_t* hi) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return;
+  const std::string& text = it->second;
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "wsvc: flag '%s' expects lo:hi, got '%s'\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  *lo = ParseIndexOrDie(name, text.substr(0, colon));
+  *hi = ParseIndexOrDie(name, text.substr(colon + 1));
+  if (*hi < *lo) {
+    std::fprintf(stderr, "wsvc: flag '%s' range is empty the wrong way "
+                 "(%zu:%zu)\n", name.c_str(), *lo, *hi);
+    std::exit(2);
+  }
+}
+
 /// Everything Run{Verify,Protocol,Modular} need to wire the robustness
 /// options (deadline/cancel token, fault isolation, checkpoint/resume) into
 /// their verifier options.
@@ -265,13 +322,16 @@ struct RobustnessSetup {
   size_t checkpoint_every = 64;
   size_t resume_prefix = 0;
   std::vector<size_t> resume_failed;
+  std::vector<verifier::IndexInterval> resume_covered;
 };
 
-/// Builds the robustness setup from the flags. The checkpoint fingerprint
-/// covers everything that determines the enumeration order and the verdict
+/// Builds the robustness setup from the flags. The fingerprint covers
+/// everything that determines the enumeration order and the verdict
 /// (command, spec source, property/protocol/env, domain- and
-/// semantics-shaping flags) — but NOT --jobs, --max-databases or budgets:
-/// resuming with different resource limits is exactly the point.
+/// semantics-shaping flags) — but NOT --jobs, --max-databases, --db-range
+/// or budgets: resuming or sharding with different resource limits is
+/// exactly the point. It is always computed (the verdict JSON carries it so
+/// wsvc-merge can refuse cross-problem merges), checkpoint or not.
 /// Returns 0, or the exit code on a flag/checkpoint error.
 int BuildRobustness(const Args& args, const std::string& spec_source,
                     RobustnessSetup* out) {
@@ -291,16 +351,6 @@ int BuildRobustness(const Args& args, const std::string& spec_source,
       return 2;
     }
   }
-  auto cp = args.flags.find("--checkpoint");
-  if (cp == args.flags.end()) {
-    if (args.flags.count("--resume") > 0) {
-      std::fprintf(stderr, "wsvc: --resume requires --checkpoint <file>\n");
-      return 2;
-    }
-    return 0;
-  }
-  out->checkpoint_path = cp->second;
-  out->checkpoint_every = FlagOr(args, "--checkpoint-every", 64);
   auto flag = [&args](const char* name) {
     auto it = args.flags.find(name);
     return it == args.flags.end() ? std::string() : it->second;
@@ -314,6 +364,16 @@ int BuildRobustness(const Args& args, const std::string& spec_source,
        flag("--env"), flag("--observer"), flag("--queue-bound"),
        args.flags.count("--perfect") > 0 ? "perfect" : "lossy",
        flag("--fresh"), flag("--env-domain"), dbs_joined, env_msgs_joined});
+  auto cp = args.flags.find("--checkpoint");
+  if (cp == args.flags.end()) {
+    if (args.flags.count("--resume") > 0) {
+      std::fprintf(stderr, "wsvc: --resume requires --checkpoint <file>\n");
+      return 2;
+    }
+    return 0;
+  }
+  out->checkpoint_path = cp->second;
+  out->checkpoint_every = FlagOr(args, "--checkpoint-every", 64);
   if (args.flags.count("--resume") > 0) {
     auto loaded = verifier::ReadCheckpoint(out->checkpoint_path,
                                            out->checkpoint_fingerprint);
@@ -322,13 +382,20 @@ int BuildRobustness(const Args& args, const std::string& spec_source,
                    loaded.status().ToString().c_str());
       return 2;
     }
-    out->resume_prefix = static_cast<size_t>(loaded->completed_prefix);
+    // A range shard resumes from the end of the covered interval containing
+    // its own range start, not from the global prefix.
+    size_t range_lo = 0;
+    size_t range_hi = static_cast<size_t>(-1);
+    RangeFlagOr(args, "--db-range", &range_lo, &range_hi);
+    out->resume_covered = loaded->covered;
+    out->resume_prefix = static_cast<size_t>(
+        verifier::ResumeStart(loaded->covered, range_lo));
     out->resume_failed.assign(loaded->failed_indices.begin(),
                               loaded->failed_indices.end());
     std::fprintf(stderr,
-                 "wsvc: resuming past %zu completed database(s) (%zu "
-                 "previously failed)\n",
-                 out->resume_prefix, out->resume_failed.size());
+                 "wsvc: resuming past covered %s (%zu previously failed)\n",
+                 verifier::IntervalsToString(loaded->covered).c_str(),
+                 out->resume_failed.size());
   }
   return 0;
 }
@@ -402,6 +469,10 @@ int RunVerify(const Args& args, const std::string& spec_source,
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
   options.jobs = FlagOr(args, "--jobs", 1, kMaxJobs);
+  RangeFlagOr(args, "--db-range", &options.db_range_lo, &options.db_range_hi);
+  RangeFlagOr(args, "--valuation-range", &options.valuation_range_lo,
+              &options.valuation_range_hi);
+  options.count_only = args.flags.count("--count-databases") > 0;
   RobustnessSetup rob;
   if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
     return rrc;
@@ -413,6 +484,7 @@ int RunVerify(const Args& args, const std::string& spec_source,
   options.checkpoint_every = rob.checkpoint_every;
   options.resume_prefix = rob.resume_prefix;
   options.resume_failed = std::move(rob.resume_failed);
+  options.resume_covered = std::move(rob.resume_covered);
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -426,6 +498,14 @@ int RunVerify(const Args& args, const std::string& spec_source,
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  report->fingerprint = rob.checkpoint_fingerprint;
+  if (options.count_only) {
+    std::printf("enumeration space: %zu %s(s)\n", result->enumeration_count,
+                result->coverage.unit.c_str());
+    report->kind = "property";
+    report->result = std::move(*result);
+    return 0;
   }
   PrintVerdict("property", *result);
   if (!result->holds && args.flags.count("--trace") > 0 &&
@@ -465,6 +545,13 @@ int RunProtocol(const Args& args, const std::string& spec_source,
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
   options.jobs = FlagOr(args, "--jobs", 1, kMaxJobs);
+  RangeFlagOr(args, "--db-range", &options.db_range_lo, &options.db_range_hi);
+  if (args.flags.count("--valuation-range") > 0) {
+    std::fprintf(stderr,
+                 "wsvc: --valuation-range applies to 'verify' only\n");
+    return 2;
+  }
+  options.count_only = args.flags.count("--count-databases") > 0;
   RobustnessSetup rob;
   if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
     return rrc;
@@ -476,6 +563,7 @@ int RunProtocol(const Args& args, const std::string& spec_source,
   options.checkpoint_every = rob.checkpoint_every;
   options.resume_prefix = rob.resume_prefix;
   options.resume_failed = std::move(rob.resume_failed);
+  options.resume_covered = std::move(rob.resume_covered);
   if (!args.dbs.empty()) {
     auto dbs = BuildDatabases(comp, args.dbs);
     if (!dbs.ok()) {
@@ -489,6 +577,14 @@ int RunProtocol(const Args& args, const std::string& spec_source,
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  report->fingerprint = rob.checkpoint_fingerprint;
+  if (options.count_only) {
+    std::printf("enumeration space: %zu %s(s)\n", result->enumeration_count,
+                result->coverage.unit.c_str());
+    report->kind = "protocol";
+    report->result = std::move(*result);
+    return 0;
   }
   PrintVerdict("protocol", *result);
   report->kind = "protocol";
@@ -520,6 +616,13 @@ int RunModular(const Args& args, const std::string& spec_source,
   options.max_databases =
       FlagOr(args, "--max-databases", static_cast<size_t>(-1));
   options.jobs = FlagOr(args, "--jobs", 1, kMaxJobs);
+  RangeFlagOr(args, "--db-range", &options.db_range_lo, &options.db_range_hi);
+  if (args.flags.count("--valuation-range") > 0) {
+    std::fprintf(stderr,
+                 "wsvc: --valuation-range applies to 'verify' only\n");
+    return 2;
+  }
+  options.count_only = args.flags.count("--count-databases") > 0;
   RobustnessSetup rob;
   if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
     return rrc;
@@ -531,6 +634,7 @@ int RunModular(const Args& args, const std::string& spec_source,
   options.checkpoint_every = rob.checkpoint_every;
   options.resume_prefix = rob.resume_prefix;
   options.resume_failed = std::move(rob.resume_failed);
+  options.resume_covered = std::move(rob.resume_covered);
   auto dom = args.flags.find("--env-domain");
   if (dom != args.flags.end()) {
     options.env_quantifier_domain = Split(dom->second, ',');
@@ -559,6 +663,14 @@ int RunModular(const Args& args, const std::string& spec_source,
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  report->fingerprint = rob.checkpoint_fingerprint;
+  if (options.count_only) {
+    std::printf("enumeration space: %zu %s(s)\n", result->enumeration_count,
+                result->coverage.unit.c_str());
+    report->kind = "modular";
+    report->result = std::move(*result);
+    return 0;
   }
   PrintVerdict("modular", *result);
   report->kind = "modular";
@@ -614,8 +726,12 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
   if (report.kind != nullptr && report.result.has_value()) {
     const verifier::VerificationResult& r = *report.result;
     w.Key("kind").String(report.kind);
+    if (!report.fingerprint.empty()) {
+      w.Key("fingerprint").String(report.fingerprint);
+    }
     w.Key("holds").Bool(r.holds);
     w.Key("complete").Bool(r.complete);
+    w.Key("enumeration_count").Uint(r.enumeration_count);
     w.Key("counterexample").Bool(r.counterexample.has_value());
     if (r.counterexample.has_value()) {
       w.Key("witness_db_index").Uint(r.counterexample->database_index);
@@ -634,6 +750,14 @@ std::string RenderVerdictJson(const CliReport& report, int exit_code) {
     w.Key("stop_code").String(StatusCodeName(r.coverage.stop_status.code()));
     w.Key("stop_message").String(r.coverage.stop_status.message());
     w.Key("completed_prefix").Uint(r.coverage.completed_prefix);
+    w.Key("covered").BeginArray();
+    for (const verifier::IndexInterval& iv : r.coverage.covered) {
+      w.BeginArray().Uint(iv.first).Uint(iv.second).EndArray();
+    }
+    w.EndArray();
+    w.Key("unit").String(r.coverage.unit);
+    w.Key("range_lo").Uint(r.coverage.range_lo);
+    w.Key("range_hi").Uint(r.coverage.range_hi);
     w.Key("databases_completed").Uint(r.stats.databases_checked);
     w.Key("failed_db_indices").BeginArray();
     for (size_t index : r.coverage.failed_db_indices) w.Uint(index);
