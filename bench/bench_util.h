@@ -12,15 +12,21 @@
 #include <cstdio>
 #include <string>
 
+#include "common/ledger.h"
 #include "obs/metrics.h"
+#include "obs/timer.h"
 #include "spec/parser.h"
 
 namespace wsv::bench {
 
-/// Zeroes the global observability registry so the exported counters
-/// reflect this benchmark's timing loop only. Call before `for (auto _ :
-/// state)`.
-inline void ResetObs() { obs::Registry::Global().Reset(); }
+/// Zeroes the global observability state — counter/timer registry, worker
+/// time ledgers, and the phase tree — so the exported counters reflect this
+/// benchmark's timing loop only. Call before `for (auto _ : state)`.
+inline void ResetObs() {
+  obs::Registry::Global().Reset();
+  LedgerRegistry::Global().Reset();
+  obs::PhaseTreeReset();
+}
 
 /// Exports the global registry into google-benchmark user counters,
 /// averaged per iteration — `bench_* --benchmark_format=json` then carries

@@ -1,0 +1,83 @@
+#include "common/ledger.h"
+
+#include <chrono>
+
+namespace wsv {
+
+namespace {
+thread_local WorkerLedger* t_current_ledger = nullptr;
+}  // namespace
+
+LedgerRegistry& LedgerRegistry::Global() {
+  static LedgerRegistry* registry = new LedgerRegistry();
+  return *registry;
+}
+
+int64_t LedgerRegistry::WallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+WorkerLedger* LedgerRegistry::RegisterCurrentThread(std::string name) {
+  auto ledger = std::make_unique<WorkerLedger>();
+  ledger->name = std::move(name);
+  ledger->registered_nanos = WallNanos();
+  WorkerLedger* raw = ledger.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ledgers_.push_back(std::move(ledger));
+  }
+  t_current_ledger = raw;
+  return raw;
+}
+
+std::string LedgerRegistry::NextWorkerName() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "worker." + std::to_string(next_worker_++);
+}
+
+WorkerLedger* LedgerRegistry::Current() { return t_current_ledger; }
+
+void LedgerRegistry::AddLockWait(uint64_t nanos) {
+  WorkerLedger* ledger = t_current_ledger;
+  if (ledger != nullptr) {
+    ledger->lock_wait_ns.fetch_add(nanos, std::memory_order_relaxed);
+  }
+}
+
+std::vector<WorkerLedgerSnapshot> LedgerRegistry::Snapshot() const {
+  int64_t now = WallNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerLedgerSnapshot> out;
+  out.reserve(ledgers_.size());
+  for (const auto& ledger : ledgers_) {
+    WorkerLedgerSnapshot snap;
+    snap.name = ledger->name;
+    snap.wall_ns = now > ledger->registered_nanos
+                       ? static_cast<uint64_t>(now - ledger->registered_nanos)
+                       : 0;
+    snap.exec_ns = ledger->exec_ns.load(std::memory_order_relaxed);
+    snap.idle_ns = ledger->idle_ns.load(std::memory_order_relaxed);
+    snap.lock_wait_ns = ledger->lock_wait_ns.load(std::memory_order_relaxed);
+    snap.drain_ns = ledger->drain_ns.load(std::memory_order_relaxed);
+    snap.tasks = ledger->tasks.load(std::memory_order_relaxed);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void LedgerRegistry::Reset() {
+  int64_t now = WallNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ledger : ledgers_) {
+    ledger->registered_nanos = now;
+    ledger->exec_ns.store(0, std::memory_order_relaxed);
+    ledger->idle_ns.store(0, std::memory_order_relaxed);
+    ledger->lock_wait_ns.store(0, std::memory_order_relaxed);
+    ledger->drain_ns.store(0, std::memory_order_relaxed);
+    ledger->tasks.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace wsv

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/ledger.h"
+
 namespace wsv {
 
 namespace {
@@ -35,6 +37,22 @@ struct ChunkRun {
   size_t first_error_chunk = 0;
 
   void DrainFrom(size_t lane) {
+    WorkerLedger* ledger = LedgerRegistry::Current();
+    int64_t start = ledger != nullptr ? LedgerRegistry::WallNanos() : 0;
+    DrainLoop(lane);
+    if (ledger != nullptr) {
+      uint64_t dur = static_cast<uint64_t>(LedgerRegistry::WallNanos() - start);
+      ledger->drain_ns.fetch_add(dur, std::memory_order_relaxed);
+      // A pool worker's drain runs inside a drainer task whose exec bucket
+      // already covers it; the caller thread (lane 0, outside any task)
+      // books its drain as exec so utilization sees caller participation.
+      if (!ledger->in_task) {
+        ledger->exec_ns.fetch_add(dur, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void DrainLoop(size_t lane) {
     size_t chunk;
     while ((chunk = cursor.fetch_add(1, std::memory_order_relaxed)) < count) {
       try {
@@ -108,9 +126,25 @@ std::exception_ptr ThreadPool::first_exception() const {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Ledger registration is decided at thread birth: pools created while
+  // profiling collection is off (unit tests, disabled runs) never touch
+  // the clock in this loop.
+  LedgerRegistry& ledgers = LedgerRegistry::Global();
+  WorkerLedger* ledger =
+      ledgers.enabled()
+          ? ledgers.RegisterCurrentThread(ledgers.NextWorkerName())
+          : nullptr;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (ledger != nullptr) {
+      int64_t idle_start = LedgerRegistry::WallNanos();
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      ledger->idle_ns.fetch_add(
+          static_cast<uint64_t>(LedgerRegistry::WallNanos() - idle_start),
+          std::memory_order_relaxed);
+    } else {
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    }
     if (stop_ && queue_.empty()) return;
     Task task = std::move(queue_.front());
     queue_.pop_front();
@@ -119,10 +153,19 @@ void ThreadPool::WorkerLoop() {
     // The exception boundary: a throw here would otherwise escape the
     // thread and std::terminate the whole process.
     std::exception_ptr error;
+    int64_t exec_start = ledger != nullptr ? LedgerRegistry::WallNanos() : 0;
+    if (ledger != nullptr) ledger->in_task = true;
     try {
       task.fn();
     } catch (...) {
       error = std::current_exception();
+    }
+    if (ledger != nullptr) {
+      ledger->in_task = false;
+      ledger->exec_ns.fetch_add(
+          static_cast<uint64_t>(LedgerRegistry::WallNanos() - exec_start),
+          std::memory_order_relaxed);
+      ledger->tasks.fetch_add(1, std::memory_order_relaxed);
     }
     if (task.done) task.done(error);
     lock.lock();

@@ -1,0 +1,28 @@
+#include "obs/lock_profile.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace wsv::obs {
+
+LockSite::LockSite(const std::string& site)
+    : acquisitions_(
+          Registry::Global().counter("lock." + site + ".acquisitions")),
+      contended_(Registry::Global().counter("lock." + site + ".contended")),
+      wait_ns_(Registry::Global().counter("lock." + site + ".wait_ns")) {}
+
+LockSite& LockSite::ForName(const char* name) {
+  static std::mutex* mu = new std::mutex();
+  static auto* sites =
+      new std::unordered_map<std::string, std::unique_ptr<LockSite>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = sites->find(name);
+  if (it == sites->end()) {
+    it = sites->emplace(name, std::unique_ptr<LockSite>(new LockSite(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace wsv::obs

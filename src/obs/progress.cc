@@ -12,6 +12,8 @@ void ProgressMeter::Enable(int64_t period_millis) {
   started_nanos_ = NowNanos();
   last_beat_nanos_.store(started_nanos_, std::memory_order_relaxed);
   last_states_ = 0;
+  last_dbs_ = 0;
+  last_valuations_ = 0;
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -43,20 +45,50 @@ void ProgressMeter::Beat(int64_t now, int64_t window_start, const char* tag) {
   uint64_t prefiltered = registry.counter("engine.prefiltered").value();
   uint64_t snapshots = registry.counter("graph.snapshots").value();
   uint64_t states = registry.counter("ndfs.product_states").value();
+  uint64_t valuations = registry.counter("engine.valuations_checked").value();
   double elapsed = static_cast<double>(now - started_nanos_) / 1e9;
   double window = static_cast<double>(now - window_start) / 1e9;
   double rate = window > 0
                     ? static_cast<double>(states - last_states_) / window
                     : 0.0;
+  double db_rate = window > 0
+                       ? static_cast<double>(dbs - last_dbs_) / window
+                       : 0.0;
+  double val_rate =
+      window > 0
+          ? static_cast<double>(valuations - last_valuations_) / window
+          : 0.0;
+
+  // ETA from the run-wide average rate toward the declared goal: window
+  // rates gutter to zero between databases, the average does not.
+  char eta[32] = "";
+  uint64_t goal = goal_total_.load(std::memory_order_relaxed);
+  GoalUnit unit =
+      static_cast<GoalUnit>(goal_unit_.load(std::memory_order_relaxed));
+  if (goal > 0 && unit != GoalUnit::kNone && elapsed > 0) {
+    uint64_t done = unit == GoalUnit::kDatabases ? dbs : valuations;
+    double avg = static_cast<double>(done) / elapsed;
+    if (done >= goal) {
+      std::snprintf(eta, sizeof(eta), " eta=0s");
+    } else if (avg > 0) {
+      std::snprintf(eta, sizeof(eta), " eta=%.0fs",
+                    static_cast<double>(goal - done) / avg);
+    }
+  }
+
   std::fprintf(stderr,
                "[wsv %s] t=%.1fs dbs=%llu searches=%llu prefiltered=%llu "
-               "snapshots=%llu states=%llu (%.0f states/s)\n",
+               "snapshots=%llu states=%llu (%.0f states/s, %.1f dbs/s, "
+               "%.1f vals/s)%s\n",
                tag, elapsed, static_cast<unsigned long long>(dbs),
                static_cast<unsigned long long>(searches),
                static_cast<unsigned long long>(prefiltered),
                static_cast<unsigned long long>(snapshots),
-               static_cast<unsigned long long>(states), rate);
+               static_cast<unsigned long long>(states), rate, db_rate,
+               val_rate, eta);
   last_states_ = states;
+  last_dbs_ = dbs;
+  last_valuations_ = valuations;
 }
 
 ProgressMeter& ProgressMeter::Global() {

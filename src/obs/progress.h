@@ -19,9 +19,21 @@ namespace wsv::obs {
 /// return after one relaxed load.
 class ProgressMeter {
  public:
+  /// What the run's goal total counts, for the ETA estimate.
+  enum class GoalUnit { kNone = 0, kDatabases = 1, kValuations = 2 };
+
   void Enable(int64_t period_millis = 1000);
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Declares the run's known work total (databases for a bounded sweep,
+  /// valuations for a pinned database); beats then print an ETA from the
+  /// overall completion rate. Unbounded runs never call this and get no
+  /// ETA. Safe to call before or after Enable().
+  void SetGoal(GoalUnit unit, uint64_t total) {
+    goal_total_.store(total, std::memory_order_relaxed);
+    goal_unit_.store(static_cast<int>(unit), std::memory_order_relaxed);
+  }
 
   /// Prints a heartbeat line if at least one period elapsed since the last.
   void MaybeBeat();
@@ -39,8 +51,12 @@ class ProgressMeter {
   int64_t period_nanos_ = 0;
   int64_t started_nanos_ = 0;
   std::atomic<int64_t> last_beat_nanos_{0};
-  std::mutex beat_mu_;  // guards the print and the rate window below
+  std::atomic<uint64_t> goal_total_{0};
+  std::atomic<int> goal_unit_{0};
+  std::mutex beat_mu_;  // guards the print and the rate windows below
   uint64_t last_states_ = 0;
+  uint64_t last_dbs_ = 0;
+  uint64_t last_valuations_ = 0;
 };
 
 }  // namespace wsv::obs

@@ -3,9 +3,84 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/ledger.h"
 #include "obs/json_util.h"
+#include "obs/timer.h"
 
 namespace wsv::obs {
+
+namespace {
+
+/// Splits a "lock.<site>.<field>" counter name into site and field; the
+/// site itself may contain dots ("sweep.producer"), the field never does.
+bool SplitLockCounter(const std::string& name, std::string* site,
+                      std::string* field) {
+  constexpr char kPrefix[] = "lock.";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  size_t last_dot = name.rfind('.');
+  if (last_dot <= sizeof(kPrefix) - 1) return false;
+  *site = name.substr(sizeof(kPrefix) - 1, last_dot - (sizeof(kPrefix) - 1));
+  *field = name.substr(last_dot + 1);
+  return *field == "acquisitions" || *field == "contended" ||
+         *field == "wait_ns";
+}
+
+void RenderWorkers(JsonWriter& w) {
+  w.Key("workers").BeginObject();
+  for (const WorkerLedgerSnapshot& ledger :
+       LedgerRegistry::Global().Snapshot()) {
+    w.Key(ledger.name).BeginObject();
+    w.Key("wall_ns").Uint(ledger.wall_ns);
+    w.Key("exec_ns").Uint(ledger.exec_ns);
+    w.Key("idle_ns").Uint(ledger.idle_ns);
+    w.Key("lock_wait_ns").Uint(ledger.lock_wait_ns);
+    w.Key("drain_ns").Uint(ledger.drain_ns);
+    w.Key("tasks").Uint(ledger.tasks);
+    w.Key("utilization")
+        .Double(ledger.wall_ns == 0
+                    ? 0.0
+                    : static_cast<double>(ledger.exec_ns) /
+                          static_cast<double>(ledger.wall_ns));
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+void RenderLocks(JsonWriter& w, const Registry& registry) {
+  // Regroup lock.<site>.<field> counters per site. CounterValues() is
+  // sorted by name, so a site's three counters are adjacent.
+  w.Key("locks").BeginObject();
+  std::string open_site;
+  bool site_open = false;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    std::string site, field;
+    if (!SplitLockCounter(name, &site, &field)) continue;
+    if (!site_open || site != open_site) {
+      if (site_open) w.EndObject();
+      w.Key(site).BeginObject();
+      open_site = site;
+      site_open = true;
+    }
+    w.Key(field).Uint(value);
+  }
+  if (site_open) w.EndObject();
+  w.EndObject();
+}
+
+void RenderPhases(JsonWriter& w) {
+  w.Key("phases").BeginArray();
+  for (const PhaseTreeEntry& entry : PhaseTreeSnapshot()) {
+    w.BeginObject();
+    w.Key("path").String(entry.path);
+    w.Key("total_ns").Uint(entry.total_ns);
+    w.Key("self_ns").Uint(entry.self_ns);
+    w.Key("count").Uint(entry.count);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace
 
 std::string RenderStatsJson(
     const Registry& registry, const std::string& generator,
@@ -50,6 +125,10 @@ std::string RenderStatsJson(
   }
   w.EndObject();
 
+  RenderWorkers(w);
+  RenderLocks(w, registry);
+  RenderPhases(w);
+
   for (const auto& [key, json] : extra) {
     w.Key(key).Raw(json);
   }
@@ -64,6 +143,10 @@ Status WriteStatsJson(
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open stats file: " + path);
   out << RenderStatsJson(registry, generator, extra) << "\n";
+  // Flush explicitly so a short write surfaces here rather than in the
+  // destructor — the SIGINT partial-verdict path depends on the document
+  // being complete on disk the moment this returns.
+  out.flush();
   if (!out.good()) return Status::Internal("failed writing stats: " + path);
   return Status::Ok();
 }

@@ -12,7 +12,8 @@ namespace wsv::obs {
 
 /// Version of the stats-JSON document layout. Bump when a required key
 /// changes meaning or disappears; adding keys is backward compatible.
-inline constexpr int kStatsSchemaVersion = 1;
+/// v2 added the profiling sections: workers, locks, phases.
+inline constexpr int kStatsSchemaVersion = 2;
 
 /// The stats document always contains these top-level keys
 /// (tools/check_stats_schema.py enforces the same list):
@@ -21,7 +22,15 @@ inline constexpr int kStatsSchemaVersion = 1;
 ///   counters       : {name: int}
 ///   timers_ns      : {name: {total_ns: int, count: int}}
 ///   histograms     : {name: {count, sum, min, max, buckets: [int]}}
-/// Callers append further sections (command, verdict, ...) via `extra`.
+///   workers        : {name: {wall_ns, exec_ns, idle_ns, lock_wait_ns,
+///                            drain_ns, tasks, utilization}}
+///   locks          : {site: {acquisitions, contended, wait_ns}}
+///   phases         : [{path, total_ns, self_ns, count}]
+/// `workers` snapshots the per-thread time ledgers (utilization is
+/// exec_ns / wall_ns); `locks` regroups the lock.<site>.* counters per
+/// site; `phases` is the flattened phase tree (paths join nested phase
+/// names with '/'). Callers append further sections (command, verdict,
+/// ...) via `extra`.
 
 /// Renders the versioned stats document from a registry snapshot.
 /// `extra` entries are (key, pre-rendered JSON value) appended at top level;

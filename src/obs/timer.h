@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace wsv::obs {
+
+struct PhaseNode;
 
 /// Monotonic wall clock, nanoseconds since an arbitrary epoch.
 int64_t NowNanos();
@@ -19,6 +22,13 @@ int64_t NowNanos();
 /// Phases measure code regions, not a partition of the run: lazily-computed
 /// work (leaf evaluation under NDFS, graph expansion under a successor
 /// call) accumulates into its own phase while nested inside another.
+///
+/// While timing is enabled, nested timers additionally build the per-path
+/// phase tree exported as the stats-JSON "phases" section: each thread keeps
+/// its own phase stack, so a phase started on a worker thread roots at that
+/// thread's top level (e.g. "check_db/ndfs" for a sweep worker) while the
+/// calling thread's phases nest under "total". Tree accounting costs one
+/// cached node lookup per timer and is contention-free after warm-up.
 class PhaseTimer {
  public:
   /// `name` must outlive the timer (string literals in practice).
@@ -34,8 +44,26 @@ class PhaseTimer {
  private:
   const char* name_;
   int64_t start_;  // -1 when observability is off
+  PhaseNode* node_ = nullptr;  // phase-tree node, null when timing is off
   std::string trace_args_json_;
 };
+
+/// One row of the flattened phase tree: `path` joins nested phase names
+/// with '/' ("total/check_db/ndfs"); `self_ns` is total minus the time
+/// spent in child phases (clamped at zero against clock skew).
+struct PhaseTreeEntry {
+  std::string path;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+  uint64_t count = 0;
+};
+
+/// Snapshot of the process-wide phase tree, sorted by path.
+std::vector<PhaseTreeEntry> PhaseTreeSnapshot();
+
+/// Zeroes the tree's accumulators, preserving node identities (bench and
+/// test reruns; per-thread node caches stay valid).
+void PhaseTreeReset();
 
 /// True when phase timing is collecting (Registry::Global() flag).
 bool TimingEnabled();

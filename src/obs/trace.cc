@@ -7,25 +7,37 @@
 
 namespace wsv::obs {
 
+namespace {
+
+/// Stable small lane id per recording thread, so Perfetto renders one span
+/// track per worker instead of collapsing every phase onto tid 0.
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
 void TraceRecorder::Enable() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   origin_nanos_ = NowNanos();
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   return events_.size();
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   return dropped_;
 }
 
@@ -41,34 +53,35 @@ void TraceRecorder::Complete(std::string name, const char* category,
                              int64_t start_nanos, int64_t dur_nanos,
                              std::string args_json) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   if (!Admit()) return;
   events_.push_back(Event{std::move(name), category, 'X',
                           start_nanos - origin_nanos_, dur_nanos, 0,
-                          std::move(args_json)});
+                          CurrentTid(), std::move(args_json)});
 }
 
 void TraceRecorder::Instant(std::string name, const char* category,
                             std::string args_json) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   if (!Admit()) return;
   events_.push_back(Event{std::move(name), category, 'i',
-                          NowNanos() - origin_nanos_, 0, 0,
+                          NowNanos() - origin_nanos_, 0, 0, CurrentTid(),
                           std::move(args_json)});
 }
 
 void TraceRecorder::CounterSample(std::string name, const char* category,
                                   uint64_t value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   if (!Admit()) return;
   events_.push_back(Event{std::move(name), category, 'C',
-                          NowNanos() - origin_nanos_, 0, value, {}});
+                          NowNanos() - origin_nanos_, 0, value, CurrentTid(),
+                          {}});
 }
 
 std::string TraceRecorder::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<TimedMutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
@@ -84,7 +97,7 @@ std::string TraceRecorder::ToJson() const {
       w.Key("dur").Double(static_cast<double>(e.dur_nanos) / 1000.0);
     }
     w.Key("pid").Uint(0);
-    w.Key("tid").Uint(0);
+    w.Key("tid").Uint(e.tid);
     if (e.phase == 'C') {
       w.Key("args").BeginObject().Key("value").Uint(e.value).EndObject();
     } else if (e.phase == 'i') {
@@ -98,7 +111,7 @@ std::string TraceRecorder::ToJson() const {
   for (const Event& e : events_) emit(e);
   if (dropped_ > 0) {
     Event note{"trace_truncated", "obs", 'i', NowNanos() - origin_nanos_, 0, 0,
-               "{\"dropped\":" + std::to_string(dropped_) + "}"};
+               CurrentTid(), "{\"dropped\":" + std::to_string(dropped_) + "}"};
     emit(note);
   }
   w.EndArray();
@@ -111,6 +124,9 @@ Status TraceRecorder::WriteFile(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open trace file: " + path);
   out << ToJson() << "\n";
+  // Flush explicitly so the interrupted-run path (SIGINT partial verdict)
+  // leaves a complete document on disk before this returns.
+  out.flush();
   if (!out.good()) return Status::Internal("failed writing trace: " + path);
   return Status::Ok();
 }

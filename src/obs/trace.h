@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/lock_profile.h"
 
 namespace wsv::obs {
 
@@ -65,6 +66,7 @@ class TraceRecorder {
     int64_t ts_nanos;    // relative to Enable()
     int64_t dur_nanos;   // 'X' only
     uint64_t value;      // 'C' only
+    uint32_t tid;        // recording thread's stable lane id
     std::string args_json;
   };
 
@@ -72,7 +74,10 @@ class TraceRecorder {
   bool Admit();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
+  /// The buffer mutex doubles as a profiled contention site: every
+  /// recording thread funnels through it, so its wait share bounds the
+  /// tracing overhead itself.
+  mutable TimedMutex mu_{"trace"};
   size_t max_events_ = 1u << 20;
   int64_t origin_nanos_ = 0;
   uint64_t dropped_ = 0;

@@ -11,6 +11,7 @@
 
 #include "automata/emptiness.h"
 #include "common/thread_pool.h"
+#include "obs/lock_profile.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/timer.h"
@@ -212,7 +213,7 @@ class PrefilterMemo {
   const Entry* GetOrCompute(const std::string& key, bool* was_miss,
                             const Fn& compute) {
     Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<obs::TimedMutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       *was_miss = false;
@@ -228,7 +229,9 @@ class PrefilterMemo {
  private:
   static constexpr size_t kShards = 8;
   struct Shard {
-    std::mutex mu;
+    // All eight shard mutexes report as one "prefilter_memo" lock site:
+    // contention here means concurrent lanes colliding on hot memo keys.
+    obs::TimedMutex mu{"prefilter_memo"};
     std::unordered_map<std::string, std::unique_ptr<Entry>> map;
   };
   std::array<Shard, kShards> shards_;
@@ -333,6 +336,9 @@ Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
         return e;
       });
   obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter& valuations_checked =
+      registry.counter("engine.valuations_checked");
+  valuations_checked.Add(1);
   if (was_miss) {
     ++lane.memo_misses;
     static obs::Counter& memo_misses =
@@ -615,10 +621,11 @@ Result<bool> VerificationEngine::CheckDatabases(
   // increasing index order, dispatch stops below the best witness index, so
   // every valuation preceding the winner is fully checked and the reported
   // witness is bit-for-bit the serial one.
+  obs::PhaseTimer fanout_phase("valuation_fanout");
   std::vector<ValuationLane> lanes(lanes_);
   std::atomic<size_t> stop_before{static_cast<size_t>(-1)};
   std::atomic<bool> abort{false};
-  std::mutex stop_mu;
+  obs::TimedMutex stop_mu{"engine.fanout_stop"};
   std::optional<Status> stop_event;
   std::optional<std::pair<size_t, Status>> hard_error;
   const size_t work = v_hi - v_lo;
@@ -638,7 +645,7 @@ Result<bool> VerificationEngine::CheckDatabases(
           if (vi >= stop_before.load(std::memory_order_acquire)) break;
           Result<bool> one = CheckOneValuation(ctx, vi, lane);
           if (!one.ok()) {
-            std::lock_guard<std::mutex> lock(stop_mu);
+            std::lock_guard<obs::TimedMutex> lock(stop_mu);
             if (RunControl::IsStopStatus(one.status())) {
               if (!stop_event.has_value()) stop_event = one.status();
             } else if (!hard_error.has_value() || vi < hard_error->first) {
@@ -661,6 +668,7 @@ Result<bool> VerificationEngine::CheckDatabases(
         }
       });
 
+  obs::PhaseTimer merge_phase("merge");
   for (const ValuationLane& lane : lanes) merge_lane(lane);
 
   // Lowest-index witness across lanes; then the serial-order precedence
@@ -840,6 +848,15 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
     std::optional<ThreadPool> pool;
     if (jobs > 1) pool.emplace(jobs - 1);
     SchedulerBinding binding(this, pool.has_value() ? &*pool : nullptr, jobs);
+    {
+      // Pinned runs know their work total up front: the assigned valuation
+      // slice. The heartbeat turns it into an ETA.
+      const size_t v_total = task.valuations.size();
+      const size_t v_lo = std::min(options_.valuation_range_lo, v_total);
+      const size_t v_hi = std::min(options_.valuation_range_hi, v_total);
+      obs::ProgressMeter::Global().SetGoal(
+          obs::ProgressMeter::GoalUnit::kValuations, v_hi - v_lo);
+    }
     CountDatabase(outcome);
     Result<bool> found = CheckDatabases(task, *options_.fixed_databases,
                                         /*db_index=*/0, outcome);
@@ -903,6 +920,17 @@ Result<EngineOutcome> VerificationEngine::Run(SymbolicTask& task) {
     AddInterval(&resume_base, 0, options_.resume_prefix);
   }
   sweep_options.end_index = options_.db_range_hi;
+  // A bounded sweep (range upper bound or --max-databases) has a known
+  // database total; the heartbeat derives an ETA from it. Unbounded sweeps
+  // leave the goal unset — the enumeration size is what the run discovers.
+  {
+    const size_t bound =
+        std::min(options_.db_range_hi, options_.max_databases);
+    if (bound != static_cast<size_t>(-1) && bound > sweep_start) {
+      obs::ProgressMeter::Global().SetGoal(
+          obs::ProgressMeter::GoalUnit::kDatabases, bound - sweep_start);
+    }
+  }
   sweep_options.control = options_.control;
   sweep_options.skip_failed_databases =
       options_.on_db_error == OnDbError::kSkip;

@@ -1,6 +1,8 @@
 #include "verifier/merge.h"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 #include <set>
 
 #include "obs/json_util.h"
@@ -291,6 +293,230 @@ int MergeExitCode(const MergeReport& report) {
   if (report.verdict == "violated") return 3;
   if (report.verdict == "holds") return 0;
   return 4;
+}
+
+namespace {
+
+/// Accumulated histogram across shards: counts bucket-wise summed, min of
+/// mins / max of maxes over the shards that actually observed samples.
+struct HistAccum {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;
+};
+
+/// Per-shard digest for the straggler table. Wall is the shard's "total"
+/// phase (every wsvc document has one when timing was on); utilization and
+/// exec/lock-wait come from its worker ledgers.
+struct ShardDigest {
+  std::string source;
+  uint64_t wall_ns = 0;
+  uint64_t exec_ns = 0;
+  uint64_t lock_wait_ns = 0;
+  uint64_t worker_wall_ns = 0;
+  uint64_t workers = 0;
+};
+
+uint64_t PhaseTotalNanos(const obs::JsonValue& doc) {
+  // Schema v2: phases is a list of {path, total_ns, ...}; the root phase of
+  // the main thread is "total". Fall back to the flat phase.total timer for
+  // older shard documents.
+  const obs::JsonValue* phases = doc.Find("phases");
+  if (phases != nullptr && phases->IsArray()) {
+    for (const obs::JsonValue& entry : phases->array) {
+      const obs::JsonValue* path = entry.Find("path");
+      if (path != nullptr && path->AsString("") == "total") {
+        const obs::JsonValue* total = entry.Find("total_ns");
+        if (total != nullptr) return total->AsUint(0);
+      }
+    }
+  }
+  const obs::JsonValue* timer = doc.FindPath({"timers_ns", "phase.total"});
+  if (timer != nullptr) {
+    const obs::JsonValue* total = timer->Find("total_ns");
+    if (total != nullptr) return total->AsUint(0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string RenderShardStatsRollup(
+    const std::vector<std::string>& stats_texts,
+    const std::vector<std::string>& sources) {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> timers;  // total, count
+  std::map<std::string, HistAccum> histograms;
+  std::vector<ShardDigest> digests;
+  std::vector<double> worker_utilizations;
+  uint64_t total_exec_ns = 0;
+  uint64_t total_worker_wall_ns = 0;
+
+  for (size_t i = 0; i < stats_texts.size(); ++i) {
+    Result<obs::JsonValue> parsed = obs::JsonParse(stats_texts[i]);
+    if (!parsed.ok()) continue;  // verdict merge already reported it
+    const obs::JsonValue& doc = parsed.value();
+
+    ShardDigest digest;
+    digest.source = i < sources.size() ? sources[i] : "shard." + std::to_string(i);
+    digest.wall_ns = PhaseTotalNanos(doc);
+
+    const obs::JsonValue* shard_counters = doc.Find("counters");
+    if (shard_counters != nullptr && shard_counters->IsObject()) {
+      for (const auto& [name, value] : shard_counters->object) {
+        counters[name] += value.AsUint(0);
+      }
+    }
+    const obs::JsonValue* shard_timers = doc.Find("timers_ns");
+    if (shard_timers != nullptr && shard_timers->IsObject()) {
+      for (const auto& [name, value] : shard_timers->object) {
+        const obs::JsonValue* total = value.Find("total_ns");
+        const obs::JsonValue* count = value.Find("count");
+        auto& slot = timers[name];
+        slot.first += total != nullptr ? total->AsUint(0) : 0;
+        slot.second += count != nullptr ? count->AsUint(0) : 0;
+      }
+    }
+    const obs::JsonValue* shard_hists = doc.Find("histograms");
+    if (shard_hists != nullptr && shard_hists->IsObject()) {
+      for (const auto& [name, value] : shard_hists->object) {
+        HistAccum& accum = histograms[name];
+        uint64_t count = 0;
+        if (const obs::JsonValue* v = value.Find("count")) count = v->AsUint(0);
+        accum.count += count;
+        if (const obs::JsonValue* v = value.Find("sum")) {
+          accum.sum += v->AsUint(0);
+        }
+        if (count > 0) {
+          if (const obs::JsonValue* v = value.Find("min")) {
+            accum.min = std::min(accum.min, v->AsUint(accum.min));
+          }
+          if (const obs::JsonValue* v = value.Find("max")) {
+            accum.max = std::max(accum.max, v->AsUint(0));
+          }
+        }
+        const obs::JsonValue* buckets = value.Find("buckets");
+        if (buckets != nullptr && buckets->IsArray()) {
+          if (accum.buckets.size() < buckets->array.size()) {
+            accum.buckets.resize(buckets->array.size(), 0);
+          }
+          for (size_t b = 0; b < buckets->array.size(); ++b) {
+            accum.buckets[b] += buckets->array[b].AsUint(0);
+          }
+        }
+      }
+    }
+    const obs::JsonValue* workers = doc.Find("workers");
+    if (workers != nullptr && workers->IsObject()) {
+      for (const auto& [name, ledger] : workers->object) {
+        (void)name;
+        uint64_t wall = 0, exec = 0, lock_wait = 0;
+        if (const obs::JsonValue* v = ledger.Find("wall_ns")) wall = v->AsUint(0);
+        if (const obs::JsonValue* v = ledger.Find("exec_ns")) exec = v->AsUint(0);
+        if (const obs::JsonValue* v = ledger.Find("lock_wait_ns")) {
+          lock_wait = v->AsUint(0);
+        }
+        digest.workers += 1;
+        digest.worker_wall_ns += wall;
+        digest.exec_ns += exec;
+        digest.lock_wait_ns += lock_wait;
+        if (wall > 0) {
+          worker_utilizations.push_back(static_cast<double>(exec) /
+                                        static_cast<double>(wall));
+        }
+      }
+    }
+    total_exec_ns += digest.exec_ns;
+    total_worker_wall_ns += digest.worker_wall_ns;
+    if (digest.wall_ns == 0) digest.wall_ns = digest.worker_wall_ns;
+    digests.push_back(std::move(digest));
+  }
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("count").Uint(digests.size());
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Key(name).Uint(value);
+  w.EndObject();
+
+  w.Key("timers_ns").BeginObject();
+  for (const auto& [name, slot] : timers) {
+    w.Key(name).BeginObject();
+    w.Key("total_ns").Uint(slot.first);
+    w.Key("count").Uint(slot.second);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, accum] : histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(accum.count);
+    w.Key("sum").Uint(accum.sum);
+    w.Key("min").Uint(accum.count > 0 ? accum.min : 0);
+    w.Key("max").Uint(accum.max);
+    w.Key("buckets").BeginArray();
+    for (uint64_t bucket : accum.buckets) w.Uint(bucket);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  // Utilization over every worker of every shard: the mean is exec-weighted
+  // (total exec / total worker wall), min/max are per-worker extremes.
+  w.Key("utilization").BeginObject();
+  w.Key("workers").Uint(worker_utilizations.size());
+  double mean = total_worker_wall_ns > 0
+                    ? static_cast<double>(total_exec_ns) /
+                          static_cast<double>(total_worker_wall_ns)
+                    : 0.0;
+  double lo = 0.0, hi = 0.0;
+  if (!worker_utilizations.empty()) {
+    auto [min_it, max_it] = std::minmax_element(worker_utilizations.begin(),
+                                                worker_utilizations.end());
+    lo = *min_it;
+    hi = *max_it;
+  }
+  w.Key("mean").Double(mean);
+  w.Key("min").Double(lo);
+  w.Key("max").Double(hi);
+  w.EndObject();
+
+  // Per-shard table, merge-input order, and the straggler: the shard whose
+  // wall clock bounds the whole sweep's latency.
+  w.Key("per_shard").BeginArray();
+  size_t straggler = digests.size();
+  for (size_t i = 0; i < digests.size(); ++i) {
+    const ShardDigest& digest = digests[i];
+    if (straggler == digests.size() ||
+        digest.wall_ns > digests[straggler].wall_ns) {
+      straggler = i;
+    }
+    w.BeginObject();
+    w.Key("source").String(digest.source);
+    w.Key("wall_ns").Uint(digest.wall_ns);
+    w.Key("exec_ns").Uint(digest.exec_ns);
+    w.Key("lock_wait_ns").Uint(digest.lock_wait_ns);
+    w.Key("workers").Uint(digest.workers);
+    w.Key("utilization")
+        .Double(digest.worker_wall_ns > 0
+                    ? static_cast<double>(digest.exec_ns) /
+                          static_cast<double>(digest.worker_wall_ns)
+                    : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (straggler < digests.size()) {
+    w.Key("straggler").BeginObject();
+    w.Key("source").String(digests[straggler].source);
+    w.Key("wall_ns").Uint(digests[straggler].wall_ns);
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace wsv::verifier

@@ -97,6 +97,17 @@ std::string RenderMergeJson(const MergeReport& report, int exit_code);
 /// Exit code contract: 0 holds (complete), 3 violated, 4 incomplete.
 int MergeExitCode(const MergeReport& report);
 
+/// Aggregates the observability sections of per-shard stats documents into
+/// one roll-up (the "shards" section of a wsvc-merge stats document):
+/// counters and timers summed, histograms merged bucket-wise, worker
+/// utilization folded to mean/min/max across every worker of every shard,
+/// plus a per-shard table (wall, exec, lock wait, utilization) and the
+/// straggler — the shard whose wall clock bounds the sweep. `stats_texts`
+/// and `sources` are parallel; shards whose text fails to parse are skipped
+/// (ShardFromStatsJson already rejected them for the verdict merge).
+std::string RenderShardStatsRollup(const std::vector<std::string>& stats_texts,
+                                   const std::vector<std::string>& sources);
+
 }  // namespace wsv::verifier
 
 #endif  // WSVERIFY_VERIFIER_MERGE_H_

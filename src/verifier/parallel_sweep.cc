@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/lock_profile.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/timer.h"
@@ -42,7 +43,10 @@ struct Worker {
 /// enumeration order (the checkpointable high-water mark), out-of-order
 /// completions ahead of it, and the failed-index list.
 struct Progress {
-  std::mutex mu;
+  // Completion bookkeeping doubles as the checkpoint writer's lock: the
+  // periodic checkpoint_fn runs under it, so its wait share shows how long
+  // workers stall behind checkpoint I/O.
+  obs::TimedMutex mu{"sweep.progress"};
   size_t next_expected = 0;
   std::set<size_t> done_ahead;
   std::vector<size_t> failed;
@@ -98,7 +102,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   }
 
   // Producer state: the enumerator and dispatch cursor, under one lock.
-  std::mutex producer_mu;
+  obs::TimedMutex producer_mu{"sweep.producer"};
   size_t next_index = options_.start_index;
   bool max_databases_hit = false;
   bool range_end_hit = false;
@@ -112,7 +116,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   // A deadline/cancel stop winds dispatch down; checks already running
   // observe the same token and stop from within.
   std::atomic<bool> stopped{false};
-  std::mutex stop_mu;
+  obs::TimedMutex stop_mu{"sweep.stop"};
   std::optional<Status> stop_event;
 
   Progress progress;
@@ -130,13 +134,13 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   static obs::Counter& retries_counter = registry.counter("sweep.retries");
 
   auto record_stop = [&](const Status& status) {
-    std::lock_guard<std::mutex> lock(stop_mu);
+    std::lock_guard<obs::TimedMutex> lock(stop_mu);
     if (!stop_event.has_value()) stop_event = status;
     stopped.store(true, std::memory_order_release);
   };
 
   auto mark_done = [&](size_t index) {
-    std::lock_guard<std::mutex> lock(progress.mu);
+    std::lock_guard<obs::TimedMutex> lock(progress.mu);
     ++progress.total_done;
     if (index == progress.next_expected) {
       ++progress.next_expected;
@@ -160,7 +164,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
 
   auto mark_failed = [&](size_t index) {
     {
-      std::lock_guard<std::mutex> lock(progress.mu);
+      std::lock_guard<obs::TimedMutex> lock(progress.mu);
       progress.failed.push_back(index);
     }
     failures_counter.Add(1);
@@ -174,7 +178,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
            !stopped.load(std::memory_order_acquire)) {
       size_t index;
       {
-        std::lock_guard<std::mutex> lock(producer_mu);
+        std::lock_guard<obs::TimedMutex> lock(producer_mu);
         if (options_.control != nullptr) {
           Status token = options_.control->Check();
           if (!token.ok()) {
@@ -284,6 +288,7 @@ Result<EngineOutcome> ParallelSweep::Run(const CheckFn& check) {
   }
 
   // --- Merge: sums first, then the deterministic winner selection. ---
+  obs::PhaseTimer merge_phase("merge");
   EngineOutcome merged;
   for (const Worker& w : workers) {
     merged.databases_checked += w.outcome.databases_checked;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/lock_profile.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/timer.h"
@@ -170,7 +171,7 @@ Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
     // only assigned in the sequential merge below.
     std::vector<NodeExpansion> expansions(n);
     std::atomic<bool> stop_requested{false};
-    std::mutex stop_mu;
+    obs::TimedMutex stop_mu{"graph.stop"};
     Status stop_status = Status::Ok();
     const size_t per_chunk = std::max<size_t>(1, std::min<size_t>(64, n / (lanes * 4) + 1));
     const size_t num_chunks = (n + per_chunk - 1) / per_chunk;
@@ -184,7 +185,7 @@ Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
               if (lane == 0) obs::ProgressMeter::Global().MaybeBeat();
               Status status = control->Check();
               if (!status.ok()) {
-                std::lock_guard<std::mutex> lock(stop_mu);
+                std::lock_guard<obs::TimedMutex> lock(stop_mu);
                 if (stop_status.ok()) stop_status = std::move(status);
                 stop_requested.store(true, std::memory_order_relaxed);
                 return;
@@ -369,7 +370,7 @@ Status LeafCache::SealAndPopulate(ThreadPool* pool, size_t lanes) {
   if (cache_.size() < n) cache_.resize(n);
   const size_t per_chunk = 16;
   const size_t num_chunks = (n + per_chunk - 1) / per_chunk;
-  std::mutex error_mu;
+  obs::TimedMutex error_mu{"leafcache.seal"};
   SnapshotId error_sid = 0;
   Status error = Status::Ok();
   ThreadPool::ParallelChunks(
@@ -381,7 +382,7 @@ Status LeafCache::SealAndPopulate(ThreadPool* pool, size_t lanes) {
           if (!cache_[sid].empty()) continue;  // already evaluated lazily
           Status status = EvaluateSnapshot(static_cast<SnapshotId>(sid));
           if (!status.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
+            std::lock_guard<obs::TimedMutex> lock(error_mu);
             if (error.ok() || sid < error_sid) {
               error = std::move(status);
               error_sid = static_cast<SnapshotId>(sid);

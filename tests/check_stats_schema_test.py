@@ -19,7 +19,7 @@ import tempfile
 def base_doc():
     """A minimal valid stats document with a sweep verdict."""
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "generator": "wsvc",
         "counters": {"sweep.databases": 4, "sweep.range_lo": 0},
         "timers_ns": {"verify": {"total_ns": 1000, "count": 1}},
@@ -27,6 +27,24 @@ def base_doc():
             "db.size": {"count": 4, "sum": 10, "min": 1, "max": 4,
                         "buckets": [1, 2, 1]},
         },
+        "workers": {
+            "main": {"wall_ns": 1000, "exec_ns": 600, "idle_ns": 0,
+                     "lock_wait_ns": 10, "drain_ns": 600, "tasks": 0,
+                     "utilization": 0.6},
+            "worker.0": {"wall_ns": 990, "exec_ns": 700, "idle_ns": 280,
+                         "lock_wait_ns": 0, "drain_ns": 650, "tasks": 7,
+                         "utilization": 0.707},
+        },
+        "locks": {
+            "prefilter_memo": {"acquisitions": 32, "contended": 2,
+                               "wait_ns": 450},
+            "trace": {"acquisitions": 0, "contended": 0, "wait_ns": 0},
+        },
+        "phases": [
+            {"path": "total", "total_ns": 1000, "self_ns": 20, "count": 1},
+            {"path": "total/check_db", "total_ns": 980, "self_ns": 980,
+             "count": 1},
+        ],
         "verdict": {
             "exit_code": 0,
             "kind": "verify",
@@ -54,11 +72,31 @@ def base_doc():
 def merge_doc():
     """A minimal valid stats document with a wsvc-merge verdict."""
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "generator": "wsvc-merge",
         "counters": {"merge.shards": 3, "merge.gaps": 0},
         "timers_ns": {},
         "histograms": {},
+        "workers": {},
+        "locks": {},
+        "phases": [
+            {"path": "merge", "total_ns": 4000, "self_ns": 4000, "count": 1},
+        ],
+        "shards": {
+            "count": 2,
+            "counters": {"engine.databases_checked": 4},
+            "timers_ns": {},
+            "histograms": {},
+            "utilization": {"workers": 4, "mean": 0.5, "min": 0.2,
+                            "max": 0.9},
+            "per_shard": [
+                {"source": "shard0.json", "wall_ns": 900, "exec_ns": 700,
+                 "lock_wait_ns": 5, "workers": 2, "utilization": 0.77},
+                {"source": "shard1.json", "wall_ns": 700, "exec_ns": 300,
+                 "lock_wait_ns": 0, "workers": 2, "utilization": 0.43},
+            ],
+            "straggler": {"source": "shard0.json", "wall_ns": 900},
+        },
         "verdict": {
             "exit_code": 0,
             "kind": "merge",
@@ -86,11 +124,12 @@ def mutate(doc, path, value):
     node = out
     parts = path.split(".")
     for part in parts[:-1]:
-        node = node[part]
+        node = node[int(part)] if part.isdigit() else node[part]
+    last = int(parts[-1]) if parts[-1].isdigit() else parts[-1]
     if value is DELETE:
-        del node[parts[-1]]
+        del node[last]
     else:
-        node[parts[-1]] = value
+        node[last] = value
     return out
 
 
@@ -166,6 +205,45 @@ def main(argv):
         ("merge counterexample without witness",
          mutate(mutate(merge_doc(), "verdict.counterexample", True),
                 "verdict.verdict", "violated"), False),
+        # Schema-v2 profiling sections.
+        ("missing workers section",
+         mutate(base_doc(), "workers", DELETE), False),
+        ("missing locks section",
+         mutate(base_doc(), "locks", DELETE), False),
+        ("missing phases section",
+         mutate(base_doc(), "phases", DELETE), False),
+        ("old schema_version 1",
+         mutate(base_doc(), "schema_version", 1), False),
+        ("worker missing lock_wait_ns",
+         mutate(base_doc(), "workers.main.lock_wait_ns", DELETE), False),
+        ("worker negative exec",
+         mutate(base_doc(), "workers.main.exec_ns", -5), False),
+        ("worker exec past wall",
+         mutate(base_doc(), "workers.main.exec_ns", 1_000_000_000), False),
+        ("worker utilization wrong type",
+         mutate(base_doc(), "workers.main.utilization", "busy"), False),
+        ("lock contended over acquisitions",
+         mutate(base_doc(), "locks.trace.contended", 3), False),
+        ("lock wait without contention",
+         mutate(base_doc(), "locks.trace.wait_ns", 99), False),
+        ("lock missing wait_ns",
+         mutate(base_doc(), "locks.prefilter_memo.wait_ns", DELETE), False),
+        ("phase self over total",
+         mutate(base_doc(), "phases.0.self_ns", 2000), False),
+        ("phase missing count",
+         mutate(base_doc(), "phases.1.count", DELETE), False),
+        ("duplicate phase path",
+         mutate(base_doc(), "phases.1.path", "total"), False),
+        ("rollup straggler not the max wall",
+         mutate(merge_doc(), "shards.straggler",
+                {"source": "shard1.json", "wall_ns": 700}), False),
+        ("rollup straggler unknown source",
+         mutate(merge_doc(), "shards.straggler.source", "ghost.json"),
+         False),
+        ("rollup utilization missing mean",
+         mutate(merge_doc(), "shards.utilization.mean", DELETE), False),
+        ("rollup per_shard negative wall",
+         mutate(merge_doc(), "shards.per_shard.0.wall_ns", -1), False),
     ]
 
     failures = 0

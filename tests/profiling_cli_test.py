@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""End-to-end CLI tests for the profiling/observability surface.
+
+Usage: profiling_cli_test.py --bin-dir DIR --spec-dir DIR MODE
+
+Modes:
+  sigint  starts a multi-second verification, interrupts it with SIGINT
+          mid-run, and asserts the partial-verdict contract: exit code
+          130, and BOTH --stats-json and --trace-json land as complete,
+          valid JSON (the flush-on-interrupt guarantee).
+  skip    runs with --on-db-error skip and asserts the stats/trace
+          documents are valid JSON on that path too.
+  jobs1   runs single-threaded and asserts the determinism contract:
+          with one thread there is nobody to contend with, so every lock
+          site reports contended == 0 / wait_ns == 0 and every worker
+          ledger reports lock_wait_ns == 0.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(msg):
+    print(f"profiling_cli_test: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+LOAN_ARGS = [
+    "--property",
+    "forall c, id: G(Officer.application(c, id) -> Customer.wants(c, id))",
+    "--db", "Customer.wants=c1,l1",
+    "--db", "Officer.customer=c1,s1,ann",
+    "--db", "Manager.client=c1,s1,ann",
+    "--db", "CreditAgency.creditRecord=s1,good",
+    "--db", "CreditAgency.accounts=s1,a1,b1",
+]
+
+
+def load_json(path, what):
+    expect(os.path.exists(path), f"{what} file {path} was never written")
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except json.JSONDecodeError as exc:
+        fail(f"{what} file {path} is not valid JSON "
+             f"(unflushed partial write?): {exc}")
+
+
+def check_stats_doc(doc, what):
+    for key in ("schema_version", "counters", "workers", "locks", "phases"):
+        expect(key in doc, f"{what} missing '{key}'")
+    expect(doc["schema_version"] == 2,
+           f"{what} schema_version is {doc['schema_version']}, want 2")
+
+
+def mode_sigint(wsvc, spec_dir, workdir):
+    stats = os.path.join(workdir, "sigint_stats.json")
+    trace = os.path.join(workdir, "sigint_trace.json")
+    # The loan configuration runs for seconds; interrupting a fraction of
+    # the way in leaves a genuinely partial verdict behind.
+    cmd = [wsvc, "verify", os.path.join(spec_dir, "loan.wsv"),
+           *LOAN_ARGS, "--jobs", "2",
+           "--stats-json", stats, "--trace-json", trace]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    time.sleep(0.4)
+    proc.send_signal(signal.SIGINT)
+    try:
+        stdout, stderr = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("wsvc did not exit within 60s of SIGINT")
+    if proc.returncode in (0, 3):
+        # The run beat the signal to the finish line (slow host warm-up);
+        # the flush contract is still checked below, just not the 130 path.
+        print("note: run finished before SIGINT landed "
+              f"(rc={proc.returncode}); checking flush only")
+    else:
+        expect(proc.returncode == 130,
+               f"expected exit 130 after SIGINT, got {proc.returncode}\n"
+               f"stdout: {stdout}\nstderr: {stderr}")
+        expect("canceled" in stdout + stderr,
+               "interrupted run should report a canceled partial verdict")
+    doc = load_json(stats, "stats")
+    check_stats_doc(doc, "interrupted stats doc")
+    trace_doc = load_json(trace, "trace")
+    expect(isinstance(trace_doc.get("traceEvents"), list),
+           "interrupted trace doc has no traceEvents list")
+    print(f"sigint OK: rc={proc.returncode}, "
+          f"{len(doc['counters'])} counters, "
+          f"{len(trace_doc['traceEvents'])} trace events")
+
+
+def mode_skip(wsvc, spec_dir, workdir):
+    stats = os.path.join(workdir, "skip_stats.json")
+    trace = os.path.join(workdir, "skip_trace.json")
+    cmd = [wsvc, "verify", os.path.join(spec_dir, "pingpong.wsv"),
+           "--property", "forall x: G(Requester.got(x) -> "
+                         "exists y: Requester.item(y) and x = y)",
+           "--fresh", "2", "--on-db-error", "skip", "--jobs", "2",
+           "--stats-json", stats, "--trace-json", trace]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    expect(proc.returncode in (0, 3, 4),
+           f"skip-mode run failed (rc={proc.returncode}): {proc.stderr}")
+    check_stats_doc(load_json(stats, "stats"), "skip-mode stats doc")
+    expect(isinstance(load_json(trace, "trace").get("traceEvents"), list),
+           "skip-mode trace doc has no traceEvents list")
+    print(f"skip OK: rc={proc.returncode}")
+
+
+def mode_jobs1(wsvc, spec_dir, workdir):
+    stats = os.path.join(workdir, "jobs1_stats.json")
+    cmd = [wsvc, "verify", os.path.join(spec_dir, "loan.wsv"),
+           *LOAN_ARGS, "--jobs", "1", "--stats-json", stats]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    expect(proc.returncode in (0, 3),
+           f"jobs-1 run failed (rc={proc.returncode}): {proc.stderr}")
+    doc = load_json(stats, "stats")
+    check_stats_doc(doc, "jobs-1 stats doc")
+    for site, counters in doc["locks"].items():
+        expect(counters["contended"] == 0,
+               f"jobs 1 but lock site '{site}' reports "
+               f"{counters['contended']} contended acquisition(s)")
+        expect(counters["wait_ns"] == 0,
+               f"jobs 1 but lock site '{site}' reports "
+               f"{counters['wait_ns']}ns of lock wait")
+    for name, ledger in doc["workers"].items():
+        expect(ledger["lock_wait_ns"] == 0,
+               f"jobs 1 but worker '{name}' booked "
+               f"{ledger['lock_wait_ns']}ns of lock wait")
+    print(f"jobs1 OK: {len(doc['locks'])} lock sites all uncontended, "
+          f"{len(doc['workers'])} worker ledger(s) with zero lock wait")
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("--bin-dir", required=True)
+    parser.add_argument("--spec-dir", required=True)
+    parser.add_argument("mode", choices=("sigint", "skip", "jobs1"))
+    args = parser.parse_args()
+
+    wsvc = os.path.join(args.bin_dir, "wsvc")
+    expect(os.access(wsvc, os.X_OK), f"wsvc not executable at {wsvc}")
+    with tempfile.TemporaryDirectory(prefix="profiling_cli.") as workdir:
+        {"sigint": mode_sigint,
+         "skip": mode_skip,
+         "jobs1": mode_jobs1}[args.mode](wsvc, args.spec_dir, workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compares two run_bench.py documents and fails on regression.
+
+Usage:
+  bench_diff.py OLD.json NEW.json [--threshold PCT] [--metric real|cpu]
+
+Benchmarks are matched by (binary, name); real_time_ms (default) or
+cpu_time_ms is compared. NEW regressing past --threshold percent (default
+25 — single-run google-benchmark numbers on a busy host are noisy; tighten
+it when the baselines are repetition-aggregated) on any matched benchmark
+exits 1 and lists the offenders. Benchmarks present on only one side are
+reported but never fail the diff — a renamed series should not masquerade
+as a regression.
+
+Self-comparing a document (`bench_diff.py BENCH_scaling.json
+BENCH_scaling.json`) is the smoke test the profiling ctest label runs: it
+exercises the full match/compare path and must always exit 0.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg, code=2):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as exc:
+        fail(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        fail(f"{path} is not valid JSON: {exc}")
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unsupported schema_version "
+             f"{doc.get('schema_version')!r} (want 1)")
+    return doc
+
+
+def flatten(doc, metric_key):
+    """{(binary, benchmark name): time_ms}."""
+    out = {}
+    for run in doc.get("runs", []):
+        binary = run.get("binary", "?")
+        for bench in run.get("benchmarks", []):
+            out[(binary, bench["name"])] = bench[metric_key]
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="regression tolerance in percent (default 25)")
+    parser.add_argument("--metric", choices=("real", "cpu"), default="real")
+    args = parser.parse_args()
+
+    metric_key = f"{args.metric}_time_ms"
+    old = flatten(load(args.old), metric_key)
+    new = flatten(load(args.new), metric_key)
+
+    regressions = []
+    width = max((len(f"{b}:{n}") for b, n in old | new), default=4)
+    print(f"bench_diff: {args.old} -> {args.new} "
+          f"({metric_key}, threshold +{args.threshold:.0f}%)")
+    for key in sorted(old | new):
+        label = f"{key[0]}:{key[1]}"
+        if key not in old:
+            print(f"  {label:<{width}}  (new benchmark, skipped)")
+            continue
+        if key not in new:
+            print(f"  {label:<{width}}  (dropped benchmark, skipped)")
+            continue
+        o, n = old[key], new[key]
+        delta = (100.0 * (n - o) / o) if o else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append(
+                f"{label}: {o:.2f}ms -> {n:.2f}ms ({delta:+.1f}%)")
+        print(f"  {label:<{width}}  {o:10.2f}ms -> {n:10.2f}ms "
+              f"({delta:+6.1f}%){flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"+{args.threshold:.0f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+    print("no regressions past threshold")
+
+
+if __name__ == "__main__":
+    main()

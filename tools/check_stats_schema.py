@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Validates a `wsvc --stats-json` document against schema v1.
+"""Validates a `wsvc --stats-json` document against schema v2.
 
 Usage: check_stats_schema.py STATS_JSON [TRACE_JSON]
 
 Checks the required top-level keys and their types (see
-src/obs/stats_json.h); with a second argument, also checks that the trace
+src/obs/stats_json.h) — schema v2 adds the profiling sections: per-worker
+time ledgers ("workers"), lock-contention counters ("locks"), and the
+phase tree ("phases"). With a second argument, also checks that the trace
 file is a well-formed Chrome trace-event document. Exits non-zero with a
 message on the first problem found, so it can run directly under ctest.
 """
@@ -34,12 +36,15 @@ def check_stats(path):
         "counters": dict,
         "timers_ns": dict,
         "histograms": dict,
+        "workers": dict,
+        "locks": dict,
+        "phases": list,
     }
     for key, ty in required.items():
         expect(key in doc, f"missing required key '{key}'")
         expect(isinstance(doc[key], ty),
                f"'{key}' must be {ty.__name__}, got {type(doc[key]).__name__}")
-    expect(doc["schema_version"] == 1,
+    expect(doc["schema_version"] == 2,
            f"unknown schema_version {doc['schema_version']}")
 
     for name, value in doc["counters"].items():
@@ -57,6 +62,12 @@ def check_stats(path):
                    f"histogram '{name}' missing integer '{field}'")
         expect(isinstance(hist.get("buckets"), list),
                f"histogram '{name}' missing 'buckets' list")
+
+    check_workers(doc["workers"])
+    check_locks(doc["locks"])
+    check_phases(doc["phases"])
+    if "shards" in doc:
+        check_shards_rollup(doc["shards"])
 
     # wsvc-produced documents also carry command/spec/verdict sections;
     # wsvc-merge documents carry a merge-shaped verdict instead.
@@ -90,6 +101,97 @@ def check_stats(path):
         if "coverage" in verdict:
             check_coverage(verdict["coverage"])
     return doc
+
+
+def check_workers(workers):
+    """Validates the per-worker time-ledger section (schema v2)."""
+    fields = ("wall_ns", "exec_ns", "idle_ns", "lock_wait_ns", "drain_ns",
+              "tasks")
+    for name, ledger in workers.items():
+        expect(isinstance(ledger, dict), f"worker '{name}' must be an object")
+        for field in fields:
+            expect(isinstance(ledger.get(field), int) and ledger[field] >= 0,
+                   f"worker '{name}' needs non-negative integer '{field}'")
+        util = ledger.get("utilization")
+        expect(isinstance(util, (int, float)) and not isinstance(util, bool)
+               and util >= 0,
+               f"worker '{name}' needs non-negative number 'utilization'")
+        # Buckets attribute rather than partition (a pool worker's drain
+        # nests inside exec), but none may exceed the wall clock they
+        # happened within — modulo the snapshot race between a bucket add
+        # and the wall read, which stays far under a millisecond.
+        slack = 1_000_000
+        for field in ("exec_ns", "idle_ns", "lock_wait_ns", "drain_ns"):
+            expect(ledger[field] <= ledger["wall_ns"] + slack,
+                   f"worker '{name}': {field} exceeds wall_ns")
+
+
+def check_locks(locks):
+    """Validates the lock-contention section (schema v2)."""
+    for site, counters in locks.items():
+        expect(isinstance(counters, dict),
+               f"lock site '{site}' must be an object")
+        for field in ("acquisitions", "contended", "wait_ns"):
+            expect(isinstance(counters.get(field), int)
+                   and counters[field] >= 0,
+                   f"lock site '{site}' needs non-negative integer "
+                   f"'{field}'")
+        expect(counters["contended"] <= counters["acquisitions"],
+               f"lock site '{site}': contended exceeds acquisitions")
+        expect(counters["contended"] > 0 or counters["wait_ns"] == 0,
+               f"lock site '{site}': wait_ns without contended acquisitions")
+
+
+def check_phases(phases):
+    """Validates the phase-tree section (schema v2)."""
+    paths = set()
+    for i, entry in enumerate(phases):
+        expect(isinstance(entry, dict), f"phases[{i}] must be an object")
+        path = entry.get("path")
+        expect(isinstance(path, str) and path,
+               f"phases[{i}] needs a non-empty string 'path'")
+        expect(path not in paths, f"duplicate phase path '{path}'")
+        paths.add(path)
+        for field in ("total_ns", "self_ns", "count"):
+            expect(isinstance(entry.get(field), int) and entry[field] >= 0,
+                   f"phase '{path}' needs non-negative integer '{field}'")
+        expect(entry["self_ns"] <= entry["total_ns"],
+               f"phase '{path}': self_ns exceeds total_ns")
+
+
+def check_shards_rollup(shards):
+    """Validates the cross-shard roll-up a wsvc-merge document carries."""
+    expect(isinstance(shards, dict), "'shards' must be an object")
+    expect(isinstance(shards.get("count"), int) and shards["count"] >= 0,
+           "'shards.count' must be a non-negative integer")
+    for section in ("counters", "timers_ns", "histograms"):
+        expect(isinstance(shards.get(section), dict),
+               f"'shards.{section}' must be an object")
+    util = shards.get("utilization")
+    expect(isinstance(util, dict), "'shards.utilization' must be an object")
+    for field in ("mean", "min", "max"):
+        value = util.get(field)
+        expect(isinstance(value, (int, float))
+               and not isinstance(value, bool) and value >= 0,
+               f"'shards.utilization.{field}' must be a non-negative number")
+    per_shard = shards.get("per_shard")
+    expect(isinstance(per_shard, list), "'shards.per_shard' must be a list")
+    for i, row in enumerate(per_shard):
+        expect(isinstance(row, dict), f"per_shard[{i}] must be an object")
+        expect(isinstance(row.get("source"), str),
+               f"per_shard[{i}] needs string 'source'")
+        for field in ("wall_ns", "exec_ns", "lock_wait_ns", "workers"):
+            expect(isinstance(row.get(field), int) and row[field] >= 0,
+                   f"per_shard[{i}] needs non-negative integer '{field}'")
+    if per_shard:
+        straggler = shards.get("straggler")
+        expect(isinstance(straggler, dict), "'shards.straggler' missing")
+        expect(straggler.get("source") in
+               {row["source"] for row in per_shard},
+               "'shards.straggler.source' must name a per_shard entry")
+        expect(straggler.get("wall_ns") ==
+               max(row["wall_ns"] for row in per_shard),
+               "'shards.straggler.wall_ns' must be the per_shard maximum")
 
 
 def check_intervals(value, what):
@@ -187,7 +289,10 @@ def main(argv):
     doc = check_stats(argv[1])
     summary = (f"stats OK: {len(doc['counters'])} counters, "
                f"{len(doc['timers_ns'])} timers, "
-               f"{len(doc['histograms'])} histograms")
+               f"{len(doc['histograms'])} histograms, "
+               f"{len(doc['workers'])} workers, "
+               f"{len(doc['locks'])} lock sites, "
+               f"{len(doc['phases'])} phases")
     if len(argv) == 3:
         summary += f"; trace OK: {check_trace(argv[2])} events"
     print(summary)

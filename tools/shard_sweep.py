@@ -111,6 +111,30 @@ def run_merge(merge_bin, pairs, stats_json):
     return proc.returncode
 
 
+def print_rollup_summary(merged_path):
+    """One-line utilization/straggler digest of the merged stats document.
+
+    The heavy rendering lives in tools/perf_report.py; this is just enough
+    for the coordinator's own log to show whether the shards were balanced.
+    """
+    try:
+        with open(merged_path, encoding="utf-8") as f:
+            shards = json.load(f).get("shards")
+    except (OSError, json.JSONDecodeError):
+        return
+    if not shards or not shards.get("per_shard"):
+        return
+    util = shards.get("utilization", {})
+    line = (f"shard_sweep: utilization mean={util.get('mean', 0):.2f} "
+            f"min={util.get('min', 0):.2f} max={util.get('max', 0):.2f} "
+            f"over {util.get('workers', 0)} worker(s)")
+    straggler = shards.get("straggler")
+    if straggler:
+        line += (f"; straggler {os.path.basename(straggler['source'])} "
+                 f"at {straggler['wall_ns'] / 1e9:.2f}s")
+    print(line)
+
+
 def check_against_single(wsvc, wsvc_args, jobs, merged_path, workdir):
     """Differential check: one unsharded run must agree with the merge."""
     single_path = os.path.join(workdir, "single.json")
@@ -192,6 +216,7 @@ def main():
     rc = run_merge(merge_bin, pairs, merged_path)
     if rc == 2:
         sys.exit(2)
+    print_rollup_summary(merged_path)
     if args.check:
         check_against_single(wsvc, wsvc_args, len(ranges), merged_path,
                              workdir)

@@ -73,7 +73,14 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  obs::Registry& registry = obs::Registry::Global();
+  if (!out_path.empty()) registry.set_timing_enabled(true);
+
   std::vector<verifier::ShardReport> shards;
+  // Shard stats texts and their labels, kept for the observability roll-up
+  // (counters/histograms/utilization aggregated across shards).
+  std::vector<std::string> shard_texts;
+  std::vector<std::string> shard_sources;
   for (size_t i = 0; i < positional.size(); i += 2) {
     const std::string& stats_path = positional[i];
     const std::string& ckpt_path = positional[i + 1];
@@ -83,6 +90,8 @@ int main(int argc, char** argv) {
                    text.status().ToString().c_str());
       return 2;
     }
+    shard_texts.push_back(*text);
+    shard_sources.push_back(stats_path);
     auto shard = verifier::ShardFromStatsJson(*text, stats_path);
     if (!shard.ok()) {
       std::fprintf(stderr, "wsvc-merge: %s\n",
@@ -100,7 +109,10 @@ int main(int argc, char** argv) {
     shards.push_back(std::move(*shard));
   }
 
-  auto merged = verifier::MergeShards(shards);
+  auto merged = [&] {
+    obs::PhaseTimer merge_phase("merge");
+    return verifier::MergeShards(shards);
+  }();
   if (!merged.ok()) {
     std::fprintf(stderr, "wsvc-merge: %s\n",
                  merged.status().ToString().c_str());
@@ -128,7 +140,6 @@ int main(int argc, char** argv) {
   }
 
   // Per-shard counters for the obs stats document.
-  obs::Registry& registry = obs::Registry::Global();
   registry.counter("merge.shards").Add(shards.size());
   registry.counter("merge.gaps").Add(merged->gaps.size());
   registry.counter("merge.overlap").Add(merged->overlap);
@@ -140,6 +151,8 @@ int main(int argc, char** argv) {
     std::vector<std::pair<std::string, std::string>> extra;
     extra.emplace_back("verdict",
                        verifier::RenderMergeJson(*merged, rc));
+    extra.emplace_back("shards", verifier::RenderShardStatsRollup(
+                                     shard_texts, shard_sources));
     Status written = obs::WriteStatsJson(registry, "wsvc-merge", out_path,
                                          extra);
     if (!written.ok()) {

@@ -827,6 +827,11 @@ int main(int argc, char** argv) {
   auto trace_path = args.flags.find("--trace-json");
   if (verbose || stats_path != args.flags.end()) {
     obs::Registry::Global().set_timing_enabled(true);
+    // Worker time ledgers ride along with timing: pool workers register
+    // theirs at thread birth, and the main thread's ledger catches the
+    // caller-drains share of ParallelChunks fan-outs.
+    LedgerRegistry::Global().set_enabled(true);
+    LedgerRegistry::Global().RegisterCurrentThread("main");
   }
   if (trace_path != args.flags.end()) {
     obs::TraceRecorder::Global().Enable();
@@ -836,12 +841,18 @@ int main(int argc, char** argv) {
         static_cast<int64_t>(FlagOr(args, "--progress-ms", 1000)));
   }
 
-  auto source = ReadFile(args.spec_file);
+  Result<std::string> source = [&] {
+    obs::PhaseTimer parse_phase("parse");
+    return ReadFile(args.spec_file);
+  }();
   if (!source.ok()) {
     std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  auto comp = spec::ParseComposition(*source);
+  auto comp = [&] {
+    obs::PhaseTimer parse_phase("parse");
+    return spec::ParseComposition(*source);
+  }();
   if (!comp.ok()) {
     std::fprintf(stderr, "spec: %s\n", comp.status().ToString().c_str());
     return 1;
