@@ -231,7 +231,28 @@ int main(int argc, char** argv) {
       "PSPACE for fixed arity, EXPSPACE otherwise: verification cost across "
       "all databases jumps exponentially with relation arity, and grows "
       "with specification size at fixed arity.");
+  // --stats-json PATH (consumed before google-benchmark sees argv): after
+  // the benchmarks run, dump the obs registry as a stats document so the
+  // `perf` ctest chain can schema-check it and assert the flat-path
+  // counters (graph.arena_bytes etc.) are live in an optimized binary.
+  std::string stats_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats-json" && i + 1 < argc) {
+      stats_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!stats_path.empty()) {
+    auto status = wsv::obs::WriteStatsJson(wsv::obs::Registry::Global(),
+                                           "bench_scaling", stats_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_scaling: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "common/ledger.h"
 #include "obs/metrics.h"
+#include "obs/stats_json.h"
 #include "obs/timer.h"
 #include "spec/parser.h"
 
@@ -43,6 +44,11 @@ inline void ExportObsCounters(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(timer.total_nanos()),
                            benchmark::Counter::kAvgIterations);
   }
+  // Peak RSS is a process-lifetime high-water mark, not a per-iteration
+  // quantity — exported unaveraged so run_bench/bench_diff can compare
+  // memory footprints across recordings.
+  state.counters["process.max_rss_kb"] =
+      benchmark::Counter(static_cast<double>(obs::ProcessMaxRssKb()));
 }
 
 /// Parses a composition and aborts on error (bench specs are static).

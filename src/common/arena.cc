@@ -1,0 +1,26 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace wsv {
+
+void Arena::Grow(size_t min_words) {
+  // Recycle a retained chunk when one is big enough (post-Reset path).
+  while (chunk_index_ + 1 < chunks_.size()) {
+    ++chunk_index_;
+    Chunk& next = chunks_[chunk_index_];
+    if (next.words >= min_words) {
+      top_ = next.data.get();
+      end_ = top_ + next.words;
+      return;
+    }
+  }
+  size_t words = std::max(min_words, chunk_bytes_ / sizeof(uint32_t));
+  chunks_.push_back(Chunk{std::make_unique<uint32_t[]>(words), words});
+  capacity_words_ += words;
+  chunk_index_ = chunks_.size() - 1;
+  top_ = chunks_.back().data.get();
+  end_ = top_ + words;
+}
+
+}  // namespace wsv

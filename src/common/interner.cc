@@ -1,21 +1,26 @@
 #include "common/interner.h"
 
 #include <cassert>
+#include <functional>
 
 namespace wsv {
 
 SymbolId Interner::Intern(std::string_view text) {
-  auto it = ids_.find(std::string(text));
-  if (it != ids_.end()) return it->second;
+  size_t hash = std::hash<std::string_view>{}(text);
+  SymbolId found =
+      ids_.Find(hash, [&](uint32_t id) { return texts_[id] == text; });
+  if (found != FlatIdSet::kEmpty) return found;
   SymbolId id = static_cast<SymbolId>(texts_.size());
   texts_.emplace_back(text);
-  ids_.emplace(texts_.back(), id);
+  ids_.Insert(hash, id);
   return id;
 }
 
 SymbolId Interner::Lookup(std::string_view text) const {
-  auto it = ids_.find(std::string(text));
-  return it == ids_.end() ? kInvalidSymbol : it->second;
+  size_t hash = std::hash<std::string_view>{}(text);
+  SymbolId found =
+      ids_.Find(hash, [&](uint32_t id) { return texts_[id] == text; });
+  return found == FlatIdSet::kEmpty ? kInvalidSymbol : found;
 }
 
 const std::string& Interner::Text(SymbolId id) const {

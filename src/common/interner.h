@@ -4,8 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_hash.h"
 
 namespace wsv {
 
@@ -18,6 +19,11 @@ inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
 /// Bidirectional string <-> dense-id mapping. Domain values, relation names
 /// and variable names are interned so that tuples and formulas compare and
 /// hash as integer vectors.
+///
+/// Hash-consed: each string is stored exactly once (in `texts_`), and the
+/// id table is a FlatIdSet probed with the string_view's hash — both hit
+/// and miss paths run without constructing a temporary std::string. The
+/// table holds only ids and hashes, so Interners copy and move freely.
 ///
 /// Not thread-safe; each verification task owns its interners.
 class Interner {
@@ -38,7 +44,7 @@ class Interner {
   size_t size() const { return texts_.size(); }
 
  private:
-  std::unordered_map<std::string, SymbolId> ids_;
+  FlatIdSet ids_;
   std::vector<std::string> texts_;
 };
 

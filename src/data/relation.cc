@@ -29,6 +29,17 @@ bool Relation::Erase(const Tuple& t) {
   return true;
 }
 
+void Relation::AssignSorted(std::vector<Tuple> tuples) {
+  tuples_ = std::move(tuples);
+#ifndef NDEBUG
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    assert(tuples_[i].arity() == arity_ && "tuple arity mismatch");
+    assert((i == 0 || tuples_[i - 1] < tuples_[i]) &&
+           "AssignSorted requires sorted unique tuples");
+  }
+#endif
+}
+
 bool Relation::Contains(const Tuple& t) const {
   return std::binary_search(tuples_.begin(), tuples_.end(), t);
 }

@@ -41,6 +41,13 @@ class Relation {
   /// Removes all tuples.
   void Clear() { tuples_.clear(); }
 
+  /// Replaces the contents wholesale with `tuples`, which must already be
+  /// sorted, duplicate-free, and of matching arity (checked in debug
+  /// builds). The flat-snapshot decode path rebuilds relations from their
+  /// canonical encodings, which are sorted by construction, so re-sorting
+  /// per decode would be pure waste.
+  void AssignSorted(std::vector<Tuple> tuples);
+
   /// Adds every element appearing in some tuple to `domain`.
   void CollectActiveDomain(Domain& domain) const;
 

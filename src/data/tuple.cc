@@ -4,9 +4,9 @@ namespace wsv::data {
 
 std::string Tuple::ToString(const Interner& interner) const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < arity(); ++i) {
     if (i > 0) out += ", ";
-    out += interner.Text(values_[i]);
+    out += interner.Text((*this)[i]);
   }
   out += ")";
   return out;

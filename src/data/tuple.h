@@ -1,7 +1,9 @@
 #ifndef WSVERIFY_DATA_TUPLE_H_
 #define WSVERIFY_DATA_TUPLE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -14,32 +16,92 @@ namespace wsv::data {
 
 /// A fixed-arity tuple of domain elements. Tuples compare lexicographically,
 /// which gives relations (sorted tuple sets) a canonical order.
+///
+/// Storage is inline for arities up to kInline (which covers every schema in
+/// the paper's compositions), so copying a tuple is a 24-byte memcpy instead
+/// of a heap round-trip. Snapshot copies in the transition generator clone
+/// millions of tuples per run; keeping them allocation-free is what makes
+/// the flat hot path flat. Wider tuples transparently spill to the heap.
 class Tuple {
  public:
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(const std::vector<Value>& values) {
+    Assign(values.data(), values.size());
+  }
+  Tuple(std::initializer_list<Value> values) {
+    Assign(values.begin(), values.size());
+  }
+  /// Copies `n` values starting at `data` (used by decode/eval loops that
+  /// build rows in scratch buffers).
+  Tuple(const Value* data, size_t n) { Assign(data, n); }
 
-  size_t arity() const { return values_.size(); }
-  Value operator[](size_t i) const { return values_[i]; }
-  Value& operator[](size_t i) { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  Tuple(const Tuple& other) { Assign(other.data(), other.size_); }
+  Tuple(Tuple&& other) noexcept { StealFrom(other); }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) {
+      Release();
+      Assign(other.data(), other.size_);
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      Release();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  ~Tuple() { Release(); }
 
-  auto begin() const { return values_.begin(); }
-  auto end() const { return values_.end(); }
+  size_t arity() const { return size_; }
+  Value operator[](size_t i) const { return data()[i]; }
+  Value& operator[](size_t i) { return data()[i]; }
+
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
 
   friend bool operator==(const Tuple& a, const Tuple& b) {
-    return a.values_ == b.values_;
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
   }
   friend bool operator<(const Tuple& a, const Tuple& b) {
-    return a.values_ < b.values_;
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
   }
 
   /// Renders "(a, b, c)" using `interner` for element names.
   std::string ToString(const Interner& interner) const;
 
  private:
-  std::vector<Value> values_;
+  // 5 inline Values (20 bytes) + 4-byte size packs into the same 24 bytes
+  // std::vector<Value> occupied, with zero indirection.
+  static constexpr uint32_t kInline = 5;
+
+  Value* data() { return size_ <= kInline ? inline_ : heap_; }
+  const Value* data() const { return size_ <= kInline ? inline_ : heap_; }
+
+  void Assign(const Value* src, size_t n) {
+    size_ = static_cast<uint32_t>(n);
+    Value* dst = size_ <= kInline ? inline_ : (heap_ = new Value[n]);
+    std::copy(src, src + n, dst);
+  }
+  void StealFrom(Tuple& other) noexcept {
+    size_ = other.size_;
+    if (size_ > kInline) {
+      heap_ = other.heap_;
+      other.size_ = 0;
+    } else {
+      std::copy(other.inline_, other.inline_ + size_, inline_);
+    }
+  }
+  void Release() {
+    if (size_ > kInline) delete[] heap_;
+  }
+
+  union {
+    Value inline_[kInline];
+    Value* heap_;
+  };
+  uint32_t size_ = 0;
 };
 
 struct TupleHash {

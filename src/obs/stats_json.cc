@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/ledger.h"
 #include "obs/json_util.h"
 #include "obs/timer.h"
@@ -80,7 +84,27 @@ void RenderPhases(JsonWriter& w) {
   w.EndArray();
 }
 
+void RenderProcess(JsonWriter& w) {
+  w.Key("process").BeginObject();
+  w.Key("max_rss_kb").Uint(ProcessMaxRssKb());
+  w.EndObject();
+}
+
 }  // namespace
+
+size_t ProcessMaxRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<size_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 std::string RenderStatsJson(
     const Registry& registry, const std::string& generator,
@@ -128,6 +152,7 @@ std::string RenderStatsJson(
   RenderWorkers(w);
   RenderLocks(w, registry);
   RenderPhases(w);
+  RenderProcess(w);
 
   for (const auto& [key, json] : extra) {
     w.Key(key).Raw(json);

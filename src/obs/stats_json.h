@@ -13,7 +13,8 @@ namespace wsv::obs {
 /// Version of the stats-JSON document layout. Bump when a required key
 /// changes meaning or disappears; adding keys is backward compatible.
 /// v2 added the profiling sections: workers, locks, phases.
-inline constexpr int kStatsSchemaVersion = 2;
+/// v3 added the process section (peak memory).
+inline constexpr int kStatsSchemaVersion = 3;
 
 /// The stats document always contains these top-level keys
 /// (tools/check_stats_schema.py enforces the same list):
@@ -26,11 +27,17 @@ inline constexpr int kStatsSchemaVersion = 2;
 ///                            drain_ns, tasks, utilization}}
 ///   locks          : {site: {acquisitions, contended, wait_ns}}
 ///   phases         : [{path, total_ns, self_ns, count}]
+///   process        : {max_rss_kb: int}
 /// `workers` snapshots the per-thread time ledgers (utilization is
 /// exec_ns / wall_ns); `locks` regroups the lock.<site>.* counters per
 /// site; `phases` is the flattened phase tree (paths join nested phase
-/// names with '/'). Callers append further sections (command, verdict,
-/// ...) via `extra`.
+/// names with '/'); `process` holds host-side resource peaks (max RSS via
+/// getrusage, in KiB; 0 where unsupported). Callers append further
+/// sections (command, verdict, ...) via `extra`.
+
+/// Peak resident set size of this process in KiB (getrusage ru_maxrss);
+/// 0 on platforms without getrusage.
+size_t ProcessMaxRssKb();
 
 /// Renders the versioned stats document from a registry snapshot.
 /// `extra` entries are (key, pre-rendered JSON value) appended at top level;

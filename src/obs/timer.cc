@@ -60,18 +60,17 @@ struct CachedEdge {
 };
 
 thread_local PhaseNode* t_phase_current = nullptr;
-thread_local std::vector<CachedEdge>* t_edge_cache = nullptr;
+thread_local std::vector<CachedEdge> t_edge_cache;
 
 PhaseNode* ResolveChild(PhaseNode* parent, const char* name) {
-  if (t_edge_cache == nullptr) t_edge_cache = new std::vector<CachedEdge>();
-  for (const CachedEdge& edge : *t_edge_cache) {
+  for (const CachedEdge& edge : t_edge_cache) {
     // Name pointers are per-call-site string literals, so pointer equality
     // is a valid (conservative) cache key; distinct literals with equal
     // text still resolve to one node through PhaseTree::Child's strcmp.
     if (edge.parent == parent && edge.name == name) return edge.node;
   }
   PhaseNode* node = PhaseTree::Global().Child(parent, name);
-  t_edge_cache->push_back(CachedEdge{parent, name, node});
+  t_edge_cache.push_back(CachedEdge{parent, name, node});
   return node;
 }
 

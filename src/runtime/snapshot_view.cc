@@ -83,4 +83,14 @@ fo::MapStructure BuildPropertyStructure(
   return structure;
 }
 
+fo::MapStructure BuildPropertyStructure(
+    const spec::Composition& comp,
+    const std::vector<data::Instance>& databases,
+    const FlatSnapshotCodec& codec, FlatSnapshot flat,
+    const data::Domain& domain) {
+  Snapshot snap;
+  codec.Decode(flat, &snap);
+  return BuildPropertyStructure(comp, databases, snap, domain);
+}
+
 }  // namespace wsv::runtime

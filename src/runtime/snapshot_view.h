@@ -6,6 +6,7 @@
 #include "data/instance.h"
 #include "data/value.h"
 #include "fo/structure.h"
+#include "runtime/flat_snapshot.h"
 #include "runtime/snapshot.h"
 #include "spec/composition.h"
 
@@ -28,6 +29,16 @@ namespace wsv::runtime {
 fo::MapStructure BuildPropertyStructure(
     const spec::Composition& comp,
     const std::vector<data::Instance>& databases, const Snapshot& snap,
+    const data::Domain& domain);
+
+/// As above, but from a canonical flat encoding: decodes into a local
+/// scratch snapshot and builds the same structure. Thread-safe (no shared
+/// mutable state), so parallel leaf evaluation can call it concurrently on
+/// arena-backed spans.
+fo::MapStructure BuildPropertyStructure(
+    const spec::Composition& comp,
+    const std::vector<data::Instance>& databases,
+    const FlatSnapshotCodec& codec, FlatSnapshot flat,
     const data::Domain& domain);
 
 }  // namespace wsv::runtime

@@ -203,6 +203,9 @@ class PrefilterMemo {
   struct Entry {
     bool empty_language = false;
     automata::BuchiAutomaton automaton{0};
+    /// Guard cubes compiled once per restricted automaton and shared by
+    /// every product search (one per valuation) that hits this entry.
+    ProductSearch::GuardTable guards;
   };
 
   /// Looks `key` up, running `compute` under the shard lock on first sight.
@@ -333,6 +336,9 @@ Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
                           ? RestrictAutomaton(task.automaton, lane.rigid_truths)
                           : task.automaton;
         e.empty_language = any_fixed && automata::IsEmptyLanguage(e.automaton);
+        if (!e.empty_language) {
+          e.guards = ProductSearch::CompileGuards(e.automaton);
+        }
         return e;
       });
   obs::Registry& registry = obs::Registry::Global();
@@ -361,7 +367,7 @@ Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
   static obs::Counter& searches = registry.counter("engine.searches");
   searches.Add(1);
   ProductSearch search(ctx.graph, ctx.cache, &entry->automaton,
-                       std::move(leaf_rows), options_.budget);
+                       std::move(leaf_rows), options_.budget, &entry->guards);
   Result<std::optional<LassoWitness>> witness = [&] {
     obs::PhaseTimer ndfs_phase("ndfs");
     return search.FindAcceptedRun(&lane.stats);

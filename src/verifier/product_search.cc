@@ -24,37 +24,143 @@ bool AnyPropositionMentionsPrefix(
   return false;
 }
 
+namespace {
+
+/// Accumulates `e` into a literal cube (props in `pos` must hold, props in
+/// `neg` must not). Returns false when the guard is not a cube or mentions
+/// a proposition outside the 64-bit mask; conflicting masks (kFalse, or
+/// p ∧ ¬p) are fine — they simply never match.
+bool CompileCube(const automata::PropExprPtr& e, uint64_t* pos,
+                 uint64_t* neg) {
+  using Kind = automata::PropExpr::Kind;
+  switch (e->kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      *pos |= 1;
+      *neg |= 1;
+      return true;
+    case Kind::kLit:
+      if (e->prop() >= 64) return false;
+      *pos |= uint64_t{1} << e->prop();
+      return true;
+    case Kind::kNot: {
+      const automata::PropExprPtr& c = e->children()[0];
+      if (c->kind() == Kind::kLit && c->prop() < 64) {
+        *neg |= uint64_t{1} << c->prop();
+        return true;
+      }
+      if (c->kind() == Kind::kTrue) {
+        *pos |= 1;
+        *neg |= 1;
+        return true;
+      }
+      if (c->kind() == Kind::kFalse) return true;
+      return false;
+    }
+    case Kind::kAnd:
+      for (const automata::PropExprPtr& c : e->children()) {
+        if (!CompileCube(c, pos, neg)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ProductSearch::GuardTable ProductSearch::CompileGuards(
+    const automata::BuchiAutomaton& automaton) {
+  // GPVW and protocol complementation emit literal cubes, which the hot
+  // loop then evaluates with two masked compares against the packed
+  // valuation.
+  GuardTable guards(automaton.num_states());
+  for (automata::StateId q = 0; q < automaton.num_states(); ++q) {
+    const std::vector<automata::BuchiTransition>& ts =
+        automaton.transitions_from(q);
+    guards[q].reserve(ts.size());
+    for (const automata::BuchiTransition& t : ts) {
+      CompiledGuard g;
+      if (CompileCube(t.guard, &g.pos, &g.neg)) g.cube = true;
+      guards[q].push_back(g);
+    }
+  }
+  return guards;
+}
+
 ProductSearch::ProductSearch(SnapshotGraph* graph, LeafCache* leaf_cache,
                              const automata::BuchiAutomaton* automaton,
                              std::vector<data::Tuple> leaf_rows,
-                             SearchBudget budget)
+                             SearchBudget budget,
+                             const GuardTable* shared_guards)
     : graph_(graph),
       leaf_cache_(leaf_cache),
       automaton_(automaton),
       leaf_rows_(std::move(leaf_rows)),
-      budget_(budget) {}
-
-Result<const std::vector<bool>*> ProductSearch::Valuation(SnapshotId sid) {
-  if (sid >= valuations_.size()) valuations_.resize(sid + 1);
-  if (!valuations_[sid].has_value()) {
-    std::vector<bool> valuation(leaf_rows_.size(), false);
-    for (size_t p = 0; p < leaf_rows_.size(); ++p) {
-      WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat,
-                           leaf_cache_->Get(sid, p));
-      valuation[p] = sat->rows().Contains(leaf_rows_[p]);
-    }
-    valuations_[sid] = std::move(valuation);
+      budget_(budget),
+      guards_(shared_guards) {
+  if (guards_ == nullptr) {
+    owned_guards_ = CompileGuards(*automaton_);
+    guards_ = &owned_guards_;
   }
-  return &*valuations_[sid];
+  all_cubes_ = true;
+  for (const std::vector<CompiledGuard>& qs : *guards_) {
+    for (const CompiledGuard& g : qs) {
+      if (!g.cube) {
+        all_cubes_ = false;
+        break;
+      }
+    }
+    if (!all_cubes_) break;
+  }
+}
+
+Result<uint64_t> ProductSearch::ValuationBits(SnapshotId sid) {
+  if (sid >= val_ready_.size()) {
+    val_ready_.resize(sid + 1, 0);
+    val_bits_.resize(sid + 1, 0);
+    if (!all_cubes_) valuations_.resize(sid + 1);
+  }
+  if (!val_ready_[sid]) {
+    WSV_ASSIGN_OR_RETURN(const std::vector<std::optional<fo::ValuationSet>>*
+                             sats,
+                         leaf_cache_->GetAll(sid));
+    uint64_t bits = 0;
+    if (all_cubes_) {
+      // Cube guards only read the packed bits — skip the vector<bool>.
+      for (size_t p = 0; p < leaf_rows_.size(); ++p) {
+        if (p < 64 && (*sats)[p]->rows().Contains(leaf_rows_[p])) {
+          bits |= uint64_t{1} << p;
+        }
+      }
+    } else {
+      std::vector<bool> valuation(leaf_rows_.size(), false);
+      for (size_t p = 0; p < leaf_rows_.size(); ++p) {
+        if ((*sats)[p]->rows().Contains(leaf_rows_[p])) {
+          valuation[p] = true;
+          if (p < 64) bits |= uint64_t{1} << p;
+        }
+      }
+      valuations_[sid] = std::move(valuation);
+    }
+    val_bits_[sid] = bits;
+    val_ready_[sid] = 1;
+  }
+  return val_bits_[sid];
 }
 
 ProductSearch::ProductId ProductSearch::InternProduct(SnapshotId sid,
                                                       automata::StateId q) {
   uint64_t key = (static_cast<uint64_t>(sid) << 32) | q;
-  auto it = product_ids_.find(key);
-  if (it != product_ids_.end()) return it->second;
+  size_t hash = HashKey64(key);
+  ProductId found = product_ids_.Find(hash, [&](uint32_t id) {
+    return product_states_[id].first == sid && product_states_[id].second == q;
+  });
+  if (found != FlatIdSet::kEmpty) return found;
   ProductId id = static_cast<ProductId>(product_states_.size());
-  product_ids_.emplace(key, id);
+  product_ids_.Insert(hash, id);
   product_states_.emplace_back(sid, q);
   color_.push_back(Color::kWhite);
   inner_visited_.push_back(false);
@@ -75,15 +181,27 @@ Result<std::vector<ProductSearch::ProductId>> ProductSearch::ProductSuccessors(
   auto [sid, q] = product_states_[pid];
   WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* succs,
                        graph_->Successors(sid));
-  std::vector<SnapshotId> snapshot_succs = *succs;  // stable copy
+  std::vector<SnapshotId> stable;
+  if (!graph_->fully_explored()) {
+    // Lazy graph: interning below may grow the successor table and move
+    // the pointed-to vector. A sealed graph never grows, so the fully
+    // explored (hot) path skips the copy.
+    stable = *succs;
+    succs = &stable;
+  }
+  const std::vector<automata::BuchiTransition>& ts =
+      automaton_->transitions_from(q);
+  const std::vector<CompiledGuard>& compiled = (*guards_)[q];
   std::vector<ProductId> out;
-  for (SnapshotId next_sid : snapshot_succs) {
-    WSV_ASSIGN_OR_RETURN(const std::vector<bool>* valuation,
-                         Valuation(next_sid));
-    for (const automata::BuchiTransition& t :
-         automaton_->transitions_from(q)) {
-      if (!t.guard->Eval(*valuation)) continue;
-      out.push_back(InternProduct(next_sid, t.to));
+  out.reserve(succs->size() + 4);
+  for (SnapshotId next_sid : *succs) {
+    WSV_ASSIGN_OR_RETURN(uint64_t bits, ValuationBits(next_sid));
+    for (size_t k = 0; k < ts.size(); ++k) {
+      const CompiledGuard& g = compiled[k];
+      bool take = g.cube ? (bits & g.pos) == g.pos && (bits & g.neg) == 0
+                         : ts[k].guard->Eval(*valuations_[next_sid]);
+      if (!take) continue;
+      out.push_back(InternProduct(next_sid, ts[k].to));
     }
   }
   std::sort(out.begin(), out.end());
@@ -163,11 +281,18 @@ Result<std::optional<LassoWitness>> ProductSearch::FindAcceptedRun(
   std::vector<SnapshotId> initial_snaps = *init_ptr;
   std::vector<ProductId> initials;
   for (SnapshotId s0 : initial_snaps) {
-    WSV_ASSIGN_OR_RETURN(const std::vector<bool>* v0, Valuation(s0));
+    WSV_ASSIGN_OR_RETURN(uint64_t bits0, ValuationBits(s0));
     for (automata::StateId q0 : automaton_->initial_states()) {
-      for (const automata::BuchiTransition& t :
-           automaton_->transitions_from(q0)) {
-        if (!t.guard->Eval(*v0)) continue;
+      const std::vector<automata::BuchiTransition>& ts0 =
+          automaton_->transitions_from(q0);
+      const std::vector<CompiledGuard>& compiled0 = (*guards_)[q0];
+      for (size_t k = 0; k < ts0.size(); ++k) {
+        const automata::BuchiTransition& t = ts0[k];
+        const CompiledGuard& g = compiled0[k];
+        bool take = g.cube
+                        ? (bits0 & g.pos) == g.pos && (bits0 & g.neg) == 0
+                        : t.guard->Eval(*valuations_[s0]);
+        if (!take) continue;
         ProductId pid = InternProduct(s0, t.to);
         if (std::find(initials.begin(), initials.end(), pid) ==
             initials.end()) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "automata/buchi.h"
+#include "common/flat_hash.h"
 #include "common/interner.h"
 #include "common/run_control.h"
 #include "common/status.h"
@@ -67,12 +68,34 @@ struct LassoWitness {
 /// database.
 class ProductSearch {
  public:
+  /// A transition guard compiled to a literal cube over the (<= 64)
+  /// propositions: the guard holds iff (bits & pos) == pos and
+  /// (bits & neg) == 0 — two masked compares instead of a PropExpr tree
+  /// walk. GPVW and protocol complementation emit exactly such cubes, so
+  /// the fallback (cube == false, walk the tree) is rare.
+  struct CompiledGuard {
+    uint64_t pos = 0;
+    uint64_t neg = 0;
+    bool cube = false;
+  };
+  /// guards[q][k] compiles automaton->transitions_from(q)[k].guard.
+  using GuardTable = std::vector<std::vector<CompiledGuard>>;
+
+  /// Compiles every transition guard of `automaton` once. The table
+  /// depends only on the automaton, so callers that run many searches
+  /// against the same automaton (one per closure valuation) should build
+  /// it once and pass it to every search.
+  static GuardTable CompileGuards(const automata::BuchiAutomaton& automaton);
+
   /// All pointers must outlive the search. `automaton` must be plain
   /// (1 acceptance set). `leaf_rows[i]` is this instance's valuation
   /// projected to leaf i's free variables (sorted), as interned values.
+  /// `shared_guards`, if non-null, must be CompileGuards(*automaton);
+  /// when null the search compiles its own table.
   ProductSearch(SnapshotGraph* graph, LeafCache* leaf_cache,
                 const automata::BuchiAutomaton* automaton,
-                std::vector<data::Tuple> leaf_rows, SearchBudget budget);
+                std::vector<data::Tuple> leaf_rows, SearchBudget budget,
+                const GuardTable* shared_guards = nullptr);
 
   /// Searches for a run of the composition accepted by the automaton.
   /// nullopt = no such run (property holds / protocol satisfied).
@@ -83,7 +106,11 @@ class ProductSearch {
 
   enum class Color : uint8_t { kWhite, kCyan, kBlue };
 
-  Result<const std::vector<bool>*> Valuation(SnapshotId sid);
+  /// Computes (and caches) the leaf valuation of `sid`, returning it packed
+  /// into a bit mask for the compiled cube guards. When some guard is not a
+  /// cube (all_cubes_ == false) the unpacked vector<bool> is additionally
+  /// materialized in valuations_[sid] for PropExpr::Eval.
+  Result<uint64_t> ValuationBits(SnapshotId sid);
   ProductId InternProduct(SnapshotId sid, automata::StateId q);
   Result<std::vector<ProductId>> ProductSuccessors(ProductId pid);
   Result<std::optional<std::vector<ProductId>>> InnerDfs(ProductId seed);
@@ -94,10 +121,24 @@ class ProductSearch {
   std::vector<data::Tuple> leaf_rows_;
   SearchBudget budget_;
 
+  /// Unpacked leaf valuations, materialized only when some guard needs a
+  /// PropExpr tree walk (all_cubes_ == false); the common all-cube case
+  /// never allocates a vector<bool> per snapshot.
   std::vector<std::optional<std::vector<bool>>> valuations_;
+  /// Packed leaf valuation per snapshot (valid where val_ready_), consumed
+  /// by the compiled cube guards.
+  std::vector<uint64_t> val_bits_;
+  std::vector<uint8_t> val_ready_;
+  /// Points at the shared table when one was supplied, else at
+  /// owned_guards_ (compiled in the constructor).
+  const GuardTable* guards_;
+  GuardTable owned_guards_;
+  /// Every guard (including those on initial states) compiled to a cube —
+  /// the search then runs entirely on packed bits.
+  bool all_cubes_ = false;
 
   std::vector<std::pair<SnapshotId, automata::StateId>> product_states_;
-  std::unordered_map<uint64_t, ProductId> product_ids_;
+  FlatIdSet product_ids_;
   std::vector<Color> color_;
   std::vector<bool> inner_visited_;
   size_t transitions_ = 0;

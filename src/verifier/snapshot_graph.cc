@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
-#include <unordered_map>
 #include <utility>
 
 #include "obs/lock_profile.h"
@@ -16,11 +15,9 @@ namespace wsv::verifier {
 
 SnapshotGraph::SnapshotGraph(const runtime::TransitionGenerator* generator,
                              SnapshotNormalization normalization)
-    : generator_(generator), normalization_(std::move(normalization)) {
-  for (Shard& shard : shards_) {
-    shard = Shard(0, ShardHasher{this}, ShardEq{this});
-  }
-}
+    : generator_(generator),
+      normalization_(std::move(normalization)),
+      codec_(&generator->composition()) {}
 
 void SnapshotGraph::Normalize(runtime::Snapshot* snap) const {
   if (!normalization_.keep_mover) snap->mover = runtime::kNoMover;
@@ -41,26 +38,40 @@ void SnapshotGraph::Normalize(runtime::Snapshot* snap) const {
   }
 }
 
-Result<SnapshotId> SnapshotGraph::Intern(runtime::Snapshot snap) {
-  Normalize(&snap);
-  size_t hash = runtime::SnapshotHash{}(snap);
-  Shard& shard = shards_[hash % kShards];
-  auto it = shard.find(Probe{hash, &snap});
-  if (it != shard.end()) {
+SnapshotId SnapshotGraph::InternSpan(const uint32_t* words, uint32_t count,
+                                     size_t hash) {
+  SnapshotId found = intern_.Find(hash, [&](uint32_t id) {
+    return flats_[id] == runtime::FlatSnapshot{words, count};
+  });
+  if (found != FlatIdSet::kEmpty) {
     static obs::Counter& hits =
         obs::Registry::Global().counter("graph.intern_hits");
     hits.Add(1);
-    return *it;
+    return found;
   }
-  SnapshotId id = static_cast<SnapshotId>(snapshots_.size());
-  snapshots_.push_back(std::move(snap));
+  SnapshotId id = static_cast<SnapshotId>(flats_.size());
+  flats_.push_back(runtime::FlatSnapshot{arena_.CopyWords(words, count), count});
   hashes_.push_back(hash);
-  shard.insert(id);
+  intern_.Insert(hash, id);
   successors_.emplace_back();
-  static obs::Counter& interned =
-      obs::Registry::Global().counter("graph.snapshots");
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter& interned = registry.counter("graph.snapshots");
+  static obs::Counter& arena_bytes = registry.counter("graph.arena_bytes");
   interned.Add(1);
+  arena_bytes.Add(count * sizeof(uint32_t));
   return id;
+}
+
+SnapshotId SnapshotGraph::Intern(runtime::Snapshot& snap) {
+  Normalize(&snap);
+  codec_.Encode(snap, &encode_buf_);
+  static obs::Counter& encodes =
+      obs::Registry::Global().counter("graph.encode");
+  encodes.Add(1);
+  size_t hash =
+      runtime::HashFlatSnapshot(encode_buf_.data(), encode_buf_.size());
+  return InternSpan(encode_buf_.data(),
+                    static_cast<uint32_t>(encode_buf_.size()), hash);
 }
 
 Result<const std::vector<SnapshotId>*> SnapshotGraph::Initials() {
@@ -68,10 +79,7 @@ Result<const std::vector<SnapshotId>*> SnapshotGraph::Initials() {
     WSV_ASSIGN_OR_RETURN(std::vector<runtime::Snapshot> snaps,
                          generator_->InitialSnapshots());
     std::vector<SnapshotId> ids;
-    for (runtime::Snapshot& s : snaps) {
-      WSV_ASSIGN_OR_RETURN(SnapshotId id, Intern(std::move(s)));
-      ids.push_back(id);
-    }
+    for (runtime::Snapshot& s : snaps) ids.push_back(Intern(s));
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     initials_ = std::move(ids);
@@ -82,16 +90,15 @@ Result<const std::vector<SnapshotId>*> SnapshotGraph::Initials() {
 Result<const std::vector<SnapshotId>*> SnapshotGraph::Successors(
     SnapshotId sid) {
   if (!successors_[sid].has_value()) {
-    // Copy: Intern below may grow snapshots_ and invalidate references.
-    runtime::Snapshot current = snapshots_[sid];
+    // Decode into the reusable scratch snapshot: the flat span is
+    // arena-stable, so unlike the old object store no defensive copy is
+    // needed before Intern below grows the graph.
+    codec_.Decode(flats_[sid], &decode_scratch_);
     WSV_ASSIGN_OR_RETURN(std::vector<runtime::Snapshot> succ,
-                         generator_->Successors(current));
+                         generator_->Successors(decode_scratch_));
     std::vector<SnapshotId> ids;
     ids.reserve(succ.size());
-    for (runtime::Snapshot& s : succ) {
-      WSV_ASSIGN_OR_RETURN(SnapshotId id, Intern(std::move(s)));
-      ids.push_back(id);
-    }
+    for (runtime::Snapshot& s : succ) ids.push_back(Intern(s));
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     transitions_ += ids.size();
@@ -127,7 +134,7 @@ Result<bool> SnapshotGraph::ExploreAllSerial(size_t max_snapshots,
   while (!frontier.empty()) {
     SnapshotId sid = frontier.front();
     frontier.pop_front();
-    if (sid >= expanded.size()) expanded.resize(snapshots_.size(), false);
+    if (sid >= expanded.size()) expanded.resize(flats_.size(), false);
     if (expanded[sid]) continue;
     expanded[sid] = true;
     if ((++expansions & 0x3FF) == 0) {
@@ -138,7 +145,7 @@ Result<bool> SnapshotGraph::ExploreAllSerial(size_t max_snapshots,
     for (SnapshotId next : *succ) {
       if (next >= expanded.size() || !expanded[next]) frontier.push_back(next);
     }
-    if (snapshots_.size() > max_snapshots) return false;
+    if (flats_.size() > max_snapshots) return false;
   }
   fully_explored_ = true;
   return true;
@@ -146,12 +153,26 @@ Result<bool> SnapshotGraph::ExploreAllSerial(size_t max_snapshots,
 
 namespace {
 
-/// One frontier node's expansion, computed concurrently: its normalized
-/// successor snapshots with their content hashes, or the generator's error.
+/// One frontier node's expansion, computed concurrently: its successors'
+/// canonical encodings (spans into the expanding lane's scratch arena) with
+/// their hashes, or the generator's error. The Snapshot objects themselves
+/// are dropped inside the compute phase — only the flat spans survive to
+/// the merge.
 struct NodeExpansion {
   Status status = Status::Ok();
-  std::vector<runtime::Snapshot> succ;
+  std::vector<runtime::FlatSnapshot> flat;
   std::vector<size_t> hash;
+};
+
+/// Per-lane scratch reused across every frontier node the lane expands (and
+/// across BFS levels): the decoded frontier snapshot, the encode buffer,
+/// and the arena holding this level's candidate spans. Resetting the arena
+/// per level recycles its chunks, so steady-state expansion allocates
+/// nothing for the ~16x of candidates that end up duplicates.
+struct LaneScratch {
+  runtime::Snapshot snap;
+  std::vector<uint32_t> encode;
+  Arena arena;
 };
 
 }  // namespace
@@ -162,21 +183,26 @@ Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
                                                size_t lanes) {
   WSV_ASSIGN_OR_RETURN(const std::vector<SnapshotId>* inits, Initials());
   std::vector<SnapshotId> frontier(inits->begin(), inits->end());
+  std::vector<LaneScratch> scratch(lanes);
 
   while (!frontier.empty()) {
     const size_t n = frontier.size();
 
-    // Compute phase: expand every frontier node concurrently. snapshots_ is
-    // not mutated here, so workers read it without copies or locks; ids are
+    // Compute phase: expand every frontier node concurrently. The graph is
+    // not mutated here — workers read stable flat spans, decode into their
+    // lane scratch, and encode candidates into their lane arena; ids are
     // only assigned in the sequential merge below.
     std::vector<NodeExpansion> expansions(n);
     std::atomic<bool> stop_requested{false};
     obs::TimedMutex stop_mu{"graph.stop"};
     Status stop_status = Status::Ok();
-    const size_t per_chunk = std::max<size_t>(1, std::min<size_t>(64, n / (lanes * 4) + 1));
+    for (LaneScratch& s : scratch) s.arena.Reset();
+    const size_t per_chunk =
+        std::max<size_t>(1, std::min<size_t>(64, n / (lanes * 4) + 1));
     const size_t num_chunks = (n + per_chunk - 1) / per_chunk;
     ThreadPool::ParallelChunks(
         pool, lanes - 1, num_chunks, [&](size_t lane, size_t chunk) {
+          LaneScratch& lane_scratch = scratch[lane];
           const size_t begin = chunk * per_chunk;
           const size_t end = std::min(n, begin + per_chunk);
           for (size_t p = begin; p < end; ++p) {
@@ -192,107 +218,88 @@ Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
               }
             }
             NodeExpansion& out = expansions[p];
-            auto succ = generator_->Successors(snapshots_[frontier[p]]);
+            codec_.Decode(flats_[frontier[p]], &lane_scratch.snap);
+            auto succ = generator_->Successors(lane_scratch.snap);
             if (!succ.ok()) {
               out.status = succ.status();
               continue;
             }
-            out.succ = std::move(succ).value();
-            out.hash.reserve(out.succ.size());
-            for (runtime::Snapshot& s : out.succ) {
+            out.flat.reserve(succ.value().size());
+            out.hash.reserve(succ.value().size());
+            for (runtime::Snapshot& s : succ.value()) {
               Normalize(&s);
-              out.hash.push_back(runtime::SnapshotHash{}(s));
+              codec_.Encode(s, &lane_scratch.encode);
+              const uint32_t* span = lane_scratch.arena.CopyWords(
+                  lane_scratch.encode.data(), lane_scratch.encode.size());
+              out.flat.push_back(runtime::FlatSnapshot{
+                  span, static_cast<uint32_t>(lane_scratch.encode.size())});
+              out.hash.push_back(runtime::HashFlatSnapshot(
+                  lane_scratch.encode.data(), lane_scratch.encode.size()));
             }
           }
         });
     if (!stop_status.ok()) return stop_status;
 
-    // Dedup pass A (parallel per shard): resolve every candidate successor
-    // against its shard — either an already-interned id, or the globally
-    // first candidate with identical content (its representative).
+    // Resolve pass (parallel): probe every candidate against the interned
+    // set as it stood before this level. Hits are final (existing ids never
+    // change); misses are re-probed during the merge, which is the only
+    // place the table grows.
     size_t total = 0;
-    for (const NodeExpansion& exp : expansions) total += exp.succ.size();
-    // Flat candidate table: snapshot + hash pointers in global (frontier
-    // node, successor) order — the order the serial BFS interns in.
+    for (const NodeExpansion& exp : expansions) total += exp.flat.size();
     struct Candidate {
-      runtime::Snapshot* snap;
+      runtime::FlatSnapshot flat;
       size_t hash;
     };
     std::vector<Candidate> candidates;
     candidates.reserve(total);
-    std::array<std::vector<uint32_t>, kShards> shard_candidates;
     for (NodeExpansion& exp : expansions) {
-      for (size_t j = 0; j < exp.succ.size(); ++j) {
-        shard_candidates[exp.hash[j] % kShards].push_back(
-            static_cast<uint32_t>(candidates.size()));
-        candidates.push_back(Candidate{&exp.succ[j], exp.hash[j]});
+      for (size_t j = 0; j < exp.flat.size(); ++j) {
+        candidates.push_back(Candidate{exp.flat[j], exp.hash[j]});
       }
     }
-    constexpr SnapshotId kUnresolved = static_cast<SnapshotId>(-1);
-    std::vector<SnapshotId> resolved(total, kUnresolved);
-    std::vector<uint32_t> representative(total, 0);
+    static obs::Counter& encodes =
+        obs::Registry::Global().counter("graph.encode");
+    encodes.Add(total);
+    std::vector<SnapshotId> resolved(total, FlatIdSet::kEmpty);
+    const size_t resolve_chunk = 1024;
+    const size_t resolve_chunks = (total + resolve_chunk - 1) / resolve_chunk;
     ThreadPool::ParallelChunks(
-        pool, lanes - 1, kShards, [&](size_t, size_t shard_index) {
-          const Shard& shard = shards_[shard_index];
-          // Level-local dedup within the shard: candidate index keyed by
-          // snapshot content, so later duplicates point at the first one.
-          struct CandHasher {
-            const std::vector<Candidate>* cands;
-            size_t operator()(uint32_t g) const { return (*cands)[g].hash; }
-          };
-          struct CandEq {
-            const std::vector<Candidate>* cands;
-            bool operator()(uint32_t a, uint32_t b) const {
-              return *(*cands)[a].snap == *(*cands)[b].snap;
-            }
-          };
-          std::unordered_set<uint32_t, CandHasher, CandEq> fresh(
-              0, CandHasher{&candidates}, CandEq{&candidates});
-          for (uint32_t g : shard_candidates[shard_index]) {
-            auto it = shard.find(Probe{candidates[g].hash, candidates[g].snap});
-            if (it != shard.end()) {
-              resolved[g] = *it;
-              continue;
-            }
-            auto [pos, inserted] = fresh.insert(g);
-            representative[g] = inserted ? g : *pos;
+        pool, lanes - 1, resolve_chunks, [&](size_t, size_t chunk) {
+          const size_t begin = chunk * resolve_chunk;
+          const size_t end = std::min(total, begin + resolve_chunk);
+          for (size_t g = begin; g < end; ++g) {
+            resolved[g] = intern_.Find(candidates[g].hash, [&](uint32_t id) {
+              return flats_[id] == candidates[g].flat;
+            });
           }
         });
 
-    // Merge pass B (sequential): assign ids in exact frontier order — the
+    // Merge pass (sequential): assign ids in exact frontier order — the
     // same order the serial BFS interns in — so ids, counters, transitions,
     // and the budget cut-off are bit-for-bit identical to a serial run.
+    // Unresolved candidates re-probe the (now growing) table, which both
+    // dedups within the level and copies each winner's span into the
+    // persistent arena exactly once.
     obs::Registry& registry = obs::Registry::Global();
     static obs::Counter& intern_hits = registry.counter("graph.intern_hits");
-    static obs::Counter& interned = registry.counter("graph.snapshots");
     static obs::Counter& calls = registry.counter("graph.successor_calls");
     static obs::Counter& edges = registry.counter("graph.transitions");
     static obs::Histogram& fanout =
         registry.histogram("graph.successors_per_snapshot");
-    std::vector<SnapshotId> assigned(total, kUnresolved);
     std::vector<SnapshotId> next_frontier;
+    const size_t before_level = flats_.size();
     for (size_t p = 0, g = 0; p < n; ++p) {
       NodeExpansion& exp = expansions[p];
       WSV_RETURN_IF_ERROR(exp.status);
       std::vector<SnapshotId> ids;
-      ids.reserve(exp.succ.size());
-      for (size_t j = 0; j < exp.succ.size(); ++j, ++g) {
-        SnapshotId id;
-        if (resolved[g] != kUnresolved) {
-          id = resolved[g];
+      ids.reserve(exp.flat.size());
+      for (size_t j = 0; j < exp.flat.size(); ++j, ++g) {
+        SnapshotId id = resolved[g];
+        if (id != FlatIdSet::kEmpty) {
           intern_hits.Add(1);
-        } else if (representative[g] == g) {
-          id = static_cast<SnapshotId>(snapshots_.size());
-          snapshots_.push_back(std::move(exp.succ[j]));
-          hashes_.push_back(exp.hash[j]);
-          shards_[exp.hash[j] % kShards].insert(id);
-          successors_.emplace_back();
-          interned.Add(1);
-          next_frontier.push_back(id);
-          assigned[g] = id;
         } else {
-          id = assigned[representative[g]];
-          intern_hits.Add(1);
+          id = InternSpan(candidates[g].flat.data, candidates[g].flat.size,
+                          candidates[g].hash);
         }
         ids.push_back(id);
       }
@@ -303,7 +310,11 @@ Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
       edges.Add(ids.size());
       fanout.Record(ids.size());
       successors_[frontier[p]] = std::move(ids);
-      if (snapshots_.size() > max_snapshots) return false;
+      if (flats_.size() > max_snapshots) return false;
+    }
+    next_frontier.reserve(flats_.size() - before_level);
+    for (size_t id = before_level; id < flats_.size(); ++id) {
+      next_frontier.push_back(static_cast<SnapshotId>(id));
     }
 
     obs::ProgressMeter::Global().MaybeBeat();
@@ -316,9 +327,8 @@ Result<bool> SnapshotGraph::ExploreAllParallel(size_t max_snapshots,
 
 fo::MapStructure SnapshotGraph::Structure(SnapshotId sid) const {
   return runtime::BuildPropertyStructure(generator_->composition(),
-                                         generator_->databases(),
-                                         snapshots_[sid],
-                                         generator_->domain());
+                                         generator_->databases(), codec_,
+                                         flats_[sid], generator_->domain());
 }
 
 LeafCache::LeafCache(SnapshotGraph* graph, std::vector<fo::FormulaPtr> leaves,
@@ -362,6 +372,20 @@ Result<const fo::ValuationSet*> LeafCache::Get(SnapshotId sid, size_t leaf) {
     hits.Add(1);
   }
   return &*cache_[sid][leaf];
+}
+
+Result<const std::vector<std::optional<fo::ValuationSet>>*> LeafCache::GetAll(
+    SnapshotId sid) {
+  if (sid >= cache_.size()) cache_.resize(sid + 1);
+  if (cache_[sid].empty() && !leaves_.empty()) {
+    WSV_RETURN_IF_ERROR(EvaluateSnapshot(sid));
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& hits =
+        obs::Registry::Global().counter("leafcache.hits");
+    hits.Add(1);
+  }
+  return &cache_[sid];
 }
 
 Status LeafCache::SealAndPopulate(ThreadPool* pool, size_t lanes) {

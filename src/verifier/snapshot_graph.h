@@ -1,18 +1,19 @@
 #ifndef WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_
 #define WSVERIFY_VERIFIER_SNAPSHOT_GRAPH_H_
 
-#include <array>
 #include <atomic>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_hash.h"
 #include "common/interner.h"
 #include "common/run_control.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "fo/eval.h"
 #include "fo/structure.h"
+#include "runtime/flat_snapshot.h"
 #include "runtime/transition.h"
 
 namespace wsv::verifier {
@@ -46,12 +47,16 @@ struct SnapshotNormalization {
 /// `keep_flags` is set (because some proposition observes them), snapshots
 /// differing only there are collapsed.
 ///
-/// Interning is a sharded content-addressed table: snapshots live once in
-/// `snapshots_`, each shard stores SnapshotIds keyed by precomputed content
-/// hash. ExploreAll can run the successor computation level-parallel on a
-/// borrowed ThreadPool; ids are assigned by an ordered per-level merge, so
-/// the id sequence (and every derived witness and statistic) is bit-for-bit
-/// identical to the serial exploration at any job count.
+/// Interned snapshots are stored as canonical flat encodings
+/// (runtime::FlatSnapshot): one contiguous arena-backed uint32 span per
+/// snapshot, deduplicated through an open-addressing id table keyed by the
+/// span hash. Equality on the intern path is a single memcmp and the
+/// Snapshot object graph is only rebuilt (into reusable scratch) when a
+/// node is expanded or a witness is rendered. ExploreAll can run the
+/// successor computation level-parallel on a borrowed ThreadPool; ids are
+/// assigned by an ordered per-level merge, so the id sequence (and every
+/// derived witness and statistic) is bit-for-bit identical to the serial
+/// exploration at any job count.
 class SnapshotGraph {
  public:
   SnapshotGraph(const runtime::TransitionGenerator* generator,
@@ -68,17 +73,29 @@ class SnapshotGraph {
   /// Successor snapshot ids (deduplicated), computed on first use.
   Result<const std::vector<SnapshotId>*> Successors(SnapshotId sid);
 
-  const runtime::Snapshot& snapshot(SnapshotId sid) const {
-    return snapshots_[sid];
+  /// The canonical flat encoding of a snapshot (stable for the graph's
+  /// lifetime; spans live in the graph's arena).
+  runtime::FlatSnapshot flat(SnapshotId sid) const { return flats_[sid]; }
+
+  const runtime::FlatSnapshotCodec& codec() const { return codec_; }
+
+  /// Decodes a snapshot into a fresh object (cold path — witness rendering
+  /// and debugging; the hot paths work on the flat encodings directly).
+  runtime::Snapshot snapshot(SnapshotId sid) const {
+    return codec_.Decode(flats_[sid]);
   }
 
   /// Builds the property-evaluation structure of a snapshot (transient —
   /// structures copy every relation, so they are never cached; LeafCache
-  /// evaluates all leaves in one pass per snapshot instead).
+  /// evaluates all leaves in one pass per snapshot instead). Thread-safe:
+  /// decodes into a local scratch snapshot.
   fo::MapStructure Structure(SnapshotId sid) const;
 
-  size_t size() const { return snapshots_.size(); }
+  size_t size() const { return flats_.size(); }
   size_t transitions_computed() const { return transitions_; }
+
+  /// Bytes of canonical snapshot encodings held in the persistent arena.
+  size_t arena_bytes() const { return arena_.used_bytes(); }
 
   /// Exhaustively explores the reachable configuration graph (BFS), up to
   /// `max_snapshots`. Returns true iff exploration completed; on false the
@@ -98,42 +115,16 @@ class SnapshotGraph {
   bool fully_explored() const { return fully_explored_; }
 
  private:
-  static constexpr size_t kShards = 16;
-
-  /// Transparent probe for shard lookups: a normalized snapshot that may
-  /// not be interned yet, with its precomputed content hash.
-  struct Probe {
-    size_t hash;
-    const runtime::Snapshot* snap;
-  };
-  struct ShardHasher {
-    using is_transparent = void;
-    const SnapshotGraph* graph;
-    size_t operator()(SnapshotId id) const { return graph->hashes_[id]; }
-    size_t operator()(const Probe& probe) const { return probe.hash; }
-  };
-  struct ShardEq {
-    using is_transparent = void;
-    const SnapshotGraph* graph;
-    bool operator()(SnapshotId a, SnapshotId b) const {
-      return graph->snapshots_[a] == graph->snapshots_[b];
-    }
-    bool operator()(const Probe& probe, SnapshotId id) const {
-      return *probe.snap == graph->snapshots_[id];
-    }
-    bool operator()(SnapshotId id, const Probe& probe) const {
-      return *probe.snap == graph->snapshots_[id];
-    }
-    bool operator()(const Probe& a, const Probe& b) const {
-      return *a.snap == *b.snap;
-    }
-  };
-  using Shard = std::unordered_set<SnapshotId, ShardHasher, ShardEq>;
-
   /// Applies the normalization in place (see SnapshotNormalization).
   void Normalize(runtime::Snapshot* snap) const;
 
-  Result<SnapshotId> Intern(runtime::Snapshot snap);
+  /// Normalizes and interns `snap` (via its flat encoding), reusing the
+  /// member encode buffer. `snap` is left in its normalized state.
+  SnapshotId Intern(runtime::Snapshot& snap);
+
+  /// Interns an already-encoded span: returns the existing id or copies the
+  /// span into the persistent arena under a fresh id.
+  SnapshotId InternSpan(const uint32_t* words, uint32_t count, size_t hash);
 
   Result<bool> ExploreAllSerial(size_t max_snapshots, RunControl* control);
   Result<bool> ExploreAllParallel(size_t max_snapshots, RunControl* control,
@@ -141,12 +132,19 @@ class SnapshotGraph {
 
   const runtime::TransitionGenerator* generator_;
   SnapshotNormalization normalization_;
+  runtime::FlatSnapshotCodec codec_;
 
-  std::vector<runtime::Snapshot> snapshots_;
-  /// hashes_[id] is the content hash of snapshots_[id]; shards keep ids
-  /// only, so each snapshot is stored exactly once.
+  /// Canonical encodings: flats_[id] points into arena_; hashes_[id] is its
+  /// span hash, kept so table growth never rehashes content.
+  Arena arena_;
+  std::vector<runtime::FlatSnapshot> flats_;
   std::vector<size_t> hashes_;
-  std::array<Shard, kShards> shards_;
+  FlatIdSet intern_;
+
+  /// Serial-path scratch, reused across every intern/expansion.
+  runtime::Snapshot decode_scratch_;
+  std::vector<uint32_t> encode_buf_;
+
   std::vector<std::optional<std::vector<SnapshotId>>> successors_;
   std::optional<std::vector<SnapshotId>> initials_;
   size_t transitions_ = 0;
@@ -177,6 +175,13 @@ class LeafCache {
 
   /// Satisfying assignments of leaf `leaf` at snapshot `sid`.
   Result<const fo::ValuationSet*> Get(SnapshotId sid, size_t leaf);
+
+  /// All leaves of `sid` at once (indexed by leaf). One hit/miss account
+  /// per call instead of per leaf — the product search's valuation builder
+  /// reads every leaf of a snapshot anyway, and the per-leaf accounting
+  /// (two atomic increments each) dominates the sealed-cache lookup.
+  Result<const std::vector<std::optional<fo::ValuationSet>>*> GetAll(
+      SnapshotId sid);
 
   /// Evaluates every leaf on every snapshot of the (fully explored) graph,
   /// fanning the per-snapshot evaluation out over `pool` (see

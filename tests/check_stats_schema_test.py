@@ -19,7 +19,7 @@ import tempfile
 def base_doc():
     """A minimal valid stats document with a sweep verdict."""
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "generator": "wsvc",
         "counters": {"sweep.databases": 4, "sweep.range_lo": 0},
         "timers_ns": {"verify": {"total_ns": 1000, "count": 1}},
@@ -45,6 +45,7 @@ def base_doc():
             {"path": "total/check_db", "total_ns": 980, "self_ns": 980,
              "count": 1},
         ],
+        "process": {"max_rss_kb": 51200},
         "verdict": {
             "exit_code": 0,
             "kind": "verify",
@@ -72,7 +73,7 @@ def base_doc():
 def merge_doc():
     """A minimal valid stats document with a wsvc-merge verdict."""
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "generator": "wsvc-merge",
         "counters": {"merge.shards": 3, "merge.gaps": 0},
         "timers_ns": {},
@@ -82,6 +83,7 @@ def merge_doc():
         "phases": [
             {"path": "merge", "total_ns": 4000, "self_ns": 4000, "count": 1},
         ],
+        "process": {"max_rss_kb": 20480},
         "shards": {
             "count": 2,
             "counters": {"engine.databases_checked": 4},
@@ -136,12 +138,12 @@ def mutate(doc, path, value):
 DELETE = object()
 
 
-def run_checker(checker, doc):
+def run_checker(checker, doc, extra_args=()):
     with tempfile.NamedTemporaryFile("w", suffix=".json",
                                      delete=False) as f:
         json.dump(doc, f)
         path = f.name
-    proc = subprocess.run([sys.executable, checker, path],
+    proc = subprocess.run([sys.executable, checker, *extra_args, path],
                          capture_output=True, text=True)
     return proc
 
@@ -214,6 +216,15 @@ def main(argv):
          mutate(base_doc(), "phases", DELETE), False),
         ("old schema_version 1",
          mutate(base_doc(), "schema_version", 1), False),
+        ("old schema_version 2",
+         mutate(base_doc(), "schema_version", 2), False),
+        # Schema-v3 process section.
+        ("missing process section",
+         mutate(base_doc(), "process", DELETE), False),
+        ("process max_rss wrong type",
+         mutate(base_doc(), "process.max_rss_kb", "lots"), False),
+        ("process max_rss negative",
+         mutate(base_doc(), "process.max_rss_kb", -1), False),
         ("worker missing lock_wait_ns",
          mutate(base_doc(), "workers.main.lock_wait_ns", DELETE), False),
         ("worker negative exec",
@@ -246,9 +257,16 @@ def main(argv):
          mutate(merge_doc(), "shards.per_shard.0.wall_ns", -1), False),
     ]
 
+    cases += [
+        ("require-counter present", base_doc(), True,
+         ("--require-counter", "sweep.databases")),
+        ("require-counter absent", base_doc(), False,
+         ("--require-counter", "graph.arena_bytes")),
+    ]
+
     failures = 0
-    for name, doc, expect_ok in cases:
-        proc = run_checker(checker, doc)
+    for name, doc, expect_ok, *extra in cases:
+        proc = run_checker(checker, doc, extra[0] if extra else ())
         ok = proc.returncode == 0
         if ok != expect_ok:
             failures += 1

@@ -10,6 +10,8 @@
 
 #include "automata/buchi.h"
 #include "automata/emptiness.h"
+#include "common/arena.h"
+#include "common/flat_hash.h"
 #include "common/interner.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -60,6 +62,79 @@ TEST(Interner, StableDenseIds) {
   EXPECT_EQ(interner.Lookup("beta"), b);
   EXPECT_EQ(interner.Lookup("gamma"), kInvalidSymbol);
   EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, HitPathDoesNotStoreASecondCopy) {
+  Interner interner;
+  // Long enough to defeat the small-string optimization, so an accidental
+  // re-store would move the character buffer.
+  const std::string long_name(128, 'q');
+  SymbolId id = interner.Intern(long_name);
+  const char* stored = interner.Text(id).data();
+
+  // Re-intern the same text from a different heap buffer and from a
+  // substring view with no terminator at the boundary: both must hit
+  // without creating a new entry or touching the stored string.
+  std::string other_buffer = long_name + "suffix";
+  std::string_view view(other_buffer.data(), long_name.size());
+  EXPECT_EQ(interner.Intern(view), id);
+  EXPECT_EQ(interner.Lookup(view), id);
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_EQ(interner.Text(id).data(), stored);
+
+  // Growth (rehash) must not invalidate stored text either — ids index a
+  // stable vector, the hash table holds only ids.
+  for (int i = 0; i < 200; ++i) interner.Intern("sym" + std::to_string(i));
+  EXPECT_EQ(interner.Text(id).data(), stored);
+  EXPECT_EQ(interner.Lookup(long_name), id);
+}
+
+TEST(Arena, CopyWordsIsStableAcrossGrowthAndReset) {
+  Arena arena;
+  std::vector<const uint32_t*> spans;
+  std::vector<std::vector<uint32_t>> originals;
+  for (uint32_t i = 0; i < 100; ++i) {
+    std::vector<uint32_t> words(1 + i % 7, i);
+    spans.push_back(arena.CopyWords(words.data(), words.size()));
+    originals.push_back(std::move(words));
+  }
+  // Earlier spans stay valid while later allocations force chunk growth.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t w = 0; w < originals[i].size(); ++w) {
+      EXPECT_EQ(spans[i][w], originals[i][w]);
+    }
+  }
+  EXPECT_GE(arena.used_bytes(), 100u * sizeof(uint32_t));
+  EXPECT_GE(arena.capacity_bytes(), arena.used_bytes());
+
+  // Reset recycles capacity instead of freeing it: steady-state levels
+  // allocate nothing.
+  size_t capacity = arena.capacity_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  uint32_t one = 42;
+  EXPECT_EQ(arena.CopyWords(&one, 1)[0], 42u);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(FlatIdSet, FindInsertAndGrowth) {
+  FlatIdSet set;
+  std::vector<size_t> hashes;
+  for (uint32_t id = 0; id < 1000; ++id) {
+    size_t hash = HashKey64(id * 2654435761u + 1);
+    hashes.push_back(hash);
+    EXPECT_EQ(set.Find(hash, [&](uint32_t) { return false; }),
+              FlatIdSet::kEmpty);
+    set.Insert(hash, id);
+  }
+  EXPECT_EQ(set.size(), 1000u);
+  for (uint32_t id = 0; id < 1000; ++id) {
+    EXPECT_EQ(set.Find(hashes[id], [&](uint32_t found) { return found == id; }),
+              id);
+  }
+  // A colliding hash whose equality check rejects every candidate misses.
+  EXPECT_EQ(set.Find(hashes[0], [&](uint32_t) { return false; }),
+            FlatIdSet::kEmpty);
 }
 
 TEST(Strings, JoinSplitTrim) {

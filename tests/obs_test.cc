@@ -141,6 +141,7 @@ TEST(StatsJson, ContainsSchemaRequiredKeysAndValidates) {
   for (const char* key :
        {"\"schema_version\"", "\"generator\"", "\"counters\"",
         "\"timers_ns\"", "\"histograms\"", "\"verdict\"",
+        "\"process\"", "\"max_rss_kb\"",
         "\"engine.searches\"", "\"phase.ndfs\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }

@@ -58,10 +58,14 @@ def load_json(path, what):
 
 
 def check_stats_doc(doc, what):
-    for key in ("schema_version", "counters", "workers", "locks", "phases"):
+    for key in ("schema_version", "counters", "workers", "locks", "phases",
+                "process"):
         expect(key in doc, f"{what} missing '{key}'")
-    expect(doc["schema_version"] == 2,
-           f"{what} schema_version is {doc['schema_version']}, want 2")
+    expect(doc["schema_version"] == 3,
+           f"{what} schema_version is {doc['schema_version']}, want 3")
+    rss = doc["process"].get("max_rss_kb")
+    expect(isinstance(rss, int) and rss >= 0,
+           f"{what} process.max_rss_kb must be a non-negative int")
 
 
 def mode_sigint(wsvc, spec_dir, workdir):

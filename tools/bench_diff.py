@@ -12,6 +12,12 @@ exits 1 and lists the offenders. Benchmarks present on only one side are
 reported but never fail the diff — a renamed series should not masquerade
 as a regression.
 
+Peak memory is compared alongside time: when both sides carry the
+process.max_rss_kb counter (run_bench.py documents recorded since the
+bench harness started exporting it), the RSS delta is printed per
+benchmark, and --rss-threshold PCT (off by default) turns RSS growth past
+PCT percent into a failure too.
+
 Self-comparing a document (`bench_diff.py BENCH_scaling.json
 BENCH_scaling.json`) is the smoke test the profiling ctest label runs: it
 exercises the full match/compare path and must always exit 0.
@@ -42,12 +48,13 @@ def load(path):
 
 
 def flatten(doc, metric_key):
-    """{(binary, benchmark name): time_ms}."""
+    """{(binary, benchmark name): (time_ms, max_rss_kb or None)}."""
     out = {}
     for run in doc.get("runs", []):
         binary = run.get("binary", "?")
         for bench in run.get("benchmarks", []):
-            out[(binary, bench["name"])] = bench[metric_key]
+            rss = bench.get("counters", {}).get("process.max_rss_kb")
+            out[(binary, bench["name"])] = (bench[metric_key], rss)
     return out
 
 
@@ -58,6 +65,9 @@ def main():
     parser.add_argument("--threshold", type=float, default=25.0,
                         help="regression tolerance in percent (default 25)")
     parser.add_argument("--metric", choices=("real", "cpu"), default="real")
+    parser.add_argument("--rss-threshold", type=float, default=None,
+                        help="also fail when peak RSS grows past this "
+                             "percent (default: report only)")
     args = parser.parse_args()
 
     metric_key = f"{args.metric}_time_ms"
@@ -76,15 +86,26 @@ def main():
         if key not in new:
             print(f"  {label:<{width}}  (dropped benchmark, skipped)")
             continue
-        o, n = old[key], new[key]
+        (o, o_rss), (n, n_rss) = old[key], new[key]
         delta = (100.0 * (n - o) / o) if o else 0.0
         flag = ""
         if delta > args.threshold:
             flag = "  REGRESSION"
             regressions.append(
                 f"{label}: {o:.2f}ms -> {n:.2f}ms ({delta:+.1f}%)")
+        rss_note = ""
+        if o_rss and n_rss:
+            rss_delta = 100.0 * (n_rss - o_rss) / o_rss
+            rss_note = (f"  rss {o_rss/1024.0:6.1f}mb -> "
+                        f"{n_rss/1024.0:6.1f}mb ({rss_delta:+6.1f}%)")
+            if args.rss_threshold is not None \
+                    and rss_delta > args.rss_threshold:
+                flag = "  REGRESSION"
+                regressions.append(
+                    f"{label}: rss {o_rss:.0f}kb -> {n_rss:.0f}kb "
+                    f"({rss_delta:+.1f}%)")
         print(f"  {label:<{width}}  {o:10.2f}ms -> {n:10.2f}ms "
-              f"({delta:+6.1f}%){flag}")
+              f"({delta:+6.1f}%){rss_note}{flag}")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) past "

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Validates a `wsvc --stats-json` document against schema v2.
+"""Validates a `wsvc --stats-json` document against schema v3.
 
-Usage: check_stats_schema.py STATS_JSON [TRACE_JSON]
+Usage: check_stats_schema.py [--require-counter NAME]... STATS_JSON [TRACE_JSON]
 
 Checks the required top-level keys and their types (see
-src/obs/stats_json.h) — schema v2 adds the profiling sections: per-worker
+src/obs/stats_json.h) — schema v2 added the profiling sections: per-worker
 time ledgers ("workers"), lock-contention counters ("locks"), and the
-phase tree ("phases"). With a second argument, also checks that the trace
-file is a well-formed Chrome trace-event document. Exits non-zero with a
-message on the first problem found, so it can run directly under ctest.
+phase tree ("phases"); v3 added the "process" section (peak memory).
+With a trace argument, also checks that the trace file is a well-formed
+Chrome trace-event document. --require-counter (repeatable) additionally
+fails unless the named counter is present, so perf-smoke ctest entries can
+assert that instrumented paths actually ran. Exits non-zero with a message
+on the first problem found, so it can run directly under ctest.
 """
 
+import argparse
 import json
 import sys
 
@@ -39,12 +43,13 @@ def check_stats(path):
         "workers": dict,
         "locks": dict,
         "phases": list,
+        "process": dict,
     }
     for key, ty in required.items():
         expect(key in doc, f"missing required key '{key}'")
         expect(isinstance(doc[key], ty),
                f"'{key}' must be {ty.__name__}, got {type(doc[key]).__name__}")
-    expect(doc["schema_version"] == 2,
+    expect(doc["schema_version"] == 3,
            f"unknown schema_version {doc['schema_version']}")
 
     for name, value in doc["counters"].items():
@@ -66,6 +71,7 @@ def check_stats(path):
     check_workers(doc["workers"])
     check_locks(doc["locks"])
     check_phases(doc["phases"])
+    check_process(doc["process"])
     if "shards" in doc:
         check_shards_rollup(doc["shards"])
 
@@ -157,6 +163,13 @@ def check_phases(phases):
                    f"phase '{path}' needs non-negative integer '{field}'")
         expect(entry["self_ns"] <= entry["total_ns"],
                f"phase '{path}': self_ns exceeds total_ns")
+
+
+def check_process(process):
+    """Validates the process resource section (schema v3)."""
+    rss = process.get("max_rss_kb")
+    expect(isinstance(rss, int) and rss >= 0,
+           "'process.max_rss_kb' must be a non-negative integer")
 
 
 def check_shards_rollup(shards):
@@ -284,17 +297,30 @@ def check_trace(path):
 
 
 def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
-        fail("usage: check_stats_schema.py STATS_JSON [TRACE_JSON]")
-    doc = check_stats(argv[1])
+    parser = argparse.ArgumentParser(
+        prog="check_stats_schema.py",
+        description="Validate a wsvc --stats-json document (schema v3).")
+    parser.add_argument("stats", help="stats JSON file")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="optional Chrome trace-event JSON file")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this counter is present "
+                             "(repeatable)")
+    args = parser.parse_args(argv[1:])
+    doc = check_stats(args.stats)
+    for name in args.require_counter:
+        expect(name in doc["counters"],
+               f"required counter '{name}' missing from stats document")
     summary = (f"stats OK: {len(doc['counters'])} counters, "
                f"{len(doc['timers_ns'])} timers, "
                f"{len(doc['histograms'])} histograms, "
                f"{len(doc['workers'])} workers, "
                f"{len(doc['locks'])} lock sites, "
-               f"{len(doc['phases'])} phases")
-    if len(argv) == 3:
-        summary += f"; trace OK: {check_trace(argv[2])} events"
+               f"{len(doc['phases'])} phases, "
+               f"max_rss={doc['process']['max_rss_kb']}kb")
+    if args.trace is not None:
+        summary += f"; trace OK: {check_trace(args.trace)} events"
     print(summary)
 
 

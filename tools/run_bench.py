@@ -16,11 +16,16 @@ one document:
       "host": {"cpus": N, "cmdline_filter": ...},
       "runs": [
         {"binary": "bench_scaling",
+         "max_rss_kb": ...,   # peak RSS over the binary's benchmarks
          "benchmarks": [{"name": ..., "real_time_ms": ...,
                          "counters": {...}}, ...]},
         ...
       ]
     }
+
+Each benchmark's counters include process.max_rss_kb (exported by
+ExportObsCounters); the per-run "max_rss_kb" is the maximum across the
+binary's benchmarks and is echoed to stderr next to the run line.
 
 The default output path is BENCH_scaling.json at the repository root, the
 file EXPERIMENTS.md quotes for the scaling tables. Exits non-zero when a
@@ -91,8 +96,11 @@ def run_one(path, bench_filter, extra_args):
             "cpu_time_ms": b.get("cpu_time", 0.0) * scale,
             "counters": counters,
         })
+    max_rss = max((b["counters"].get("process.max_rss_kb", 0)
+                   for b in benchmarks), default=0)
     return {
         "binary": os.path.basename(path),
+        "max_rss_kb": int(max_rss),
         "context": {k: doc.get("context", {}).get(k)
                     for k in ("num_cpus", "mhz_per_cpu",
                               "cpu_scaling_enabled", "library_version")},
@@ -140,6 +148,8 @@ def main():
             sys.stderr.write(f"run_bench: {os.path.basename(path)}: "
                              "filter matched nothing, skipped\n")
             continue
+        sys.stderr.write(f"run_bench: {os.path.basename(path)}: "
+                         f"max_rss={run['max_rss_kb']}kb\n")
         runs.append(run)
 
     doc = {
