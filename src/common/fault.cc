@@ -1,0 +1,175 @@
+#include "common/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace wsv::fault {
+
+namespace {
+
+struct ArmedSite {
+  SiteSpec spec;
+  uint64_t hits = 0;
+  uint64_t injected = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ArmedSite> sites;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Armed-site count gate. 0 = nothing armed. Written only under the
+/// registry mutex; read relaxed from every fault point.
+std::atomic<uint64_t> g_armed{0};
+
+bool ParseOne(const std::string& item, SiteSpec* out) {
+  // site:N[:crash|:fail][:every] — N first, modifiers in any order after.
+  size_t colon = item.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->site = item.substr(0, colon);
+  out->nth = 0;
+  out->mode = Mode::kFail;
+  out->every = false;
+  std::string rest = item.substr(colon + 1);
+  bool saw_nth = false;
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    size_t next = rest.find(':', pos);
+    std::string tok = rest.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (tok == "crash") {
+      out->mode = Mode::kCrash;
+    } else if (tok == "fail") {
+      out->mode = Mode::kFail;
+    } else if (tok == "every") {
+      out->every = true;
+    } else if (!tok.empty() &&
+               tok.find_first_not_of("0123456789") == std::string::npos) {
+      if (saw_nth) return false;
+      out->nth = std::strtoull(tok.c_str(), nullptr, 10);
+      saw_nth = true;
+    } else {
+      return false;
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return saw_nth && out->nth > 0;
+}
+
+/// One-time arm from the environment. Function-local static so the first
+/// fault point anywhere (any thread) performs the parse exactly once.
+void ArmFromEnvOnce() {
+  static const bool armed = [] {
+    const char* spec = std::getenv("WSV_FAULT");
+    if (spec == nullptr || spec[0] == '\0') return false;
+    if (!ArmFromSpec(spec)) {
+      std::fprintf(stderr, "wsv: ignoring malformed WSV_FAULT spec '%s'\n",
+                   spec);
+      return false;
+    }
+    return true;
+  }();
+  (void)armed;
+}
+
+}  // namespace
+
+bool Enabled() {
+  ArmFromEnvOnce();
+  return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+bool ShouldTrigger(const char* site) {
+  Registry& registry = GlobalRegistry();
+  Mode crash_mode = Mode::kFail;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (ArmedSite& armed : registry.sites) {
+      if (armed.spec.site != site) continue;
+      ++armed.hits;
+      bool hit = armed.spec.every ? (armed.hits % armed.spec.nth == 0)
+                                  : (armed.hits == armed.spec.nth);
+      if (!hit) continue;
+      if (armed.spec.mode == Mode::kCrash) {
+        crash_mode = Mode::kCrash;
+      } else {
+        ++armed.injected;
+        fired = true;
+      }
+    }
+  }
+  if (crash_mode == Mode::kCrash) {
+    // Outside the lock: nothing below may allocate or run atexit handlers —
+    // the whole point is to die with half-written state on disk.
+    std::fprintf(stderr, "wsv: fault site '%s' crashing the process "
+                 "(WSV_FAULT)\n", site);
+    std::fflush(stderr);
+    std::_Exit(137);
+  }
+  return fired;
+}
+
+bool ArmFromSpec(const std::string& spec) {
+  std::vector<ArmedSite> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t next = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (!item.empty()) {
+      ArmedSite armed;
+      if (!ParseOne(item, &armed.spec)) return false;
+      parsed.push_back(std::move(armed));
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites = std::move(parsed);
+  g_armed.store(registry.sites.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Reset() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> InjectedCounts() {
+  Registry& registry = GlobalRegistry();
+  std::vector<std::pair<std::string, uint64_t>> out;
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const ArmedSite& armed : registry.sites) {
+    if (armed.injected == 0) continue;
+    // Merge duplicate sites (two specs may name the same site).
+    bool merged = false;
+    for (auto& [site, count] : out) {
+      if (site == armed.spec.site) {
+        count += armed.injected;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.emplace_back(armed.spec.site, armed.injected);
+  }
+  return out;
+}
+
+uint64_t InjectedTotal() {
+  uint64_t total = 0;
+  for (const auto& [site, count] : InjectedCounts()) total += count;
+  return total;
+}
+
+}  // namespace wsv::fault

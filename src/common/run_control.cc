@@ -29,6 +29,8 @@ const char* StopReasonName(StopReason reason) {
       return "db-failures";
     case StopReason::kRangeEnd:
       return "range-end";
+    case StopReason::kMemoryBudget:
+      return "memory-budget";
   }
   return "complete";
 }
@@ -36,7 +38,8 @@ const char* StopReasonName(StopReason reason) {
 bool ParseStopReason(const char* text, StopReason* out) {
   for (StopReason r : {StopReason::kComplete, StopReason::kBudget,
                        StopReason::kDeadline, StopReason::kCanceled,
-                       StopReason::kDbFailures, StopReason::kRangeEnd}) {
+                       StopReason::kDbFailures, StopReason::kRangeEnd,
+                       StopReason::kMemoryBudget}) {
     if (std::strcmp(text, StopReasonName(r)) == 0) {
       *out = r;
       return true;
@@ -57,6 +60,8 @@ StopReason StopReasonFromStatus(const Status& status) {
       return StopReason::kDbFailures;
     case StatusCode::kRangeEnd:
       return StopReason::kRangeEnd;
+    case StatusCode::kMemoryBudget:
+      return StopReason::kMemoryBudget;
     default:
       return StopReason::kComplete;
   }

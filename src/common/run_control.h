@@ -26,11 +26,15 @@ enum class StopReason {
   /// in full while more of the enumeration remains beyond it; the shard is
   /// done with its work unit, not the whole space.
   kRangeEnd,
+  /// A memory budget was hit (simulated OOM via fault injection, or a real
+  /// allocation failure during arena growth); the run wound down with the
+  /// completed prefix intact instead of crashing.
+  kMemoryBudget,
 };
 
 /// Stable lowercase names used in verdict JSON and checkpoints
 /// ("complete", "budget", "deadline", "canceled", "db-failures",
-/// "range-end").
+/// "range-end", "memory-budget").
 const char* StopReasonName(StopReason reason);
 
 /// Parses a StopReasonName back; false when `text` matches no reason.
@@ -81,7 +85,8 @@ class RunControl {
   /// partial results" statuses, as opposed to hard errors.
   static bool IsStopStatus(const Status& status) {
     return status.code() == StatusCode::kDeadlineExceeded ||
-           status.code() == StatusCode::kCanceled;
+           status.code() == StatusCode::kCanceled ||
+           status.code() == StatusCode::kMemoryBudget;
   }
 
   /// Clears the cancel flag and disarms the deadline (tests, reuse).

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PartialFailure";
     case StatusCode::kRangeEnd:
       return "RangeEnd";
+    case StatusCode::kMemoryBudget:
+      return "MemoryBudget";
   }
   return "Unknown";
 }

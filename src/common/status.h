@@ -41,6 +41,10 @@ enum class StatusCode {
   /// --valuation-range) with more work remaining beyond it; the shard's
   /// verdict covers exactly its range.
   kRangeEnd,
+  /// The run hit a memory budget (simulated OOM via the arena fault site,
+  /// or a real allocation failure during arena growth); results are
+  /// partial but sound, like a deadline stop.
+  kMemoryBudget,
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -87,6 +91,9 @@ class Status {
   }
   static Status RangeEnd(std::string m) {
     return Status(StatusCode::kRangeEnd, std::move(m));
+  }
+  static Status MemoryBudget(std::string m) {
+    return Status(StatusCode::kMemoryBudget, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/ledger.h"
 
 namespace wsv {
@@ -156,6 +157,12 @@ void ThreadPool::WorkerLoop() {
     int64_t exec_start = ledger != nullptr ? LedgerRegistry::WallNanos() : 0;
     if (ledger != nullptr) ledger->in_task = true;
     try {
+      // The task boundary doubles as a fault site: an injected throw here
+      // exercises exactly the isolation a misbehaving task would.
+      if (WSV_FAULT_POINT("pool.task")) {
+        throw std::runtime_error(
+            "pool task failed (injected fault 'pool.task')");
+      }
       task.fn();
     } catch (...) {
       error = std::current_exception();

@@ -7,6 +7,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/fault.h"
 #include "common/ledger.h"
 #include "obs/json_util.h"
 #include "obs/timer.h"
@@ -117,6 +118,17 @@ std::string RenderStatsJson(
   w.Key("counters").BeginObject();
   for (const auto& [name, value] : registry.CounterValues()) {
     w.Key(name).Uint(value);
+  }
+  // Injected-fault counts live in the fault registry (common has no obs
+  // dependency) and are folded into the counters section at render time,
+  // so chaos runs are auditable from their stats documents alone.
+  if (fault::Enabled()) {
+    uint64_t injected_total = 0;
+    for (const auto& [site, count] : fault::InjectedCounts()) {
+      w.Key("fault.injected." + site).Uint(count);
+      injected_total += count;
+    }
+    w.Key("fault.injected").Uint(injected_total);
   }
   w.EndObject();
 

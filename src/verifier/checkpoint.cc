@@ -1,18 +1,30 @@
 #include "verifier/checkpoint.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace wsv::verifier {
 
 namespace {
 
 constexpr char kMagic[] = "wsv-checkpoint";
-constexpr int kVersion = 2;
-// Prefix-style files from before interval coverage; still readable.
+constexpr int kVersion = 3;
+// Older formats, still readable: v2 interval coverage without the CRC
+// trailer, v1 prefix-style.
+constexpr int kVersionIntervals = 2;
 constexpr int kVersionPrefix = 1;
 
 Status Corrupt(const std::string& path, const std::string& why) {
@@ -20,7 +32,53 @@ Status Corrupt(const std::string& path, const std::string& why) {
                             why + "); delete it or rerun without --resume");
 }
 
+/// Flushes userspace + kernel buffers of `f` to stable storage. Returns
+/// false on any failure.
+bool FlushAndSync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  if (fsync(fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+/// fsyncs the directory containing `path` so a just-renamed entry is
+/// durable. Best-effort on platforms without directory fds.
+void SyncParentDir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    fsync(fd);
+    close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
 }  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 std::vector<IndexInterval> NormalizeIntervals(std::vector<IndexInterval> set) {
   set.erase(std::remove_if(set.begin(), set.end(),
@@ -143,60 +201,122 @@ Status WriteCheckpoint(const std::string& path, const Checkpoint& cp) {
   covered = NormalizeIntervals(std::move(covered));
   const uint64_t prefix = ContiguousPrefix(covered);
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      return Status::NotFound("cannot open checkpoint file for writing: " +
-                              tmp);
-    }
-    out << kMagic << ' ' << kVersion << '\n';
-    out << "fingerprint "
-        << (cp.fingerprint.empty() ? "-" : cp.fingerprint) << '\n';
-    out << "completed_prefix " << prefix << '\n';
-    out << "covered " << IntervalsToString(covered) << '\n';
-    out << "unit " << (cp.unit.empty() ? "database" : cp.unit) << '\n';
-    out << "failed";
-    if (cp.failed_indices.empty()) {
-      out << " -";
-    } else {
-      for (size_t i = 0; i < cp.failed_indices.size(); ++i) {
-        out << (i == 0 ? " " : ",") << cp.failed_indices[i];
-      }
-    }
-    out << '\n';
-    out << "databases_completed " << cp.databases_completed << '\n';
-    out << "stop_reason " << cp.stop_reason << '\n';
-    out << "end\n";
-    out.flush();
-    if (!out) {
-      return Status::Internal("failed writing checkpoint file: " + tmp);
+  // The whole document is built in memory first: the CRC trailer covers
+  // every byte before it, and the fault site below needs a well-defined
+  // "half written" prefix to crash on.
+  std::ostringstream body;
+  body << kMagic << ' ' << kVersion << '\n';
+  body << "fingerprint "
+       << (cp.fingerprint.empty() ? "-" : cp.fingerprint) << '\n';
+  body << "completed_prefix " << prefix << '\n';
+  body << "covered " << IntervalsToString(covered) << '\n';
+  body << "unit " << (cp.unit.empty() ? "database" : cp.unit) << '\n';
+  body << "failed";
+  if (cp.failed_indices.empty()) {
+    body << " -";
+  } else {
+    for (size_t i = 0; i < cp.failed_indices.size(); ++i) {
+      body << (i == 0 ? " " : ",") << cp.failed_indices[i];
     }
   }
+  body << '\n';
+  body << "databases_completed " << cp.databases_completed << '\n';
+  body << "stop_reason " << cp.stop_reason << '\n';
+  std::string doc = body.str();
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof(crc_line), "crc32 %08x\n", Crc32(doc));
+  doc += crc_line;
+  doc += "end\n";
+
+  const std::string tmp = path + ".tmp";
+  // A previous writer may have crashed between opening and renaming; its
+  // stale temp must not shadow this write or linger forever.
+  std::remove(tmp.c_str());
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::NotFound("cannot open checkpoint file for writing: " +
+                            tmp);
+  }
+  // Write in two halves with the fault site between them: in crash mode the
+  // process dies with a torn temp file flushed to disk (what a power cut
+  // mid-write leaves); in fail mode this simulates a plain IO error.
+  const size_t half = doc.size() / 2;
+  bool write_ok = std::fwrite(doc.data(), 1, half, out) == half &&
+                  std::fflush(out) == 0;
+  if (write_ok && WSV_FAULT_POINT("checkpoint.write.io")) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return Status::Internal(
+        "checkpoint write failed (injected fault 'checkpoint.write.io'): " +
+        tmp);
+  }
+  write_ok = write_ok &&
+             std::fwrite(doc.data() + half, 1, doc.size() - half, out) ==
+                 doc.size() - half &&
+             FlushAndSync(out);
+  if (std::fclose(out) != 0) write_ok = false;
+  if (!write_ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("failed writing checkpoint file: " + tmp);
+  }
+  // Keep the previous good checkpoint as the recovery fallback. Best
+  // effort: the first write has nothing to back up. A crash between the
+  // two renames leaves only the .bak, which recovery also handles.
+  std::rename(path.c_str(), (path + ".bak").c_str());
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal("failed renaming checkpoint '" + tmp +
                             "' over '" + path + "'");
   }
+  // The rename is only durable once the directory entry is, too.
+  SyncParentDir(path);
   return Status::Ok();
 }
 
 Result<Checkpoint> ReadCheckpoint(const std::string& path,
                                   const std::string& expected_fingerprint) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open checkpoint file: " + path);
+  if (WSV_FAULT_POINT("checkpoint.read.io")) {
+    return Corrupt(path, "injected fault 'checkpoint.read.io'");
+  }
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open checkpoint file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
 
   Checkpoint cp;
   std::string line;
   int version = -1;
 
-  if (!std::getline(in, line)) return Corrupt(path, "empty file");
+  // Line-by-line over the in-memory buffer, tracking byte offsets: the v3
+  // CRC trailer covers every byte before its own line.
+  size_t cursor = 0;
+  auto next_line = [&text, &cursor](std::string* out, size_t* start) {
+    if (cursor >= text.size()) return false;
+    *start = cursor;
+    size_t nl = text.find('\n', cursor);
+    if (nl == std::string::npos) {
+      *out = text.substr(cursor);
+      cursor = text.size();
+    } else {
+      *out = text.substr(cursor, nl - cursor);
+      cursor = nl + 1;
+    }
+    return true;
+  };
+
+  size_t line_start = 0;
+  if (!next_line(&line, &line_start)) return Corrupt(path, "empty file");
   {
     std::istringstream header(line);
     std::string magic;
     header >> magic >> version;
     if (magic != kMagic) return Corrupt(path, "bad magic");
-    if (version != kVersion && version != kVersionPrefix) {
+    if (version != kVersion && version != kVersionIntervals &&
+        version != kVersionPrefix) {
       return Corrupt(path, "unsupported version " + std::to_string(version));
     }
   }
@@ -204,7 +324,8 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
   bool saw_end = false;
   bool saw_prefix = false;
   bool saw_covered = false;
-  while (std::getline(in, line)) {
+  bool saw_crc = false;
+  while (next_line(&line, &line_start)) {
     if (line == "end") {
       saw_end = true;
       break;
@@ -240,6 +361,29 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
       }
     } else if (key == "stop_reason") {
       fields >> cp.stop_reason;
+    } else if (key == "crc32") {
+      std::string hex;
+      fields >> hex;
+      uint32_t recorded = 0;
+      try {
+        size_t used = 0;
+        recorded = static_cast<uint32_t>(std::stoul(hex, &used, 16));
+        if (used != hex.size() || hex.empty()) {
+          throw std::invalid_argument(hex);
+        }
+      } catch (...) {
+        return Corrupt(path, "non-hex crc32 '" + hex + "'");
+      }
+      uint32_t actual =
+          Crc32(std::string_view(text.data(), line_start));
+      if (actual != recorded) {
+        char diag[64];
+        std::snprintf(diag, sizeof(diag),
+                      "crc mismatch: recorded %08x, actual %08x", recorded,
+                      actual);
+        return Corrupt(path, diag);
+      }
+      saw_crc = true;
     } else if (key == "failed") {
       std::string list;
       fields >> list;
@@ -260,8 +404,11 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
   }
   if (!saw_end) return Corrupt(path, "truncated: missing end marker");
   if (!saw_prefix) return Corrupt(path, "missing completed_prefix");
-  if (version >= kVersion && !saw_covered) {
+  if (version >= kVersionIntervals && !saw_covered) {
     return Corrupt(path, "missing covered intervals");
+  }
+  if (version >= kVersion && !saw_crc) {
+    return Corrupt(path, "missing crc32 trailer");
   }
   if (!saw_covered && cp.completed_prefix > 0) {
     // v1 file: the prefix is the whole story.
@@ -282,6 +429,35 @@ Result<Checkpoint> ReadCheckpoint(const std::string& path,
         " != " + expected_fingerprint + "); refusing to resume");
   }
   return cp;
+}
+
+Result<RecoveredCheckpoint> ReadCheckpointWithRecovery(
+    const std::string& path, const std::string& expected_fingerprint) {
+  Result<Checkpoint> primary = ReadCheckpoint(path, expected_fingerprint);
+  if (primary.ok()) {
+    return RecoveredCheckpoint{std::move(primary).value(), false};
+  }
+  // A fingerprint mismatch is not damage — the file is intact and belongs
+  // to a different problem; falling back would be wrong, not resilient.
+  if (primary.status().code() == StatusCode::kInvalidSpec) {
+    return primary.status();
+  }
+  const std::string bak = path + ".bak";
+  Result<Checkpoint> backup = ReadCheckpoint(bak, expected_fingerprint);
+  if (backup.ok()) {
+    obs::Registry::Global().counter("checkpoint.recoveries").Add(1);
+    std::fprintf(stderr,
+                 "wsv: checkpoint '%s' unusable (%s); recovered from '%s'\n",
+                 path.c_str(), primary.status().message().c_str(),
+                 bak.c_str());
+    return RecoveredCheckpoint{std::move(backup).value(), true};
+  }
+  if (backup.status().code() == StatusCode::kInvalidSpec) {
+    return backup.status();
+  }
+  return Status(primary.status().code(),
+                primary.status().message() + "; backup '" + bak +
+                    "' also unusable: " + backup.status().message());
 }
 
 std::string FingerprintParts(std::initializer_list<std::string_view> parts) {

@@ -89,20 +89,44 @@ struct Checkpoint {
   std::string unit = "database";
 };
 
-/// Atomically persists `cp` to `path`: the document is written to
-/// "<path>.tmp" and renamed over the target, so readers never observe a
-/// torn file and a crash mid-write leaves the previous checkpoint intact.
-/// Writes format version 2 (interval coverage).
+/// Atomically and durably persists `cp` to `path`. The document is written
+/// to "<path>.tmp" (any stale temp from a crashed writer is removed first),
+/// fsynced, renamed over the target, and the containing directory is
+/// fsynced so the publish survives power loss. The previous good checkpoint
+/// is kept as "<path>.bak" for recovery. Writes format version 3: the v2
+/// interval coverage plus a CRC32 content trailer, so a torn or bit-flipped
+/// file is detected on read instead of being trusted.
 Status WriteCheckpoint(const std::string& path, const Checkpoint& cp);
 
-/// Parses a checkpoint written by WriteCheckpoint — version 2, or a v1
-/// prefix-style file, which is lifted to covered = [0, completed_prefix).
-/// Corrupted, truncated (missing the trailing "end" marker) or
-/// unknown-version files are rejected with kParseError; when
-/// `expected_fingerprint` is non-empty, a mismatch is rejected with
-/// kInvalidSpec.
+/// Parses a checkpoint written by WriteCheckpoint — version 3, a v2
+/// interval file, or a v1 prefix-style file, which is lifted to
+/// covered = [0, completed_prefix). Corrupted, truncated (missing the
+/// trailing "end" marker), CRC-mismatched (v3) or unknown-version files are
+/// rejected with kParseError; when `expected_fingerprint` is non-empty, a
+/// mismatch is rejected with kInvalidSpec.
 Result<Checkpoint> ReadCheckpoint(const std::string& path,
                                   const std::string& expected_fingerprint);
+
+/// ReadCheckpoint result plus where it came from.
+struct RecoveredCheckpoint {
+  Checkpoint checkpoint;
+  /// True when the primary file was unusable and "<path>.bak" supplied the
+  /// data (the `checkpoint.recoveries` counter is bumped alongside).
+  bool recovered_from_backup = false;
+};
+
+/// ReadCheckpoint with automatic fallback: when `path` is corrupted or
+/// missing, "<path>.bak" (the previous good checkpoint the writer keeps) is
+/// tried before giving up, so one torn write costs one checkpoint interval
+/// of progress instead of the whole run. A fingerprint mismatch on either
+/// file stays a hard kInvalidSpec error — recovery must never resurrect a
+/// different problem's progress.
+Result<RecoveredCheckpoint> ReadCheckpointWithRecovery(
+    const std::string& path, const std::string& expected_fingerprint);
+
+/// CRC32 (IEEE 802.3, reflected) over `data` — the checksum the v3
+/// checkpoint trailer carries. Exposed for tests that forge corruption.
+uint32_t Crc32(std::string_view data);
 
 /// FNV-1a-64 over the concatenation of `parts` (length-prefixed, so part
 /// boundaries are unambiguous), rendered as 16 hex digits. Used to

@@ -1,9 +1,12 @@
 #include "verifier/merge.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "obs/json_util.h"
 
@@ -19,90 +22,94 @@ uint64_t IntervalsLength(const std::vector<IndexInterval>& set) {
 
 }  // namespace
 
-Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards) {
-  if (shards.empty()) {
-    return Status::InvalidSpec("merge needs at least one shard report");
-  }
-  MergeReport merged;
-  merged.unit = shards[0].unit;
-
-  // Fingerprint and unit compatibility: shards that verified different
+Status FoldShard(IncrementalMergeState* state, const ShardReport& shard) {
+  // Unit and fingerprint compatibility: shards that verified different
   // problems (or different work units) must never be unioned — the indices
   // would mean different things.
-  for (size_t i = 0; i < shards.size(); ++i) {
-    const ShardReport& shard = shards[i];
-    if (shard.unit != merged.unit) {
-      return Status::InvalidSpec(
-          "shard '" + shard.source + "' covers unit '" + shard.unit +
-          "' but shard '" + shards[0].source + "' covers '" + merged.unit +
-          "' — these runs cannot merge");
-    }
-    if (shard.fingerprint.empty()) {
-      merged.warnings.push_back("shard '" + shard.source +
-                                "' carries no fingerprint; compatibility "
-                                "with the other shards is unchecked");
-      continue;
-    }
-    if (merged.fingerprint.empty()) {
-      merged.fingerprint = shard.fingerprint;
-    } else if (shard.fingerprint != merged.fingerprint) {
-      return Status::InvalidSpec(
-          "fingerprint mismatch: shard '" + shard.source + "' has " +
-          shard.fingerprint + " but an earlier shard has " +
-          merged.fingerprint + " — the runs verified different problems");
+  if (state->shards == 0) {
+    state->unit = shard.unit;
+  } else if (shard.unit != state->unit) {
+    return Status::InvalidSpec(
+        "shard '" + shard.source + "' covers unit '" + shard.unit +
+        "' but an earlier shard covers '" + state->unit +
+        "' — these runs cannot merge");
+  }
+  if (shard.fingerprint.empty()) {
+    state->warnings.push_back("shard '" + shard.source +
+                              "' carries no fingerprint; compatibility "
+                              "with the other shards is unchecked");
+  } else if (state->fingerprint.empty()) {
+    state->fingerprint = shard.fingerprint;
+  } else if (shard.fingerprint != state->fingerprint) {
+    return Status::InvalidSpec(
+        "fingerprint mismatch: shard '" + shard.source + "' has " +
+        shard.fingerprint + " but an earlier shard has " +
+        state->fingerprint + " — the runs verified different problems");
+  }
+
+  // Union coverage; the multiplicity excess across all folds is the
+  // overlap, computed at finalize from the running length sum.
+  std::vector<IndexInterval> covered = NormalizeIntervals(shard.covered);
+  state->sum_lengths += IntervalsLength(covered);
+  for (const IndexInterval& iv : covered) {
+    AddInterval(&state->covered, iv.first, iv.second);
+  }
+  if (shard.stop_reason == "complete") {
+    state->any_complete = true;
+    for (const IndexInterval& iv : covered) {
+      state->complete_end = std::max(state->complete_end, iv.second);
     }
   }
 
-  // Union coverage; the multiplicity excess is the overlap (duplicated
-  // work — deduplicate and warn, the verdicts still agree by determinism).
-  uint64_t sum_lengths = 0;
-  bool any_complete = false;
-  uint64_t complete_end = 0;
-  for (const ShardReport& shard : shards) {
-    std::vector<IndexInterval> covered = NormalizeIntervals(shard.covered);
-    sum_lengths += IntervalsLength(covered);
-    for (const IndexInterval& iv : covered) {
-      AddInterval(&merged.covered, iv.first, iv.second);
-    }
-    if (shard.stop_reason == "complete") {
-      any_complete = true;
-      for (const IndexInterval& iv : covered) {
-        complete_end = std::max(complete_end, iv.second);
-      }
+  // Witness: the globally lowest (db, valuation) pair is exactly what one
+  // unsharded deterministic sweep would have stopped at.
+  if (shard.has_witness) {
+    bool lower =
+        !state->has_witness ||
+        shard.witness_db_index < state->witness_db_index ||
+        (shard.witness_db_index == state->witness_db_index &&
+         shard.witness_valuation_index < state->witness_valuation_index);
+    if (lower) {
+      state->has_witness = true;
+      state->witness_db_index = shard.witness_db_index;
+      state->witness_valuation_index = shard.witness_valuation_index;
+      state->witness_shard = state->shards;
+      state->witness_source = shard.source;
     }
   }
-  merged.overlap = sum_lengths - IntervalsLength(merged.covered);
+
+  // Failed indices: sorted deduplicated union.
+  state->failed.insert(state->failed.end(), shard.failed_indices.begin(),
+                       shard.failed_indices.end());
+  std::sort(state->failed.begin(), state->failed.end());
+  state->failed.erase(std::unique(state->failed.begin(), state->failed.end()),
+                      state->failed.end());
+
+  ++state->shards;
+  return Status::Ok();
+}
+
+MergeReport FinalizeMerge(const IncrementalMergeState& state) {
+  MergeReport merged;
+  merged.unit = state.unit;
+  merged.fingerprint = state.fingerprint;
+  merged.covered = state.covered;
+  merged.failed_indices = state.failed;
+  merged.warnings = state.warnings;
+  merged.has_witness = state.has_witness;
+  merged.witness_db_index = state.witness_db_index;
+  merged.witness_valuation_index = state.witness_valuation_index;
+  merged.witness_shard = static_cast<size_t>(state.witness_shard);
+
+  // The multiplicity excess is the overlap (duplicated work — deduplicate
+  // and warn, the verdicts still agree by determinism).
+  merged.overlap = state.sum_lengths - IntervalsLength(merged.covered);
   if (merged.overlap > 0) {
     merged.warnings.push_back(
         "shards overlap on " + std::to_string(merged.overlap) + " " +
         merged.unit + " index(es); deduplicated (determinism makes the "
         "duplicate verdicts agree, but the work was wasted)");
   }
-
-  // Witness: the globally lowest (db, valuation) pair is exactly what one
-  // unsharded deterministic sweep would have stopped at.
-  for (size_t i = 0; i < shards.size(); ++i) {
-    const ShardReport& shard = shards[i];
-    if (!shard.has_witness) continue;
-    bool lower =
-        !merged.has_witness ||
-        shard.witness_db_index < merged.witness_db_index ||
-        (shard.witness_db_index == merged.witness_db_index &&
-         shard.witness_valuation_index < merged.witness_valuation_index);
-    if (lower) {
-      merged.has_witness = true;
-      merged.witness_db_index = shard.witness_db_index;
-      merged.witness_valuation_index = shard.witness_valuation_index;
-      merged.witness_shard = i;
-    }
-  }
-
-  // Failed indices: sorted union across shards.
-  std::set<uint64_t> failed;
-  for (const ShardReport& shard : shards) {
-    failed.insert(shard.failed_indices.begin(), shard.failed_indices.end());
-  }
-  merged.failed_indices.assign(failed.begin(), failed.end());
 
   // Completeness attestation. The enumeration's true size is only known
   // when some shard ran its enumerator to exhaustion (stop_reason
@@ -113,13 +120,13 @@ Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards) {
     end = std::max(end, iv.second);
   }
   merged.gaps = IntervalGaps(merged.covered, end);
-  if (any_complete && end > complete_end) {
+  if (state.any_complete && end > state.complete_end) {
     merged.warnings.push_back(
         "a shard covers indices beyond the exhaustion point " +
-        std::to_string(complete_end) +
+        std::to_string(state.complete_end) +
         " attested by a 'complete' shard; reports are inconsistent");
   }
-  merged.complete = any_complete && merged.gaps.empty() && end > 0 &&
+  merged.complete = state.any_complete && merged.gaps.empty() && end > 0 &&
                     ContiguousPrefix(merged.covered) == end &&
                     merged.failed_indices.empty();
 
@@ -133,7 +140,7 @@ Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards) {
       merged.warnings.push_back(
           "coverage has gaps (" + IntervalsToString(merged.gaps) +
           "); the union proves nothing about the uncovered indices");
-    } else if (!any_complete) {
+    } else if (!state.any_complete) {
       merged.warnings.push_back(
           "no shard ran to enumerator exhaustion; the space beyond index " +
           std::to_string(end) + " is unexplored");
@@ -145,6 +152,152 @@ Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards) {
     }
   }
   return merged;
+}
+
+Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards) {
+  if (shards.empty()) {
+    return Status::InvalidSpec("merge needs at least one shard report");
+  }
+  IncrementalMergeState state;
+  for (const ShardReport& shard : shards) {
+    WSV_RETURN_IF_ERROR(FoldShard(&state, shard));
+  }
+  return FinalizeMerge(state);
+}
+
+Status SaveMergeState(const std::string& path,
+                      const IncrementalMergeState& state) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("kind").String("wsv-merge-state");
+  w.Key("version").Int(1);
+  w.Key("shards").Uint(state.shards);
+  w.Key("fingerprint").String(state.fingerprint);
+  w.Key("unit").String(state.unit);
+  w.Key("sum_lengths").Uint(state.sum_lengths);
+  w.Key("covered").BeginArray();
+  for (const IndexInterval& iv : state.covered) {
+    w.BeginArray().Uint(iv.first).Uint(iv.second).EndArray();
+  }
+  w.EndArray();
+  w.Key("failed").BeginArray();
+  for (uint64_t index : state.failed) w.Uint(index);
+  w.EndArray();
+  w.Key("any_complete").Bool(state.any_complete);
+  w.Key("complete_end").Uint(state.complete_end);
+  w.Key("has_witness").Bool(state.has_witness);
+  if (state.has_witness) {
+    w.Key("witness_db_index").Uint(state.witness_db_index);
+    w.Key("witness_valuation_index").Uint(state.witness_valuation_index);
+    w.Key("witness_shard").Uint(state.witness_shard);
+    w.Key("witness_source").String(state.witness_source);
+  }
+  w.Key("warnings").BeginArray();
+  for (const std::string& warning : state.warnings) w.String(warning);
+  w.EndArray();
+  w.EndObject();
+
+  // Same publish discipline as the checkpoint writer: temp + rename so a
+  // crashed merge never leaves a torn state file for the next fold.
+  const std::string tmp = path + ".tmp";
+  std::remove(tmp.c_str());
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return Status::NotFound("cannot open merge state for writing: " + tmp);
+    }
+    out << w.str() << "\n";
+    out.flush();
+    if (!out) {
+      return Status::Internal("failed writing merge state: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("failed renaming merge state '" + tmp +
+                            "' over '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<IncrementalMergeState> LoadMergeState(const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open merge state: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  Result<obs::JsonValue> parsed = obs::JsonParse(text);
+  if (!parsed.ok()) {
+    return Status::ParseError("merge state '" + path +
+                              "' is not valid JSON: " +
+                              parsed.status().message());
+  }
+  const obs::JsonValue& doc = parsed.value();
+  const obs::JsonValue* kind = doc.Find("kind");
+  if (kind == nullptr || kind->AsString("") != "wsv-merge-state") {
+    return Status::ParseError("'" + path + "' is not a merge state file");
+  }
+  IncrementalMergeState state;
+  if (const obs::JsonValue* v = doc.Find("shards")) state.shards = v->AsUint(0);
+  if (const obs::JsonValue* v = doc.Find("fingerprint")) {
+    state.fingerprint = v->AsString("");
+  }
+  if (const obs::JsonValue* v = doc.Find("unit")) {
+    state.unit = v->AsString("database");
+  }
+  if (const obs::JsonValue* v = doc.Find("sum_lengths")) {
+    state.sum_lengths = v->AsUint(0);
+  }
+  if (const obs::JsonValue* covered = doc.Find("covered");
+      covered != nullptr && covered->IsArray()) {
+    for (const obs::JsonValue& iv : covered->array) {
+      if (!iv.IsArray() || iv.array.size() != 2) {
+        return Status::ParseError("merge state '" + path +
+                                  "': covered entries must be [lo, hi]");
+      }
+      state.covered.push_back({iv.array[0].AsUint(0), iv.array[1].AsUint(0)});
+    }
+    state.covered = NormalizeIntervals(std::move(state.covered));
+  }
+  if (const obs::JsonValue* failed = doc.Find("failed");
+      failed != nullptr && failed->IsArray()) {
+    for (const obs::JsonValue& index : failed->array) {
+      state.failed.push_back(index.AsUint(0));
+    }
+  }
+  if (const obs::JsonValue* v = doc.Find("any_complete")) {
+    state.any_complete = v->AsBool(false);
+  }
+  if (const obs::JsonValue* v = doc.Find("complete_end")) {
+    state.complete_end = v->AsUint(0);
+  }
+  if (const obs::JsonValue* v = doc.Find("has_witness")) {
+    state.has_witness = v->AsBool(false);
+  }
+  if (state.has_witness) {
+    if (const obs::JsonValue* v = doc.Find("witness_db_index")) {
+      state.witness_db_index = v->AsUint(0);
+    }
+    if (const obs::JsonValue* v = doc.Find("witness_valuation_index")) {
+      state.witness_valuation_index = v->AsUint(0);
+    }
+    if (const obs::JsonValue* v = doc.Find("witness_shard")) {
+      state.witness_shard = v->AsUint(0);
+    }
+    if (const obs::JsonValue* v = doc.Find("witness_source")) {
+      state.witness_source = v->AsString("");
+    }
+  }
+  if (const obs::JsonValue* warnings = doc.Find("warnings");
+      warnings != nullptr && warnings->IsArray()) {
+    for (const obs::JsonValue& warning : warnings->array) {
+      state.warnings.push_back(warning.AsString(""));
+    }
+  }
+  return state;
 }
 
 Result<ShardReport> ShardFromStatsJson(const std::string& json_text,
@@ -225,8 +378,10 @@ Result<ShardReport> ShardFromStatsJson(const std::string& json_text,
 
 Status ApplyCheckpoint(const std::string& checkpoint_path,
                        ShardReport* shard) {
-  WSV_ASSIGN_OR_RETURN(Checkpoint cp, ReadCheckpoint(checkpoint_path,
-                                                     shard->fingerprint));
+  WSV_ASSIGN_OR_RETURN(
+      RecoveredCheckpoint loaded,
+      ReadCheckpointWithRecovery(checkpoint_path, shard->fingerprint));
+  Checkpoint cp = std::move(loaded.checkpoint);
   if (shard->fingerprint.empty()) shard->fingerprint = cp.fingerprint;
   if (cp.unit != shard->unit) {
     return Status::InvalidSpec("checkpoint '" + checkpoint_path +

@@ -78,6 +78,50 @@ struct MergeReport {
 /// non-empty.
 Result<MergeReport> MergeShards(const std::vector<ShardReport>& shards);
 
+/// Running state of a streaming merge: everything FinalizeMerge needs,
+/// independent of how many shards have been folded in — O(intervals), not
+/// O(shards). `wsvc-merge --incremental STATE` persists one of these
+/// between invocations so a supervisor can merge each shard as it
+/// finishes instead of holding every report for one final all-at-once
+/// merge. MergeShards is FoldShard+FinalizeMerge over a fresh state, so
+/// the two paths cannot diverge.
+struct IncrementalMergeState {
+  /// Shards folded so far (witness_shard ordinals count from 0 in fold
+  /// order).
+  uint64_t shards = 0;
+  std::string fingerprint;
+  std::string unit = "database";
+  /// Sum of per-shard covered lengths; overlap at finalize is this minus
+  /// the union's length.
+  uint64_t sum_lengths = 0;
+  std::vector<IndexInterval> covered;  // normalized union
+  std::vector<uint64_t> failed;        // sorted, deduplicated
+  bool any_complete = false;
+  uint64_t complete_end = 0;
+  bool has_witness = false;
+  uint64_t witness_db_index = 0;
+  uint64_t witness_valuation_index = 0;
+  uint64_t witness_shard = 0;
+  std::string witness_source;
+  std::vector<std::string> warnings;
+};
+
+/// Folds one shard into the state (same compatibility rules as
+/// MergeShards: unit mismatch and conflicting fingerprints are
+/// kInvalidSpec, a missing fingerprint warns).
+Status FoldShard(IncrementalMergeState* state, const ShardReport& shard);
+
+/// Derives the merged verdict from a folded state. `state.shards` must be
+/// > 0.
+MergeReport FinalizeMerge(const IncrementalMergeState& state);
+
+/// Persists / restores the state as a small JSON document. LoadMergeState
+/// returns kNotFound when the file does not exist (start a fresh state)
+/// and kParseError on damage.
+Status SaveMergeState(const std::string& path,
+                      const IncrementalMergeState& state);
+Result<IncrementalMergeState> LoadMergeState(const std::string& path);
+
 /// Parses one `wsvc --stats-json` document into a ShardReport (fingerprint,
 /// verdict, witness, coverage). `source` labels diagnostics.
 Result<ShardReport> ShardFromStatsJson(const std::string& json_text,

@@ -8,6 +8,7 @@
 #include <set>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "obs/lock_profile.h"
 #include "obs/metrics.h"
@@ -73,6 +74,11 @@ Result<bool> GuardedCheck(const ParallelSweep::CheckFn& check, size_t index,
                           EngineOutcome& outcome) {
   try {
     return check(index, dbs, outcome);
+  } catch (const fault::MemoryBudgetError& e) {
+    // A memory-budget hit is a wind-down stop like a deadline, not a hard
+    // per-database failure: the sweep reports the covered prefix and the
+    // `memory-budget` stop reason instead of retrying or crashing.
+    return Status::MemoryBudget(e.what());
   } catch (const std::bad_alloc&) {
     return Status::Internal("database check ran out of memory (bad_alloc)");
   } catch (const std::exception& e) {

@@ -163,6 +163,28 @@ def main(argv):
 
     gap_holds = mutate(merge_doc(), "verdict.coverage.gaps", [[2, 3]])
 
+    memory_budget = mutate(base_doc(), "verdict.coverage.stop_reason",
+                           "memory-budget")
+    memory_budget = mutate(memory_budget, "verdict.coverage.stop_code",
+                           "MemoryBudget")
+
+    faulted = mutate(base_doc(), "counters",
+                     {"sweep.databases": 4, "fault.injected": 3,
+                      "fault.injected.checkpoint.write.io": 2,
+                      "fault.injected.arena.alloc": 1})
+    fault_sum_wrong = mutate(base_doc(), "counters",
+                             {"fault.injected": 5,
+                              "fault.injected.checkpoint.write.io": 2,
+                              "fault.injected.arena.alloc": 1})
+    fault_no_total = mutate(base_doc(), "counters",
+                            {"fault.injected.merge.io": 1})
+
+    supervised = mutate(merge_doc(), "supervisor",
+                        {"leases": 4, "relaunches": 2, "watchdog_kills": 1,
+                         "chaos_kills": 1, "corruptions": 1,
+                         "bak_recoveries": 1, "splits": 1, "abandoned": 0,
+                         "retry_budget": 3})
+
     # (name, document, expect_ok)
     cases = [
         ("valid sweep verdict", base_doc(), True),
@@ -255,6 +277,28 @@ def main(argv):
          mutate(merge_doc(), "shards.utilization.mean", DELETE), False),
         ("rollup per_shard negative wall",
          mutate(merge_doc(), "shards.per_shard.0.wall_ns", -1), False),
+        # Fault-injection counters and the memory-budget stop reason.
+        ("valid memory-budget stop", memory_budget, True),
+        ("valid fault counter breakdown", faulted, True),
+        ("fault.injected total disagrees with breakdown", fault_sum_wrong,
+         False),
+        ("fault.injected.* without a total", fault_no_total, False),
+        ("counter checkpoint.recoveries",
+         mutate(base_doc(), "counters",
+                {"sweep.databases": 4, "checkpoint.recoveries": 1}), True),
+        # Supervisor roll-up of a supervised shard_sweep run.
+        ("valid supervisor rollup", supervised, True),
+        ("supervisor missing relaunches",
+         mutate(supervised, "supervisor.relaunches", DELETE), False),
+        ("supervisor negative abandoned",
+         mutate(supervised, "supervisor.abandoned", -1), False),
+        ("supervisor abandoned over leases",
+         mutate(supervised, "supervisor.abandoned", 9), False),
+        ("supervisor zero leases",
+         mutate(supervised, "supervisor.leases", 0), False),
+        ("supervisor corruptions without relaunches",
+         mutate(mutate(supervised, "supervisor.relaunches", 0),
+                "supervisor.corruptions", 2), False),
     ]
 
     cases += [

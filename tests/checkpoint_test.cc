@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,195 @@ TEST(CheckpointIo, RejectsFingerprintMismatch) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidSpec);
   // But the empty expected fingerprint disables the check (for tooling).
   EXPECT_TRUE(ReadCheckpoint(path, "").ok());
+}
+
+// --- v3 hardening: CRC trailer, durability, .bak recovery. ---
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CheckpointCrc, MatchesTheIeeeCheckValue) {
+  // The standard CRC32 check vector: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(CheckpointCrc, BitFlipUnderTheCrcIsDetected) {
+  const std::string path = TempPath("bitflip.ckpt");
+  Checkpoint cp;
+  cp.fingerprint = FingerprintParts({"spec"});
+  cp.covered = {{0, 9}, {12, 20}};
+  cp.failed_indices = {4};
+  cp.databases_completed = 17;
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+
+  std::string text = Slurp(path);
+  // Flip one bit in every body byte position in turn; each damaged copy
+  // must be rejected (the keyword lines parse fine for most positions, so
+  // only the CRC catches the flip).
+  const size_t body_end = text.find("\ncrc32 ");
+  ASSERT_NE(body_end, std::string::npos);
+  for (size_t pos = 0; pos < body_end; pos += 7) {
+    std::string damaged = text;
+    damaged[pos] ^= 0x01;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << damaged;
+    auto loaded = ReadCheckpoint(path, "");
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << pos << " was accepted";
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(CheckpointCrc, TruncatedV3IsRejected) {
+  const std::string path = TempPath("truncated.ckpt");
+  Checkpoint cp;
+  cp.covered = {{0, 100}};
+  cp.databases_completed = 100;
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+  const std::string text = Slurp(path);
+  // Cut at every prefix length: a torn write can stop anywhere.
+  for (size_t len : {text.size() - 5, text.size() / 2, size_t{10}}) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << text.substr(0, len);
+    auto loaded = ReadCheckpoint(path, "");
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << len << " accepted";
+  }
+}
+
+TEST(CheckpointCrc, V3RequiresTheCrcTrailer) {
+  // A v3 document without a crc32 line is torn by definition.
+  const std::string path = TempPath("nocrc.ckpt");
+  std::ofstream(path) << "wsv-checkpoint 3\nfingerprint -\n"
+                         "completed_prefix 1\ncovered 0:1\nunit database\n"
+                         "failed -\ndatabases_completed 1\n"
+                         "stop_reason complete\nend\n";
+  auto loaded = ReadCheckpoint(path, "");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(CheckpointCrc, LegacyV2AndV1StayReadable) {
+  const std::string v2 = TempPath("legacy2.ckpt");
+  std::ofstream(v2) << "wsv-checkpoint 2\nfingerprint -\n"
+                       "completed_prefix 2\ncovered 0:2,5:7\n"
+                       "unit database\nfailed 1\n"
+                       "databases_completed 4\nstop_reason budget\nend\n";
+  auto loaded2 = ReadCheckpoint(v2, "");
+  ASSERT_TRUE(loaded2.ok()) << loaded2.status();
+  EXPECT_EQ(loaded2->covered,
+            (std::vector<IndexInterval>{{0, 2}, {5, 7}}));
+  EXPECT_EQ(loaded2->failed_indices, std::vector<uint64_t>{1});
+
+  const std::string v1 = TempPath("legacy1.ckpt");
+  std::ofstream(v1) << "wsv-checkpoint 1\nfingerprint -\n"
+                       "completed_prefix 3\ndatabases_completed 3\n"
+                       "stop_reason budget\nend\n";
+  auto loaded1 = ReadCheckpoint(v1, "");
+  ASSERT_TRUE(loaded1.ok()) << loaded1.status();
+  EXPECT_EQ(loaded1->covered, (std::vector<IndexInterval>{{0, 3}}));
+}
+
+TEST(CheckpointRecovery, WriterKeepsTheLastGoodBackup) {
+  const std::string path = TempPath("backup.ckpt");
+  Checkpoint first;
+  first.completed_prefix = 10;
+  ASSERT_TRUE(WriteCheckpoint(path, first).ok());
+  Checkpoint second;
+  second.completed_prefix = 20;
+  ASSERT_TRUE(WriteCheckpoint(path, second).ok());
+
+  auto backup = ReadCheckpoint(path + ".bak", "");
+  ASSERT_TRUE(backup.ok()) << backup.status();
+  EXPECT_EQ(backup->completed_prefix, 10u);
+}
+
+TEST(CheckpointRecovery, CorruptPrimaryFallsBackToBak) {
+  const std::string path = TempPath("recover.ckpt");
+  Checkpoint first;
+  first.completed_prefix = 10;
+  ASSERT_TRUE(WriteCheckpoint(path, first).ok());
+  Checkpoint second;
+  second.completed_prefix = 20;
+  ASSERT_TRUE(WriteCheckpoint(path, second).ok());
+
+  // Damage the primary under its CRC.
+  std::string text = Slurp(path);
+  text[text.find("completed_prefix")] ^= 0x20;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
+
+  ASSERT_FALSE(ReadCheckpoint(path, "").ok());
+  auto recovered = ReadCheckpointWithRecovery(path, "");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->recovered_from_backup);
+  EXPECT_EQ(recovered->checkpoint.completed_prefix, 10u);
+}
+
+TEST(CheckpointRecovery, HealthyPrimaryDoesNotTouchTheBak) {
+  const std::string path = TempPath("healthy.ckpt");
+  Checkpoint cp;
+  cp.completed_prefix = 7;
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+  auto recovered = ReadCheckpointWithRecovery(path, "");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(recovered->recovered_from_backup);
+  EXPECT_EQ(recovered->checkpoint.completed_prefix, 7u);
+}
+
+TEST(CheckpointRecovery, BothFilesBadReportsTheChain) {
+  const std::string path = TempPath("chain.ckpt");
+  std::ofstream(path) << "garbage\n";
+  std::ofstream(path + ".bak") << "also garbage\n";
+  auto recovered = ReadCheckpointWithRecovery(path, "");
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kParseError);
+  EXPECT_NE(recovered.status().message().find("also unusable"),
+            std::string::npos)
+      << recovered.status();
+}
+
+TEST(CheckpointRecovery, MissingPrimaryUsesBak) {
+  const std::string path = TempPath("missing-primary.ckpt");
+  Checkpoint cp;
+  cp.completed_prefix = 3;
+  ASSERT_TRUE(WriteCheckpoint(path + ".bak", cp).ok());
+  auto recovered = ReadCheckpointWithRecovery(path, "");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->recovered_from_backup);
+  EXPECT_EQ(recovered->checkpoint.completed_prefix, 3u);
+}
+
+TEST(CheckpointRecovery, FingerprintMismatchIsNeverRecovered) {
+  // Recovery must not resurrect a different problem's progress: a valid
+  // checkpoint with the wrong fingerprint is a hard error even when the
+  // .bak (same fingerprint) would also "work".
+  const std::string path = TempPath("wrongfp.ckpt");
+  Checkpoint cp;
+  cp.fingerprint = FingerprintParts({"problem A"});
+  cp.completed_prefix = 5;
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());  // rotates a .bak into place
+
+  auto recovered =
+      ReadCheckpointWithRecovery(path, FingerprintParts({"problem B"}));
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidSpec);
+}
+
+TEST(CheckpointRecovery, StaleTmpFromACrashedWriterIsReplaced) {
+  const std::string path = TempPath("staletmp.ckpt");
+  std::ofstream(path + ".tmp") << "half-written torn garbage";
+  Checkpoint cp;
+  cp.completed_prefix = 9;
+  ASSERT_TRUE(WriteCheckpoint(path, cp).ok());
+  auto loaded = ReadCheckpoint(path, "");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->completed_prefix, 9u);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
 }
 
 TEST(CheckpointIo, FingerprintIsBoundaryAware) {
@@ -259,7 +449,8 @@ TEST(CheckpointResume, CanceledRunLeavesResumableCheckpoint) {
 TEST(StopReasonNames, RoundTrip) {
   for (StopReason reason :
        {StopReason::kComplete, StopReason::kBudget, StopReason::kDeadline,
-        StopReason::kCanceled, StopReason::kDbFailures}) {
+        StopReason::kCanceled, StopReason::kDbFailures,
+        StopReason::kRangeEnd, StopReason::kMemoryBudget}) {
     StopReason parsed;
     ASSERT_TRUE(ParseStopReason(StopReasonName(reason), &parsed))
         << StopReasonName(reason);

@@ -9,7 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/fault.h"
 #include "common/run_control.h"
+#include "common/thread_pool.h"
 #include "spec/parser.h"
 #include "verifier/db_enum.h"
 #include "verifier/engine.h"
@@ -297,6 +300,144 @@ TEST_F(FaultInjectionTest, StartIndexPreservesIndexAlignment) {
   EXPECT_EQ(outcome->completed_prefix, 3u);
   EXPECT_EQ(outcome->failed_db_indices, std::vector<size_t>{0});
   EXPECT_EQ(outcome->stop_reason, StopReason::kDbFailures);
+}
+
+// --- The deterministic fault-injection subsystem itself. ---
+
+/// Every test arms its own sites and disarms on exit so the global
+/// registry never leaks triggers into unrelated tests in this binary.
+class FaultSubsystemTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(FaultSubsystemTest, SpecParsing) {
+  EXPECT_TRUE(fault::ArmFromSpec("a.site:1"));
+  EXPECT_TRUE(fault::ArmFromSpec("a.site:3:crash"));
+  EXPECT_TRUE(fault::ArmFromSpec("a:1,b:2:crash,c:4:every"));
+  EXPECT_TRUE(fault::ArmFromSpec("a:2:every:fail"));
+  // An empty spec is a no-op arm, not an error: nothing triggers.
+  EXPECT_TRUE(fault::ArmFromSpec(""));
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::ArmFromSpec("no-count"));
+  EXPECT_FALSE(fault::ArmFromSpec("a.site:0"));
+  EXPECT_FALSE(fault::ArmFromSpec("a.site:abc"));
+  EXPECT_FALSE(fault::ArmFromSpec("a.site:1:bogus-mode"));
+}
+
+TEST_F(FaultSubsystemTest, UnarmedSitesNeverTrigger) {
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(WSV_FAULT_POINT("anything.at.all"));
+  EXPECT_EQ(fault::InjectedTotal(), 0u);
+}
+
+TEST_F(FaultSubsystemTest, NthHitTriggersExactlyOnce) {
+  ASSERT_TRUE(fault::ArmFromSpec("io.site:3"));
+  EXPECT_TRUE(fault::Enabled());
+  EXPECT_FALSE(fault::ShouldTrigger("io.site"));  // hit 1
+  EXPECT_FALSE(fault::ShouldTrigger("io.site"));  // hit 2
+  EXPECT_TRUE(fault::ShouldTrigger("io.site"));   // hit 3: fires
+  EXPECT_FALSE(fault::ShouldTrigger("io.site"));  // hit 4: spent
+  EXPECT_FALSE(fault::ShouldTrigger("other.site"));
+  EXPECT_EQ(fault::InjectedTotal(), 1u);
+}
+
+TEST_F(FaultSubsystemTest, EveryModifierRetriggersAtMultiples) {
+  ASSERT_TRUE(fault::ArmFromSpec("io.site:2:every"));
+  std::vector<bool> fired;
+  for (int hit = 1; hit <= 6; ++hit) {
+    fired.push_back(fault::ShouldTrigger("io.site"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false,
+                                      true}));
+  EXPECT_EQ(fault::InjectedTotal(), 3u);
+}
+
+TEST_F(FaultSubsystemTest, InjectedCountsBreakDownPerSite) {
+  ASSERT_TRUE(fault::ArmFromSpec("a:1,b:1:every"));
+  fault::ShouldTrigger("a");
+  fault::ShouldTrigger("b");
+  fault::ShouldTrigger("b");
+  auto counts = fault::InjectedCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "a");
+  EXPECT_EQ(counts[0].second, 1u);
+  EXPECT_EQ(counts[1].first, "b");
+  EXPECT_EQ(counts[1].second, 2u);
+  EXPECT_EQ(fault::InjectedTotal(), 3u);
+
+  fault::Reset();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::InjectedCounts().empty());
+}
+
+#if defined(WSV_FAULTS)
+
+TEST_F(FaultSubsystemTest, ArenaGrowthFaultThrowsMemoryBudget) {
+  ASSERT_TRUE(fault::ArmFromSpec("arena.alloc:1"));
+  Arena arena;
+  EXPECT_THROW(arena.AllocWords(16), fault::MemoryBudgetError);
+  // MemoryBudgetError must be catchable as bad_alloc (it extends it) so
+  // legacy handlers still degrade instead of crashing.
+  fault::Reset();
+  ASSERT_TRUE(fault::ArmFromSpec("arena.alloc:1"));
+  Arena second;
+  try {
+    second.AllocWords(16);
+    FAIL() << "expected an injected allocation failure";
+  } catch (const std::bad_alloc&) {
+  }
+}
+
+TEST_F(FaultSubsystemTest, PoolTaskFaultIsIsolatedToOneTask) {
+  ASSERT_TRUE(fault::ArmFromSpec("pool.task:1"));
+  ThreadPool pool(2);
+  std::exception_ptr first_error;
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ++ran; },
+              [&](std::exception_ptr e) { first_error = e; });
+  pool.Wait();
+  ASSERT_TRUE(first_error != nullptr);
+  try {
+    std::rethrow_exception(first_error);
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("pool.task"), std::string::npos);
+  }
+  EXPECT_EQ(ran.load(), 0);  // the injected throw preempted the task body
+  // The pool survives: later tasks run normally.
+  pool.Submit([&] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+  pool.Shutdown();
+}
+
+#endif  // defined(WSV_FAULTS)
+
+/// The memory-budget stop contract: an allocation-budget fault inside a
+/// check degrades the sweep to a graceful `memory-budget` stop covering
+/// the completed prefix — never a crash, never a false "complete".
+TEST_F(FaultSubsystemTest, MemoryBudgetStopsSweepGracefully) {
+  auto comp = spec::ParseComposition(kTinySpec);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  PseudoDomain pd = BuildPseudoDomain(*comp, {}, /*fresh_count=*/2);
+  DatabaseEnumerator enumerator(&*comp, pd.domain, pd.fresh,
+                                /*iso_reduce=*/true);
+  SweepOptions options;
+  options.skip_failed_databases = true;
+  ParallelSweep sweep(&enumerator, options);
+  auto outcome = sweep.Run([&](size_t index,
+                               const std::vector<data::Instance>&,
+                               EngineOutcome&) -> Result<bool> {
+    if (index == 1) {
+      throw fault::MemoryBudgetError("simulated arena exhaustion");
+    }
+    return false;
+  });
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->violation_found);
+  EXPECT_EQ(outcome->stop_reason, StopReason::kMemoryBudget);
+  EXPECT_EQ(outcome->stop_status.code(), StatusCode::kMemoryBudget);
+  EXPECT_LE(outcome->completed_prefix, 1u);
 }
 
 }  // namespace

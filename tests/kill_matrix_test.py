@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Kill-matrix and fault-injection acceptance tests (ctest label `faults`).
+
+Usage: kill_matrix_test.py --bin-dir DIR --spec-dir DIR --workdir DIR MODE
+
+Each MODE is one ctest entry:
+
+  holds        supervised chaos sweep of a holding property: every lease's
+               first attempt crashes mid-checkpoint-write (WSV_FAULT), every
+               kill corrupts the published checkpoint under its CRC, and
+               random SIGKILLs land on top — the merged verdict must still
+               be bit-identical to one unsharded run (the --check diff).
+  violated     same, on a violated property: the supervised witness must be
+               the globally lowest (db, valuation) pair.
+  budget       every attempt crashes; the retry budget runs out, the lease
+               is abandoned, and the verdict degrades to exit 4
+               ("incomplete") — never to "holds".
+  crash_resume a single wsvc run crashes mid-checkpoint-write (_Exit(137),
+               torn temp on disk); a --resume relaunch recovers and matches
+               the uninterrupted verdict.
+  split_unit   straggler-split planning logic (pure functions imported from
+               shard_sweep.py; no processes, no timing).
+  incremental  folding shards one at a time through `wsvc-merge
+               --incremental` must produce the same verdict document as one
+               batch merge of the same pairs.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "tools"))
+
+import shard_sweep  # noqa: E402  (the module under test)
+
+
+def fail(msg):
+    print(f"kill_matrix: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def run_supervised(args, workdir, wsvc_args, extra):
+    merged = os.path.join(workdir, "merged.json")
+    cmd = [sys.executable,
+           os.path.join(HERE, "..", "tools", "shard_sweep.py"),
+           "--bin-dir", args.bin_dir, "--workdir", workdir,
+           "--stats-json", merged, "--supervise",
+           "--timeout-secs", "240", *extra, "--", *wsvc_args]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return proc, merged
+
+
+def load_supervisor(merged):
+    with open(merged, encoding="utf-8") as f:
+        doc = json.load(f)
+    expect("supervisor" in doc, "merged document lacks 'supervisor' rollup")
+    return doc
+
+
+def mode_holds(args, workdir):
+    proc, merged = run_supervised(
+        args, workdir,
+        ["verify", os.path.join(args.spec_dir, "bookstore.wsv"),
+         "--property", "G(true)", "--fresh", "2", "--checkpoint-every", "4"],
+        ["--shards", "3", "--check", "--retry-budget", "5",
+         "--corrupt-on-kill", "--chaos-kills", "2", "--chaos-seed", "1237",
+         "--fault-first-attempt", "checkpoint.write.io:3:crash"])
+    expect(proc.returncode == 0,
+           f"supervised holds run exited {proc.returncode}")
+    expect("check OK" in proc.stdout, "differential check did not pass")
+    doc = load_supervisor(merged)
+    sup = doc["supervisor"]
+    expect(sup["corruptions"] >= 1,
+           f"expected >=1 injected checkpoint corruption, got {sup}")
+    expect(sup["relaunches"] >= 3,
+           f"every first attempt crashes, so >=3 relaunches; got {sup}")
+    expect(sup["abandoned"] == 0, f"no lease should be abandoned: {sup}")
+    expect(doc["verdict"]["verdict"] == "holds",
+           f"verdict {doc['verdict']['verdict']!r}")
+    print("kill_matrix holds: ok")
+
+
+def mode_violated(args, workdir):
+    proc, merged = run_supervised(
+        args, workdir,
+        ["verify", os.path.join(args.spec_dir, "pingpong.wsv"),
+         "--property", "G(not (exists x: Requester.got(x)))",
+         "--fresh", "3", "--checkpoint-every", "1"],
+        ["--shards", "2", "--check", "--retry-budget", "5",
+         "--corrupt-on-kill",
+         "--fault-first-attempt", "checkpoint.write.io:1:crash"])
+    expect(proc.returncode == 3,
+           f"supervised violated run exited {proc.returncode}, wanted 3")
+    expect("check OK: merged verdict 'violated'" in proc.stdout,
+           "witness differential check did not pass")
+    doc = load_supervisor(merged)
+    expect(doc["verdict"]["counterexample"] is True, "no counterexample")
+    print("kill_matrix violated: ok")
+
+
+def mode_budget(args, workdir):
+    proc, _ = run_supervised(
+        args, workdir,
+        ["verify", os.path.join(args.spec_dir, "bookstore.wsv"),
+         "--property", "G(true)", "--fresh", "2", "--checkpoint-every", "4"],
+        ["--shards", "2", "--retry-budget", "1", "--backoff-ms", "10",
+         "--fault-every-attempt", "checkpoint.write.io:1:crash"])
+    expect(proc.returncode == 4,
+           f"budget exhaustion must exit 4 (incomplete), got "
+           f"{proc.returncode}")
+    expect("ABANDONED" in proc.stderr, "no lease abandonment was logged")
+    expect("holds" not in proc.stdout,
+           "a gapped run must never report holds")
+    print("kill_matrix budget: ok")
+
+
+def mode_crash_resume(args, workdir):
+    wsvc = os.path.join(args.bin_dir, "wsvc")
+    spec = os.path.join(args.spec_dir, "bookstore.wsv")
+    base = [wsvc, "verify", spec, "--property", "G(true)", "--fresh", "2",
+            "--checkpoint-every", "4"]
+    ckpt = os.path.join(workdir, "crash.ckpt")
+
+    reference = subprocess.run(
+        base + ["--stats-json", os.path.join(workdir, "ref.json")],
+        capture_output=True, text=True, timeout=120)
+    expect(reference.returncode == 0,
+           f"reference run failed rc={reference.returncode}")
+
+    env = dict(os.environ, WSV_FAULT="checkpoint.write.io:3:crash")
+    crashed = subprocess.run(base + ["--checkpoint", ckpt],
+                             capture_output=True, text=True, env=env,
+                             timeout=120)
+    expect(crashed.returncode == 137,
+           f"crash leg exited {crashed.returncode}, wanted _Exit(137)")
+    expect(os.path.exists(ckpt), "no checkpoint published before the crash")
+    expect(os.path.exists(ckpt + ".tmp"),
+           "the crash should leave a torn .tmp behind")
+
+    resumed = subprocess.run(
+        base + ["--checkpoint", ckpt, "--resume",
+                "--stats-json", os.path.join(workdir, "resumed.json")],
+        capture_output=True, text=True, timeout=120)
+    expect(resumed.returncode == 0,
+           f"resume leg failed rc={resumed.returncode}:\n{resumed.stderr}")
+    expect("resuming past covered" in resumed.stderr,
+           "the resume leg did not fast-forward from the checkpoint")
+
+    with open(os.path.join(workdir, "ref.json"), encoding="utf-8") as f:
+        ref = json.load(f)["verdict"]
+    with open(os.path.join(workdir, "resumed.json"), encoding="utf-8") as f:
+        res = json.load(f)["verdict"]
+    for key in ("exit_code", "fingerprint", "counterexample"):
+        expect(ref.get(key) == res.get(key),
+               f"verdict field {key!r} differs after crash+resume: "
+               f"{ref.get(key)!r} vs {res.get(key)!r}")
+    expect(ref["coverage"]["covered"] == res["coverage"]["covered"],
+           "coverage differs after crash+resume")
+    print("kill_matrix crash_resume: ok")
+
+
+def mode_split_unit(args, workdir):
+    del args, workdir
+    # resume_point mirrors the C++ ResumeStart contract.
+    expect(shard_sweep.resume_point([], 5) == 5, "empty coverage")
+    expect(shard_sweep.resume_point([(0, 10)], 5) == 10,
+           "inside an interval -> its end")
+    expect(shard_sweep.resume_point([(0, 4), (6, 9)], 4) == 4,
+           "at a hole -> unchanged")
+    # plan_split: half the remaining tail, or None when too small.
+    expect(shard_sweep.plan_split([], 0, 100) == (50, 100),
+           "no progress -> split at the middle")
+    expect(shard_sweep.plan_split([(0, 60)], 0, 100) == (80, 100),
+           "60 done -> split the remaining 40 at 80")
+    expect(shard_sweep.plan_split([(0, 98)], 0, 100) is None,
+           "tiny remainder -> no split")
+    expect(shard_sweep.plan_split([(0, 100)], 0, 100) is None,
+           "finished lease -> no split")
+    # parse_checkpoint_covered on a forged checkpoint body.
+    path = os.path.join(os.environ.get("TMPDIR", "/tmp"),
+                        "kill_matrix_split.ckpt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("wsv-checkpoint 3\nfingerprint -\ncompleted_prefix 3\n"
+                "covered 0:3,7:9\nunit database\nfailed -\n"
+                "databases_completed 5\nstop_reason in-progress\n"
+                "crc32 00000000\nend\n")
+    expect(shard_sweep.parse_checkpoint_covered(path) == [(0, 3), (7, 9)],
+           "covered list parse")
+    expect(shard_sweep.parse_checkpoint_covered(path + ".missing") == [],
+           "missing file -> no progress")
+    print("kill_matrix split_unit: ok")
+
+
+def mode_incremental(args, workdir):
+    wsvc = os.path.join(args.bin_dir, "wsvc")
+    merge = os.path.join(args.bin_dir, "wsvc-merge")
+    spec = os.path.join(args.spec_dir, "bookstore.wsv")
+    pairs = []
+    for i, rng in enumerate(("0:70", "70:136")):
+        stats = os.path.join(workdir, f"s{i}.json")
+        ckpt = os.path.join(workdir, f"s{i}.ckpt")
+        proc = subprocess.run(
+            [wsvc, "verify", spec, "--property", "G(true)", "--fresh", "2",
+             "--db-range", rng, "--stats-json", stats,
+             "--checkpoint", ckpt],
+            capture_output=True, text=True, timeout=120)
+        expect(proc.returncode == 0, f"shard {i} failed: {proc.stderr}")
+        pairs += [stats, ckpt]
+
+    batch_out = os.path.join(workdir, "batch.json")
+    batch = subprocess.run([merge, "--stats-json", batch_out, *pairs],
+                           capture_output=True, text=True, timeout=60)
+    state = os.path.join(workdir, "merge.state")
+    first = subprocess.run([merge, "--incremental", state, *pairs[:2]],
+                           capture_output=True, text=True, timeout=60)
+    expect(first.returncode == 0, f"first fold failed: {first.stderr}")
+    expect("merge-state: 1 shard(s) folded" in first.stdout,
+           f"unexpected fold output: {first.stdout!r}")
+    inc_out = os.path.join(workdir, "incremental.json")
+    final = subprocess.run(
+        [merge, "--incremental", state, "--finalize", "--stats-json",
+         inc_out, *pairs[2:]],
+        capture_output=True, text=True, timeout=60)
+    expect(final.returncode == batch.returncode,
+           f"exit codes diverge: batch {batch.returncode}, incremental "
+           f"{final.returncode}")
+
+    with open(batch_out, encoding="utf-8") as f:
+        batch_verdict = json.load(f)["verdict"]
+    with open(inc_out, encoding="utf-8") as f:
+        inc_verdict = json.load(f)["verdict"]
+    expect(batch_verdict == inc_verdict,
+           f"batch and incremental verdict documents diverge:\n"
+           f"batch: {batch_verdict}\nincremental: {inc_verdict}")
+    print("kill_matrix incremental: ok")
+
+
+MODES = {
+    "holds": mode_holds,
+    "violated": mode_violated,
+    "budget": mode_budget,
+    "crash_resume": mode_crash_resume,
+    "split_unit": mode_split_unit,
+    "incremental": mode_incremental,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bin-dir", required=True)
+    parser.add_argument("--spec-dir", required=True)
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("mode", choices=sorted(MODES))
+    args = parser.parse_args()
+    # A stale workdir (old merge state, checkpoints, .bak chains) from a
+    # previous ctest invocation must not leak into this run.
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir, exist_ok=True)
+    MODES[args.mode](args, args.workdir)
+
+
+if __name__ == "__main__":
+    main()

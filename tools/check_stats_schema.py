@@ -55,6 +55,7 @@ def check_stats(path):
     for name, value in doc["counters"].items():
         expect(isinstance(value, int) and value >= 0,
                f"counter '{name}' must be a non-negative integer")
+    check_fault_counters(doc["counters"], "counters")
     for name, timer in doc["timers_ns"].items():
         expect(isinstance(timer, dict), f"timer '{name}' must be an object")
         for field in ("total_ns", "count"):
@@ -74,6 +75,8 @@ def check_stats(path):
     check_process(doc["process"])
     if "shards" in doc:
         check_shards_rollup(doc["shards"])
+    if "supervisor" in doc:
+        check_supervisor(doc["supervisor"])
 
     # wsvc-produced documents also carry command/spec/verdict sections;
     # wsvc-merge documents carry a merge-shaped verdict instead.
@@ -180,6 +183,7 @@ def check_shards_rollup(shards):
     for section in ("counters", "timers_ns", "histograms"):
         expect(isinstance(shards.get(section), dict),
                f"'shards.{section}' must be an object")
+    check_fault_counters(shards["counters"], "shards.counters")
     util = shards.get("utilization")
     expect(isinstance(util, dict), "'shards.utilization' must be an object")
     for field in ("mean", "min", "max"):
@@ -207,6 +211,40 @@ def check_shards_rollup(shards):
                "'shards.straggler.wall_ns' must be the per_shard maximum")
 
 
+def check_fault_counters(counters, where):
+    """Validates the fault-injection counters: 'fault.injected' must equal
+    the sum of the per-site 'fault.injected.<site>' breakdown (both absent
+    is fine — a run with no armed faults emits neither)."""
+    per_site = sum(v for k, v in counters.items()
+                   if k.startswith("fault.injected."))
+    total = counters.get("fault.injected")
+    if total is None:
+        expect(per_site == 0,
+               f"'{where}' has fault.injected.* sites but no "
+               f"'fault.injected' total")
+        return
+    expect(total == per_site,
+           f"'{where}.fault.injected' is {total} but the per-site "
+           f"breakdown sums to {per_site}")
+
+
+def check_supervisor(sup):
+    """Validates the supervisor roll-up a supervised shard_sweep merge
+    document carries."""
+    expect(isinstance(sup, dict), "'supervisor' must be an object")
+    fields = ("leases", "relaunches", "watchdog_kills", "chaos_kills",
+              "corruptions", "bak_recoveries", "splits", "abandoned",
+              "retry_budget")
+    for field in fields:
+        expect(isinstance(sup.get(field), int) and sup[field] >= 0,
+               f"'supervisor.{field}' must be a non-negative integer")
+    expect(sup["leases"] >= 1, "'supervisor.leases' must be >= 1")
+    expect(sup["abandoned"] <= sup["leases"],
+           "'supervisor.abandoned' exceeds the lease count")
+    expect(sup["corruptions"] == 0 or sup["relaunches"] + sup["abandoned"] > 0,
+           "'supervisor.corruptions' without any relaunch or abandonment")
+
+
 def check_intervals(value, what):
     """Validates a covered/gaps value: a list of [lo, hi] index pairs."""
     expect(isinstance(value, list), f"'{what}' must be a list")
@@ -221,7 +259,7 @@ def check_coverage(cov):
     """Validates the verdict.coverage block written for sweep verdicts."""
     expect(isinstance(cov, dict), "'verdict.coverage' must be an object")
     reasons = ("complete", "budget", "deadline", "canceled", "db-failures",
-               "range-end")
+               "range-end", "memory-budget")
     expect(cov.get("stop_reason") in reasons,
            f"'coverage.stop_reason' must be one of {reasons}, "
            f"got {cov.get('stop_reason')!r}")

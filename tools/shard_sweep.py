@@ -3,7 +3,9 @@
 
 Usage:
   shard_sweep.py [--shards K] [--bin-dir DIR] [--workdir DIR]
-                 [--stats-json FILE] [--check] -- COMMAND SPEC [WSVC-OPTS...]
+                 [--stats-json FILE] [--check] [--timeout-secs T]
+                 [--supervise] [SUPERVISOR-OPTS...]
+                 -- COMMAND SPEC [WSVC-OPTS...]
 
 Everything after `--` is a `wsvc` invocation minus the binary name (e.g.
 `verify specs/airline.wsv --property "G(p)"`). The coordinator
@@ -16,6 +18,17 @@ Everything after `--` is a `wsvc` invocation minus the binary name (e.g.
      --stats-json and --checkpoint files,
   4. merges the shard verdicts with wsvc-merge.
 
+With --supervise each shard becomes a LEASE: a watchdog SIGKILLs a shard
+whose checkpoint stops advancing, relaunches it with exponential backoff
+resuming from its own checkpoint, folds each finished lease into an
+incremental wsvc-merge state (O(1) memory in the shard count), and splits
+the remaining range of a straggler lease so idle capacity can steal its
+tail. A lease that exhausts its retry budget is ABANDONED: its range is
+never folded, the union has a gap, and the verdict degrades to
+"incomplete" (exit 4) — never to "holds". Chaos options (--chaos-kills,
+--corrupt-on-kill, --fault-*-attempt) exist for the kill-matrix test: the
+supervised verdict must stay bit-identical to one unsharded run.
+
 Exit code is wsvc-merge's: 0 holds over the complete enumeration,
 3 violated (globally lowest witness), 4 incomplete, 2 setup error.
 
@@ -27,10 +40,13 @@ are identical — the self-test the ctest suite runs.
 import argparse
 import json
 import os
+import random
 import re
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 
 def fail(msg, code=2):
@@ -51,10 +67,19 @@ def find_binary(bin_dir, name):
     return candidates[-1]
 
 
-def count_space(wsvc, wsvc_args):
+def run_checked(cmd, timeout, what):
+    """subprocess.run with a hard deadline; a hang is a setup error (2)."""
+    try:
+        return subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        fail(f"{what} timed out after {timeout:.0f}s: {' '.join(cmd)}")
+
+
+def count_space(wsvc, wsvc_args, timeout):
     """Returns (size, unit) of the enumeration space."""
-    proc = subprocess.run([wsvc] + wsvc_args + ["--count-databases"],
-                          capture_output=True, text=True)
+    proc = run_checked([wsvc] + wsvc_args + ["--count-databases"],
+                       timeout, "--count-databases")
     if proc.returncode != 0:
         fail(f"--count-databases failed (rc={proc.returncode}):\n"
              f"{proc.stderr.strip()}")
@@ -76,7 +101,362 @@ def split_ranges(total, shards):
     return ranges or [(0, max(total, 1))]
 
 
-def run_shards(wsvc, wsvc_args, ranges, unit, workdir):
+# ---------------------------------------------------------------------------
+# Checkpoint introspection (read-only; the CRC-verified parse lives in C++ —
+# the supervisor only needs an approximate progress view for watchdog and
+# straggler decisions, never for the verdict).
+# ---------------------------------------------------------------------------
+
+def parse_checkpoint_covered(path):
+    """Best-effort covered intervals [(lo, hi), ...] of a checkpoint file.
+
+    Returns [] when the file is missing/torn — the supervisor then assumes
+    no progress, which is always safe (it only over-relaunches).
+    """
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError:
+        return []
+    match = re.search(r"^covered (\S+)$", text, re.MULTILINE)
+    if not match or match.group(1) == "-":
+        return []
+    covered = []
+    for part in match.group(1).split(","):
+        try:
+            lo, hi = part.split(":")
+            covered.append((int(lo), int(hi)))
+        except ValueError:
+            return []
+    return covered
+
+
+def resume_point(covered, lo):
+    """Where a resumed run of [lo, ...) restarts: the end of the covered
+    interval containing lo, or lo itself (mirrors ResumeStart in C++)."""
+    for iv_lo, iv_hi in covered:
+        if iv_lo <= lo < iv_hi:
+            return iv_hi
+    return lo
+
+
+def plan_split(covered, lo, hi, min_remaining=4):
+    """Splits a straggler lease's un-done tail: given its covered set and
+    assigned [lo, hi), returns the [mid, hi) slice a helper lease should
+    take, or None when the remainder is too small to bother. The straggler
+    keeps running — any overlap is deduplicated by the merge."""
+    start = max(lo, resume_point(covered, lo))
+    if hi - start < min_remaining:
+        return None
+    mid = start + (hi - start) // 2
+    if mid <= start or mid >= hi:
+        return None
+    return (mid, hi)
+
+
+def corrupt_checkpoint(path):
+    """Flips one bit inside the checkpoint body (under the CRC trailer), so
+    the next reader sees a checksum mismatch and must fall back to .bak."""
+    try:
+        with open(path, "rb") as f:
+            data = bytearray(f.read())
+    except OSError:
+        return False
+    crc_at = data.find(b"\ncrc32 ")
+    body_end = crc_at if crc_at > 0 else len(data)
+    if body_end < 4:
+        return False
+    data[body_end // 2] ^= 0x40
+    with open(path, "wb") as f:
+        f.write(data)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Lease supervisor
+# ---------------------------------------------------------------------------
+
+class Lease:
+    """One shard's range plus its launch/retry bookkeeping."""
+
+    def __init__(self, idx, lo, hi):
+        self.idx = idx
+        self.lo = lo
+        self.hi = hi
+        self.attempt = 0          # attempts launched so far
+        self.proc = None
+        self.started = 0.0
+        self.relaunch_at = 0.0    # backoff deadline; 0 = launch now
+        self.state = "pending"    # pending | running | done | abandoned
+        self.rc = None
+        self.split_done = False
+        self.err_path = None
+
+
+class Supervisor:
+    def __init__(self, args, wsvc, merge_bin, wsvc_args, ranges, unit,
+                 workdir):
+        self.args = args
+        self.wsvc = wsvc
+        self.merge_bin = merge_bin
+        self.wsvc_args = wsvc_args
+        self.unit = unit
+        self.workdir = workdir
+        self.range_flag = ("--db-range" if unit == "database"
+                           else "--valuation-range")
+        self.leases = [Lease(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+        self.state_path = os.path.join(workdir, "merge.state")
+        self.rng = random.Random(args.chaos_seed)
+        self.deadline = time.monotonic() + args.timeout_secs
+        self.stats = {"leases": len(self.leases), "relaunches": 0,
+                      "watchdog_kills": 0, "chaos_kills": 0,
+                      "corruptions": 0, "splits": 0, "abandoned": 0,
+                      "retry_budget": args.retry_budget}
+        self.chaos_left = args.chaos_kills
+        self.folded = 0
+
+    def log(self, msg):
+        print(f"shard_sweep: {msg}", file=sys.stderr)
+
+    def paths(self, lease):
+        stats = os.path.join(self.workdir, f"shard{lease.idx}.json")
+        ckpt = os.path.join(self.workdir, f"shard{lease.idx}.ckpt")
+        return stats, ckpt
+
+    def launch(self, lease):
+        stats, ckpt = self.paths(lease)
+        cmd = [self.wsvc] + self.wsvc_args + [
+            self.range_flag, f"{lease.lo}:{lease.hi}",
+            "--stats-json", stats, "--checkpoint", ckpt]
+        if lease.attempt > 0:
+            cmd.append("--resume")
+        env = dict(os.environ)
+        env.pop("WSV_FAULT", None)
+        if self.args.fault_every_attempt:
+            env["WSV_FAULT"] = self.args.fault_every_attempt
+        elif self.args.fault_first_attempt and lease.attempt == 0:
+            env["WSV_FAULT"] = self.args.fault_first_attempt
+        lease.err_path = os.path.join(
+            self.workdir, f"shard{lease.idx}.attempt{lease.attempt}.err")
+        with open(lease.err_path, "w", encoding="utf-8") as err:
+            lease.proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                                          stderr=err, env=env)
+        lease.started = time.monotonic()
+        lease.state = "running"
+        lease.attempt += 1
+
+    def kill(self, lease, why):
+        if lease.proc is not None and lease.proc.poll() is None:
+            try:
+                lease.proc.send_signal(signal.SIGKILL)
+            except OSError:
+                pass
+            lease.proc.wait()
+        self.log(f"lease {lease.idx} [{lease.lo}:{lease.hi}) attempt "
+                 f"{lease.attempt} killed ({why})")
+
+    def schedule_retry(self, lease, why):
+        """Backoff-relaunch, or abandon once the retry budget is spent."""
+        if self.args.corrupt_on_kill:
+            # Damage the dead shard's published checkpoint so the relaunch
+            # must prove the CRC detection + .bak fallback path works.
+            _, ckpt = self.paths(lease)
+            if corrupt_checkpoint(ckpt):
+                self.stats["corruptions"] += 1
+                self.log(f"lease {lease.idx} checkpoint corrupted "
+                         f"(bit flip under the CRC)")
+        if lease.attempt > self.args.retry_budget:
+            lease.state = "abandoned"
+            self.stats["abandoned"] += 1
+            self.log(f"lease {lease.idx} [{lease.lo}:{lease.hi}) ABANDONED "
+                     f"after {lease.attempt} attempt(s) ({why}); its range "
+                     f"stays uncovered")
+            return
+        backoff = (self.args.backoff_ms / 1000.0) * (
+            2 ** (lease.attempt - 1))
+        lease.state = "pending"
+        lease.relaunch_at = time.monotonic() + backoff
+        self.stats["relaunches"] += 1
+        self.log(f"lease {lease.idx} relaunching in {backoff * 1000:.0f}ms "
+                 f"({why})")
+
+    def fold(self, lease):
+        """Incrementally merges a finished lease into the persisted state."""
+        stats, ckpt = self.paths(lease)
+        cmd = [self.merge_bin, "--incremental", self.state_path, stats,
+               ckpt if os.path.exists(ckpt) else "-"]
+        proc = run_checked(cmd, self.args.timeout_secs, "incremental merge")
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail(f"incremental merge of lease {lease.idx} failed "
+                 f"(rc={proc.returncode})")
+        self.folded += 1
+
+    def read_stderr(self, lease):
+        try:
+            with open(lease.err_path, encoding="utf-8") as f:
+                return f.read().strip()
+        except (OSError, TypeError):
+            return ""
+
+    def handle_exit(self, lease):
+        rc = lease.proc.returncode
+        lease.rc = rc
+        if rc in (0, 3):
+            lease.state = "done"
+            self.fold(lease)
+            self.log(f"lease {lease.idx} [{lease.lo}:{lease.hi}) done "
+                     f"(rc={rc}, attempt {lease.attempt})")
+        else:
+            detail = self.read_stderr(lease)
+            why = f"rc={rc}"
+            if detail:
+                why += f": {detail.splitlines()[-1]}"
+            self.schedule_retry(lease, why)
+
+    def maybe_chaos_kill(self, running):
+        if self.chaos_left <= 0 or not running:
+            return
+        # One coin flip per poll tick keeps kill times spread across the
+        # run; the seed makes a given schedule reproducible.
+        if self.rng.random() >= 0.35:
+            return
+        lease = self.rng.choice(running)
+        self.kill(lease, "chaos")
+        self.chaos_left -= 1
+        self.stats["chaos_kills"] += 1
+        self.schedule_retry(lease, "chaos kill")
+
+    def maybe_split_straggler(self, running):
+        """When one lease is the only thing left, steal half its tail."""
+        unfinished = [l for l in self.leases
+                      if l.state in ("pending", "running")]
+        if len(unfinished) != 1 or not running:
+            return
+        lease = unfinished[0]
+        if lease.split_done or lease.state != "running":
+            return
+        if time.monotonic() - lease.started < self.args.split_after_secs:
+            return
+        _, ckpt = self.paths(lease)
+        covered = parse_checkpoint_covered(ckpt)
+        tail = plan_split(covered, lease.lo, lease.hi)
+        lease.split_done = True
+        if tail is None:
+            return
+        helper = Lease(len(self.leases), tail[0], tail[1])
+        self.leases.append(helper)
+        self.stats["leases"] += 1
+        self.stats["splits"] += 1
+        self.log(f"straggler lease {lease.idx} split: helper lease "
+                 f"{helper.idx} takes [{tail[0]}:{tail[1]})")
+        self.launch(helper)
+
+    def watchdog(self, lease):
+        _, ckpt = self.paths(lease)
+        progress = lease.started
+        try:
+            progress = max(progress, os.path.getmtime(ckpt))
+        except OSError:
+            pass
+        if time.monotonic() - progress > self.args.watchdog_secs:
+            self.kill(lease, "watchdog: no checkpoint progress in "
+                             f"{self.args.watchdog_secs:.0f}s")
+            self.stats["watchdog_kills"] += 1
+            self.schedule_retry(lease, "watchdog")
+
+    def run(self):
+        for lease in self.leases:
+            self.launch(lease)
+        while True:
+            if time.monotonic() > self.deadline:
+                for lease in self.leases:
+                    self.kill(lease, "supervisor deadline")
+                fail(f"supervised sweep exceeded --timeout-secs "
+                     f"{self.args.timeout_secs:.0f}")
+            live = [l for l in self.leases if l.state in
+                    ("pending", "running")]
+            if not live:
+                break
+            for lease in list(self.leases):
+                if lease.state == "running" and \
+                        lease.proc.poll() is not None:
+                    self.handle_exit(lease)
+            for lease in self.leases:
+                if lease.state == "pending" and \
+                        time.monotonic() >= lease.relaunch_at:
+                    self.launch(lease)
+            running = [l for l in self.leases if l.state == "running"]
+            self.maybe_chaos_kill(running)
+            running = [l for l in self.leases if l.state == "running"]
+            for lease in running:
+                self.watchdog(lease)
+            self.maybe_split_straggler(running)
+            time.sleep(0.05)
+        return self.finalize()
+
+    def count_bak_recoveries(self):
+        """How many relaunches actually recovered from a .bak checkpoint
+        (the relaunched wsvc logs each recovery to stderr)."""
+        total = 0
+        for name in os.listdir(self.workdir):
+            if not name.endswith(".err"):
+                continue
+            try:
+                with open(os.path.join(self.workdir, name),
+                          encoding="utf-8") as f:
+                    total += f.read().count("recovered from '")
+            except OSError:
+                pass
+        return total
+
+    def finalize(self):
+        self.stats["bak_recoveries"] = self.count_bak_recoveries()
+        merged_path = (self.args.stats_json
+                       or os.path.join(self.workdir, "merged.json"))
+        if self.folded == 0:
+            self.log("every lease was abandoned; nothing to merge — the "
+                     "verdict is incomplete by definition")
+            return merged_path, 4
+        cmd = [self.merge_bin, "--incremental", self.state_path,
+               "--finalize", "--stats-json", merged_path]
+        proc = run_checked(cmd, self.args.timeout_secs, "final merge")
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        rc = proc.returncode
+        if rc == 2:
+            sys.exit(2)
+        self.inject_rollup(merged_path)
+        return merged_path, rc
+
+    def inject_rollup(self, merged_path):
+        """Adds the supervisor roll-up section to the merged stats doc."""
+        try:
+            with open(merged_path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return
+        doc["supervisor"] = dict(self.stats)
+        with open(merged_path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+
+    def summary(self):
+        s = self.stats
+        return (f"supervisor: {s['leases']} lease(s), "
+                f"{s['relaunches']} relaunch(es), "
+                f"{s['watchdog_kills']} watchdog kill(s), "
+                f"{s['chaos_kills']} chaos kill(s), "
+                f"{s['corruptions']} corruption(s), "
+                f"{s.get('bak_recoveries', 0)} .bak recover(ies), "
+                f"{s['splits']} split(s), {s['abandoned']} abandoned")
+
+
+# ---------------------------------------------------------------------------
+# Legacy (unsupervised) path
+# ---------------------------------------------------------------------------
+
+def run_shards(wsvc, wsvc_args, ranges, unit, workdir, timeout):
     """Launches one wsvc process per range; returns the stats/ckpt pairs."""
     range_flag = "--db-range" if unit == "database" else "--valuation-range"
     pairs, procs = [], []
@@ -90,8 +470,17 @@ def run_shards(wsvc, wsvc_args, ranges, unit, workdir):
             cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
             text=True)))
         pairs.append((stats, ckpt))
+    deadline = time.monotonic() + timeout
     for i, lo, hi, proc in procs:
-        _, stderr = proc.communicate()
+        try:
+            _, stderr = proc.communicate(
+                timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            for _, _, _, p in procs:
+                if p.poll() is None:
+                    p.kill()
+                    p.wait()
+            fail(f"shard {i} [{lo}:{hi}) timed out after {timeout:.0f}s")
         # 0 holds-over-shard, 3 violated: both are mergeable verdicts.
         if proc.returncode not in (0, 3):
             fail(f"shard {i} [{lo}:{hi}) failed (rc={proc.returncode}):\n"
@@ -99,13 +488,13 @@ def run_shards(wsvc, wsvc_args, ranges, unit, workdir):
     return pairs
 
 
-def run_merge(merge_bin, pairs, stats_json):
+def run_merge(merge_bin, pairs, stats_json, timeout):
     cmd = [merge_bin]
     if stats_json:
         cmd += ["--stats-json", stats_json]
     for stats, ckpt in pairs:
         cmd += [stats, ckpt if os.path.exists(ckpt) else "-"]
-    proc = subprocess.run(cmd, capture_output=True, text=True)
+    proc = run_checked(cmd, timeout, "merge")
     sys.stdout.write(proc.stdout)
     sys.stderr.write(proc.stderr)
     return proc.returncode
@@ -135,13 +524,14 @@ def print_rollup_summary(merged_path):
     print(line)
 
 
-def check_against_single(wsvc, wsvc_args, jobs, merged_path, workdir):
+def check_against_single(wsvc, wsvc_args, jobs, merged_path, workdir,
+                         timeout):
     """Differential check: one unsharded run must agree with the merge."""
     single_path = os.path.join(workdir, "single.json")
-    proc = subprocess.run(
+    proc = run_checked(
         [wsvc] + wsvc_args + ["--jobs", str(jobs),
                               "--stats-json", single_path],
-        capture_output=True, text=True)
+        timeout, "single-process check run")
     if proc.returncode not in (0, 3):
         fail(f"single-process run failed (rc={proc.returncode}):\n"
              f"{proc.stderr.strip()}", code=1)
@@ -189,6 +579,40 @@ def main():
                         help="write the merged stats document here")
     parser.add_argument("--check", action="store_true",
                         help="also run unsharded and compare verdicts")
+    parser.add_argument("--timeout-secs", type=float, default=300.0,
+                        help="hard deadline on every subprocess and on the "
+                             "supervised run as a whole (setup error 2)")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run shards as leases: watchdog, relaunch with "
+                             "--resume, straggler split, incremental merge")
+    parser.add_argument("--watchdog-secs", type=float, default=30.0,
+                        help="SIGKILL a lease whose checkpoint has not "
+                             "advanced in this long")
+    parser.add_argument("--retry-budget", type=int, default=3,
+                        help="relaunches per lease before it is abandoned "
+                             "(abandoned range => gap => exit 4)")
+    parser.add_argument("--backoff-ms", type=float, default=50.0,
+                        help="base relaunch backoff; doubles per attempt")
+    parser.add_argument("--split-after-secs", type=float, default=5.0,
+                        help="split the last running lease's remaining "
+                             "range after it has run this long alone")
+    parser.add_argument("--chaos-kills", type=int, default=0,
+                        help="SIGKILL running leases at random points, this "
+                             "many times (kill-matrix testing)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the chaos kill schedule")
+    parser.add_argument("--corrupt-on-kill", action="store_true",
+                        help="after each kill/crash, flip a bit in the "
+                             "victim's checkpoint (exercises CRC detection "
+                             "and .bak recovery on relaunch)")
+    parser.add_argument("--fault-first-attempt", default=None,
+                        metavar="SPEC",
+                        help="WSV_FAULT spec for every lease's FIRST "
+                             "attempt only (deterministic crash testing)")
+    parser.add_argument("--fault-every-attempt", default=None,
+                        metavar="SPEC",
+                        help="WSV_FAULT spec for ALL attempts (drives "
+                             "retry-budget exhaustion)")
     parser.add_argument("wsvc_args", nargs=argparse.REMAINDER,
                         help="-- COMMAND SPEC [WSVC-OPTS...]")
     args = parser.parse_args()
@@ -200,26 +624,42 @@ def main():
         fail("expected '-- COMMAND SPEC [WSVC-OPTS...]' after the options")
     if args.shards < 1:
         fail("--shards must be >= 1")
+    if args.timeout_secs <= 0:
+        fail("--timeout-secs must be > 0")
+    if args.retry_budget < 0:
+        fail("--retry-budget must be >= 0")
+    chaos_requested = (args.chaos_kills or args.corrupt_on_kill or
+                       args.fault_first_attempt or args.fault_every_attempt)
+    if chaos_requested and not args.supervise:
+        fail("chaos/fault options require --supervise (only the supervisor "
+             "can relaunch what they break)")
 
     wsvc = find_binary(args.bin_dir, "wsvc")
     merge_bin = find_binary(args.bin_dir, "wsvc-merge")
     workdir = args.workdir or tempfile.mkdtemp(prefix="shard_sweep.")
     os.makedirs(workdir, exist_ok=True)
 
-    total, unit = count_space(wsvc, wsvc_args)
+    total, unit = count_space(wsvc, wsvc_args, args.timeout_secs)
     ranges = split_ranges(total, args.shards)
     print(f"shard_sweep: {total} {unit}(s) across {len(ranges)} shard(s): "
           + ", ".join(f"[{lo}:{hi})" for lo, hi in ranges))
 
-    pairs = run_shards(wsvc, wsvc_args, ranges, unit, workdir)
-    merged_path = args.stats_json or os.path.join(workdir, "merged.json")
-    rc = run_merge(merge_bin, pairs, merged_path)
-    if rc == 2:
-        sys.exit(2)
+    if args.supervise:
+        supervisor = Supervisor(args, wsvc, merge_bin, wsvc_args, ranges,
+                                unit, workdir)
+        merged_path, rc = supervisor.run()
+        print(supervisor.summary())
+    else:
+        pairs = run_shards(wsvc, wsvc_args, ranges, unit, workdir,
+                           args.timeout_secs)
+        merged_path = args.stats_json or os.path.join(workdir, "merged.json")
+        rc = run_merge(merge_bin, pairs, merged_path, args.timeout_secs)
+        if rc == 2:
+            sys.exit(2)
     print_rollup_summary(merged_path)
     if args.check:
         check_against_single(wsvc, wsvc_args, len(ranges), merged_path,
-                             workdir)
+                             workdir, args.timeout_secs)
     sys.exit(rc)
 
 

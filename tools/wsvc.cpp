@@ -375,27 +375,41 @@ int BuildRobustness(const Args& args, const std::string& spec_source,
   out->checkpoint_path = cp->second;
   out->checkpoint_every = FlagOr(args, "--checkpoint-every", 64);
   if (args.flags.count("--resume") > 0) {
-    auto loaded = verifier::ReadCheckpoint(out->checkpoint_path,
-                                           out->checkpoint_fingerprint);
+    auto loaded = verifier::ReadCheckpointWithRecovery(
+        out->checkpoint_path, out->checkpoint_fingerprint);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "wsvc: --resume: %s\n",
-                   loaded.status().ToString().c_str());
-      return 2;
+      // A fingerprint mismatch is a user error (wrong problem, wrong
+      // file) and stays fatal. A missing or unrecoverably corrupted
+      // checkpoint just means no usable progress: a supervisor relaunching
+      // a shard that died before its first write must not fail here, so
+      // the run starts fresh from its range instead.
+      if (loaded.status().code() == StatusCode::kInvalidSpec) {
+        std::fprintf(stderr, "wsvc: --resume: %s\n",
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "wsvc: --resume: %s; starting fresh\n",
+                   loaded.status().message().c_str());
+      return 0;
     }
+    const verifier::Checkpoint& cp = loaded->checkpoint;
     // A range shard resumes from the end of the covered interval containing
     // its own range start, not from the global prefix.
     size_t range_lo = 0;
     size_t range_hi = static_cast<size_t>(-1);
     RangeFlagOr(args, "--db-range", &range_lo, &range_hi);
-    out->resume_covered = loaded->covered;
+    out->resume_covered = cp.covered;
     out->resume_prefix = static_cast<size_t>(
-        verifier::ResumeStart(loaded->covered, range_lo));
-    out->resume_failed.assign(loaded->failed_indices.begin(),
-                              loaded->failed_indices.end());
+        verifier::ResumeStart(cp.covered, range_lo));
+    out->resume_failed.assign(cp.failed_indices.begin(),
+                              cp.failed_indices.end());
     std::fprintf(stderr,
-                 "wsvc: resuming past covered %s (%zu previously failed)\n",
-                 verifier::IntervalsToString(loaded->covered).c_str(),
-                 out->resume_failed.size());
+                 "wsvc: resuming past covered %s (%zu previously failed)%s\n",
+                 verifier::IntervalsToString(cp.covered).c_str(),
+                 out->resume_failed.size(),
+                 loaded->recovered_from_backup ? " [recovered from .bak]"
+                                               : "");
   }
   return 0;
 }
