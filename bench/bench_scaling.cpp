@@ -158,13 +158,21 @@ BENCHMARK(BM_JobsSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-/// Within-database parallelism: ONE pinned database, many property
-/// instances (|domain|^2 valuations of a two-variable closure), so all
+/// Within-database parallelism and the symbolic valuation collapse: ONE
+/// pinned database, many property instances (|domain|^2 = 100 valuations
+/// of a two-variable closure over 3 database values + 7 fresh), so all
 /// speedup must come from the second scheduler level — parallel graph
 /// exploration, leaf sealing and the chunked valuation fan-out — not from
-/// sweeping databases. The property is a response shape, G(s -> F t):
-/// its leaves flip across snapshots, so the never/always prefilter cannot
-/// discharge any instance and every valuation pays a real product search.
+/// sweeping databases. The property is a response shape, G(s -> F t),
+/// whose leaves flip across snapshots, so every valuation touching a
+/// database value pays a real product search.
+///
+/// mode:0 checks each valuation index concretely; mode:1 partitions the
+/// space into leaf-signature classes first (--valuation-mode symbolic) and
+/// searches once per class. Each closure variable has 4 signatures (a, b,
+/// c, or fresh/never-satisfied), so 100 valuations collapse to 16 classes:
+/// engine.valuation_classes vs engine.valuations_checked in the exported
+/// counters is the collapse ratio.
 void BM_ValuationFanout(benchmark::State& state) {
   spec::Composition comp = bench::MustParse(R"(
 peer Store {
@@ -186,11 +194,14 @@ peer Store {
     return;
   }
   verifier::VerifierOptions options;
-  options.fresh_domain_size = 2;
+  options.fresh_domain_size = 7;  // 10-value domain, 100 valuations
   options.budget.max_states = 500000;
   options.jobs = static_cast<size_t>(state.range(0));
+  options.valuation_mode = state.range(1) == 1
+                               ? verifier::ValuationMode::kSymbolic
+                               : verifier::ValuationMode::kConcrete;
   verifier::NamedDatabase db;
-  db["r"] = {{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"f"}};
+  db["r"] = {{"a"}, {"b"}, {"c"}};
   options.fixed_databases = std::vector<verifier::NamedDatabase>{db};
   size_t valuations = 0;
   size_t searches = 0;
@@ -215,11 +226,15 @@ peer Store {
   state.counters["searches"] = static_cast<double>(searches);
 }
 BENCHMARK(BM_ValuationFanout)
-    ->ArgName("jobs")
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"jobs", "mode"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

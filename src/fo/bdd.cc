@@ -1,0 +1,285 @@
+#include "fo/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace wsv::fo::bdd {
+
+namespace {
+
+constexpr uint32_t kOpAnd = 0;
+constexpr uint32_t kOpOr = 1;
+constexpr uint32_t kOpNot = 2;
+
+/// Saturating multiply (counts are valuation-index counts, which the
+/// engine already saturates at SIZE_MAX).
+size_t SatMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > static_cast<size_t>(-1) / b) return static_cast<size_t>(-1);
+  return a * b;
+}
+
+size_t SatAdd(size_t a, size_t b) {
+  size_t s = a + b;
+  return s < a ? static_cast<size_t>(-1) : s;
+}
+
+size_t HashNode(size_t level, const NodeRef* kids, size_t radix) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ level;
+  for (size_t d = 0; d < radix; ++d) {
+    h = HashKey64(h ^ (static_cast<uint64_t>(kids[d]) + 0x165667b19e3779f9ULL));
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace
+
+Manager::Manager(size_t num_vars, size_t radix)
+    : num_vars_(num_vars), radix_(radix) {
+  assert(radix_ > 0 || num_vars_ == 0);
+}
+
+Manager::NodeView Manager::View(NodeRef n) const {
+  const uint32_t* words = nodes_[n - 2];
+  return NodeView{words[0], words + 1};
+}
+
+size_t Manager::LevelOf(NodeRef n) const {
+  // Terminals sit below every decision level.
+  if (n <= kTrue) return num_vars_;
+  return View(n).level;
+}
+
+NodeRef Manager::MakeNode(size_t level, const NodeRef* kids) {
+  // Reduction: a node whose children all agree decides nothing.
+  bool uniform = true;
+  for (size_t d = 1; d < radix_; ++d) uniform = uniform && kids[d] == kids[0];
+  if (uniform) return kids[0];
+
+  size_t hash = HashNode(level, kids, radix_);
+  uint32_t found = unique_.Find(hash, [&](uint32_t id) {
+    NodeView v = View(static_cast<NodeRef>(id) + 2);
+    if (v.level != level) return false;
+    for (size_t d = 0; d < radix_; ++d) {
+      if (v.kids[d] != kids[d]) return false;
+    }
+    return true;
+  });
+  if (found != FlatIdSet::kEmpty) return static_cast<NodeRef>(found) + 2;
+
+  uint32_t* words = arena_.AllocWords(radix_ + 1);
+  words[0] = static_cast<uint32_t>(level);
+  for (size_t d = 0; d < radix_; ++d) words[d + 1] = kids[d];
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(words);
+  unique_.Insert(hash, id);
+  ++node_count_;
+  return static_cast<NodeRef>(id) + 2;
+}
+
+NodeRef Manager::Literal(size_t position, uint32_t value) {
+  assert(position < num_vars_ && value < radix_);
+  std::vector<NodeRef> kids(radix_, kFalse);
+  kids[value] = kTrue;
+  return MakeNode(num_vars_ - 1 - position, kids.data());
+}
+
+NodeRef Manager::Cube(const std::vector<size_t>& positions,
+                      const std::vector<uint32_t>& digits) {
+  assert(positions.size() == digits.size());
+  // Build bottom-up: the most significant constrained digit ends up at the
+  // shallowest level, so sort by position ascending (deepest level first).
+  std::vector<std::pair<size_t, uint32_t>> by_pos;
+  by_pos.reserve(positions.size());
+  for (size_t k = 0; k < positions.size(); ++k) {
+    by_pos.emplace_back(positions[k], digits[k]);
+  }
+  std::sort(by_pos.begin(), by_pos.end());
+  NodeRef cur = kTrue;
+  std::vector<NodeRef> kids(radix_);
+  for (const auto& [pos, digit] : by_pos) {
+    std::fill(kids.begin(), kids.end(), kFalse);
+    kids[digit] = cur;
+    cur = MakeNode(num_vars_ - 1 - pos, kids.data());
+  }
+  return cur;
+}
+
+NodeRef Manager::ApplyTerminal(uint32_t op, NodeRef a, NodeRef b) const {
+  switch (op) {
+    case kOpAnd:
+      if (a == kFalse || b == kFalse) return kFalse;
+      if (a == kTrue) return b;
+      if (b == kTrue) return a;
+      if (a == b) return a;
+      break;
+    case kOpOr:
+      if (a == kTrue || b == kTrue) return kTrue;
+      if (a == kFalse) return b;
+      if (b == kFalse) return a;
+      if (a == b) return a;
+      break;
+    case kOpNot:
+      if (a == kFalse) return kTrue;
+      if (a == kTrue) return kFalse;
+      break;
+    default:
+      break;
+  }
+  return static_cast<NodeRef>(-1);  // not a terminal case
+}
+
+NodeRef Manager::Apply(uint32_t op, NodeRef a, NodeRef b) {
+  NodeRef shortcut = ApplyTerminal(op, a, b);
+  if (shortcut != static_cast<NodeRef>(-1)) return shortcut;
+  // And/Or are commutative: canonicalize the operand order so (a,b) and
+  // (b,a) share one cache entry. Node ids stay far below 2^31 (the node
+  // table would exhaust memory long before), so the packed key is unique.
+  if (op != kOpNot && a > b) std::swap(a, b);
+  uint64_t key = (static_cast<uint64_t>(op) << 62) |
+                 (static_cast<uint64_t>(a) << 31) | b;
+  auto it = apply_cache_.find(key);
+  if (it != apply_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+
+  size_t la = LevelOf(a);
+  size_t lb = LevelOf(b);
+  size_t level = std::min(la, lb);
+  std::vector<NodeRef> kids(radix_);
+  for (size_t d = 0; d < radix_; ++d) {
+    NodeRef ad = la == level ? View(a).kids[d] : a;
+    NodeRef bd = op == kOpNot ? kFalse : (lb == level ? View(b).kids[d] : b);
+    kids[d] = op == kOpNot ? Apply(kOpNot, ad, kFalse) : Apply(op, ad, bd);
+  }
+  NodeRef out = MakeNode(level, kids.data());
+  apply_cache_.emplace(key, out);
+  return out;
+}
+
+NodeRef Manager::And(NodeRef a, NodeRef b) { return Apply(kOpAnd, a, b); }
+NodeRef Manager::Or(NodeRef a, NodeRef b) { return Apply(kOpOr, a, b); }
+NodeRef Manager::Not(NodeRef a) { return Apply(kOpNot, a, kFalse); }
+
+size_t Manager::PowRadix(size_t exp) const {
+  size_t out = 1;
+  for (size_t i = 0; i < exp; ++i) out = SatMul(out, radix_);
+  return out;
+}
+
+NodeRef Manager::Interval(size_t lo, size_t hi) {
+  if (lo >= hi) return kFalse;
+  if (num_vars_ == 0) return lo == 0 ? kTrue : kFalse;
+  const size_t space = PowRadix(num_vars_);
+  std::vector<NodeRef> kids(radix_);
+
+  // x < hi, built bottom-up over MSB-first digit comparison. hi >= space
+  // constrains nothing.
+  NodeRef lt = kTrue;
+  if (hi < space) {
+    lt = kFalse;
+    for (size_t level = num_vars_; level-- > 0;) {
+      // Digit of `hi` at this level (position num_vars-1-level).
+      size_t pos = num_vars_ - 1 - level;
+      size_t digit = (hi / PowRadix(pos)) % radix_;
+      for (size_t d = 0; d < radix_; ++d) {
+        kids[d] = d < digit ? kTrue : (d == digit ? lt : kFalse);
+      }
+      lt = MakeNode(level, kids.data());
+    }
+  }
+
+  // x >= lo. lo == 0 constrains nothing.
+  NodeRef ge = kTrue;
+  if (lo > 0) {
+    ge = kTrue;
+    for (size_t level = num_vars_; level-- > 0;) {
+      size_t pos = num_vars_ - 1 - level;
+      size_t digit = (lo / PowRadix(pos)) % radix_;
+      for (size_t d = 0; d < radix_; ++d) {
+        kids[d] = d < digit ? kFalse : (d == digit ? ge : kTrue);
+      }
+      ge = MakeNode(level, kids.data());
+    }
+  }
+  return And(ge, lt);
+}
+
+size_t Manager::SatCount(NodeRef a) {
+  // C(n) = assignments of levels [LevelOf(n), num_vars) satisfying n;
+  // levels above the root are unconstrained.
+  std::function<size_t(NodeRef)> count = [&](NodeRef n) -> size_t {
+    if (n == kFalse) return 0;
+    if (n == kTrue) return 1;
+    auto it = count_cache_.find(n);
+    if (it != count_cache_.end()) return it->second;
+    NodeView v = View(n);
+    size_t total = 0;
+    for (size_t d = 0; d < radix_; ++d) {
+      size_t below = count(v.kids[d]);
+      // Unconstrained levels between this node and the child.
+      size_t gap = LevelOf(v.kids[d]) - v.level - 1;
+      total = SatAdd(total, SatMul(below, PowRadix(gap)));
+    }
+    count_cache_.emplace(n, total);
+    return total;
+  };
+  return SatMul(count(a), PowRadix(LevelOf(a)));
+}
+
+size_t Manager::MinIndex(NodeRef a) const {
+  assert(a != kFalse);
+  size_t index = 0;
+  NodeRef cur = a;
+  while (cur != kTrue) {
+    NodeView v = View(cur);
+    size_t pos = num_vars_ - 1 - v.level;
+    for (size_t d = 0; d < radix_; ++d) {
+      if (v.kids[d] != kFalse) {
+        // Digit weight radix^pos; unconstrained levels contribute digit 0.
+        size_t weight = 1;
+        for (size_t i = 0; i < pos; ++i) weight *= radix_;
+        index += d * weight;
+        cur = v.kids[d];
+        break;
+      }
+    }
+  }
+  return index;
+}
+
+void Manager::EnumerateFrom(NodeRef n, size_t level, size_t prefix_index,
+                            const std::function<void(size_t)>& fn) const {
+  if (n == kFalse) return;
+  if (level == num_vars_) {
+    fn(prefix_index);
+    return;
+  }
+  size_t pos = num_vars_ - 1 - level;
+  size_t weight = 1;
+  for (size_t i = 0; i < pos; ++i) weight *= radix_;
+  size_t node_level = LevelOf(n);
+  for (size_t d = 0; d < radix_; ++d) {
+    NodeRef next = node_level == level ? View(n).kids[d] : n;
+    EnumerateFrom(next, level + 1, prefix_index + d * weight, fn);
+  }
+}
+
+void Manager::ForEachIndex(NodeRef a,
+                           const std::function<void(size_t)>& fn) const {
+  EnumerateFrom(a, 0, 0, fn);
+}
+
+void Manager::Clear() {
+  nodes_.clear();
+  arena_.Reset();
+  unique_ = FlatIdSet();
+  apply_cache_.clear();
+  count_cache_.clear();
+  node_count_ = 0;
+  cache_hits_ = 0;
+}
+
+}  // namespace wsv::fo::bdd

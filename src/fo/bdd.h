@@ -1,0 +1,132 @@
+#ifndef WSVERIFY_FO_BDD_H_
+#define WSVERIFY_FO_BDD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/flat_hash.h"
+
+namespace wsv::fo::bdd {
+
+/// A node reference. 0 and 1 are the terminals kFalse / kTrue; every other
+/// id names a hash-consed decision node owned by the Manager that created
+/// it. Ids are never recycled, so a NodeRef stays valid for the Manager's
+/// lifetime (or until Clear()).
+using NodeRef = uint32_t;
+
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+/// A reduced ordered *mixed-radix* decision diagram manager: the symbolic
+/// backend of the valuation fan-out. There is one decision variable per
+/// closure-variable position of the `ValuationSpace`, each ranging over the
+/// full domain (`radix` = |domain|), so a path from the root to kTrue is a
+/// partial mixed-radix index and a diagram denotes a set of valuation
+/// indices.
+///
+/// Variable order is MOST-significant digit first: level 0 (tested at the
+/// root) is closure position `num_vars - 1`, the most significant digit of
+/// `index = sum_i digit_i * radix^i`. With that order the lexicographically
+/// least member of a set — the deterministic witness the engine must report
+/// — is a single greedy descent (MinIndex).
+///
+/// Nodes are hash-consed through a FlatIdSet over an Arena (the same
+/// flat-table design as the snapshot interner), so structural equality is
+/// pointer equality and the usual ROBDD reductions apply: a node whose
+/// children are all equal is collapsed to that child, and no two live nodes
+/// have the same (level, children) signature. Binary operations go through
+/// a memoized apply; `bdd.nodes` counts unique nodes ever consed and
+/// `bdd.cache_hits` counts apply-cache hits.
+///
+/// Not thread-safe: the engine builds and queries diagrams from the
+/// partition phase only (single-threaded, before the class fan-out).
+class Manager {
+ public:
+  /// `num_vars` closure positions, each with `radix` possible digits.
+  /// radix == 0 is only legal with num_vars == 0 (the space of the single
+  /// empty valuation).
+  Manager(size_t num_vars, size_t radix);
+
+  size_t num_vars() const { return num_vars_; }
+  size_t radix() const { return radix_; }
+  /// Unique decision nodes consed so far (terminals excluded).
+  size_t node_count() const { return node_count_; }
+  /// Apply-cache hits so far (the memoization win of hash-consing).
+  size_t cache_hits() const { return cache_hits_; }
+
+  /// The decision node at `level` whose children are `kids` (size radix),
+  /// reduced and hash-consed. Children must be terminals or nodes at a
+  /// deeper level.
+  NodeRef MakeNode(size_t level, const NodeRef* kids);
+
+  /// digit(position) == value, as a one-level diagram.
+  NodeRef Literal(size_t position, uint32_t value);
+
+  /// The conjunction "digit(positions[k]) == digits[k] for all k" — one
+  /// valuation-row cube. Positions must be distinct; order is free.
+  NodeRef Cube(const std::vector<size_t>& positions,
+               const std::vector<uint32_t>& digits);
+
+  NodeRef And(NodeRef a, NodeRef b);
+  NodeRef Or(NodeRef a, NodeRef b);
+  NodeRef Not(NodeRef a);
+
+  /// The set of indices in [lo, hi), as a diagram over all variables.
+  NodeRef Interval(size_t lo, size_t hi);
+
+  /// Number of satisfying full assignments (= valuation indices) of `a`.
+  /// Saturates at SIZE_MAX.
+  size_t SatCount(NodeRef a);
+
+  /// The least index (mixed-radix value of the digit assignment) satisfying
+  /// `a`; undefined for kFalse (callers must check). Unconstrained levels
+  /// take digit 0.
+  size_t MinIndex(NodeRef a) const;
+
+  /// Invokes `fn(index)` for every satisfying index of `a`, in increasing
+  /// order. Expands unconstrained levels over the whole radix — intended
+  /// for tests over small spaces, not production sweeps.
+  void ForEachIndex(NodeRef a, const std::function<void(size_t)>& fn) const;
+
+  /// Drops every node and cache entry (terminals survive). Outstanding
+  /// NodeRefs become invalid.
+  void Clear();
+
+ private:
+  struct NodeView {
+    size_t level;
+    const NodeRef* kids;
+  };
+
+  NodeView View(NodeRef n) const;
+  size_t LevelOf(NodeRef n) const;
+  NodeRef Apply(uint32_t op, NodeRef a, NodeRef b);
+  NodeRef ApplyTerminal(uint32_t op, NodeRef a, NodeRef b) const;
+  size_t PowRadix(size_t exp) const;
+  void EnumerateFrom(NodeRef n, size_t level, size_t prefix_index,
+                     const std::function<void(size_t)>& fn) const;
+
+  size_t num_vars_;
+  size_t radix_;
+
+  /// Node storage: nodes_[id - 2] points at (radix + 1) arena words:
+  /// [level, kid_0, ..., kid_{radix-1}].
+  std::vector<const uint32_t*> nodes_;
+  Arena arena_;
+  FlatIdSet unique_;
+  size_t node_count_ = 0;
+
+  /// Apply cache: (op, a, b) -> result. Cleared with the manager.
+  std::unordered_map<uint64_t, NodeRef> apply_cache_;
+  /// SatCount memo: node -> count of assignments below its level.
+  std::unordered_map<NodeRef, size_t> count_cache_;
+  size_t cache_hits_ = 0;
+};
+
+}  // namespace wsv::fo::bdd
+
+#endif  // WSVERIFY_FO_BDD_H_

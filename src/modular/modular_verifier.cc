@@ -134,6 +134,7 @@ Result<verifier::VerificationResult> ModularVerifier::Verify(
   engine_options.db_range_lo = options_.db_range_lo;
   engine_options.db_range_hi = options_.db_range_hi;
   engine_options.count_only = options_.count_only;
+  engine_options.valuation_mode = options_.valuation_mode;
   engine_options.budget = options_.budget;
   engine_options.jobs = options_.jobs;
   engine_options.fixed_databases = std::move(fixed);

@@ -21,6 +21,8 @@ struct ModularVerifierOptions {
   /// Count the canonical databases instead of verifying (see
   /// VerifierOptions::count_only).
   bool count_only = false;
+  /// Valuation coverage strategy (see verifier::ValuationMode).
+  verifier::ValuationMode valuation_mode = verifier::ValuationMode::kConcrete;
   verifier::SearchBudget budget;
   /// Worker threads for the database sweep (1 = serial, 0 = hardware
   /// concurrency); see VerifierOptions::jobs.

@@ -14,7 +14,7 @@ namespace wsv::obs {
 /// changes meaning or disappears; adding keys is backward compatible.
 /// v2 added the profiling sections: workers, locks, phases.
 /// v3 added the process section (peak memory).
-inline constexpr int kStatsSchemaVersion = 3;
+inline constexpr int kStatsSchemaVersion = 4;
 
 /// The stats document always contains these top-level keys
 /// (tools/check_stats_schema.py enforces the same list):

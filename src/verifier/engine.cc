@@ -11,6 +11,8 @@
 
 #include "automata/emptiness.h"
 #include "common/thread_pool.h"
+#include "fo/bdd.h"
+#include "fo/logic.h"
 #include "obs/lock_profile.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -112,15 +114,42 @@ void ValuationSpace::DecodeValues(size_t index,
   }
 }
 
-std::vector<std::string> ValuationSpace::DecodeSpellings(size_t index) const {
-  std::vector<std::string> out;
-  out.reserve(num_vars_);
+void ValuationSpace::DecodeSpellings(size_t index,
+                                     std::vector<std::string>* out) const {
+  // resize() keeps the element strings alive, so a scratch buffer reused
+  // across the fan-out loop assigns into existing capacity instead of
+  // allocating num_vars fresh strings per call.
+  out->resize(num_vars_);
   const size_t radix = spellings_.size();
   for (size_t i = 0; i < num_vars_; ++i) {
-    out.push_back(spellings_[index % radix]);
+    (*out)[i] = spellings_[index % radix];
     index /= radix;
   }
+}
+
+std::vector<std::string> ValuationSpace::DecodeSpellings(size_t index) const {
+  std::vector<std::string> out;
+  DecodeSpellings(index, &out);
   return out;
+}
+
+std::optional<ValuationMode> ValuationModeFromName(const std::string& name) {
+  if (name == "concrete") return ValuationMode::kConcrete;
+  if (name == "symbolic") return ValuationMode::kSymbolic;
+  if (name == "auto") return ValuationMode::kAuto;
+  return std::nullopt;
+}
+
+const char* ValuationModeName(ValuationMode mode) {
+  switch (mode) {
+    case ValuationMode::kConcrete:
+      return "concrete";
+    case ValuationMode::kSymbolic:
+      return "symbolic";
+    case ValuationMode::kAuto:
+      return "auto";
+  }
+  return "concrete";
 }
 
 std::vector<std::vector<std::string>> EnumerateValuations(
@@ -128,8 +157,10 @@ std::vector<std::vector<std::string>> EnumerateValuations(
   ValuationSpace space(domain, interner, num_vars);
   std::vector<std::vector<std::string>> out;
   out.reserve(space.size());
+  std::vector<std::string> scratch;
   for (size_t i = 0; i < space.size(); ++i) {
-    out.push_back(space.DecodeSpellings(i));
+    space.DecodeSpellings(i, &scratch);
+    out.push_back(scratch);
   }
   return out;
 }
@@ -285,9 +316,109 @@ struct VerificationEngine::ValuationContext {
   const std::vector<std::vector<size_t>>* leaf_positions;
 };
 
+namespace {
+
+/// One leaf-signature equivalence class of the valuation space: every
+/// member index induces the same truth assignment on every property leaf
+/// at every reachable snapshot, so the product search has one outcome for
+/// all of them. `min_index` is the lexicographically least member — the
+/// representative that is actually searched, and (for a violating class)
+/// exactly the index the serial concrete loop would have reported first.
+struct ValuationClass {
+  size_t min_index;
+  size_t size;
+};
+
+/// Partitions the valuation slice [v_lo, v_hi) into leaf-signature classes
+/// over the *sealed* leaf cache (the graph must be fully explored).
+///
+/// Per leaf: every row in any snapshot's satisfying set is grouped by its
+/// snapshot-membership profile (the set of snapshots containing it); each
+/// profile becomes a decision diagram — the OR of its row cubes over the
+/// leaf's closure positions — which is the leaf evaluated symbolically as
+/// a predicate on valuation indices. Rows no snapshot satisfies share the
+/// ambient (complement) profile. Classes are the nonempty intersections of
+/// one profile diagram per leaf, intersected with the slice interval.
+Result<std::vector<ValuationClass>> PartitionValuationClasses(
+    SnapshotGraph* graph, LeafCache* cache, const ValuationSpace& space,
+    const std::vector<std::vector<size_t>>& leaf_positions, size_t v_lo,
+    size_t v_hi) {
+  obs::PhaseTimer phase("symbolic_partition");
+  fo::bdd::Manager mgr(space.num_vars(), space.values().size());
+  fo::BddLogic logic{&mgr, &space.values()};
+
+  std::vector<fo::bdd::NodeRef> classes{mgr.Interval(v_lo, v_hi)};
+  if (classes[0] == fo::bdd::kFalse) classes.clear();
+  const size_t num_leaves = leaf_positions.size();
+  std::vector<uint32_t> digits;
+  for (size_t i = 0; i < num_leaves && !classes.empty(); ++i) {
+    const std::vector<size_t>& slots = leaf_positions[i];
+    // Row -> sorted list of snapshots whose satisfying set contains it.
+    std::map<data::Tuple, std::vector<SnapshotId>> row_profiles;
+    for (SnapshotId sid = 0; sid < graph->size(); ++sid) {
+      WSV_ASSIGN_OR_RETURN(const fo::ValuationSet* sat, cache->Get(sid, i));
+      for (const data::Tuple& row : sat->rows()) {
+        row_profiles[row].push_back(sid);
+      }
+    }
+    // Profile -> diagram of the indices projecting onto its rows. A row
+    // with a value outside the valuation domain is unreachable by any
+    // index (its cube is empty) and drops out here.
+    std::map<std::vector<SnapshotId>, fo::bdd::NodeRef> profiles;
+    fo::bdd::NodeRef any = fo::bdd::kFalse;
+    for (const auto& [row, sids] : row_profiles) {
+      fo::bdd::NodeRef cube = fo::bdd::kTrue;
+      digits.clear();
+      bool reachable = true;
+      for (size_t k = 0; k < slots.size() && reachable; ++k) {
+        int d = logic.DigitOf(row[k]);
+        reachable = d >= 0;
+        if (reachable) digits.push_back(static_cast<uint32_t>(d));
+      }
+      if (!reachable) continue;
+      cube = mgr.Cube(slots, digits);
+      auto [it, fresh] = profiles.try_emplace(sids, fo::bdd::kFalse);
+      it->second = mgr.Or(it->second, cube);
+      any = mgr.Or(any, cube);
+    }
+    const fo::bdd::NodeRef ambient = mgr.Not(any);
+    std::vector<fo::bdd::NodeRef> refined;
+    refined.reserve(classes.size());
+    for (fo::bdd::NodeRef cls : classes) {
+      for (const auto& [sids, dd] : profiles) {
+        fo::bdd::NodeRef inter = mgr.And(cls, dd);
+        if (inter != fo::bdd::kFalse) refined.push_back(inter);
+      }
+      fo::bdd::NodeRef amb = mgr.And(cls, ambient);
+      if (amb != fo::bdd::kFalse) refined.push_back(amb);
+    }
+    classes = std::move(refined);
+  }
+
+  std::vector<ValuationClass> out;
+  out.reserve(classes.size());
+  for (fo::bdd::NodeRef cls : classes) {
+    out.push_back(ValuationClass{mgr.MinIndex(cls), mgr.SatCount(cls)});
+  }
+  // Ascending representative order IS serial valuation order: classes are
+  // disjoint, so checking them by least member and stopping at the first
+  // violation reproduces the concrete loop's lowest-index witness.
+  std::sort(out.begin(), out.end(),
+            [](const ValuationClass& a, const ValuationClass& b) {
+              return a.min_index < b.min_index;
+            });
+  obs::Registry& registry = obs::Registry::Global();
+  registry.counter("bdd.nodes").Add(mgr.node_count());
+  registry.counter("bdd.cache_hits").Add(mgr.cache_hits());
+  return out;
+}
+
+}  // namespace
+
 Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
                                                    size_t index,
-                                                   ValuationLane& lane) {
+                                                   ValuationLane& lane,
+                                                   size_t weight) {
   const SymbolicTask& task = *ctx.task;
   // The valuation count is |domain|^#vars — a deadline must be able to cut
   // a sweep short between instances, not only inside a search.
@@ -344,7 +475,10 @@ Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
   obs::Registry& registry = obs::Registry::Global();
   static obs::Counter& valuations_checked =
       registry.counter("engine.valuations_checked");
-  valuations_checked.Add(1);
+  // Symbolic classes stand for `weight` indices: coverage counters keep
+  // counting valuations, so classes-vs-valuations stays comparable across
+  // modes (and valuation_classes <= valuations_checked by construction).
+  valuations_checked.Add(weight);
   if (was_miss) {
     ++lane.memo_misses;
     static obs::Counter& memo_misses =
@@ -357,9 +491,9 @@ Result<bool> VerificationEngine::CheckOneValuation(const ValuationContext& ctx,
     memo_hits.Add(1);
   }
   if (entry->empty_language) {
-    ++lane.prefiltered;
+    lane.prefiltered += weight;
     static obs::Counter& prefiltered = registry.counter("engine.prefiltered");
-    prefiltered.Add(1);
+    prefiltered.Add(weight);
     return false;
   }
 
@@ -585,6 +719,161 @@ Result<bool> VerificationEngine::CheckDatabases(
           "verdict covers exactly this shard's valuations");
     }
   };
+
+  // Symbolic (leaf-signature) fan-out: partition the slice into classes of
+  // valuations the product search cannot distinguish and check one
+  // representative — the class's least index — per class, weighted by the
+  // class size. Needs a complete graph (the partition reads the sealed
+  // leaf cache) and an unsaturated index space; kAuto additionally demands
+  // that the classes actually collapse the span. Verdict, witness index,
+  // label, lasso, coverage and budget/stop semantics are identical to the
+  // concrete loop below.
+  if (options_.valuation_mode != ValuationMode::kConcrete && complete_graph &&
+      task.valuations.num_vars() > 0 && total != static_cast<size_t>(-1) &&
+      v_hi > v_lo) {
+    WSV_ASSIGN_OR_RETURN(
+        std::vector<ValuationClass> classes,
+        PartitionValuationClasses(&graph, &cache, task.valuations,
+                                  leaf_positions, v_lo, v_hi));
+    const bool collapse_pays =
+        options_.valuation_mode == ValuationMode::kSymbolic ||
+        classes.size() * 2 <= v_hi - v_lo;
+    if (collapse_pays) {
+      // Counted per class *checked* (not per class partitioned) so that a
+      // violation that stops the sweep early keeps the schema invariant
+      // valuation_classes <= valuations_checked: every counted class also
+      // contributed its weight to the coverage counter.
+      static obs::Counter& class_counter =
+          obs::Registry::Global().counter("engine.valuation_classes");
+
+      const bool class_fan_out =
+          pool_ != nullptr && lanes_ > 1 && classes.size() > 1;
+      if (!class_fan_out) {
+        std::vector<ValuationLane> lanes(1);
+        ValuationLane& lane = lanes[0];
+        for (const ValuationClass& c : classes) {
+          class_counter.Add(1);
+          Result<bool> one = CheckOneValuation(ctx, c.min_index, lane, c.size);
+          if (!one.ok()) {
+            merge_lane(lane);
+            replay_budget_events(lanes, static_cast<size_t>(-1));
+            return one.status();
+          }
+          if (*one) {
+            merge_lane(lane);
+            replay_budget_events(lanes, c.min_index);
+            outcome.violation_found = true;
+            outcome.databases = dbs;
+            outcome.label = task.valuations.DecodeSpellings(c.min_index);
+            outcome.lasso = std::move(lane.candidate->lasso);
+            outcome.violation_valuation_index = c.min_index;
+            return true;
+          }
+        }
+        merge_lane(lane);
+        replay_budget_events(lanes, static_cast<size_t>(-1));
+        apply_range_end();
+        return false;
+      }
+
+      // Parallel class fan-out: chunks of the (ascending-representative)
+      // class list, with the same CAS-min stop fence as the concrete
+      // dispatch — positions order exactly as representative indices do,
+      // so the merged witness is still the lowest-index one.
+      obs::PhaseTimer fanout_phase("valuation_fanout");
+      std::vector<ValuationLane> lanes(lanes_);
+      std::atomic<size_t> stop_before{static_cast<size_t>(-1)};
+      std::atomic<bool> abort{false};
+      obs::TimedMutex stop_mu{"engine.fanout_stop"};
+      std::optional<Status> stop_event;
+      std::optional<std::pair<size_t, Status>> hard_error;  // class position
+      const size_t work = classes.size();
+      const size_t per_chunk = std::max<size_t>(
+          1, std::min<size_t>(256, work / (lanes_ * 8) + 1));
+      const size_t num_chunks = (work + per_chunk - 1) / per_chunk;
+      static obs::Counter& chunk_counter =
+          obs::Registry::Global().counter("engine.valuation_chunks");
+      ThreadPool::ParallelChunks(
+          pool_, lanes_ - 1, num_chunks, [&](size_t lane_id, size_t chunk) {
+            ValuationLane& lane = lanes[lane_id];
+            chunk_counter.Add(1);
+            const size_t begin = chunk * per_chunk;
+            const size_t end = std::min(work, begin + per_chunk);
+            for (size_t pos = begin; pos < end; ++pos) {
+              if (abort.load(std::memory_order_acquire)) return;
+              if (pos >= stop_before.load(std::memory_order_acquire)) break;
+              class_counter.Add(1);
+              Result<bool> one = CheckOneValuation(
+                  ctx, classes[pos].min_index, lane, classes[pos].size);
+              if (!one.ok()) {
+                std::lock_guard<obs::TimedMutex> lock(stop_mu);
+                if (RunControl::IsStopStatus(one.status())) {
+                  if (!stop_event.has_value()) stop_event = one.status();
+                } else if (!hard_error.has_value() ||
+                           pos < hard_error->first) {
+                  hard_error = {pos, one.status()};
+                }
+                abort.store(true, std::memory_order_release);
+                return;
+              }
+              if (*one) {
+                size_t cur = stop_before.load(std::memory_order_acquire);
+                while (pos < cur &&
+                       !stop_before.compare_exchange_weak(
+                           cur, pos, std::memory_order_acq_rel)) {
+                }
+                break;
+              }
+            }
+          });
+
+      obs::PhaseTimer merge_phase("merge");
+      for (const ValuationLane& lane : lanes) merge_lane(lane);
+      const ValuationLane::Candidate* best = nullptr;
+      for (ValuationLane& lane : lanes) {
+        if (lane.candidate.has_value() &&
+            (best == nullptr || lane.candidate->index < best->index)) {
+          best = &*lane.candidate;
+        }
+      }
+      // Class positions and representative indices order identically
+      // (classes are disjoint, so minima are distinct); recover the
+      // winner's position for the serial-order race against a hard error.
+      size_t best_pos = static_cast<size_t>(-1);
+      if (best != nullptr) {
+        best_pos = static_cast<size_t>(
+            std::lower_bound(classes.begin(), classes.end(), best->index,
+                             [](const ValuationClass& c, size_t idx) {
+                               return c.min_index < idx;
+                             }) -
+            classes.begin());
+      }
+      if (hard_error.has_value() &&
+          (best == nullptr || hard_error->first < best_pos)) {
+        return hard_error->second;
+      }
+      if (stop_event.has_value() && best == nullptr) {
+        return *stop_event;
+      }
+      if (best != nullptr) {
+        if (stop_event.has_value()) {
+          outcome.stop_status = *stop_event;
+        } else {
+          replay_budget_events(lanes, best->index);
+        }
+        outcome.violation_found = true;
+        outcome.databases = dbs;
+        outcome.label = task.valuations.DecodeSpellings(best->index);
+        outcome.lasso =
+            std::move(const_cast<ValuationLane::Candidate*>(best)->lasso);
+        outcome.violation_valuation_index = best->index;
+        return true;
+      }
+      replay_budget_events(lanes, static_cast<size_t>(-1));
+      apply_range_end();
+      return false;
+    }
+  }
 
   // Fan the valuation sweep out only when the graph is complete (searches
   // on a partial graph grow it on the fly, which is inherently serial) and

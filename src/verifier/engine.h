@@ -43,6 +43,9 @@ class ValuationSpace {
   /// and num_vars > 0.
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// The domain in digit order: index digit d at position p means
+  /// "closure variable p takes values()[d]".
+  const std::vector<data::Value>& values() const { return values_; }
 
   /// Decodes valuation `index` as interned values, aligned with the
   /// closure-variable order. `out` is overwritten (reuse it across calls to
@@ -50,7 +53,11 @@ class ValuationSpace {
   void DecodeValues(size_t index, std::vector<data::Value>* out) const;
 
   /// Decodes valuation `index` as constant spellings (the witness-label /
-  /// rendering form).
+  /// rendering form) into `*out`, reusing its capacity — the form the
+  /// fan-out loop uses with a per-lane scratch buffer.
+  void DecodeSpellings(size_t index, std::vector<std::string>* out) const;
+
+  /// Allocating convenience form of the above.
   std::vector<std::string> DecodeSpellings(size_t index) const;
 
  private:
@@ -114,6 +121,30 @@ PseudoDomain BuildPseudoDomain(const spec::Composition& comp,
 std::vector<std::vector<std::string>> EnumerateValuations(
     const data::Domain& domain, const Interner& interner, size_t num_vars);
 
+/// How the engine covers the valuation space of one database.
+enum class ValuationMode {
+  /// Enumerate every mixed-radix index (the historical fan-out).
+  kConcrete,
+  /// Partition the space into leaf-signature equivalence classes — two
+  /// valuations inducing the same truth assignment on every property leaf
+  /// at every reachable snapshot are indistinguishable to the Büchi
+  /// product — and run one product search per class, on the class's least
+  /// index. Verdicts, witness indices, labels and coverage are bit-for-bit
+  /// identical to kConcrete; aggregate search statistics (searches,
+  /// prefilter memo traffic) reflect the smaller class count. Falls back
+  /// to the concrete loop when the snapshot graph is incomplete (symbolic
+  /// partitioning needs the sealed leaf cache) or the space saturated.
+  kSymbolic,
+  /// kSymbolic, but additionally falls back to kConcrete when the class
+  /// count fails to collapse the span (classes * 2 > indices), so the
+  /// partition overhead is never paid twice on incompressible spaces.
+  kAuto,
+};
+
+/// Parses "concrete" / "symbolic" / "auto"; empty result on anything else.
+std::optional<ValuationMode> ValuationModeFromName(const std::string& name);
+const char* ValuationModeName(ValuationMode mode);
+
 /// How the sweep treats a database whose check fails hard (an exception
 /// such as std::bad_alloc, or a non-budget error status).
 enum class OnDbError {
@@ -151,6 +182,9 @@ struct EngineOptions {
   /// when fixed_databases is set). Shard coordinators use this to split
   /// ranges evenly.
   bool count_only = false;
+  /// Valuation coverage strategy (see ValuationMode). The default keeps
+  /// the concrete loop; kSymbolic/kAuto collapse it to per-class checks.
+  ValuationMode valuation_mode = ValuationMode::kConcrete;
   SearchBudget budget;
   /// Global worker budget for the two-level scheduler. 1 = serial
   /// (default); 0 = hardware concurrency. One shared ThreadPool feeds both
@@ -300,8 +334,11 @@ class VerificationEngine {
   /// the chunked parallel dispatch (see engine.cc).
   struct ValuationLane;
   struct ValuationContext;
+  /// `weight` is the number of valuation indices this check stands for: 1
+  /// on the concrete path, the class size on the symbolic path (coverage
+  /// counters scale by it; the search itself runs once, on `index`).
   Result<bool> CheckOneValuation(const ValuationContext& ctx, size_t index,
-                                 ValuationLane& lane);
+                                 ValuationLane& lane, size_t weight = 1);
 
   const spec::Composition* comp_;
   const Interner* interner_;

@@ -129,6 +129,7 @@ Result<VerificationResult> Verifier::Verify(const ltl::Property& property) {
   engine_options.valuation_range_lo = options_.valuation_range_lo;
   engine_options.valuation_range_hi = options_.valuation_range_hi;
   engine_options.count_only = options_.count_only;
+  engine_options.valuation_mode = options_.valuation_mode;
   engine_options.budget = options_.budget;
   engine_options.jobs = options_.jobs;
   engine_options.fixed_databases = std::move(fixed);

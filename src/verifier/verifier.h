@@ -50,6 +50,11 @@ struct VerifierOptions {
   /// result carries it in VerificationResult::enumeration_count.
   bool count_only = false;
 
+  /// Valuation coverage strategy: concrete index enumeration, symbolic
+  /// leaf-signature classes, or auto (see verifier::ValuationMode).
+  /// Verdicts and witness indices are identical in every mode.
+  ValuationMode valuation_mode = ValuationMode::kConcrete;
+
   /// Per-search state cap.
   SearchBudget budget;
 

@@ -19,7 +19,7 @@ import tempfile
 def base_doc():
     """A minimal valid stats document with a sweep verdict."""
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "generator": "wsvc",
         "counters": {"sweep.databases": 4, "sweep.range_lo": 0},
         "timers_ns": {"verify": {"total_ns": 1000, "count": 1}},
@@ -73,7 +73,7 @@ def base_doc():
 def merge_doc():
     """A minimal valid stats document with a wsvc-merge verdict."""
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "generator": "wsvc-merge",
         "counters": {"merge.shards": 3, "merge.gaps": 0},
         "timers_ns": {},
@@ -178,6 +178,23 @@ def main(argv):
                               "fault.injected.arena.alloc": 1})
     fault_no_total = mutate(base_doc(), "counters",
                             {"fault.injected.merge.io": 1})
+
+    symbolic = mutate(base_doc(), "counters",
+                      {"sweep.databases": 4,
+                       "engine.valuations_checked": 16,
+                       "engine.valuation_classes": 3,
+                       "bdd.nodes": 40, "bdd.cache_hits": 12})
+    classes_over_checked = mutate(base_doc(), "counters",
+                                  {"engine.valuations_checked": 4,
+                                   "engine.valuation_classes": 9})
+    classes_no_checked = mutate(base_doc(), "counters",
+                                {"engine.valuation_classes": 3})
+    rollup_symbolic = mutate(merge_doc(), "shards.counters",
+                             {"engine.valuations_checked": 32,
+                              "engine.valuation_classes": 5})
+    rollup_classes_bad = mutate(merge_doc(), "shards.counters",
+                                {"engine.valuations_checked": 5,
+                                 "engine.valuation_classes": 32})
 
     supervised = mutate(merge_doc(), "supervisor",
                         {"leases": 4, "relaunches": 2, "watchdog_kills": 1,
@@ -286,6 +303,16 @@ def main(argv):
         ("counter checkpoint.recoveries",
          mutate(base_doc(), "counters",
                 {"sweep.databases": 4, "checkpoint.recoveries": 1}), True),
+        # Schema-v4 symbolic-valuation counters.
+        ("old schema_version 3",
+         mutate(base_doc(), "schema_version", 3), False),
+        ("valid symbolic valuation counters", symbolic, True),
+        ("valuation_classes over valuations_checked", classes_over_checked,
+         False),
+        ("valuation_classes without valuations_checked", classes_no_checked,
+         False),
+        ("rollup valid symbolic counters", rollup_symbolic, True),
+        ("rollup valuation_classes over checked", rollup_classes_bad, False),
         # Supervisor roll-up of a supervised shard_sweep run.
         ("valid supervisor rollup", supervised, True),
         ("supervisor missing relaunches",

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Corpus-wide differential check of --valuation-mode.
+
+Usage: symbolic_cli_test.py --bin-dir DIR --spec-dir DIR
+
+Runs wsvc over the spec corpus twice per configuration — once with
+--valuation-mode concrete, once with symbolic (and once with auto on a
+spot-check) — and asserts the runs are observably identical: same exit
+code, same stdout, and the same verdict section in the stats-JSON
+document (timing subtrees stripped; searches/prefilter traffic
+legitimately differs between a per-index sweep and a per-class sweep).
+Where the symbolic path engages, also asserts the class-collapse
+invariant `engine.valuation_classes <= engine.valuations_checked`.
+"""
+
+import argparse
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"symbolic_cli_test: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+LOAN_DBS = [
+    "--db", "Customer.wants=c1,l1",
+    "--db", "Officer.customer=c1,s1,ann",
+    "--db", "Manager.client=c1,s1,ann",
+    "--db", "CreditAgency.creditRecord=s1,good",
+    "--db", "CreditAgency.accounts=s1,a1,b1",
+]
+
+# (name, command-line tail, expected exit codes)
+# Exit 0 = holds, 3 = violated; both must match between modes exactly.
+CASES = [
+    ("pingpong holds, 1 closure var",
+     ["verify", "pingpong.wsv",
+      "--property",
+      "forall x: G(Requester.got(x) -> exists y: Requester.item(y) and x = y)",
+      "--db", "Requester.item=a;b"],
+     (0,)),
+    ("pingpong violated, 1 closure var",
+     ["verify", "pingpong.wsv",
+      "--property", "forall x: G(not Requester.got(x))",
+      "--db", "Requester.item=a;b"],
+     (3,)),
+    ("loan holds, 2 closure vars",
+     ["verify", "loan.wsv",
+      "--property",
+      "forall c, id: G(Officer.application(c, id) -> Customer.wants(c, id))",
+      *LOAN_DBS],
+     (0,)),
+    ("loan violated, 2 closure vars",
+     ["verify", "loan.wsv",
+      "--property", "forall c, id: G(not Officer.application(c, id))",
+      *LOAN_DBS],
+     (3,)),
+    ("loan violated, valuation-range slice",
+     ["verify", "loan.wsv",
+      "--property", "forall c, id: G(not Officer.application(c, id))",
+      "--valuation-range", "100:196", *LOAN_DBS],
+     (3,)),
+    ("loan jobs=4 parallel class fan-out",
+     ["verify", "loan.wsv",
+      "--property", "forall c, id: G(not Officer.application(c, id))",
+      "--jobs", "4", *LOAN_DBS],
+     (3,)),
+]
+
+
+def run_mode(wsvc, spec_dir, tail, mode, workdir, tag):
+    stats = os.path.join(workdir, f"{tag}_{mode}.json")
+    cmd = [wsvc, tail[0], os.path.join(spec_dir, tail[1]), *tail[2:],
+           "--valuation-mode", mode, "--stats-json", stats]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    doc = None
+    if os.path.exists(stats):
+        with open(stats, encoding="utf-8") as f:
+            doc = json.load(f)
+    return proc, doc
+
+
+def strip_timing(doc):
+    """Returns the verdict subtree with every timing field removed."""
+    verdict = copy.deepcopy(doc.get("verdict"))
+    expect(verdict is not None, "stats doc has no verdict section")
+    verdict.pop("phase_ns", None)
+    # Search statistics (searches, prefiltered, memo traffic) legitimately
+    # differ: symbolic mode runs one search per class. Everything else —
+    # the verdict itself, fingerprint, witness, coverage — must match.
+    verdict.pop("stats", None)
+    return verdict
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bin-dir", required=True)
+    parser.add_argument("--spec-dir", required=True)
+    args = parser.parse_args()
+    wsvc = os.path.join(args.bin_dir, "wsvc")
+    expect(os.path.exists(wsvc), f"wsvc not found at {wsvc}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        for i, (name, tail, exits) in enumerate(CASES):
+            con, con_doc = run_mode(wsvc, args.spec_dir, tail, "concrete",
+                                    workdir, f"case{i}")
+            sym, sym_doc = run_mode(wsvc, args.spec_dir, tail, "symbolic",
+                                    workdir, f"case{i}")
+            expect(con.returncode in exits,
+                   f"[{name}] concrete exit {con.returncode}, want {exits}; "
+                   f"stderr: {con.stderr.strip()}")
+            expect(sym.returncode == con.returncode,
+                   f"[{name}] exit codes differ: concrete {con.returncode} "
+                   f"vs symbolic {sym.returncode}; "
+                   f"stderr: {sym.stderr.strip()}")
+            # The human-readable summary prints prefilter totals, which
+            # differ by weight accounting; compare only the verdict lines.
+            con_verdict = [l for l in con.stdout.splitlines()
+                           if "prefiltered" not in l]
+            sym_verdict = [l for l in sym.stdout.splitlines()
+                           if "prefiltered" not in l]
+            expect(sym_verdict == con_verdict,
+                   f"[{name}] stdout verdicts differ:\n"
+                   f"--- concrete ---\n{con.stdout}\n"
+                   f"--- symbolic ---\n{sym.stdout}")
+            expect(con_doc is not None and sym_doc is not None,
+                   f"[{name}] stats-JSON missing")
+            cv, sv = strip_timing(con_doc), strip_timing(sym_doc)
+            expect(cv == sv,
+                   f"[{name}] verdict JSON differs:\n"
+                   f"--- concrete ---\n{json.dumps(cv, indent=1)}\n"
+                   f"--- symbolic ---\n{json.dumps(sv, indent=1)}")
+            counters = sym_doc.get("counters", {})
+            classes = counters.get("engine.valuation_classes")
+            checked = counters.get("engine.valuations_checked")
+            if classes is not None:
+                expect(checked is not None and classes <= checked,
+                       f"[{name}] class-collapse invariant broken: "
+                       f"classes={classes} checked={checked}")
+            print(f"ok: {name} (exit {con.returncode}, "
+                  f"classes={classes}, checked={checked})")
+
+        # Spot-check auto mode end to end on the violated loan case.
+        name, tail, exits = CASES[3]
+        con, con_doc = run_mode(wsvc, args.spec_dir, tail, "concrete",
+                                workdir, "auto_ref")
+        auto, auto_doc = run_mode(wsvc, args.spec_dir, tail, "auto",
+                                  workdir, "auto")
+        expect(auto.returncode == con.returncode,
+               f"[auto {name}] exit codes differ: {con.returncode} vs "
+               f"{auto.returncode}")
+        expect(strip_timing(con_doc) == strip_timing(auto_doc),
+               f"[auto {name}] verdict JSON differs from concrete")
+        print(f"ok: auto mode agrees on '{name}'")
+
+        # The flag rejects junk with a usage error, not a crash.
+        bad = subprocess.run(
+            [wsvc, "verify", os.path.join(args.spec_dir, "pingpong.wsv"),
+             "--property", "true", "--valuation-mode", "quantum"],
+            capture_output=True, text=True, timeout=60)
+        expect(bad.returncode == 2,
+               f"bad mode exit {bad.returncode}, want 2")
+        expect("--valuation-mode expects" in bad.stderr + bad.stdout,
+               f"bad mode message missing: {bad.stderr}")
+        print("ok: bad --valuation-mode rejected")
+
+    print("all symbolic differential cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+// Engine-level differential tests for the symbolic valuation fan-out:
+// --valuation-mode symbolic must produce verdicts, witness valuation
+// indices and rendered counterexamples bit-for-bit identical to the
+// concrete per-index sweep, while searching once per leaf-signature class
+// instead of once per valuation. Covers serial and parallel class
+// dispatch, valuation-range shard slices, and the auto heuristic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ltl/property.h"
+#include "obs/metrics.h"
+#include "spec/parser.h"
+#include "verifier/verifier.h"
+
+namespace wsv::verifier {
+namespace {
+
+// Same pinned-database pipeline as valuation_fanout_test: one
+// configuration graph, |domain|^2 property instances with two closure
+// variables — the shape the symbolic partition collapses.
+constexpr char kPipeline[] = R"(
+peer Store {
+  database { r(x); }
+  input    { in(x); }
+  state    { s(x); t(x); }
+  rules {
+    options in(x) :- r(x);
+    insert s(x) :- in(x);
+    insert t(x) :- s(x);
+  }
+}
+)";
+
+struct RunResult {
+  VerificationResult result;
+  std::string counterexample_text;  // empty when holds
+  uint64_t classes_counter = 0;
+  uint64_t checked_counter = 0;
+  uint64_t bdd_nodes_counter = 0;
+};
+
+RunResult VerifyPinned(const spec::Composition& comp,
+                       const std::string& property_text, ValuationMode mode,
+                       size_t jobs, size_t v_lo = 0,
+                       size_t v_hi = static_cast<size_t>(-1)) {
+  obs::Registry::Global().Reset();
+  auto property = ltl::Property::Parse(property_text);
+  EXPECT_TRUE(property.ok()) << property.status();
+  VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.jobs = jobs;
+  options.valuation_mode = mode;
+  options.valuation_range_lo = v_lo;
+  options.valuation_range_hi = v_hi;
+  NamedDatabase db;
+  db["r"] = {{"a"}, {"b"}, {"c"}};
+  options.fixed_databases = std::vector<NamedDatabase>{db};
+  Verifier verifier(&comp, options);
+  auto result = verifier.Verify(*property);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunResult run;
+  run.result = std::move(*result);
+  if (run.result.counterexample.has_value()) {
+    run.counterexample_text =
+        run.result.counterexample->ToString(comp, verifier.interner());
+  }
+  obs::Registry& reg = obs::Registry::Global();
+  run.classes_counter = reg.counter("engine.valuation_classes").value();
+  run.checked_counter = reg.counter("engine.valuations_checked").value();
+  run.bdd_nodes_counter = reg.counter("bdd.nodes").value();
+  return run;
+}
+
+/// The witness contract across modes: the symbolic class sweep reports the
+/// same verdict, valuation index, closure labels and rendered
+/// counterexample as the concrete loop, serially and under the parallel
+/// class fan-out.
+TEST(SymbolicValuation, ViolationMatchesConcreteAcrossModesAndJobs) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string property =
+      "forall x, y: G(not (Store.t(x) and Store.t(y)))";
+
+  RunResult concrete = VerifyPinned(*comp, property, ValuationMode::kConcrete,
+                                    /*jobs=*/1);
+  ASSERT_FALSE(concrete.result.holds);
+  ASSERT_TRUE(concrete.result.counterexample.has_value());
+  EXPECT_EQ(concrete.classes_counter, 0u);  // concrete path records none
+  const size_t witness = concrete.result.counterexample->valuation_index;
+  ASSERT_NE(witness, static_cast<size_t>(-1));
+
+  for (size_t jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    RunResult symbolic = VerifyPinned(*comp, property,
+                                      ValuationMode::kSymbolic, jobs);
+    ASSERT_FALSE(symbolic.result.holds);
+    ASSERT_TRUE(symbolic.result.counterexample.has_value());
+    EXPECT_EQ(symbolic.result.counterexample->valuation_index, witness);
+    EXPECT_EQ(symbolic.result.counterexample->closure_valuation,
+              concrete.result.counterexample->closure_valuation);
+    EXPECT_EQ(symbolic.counterexample_text, concrete.counterexample_text);
+    EXPECT_GT(symbolic.classes_counter, 0u);
+    EXPECT_GT(symbolic.bdd_nodes_counter, 0u);
+  }
+}
+
+/// On a holding property the partition actually collapses: strictly fewer
+/// classes than valuations, every valuation still accounted for in the
+/// coverage counter (class weights sum to the space), and the verdict
+/// identical to concrete at every job count.
+TEST(SymbolicValuation, HoldsCollapsesClassesWithFullCoverage) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string property =
+      "forall x, y: G((Store.t(x) -> Store.s(x)) and "
+      "(Store.t(y) -> Store.s(y)))";
+
+  RunResult concrete = VerifyPinned(*comp, property, ValuationMode::kConcrete,
+                                    /*jobs=*/1);
+  ASSERT_TRUE(concrete.result.holds) << concrete.counterexample_text;
+  const size_t space = concrete.result.stats.valuations_checked;
+  ASSERT_GT(space, 1u);
+  EXPECT_EQ(concrete.checked_counter, space);
+
+  for (size_t jobs : {1u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    RunResult symbolic = VerifyPinned(*comp, property,
+                                      ValuationMode::kSymbolic, jobs);
+    EXPECT_TRUE(symbolic.result.holds) << symbolic.counterexample_text;
+    EXPECT_EQ(symbolic.result.stats.valuations_checked, space);
+    // Collapse engaged: fewer class searches than valuations, but the
+    // weighted coverage counter still accounts for every index.
+    EXPECT_GT(symbolic.classes_counter, 0u);
+    EXPECT_LT(symbolic.classes_counter, space);
+    EXPECT_EQ(symbolic.checked_counter, space);
+    EXPECT_LE(symbolic.classes_counter, symbolic.checked_counter);
+  }
+}
+
+/// Valuation-range slices (the distributed sharding unit) behave
+/// identically in both modes: a slice that excludes the witness holds with
+/// a range-end stop, the slice containing it reports the same index.
+TEST(SymbolicValuation, ValuationRangeShardsMatchConcrete) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string property =
+      "forall x, y: G(not (Store.t(x) and Store.t(y)))";
+
+  RunResult full = VerifyPinned(*comp, property, ValuationMode::kConcrete, 1);
+  ASSERT_FALSE(full.result.holds);
+  const size_t witness = full.result.counterexample->valuation_index;
+  const size_t space = full.result.stats.valuations_checked;
+  ASSERT_GT(witness, 0u);  // a nonempty clean prefix exists
+  ASSERT_GT(space, witness + 1);
+  // Reference behavior of the slice past the witness (other valuations may
+  // violate there too; whatever concrete reports, symbolic must match).
+  RunResult tail_ref = VerifyPinned(*comp, property, ValuationMode::kConcrete,
+                                    /*jobs=*/1, witness + 1, space);
+
+  for (ValuationMode mode :
+       {ValuationMode::kConcrete, ValuationMode::kSymbolic}) {
+    SCOPED_TRACE(std::string("mode=") + ValuationModeName(mode));
+    // The witness is the least violating index, so the slice strictly
+    // before it holds in both modes.
+    RunResult before = VerifyPinned(*comp, property, mode, /*jobs=*/1,
+                                    /*v_lo=*/0, witness);
+    EXPECT_TRUE(before.result.holds) << before.counterexample_text;
+    // A one-index slice pinning the witness: identical index and labels.
+    RunResult hit = VerifyPinned(*comp, property, mode, /*jobs=*/1, witness,
+                                 witness + 1);
+    ASSERT_FALSE(hit.result.holds);
+    EXPECT_EQ(hit.result.counterexample->valuation_index, witness);
+    EXPECT_EQ(hit.counterexample_text, full.counterexample_text);
+    // An offset slice must report its own least witness, identically.
+    RunResult tail = VerifyPinned(*comp, property, mode, /*jobs=*/1,
+                                  witness + 1, space);
+    ASSERT_EQ(tail.result.holds, tail_ref.result.holds);
+    if (!tail.result.holds) {
+      EXPECT_EQ(tail.result.counterexample->valuation_index,
+                tail_ref.result.counterexample->valuation_index);
+      EXPECT_EQ(tail.counterexample_text, tail_ref.counterexample_text);
+    }
+  }
+}
+
+/// kAuto must agree with concrete regardless of which path its heuristic
+/// picks, and on this pipeline (few leaf signatures, 25 valuations) the
+/// collapse pays, so the class counter is live.
+TEST(SymbolicValuation, AutoModeAgreesWithConcrete) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string violated =
+      "forall x, y: G(not (Store.t(x) and Store.t(y)))";
+  const std::string holds =
+      "forall x, y: G((Store.t(x) -> Store.s(x)) and "
+      "(Store.t(y) -> Store.s(y)))";
+
+  RunResult cv = VerifyPinned(*comp, violated, ValuationMode::kConcrete, 1);
+  RunResult av = VerifyPinned(*comp, violated, ValuationMode::kAuto, 1);
+  ASSERT_FALSE(cv.result.holds);
+  ASSERT_FALSE(av.result.holds);
+  EXPECT_EQ(av.result.counterexample->valuation_index,
+            cv.result.counterexample->valuation_index);
+  EXPECT_EQ(av.counterexample_text, cv.counterexample_text);
+
+  RunResult ch = VerifyPinned(*comp, holds, ValuationMode::kConcrete, 1);
+  RunResult ah = VerifyPinned(*comp, holds, ValuationMode::kAuto, 1);
+  EXPECT_TRUE(ch.result.holds);
+  EXPECT_TRUE(ah.result.holds);
+  EXPECT_GT(ah.classes_counter, 0u);
+  EXPECT_LT(ah.classes_counter, ah.checked_counter);
+}
+
+/// Mode parsing round-trips and rejects junk — the seam wsvc's
+/// --valuation-mode flag goes through.
+TEST(SymbolicValuation, ModeNamesRoundTrip) {
+  for (ValuationMode mode : {ValuationMode::kConcrete,
+                             ValuationMode::kSymbolic, ValuationMode::kAuto}) {
+    auto parsed = ValuationModeFromName(ValuationModeName(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ValuationModeFromName("eager").has_value());
+  EXPECT_FALSE(ValuationModeFromName("").has_value());
+}
+
+}  // namespace
+}  // namespace wsv::verifier

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Validates a `wsvc --stats-json` document against schema v3.
+"""Validates a `wsvc --stats-json` document against schema v4.
 
 Usage: check_stats_schema.py [--require-counter NAME]... STATS_JSON [TRACE_JSON]
 
 Checks the required top-level keys and their types (see
 src/obs/stats_json.h) — schema v2 added the profiling sections: per-worker
 time ledgers ("workers"), lock-contention counters ("locks"), and the
-phase tree ("phases"); v3 added the "process" section (peak memory).
+phase tree ("phases"); v3 added the "process" section (peak memory); v4
+added the symbolic valuation counters (engine.valuation_classes, bdd.*)
+with the invariant valuation_classes <= valuations_checked.
 With a trace argument, also checks that the trace file is a well-formed
 Chrome trace-event document. --require-counter (repeatable) additionally
 fails unless the named counter is present, so perf-smoke ctest entries can
@@ -49,13 +51,14 @@ def check_stats(path):
         expect(key in doc, f"missing required key '{key}'")
         expect(isinstance(doc[key], ty),
                f"'{key}' must be {ty.__name__}, got {type(doc[key]).__name__}")
-    expect(doc["schema_version"] == 3,
+    expect(doc["schema_version"] == 4,
            f"unknown schema_version {doc['schema_version']}")
 
     for name, value in doc["counters"].items():
         expect(isinstance(value, int) and value >= 0,
                f"counter '{name}' must be a non-negative integer")
     check_fault_counters(doc["counters"], "counters")
+    check_valuation_counters(doc["counters"], "counters")
     for name, timer in doc["timers_ns"].items():
         expect(isinstance(timer, dict), f"timer '{name}' must be an object")
         for field in ("total_ns", "count"):
@@ -184,6 +187,7 @@ def check_shards_rollup(shards):
         expect(isinstance(shards.get(section), dict),
                f"'shards.{section}' must be an object")
     check_fault_counters(shards["counters"], "shards.counters")
+    check_valuation_counters(shards["counters"], "shards.counters")
     util = shards.get("utilization")
     expect(isinstance(util, dict), "'shards.utilization' must be an object")
     for field in ("mean", "min", "max"):
@@ -226,6 +230,23 @@ def check_fault_counters(counters, where):
     expect(total == per_site,
            f"'{where}.fault.injected' is {total} but the per-site "
            f"breakdown sums to {per_site}")
+
+
+def check_valuation_counters(counters, where):
+    """Validates the symbolic-valuation counters (schema v4): a class
+    stands for >= 1 valuation indices, so 'engine.valuation_classes' can
+    never exceed 'engine.valuations_checked' (both absent, or classes
+    absent on a concrete-mode run, is fine)."""
+    classes = counters.get("engine.valuation_classes")
+    if classes is None:
+        return
+    checked = counters.get("engine.valuations_checked")
+    expect(checked is not None,
+           f"'{where}' has engine.valuation_classes but no "
+           f"'engine.valuations_checked'")
+    expect(classes <= checked,
+           f"'{where}.engine.valuation_classes' is {classes}, which exceeds "
+           f"engine.valuations_checked = {checked}")
 
 
 def check_supervisor(sup):

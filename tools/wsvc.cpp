@@ -64,7 +64,8 @@ const std::set<std::string>& ValueFlags() {
       "--steps",     "--seed",          "--db",         "--env-msg",
       "--env-domain", "--stats-json",   "--trace-json", "--progress-ms",
       "--jobs",      "--deadline-ms",   "--checkpoint", "--checkpoint-every",
-      "--on-db-error", "--db-range",    "--valuation-range"};
+      "--on-db-error", "--db-range",    "--valuation-range",
+      "--valuation-mode"};
   return flags;
 }
 
@@ -106,6 +107,13 @@ int Usage() {
       "                           sweep (tools/shard_sweep.py, wsvc-merge)\n"
       "  --valuation-range <lo:hi> the same slicing over the valuation space\n"
       "                           of a pinned-database run (verify with --db)\n"
+      "  --valuation-mode <m>     concrete (default): enumerate every\n"
+      "                           valuation index; symbolic: one product\n"
+      "                           search per leaf-signature class (BDD\n"
+      "                           partition of the valuation space); auto:\n"
+      "                           symbolic unless the classes fail to\n"
+      "                           collapse the span. Verdict and witness are\n"
+      "                           identical in every mode\n"
       "  --count-databases        report the size of the enumeration space\n"
       "                           (databases, or valuations under --db) and\n"
       "                           exit without verifying — how a coordinator\n"
@@ -311,6 +319,22 @@ void RangeFlagOr(const Args& args, const std::string& name, size_t* lo,
   }
 }
 
+/// Parses --valuation-mode (concrete | symbolic | auto; default concrete).
+/// Exits with usage code 2 on an unknown mode, mirroring the range flags.
+verifier::ValuationMode ValuationModeFlagOr(const Args& args) {
+  auto it = args.flags.find("--valuation-mode");
+  if (it == args.flags.end()) return verifier::ValuationMode::kConcrete;
+  auto mode = verifier::ValuationModeFromName(it->second);
+  if (!mode.has_value()) {
+    std::fprintf(stderr,
+                 "wsvc: --valuation-mode expects concrete|symbolic|auto, "
+                 "got '%s'\n",
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return *mode;
+}
+
 /// Everything Run{Verify,Protocol,Modular} need to wire the robustness
 /// options (deadline/cancel token, fault isolation, checkpoint/resume) into
 /// their verifier options.
@@ -486,6 +510,7 @@ int RunVerify(const Args& args, const std::string& spec_source,
   RangeFlagOr(args, "--db-range", &options.db_range_lo, &options.db_range_hi);
   RangeFlagOr(args, "--valuation-range", &options.valuation_range_lo,
               &options.valuation_range_hi);
+  options.valuation_mode = ValuationModeFlagOr(args);
   options.count_only = args.flags.count("--count-databases") > 0;
   RobustnessSetup rob;
   if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
@@ -565,6 +590,7 @@ int RunProtocol(const Args& args, const std::string& spec_source,
                  "wsvc: --valuation-range applies to 'verify' only\n");
     return 2;
   }
+  options.valuation_mode = ValuationModeFlagOr(args);
   options.count_only = args.flags.count("--count-databases") > 0;
   RobustnessSetup rob;
   if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
@@ -636,6 +662,7 @@ int RunModular(const Args& args, const std::string& spec_source,
                  "wsvc: --valuation-range applies to 'verify' only\n");
     return 2;
   }
+  options.valuation_mode = ValuationModeFlagOr(args);
   options.count_only = args.flags.count("--count-databases") > 0;
   RobustnessSetup rob;
   if (int rrc = BuildRobustness(args, spec_source, &rob); rrc != 0) {
