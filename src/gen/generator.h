@@ -1,0 +1,120 @@
+#ifndef WSVERIFY_GEN_GENERATOR_H_
+#define WSVERIFY_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cfsm/cfsm.h"
+#include "common/status.h"
+#include "runtime/run_options.h"
+
+namespace wsv::gen {
+
+/// Cells of the decidability map the generator can target. Each regime
+/// fixes the communication semantics and the family of rule/property
+/// shapes so that a generated composition provably sits in the chosen
+/// cell (see README "Differential fuzzing" for the map).
+enum class Regime {
+  /// Theorem 3.4's decidable core: closed composition, input-bounded
+  /// rules and properties, lossy 1-bounded queues.
+  kCore,
+  /// Perfect flat channels (Theorem 3.7's undecidable boundary); the
+  /// bounded exploration is still sound and fully deterministic, so every
+  /// differential leg must agree on the explored space.
+  kPerfect,
+  /// Recency-bounded channels (Abdulla et al., PAPERS.md): lossy queues
+  /// with bound R >= 2 and head-reactive rules, approximating the
+  /// recency abstraction by bounded-lossy exploration — an additional
+  /// decidable class beyond input-boundedness.
+  kRecency,
+  /// Theorem 3.8 semantics: deterministic flat sends — a send rule with
+  /// several candidate tuples sends nothing and raises the error flag.
+  kDetFlat,
+  /// DCDS-style external services (Bagheri Hariri et al., PAPERS.md): an
+  /// open composition whose source peer is replaced by the environment,
+  /// verified modularly against a strict env spec (Theorem 5.4).
+  kExternal,
+  /// The CFSM special case (Section 6): propositional schemas, no
+  /// database — a random communicating-FSM system embedded as a
+  /// composition, cross-checked against the exact CFSM explorer.
+  kCfsm,
+};
+
+inline constexpr size_t kNumRegimes = 6;
+
+const char* RegimeName(Regime regime);
+std::optional<Regime> RegimeFromName(const std::string& name);
+/// All regimes in declaration order.
+std::vector<Regime> AllRegimes();
+
+/// The shrinkable size dials of a generated composition. Shrinking walks
+/// these down (respecting the minimums) while a differential mismatch
+/// persists, so the committed repro is minimal along every axis.
+struct Dials {
+  size_t num_peers = 3;        // chain length, >= 2
+  size_t num_constants = 2;    // constant pool "c0".."c<n-1>", >= 1
+  size_t max_extra_rules = 2;  // optional embellishments, >= 0
+  size_t fresh = 1;            // fresh pseudo-domain elements, >= 1
+  size_t queue_bound = 1;      // >= 1 (recency regime draws 2..3)
+
+  bool operator==(const Dials&) const = default;
+  std::string ToString() const;
+};
+
+struct GenOptions {
+  uint64_t seed = 0;
+  Regime regime = Regime::kCore;
+  Dials dials;
+};
+
+/// One generated verification problem: the composition (as canonical DSL
+/// text — the printer is the generator's only output path), the property
+/// or protocol to check, and the run semantics of its regime. Everything a
+/// differential leg needs; everything a corpus file records.
+struct Scenario {
+  GenOptions options;
+  std::string name;  // "fuzz_<regime>_<seed>"
+
+  /// Canonical spec text: PrintComposition of the generated composition.
+  /// Guaranteed fixpoint: parse(spec_text) re-prints to the same bytes.
+  std::string spec_text;
+
+  /// LTL-FO property for the engine / modular legs (empty = none).
+  std::string property;
+  /// Protocol LTL over channel names (kCfsm scenarios).
+  std::string protocol_ltl;
+  /// Environment spec + message candidates + quantifier domain (kExternal
+  /// scenarios, verified by the modular verifier).
+  std::string env_spec;
+  std::vector<std::pair<std::string, std::vector<std::vector<std::string>>>>
+      env_messages;
+  std::vector<std::string> env_domain;
+
+  /// Pinned databases as "Peer.relation=v1,v2;v3,v4" flags (empty = sweep
+  /// the canonical database enumeration).
+  std::vector<std::string> pinned_dbs;
+
+  runtime::RunOptions run;
+  size_t fresh = 1;
+  size_t max_states = 400000;
+  bool use_modular = false;
+
+  /// kCfsm cross-check payload: the source CFSM system and the control
+  /// target the property negates (property holds iff target unreachable).
+  bool has_cfsm = false;
+  cfsm::CfsmSystem cfsm_system;
+  std::vector<size_t> cfsm_target;
+};
+
+/// Generates one scenario. Deterministic: the same options produce
+/// byte-identical spec_text/property across runs, platforms and thread
+/// counts. Fails (kInternal) only on a generator bug — every generated
+/// composition must validate and round-trip through the parser.
+Result<Scenario> GenerateScenario(const GenOptions& options);
+
+}  // namespace wsv::gen
+
+#endif  // WSVERIFY_GEN_GENERATOR_H_

@@ -1,0 +1,93 @@
+// Printer/parser round-trip: for every checked-in spec under specs/ the
+// canonical form must be a fixpoint — parse(print(parse(text))) prints the
+// same bytes — and re-parsing the printed text must preserve the
+// composition's observable structure. Generated compositions are covered
+// by gen_test; this test pins the hand-written corpus so printer/parser
+// asymmetries cannot creep in.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spec/parser.h"
+#include "spec/printer.h"
+
+#ifndef WSV_SPECS_DIR
+#error "WSV_SPECS_DIR must point at the checked-in specs directory"
+#endif
+
+namespace wsv::spec {
+namespace {
+
+std::vector<std::filesystem::path> SpecFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(WSV_SPECS_DIR)) {
+    if (entry.path().extension() == ".wsv") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(RoundTripTest, SpecsDirectoryIsNonEmpty) {
+  EXPECT_GE(SpecFiles().size(), 7u) << "expected the checked-in corpus at "
+                                    << WSV_SPECS_DIR;
+}
+
+/// print(parse(text)) is a parser fixpoint: parsing the printed canonical
+/// form and printing again yields the same bytes.
+TEST(RoundTripTest, PrintedFormIsFixpoint) {
+  for (const auto& path : SpecFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    auto first = ParseComposition(ReadFile(path));
+    ASSERT_TRUE(first.ok()) << first.status();
+    std::string printed = PrintComposition(first.value());
+    auto second = ParseComposition(printed);
+    ASSERT_TRUE(second.ok()) << second.status() << "\n" << printed;
+    EXPECT_EQ(PrintComposition(second.value()), printed);
+  }
+}
+
+/// Re-parsing the canonical form preserves the composition's structure:
+/// peer count, peer names, schema sizes and rule counts all survive.
+TEST(RoundTripTest, ReparsePreservesStructure) {
+  for (const auto& path : SpecFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    auto first = ParseComposition(ReadFile(path));
+    ASSERT_TRUE(first.ok()) << first.status();
+    auto second = ParseComposition(PrintComposition(first.value()));
+    ASSERT_TRUE(second.ok()) << second.status();
+    const Composition& a = first.value();
+    const Composition& b = second.value();
+    ASSERT_EQ(a.peers().size(), b.peers().size());
+    EXPECT_EQ(a.channels().size(), b.channels().size());
+    for (size_t i = 0; i < a.peers().size(); ++i) {
+      const Peer& pa = a.peers()[i];
+      const Peer& pb = b.peers()[i];
+      EXPECT_EQ(pa.name(), pb.name());
+      EXPECT_EQ(pa.rules().size(), pb.rules().size());
+      EXPECT_EQ(pa.database_schema().size(), pb.database_schema().size());
+      EXPECT_EQ(pa.declared_state_schema().size(),
+                pb.declared_state_schema().size());
+      EXPECT_EQ(pa.input_schema().size(), pb.input_schema().size());
+      EXPECT_EQ(pa.action_schema().size(), pb.action_schema().size());
+      EXPECT_EQ(pa.in_queues().size(), pb.in_queues().size());
+      EXPECT_EQ(pa.out_queues().size(), pb.out_queues().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsv::spec

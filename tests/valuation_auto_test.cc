@@ -1,0 +1,160 @@
+// Pins the --valuation-mode auto crossover heuristic: auto engages the
+// symbolic leaf-signature collapse exactly when the partition at least
+// halves the valuation span (classes * 2 <= span), and otherwise falls
+// back to the concrete per-index sweep. Both sides of the crossover are
+// constructed explicitly, and on both sides auto's verdict, witness and
+// coverage must be identical to the concrete reference. gen_test's
+// engine-vs-symbolic differential leg covers random instances; this test
+// keeps the heuristic boundary itself from drifting silently.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ltl/property.h"
+#include "obs/metrics.h"
+#include "spec/parser.h"
+#include "verifier/verifier.h"
+
+namespace wsv::verifier {
+namespace {
+
+constexpr char kPipeline[] = R"(
+peer Store {
+  database { r(x); }
+  input    { in(x); }
+  state    { s(x); t(x); }
+  rules {
+    options in(x) :- r(x);
+    insert s(x) :- in(x);
+    insert t(x) :- s(x);
+  }
+}
+)";
+
+struct RunResult {
+  VerificationResult result;
+  std::string counterexample_text;
+  uint64_t classes = 0;
+  uint64_t checked = 0;
+};
+
+RunResult VerifyPinned(const spec::Composition& comp,
+                       const std::string& property_text, ValuationMode mode,
+                       size_t jobs = 1,
+                       std::vector<std::vector<std::string>> rows = {
+                           {"a"}, {"b"}, {"c"}}) {
+  obs::Registry::Global().Reset();
+  auto property = ltl::Property::Parse(property_text);
+  EXPECT_TRUE(property.ok()) << property.status();
+  VerifierOptions options;
+  options.fresh_domain_size = 2;
+  options.jobs = jobs;
+  options.valuation_mode = mode;
+  NamedDatabase db;
+  db["r"] = std::move(rows);
+  options.fixed_databases = std::vector<NamedDatabase>{db};
+  Verifier verifier(&comp, options);
+  auto result = verifier.Verify(*property);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunResult run;
+  run.result = std::move(*result);
+  if (run.result.counterexample.has_value()) {
+    run.counterexample_text =
+        run.result.counterexample->ToString(comp, verifier.interner());
+  }
+  obs::Registry& reg = obs::Registry::Global();
+  run.classes = reg.counter("engine.valuation_classes").value();
+  run.checked = reg.counter("engine.valuations_checked").value();
+  return run;
+}
+
+/// Compressible side of the crossover: a two-variable property whose leaf
+/// signatures collapse the 25-valuation span. Auto must take the symbolic
+/// path (classes live) and the engaged partition must actually satisfy the
+/// crossover inequality it was admitted under.
+TEST(ValuationAuto, CollapsingPropertyTakesSymbolicPath) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string property =
+      "forall x, y: G((Store.t(x) -> Store.s(x)) and "
+      "(Store.t(y) -> Store.s(y)))";
+
+  RunResult concrete =
+      VerifyPinned(*comp, property, ValuationMode::kConcrete);
+  ASSERT_TRUE(concrete.result.holds) << concrete.counterexample_text;
+  const uint64_t space = concrete.checked;
+  ASSERT_GT(space, 1u);
+
+  RunResult automatic = VerifyPinned(*comp, property, ValuationMode::kAuto);
+  EXPECT_TRUE(automatic.result.holds) << automatic.counterexample_text;
+  EXPECT_GT(automatic.classes, 0u) << "auto should engage the collapse";
+  EXPECT_LE(automatic.classes * 2, space)
+      << "auto engaged a partition that does not halve the span";
+  EXPECT_EQ(automatic.checked, space);  // weighted coverage, full space
+}
+
+/// Incompressible side: `G(not t(x))` has a distinct snapshot profile per
+/// active value (the snapshots missing t(a) are not the snapshots missing
+/// t(b)), so the leaf-signature partition is near-discrete and cannot
+/// halve the span — auto must fall back to the concrete sweep (no classes
+/// recorded), while forcing --valuation-mode symbolic still partitions,
+/// proving the fallback is the heuristic's doing, not an unavailable
+/// partition. Verdict and witness stay identical either way.
+TEST(ValuationAuto, NonCollapsingPartitionFallsBackToConcrete) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string property = "forall x: G(not Store.t(x))";
+
+  RunResult concrete =
+      VerifyPinned(*comp, property, ValuationMode::kConcrete);
+  ASSERT_FALSE(concrete.result.holds);
+  ASSERT_TRUE(concrete.result.counterexample.has_value());
+
+  RunResult forced = VerifyPinned(*comp, property, ValuationMode::kSymbolic);
+  RunResult automatic = VerifyPinned(*comp, property, ValuationMode::kAuto);
+
+  // Forced symbolic engages the partition (at least the violating class
+  // is counted); auto declines it — the crossover's other side.
+  EXPECT_GT(forced.classes, 0u);
+  EXPECT_EQ(automatic.classes, 0u)
+      << "auto engaged a collapse on a discrete partition";
+
+  // All three modes agree on verdict, witness index and rendered trace.
+  ASSERT_FALSE(forced.result.holds);
+  ASSERT_FALSE(automatic.result.holds);
+  ASSERT_TRUE(automatic.result.counterexample.has_value());
+  EXPECT_EQ(automatic.result.counterexample->valuation_index,
+            concrete.result.counterexample->valuation_index);
+  EXPECT_EQ(automatic.counterexample_text, concrete.counterexample_text);
+  EXPECT_EQ(forced.counterexample_text, concrete.counterexample_text);
+}
+
+/// The crossover decision is stable under the parallel class fan-out: auto
+/// at several job counts reports the same witness as serial concrete on a
+/// violated collapsible property.
+TEST(ValuationAuto, WitnessParityAcrossJobs) {
+  auto comp = spec::ParseComposition(kPipeline);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  const std::string property =
+      "forall x, y: G(not (Store.t(x) and Store.t(y)))";
+
+  RunResult concrete =
+      VerifyPinned(*comp, property, ValuationMode::kConcrete);
+  ASSERT_FALSE(concrete.result.holds);
+  ASSERT_TRUE(concrete.result.counterexample.has_value());
+  const size_t witness = concrete.result.counterexample->valuation_index;
+
+  for (size_t jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    RunResult automatic =
+        VerifyPinned(*comp, property, ValuationMode::kAuto, jobs);
+    ASSERT_FALSE(automatic.result.holds);
+    ASSERT_TRUE(automatic.result.counterexample.has_value());
+    EXPECT_EQ(automatic.result.counterexample->valuation_index, witness);
+    EXPECT_EQ(automatic.counterexample_text, concrete.counterexample_text);
+  }
+}
+
+}  // namespace
+}  // namespace wsv::verifier
